@@ -1,0 +1,44 @@
+//===-- bench/appendix_a_speed.cpp - E4: per-benchmark speed ----------------===//
+//
+// Reproduces the paper's Appendix A: compiled-code speed as a percentage of
+// optimized C for every individual benchmark under each compiler
+// configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include <cstdio>
+
+using namespace mself;
+using namespace mself::bench;
+
+int main() {
+  Policy Policies[] = {Policy::st80(), Policy::oldSelf(), Policy::newSelf()};
+
+  printf("E4 (Appendix A): Compiled Code Speed (%% of optimized C)\n\n");
+  printf("%-14s %-12s %10s %10s %10s\n", "benchmark", "group", "ST-80",
+         "old SELF", "new SELF");
+
+  bool AllOk = true;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    if (B.Group == "stanford-oo" && B.Name == "puzzle")
+      continue; // Shared row with the stanford group.
+    int64_t Chk = 0;
+    double Native = runNative(B, Chk);
+    printf("%-14s %-12s", B.Name.c_str(), B.Group.c_str());
+    for (const Policy &P : Policies) {
+      SelfRunResult R = runSelf(B, P);
+      if (!R.Ok) {
+        printf(" %10s", "FAIL");
+        fprintf(stderr, "FAIL %s [%s]: %s\n", B.Name.c_str(),
+                P.Name.c_str(), R.Error.c_str());
+        AllOk = false;
+        continue;
+      }
+      printf(" %10s", pct(Native / R.ExecSeconds).c_str());
+    }
+    printf("\n");
+  }
+  return AllOk ? 0 : 1;
+}

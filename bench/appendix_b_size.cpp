@@ -1,0 +1,42 @@
+//===-- bench/appendix_b_size.cpp - E5: per-benchmark code size -------------===//
+//
+// Reproduces the paper's Appendix B: compiled code size in kilobytes per
+// benchmark for the old and new SELF compilers (plus the ST-80 baseline).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include <cstdio>
+
+using namespace mself;
+using namespace mself::bench;
+
+int main() {
+  Policy Policies[] = {Policy::st80(), Policy::oldSelf(), Policy::newSelf()};
+
+  printf("E5 (Appendix B): Compiled Code Size (in kilobytes)\n\n");
+  printf("%-14s %-12s %10s %10s %10s\n", "benchmark", "group", "ST-80",
+         "old SELF", "new SELF");
+
+  bool AllOk = true;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    if (B.Group == "stanford-oo" && B.Name == "puzzle")
+      continue;
+    printf("%-14s %-12s", B.Name.c_str(), B.Group.c_str());
+    for (const Policy &P : Policies) {
+      SelfRunResult R = runSelf(B, P);
+      if (!R.Ok) {
+        printf(" %10s", "FAIL");
+        fprintf(stderr, "FAIL %s [%s]: %s\n", B.Name.c_str(),
+                P.Name.c_str(), R.Error.c_str());
+        AllOk = false;
+        continue;
+      }
+      printf(" %10s", fixed(static_cast<double>(R.CodeBytes) / 1024.0, 1)
+                          .c_str());
+    }
+    printf("\n");
+  }
+  return AllOk ? 0 : 1;
+}

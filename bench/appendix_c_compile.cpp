@@ -1,0 +1,43 @@
+//===-- bench/appendix_c_compile.cpp - E6: per-benchmark compile time -------===//
+//
+// Reproduces the paper's Appendix C: compile time per benchmark. The
+// paper's shape: the new SELF compiler is far slower than the old one
+// (iterative loop analysis recompiles; splitting re-analyzes copies), with
+// puzzle the worst case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include <cstdio>
+
+using namespace mself;
+using namespace mself::bench;
+
+int main() {
+  Policy Policies[] = {Policy::st80(), Policy::oldSelf(), Policy::newSelf()};
+
+  printf("E6 (Appendix C): Compile Time (milliseconds of CPU time)\n\n");
+  printf("%-14s %-12s %10s %10s %10s\n", "benchmark", "group", "ST-80",
+         "old SELF", "new SELF");
+
+  bool AllOk = true;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    if (B.Group == "stanford-oo" && B.Name == "puzzle")
+      continue;
+    printf("%-14s %-12s", B.Name.c_str(), B.Group.c_str());
+    for (const Policy &P : Policies) {
+      SelfRunResult R = runSelf(B, P);
+      if (!R.Ok) {
+        printf(" %10s", "FAIL");
+        fprintf(stderr, "FAIL %s [%s]: %s\n", B.Name.c_str(),
+                P.Name.c_str(), R.Error.c_str());
+        AllOk = false;
+        continue;
+      }
+      printf(" %10s", fixed(R.CompileSeconds * 1000, 2).c_str());
+    }
+    printf("\n");
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+//===-- bench/harness.cpp - Benchmark execution harness ---------------------===//
+
+#include "harness.h"
+
+#include "driver/vm.h"
+
+#include <algorithm>
+#include "support/stopwatch.h"
+
+#include <cstdio>
+
+using namespace mself;
+using namespace mself::bench;
+
+SelfRunResult mself::bench::runSelf(const BenchmarkDef &B, const Policy &P) {
+  SelfRunResult R;
+  VirtualMachine VM(P);
+
+  std::string Src = B.Source;
+  // The trailing `[ ^ r ] value` makes the wrapper non-inlinable (methods
+  // with ^-bearing blocks never inline), so the trivial top-level
+  // expression compiled per timed eval() does not re-inline the whole
+  // benchmark into itself.
+  Src += "\nbenchHarnessRun: n = ( | r | n timesRepeat: [ r: (" + B.RunExpr +
+         ") ]. [ ^ r ] value )\n";
+  std::string Err;
+  if (!VM.load(Src, Err)) {
+    R.Error = "load: " + Err;
+    return R;
+  }
+
+  // Warm-up: triggers on-the-fly compilation and validates the result.
+  int64_t Out = 0;
+  if (!VM.evalInt("benchHarnessRun: 1", Out, Err)) {
+    R.Error = "run: " + Err;
+    return R;
+  }
+  int64_t Expected = B.Native();
+  if (Out != Expected) {
+    R.Error = "checksum mismatch: mini-SELF " + std::to_string(Out) +
+              " vs native " + std::to_string(Expected);
+    return R;
+  }
+  R.Checksum = Out;
+
+  // Machine-independent work: bytecode instructions for one run.
+  VM.interp().resetCounters();
+  if (!VM.evalInt("benchHarnessRun: 1", Out, Err)) {
+    R.Error = "count run: " + Err;
+    return R;
+  }
+  R.Instructions = VM.interp().counters().Instructions;
+
+  // Timed samples (best of three, to shed scheduler noise). Residual lazy
+  // compilation inside a sample (rare) is subtracted out via the
+  // compiler's own CPU accounting.
+  double Best = 1e18;
+  for (int Sample = 0; Sample < 3; ++Sample) {
+    double CompileBefore = VM.code().totalCompileSeconds();
+    Stopwatch Timer;
+    if (!VM.evalInt("benchHarnessRun: " + std::to_string(B.TimedRuns), Out,
+                    Err)) {
+      R.Error = "timed run: " + Err;
+      return R;
+    }
+    double Wall = Timer.elapsedSeconds();
+    double CompileDuring = VM.code().totalCompileSeconds() - CompileBefore;
+    Best = std::min(Best, std::max(1e-9, (Wall - CompileDuring) /
+                                             B.TimedRuns));
+  }
+  R.ExecSeconds = Best;
+  R.CompileSeconds = VM.code().totalCompileSeconds();
+  R.CodeBytes = VM.code().totalCodeBytes();
+  R.Ok = Out == Expected;
+  if (!R.Ok)
+    R.Error = "checksum drift across repeated runs";
+  return R;
+}
+
+double mself::bench::runNative(const BenchmarkDef &B, int64_t &ChecksumOut) {
+  ChecksumOut = B.Native();
+  // Repeat until the sample is long enough to time reliably.
+  int Reps = 1;
+  for (;;) {
+    Stopwatch Timer;
+    int64_t Sink = 0;
+    for (int I = 0; I < Reps; ++I)
+      Sink += B.Native();
+    double T = Timer.elapsedSeconds();
+    // Keep the optimizer from discarding the loop.
+    if (Sink == 42)
+      fprintf(stderr, "impossible\n");
+    if (T >= 0.02 || Reps >= (1 << 20))
+      return T / Reps;
+    Reps *= 4;
+  }
+}
+
+std::string mself::bench::pct(double Fraction) {
+  char Buf[32];
+  double P = Fraction * 100;
+  if (P >= 9.5)
+    snprintf(Buf, sizeof(Buf), "%.0f%%", P);
+  else if (P >= 0.95)
+    snprintf(Buf, sizeof(Buf), "%.1f%%", P);
+  else
+    snprintf(Buf, sizeof(Buf), "%.2f%%", P);
+  return Buf;
+}
+
+std::string mself::bench::fixed(double V, int Prec) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%.*f", Prec, V);
+  return Buf;
+}

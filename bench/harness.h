@@ -1,0 +1,52 @@
+//===-- bench/harness.h - Benchmark execution harness -----------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one benchmark under one compiler policy and reports the three
+/// quantities the paper's tables need: execution time (steady state, after
+/// the lazy compiler has warmed up), compile time (CPU seconds spent in the
+/// compiler), and compiled code size. The mini-SELF checksum is validated
+/// against the native implementation on every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_HARNESS_H
+#define MINISELF_BENCH_HARNESS_H
+
+#include "suites.h"
+
+#include "compiler/policy.h"
+
+#include <string>
+
+namespace mself::bench {
+
+struct SelfRunResult {
+  bool Ok = false;
+  std::string Error;
+  double ExecSeconds = 0;    ///< Wall seconds per single benchmark run.
+  double CompileSeconds = 0; ///< CPU seconds spent compiling.
+  size_t CodeBytes = 0;      ///< Compiled code cache size.
+  uint64_t Instructions = 0; ///< Bytecode instructions per run (the
+                             ///< machine-independent work measure).
+  int64_t Checksum = 0;
+};
+
+/// Loads + runs \p B under \p P: one warm-up run (triggers lazy
+/// compilation, validates the checksum), then a timed sample of
+/// B.TimedRuns runs.
+SelfRunResult runSelf(const BenchmarkDef &B, const Policy &P);
+
+/// Times the native implementation. \returns wall seconds per run.
+double runNative(const BenchmarkDef &B, int64_t &ChecksumOut);
+
+/// Fixed-width helpers for paper-style tables.
+std::string pct(double Fraction);         ///< "42%" from 0.42.
+std::string fixed(double V, int Prec);    ///< "%.*f".
+
+} // namespace mself::bench
+
+#endif // MINISELF_BENCH_HARNESS_H

@@ -1,0 +1,121 @@
+//===-- bench/micro_ops.cpp - E9: per-operation micro-benchmarks ------------===//
+//
+// google-benchmark harness measuring the primitive costs the paper's
+// techniques attack: a dynamically-bound send vs. an inlined one, a loop
+// with run-time type tests vs. one specialized by iterative analysis, and
+// closure creation vs. inlined blocks, across the three compiler
+// configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mself;
+
+namespace {
+
+/// Builds a VM with the given policy, loads defs, warms the code cache.
+std::unique_ptr<VirtualMachine> makeVm(const Policy &P,
+                                       const std::string &Defs,
+                                       const std::string &Warm) {
+  auto VM = std::make_unique<VirtualMachine>(P);
+  std::string Err;
+  if (!VM->load(Defs, Err) || !VM->load(Warm, Err)) {
+    fprintf(stderr, "micro_ops setup failed: %s\n", Err.c_str());
+    abort();
+  }
+  return VM;
+}
+
+Policy policyFor(int Index) {
+  switch (Index) {
+  case 0:
+    return Policy::st80();
+  case 1:
+    return Policy::oldSelf();
+  default:
+    return Policy::newSelf();
+  }
+}
+
+const char *policyName(int Index) {
+  switch (Index) {
+  case 0:
+    return "st80";
+  case 1:
+    return "oldself";
+  default:
+    return "newself";
+  }
+}
+
+void runLoop(benchmark::State &State, const std::string &Defs,
+             const std::string &Expr) {
+  Policy P = policyFor(static_cast<int>(State.range(0)));
+  // Wrap the expression in a non-inlinable method (the ^-bearing block
+  // blocks inlining) so each timed eval() compiles only a trivial send
+  // and the numbers measure steady-state execution, not recompilation.
+  std::string AllDefs =
+      Defs + ". microRun = ( | r | r: (" + Expr + "). [ ^ r ] value )";
+  auto VM = makeVm(P, AllDefs, "microRun");
+  std::string Err;
+  int64_t Out = 0;
+  for (auto _ : State) {
+    if (!VM->evalInt("microRun", Out, Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetLabel(policyName(static_cast<int>(State.range(0))));
+}
+
+void BM_ArithLoop(benchmark::State &State) {
+  runLoop(State,
+          "arithLoop = ( | s | s: 0. 1 to: 2000 Do: [ :i | s: s + i ]. s )",
+          "arithLoop");
+}
+
+void BM_DynamicSendLoop(benchmark::State &State) {
+  runLoop(State,
+          "mA = ( | parent* = lobby. v = ( 1 ) | ). "
+          "mB = ( | parent* = lobby. v = ( 2 ) | ). "
+          "sendLoop = ( | s. o | s: 0. o: (vectorOfSize: 2). "
+          "o at: 0 Put: mA. o at: 1 Put: mB. "
+          "1 to: 1000 Do: [ :i | s: s + (o at: i % 2) v ]. s )",
+          "sendLoop");
+}
+
+void BM_ArrayLoop(benchmark::State &State) {
+  runLoop(State,
+          "arrLoop = ( | v. s | v: (vectorOfSize: 500 FillingWith: 3). "
+          "s: 0. v do: [ :e | s: s + e ]. s )",
+          "arrLoop");
+}
+
+void BM_ClosureCreation(benchmark::State &State) {
+  runLoop(State,
+          "applyIt: b = ( b value: 21 ). "
+          "closLoop = ( | s | s: 0. 1 to: 200 Do: [ :i | "
+          "s: s + (applyIt: [ :x | x + x ]) ]. s % 1000 )",
+          "closLoop");
+}
+
+void BM_Recursion(benchmark::State &State) {
+  runLoop(State,
+          "mfib: n = ( n < 2 ifTrue: [ n ] False: "
+          "[ (mfib: n - 1) + (mfib: n - 2) ] )",
+          "mfib: 15");
+}
+
+} // namespace
+
+BENCHMARK(BM_ArithLoop)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_DynamicSendLoop)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_ArrayLoop)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_ClosureCreation)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_Recursion)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+
+BENCHMARK_MAIN();

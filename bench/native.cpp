@@ -1,0 +1,601 @@
+//===-- bench/native.cpp - Native ("optimized C") baselines ----------------===//
+
+#include "native.h"
+
+#include <memory>
+#include <vector>
+
+namespace mself::bench::native {
+
+namespace {
+
+/// Defeats closed-form folding of trivial loops: a 1990 C compiler would
+/// not have summed an arithmetic series at compile time, and the paper's
+/// baseline is "optimized C", not "symbolically evaluated C".
+int64_t opaque(int64_t V) {
+  asm volatile("" : "+r"(V));
+  return V;
+}
+
+/// The shared linear congruential generator (same constants as the
+/// mini-SELF sources).
+struct Lcg {
+  int64_t Seed = 74755;
+  int64_t next() {
+    Seed = (Seed * 1309 + 13849) % 65536;
+    return Seed;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// stanford
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct PermState {
+  int64_t A[11];
+  int64_t Count = 0;
+  void swap(int64_t X, int64_t Y) { std::swap(A[X], A[Y]); }
+  void permute(int64_t N) {
+    ++Count;
+    if (N != 1) {
+      permute(N - 1);
+      for (int64_t K = N - 1; K >= 1; --K) {
+        swap(N, K);
+        permute(N - 1);
+        swap(N, K);
+      }
+    }
+  }
+};
+} // namespace
+
+int64_t perm() {
+  PermState P;
+  for (int I = 0; I < 11; ++I)
+    P.A[I] = I;
+  for (int I = 1; I <= 4; ++I)
+    P.permute(6);
+  return P.Count;
+}
+
+namespace {
+struct TowersState {
+  std::vector<int64_t> Stacks[3];
+  int64_t Moves = 0;
+  void push(int64_t D, int P) { Stacks[P].push_back(D); }
+  int64_t pop(int P) {
+    int64_t D = Stacks[P].back();
+    Stacks[P].pop_back();
+    return D;
+  }
+  void move(int64_t N, int F, int T) {
+    if (N == 1) {
+      push(pop(F), T);
+      ++Moves;
+      return;
+    }
+    move(N - 1, F, 3 - F - T);
+    push(pop(F), T);
+    ++Moves;
+    move(N - 1, 3 - F - T, T);
+  }
+};
+} // namespace
+
+int64_t towers() {
+  TowersState S;
+  for (int64_t D = 12; D >= 1; --D)
+    S.push(D, 0);
+  S.move(12, 0, 2);
+  return S.Moves + static_cast<int64_t>(S.Stacks[2].size());
+}
+
+namespace {
+struct QueensState {
+  int64_t Rows[8] = {0}, D1[16] = {0}, D2[16] = {0};
+  int64_t Solutions = 0;
+  void tryCol(int64_t C) {
+    if (C == 8) {
+      ++Solutions;
+      return;
+    }
+    for (int64_t R = 0; R < 8; ++R) {
+      if (Rows[R] == 0 && D1[R + C] == 0 && D2[R - C + 7] == 0) {
+        Rows[R] = D1[R + C] = D2[R - C + 7] = 1;
+        tryCol(C + 1);
+        Rows[R] = D1[R + C] = D2[R - C + 7] = 0;
+      }
+    }
+  }
+};
+} // namespace
+
+int64_t queens() {
+  QueensState Q;
+  Q.tryCol(0);
+  return Q.Solutions;
+}
+
+int64_t intmm() {
+  constexpr int64_t N = 20;
+  std::vector<int64_t> Ma(N * N), Mb(N * N), Mr(N * N);
+  auto init = [&](std::vector<int64_t> &M, int64_t Seed) {
+    int64_t V = Seed;
+    for (int64_t I = 0; I < N * N; ++I) {
+      M[static_cast<size_t>(I)] = (V % 7) - 3;
+      V += 11;
+    }
+  };
+  init(Ma, 1);
+  init(Mb, 5);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      int64_t Acc = 0;
+      for (int64_t K = 0; K < N; ++K)
+        Acc += Ma[static_cast<size_t>(I * N + K)] *
+               Mb[static_cast<size_t>(K * N + J)];
+      Mr[static_cast<size_t>(I * N + J)] = Acc;
+    }
+  int64_t Sum = 0;
+  for (int64_t I = 0; I < N * N; ++I)
+    Sum += Mr[static_cast<size_t>(I)];
+  return Sum;
+}
+
+namespace {
+/// A 3-D packing search in the spirit of Baskett's puzzle benchmark: fit
+/// 2x2x2 pieces into a 5x5x5 box previously seeded with a fixed pattern,
+/// counting placement trials. (The original's 13 piece classes are
+/// reproduced structurally, not bit-for-bit; both implementations share
+/// this definition, which is what the comparison needs.)
+struct PuzzleState {
+  static constexpr int64_t D = 5;
+  bool Box[D * D * D] = {false};
+  int64_t Trials = 0;
+
+  static int64_t at(int64_t I, int64_t J, int64_t K) {
+    return (I * D + J) * D + K;
+  }
+  bool fits(int64_t I, int64_t J, int64_t K, int64_t S) {
+    if (I + S > D || J + S > D || K + S > D)
+      return false;
+    for (int64_t A = 0; A < S; ++A)
+      for (int64_t B = 0; B < S; ++B)
+        for (int64_t C = 0; C < S; ++C)
+          if (Box[at(I + A, J + B, K + C)])
+            return false;
+    return true;
+  }
+  void place(int64_t I, int64_t J, int64_t K, int64_t S, bool V) {
+    for (int64_t A = 0; A < S; ++A)
+      for (int64_t B = 0; B < S; ++B)
+        for (int64_t C = 0; C < S; ++C)
+          Box[at(I + A, J + B, K + C)] = V;
+  }
+  int64_t search(int64_t Pieces, int64_t S) {
+    if (Pieces == 0)
+      return 1;
+    int64_t Placed = 0;
+    for (int64_t I = 0; I < D; ++I)
+      for (int64_t J = 0; J < D; ++J)
+        for (int64_t K = 0; K < D; ++K) {
+          ++Trials;
+          if (fits(I, J, K, S)) {
+            place(I, J, K, S, true);
+            Placed += search(Pieces - 1, S);
+            place(I, J, K, S, false);
+          }
+        }
+    return Placed;
+  }
+};
+} // namespace
+
+int64_t puzzle() {
+  PuzzleState P;
+  // Seed pattern: block every cell whose coordinate sum is divisible by 3.
+  for (int64_t I = 0; I < PuzzleState::D; ++I)
+    for (int64_t J = 0; J < PuzzleState::D; ++J)
+      for (int64_t K = 0; K < PuzzleState::D; ++K)
+        if ((I + J + K) % 3 == 0)
+          P.Box[PuzzleState::at(I, J, K)] = true;
+  int64_t Ways = P.search(2, 2);
+  return Ways * 1000 + P.Trials % 1000;
+}
+
+namespace {
+struct QuickState {
+  std::vector<int64_t> A;
+  void sort(int64_t L, int64_t R) {
+    int64_t I = L, J = R;
+    int64_t Pivot = A[static_cast<size_t>((L + R) / 2)];
+    while (I <= J) {
+      while (A[static_cast<size_t>(I)] < Pivot)
+        ++I;
+      while (Pivot < A[static_cast<size_t>(J)])
+        --J;
+      if (I <= J) {
+        std::swap(A[static_cast<size_t>(I)], A[static_cast<size_t>(J)]);
+        ++I;
+        --J;
+      }
+    }
+    if (L < J)
+      sort(L, J);
+    if (I < R)
+      sort(I, R);
+  }
+};
+} // namespace
+
+int64_t quick() {
+  QuickState Q;
+  Lcg R;
+  Q.A.resize(1000);
+  for (auto &X : Q.A)
+    X = R.next();
+  Q.sort(0, 999);
+  return Q.A[0] + Q.A[999] + Q.A[500];
+}
+
+int64_t bubble() {
+  constexpr int64_t N = 250;
+  Lcg R;
+  std::vector<int64_t> A(N);
+  for (auto &X : A)
+    X = R.next();
+  for (int64_t Top = N - 1; Top >= 1; --Top)
+    for (int64_t I = 0; I < Top; ++I)
+      if (A[static_cast<size_t>(I)] > A[static_cast<size_t>(I + 1)])
+        std::swap(A[static_cast<size_t>(I)], A[static_cast<size_t>(I + 1)]);
+  return A[0] + A[static_cast<size_t>(N - 1)] + A[static_cast<size_t>(N / 2)];
+}
+
+namespace {
+struct TreeNode {
+  std::unique_ptr<TreeNode> Left, Right;
+  int64_t Val = 0;
+};
+void insert(TreeNode *N, std::unique_ptr<TreeNode> T) {
+  // Matches the mini-SELF version's insertion order exactly.
+  if (T->Val < N->Val) {
+    if (!N->Left)
+      N->Left = std::move(T);
+    else
+      insert(N->Left.get(), std::move(T));
+  } else {
+    if (!N->Right)
+      N->Right = std::move(T);
+    else
+      insert(N->Right.get(), std::move(T));
+  }
+}
+int64_t count(const TreeNode *N) {
+  int64_t C = 1;
+  if (N->Left)
+    C += count(N->Left.get());
+  if (N->Right)
+    C += count(N->Right.get());
+  return C;
+}
+} // namespace
+
+int64_t tree() {
+  Lcg R;
+  auto Root = std::make_unique<TreeNode>();
+  Root->Val = 10000;
+  for (int I = 0; I < 1500; ++I) {
+    auto N = std::make_unique<TreeNode>();
+    N->Val = R.next();
+    insert(Root.get(), std::move(N));
+  }
+  return count(Root.get());
+}
+
+//===----------------------------------------------------------------------===//
+// small
+//===----------------------------------------------------------------------===//
+
+int64_t sieve() {
+  constexpr int64_t Size = 8190;
+  std::vector<bool> Flags(Size + 1, true);
+  int64_t Count = 0;
+  for (int64_t I = 0; I <= Size; ++I) {
+    if (Flags[static_cast<size_t>(I)]) {
+      int64_t Prime = I + I + 3;
+      for (int64_t K = I + Prime; K <= Size; K += Prime)
+        Flags[static_cast<size_t>(K)] = false;
+      ++Count;
+    }
+  }
+  return Count;
+}
+
+int64_t sumTo() {
+  int64_t S = 0;
+  int64_t N = opaque(10000);
+  for (int64_t I = 1; I <= N; ++I)
+    S += I;
+  return opaque(S);
+}
+
+int64_t sumFromTo() {
+  int64_t S = 0;
+  int64_t N = opaque(10250);
+  for (int64_t I = opaque(250); I <= N; ++I)
+    S += I;
+  return opaque(S);
+}
+
+int64_t sumToConst() {
+  int64_t S = 0;
+  int64_t N = opaque(10000);
+  for (int64_t I = 1; I <= N; ++I)
+    S += opaque(7); // Forces a real loop, as a 1990 compiler would emit.
+  return opaque(S);
+}
+
+int64_t atAllPut() {
+  std::vector<int64_t> V(static_cast<size_t>(opaque(2000)));
+  for (int64_t K = 1; K <= 20; ++K)
+    for (auto &X : V)
+      X = K;
+  return opaque(V[0] + V[1999]);
+}
+
+//===----------------------------------------------------------------------===//
+// richards
+//===----------------------------------------------------------------------===//
+
+namespace richards_impl {
+
+constexpr int IdIdle = 0, IdWorker = 1, IdHandlerA = 2, IdHandlerB = 3,
+              IdDevA = 4, IdDevB = 5;
+constexpr int KindDev = 0, KindWork = 1;
+constexpr int DataSize = 4;
+
+struct Packet {
+  Packet *Link = nullptr;
+  int Id = 0;
+  int Kind = 0;
+  int64_t A1 = 0;
+  int64_t A2[DataSize] = {0};
+};
+
+Packet *appendTo(Packet *P, Packet *Queue) {
+  P->Link = nullptr;
+  if (!Queue)
+    return P;
+  Packet *Cur = Queue;
+  while (Cur->Link)
+    Cur = Cur->Link;
+  Cur->Link = P;
+  return Queue;
+}
+
+struct Scheduler;
+
+struct Task {
+  virtual ~Task() = default;
+  virtual struct Tcb *run(Scheduler &S, Packet *P) = 0;
+};
+
+struct Tcb {
+  Tcb *Link = nullptr;
+  int Id = 0;
+  int Pri = 0;
+  Packet *Queue = nullptr;
+  bool PacketPending = false, TaskWaiting = false, TaskHolding = false;
+  Task *TaskObj = nullptr;
+
+  bool heldOrSuspended() const {
+    return TaskHolding || (!PacketPending && TaskWaiting);
+  }
+  void markAsRunnable() {
+    PacketPending = true;
+    TaskWaiting = false;
+  }
+  Tcb *checkPriorityAdd(Tcb *Me, Packet *P) {
+    if (!Queue) {
+      Queue = P;
+      PacketPending = true;
+      if (Pri > Me->Pri)
+        return this;
+    } else {
+      Queue = appendTo(P, Queue);
+    }
+    return Me;
+  }
+};
+
+struct Scheduler {
+  int64_t QueueCount = 0, HoldCount = 0;
+  Tcb *Blocks[6] = {nullptr};
+  Tcb *List = nullptr;
+  Tcb *CurrentTcb = nullptr;
+  int CurrentId = 0;
+
+  void addTask(int Id, int Pri, Packet *Queue, Task *T, bool Waiting) {
+    Tcb *B = new Tcb;
+    B->Id = Id;
+    B->Pri = Pri;
+    B->Queue = Queue;
+    B->TaskObj = T;
+    B->Link = List;
+    // A task created with packets waiting starts waiting-with-packet; the
+    // idle task starts running (Waiting == false).
+    if (Queue)
+      B->PacketPending = true;
+    B->TaskWaiting = Waiting;
+    List = B;
+    Blocks[Id] = B;
+  }
+
+  void schedule() {
+    CurrentTcb = List;
+    while (CurrentTcb) {
+      if (CurrentTcb->heldOrSuspended()) {
+        CurrentTcb = CurrentTcb->Link;
+      } else {
+        CurrentId = CurrentTcb->Id;
+        // Run the task: extract a pending packet if one is queued.
+        Packet *P = nullptr;
+        Tcb *T = CurrentTcb;
+        if (T->PacketPending && !T->TaskHolding && T->Queue) {
+          P = T->Queue;
+          T->Queue = P->Link;
+          T->PacketPending = T->Queue != nullptr;
+          T->TaskWaiting = false;
+        } else {
+          P = nullptr;
+        }
+        CurrentTcb = T->TaskObj->run(*this, P);
+      }
+    }
+  }
+
+  Tcb *findTcb(int Id) { return Blocks[Id]; }
+  Tcb *holdSelf() {
+    ++HoldCount;
+    CurrentTcb->TaskHolding = true;
+    return CurrentTcb->Link;
+  }
+  Tcb *release(int Id) {
+    Tcb *T = findTcb(Id);
+    T->TaskHolding = false;
+    if (T->Pri > CurrentTcb->Pri)
+      return T;
+    return CurrentTcb;
+  }
+  Tcb *waitSelf() {
+    CurrentTcb->TaskWaiting = true;
+    return CurrentTcb;
+  }
+  Tcb *queuePacket(Packet *P) {
+    Tcb *T = findTcb(P->Id);
+    ++QueueCount;
+    P->Link = nullptr;
+    P->Id = CurrentId;
+    return T->checkPriorityAdd(CurrentTcb, P);
+  }
+};
+
+struct IdleTask : Task {
+  int64_t V1 = 1, Count = 0;
+  Tcb *run(Scheduler &S, Packet *) override {
+    --Count;
+    if (Count == 0)
+      return S.holdSelf();
+    if (V1 % 2 == 0) {
+      V1 = V1 / 2;
+      return S.release(IdDevA);
+    }
+    V1 = V1 / 2 + 53256;
+    return S.release(IdDevB);
+  }
+};
+
+struct WorkerTask : Task {
+  int Dest = IdHandlerA;
+  int64_t Count = 0;
+  Tcb *run(Scheduler &S, Packet *P) override {
+    if (!P)
+      return S.waitSelf();
+    Dest = Dest == IdHandlerA ? IdHandlerB : IdHandlerA;
+    P->Id = Dest;
+    P->A1 = 0;
+    for (int I = 0; I < DataSize; ++I) {
+      ++Count;
+      if (Count > 26)
+        Count = 1;
+      P->A2[I] = Count;
+    }
+    return S.queuePacket(P);
+  }
+};
+
+struct HandlerTask : Task {
+  Packet *WorkIn = nullptr, *DeviceIn = nullptr;
+  Tcb *run(Scheduler &S, Packet *P) override {
+    if (P) {
+      if (P->Kind == KindWork)
+        WorkIn = appendTo(P, WorkIn);
+      else
+        DeviceIn = appendTo(P, DeviceIn);
+    }
+    if (WorkIn) {
+      Packet *W = WorkIn;
+      int64_t Count = W->A1;
+      if (Count >= DataSize) {
+        WorkIn = W->Link;
+        return S.queuePacket(W);
+      }
+      if (DeviceIn) {
+        Packet *D = DeviceIn;
+        DeviceIn = D->Link;
+        D->A1 = W->A2[Count];
+        W->A1 = Count + 1;
+        return S.queuePacket(D);
+      }
+    }
+    return S.waitSelf();
+  }
+};
+
+struct DeviceTask : Task {
+  Packet *Pending = nullptr;
+  Tcb *run(Scheduler &S, Packet *P) override {
+    if (!P) {
+      if (!Pending)
+        return S.waitSelf();
+      Packet *V = Pending;
+      Pending = nullptr;
+      return S.queuePacket(V);
+    }
+    Pending = P;
+    return S.holdSelf();
+  }
+};
+
+} // namespace richards_impl
+
+int64_t richards() {
+  using namespace richards_impl;
+  Scheduler S;
+
+  auto *Idle = new IdleTask;
+  Idle->Count = 1000;
+  S.addTask(IdIdle, 0, nullptr, Idle, /*Waiting=*/false);
+
+  Packet *WorkQ = appendTo(new Packet, nullptr);
+  WorkQ->Id = IdWorker;
+  WorkQ->Kind = KindWork;
+  Packet *W2 = new Packet;
+  W2->Id = IdWorker;
+  W2->Kind = KindWork;
+  WorkQ = appendTo(W2, WorkQ);
+  S.addTask(IdWorker, 1000, WorkQ, new WorkerTask, true);
+
+  auto mkDevQueue = [&](int Id) {
+    Packet *Q = nullptr;
+    for (int I = 0; I < 3; ++I) {
+      Packet *P = new Packet;
+      P->Id = Id;
+      P->Kind = KindDev;
+      Q = appendTo(P, Q);
+    }
+    return Q;
+  };
+  S.addTask(IdHandlerA, 2000, mkDevQueue(IdDevA), new HandlerTask, true);
+  S.addTask(IdHandlerB, 3000, mkDevQueue(IdDevB), new HandlerTask, true);
+  S.addTask(IdDevA, 4000, nullptr, new DeviceTask, true);
+  S.addTask(IdDevB, 5000, nullptr, new DeviceTask, true);
+
+  S.schedule();
+  return S.QueueCount * 100000 + S.HoldCount;
+}
+
+} // namespace mself::bench::native

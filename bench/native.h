@@ -1,0 +1,38 @@
+//===-- bench/native.h - Native ("optimized C") baselines -------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The same algorithms as the mini-SELF benchmark sources, hand-written in
+/// plain C++ and compiled by the host compiler: the paper's "optimized C"
+/// column. Each returns the checksum its mini-SELF twin must reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_NATIVE_H
+#define MINISELF_BENCH_NATIVE_H
+
+#include <cstdint>
+
+namespace mself::bench::native {
+
+int64_t perm();
+int64_t towers();
+int64_t queens();
+int64_t intmm();
+int64_t puzzle();
+int64_t quick();
+int64_t bubble();
+int64_t tree();
+int64_t sieve();
+int64_t sumTo();
+int64_t sumFromTo();
+int64_t sumToConst();
+int64_t atAllPut();
+int64_t richards();
+
+} // namespace mself::bench::native
+
+#endif // MINISELF_BENCH_NATIVE_H

@@ -1,0 +1,760 @@
+//===-- bench/suites.cpp - The benchmark registry ---------------------------===//
+//
+// The mini-SELF sources of the paper's benchmark suites (§6). The
+// "stanford" benchmarks are written procedurally (methods on one benchmark
+// object, data manipulated through vectors); the "stanford-oo" rewrites
+// redirect the messages to the data structures themselves (wrapper objects
+// with at:/swap:/push-style protocols), exactly the restructuring the paper
+// describes: "redirect the target of messages from the benchmark object to
+// the data structures manipulated by the benchmark". puzzle is not
+// rewritten (§6, "in the interest of fairness" it still counts in the -oo
+// group in the tables).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites.h"
+
+#include "native.h"
+
+namespace mself::bench {
+
+namespace {
+
+const char *kRandomLib = R"SELF(
+randomGen = ( | parent* = lobby. seed <- 74755.
+  reset = ( seed: 74755. self ).
+  next = ( seed: ((seed * 1309) + 13849) % 65536. seed ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// stanford (procedural style)
+//===----------------------------------------------------------------------===//
+
+const char *kPerm = R"SELF(
+permBench = ( | parent* = lobby. permArray. permCount <- 0.
+  swap: x With: y = ( | t |
+    t: (permArray at: x).
+    permArray at: x Put: (permArray at: y).
+    permArray at: y Put: t.
+    self ).
+  permute: n = (
+    permCount: permCount + 1.
+    n != 1 ifTrue: [
+      permute: n - 1.
+      n - 1 downTo: 1 Do: [ :k |
+        swap: n With: k.
+        permute: n - 1.
+        swap: n With: k ] ].
+    self ).
+  run = (
+    permCount: 0.
+    permArray: (vectorOfSize: 11).
+    0 to: 10 Do: [ :i | permArray at: i Put: i ].
+    1 to: 4 Do: [ :i | permute: 6 ].
+    permCount ).
+| ).
+)SELF";
+
+const char *kPermOO = R"SELF(
+permOOVector = ( | parent* = lobby. elems.
+  initSize: n = ( elems: (vectorOfSize: n). self ).
+  at: i = ( elems at: i ).
+  at: i Put: v = ( elems at: i Put: v. self ).
+  swap: x With: y = ( | t |
+    t: (elems at: x).
+    elems at: x Put: (elems at: y).
+    elems at: y Put: t.
+    self ).
+| ).
+permOOBench = ( | parent* = lobby. data. permCount <- 0.
+  permute: n = (
+    permCount: permCount + 1.
+    n != 1 ifTrue: [
+      permute: n - 1.
+      n - 1 downTo: 1 Do: [ :k |
+        data swap: n With: k.
+        permute: n - 1.
+        data swap: n With: k ] ].
+    self ).
+  run = (
+    permCount: 0.
+    data: (permOOVector clone initSize: 11).
+    0 to: 10 Do: [ :i | data at: i Put: i ].
+    1 to: 4 Do: [ :i | permute: 6 ].
+    permCount ).
+| ).
+)SELF";
+
+const char *kTowers = R"SELF(
+towersBench = ( | parent* = lobby. stacks. heights. moveCount <- 0.
+  push: d On: s = ( | h |
+    h: (heights at: s).
+    (stacks at: s) at: h Put: d.
+    heights at: s Put: h + 1.
+    self ).
+  popFrom: s = ( | h |
+    h: (heights at: s) - 1.
+    heights at: s Put: h.
+    (stacks at: s) at: h ).
+  move: n From: f To: t = (
+    n == 1
+      ifTrue: [ push: (popFrom: f) On: t. moveCount: moveCount + 1 ]
+      False: [
+        move: n - 1 From: f To: (3 - f) - t.
+        push: (popFrom: f) On: t. moveCount: moveCount + 1.
+        move: n - 1 From: (3 - f) - t To: t ].
+    self ).
+  run = (
+    moveCount: 0.
+    stacks: (vectorOfSize: 3).
+    heights: (vectorOfSize: 3 FillingWith: 0).
+    0 to: 2 Do: [ :i | stacks at: i Put: (vectorOfSize: 13) ].
+    12 downTo: 1 Do: [ :d | push: d On: 0 ].
+    move: 12 From: 0 To: 2.
+    moveCount + (heights at: 2) ).
+| ).
+)SELF";
+
+const char *kTowersOO = R"SELF(
+towersOOPeg = ( | parent* = lobby. cells. height <- 0.
+  initDepth: n = ( cells: (vectorOfSize: n). height: 0. self ).
+  push: d = ( cells at: height Put: d. height: height + 1. self ).
+  pop = ( height: height - 1. cells at: height ).
+| ).
+towersOOBench = ( | parent* = lobby. pegs. moveCount <- 0.
+  pegAt: i = ( pegs at: i ).
+  move: n From: f To: t = (
+    n == 1
+      ifTrue: [ (pegAt: t) push: (pegAt: f) pop. moveCount: moveCount + 1 ]
+      False: [
+        move: n - 1 From: f To: (3 - f) - t.
+        (pegAt: t) push: (pegAt: f) pop. moveCount: moveCount + 1.
+        move: n - 1 From: (3 - f) - t To: t ].
+    self ).
+  run = (
+    moveCount: 0.
+    pegs: (vectorOfSize: 3).
+    0 to: 2 Do: [ :i | pegs at: i Put: (towersOOPeg clone initDepth: 13) ].
+    12 downTo: 1 Do: [ :d | (pegAt: 0) push: d ].
+    move: 12 From: 0 To: 2.
+    moveCount + (pegAt: 2) height ).
+| ).
+)SELF";
+
+const char *kQueens = R"SELF(
+queensBench = ( | parent* = lobby. rowsUsed. diag1. diag2. solutions <- 0.
+  tryCol: c = (
+    c == 8
+      ifTrue: [ solutions: solutions + 1 ]
+      False: [ 0 to: 7 Do: [ :r |
+        (((rowsUsed at: r) == 0) and: [ ((diag1 at: r + c) == 0) and:
+            [ (diag2 at: (r - c) + 7) == 0 ] ])
+          ifTrue: [
+            rowsUsed at: r Put: 1.
+            diag1 at: r + c Put: 1.
+            diag2 at: (r - c) + 7 Put: 1.
+            tryCol: c + 1.
+            rowsUsed at: r Put: 0.
+            diag1 at: r + c Put: 0.
+            diag2 at: (r - c) + 7 Put: 0 ] ] ].
+    self ).
+  run = (
+    solutions: 0.
+    rowsUsed: (vectorOfSize: 8 FillingWith: 0).
+    diag1: (vectorOfSize: 16 FillingWith: 0).
+    diag2: (vectorOfSize: 16 FillingWith: 0).
+    tryCol: 0.
+    solutions ).
+| ).
+)SELF";
+
+const char *kQueensOO = R"SELF(
+queensOOBoard = ( | parent* = lobby. rowsUsed. diag1. diag2.
+  init = (
+    rowsUsed: (vectorOfSize: 8 FillingWith: 0).
+    diag1: (vectorOfSize: 16 FillingWith: 0).
+    diag2: (vectorOfSize: 16 FillingWith: 0).
+    self ).
+  safeRow: r Col: c = (
+    ((rowsUsed at: r) == 0) and: [ ((diag1 at: r + c) == 0) and:
+      [ (diag2 at: (r - c) + 7) == 0 ] ] ).
+  placeRow: r Col: c = (
+    rowsUsed at: r Put: 1.
+    diag1 at: r + c Put: 1.
+    diag2 at: (r - c) + 7 Put: 1.
+    self ).
+  removeRow: r Col: c = (
+    rowsUsed at: r Put: 0.
+    diag1 at: r + c Put: 0.
+    diag2 at: (r - c) + 7 Put: 0.
+    self ).
+| ).
+queensOOBench = ( | parent* = lobby. board. solutions <- 0.
+  tryCol: c = (
+    c == 8
+      ifTrue: [ solutions: solutions + 1 ]
+      False: [ 0 to: 7 Do: [ :r |
+        (board safeRow: r Col: c) ifTrue: [
+          board placeRow: r Col: c.
+          tryCol: c + 1.
+          board removeRow: r Col: c ] ] ].
+    self ).
+  run = (
+    solutions: 0.
+    board: queensOOBoard clone init.
+    tryCol: 0.
+    solutions ).
+| ).
+)SELF";
+
+const char *kIntmm = R"SELF(
+intmmBench = ( | parent* = lobby. n = 20. ma. mb. mr.
+  initMat: m Seed: s = ( | v |
+    v: s.
+    0 upTo: n * n Do: [ :i | m at: i Put: (v % 7) - 3. v: v + 11 ].
+    self ).
+  run = ( | sum |
+    ma: (vectorOfSize: n * n).
+    mb: (vectorOfSize: n * n).
+    mr: (vectorOfSize: n * n).
+    initMat: ma Seed: 1.
+    initMat: mb Seed: 5.
+    0 upTo: n Do: [ :i |
+      0 upTo: n Do: [ | :j. acc <- 0 |
+        0 upTo: n Do: [ :k |
+          acc: acc + ((ma at: (i * n) + k) * (mb at: (k * n) + j)) ].
+        mr at: (i * n) + j Put: acc ] ].
+    sum: 0.
+    0 upTo: n * n Do: [ :i | sum: sum + (mr at: i) ].
+    sum ).
+| ).
+)SELF";
+
+const char *kIntmmOO = R"SELF(
+intmmOOMatrix = ( | parent* = lobby. n <- 0. elems.
+  initSize: sz = ( n: sz. elems: (vectorOfSize: sz * sz). self ).
+  row: i Col: j = ( elems at: (i * n) + j ).
+  row: i Col: j Put: v = ( elems at: (i * n) + j Put: v. self ).
+  fillFromSeed: s = ( | v |
+    v: s.
+    0 upTo: n * n Do: [ :i | elems at: i Put: (v % 7) - 3. v: v + 11 ].
+    self ).
+  sum = ( | t |
+    t: 0.
+    0 upTo: n * n Do: [ :i | t: t + (elems at: i) ].
+    t ).
+| ).
+intmmOOBench = ( | parent* = lobby. n = 20.
+  run = ( | ma. mb. mr |
+    ma: ((intmmOOMatrix clone initSize: n) fillFromSeed: 1).
+    mb: ((intmmOOMatrix clone initSize: n) fillFromSeed: 5).
+    mr: (intmmOOMatrix clone initSize: n).
+    0 upTo: n Do: [ :i |
+      0 upTo: n Do: [ | :j. acc <- 0 |
+        0 upTo: n Do: [ :k |
+          acc: acc + ((ma row: i Col: k) * (mb row: k Col: j)) ].
+        mr row: i Col: j Put: acc ] ].
+    mr sum ).
+| ).
+)SELF";
+
+const char *kPuzzle = R"SELF(
+puzzleBench = ( | parent* = lobby. d = 5. box. trials <- 0.
+  cellI: i J: j K: k = ( ((i * d) + j) * d + k ).
+  fitsI: i J: j K: k Size: s = ( | ok |
+    ((i + s > d) or: [ (j + s > d) or: [ k + s > d ] ])
+      ifTrue: [ false ]
+      False: [
+        ok: true.
+        0 upTo: s Do: [ :a |
+          0 upTo: s Do: [ :b |
+            0 upTo: s Do: [ :c |
+              (box at: (cellI: i + a J: j + b K: k + c)) ifTrue: [
+                ok: false ] ] ] ].
+        ok ] ).
+  placeI: i J: j K: k Size: s Value: v = (
+    0 upTo: s Do: [ :a |
+      0 upTo: s Do: [ :b |
+        0 upTo: s Do: [ :c |
+          box at: (cellI: i + a J: j + b K: k + c) Put: v ] ] ].
+    self ).
+  search: pieces Size: s = ( | placed |
+    pieces == 0
+      ifTrue: [ 1 ]
+      False: [
+        placed: 0.
+        0 upTo: d Do: [ :i |
+          0 upTo: d Do: [ :j |
+            0 upTo: d Do: [ :k |
+              trials: trials + 1.
+              (fitsI: i J: j K: k Size: s) ifTrue: [
+                placeI: i J: j K: k Size: s Value: true.
+                placed: placed + (search: pieces - 1 Size: s).
+                placeI: i J: j K: k Size: s Value: false ] ] ] ].
+        placed ] ).
+  run = ( | ways |
+    trials: 0.
+    box: (vectorOfSize: d * d * d FillingWith: false).
+    0 upTo: d Do: [ :i |
+      0 upTo: d Do: [ :j |
+        0 upTo: d Do: [ :k |
+          ((i + j + k) % 3) == 0 ifTrue: [
+            box at: (cellI: i J: j K: k) Put: true ] ] ] ].
+    ways: (search: 2 Size: 2).
+    (ways * 1000) + (trials % 1000) ).
+| ).
+)SELF";
+
+const char *kQuick = R"SELF(
+quickBench = ( | parent* = lobby. arr.
+  sortFrom: l To: r = ( | i. j. pivot. t |
+    i: l. j: r.
+    pivot: (arr at: (l + r) / 2).
+    [ i <= j ] whileTrue: [
+      [ (arr at: i) < pivot ] whileTrue: [ i: i + 1 ].
+      [ pivot < (arr at: j) ] whileTrue: [ j: j - 1 ].
+      i <= j ifTrue: [
+        t: (arr at: i).
+        arr at: i Put: (arr at: j).
+        arr at: j Put: t.
+        i: i + 1. j: j - 1 ] ].
+    l < j ifTrue: [ sortFrom: l To: j ].
+    i < r ifTrue: [ sortFrom: i To: r ].
+    self ).
+  run = (
+    randomGen reset.
+    arr: (vectorOfSize: 1000).
+    0 upTo: 1000 Do: [ :i | arr at: i Put: randomGen next ].
+    sortFrom: 0 To: 999.
+    ((arr at: 0) + (arr at: 999)) + (arr at: 500) ).
+| ).
+)SELF";
+
+const char *kQuickOO = R"SELF(
+quickOOColl = ( | parent* = lobby. elems.
+  initSize: n = ( elems: (vectorOfSize: n). self ).
+  at: i = ( elems at: i ).
+  at: i Put: v = ( elems at: i Put: v. self ).
+  swap: x With: y = ( | t |
+    t: (elems at: x).
+    elems at: x Put: (elems at: y).
+    elems at: y Put: t.
+    self ).
+  sortFrom: l To: r = ( | i. j. pivot |
+    i: l. j: r.
+    pivot: (self at: (l + r) / 2).
+    [ i <= j ] whileTrue: [
+      [ (self at: i) < pivot ] whileTrue: [ i: i + 1 ].
+      [ pivot < (self at: j) ] whileTrue: [ j: j - 1 ].
+      i <= j ifTrue: [
+        self swap: i With: j.
+        i: i + 1. j: j - 1 ] ].
+    l < j ifTrue: [ self sortFrom: l To: j ].
+    i < r ifTrue: [ self sortFrom: i To: r ].
+    self ).
+| ).
+quickOOBench = ( | parent* = lobby.
+  run = ( | coll |
+    randomGen reset.
+    coll: (quickOOColl clone initSize: 1000).
+    0 upTo: 1000 Do: [ :i | coll at: i Put: randomGen next ].
+    coll sortFrom: 0 To: 999.
+    ((coll at: 0) + (coll at: 999)) + (coll at: 500) ).
+| ).
+)SELF";
+
+const char *kBubble = R"SELF(
+bubbleBench = ( | parent* = lobby. arr.
+  run = ( | t |
+    randomGen reset.
+    arr: (vectorOfSize: 250).
+    0 upTo: 250 Do: [ :i | arr at: i Put: randomGen next ].
+    249 downTo: 1 Do: [ :top |
+      0 upTo: top Do: [ :i |
+        (arr at: i) > (arr at: i + 1) ifTrue: [
+          t: (arr at: i).
+          arr at: i Put: (arr at: i + 1).
+          arr at: i + 1 Put: t ] ] ].
+    ((arr at: 0) + (arr at: 249)) + (arr at: 125) ).
+| ).
+)SELF";
+
+const char *kBubbleOO = R"SELF(
+bubbleOOColl = ( | parent* = lobby. elems.
+  initSize: n = ( elems: (vectorOfSize: n). self ).
+  at: i = ( elems at: i ).
+  at: i Put: v = ( elems at: i Put: v. self ).
+  swap: x With: y = ( | t |
+    t: (elems at: x).
+    elems at: x Put: (elems at: y).
+    elems at: y Put: t.
+    self ).
+  bubbleUpTo: top = (
+    0 upTo: top Do: [ :i |
+      (self at: i) > (self at: i + 1) ifTrue: [ self swap: i With: i + 1 ] ].
+    self ).
+| ).
+bubbleOOBench = ( | parent* = lobby.
+  run = ( | coll |
+    randomGen reset.
+    coll: (bubbleOOColl clone initSize: 250).
+    0 upTo: 250 Do: [ :i | coll at: i Put: randomGen next ].
+    249 downTo: 1 Do: [ :top | coll bubbleUpTo: top ].
+    ((coll at: 0) + (coll at: 249)) + (coll at: 125) ).
+| ).
+)SELF";
+
+const char *kTree = R"SELF(
+treeNode = ( | parent* = lobby. left. right. val <- 0 | ).
+treeBench = ( | parent* = lobby.
+  newNode: v = ( | nd |
+    nd: treeNode clone.
+    nd val: v.
+    nd ).
+  insert: n Into: t = (
+    (n val) < (t val)
+      ifTrue: [ (t left) isNil
+          ifTrue: [ t left: n ]
+          False: [ insert: n Into: t left ] ]
+      False: [ (t right) isNil
+          ifTrue: [ t right: n ]
+          False: [ insert: n Into: t right ] ].
+    self ).
+  countIn: t = ( | c |
+    c: 1.
+    (t left) notNil ifTrue: [ c: c + (countIn: t left) ].
+    (t right) notNil ifTrue: [ c: c + (countIn: t right) ].
+    c ).
+  run = ( | root |
+    randomGen reset.
+    root: (newNode: 10000).
+    1 to: 1500 Do: [ :i | insert: (newNode: randomGen next) Into: root ].
+    countIn: root ).
+| ).
+)SELF";
+
+const char *kTreeOO = R"SELF(
+treeOONode = ( | parent* = lobby. left. right. val <- 0.
+  insert: n = (
+    (n val) < val
+      ifTrue: [ left isNil ifTrue: [ left: n ] False: [ left insert: n ] ]
+      False: [ right isNil ifTrue: [ right: n ] False: [ right insert: n ] ].
+    self ).
+  count = ( | c |
+    c: 1.
+    left notNil ifTrue: [ c: c + left count ].
+    right notNil ifTrue: [ c: c + right count ].
+    c ).
+| ).
+treeOOBench = ( | parent* = lobby.
+  newNode: v = ( | nd |
+    nd: treeOONode clone.
+    nd val: v.
+    nd ).
+  run = ( | root |
+    randomGen reset.
+    root: (newNode: 10000).
+    1 to: 1500 Do: [ :i | root insert: (newNode: randomGen next) ].
+    root count ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// small
+//===----------------------------------------------------------------------===//
+
+const char *kSieve = R"SELF(
+sieveBench = ( | parent* = lobby. size = 8190.
+  run = ( | flags. count. prime. k |
+    flags: (vectorOfSize: size + 1 FillingWith: true).
+    count: 0.
+    0 to: size Do: [ :i |
+      (flags at: i) ifTrue: [
+        prime: (i + i) + 3.
+        k: i + prime.
+        [ k <= size ] whileTrue: [ flags at: k Put: false. k: k + prime ].
+        count: count + 1 ] ].
+    count ).
+| ).
+)SELF";
+
+const char *kSumTo = R"SELF(
+sumToBench = ( | parent* = lobby.
+  run = ( | s |
+    s: 0.
+    1 to: 10000 Do: [ :i | s: s + i ].
+    s ).
+| ).
+)SELF";
+
+const char *kSumFromTo = R"SELF(
+sumFromToBench = ( | parent* = lobby.
+  sumFrom: a To: b = ( | s |
+    s: 0.
+    a to: b Do: [ :i | s: s + i ].
+    s ).
+  run = ( sumFrom: 250 To: 10250 ).
+| ).
+)SELF";
+
+const char *kSumToConst = R"SELF(
+sumToConstBench = ( | parent* = lobby.
+  run = ( | s |
+    s: 0.
+    1 to: 10000 Do: [ :i | s: s + 7 ].
+    s ).
+| ).
+)SELF";
+
+const char *kAtAllPut = R"SELF(
+atAllPutBench = ( | parent* = lobby.
+  run = ( | v |
+    v: (vectorOfSize: 2000).
+    1 to: 20 Do: [ :k | v atAllPut: k ].
+    (v at: 0) + (v at: 1999) ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// richards
+//===----------------------------------------------------------------------===//
+
+const char *kRichards = R"SELF(
+"The richards operating-system simulation: a scheduler round-robins an
+ idle task, a worker, two handlers, and two device tasks, exchanging
+ packets. `runWith:In:` is the famous polymorphic call site (§6.1)."
+
+rPacket = ( | parent* = lobby. link. id <- 0. kind <- 0. a1 <- 0. a2 | ).
+
+rAppend: p To: q = ( | cur |
+  p link: nil.
+  q isNil ifTrue: [ ^ p ].
+  cur: q.
+  [ (cur link) notNil ] whileTrue: [ cur: cur link ].
+  cur link: p.
+  q ).
+
+rTcb = ( | parent* = lobby.
+  link. id <- 0. pri <- 0. queue. task.
+  packetPending <- 0. taskWaiting <- 0. taskHolding <- 0.
+  heldOrSuspended = (
+    (taskHolding == 1) or: [ (packetPending == 0) and: [ taskWaiting == 1 ] ] ).
+  check: p PriorityAddFor: me = (
+    queue isNil
+      ifTrue: [
+        queue: p.
+        packetPending: 1.
+        pri > (me pri) ifTrue: [ ^ self ] ]
+      False: [ queue: (rAppend: p To: queue) ].
+    me ).
+| ).
+
+rScheduler = ( | parent* = lobby.
+  queueCount <- 0. holdCount <- 0. blocks. list. currentTcb. currentId <- 0.
+  addTask: tid Pri: p Queue: q Task: t Waiting: w = ( | b |
+    b: rTcb clone.
+    b id: tid. b pri: p. b queue: q. b task: t.
+    b link: list.
+    q notNil ifTrue: [ b packetPending: 1 ].
+    b taskWaiting: w.
+    list: b.
+    blocks at: tid Put: b.
+    self ).
+  findTcb: tid = ( blocks at: tid ).
+  holdSelf = (
+    holdCount: holdCount + 1.
+    currentTcb taskHolding: 1.
+    currentTcb link ).
+  release: tid = ( | t |
+    t: (findTcb: tid).
+    t taskHolding: 0.
+    (t pri) > (currentTcb pri) ifTrue: [ t ] False: [ currentTcb ] ).
+  waitSelf = ( currentTcb taskWaiting: 1. currentTcb ).
+  queuePacket: p = ( | t |
+    t: (findTcb: p id).
+    queueCount: queueCount + 1.
+    p link: nil.
+    p id: currentId.
+    t check: p PriorityAddFor: currentTcb ).
+  schedule = ( | t. p |
+    currentTcb: list.
+    [ currentTcb notNil ] whileTrue: [
+      currentTcb heldOrSuspended
+        ifTrue: [ currentTcb: currentTcb link ]
+        False: [
+          currentId: currentTcb id.
+          t: currentTcb.
+          (((t packetPending) == 1) and: [ ((t taskHolding) == 0) and:
+              [ (t queue) notNil ] ])
+            ifTrue: [
+              p: t queue.
+              t queue: p link.
+              (t queue) isNil
+                ifTrue: [ t packetPending: 0 ]
+                False: [ t packetPending: 1 ].
+              t taskWaiting: 0 ]
+            False: [ p: nil ].
+          currentTcb: ((t task) runWith: p In: self) ] ].
+    self ).
+| ).
+
+rIdleTask = ( | parent* = lobby. v1 <- 1. count <- 0.
+  runWith: p In: sched = (
+    count: count - 1.
+    count == 0
+      ifTrue: [ sched holdSelf ]
+      False: [ (v1 % 2) == 0
+          ifTrue: [ v1: v1 / 2. sched release: 4 ]
+          False: [ v1: (v1 / 2) + 53256. sched release: 5 ] ] ).
+| ).
+
+rWorkerTask = ( | parent* = lobby. dest <- 2. count <- 0.
+  runWith: p In: sched = (
+    p isNil
+      ifTrue: [ sched waitSelf ]
+      False: [
+        dest == 2 ifTrue: [ dest: 3 ] False: [ dest: 2 ].
+        p id: dest.
+        p a1: 0.
+        0 upTo: 4 Do: [ :i |
+          count: count + 1.
+          count > 26 ifTrue: [ count: 1 ].
+          (p a2) at: i Put: count ].
+        sched queuePacket: p ] ).
+| ).
+
+rHandlerTask = ( | parent* = lobby. workIn. deviceIn.
+  runWith: p In: sched = ( | w. d. cnt |
+    p notNil ifTrue: [
+      (p kind) == 1
+        ifTrue: [ workIn: (rAppend: p To: workIn) ]
+        False: [ deviceIn: (rAppend: p To: deviceIn) ] ].
+    workIn isNil
+      ifTrue: [ sched waitSelf ]
+      False: [
+        w: workIn.
+        cnt: w a1.
+        cnt >= 4
+          ifTrue: [ workIn: w link. sched queuePacket: w ]
+          False: [
+            deviceIn isNil
+              ifTrue: [ sched waitSelf ]
+              False: [
+                d: deviceIn.
+                deviceIn: d link.
+                d a1: ((w a2) at: cnt).
+                w a1: cnt + 1.
+                sched queuePacket: d ] ] ] ).
+| ).
+
+rDeviceTask = ( | parent* = lobby. pending.
+  runWith: p In: sched = ( | v |
+    p isNil
+      ifTrue: [ pending isNil
+          ifTrue: [ sched waitSelf ]
+          False: [ v: pending. pending: nil. sched queuePacket: v ] ]
+      False: [ pending: p. sched holdSelf ] ).
+| ).
+
+richardsBench = ( | parent* = lobby.
+  newPacket: tid Kind: k = ( | p |
+    p: rPacket clone.
+    p id: tid. p kind: k. p a1: 0.
+    p a2: (vectorOfSize: 4 FillingWith: 0).
+    p ).
+  run = ( | s. q. idle |
+    s: rScheduler clone.
+    s blocks: (vectorOfSize: 6).
+    idle: rIdleTask clone.
+    idle v1: 1. idle count: 1000.
+    s addTask: 0 Pri: 0 Queue: nil Task: idle Waiting: 0.
+    q: (rAppend: (newPacket: 1 Kind: 1) To: nil).
+    q: (rAppend: (newPacket: 1 Kind: 1) To: q).
+    s addTask: 1 Pri: 1000 Queue: q Task: rWorkerTask clone Waiting: 1.
+    q: (rAppend: (newPacket: 4 Kind: 0) To: nil).
+    q: (rAppend: (newPacket: 4 Kind: 0) To: q).
+    q: (rAppend: (newPacket: 4 Kind: 0) To: q).
+    s addTask: 2 Pri: 2000 Queue: q Task: rHandlerTask clone Waiting: 1.
+    q: (rAppend: (newPacket: 5 Kind: 0) To: nil).
+    q: (rAppend: (newPacket: 5 Kind: 0) To: q).
+    q: (rAppend: (newPacket: 5 Kind: 0) To: q).
+    s addTask: 3 Pri: 3000 Queue: q Task: rHandlerTask clone Waiting: 1.
+    s addTask: 4 Pri: 4000 Queue: nil Task: rDeviceTask clone Waiting: 1.
+    s addTask: 5 Pri: 5000 Queue: nil Task: rDeviceTask clone Waiting: 1.
+    s schedule.
+    ((s queueCount) * 100000) + (s holdCount) ).
+| ).
+)SELF";
+
+std::vector<BenchmarkDef> makeAll() {
+  auto withRandom = [](const char *Src) {
+    return std::string(kRandomLib) + Src;
+  };
+  std::vector<BenchmarkDef> All;
+  // stanford
+  All.push_back({"perm", "stanford", kPerm, "permBench run", native::perm, 6});
+  All.push_back({"towers", "stanford", kTowers, "towersBench run",
+                 native::towers, 8});
+  All.push_back({"queens", "stanford", kQueens, "queensBench run",
+                 native::queens, 6});
+  All.push_back({"intmm", "stanford", kIntmm, "intmmBench run",
+                 native::intmm, 8});
+  All.push_back({"puzzle", "stanford", kPuzzle, "puzzleBench run",
+                 native::puzzle, 6});
+  All.push_back({"quick", "stanford", withRandom(kQuick), "quickBench run",
+                 native::quick, 8});
+  All.push_back({"bubble", "stanford", withRandom(kBubble),
+                 "bubbleBench run", native::bubble, 6});
+  All.push_back({"tree", "stanford", withRandom(kTree), "treeBench run",
+                 native::tree, 8});
+  // stanford-oo (puzzle is not rewritten; see §6)
+  All.push_back({"perm-oo", "stanford-oo", kPermOO, "permOOBench run",
+                 native::perm, 6});
+  All.push_back({"towers-oo", "stanford-oo", kTowersOO, "towersOOBench run",
+                 native::towers, 8});
+  All.push_back({"queens-oo", "stanford-oo", kQueensOO, "queensOOBench run",
+                 native::queens, 6});
+  All.push_back({"intmm-oo", "stanford-oo", kIntmmOO, "intmmOOBench run",
+                 native::intmm, 8});
+  All.push_back({"puzzle", "stanford-oo", kPuzzle, "puzzleBench run",
+                 native::puzzle, 6});
+  All.push_back({"quick-oo", "stanford-oo", withRandom(kQuickOO),
+                 "quickOOBench run", native::quick, 8});
+  All.push_back({"bubble-oo", "stanford-oo", withRandom(kBubbleOO),
+                 "bubbleOOBench run", native::bubble, 6});
+  All.push_back({"tree-oo", "stanford-oo", withRandom(kTreeOO),
+                 "treeOOBench run", native::tree, 8});
+  // small
+  All.push_back({"sieve", "small", kSieve, "sieveBench run", native::sieve,
+                 8});
+  All.push_back({"sumTo", "small", kSumTo, "sumToBench run", native::sumTo,
+                 20});
+  All.push_back({"sumFromTo", "small", kSumFromTo, "sumFromToBench run",
+                 native::sumFromTo, 20});
+  All.push_back({"sumToConst", "small", kSumToConst, "sumToConstBench run",
+                 native::sumToConst, 20});
+  All.push_back({"atAllPut", "small", kAtAllPut, "atAllPutBench run",
+                 native::atAllPut, 3});
+  // richards
+  All.push_back({"richards", "richards", kRichards, "richardsBench run",
+                 native::richards, 4});
+  return All;
+}
+
+} // namespace
+
+const std::vector<BenchmarkDef> &allBenchmarks() {
+  static const std::vector<BenchmarkDef> All = makeAll();
+  return All;
+}
+
+std::vector<const BenchmarkDef *> benchmarksInGroup(const std::string &G) {
+  std::vector<const BenchmarkDef *> Out;
+  for (const BenchmarkDef &B : allBenchmarks())
+    if (B.Group == G)
+      Out.push_back(&B);
+  return Out;
+}
+
+} // namespace mself::bench

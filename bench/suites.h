@@ -1,0 +1,44 @@
+//===-- bench/suites.h - The benchmark registry -----------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark suites (§6): the Stanford integer benchmarks,
+/// their object-oriented rewrites, the "small" micro-benchmarks, and the
+/// richards operating-system simulation — each as mini-SELF source plus a
+/// native C++ implementation of the same algorithm (the "optimized C"
+/// baseline). Each entry's mini-SELF result is validated against the native
+/// result, so the two implementations keep each other honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_SUITES_H
+#define MINISELF_BENCH_SUITES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mself::bench {
+
+struct BenchmarkDef {
+  std::string Name;           ///< e.g. "perm" / "perm-oo"
+  std::string Group;          ///< "stanford", "stanford-oo", "small",
+                              ///< "richards"
+  std::string Source;         ///< mini-SELF definitions.
+  std::string RunExpr;        ///< Expression producing the checksum.
+  int64_t (*Native)();        ///< Same algorithm in C++ ("optimized C").
+  int TimedRuns;              ///< Inner repetitions for one timed sample.
+};
+
+/// All benchmarks in table order.
+const std::vector<BenchmarkDef> &allBenchmarks();
+
+/// \returns benchmarks of one group.
+std::vector<const BenchmarkDef *> benchmarksInGroup(const std::string &G);
+
+} // namespace mself::bench
+
+#endif // MINISELF_BENCH_SUITES_H

@@ -1,0 +1,79 @@
+//===-- bench/table_code_size.cpp - E3: Code Size ---------------------------===//
+//
+// Reproduces the paper's §6.3 "compiled code size (in kilobytes), median /
+// 75%-ile / max" table. The paper's shape: the new compiler's code is
+// *smaller* than the old compiler's for most benchmarks (fewer residual
+// sends, type tests, and failure blocks), while both are several times the
+// size of optimized C. The optimized-C column is not meaningfully
+// measurable here (native code is folded into this binary), shown as '-'.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "support/stats.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+std::vector<const BenchmarkDef *> groupFor(const std::string &Col) {
+  std::vector<const BenchmarkDef *> Out;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    bool IsPuzzle = B.Name == "puzzle";
+    if (Col == "puzzle" && IsPuzzle && B.Group == "stanford")
+      Out.push_back(&B);
+    else if (Col == "stanford+oo" && !IsPuzzle &&
+             (B.Group == "stanford" || B.Group == "stanford-oo"))
+      Out.push_back(&B);
+    else if (Col == B.Group && !IsPuzzle &&
+             (Col == "small" || Col == "richards"))
+      Out.push_back(&B);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const char *Cols[] = {"small", "stanford+oo", "puzzle", "richards"};
+  Policy Policies[] = {Policy::st80(), Policy::oldSelf(), Policy::newSelf()};
+  const char *Labels[] = {"ST-80", "old SELF", "new SELF"};
+
+  printf("E3: Compiled Code Size (in kilobytes)\n");
+  printf("    median / 75%%-ile / max, per paper section 6.3\n\n");
+  printf("%-10s", "");
+  for (const char *C : Cols)
+    printf(" %-24s", C);
+  printf("\n");
+
+  bool AllOk = true;
+  for (int PI = 0; PI < 3; ++PI) {
+    printf("%-10s", Labels[PI]);
+    for (const char *C : Cols) {
+      SampleStats S;
+      for (const BenchmarkDef *B : groupFor(C)) {
+        SelfRunResult R = runSelf(*B, Policies[PI]);
+        if (!R.Ok) {
+          fprintf(stderr, "FAIL %s [%s]: %s\n", B->Name.c_str(), Labels[PI],
+                  R.Error.c_str());
+          AllOk = false;
+          continue;
+        }
+        S.add(static_cast<double>(R.CodeBytes) / 1024.0);
+      }
+      std::string Cell = S.empty() ? std::string("-")
+                                   : fixed(S.median(), 1) + " / " +
+                                         fixed(S.percentile(75), 1) + " / " +
+                                         fixed(S.max(), 1);
+      printf(" %-24s", Cell.c_str());
+    }
+    printf("\n");
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+//===-- bench/table_compile_time.cpp - E2: Compile Time ---------------------===//
+//
+// Reproduces the paper's §6.2 "Compile Time (in seconds of CPU time),
+// median / 75%-ile / max" table. The paper's shape: the new SELF compiler
+// is one to two orders of magnitude slower than the old one (its iterative
+// analysis recompiles loops and splitting re-analyzes copies); puzzle is
+// the outlier. The "optimized C" compile-time column is not reproducible
+// here (the native baselines are compiled into this binary ahead of time),
+// so it is shown as '-'.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "support/stats.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+std::vector<const BenchmarkDef *> groupFor(const std::string &Col) {
+  std::vector<const BenchmarkDef *> Out;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    bool IsPuzzle = B.Name == "puzzle";
+    if (Col == "puzzle" && IsPuzzle && B.Group == "stanford")
+      Out.push_back(&B);
+    else if (Col == "stanford+oo" && !IsPuzzle &&
+             (B.Group == "stanford" || B.Group == "stanford-oo"))
+      Out.push_back(&B);
+    else if (Col == B.Group && !IsPuzzle &&
+             (Col == "small" || Col == "richards"))
+      Out.push_back(&B);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const char *Cols[] = {"small", "stanford+oo", "puzzle", "richards"};
+  Policy Policies[] = {Policy::st80(), Policy::oldSelf(), Policy::newSelf()};
+  const char *Labels[] = {"ST-80", "old SELF", "new SELF"};
+
+  printf("E2: Compile Time (in seconds of CPU time)\n");
+  printf("    median / 75%%-ile / max, per paper section 6.2\n\n");
+  printf("%-10s", "");
+  for (const char *C : Cols)
+    printf(" %-26s", C);
+  printf("\n%-10s", "optimized C");
+  for (int I = 0; I < 4; ++I)
+    printf(" %-26s", "- (compiled ahead of time)");
+  printf("\n");
+
+  bool AllOk = true;
+  for (int PI = 0; PI < 3; ++PI) {
+    printf("%-10s", Labels[PI]);
+    for (const char *C : Cols) {
+      SampleStats S;
+      for (const BenchmarkDef *B : groupFor(C)) {
+        SelfRunResult R = runSelf(*B, Policies[PI]);
+        if (!R.Ok) {
+          fprintf(stderr, "FAIL %s [%s]: %s\n", B->Name.c_str(), Labels[PI],
+                  R.Error.c_str());
+          AllOk = false;
+          continue;
+        }
+        S.add(R.CompileSeconds);
+      }
+      std::string Cell = S.empty() ? std::string("-")
+                                   : fixed(S.median() * 1000, 2) + " / " +
+                                         fixed(S.percentile(75) * 1000, 2) +
+                                         " / " + fixed(S.max() * 1000, 2) +
+                                         " ms";
+      printf(" %-26s", Cell.c_str());
+    }
+    printf("\n");
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+//===-- examples/triangle_number.cpp - The paper's §5.3 worked example -------===//
+//
+// Compiles the paper's triangleNumber: example under all three compiler
+// configurations and shows (a) the execution counters — under new SELF the
+// common-case loop runs with no dynamically-bound sends and no run-time
+// type tests, exactly the paper's gray-box CFG — and (b) the compiled code,
+// where the multi-version loop (general version with tests hopping into the
+// specialized version) is visible in the listing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/disasm.h"
+#include "driver/vm.h"
+
+#include <cstdio>
+
+using namespace mself;
+
+namespace {
+
+const char *kTriangle =
+    "triangleNumber: n = ( | sum <- 0 | "
+    "1 upTo: n Do: [ :i | sum: sum + i ]. sum )";
+
+// Launder the argument through a vector so its type is unknown at compile
+// time — the situation the paper's example analyzes (n starts unknown).
+const char *kDriver =
+    "callIt = ( | v | v: (vectorOfSize: 1). v at: 0 Put: 1000. "
+    "triangleNumber: (v at: 0) )";
+
+void runUnder(const Policy &P, bool Disassemble) {
+  VirtualMachine VM(P);
+  std::string Err;
+  if (!VM.load(kTriangle, Err) || !VM.load(kDriver, Err)) {
+    fprintf(stderr, "load failed: %s\n", Err.c_str());
+    return;
+  }
+  int64_t Out = 0;
+  if (!VM.evalInt("callIt", Out, Err)) { // Warm-up compile.
+    fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return;
+  }
+  VM.interp().resetCounters();
+  VM.evalInt("callIt", Out, Err);
+  const ExecCounters &C = VM.interp().counters();
+  printf("%-9s triangleNumber: 1000 = %-8lld  instructions=%-7llu "
+         "sends=%-5llu typeTests=%-5llu envAccesses=%llu\n",
+         P.Name.c_str(), static_cast<long long>(Out),
+         static_cast<unsigned long long>(C.Instructions),
+         static_cast<unsigned long long>(C.Sends),
+         static_cast<unsigned long long>(C.TypeTests),
+         static_cast<unsigned long long>(C.EnvAccesses));
+
+  if (!Disassemble)
+    return;
+  VM.code().forEach([&](const CompiledFunction &Fn) {
+    if (Fn.Name && *Fn.Name == "triangleNumber:") {
+      printf("\n--- %s compiled by %s "
+             "(loop versions: %d, analysis passes: %d, nodes copied by "
+             "splitting: %d) ---\n",
+             Fn.Name->c_str(), P.Name.c_str(), Fn.Stats.LoopVersions,
+             Fn.Stats.LoopIterations, Fn.Stats.NodesCopied);
+      printf("%s", disassemble(Fn).c_str());
+    }
+  });
+}
+
+} // namespace
+
+int main() {
+  printf("The paper's triangleNumber: example (section 5.3), run under the\n"
+         "three compiler configurations. Under new SELF the loop compiles\n"
+         "in two versions: the general one tests n's type once, then\n"
+         "control stays in the specialized version — the type test is\n"
+         "hoisted out of the loop (section 5.4).\n\n");
+  runUnder(Policy::st80(), false);
+  runUnder(Policy::oldSelf(), false);
+  runUnder(Policy::newSelf(), true);
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===-- bytecode/bytecode.cpp - Register bytecode --------------------------===//
+
+#include "bytecode/bytecode.h"
+
+#include <cassert>
+
+using namespace mself;
+
+int mself::opArity(Op O) {
+  switch (O) {
+  case Op::Halt:
+    return 0;
+  case Op::Jump:
+  case Op::Return:
+  case Op::NLRet:
+    return 1;
+  case Op::Move:
+  case Op::LoadInt:
+  case Op::LoadConst:
+  case Op::TestInt:
+  case Op::ArrSize:
+    return 2;
+  case Op::GetField:
+  case Op::SetField:
+  case Op::GetFieldConst:
+  case Op::SetFieldConst:
+  case Op::AddRaw:
+  case Op::SubRaw:
+  case Op::MulRaw:
+  case Op::TestMap:
+  case Op::BrTrue:
+  case Op::MakeEnv:
+  case Op::ArrAtRaw:
+  case Op::ArrAtPutRaw:
+    return 3;
+  case Op::AddCk:
+  case Op::SubCk:
+  case Op::MulCk:
+  case Op::DivCk:
+  case Op::ModCk:
+  case Op::CmpValue:
+  case Op::BrCmp:
+  case Op::ArrAt:
+  case Op::ArrAtPut:
+  case Op::EnvGet:
+  case Op::EnvSet:
+  case Op::MakeBlock:
+    return 4;
+  case Op::Send:
+  case Op::Prim:
+    return 5;
+  }
+  assert(false && "unknown opcode");
+  return 0;
+}
+
+const char *mself::opName(Op O) {
+  switch (O) {
+  case Op::Halt:
+    return "halt";
+  case Op::Move:
+    return "move";
+  case Op::LoadInt:
+    return "load_int";
+  case Op::LoadConst:
+    return "load_const";
+  case Op::GetField:
+    return "get_field";
+  case Op::SetField:
+    return "set_field";
+  case Op::GetFieldConst:
+    return "get_field_const";
+  case Op::SetFieldConst:
+    return "set_field_const";
+  case Op::AddRaw:
+    return "add_raw";
+  case Op::SubRaw:
+    return "sub_raw";
+  case Op::MulRaw:
+    return "mul_raw";
+  case Op::AddCk:
+    return "add_ck";
+  case Op::SubCk:
+    return "sub_ck";
+  case Op::MulCk:
+    return "mul_ck";
+  case Op::DivCk:
+    return "div_ck";
+  case Op::ModCk:
+    return "mod_ck";
+  case Op::CmpValue:
+    return "cmp_value";
+  case Op::BrCmp:
+    return "br_cmp";
+  case Op::BrTrue:
+    return "br_true";
+  case Op::TestInt:
+    return "test_int";
+  case Op::TestMap:
+    return "test_map";
+  case Op::Jump:
+    return "jump";
+  case Op::Send:
+    return "send";
+  case Op::Prim:
+    return "prim";
+  case Op::ArrAt:
+    return "arr_at";
+  case Op::ArrAtRaw:
+    return "arr_at_raw";
+  case Op::ArrAtPut:
+    return "arr_at_put";
+  case Op::ArrAtPutRaw:
+    return "arr_at_put_raw";
+  case Op::ArrSize:
+    return "arr_size";
+  case Op::MakeEnv:
+    return "make_env";
+  case Op::EnvGet:
+    return "env_get";
+  case Op::EnvSet:
+    return "env_set";
+  case Op::MakeBlock:
+    return "make_block";
+  case Op::Return:
+    return "return";
+  case Op::NLRet:
+    return "nl_return";
+  }
+  return "?";
+}

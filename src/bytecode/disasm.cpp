@@ -1,0 +1,40 @@
+//===-- bytecode/disasm.cpp - Bytecode disassembler ------------------------===//
+
+#include "bytecode/disasm.h"
+
+#include "vm/map.h"
+
+#include <sstream>
+
+using namespace mself;
+
+std::string mself::disassemble(const CompiledFunction &Fn) {
+  std::ostringstream Os;
+  Os << "function " << (Fn.Name ? *Fn.Name : std::string("<anon>"));
+  if (Fn.ReceiverMap)
+    Os << " [customized for " << Fn.ReceiverMap->debugName() << "]";
+  Os << " regs=" << Fn.NumRegs << " args=" << Fn.NumArgs
+     << " bytes=" << Fn.sizeInBytes() << "\n";
+  size_t I = 0;
+  while (I < Fn.Code.size()) {
+    Op O = static_cast<Op>(Fn.Code[I]);
+    int Arity = opArity(O);
+    Os << "  " << I << ": " << opName(O);
+    for (int A = 1; A <= Arity; ++A)
+      Os << " " << Fn.Code[I + static_cast<size_t>(A)];
+    // Decorate selected operands.
+    if (O == Op::Send) {
+      int Sel = Fn.Code[I + 2];
+      Os << "    ; " << *Fn.SelectorPool[static_cast<size_t>(Sel)];
+    } else if (O == Op::LoadConst) {
+      int Lit = Fn.Code[I + 2];
+      Os << "    ; " << Fn.Literals[static_cast<size_t>(Lit)].describe();
+    } else if (O == Op::TestMap) {
+      int M = Fn.Code[I + 2];
+      Os << "    ; " << Fn.MapPool[static_cast<size_t>(M)]->debugName();
+    }
+    Os << "\n";
+    I += static_cast<size_t>(1 + Arity);
+  }
+  return Os.str();
+}

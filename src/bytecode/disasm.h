@@ -1,0 +1,27 @@
+//===-- bytecode/disasm.h - Bytecode disassembler ---------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders CompiledFunctions as text, for tests, the examples, and debugging
+/// the compiler configurations against each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BYTECODE_DISASM_H
+#define MINISELF_BYTECODE_DISASM_H
+
+#include "bytecode/bytecode.h"
+
+#include <string>
+
+namespace mself {
+
+/// \returns a multi-line listing of \p Fn.
+std::string disassemble(const CompiledFunction &Fn);
+
+} // namespace mself
+
+#endif // MINISELF_BYTECODE_DISASM_H

@@ -1,0 +1,1167 @@
+//===-- compiler/analyze.cpp - Type analysis, inlining, prediction ---------===//
+//
+// The core of the paper: the compiler walks the AST, building the control
+// flow graph and the type bindings together. Message sends with receivers
+// of known map are looked up and inlined at compile time (§3.2.2);
+// primitives are opened up into type tests + raw operations and the tests
+// are folded away when the types prove them (§3.2.3); unknown receivers of
+// arithmetic selectors are type-predicted behind a run-time test; merge
+// types trigger message splitting (split.cpp) and loops run the iterative
+// analysis (loops.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/analyze.h"
+
+#include "bytecode/bytecode.h"
+#include "runtime/selector.h"
+#include "vm/object.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mself;
+using namespace mself::ast;
+
+//===----------------------------------------------------------------------===//
+// Local type helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Integer hull of a type, looking through merges/unions.
+std::optional<std::pair<int64_t, int64_t>> rangeHull(const Type *T) {
+  if (auto R = T->intRange())
+    return R;
+  if (T->kind() == Type::Kind::Merge || T->kind() == Type::Kind::Union) {
+    int64_t Lo = kMaxSmallInt, Hi = kMinSmallInt;
+    for (const Type *E : T->elems()) {
+      auto R = rangeHull(E);
+      if (!R)
+        return std::nullopt;
+      Lo = std::min(Lo, R->first);
+      Hi = std::max(Hi, R->second);
+    }
+    return std::make_pair(Lo, Hi);
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Construction and plumbing
+//===----------------------------------------------------------------------===//
+
+Analyzer::Analyzer(World &W, const Policy &P, const CompileRequest &Req)
+    : W(W), P(P), Req(Req), TC(W) {}
+
+const Type *Analyzer::typeOf(const State &S, int Vreg) const {
+  auto It = S.Types.find(Vreg);
+  if (It == S.Types.end())
+    return const_cast<TypeContext &>(TC).unknown();
+  return It->second;
+}
+
+void Analyzer::setType(State &S, int Vreg, const Type *T) {
+  S.Types[Vreg] = T;
+}
+
+int Analyzer::provRoot(const State &S, int Vreg) const {
+  auto It = S.Prov.find(Vreg);
+  if (It != S.Prov.end())
+    return It->second;
+  return SlotVregSet.count(Vreg) ? Vreg : -1;
+}
+
+void Analyzer::refineType(State &S, int Vreg, const Type *T) {
+  setType(S, Vreg, T);
+  // Walk the provenance chain (temp -> inlined callee's argument ->
+  // caller's variable ...): every link holds the very value just tested,
+  // so each variable's binding narrows too (never widening a binding that
+  // is already more precise).
+  int Cur = Vreg;
+  for (int Guard = 0; Guard < 16; ++Guard) {
+    auto It = S.Prov.find(Cur);
+    if (It == S.Prov.end())
+      break;
+    int Root = It->second;
+    if (Root == Cur || EscapedVars.count(Root))
+      break;
+    const Type *RootT = typeOf(S, Root);
+    if (RootT->contains(W, T) && !RootT->equals(T))
+      setType(S, Root, T);
+    Cur = Root;
+  }
+}
+
+void Analyzer::noteVarWrite(State &S, int SlotVreg, int NewRoot) {
+  S.Prov.erase(SlotVreg);
+  for (auto It = S.Prov.begin(); It != S.Prov.end();)
+    if (It->second == SlotVreg)
+      It = S.Prov.erase(It);
+    else
+      ++It;
+  if (NewRoot >= 0 && NewRoot != SlotVreg)
+    S.Prov[SlotVreg] = NewRoot;
+}
+
+Node *Analyzer::emit(State &S, NodeOp Op, int NumSuccs) {
+  Node *N = G.newNode(Op, NumSuccs);
+  if (!S.Dead) {
+    G.connect(S.Tail, S.Slot, N);
+    S.Tail = N;
+    S.Slot = 0;
+  }
+  return N;
+}
+
+Analyzer::State Analyzer::forkState(const State &S, Node *N, int Slot) const {
+  State F;
+  F.Tail = N;
+  F.Slot = Slot;
+  F.Types = S.Types;
+  F.Dead = S.Dead;
+  return F;
+}
+
+void Analyzer::emitError(State &S, const std::string &Msg) {
+  if (S.Dead)
+    return;
+  Node *N = emit(S, NodeOp::ErrorNode, 0);
+  N->Msg = Msg;
+  S.Dead = true;
+}
+
+Analyzer::State Analyzer::mergeStates(std::vector<State> States,
+                                      std::vector<int> ResultVregs,
+                                      int &ResultOut) {
+  assert((ResultVregs.empty() || ResultVregs.size() == States.size()) &&
+         "result vreg list must match state list");
+  bool WantResult = !ResultVregs.empty();
+  ResultOut = WantResult ? newVreg() : -1;
+
+  std::vector<size_t> Alive;
+  for (size_t I = 0; I < States.size(); ++I)
+    if (!States[I].Dead)
+      Alive.push_back(I);
+
+  if (Alive.empty()) {
+    State DeadS;
+    DeadS.Dead = true;
+    return DeadS;
+  }
+
+  // Route each alive state's result into the common vreg.
+  if (WantResult) {
+    for (size_t I : Alive) {
+      Node *Mv = emit(States[I], NodeOp::Move, 1);
+      Mv->Dst = ResultOut;
+      Mv->A = ResultVregs[I];
+      setType(States[I], ResultOut, typeOf(States[I], ResultVregs[I]));
+    }
+  }
+
+  if (Alive.size() == 1)
+    return States[Alive[0]];
+
+  // Provenance survives a merge only when every incoming path agrees.
+  std::map<int, int> MergedProv = States[Alive[0]].Prov;
+  for (size_t I = 1; I < Alive.size(); ++I) {
+    const auto &Other = States[Alive[I]].Prov;
+    for (auto It = MergedProv.begin(); It != MergedProv.end();) {
+      auto Oit = Other.find(It->first);
+      if (Oit == Other.end() || Oit->second != It->second)
+        It = MergedProv.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  Node *M = G.newNode(NodeOp::MergeNode, 1);
+  TypeMap Joined;
+  // Join over the union of tracked vregs, predecessor by predecessor.
+  std::set<int> Keys;
+  for (size_t I : Alive)
+    for (const auto &KV : States[I].Types)
+      Keys.insert(KV.first);
+  for (int K : Keys) {
+    std::vector<const Type *> PerPred;
+    PerPred.reserve(Alive.size());
+    for (size_t I : Alive)
+      PerPred.push_back(typeOf(States[I], K));
+    Joined[K] = TC.joinAtMerge(M, std::move(PerPred));
+  }
+  for (size_t I : Alive)
+    G.addMergePred(M, States[I].Tail, States[I].Slot);
+  M->TypesAt = Joined;
+
+  State Out;
+  Out.Tail = M;
+  Out.Slot = 0;
+  Out.Types = std::move(Joined);
+  Out.Prov = std::move(MergedProv);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Escape analysis for closures
+//===----------------------------------------------------------------------===//
+
+void Analyzer::collectFreeWrites(
+    const Code *C, std::set<std::pair<const Code *, int>> &Out) {
+  struct Walker {
+    const Code *Root;
+    std::set<std::pair<const Code *, int>> &Out;
+    void walkCode(const Code *C) {
+      for (const Expr *E : C->Body)
+        walk(E);
+    }
+    void walk(const Expr *E) {
+      switch (E->Kind) {
+      case ExprKind::VarSet: {
+        const auto *V = static_cast<const VarSet *>(E);
+        Out.insert({V->Scope, V->SlotIndex});
+        walk(V->Val);
+        break;
+      }
+      case ExprKind::Send: {
+        const auto *S = static_cast<const Send *>(E);
+        if (S->Recv)
+          walk(S->Recv);
+        for (const Expr *A : S->Args)
+          walk(A);
+        break;
+      }
+      case ExprKind::PrimCall: {
+        const auto *Pc = static_cast<const PrimCall *>(E);
+        walk(Pc->Recv);
+        for (const Expr *A : Pc->Args)
+          walk(A);
+        if (Pc->OnFail)
+          walk(Pc->OnFail);
+        break;
+      }
+      case ExprKind::BlockLit:
+        walkCode(&static_cast<const BlockLit *>(E)->Block->Body);
+        break;
+      case ExprKind::Return:
+        walk(static_cast<const Return *>(E)->Val);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  Walker Wk{C, Out};
+  Wk.walkCode(C);
+  // Keep only writes that leave the block subtree itself: scopes outside C
+  // and not lexically inside it. A scope is inside C iff walking its
+  // lexical parents reaches C.
+  for (auto It = Out.begin(); It != Out.end();) {
+    const Code *S = It->first;
+    bool Inside = false;
+    for (const Code *Cur = S; Cur; Cur = Cur->LexicalParent)
+      if (Cur == C) {
+        Inside = true;
+        break;
+      }
+    if (Inside)
+      It = Out.erase(It);
+    else
+      ++It;
+  }
+}
+
+void Analyzer::collectFreeReads(
+    const Code *C, std::set<std::pair<const Code *, int>> &Out) {
+  // For escape purposes reads matter too (the escaping block observes the
+  // variable), but only writes invalidate our types; we reuse the write
+  // collector and additionally pick up VarGet nodes.
+  struct Walker {
+    std::set<std::pair<const Code *, int>> &Out;
+    void walkCode(const Code *C) {
+      for (const Expr *E : C->Body)
+        walk(E);
+    }
+    void walk(const Expr *E) {
+      switch (E->Kind) {
+      case ExprKind::VarGet: {
+        const auto *V = static_cast<const VarGet *>(E);
+        Out.insert({V->Scope, V->SlotIndex});
+        break;
+      }
+      case ExprKind::VarSet: {
+        const auto *V = static_cast<const VarSet *>(E);
+        Out.insert({V->Scope, V->SlotIndex});
+        walk(V->Val);
+        break;
+      }
+      case ExprKind::Send: {
+        const auto *S = static_cast<const Send *>(E);
+        if (S->Recv)
+          walk(S->Recv);
+        for (const Expr *A : S->Args)
+          walk(A);
+        break;
+      }
+      case ExprKind::PrimCall: {
+        const auto *Pc = static_cast<const PrimCall *>(E);
+        walk(Pc->Recv);
+        for (const Expr *A : Pc->Args)
+          walk(A);
+        if (Pc->OnFail)
+          walk(Pc->OnFail);
+        break;
+      }
+      case ExprKind::BlockLit:
+        walkCode(&static_cast<const BlockLit *>(E)->Block->Body);
+        break;
+      case ExprKind::Return:
+        walk(static_cast<const Return *>(E)->Val);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  Walker Wk{Out};
+  Wk.walkCode(C);
+}
+
+int Analyzer::resolveSlotVreg(ScopeInst *From, const Code *Scope,
+                              int Slot) const {
+  for (ScopeInst *I = From; I; I = I->ParentInst)
+    if (I->Scope == Scope)
+      return I->VregBase + Slot;
+  return -1;
+}
+
+void Analyzer::escapeClosure(const Type *ClosureT) {
+  if (!ClosureT->isClosure())
+    return;
+  const Code *C = &ClosureT->closureBlock()->Body;
+  std::set<std::pair<const Code *, int>> Writes;
+  collectFreeWrites(C, Writes);
+  for (const auto &WSlot : Writes) {
+    int V = resolveSlotVreg(ClosureT->closureInst(), WSlot.first,
+                            WSlot.second);
+    if (V >= 0)
+      EscapedVars.insert(V);
+  }
+}
+
+void Analyzer::escapeIfClosure(const State &S, int Vreg) {
+  const Type *T = typeOf(S, Vreg);
+  if (T->isClosure()) {
+    escapeClosure(T);
+    return;
+  }
+  if (T->isMerge() || T->kind() == Type::Kind::Union)
+    for (const Type *E : T->elems())
+      if (E->isClosure())
+        escapeClosure(E);
+}
+
+void Analyzer::invalidateEscaped(State &S) {
+  for (int V : EscapedVars) {
+    S.Types[V] = TC.unknown();
+    S.Prov.erase(V);
+  }
+  for (auto It = S.Prov.begin(); It != S.Prov.end();)
+    if (EscapedVars.count(It->second))
+      It = S.Prov.erase(It);
+    else
+      ++It;
+}
+
+int Analyzer::astSize(const Code *C) {
+  auto It = AstSizeCache.find(C);
+  if (It != AstSizeCache.end())
+    return It->second;
+  struct Counter {
+    int N = 0;
+    void walkCode(const Code *C) {
+      for (const Expr *E : C->Body)
+        walk(E);
+    }
+    void walk(const Expr *E) {
+      ++N;
+      switch (E->Kind) {
+      case ExprKind::VarSet:
+        walk(static_cast<const VarSet *>(E)->Val);
+        break;
+      case ExprKind::Send: {
+        const auto *S = static_cast<const Send *>(E);
+        if (S->Recv)
+          walk(S->Recv);
+        for (const Expr *A : S->Args)
+          walk(A);
+        break;
+      }
+      case ExprKind::PrimCall: {
+        const auto *Pc = static_cast<const PrimCall *>(E);
+        walk(Pc->Recv);
+        for (const Expr *A : Pc->Args)
+          walk(A);
+        if (Pc->OnFail)
+          walk(Pc->OnFail);
+        break;
+      }
+      case ExprKind::BlockLit:
+        walkCode(&static_cast<const BlockLit *>(E)->Block->Body);
+        break;
+      case ExprKind::Return:
+        walk(static_cast<const Return *>(E)->Val);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  Counter Cnt;
+  Cnt.walkCode(C);
+  AstSizeCache[C] = Cnt.N;
+  return Cnt.N;
+}
+
+bool Analyzer::hasNLRBlock(const Code *C) {
+  auto It = NLRBlockCache.find(C);
+  if (It != NLRBlockCache.end())
+    return It->second;
+  struct Finder {
+    bool Found = false;
+    void walkCode(const Code *C, bool InBlock) {
+      for (const Expr *E : C->Body)
+        walk(E, InBlock);
+    }
+    void walk(const Expr *E, bool InBlock) {
+      if (Found)
+        return;
+      switch (E->Kind) {
+      case ExprKind::Return:
+        if (InBlock)
+          Found = true;
+        else
+          walk(static_cast<const Return *>(E)->Val, InBlock);
+        break;
+      case ExprKind::VarSet:
+        walk(static_cast<const VarSet *>(E)->Val, InBlock);
+        break;
+      case ExprKind::Send: {
+        const auto *S = static_cast<const Send *>(E);
+        if (S->Recv)
+          walk(S->Recv, InBlock);
+        for (const Expr *A : S->Args)
+          walk(A, InBlock);
+        break;
+      }
+      case ExprKind::PrimCall: {
+        const auto *Pc = static_cast<const PrimCall *>(E);
+        walk(Pc->Recv, InBlock);
+        for (const Expr *A : Pc->Args)
+          walk(A, InBlock);
+        if (Pc->OnFail)
+          walk(Pc->OnFail, InBlock);
+        break;
+      }
+      case ExprKind::BlockLit:
+        walkCode(&static_cast<const BlockLit *>(E)->Block->Body, true);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  Finder F;
+  F.walkCode(C, false);
+  NLRBlockCache[C] = F.Found;
+  return F.Found;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<CompiledFunction> Analyzer::compile() {
+  const Code *Unit = Req.Source;
+  Node *Start = G.newNode(NodeOp::Start, 1);
+  G.setStart(Start);
+
+  // vreg 0 = self; slot K of the unit scope = vreg 1 + K.
+  NextVreg = 1 + static_cast<int>(Unit->Slots.size());
+  RootInst = G.newInst(Unit, nullptr, 1, 0);
+  for (size_t K = 0; K < Unit->Slots.size(); ++K)
+    SlotVregSet.insert(1 + static_cast<int>(K));
+
+  State S;
+  S.Tail = Start;
+  S.Slot = 0;
+
+  // Customization (§2): the receiver's map is a compile-time constant.
+  setType(S, 0, Req.ReceiverMap && P.Customize ? TC.classOf(Req.ReceiverMap)
+                                               : TC.unknown());
+  for (int I = 0; I < Unit->NumArgs; ++I)
+    setType(S, 1 + I, TC.unknown());
+
+  EvalCtx Ctx;
+  Ctx.Inst = RootInst;
+  Ctx.Depth = 0;
+
+  if (Unit->HasCaptured) {
+    Node *Es = emit(S, NodeOp::EnterScope, 1);
+    Es->Inst = RootInst;
+  }
+
+  // Locals are initialized to compile-time constants (§3.2.1): that is the
+  // analyzer's seed type information.
+  for (size_t K = static_cast<size_t>(Unit->NumArgs); K < Unit->Slots.size();
+       ++K) {
+    const Code::VarSlot &Slot = Unit->Slots[K];
+    Value Init = Slot.InitIsInt ? Value::fromInt(Slot.InitInt)
+                 : Slot.InitStr
+                     ? Value::fromObject(W.newString(*Slot.InitStr))
+                     : W.nilValue();
+    int T = newVreg();
+    Node *C = emit(S, NodeOp::Const, 1);
+    C->Dst = T;
+    C->Val = Init;
+    setType(S, T, TC.constantOf(Init));
+    int SlotVreg = RootInst->VregBase + static_cast<int>(K);
+    if (Slot.Storage == VarStorage::Env) {
+      Node *Vs = emit(S, NodeOp::VarSet, 1);
+      Vs->Inst = RootInst;
+      Vs->Idx = static_cast<int>(K);
+      Vs->A = T;
+    } else {
+      Node *Mv = emit(S, NodeOp::Move, 1);
+      Mv->Dst = SlotVreg;
+      Mv->A = T;
+    }
+    setType(S, SlotVreg,
+            P.TrackLocalTypes ? TC.constantOf(Init) : TC.unknown());
+  }
+
+  // The root method body collects its early returns like any inlined one.
+  ReturnCollector RootReturns;
+  bool IsMethodRoot = Unit->Depth == 0;
+  if (IsMethodRoot)
+    ActiveReturns[RootInst] = &RootReturns;
+  InlineStack.push_back(Unit);
+
+  int Last = evalBody(S, Unit, Ctx);
+
+  InlineStack.pop_back();
+  if (IsMethodRoot)
+    ActiveReturns.erase(RootInst);
+
+  // Default result: last statement (methods with empty bodies return self,
+  // blocks return nil).
+  int DefaultResult;
+  if (Last >= 0) {
+    DefaultResult = Last;
+  } else if (Req.IsBlockUnit) {
+    DefaultResult = newVreg();
+    Node *C = emit(S, NodeOp::Const, 1);
+    C->Dst = DefaultResult;
+    C->Val = W.nilValue();
+  } else {
+    DefaultResult = 0;
+  }
+
+  std::vector<State> Ends = std::move(RootReturns.States);
+  std::vector<int> Results = std::move(RootReturns.Results);
+  Ends.push_back(std::move(S));
+  Results.push_back(DefaultResult);
+  int FinalVreg = -1;
+  State End = mergeStates(std::move(Ends), std::move(Results), FinalVreg);
+  if (!End.Dead) {
+    Node *Ret = emit(End, NodeOp::ReturnNode, 0);
+    Ret->A = FinalVreg;
+  }
+
+  return lowerGraph(W, P, Req, G, NextVreg, Stats);
+}
+
+int Analyzer::evalBody(State &S, const Code *C, EvalCtx &Ctx) {
+  int Last = -1;
+  for (const Expr *E : C->Body) {
+    if (S.Dead)
+      break;
+    Last = evalExpr(S, E, Ctx);
+  }
+  return Last;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+int Analyzer::evalExpr(State &S, const Expr *E, EvalCtx &Ctx) {
+  if (S.Dead)
+    return newVreg();
+  switch (E->Kind) {
+  case ExprKind::IntLit: {
+    int T = newVreg();
+    Node *N = emit(S, NodeOp::Const, 1);
+    N->Dst = T;
+    N->Val = Value::fromInt(static_cast<const IntLit *>(E)->Val);
+    setType(S, T, TC.constantOf(N->Val));
+    return T;
+  }
+  case ExprKind::StrLit: {
+    int T = newVreg();
+    Node *N = emit(S, NodeOp::Const, 1);
+    N->Dst = T;
+    N->Val =
+        Value::fromObject(W.newString(*static_cast<const StrLit *>(E)->Text));
+    setType(S, T, TC.constantOf(N->Val));
+    return T;
+  }
+  case ExprKind::SelfRef:
+    return Ctx.Inst->SelfVreg;
+  case ExprKind::VarGet: {
+    const auto *V = static_cast<const VarGet *>(E);
+    int SlotVreg = resolveSlotVreg(Ctx.Inst, V->Scope, V->SlotIndex);
+    const Code::VarSlot &Slot =
+        V->Scope->Slots[static_cast<size_t>(V->SlotIndex)];
+    if (SlotVreg < 0) {
+      // Out-of-unit variable (block bodies compiled standalone).
+      assert(Slot.Storage == VarStorage::Env &&
+             "cross-unit variable must be captured");
+      int T = newVreg();
+      Node *N = emit(S, NodeOp::VarGetOuter, 1);
+      N->Dst = T;
+      N->Idx = Slot.EnvIndex;
+      // Hops are relative to the *incoming* environment, which belongs to
+      // the nearest capturing scope lexically enclosing this block unit.
+      assert(Req.Source->LexicalParent && "outer access needs a parent");
+      N->Idx2 = Req.Source->LexicalParent->EnvLevel - V->Scope->EnvLevel;
+      setType(S, T, TC.unknown());
+      return T;
+    }
+    if (Slot.Storage == VarStorage::Reg)
+      return SlotVreg;
+    int T = newVreg();
+    Node *N = emit(S, NodeOp::VarGet, 1);
+    N->Dst = T;
+    N->Inst = nullptr;
+    for (ScopeInst *I = Ctx.Inst; I; I = I->ParentInst)
+      if (I->Scope == V->Scope) {
+        N->Inst = I;
+        break;
+      }
+    N->Idx = V->SlotIndex;
+    if (EscapedVars.count(SlotVreg)) {
+      setType(S, T, TC.unknown());
+    } else {
+      setType(S, T, typeOf(S, SlotVreg));
+      S.Prov[T] = SlotVreg;
+    }
+    return T;
+  }
+  case ExprKind::VarSet: {
+    const auto *V = static_cast<const VarSet *>(E);
+    int Val = evalExpr(S, V->Val, Ctx);
+    if (S.Dead)
+      return Val;
+    int SlotVreg = resolveSlotVreg(Ctx.Inst, V->Scope, V->SlotIndex);
+    const Code::VarSlot &Slot =
+        V->Scope->Slots[static_cast<size_t>(V->SlotIndex)];
+    if (SlotVreg < 0) {
+      assert(Slot.Storage == VarStorage::Env &&
+             "cross-unit variable must be captured");
+      Node *N = emit(S, NodeOp::VarSetOuter, 1);
+      N->A = Val;
+      N->Idx = Slot.EnvIndex;
+      assert(Req.Source->LexicalParent && "outer access needs a parent");
+      N->Idx2 = Req.Source->LexicalParent->EnvLevel - V->Scope->EnvLevel;
+      return Val;
+    }
+    if (Slot.Storage == VarStorage::Reg) {
+      Node *Mv = emit(S, NodeOp::Move, 1);
+      Mv->Dst = SlotVreg;
+      Mv->A = Val;
+    } else {
+      Node *N = emit(S, NodeOp::VarSet, 1);
+      for (ScopeInst *I = Ctx.Inst; I; I = I->ParentInst)
+        if (I->Scope == V->Scope) {
+          N->Inst = I;
+          break;
+        }
+      N->Idx = V->SlotIndex;
+      N->A = Val;
+    }
+    setType(S, SlotVreg,
+            P.TrackLocalTypes ? typeOf(S, Val) : TC.unknown());
+    noteVarWrite(S, SlotVreg, provRoot(S, Val));
+    return Val;
+  }
+  case ExprKind::Send: {
+    const auto *Sn = static_cast<const Send *>(E);
+    int Recv = Sn->Recv ? evalExpr(S, Sn->Recv, Ctx) : Ctx.Inst->SelfVreg;
+    std::vector<int> Args;
+    Args.reserve(Sn->Args.size());
+    for (const Expr *A : Sn->Args) {
+      Args.push_back(evalExpr(S, A, Ctx));
+      if (S.Dead)
+        return Args.back();
+    }
+    return evalSend(S, Recv, Sn->Selector, Args, Ctx);
+  }
+  case ExprKind::PrimCall:
+    return evalPrim(S, static_cast<const PrimCall *>(E), Ctx);
+  case ExprKind::BlockLit: {
+    const auto *B = static_cast<const BlockLit *>(E);
+    int T = newVreg();
+    Node *N = emit(S, NodeOp::MakeBlockNode, 1);
+    N->Dst = T;
+    N->Block = B->Block;
+    N->Inst = Ctx.Inst;
+    setType(S, T, TC.closureOf(B->Block, Ctx.Inst));
+    return T;
+  }
+  case ExprKind::Return: {
+    const auto *R = static_cast<const Return *>(E);
+    int V = evalExpr(S, R->Val, Ctx);
+    if (S.Dead)
+      return V;
+    // `^` returns from the lexically enclosing method activation.
+    ScopeInst *Home = nullptr;
+    for (ScopeInst *I = Ctx.Inst; I; I = I->ParentInst)
+      if (I->Scope->Depth == 0) {
+        Home = I;
+        break;
+      }
+    if (Home) {
+      auto It = ActiveReturns.find(Home);
+      assert(It != ActiveReturns.end() &&
+             "home method's return collector must be active");
+      It->second->States.push_back(S);
+      It->second->Results.push_back(V);
+      S.Dead = true;
+      return V;
+    }
+    // Home is outside this unit: a true non-local return.
+    Node *N = emit(S, NodeOp::NLRetNode, 0);
+    N->A = V;
+    S.Dead = true;
+    return V;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return newVreg();
+}
+
+//===----------------------------------------------------------------------===//
+// Sends: compile-time lookup, inlining, prediction, splitting
+//===----------------------------------------------------------------------===//
+
+int Analyzer::emitDynamicSend(State &S, int RecvVreg, const std::string *Sel,
+                              const std::vector<int> &Args) {
+  if (S.Dead)
+    return newVreg();
+  escapeIfClosure(S, RecvVreg);
+  for (int A : Args)
+    escapeIfClosure(S, A);
+  int T = newVreg();
+  Node *N = emit(S, NodeOp::SendNode, 1);
+  N->Dst = T;
+  N->Sel = Sel;
+  N->Args.push_back(RecvVreg);
+  for (int A : Args)
+    N->Args.push_back(A);
+  ++Stats.SendsDynamic;
+  invalidateEscaped(S);
+  setType(S, T, TC.unknown());
+  return T;
+}
+
+int Analyzer::evalSend(State &S, int RecvVreg, const std::string *Sel,
+                       const std::vector<int> &Args, EvalCtx &Ctx,
+                       bool AllowPrediction) {
+  if (S.Dead)
+    return newVreg();
+  const Type *RT = typeOf(S, RecvVreg);
+  const CommonSelectors &CS = W.selectors();
+
+  // Inlined block invocation and loop construction.
+  if (P.Inlining && RT->isClosure()) {
+    const Code *BC = &RT->closureBlock()->Body;
+    if (Sel == CS.valueSelector(static_cast<int>(Args.size())) &&
+        BC->NumArgs == static_cast<int>(Args.size()))
+      return inlineBlockBody(S, RT, RecvVreg, Args, Ctx);
+    if ((Sel == CS.WhileTrue || Sel == CS.WhileFalse) && Args.size() == 1 &&
+        typeOf(S, Args[0])->isClosure() && BC->NumArgs == 0 &&
+        typeOf(S, Args[0])->closureBlock()->Body.NumArgs == 0)
+      return buildWhileLoop(S, RT, RecvVreg, typeOf(S, Args[0]), Args[0],
+                            Sel == CS.WhileFalse, Ctx);
+  }
+
+  // Compile-time lookup when the receiver's map is known (§3.2.2).
+  Map *M = RT->definiteMap(W);
+  if (M && P.Inlining) {
+    LookupResult R = lookupSelector(W, M, Sel);
+    switch (R.ResultKind) {
+    case LookupResult::Kind::NotFound:
+      emitError(S, "message not understood: '" + *Sel + "'");
+      return newVreg();
+    case LookupResult::Kind::Constant: {
+      ++Stats.SendsInlined;
+      int T = newVreg();
+      Node *N = emit(S, NodeOp::Const, 1);
+      N->Dst = T;
+      N->Val = R.Slot->Constant;
+      setType(S, T, TC.constantOf(R.Slot->Constant));
+      return T;
+    }
+    case LookupResult::Kind::Data: {
+      ++Stats.SendsInlined;
+      int T = newVreg();
+      if (R.Holder) {
+        Node *N = emit(S, NodeOp::GetFieldK, 1);
+        N->Dst = T;
+        N->Val = Value::fromObject(R.Holder);
+        N->Idx = R.Slot->FieldIndex;
+      } else {
+        Node *N = emit(S, NodeOp::GetField, 1);
+        N->Dst = T;
+        N->A = RecvVreg;
+        N->Idx = R.Slot->FieldIndex;
+      }
+      setType(S, T, TC.unknown());
+      return T;
+    }
+    case LookupResult::Kind::Assign: {
+      ++Stats.SendsInlined;
+      assert(Args.size() == 1 && "assignment send takes one argument");
+      escapeIfClosure(S, Args[0]);
+      if (R.Holder) {
+        Node *N = emit(S, NodeOp::SetFieldK, 1);
+        N->Val = Value::fromObject(R.Holder);
+        N->Idx = R.Slot->FieldIndex;
+        N->A = Args[0];
+      } else {
+        Node *N = emit(S, NodeOp::SetField, 1);
+        N->A = RecvVreg;
+        N->Idx = R.Slot->FieldIndex;
+        N->B = Args[0];
+      }
+      return Args[0];
+    }
+    case LookupResult::Kind::Method: {
+      auto *MO = static_cast<MethodObj *>(R.Slot->Constant.asObject());
+      const Code *Body = MO->body();
+      bool TooBig = astSize(Body) > P.MaxInlineSize;
+      bool TooDeep = Ctx.Depth >= P.MaxInlineDepth;
+      // Bound re-entrant inlining of one method rather than forbidding it:
+      // nested user-defined loops are the same `to:Do:` method inlined
+      // inside itself (through the loop-body closure), and the paper's
+      // results depend on fully opening such nests. Genuine self-recursion
+      // (fib-style) stops at the occurrence bound and the depth budget.
+      int Occurrences = 0;
+      for (const ast::Code *C : InlineStack)
+        if (C == Body)
+          ++Occurrences;
+      if (Body->NumArgs != static_cast<int>(Args.size()) || TooBig ||
+          TooDeep || Occurrences >= 3 || hasNLRBlock(Body))
+        return emitDynamicSend(S, RecvVreg, Sel, Args);
+      return inlineMethod(S, Body, Sel, RecvVreg, Args, Ctx);
+    }
+    }
+  }
+
+  // Extended / local message splitting (§4): recover the type information
+  // a merge diluted.
+  if (RT->isMerge() && (P.ExtendedSplitting || P.LocalSplitting) &&
+      P.Inlining) {
+    std::vector<State> Parts;
+    if (trySplitAtMerge(S, RecvVreg, Parts)) {
+      std::vector<State> Outs;
+      std::vector<int> Results;
+      for (State &Part : Parts) {
+        int R = evalSend(Part, RecvVreg, Sel, Args, Ctx, AllowPrediction);
+        Outs.push_back(std::move(Part));
+        Results.push_back(R);
+      }
+      int Out = -1;
+      State Joined = mergeStates(std::move(Outs), std::move(Results), Out);
+      S = std::move(Joined);
+      return Out;
+    }
+  }
+
+  // Type prediction (§2, §3.2.2).
+  if (P.TypePrediction && P.Inlining && AllowPrediction && !M) {
+    if (isIntPredictedSelector(*Sel) && !RT->excludesInt(W)) {
+      Node *Test = emit(S, NodeOp::TestInt, 2);
+      Test->A = RecvVreg;
+      ++Stats.TypeTestsEmitted;
+      State IntS = forkState(S, Test, 0);
+      State OtherS = forkState(S, Test, 1);
+      auto Hull = rangeHull(RT);
+      refineType(IntS, RecvVreg,
+                 Hull ? TC.intRange(Hull->first, Hull->second)
+                      : TC.intClass());
+      refineType(OtherS, RecvVreg, TC.difference(RT, TC.intClass()));
+      int R1 = evalSend(IntS, RecvVreg, Sel, Args, Ctx, false);
+      int R2 = evalSend(OtherS, RecvVreg, Sel, Args, Ctx, false);
+      std::vector<State> Outs{std::move(IntS), std::move(OtherS)};
+      int Out = -1;
+      State Joined = mergeStates(std::move(Outs), {R1, R2}, Out);
+      S = std::move(Joined);
+      return Out;
+    }
+    bool BoolPredicted = Sel == CS.IfTrue || Sel == CS.IfFalse ||
+                         Sel == CS.IfTrueFalse || Sel == CS.IfFalseTrue ||
+                         *Sel == "and:" || *Sel == "or:" || *Sel == "not";
+    if (BoolPredicted && (!RT->excludesMap(W, W.trueMap()) ||
+                          !RT->excludesMap(W, W.falseMap()))) {
+      std::vector<State> Outs;
+      std::vector<int> Results;
+      State Cur = S;
+      for (Map *BM : {W.trueMap(), W.falseMap()}) {
+        if (Cur.Dead || RT->excludesMap(W, BM))
+          continue;
+        Node *Test = emit(Cur, NodeOp::TestMap, 2);
+        Test->A = RecvVreg;
+        Test->MapArg = BM;
+        ++Stats.TypeTestsEmitted;
+        State Match = forkState(Cur, Test, 0);
+        refineType(Match, RecvVreg,
+                   TC.constantOf(BM == W.trueMap() ? W.trueValue()
+                                                   : W.falseValue()));
+        Results.push_back(evalSend(Match, RecvVreg, Sel, Args, Ctx, false));
+        Outs.push_back(std::move(Match));
+        Cur = forkState(Cur, Test, 1);
+        refineType(Cur, RecvVreg, TC.difference(typeOf(Cur, RecvVreg),
+                                                TC.classOf(BM)));
+      }
+      Results.push_back(emitDynamicSend(Cur, RecvVreg, Sel, Args));
+      Outs.push_back(std::move(Cur));
+      int Out = -1;
+      State Joined = mergeStates(std::move(Outs), std::move(Results), Out);
+      S = std::move(Joined);
+      return Out;
+    }
+  }
+
+  return emitDynamicSend(S, RecvVreg, Sel, Args);
+}
+
+int Analyzer::inlineMethod(State &S, const Code *Body, const std::string *Sel,
+                           int RecvVreg, const std::vector<int> &Args,
+                           EvalCtx &Ctx) {
+  ++Stats.SendsInlined;
+  int Base = NextVreg;
+  NextVreg += static_cast<int>(Body->Slots.size());
+  ScopeInst *Inst = G.newInst(Body, nullptr, Base, RecvVreg);
+
+  if (Body->HasCaptured) {
+    Node *Es = emit(S, NodeOp::EnterScope, 1);
+    Es->Inst = Inst;
+  }
+
+  // Bind arguments and initialize locals.
+  for (size_t K = 0; K < Body->Slots.size(); ++K) {
+    const Code::VarSlot &Slot = Body->Slots[K];
+    int SlotVreg = Base + static_cast<int>(K);
+    int Src;
+    const Type *SrcT;
+    if (Slot.IsArgument) {
+      Src = Args[K];
+      SrcT = typeOf(S, Src);
+    } else {
+      Value Init = Slot.InitIsInt ? Value::fromInt(Slot.InitInt)
+                   : Slot.InitStr
+                       ? Value::fromObject(W.newString(*Slot.InitStr))
+                       : W.nilValue();
+      Src = newVreg();
+      Node *C = emit(S, NodeOp::Const, 1);
+      C->Dst = Src;
+      C->Val = Init;
+      SrcT = TC.constantOf(Init);
+    }
+    if (Slot.Storage == VarStorage::Env) {
+      Node *Vs = emit(S, NodeOp::VarSet, 1);
+      Vs->Inst = Inst;
+      Vs->Idx = static_cast<int>(K);
+      Vs->A = Src;
+    } else {
+      Node *Mv = emit(S, NodeOp::Move, 1);
+      Mv->Dst = SlotVreg;
+      Mv->A = Src;
+    }
+    setType(S, SlotVreg, P.TrackLocalTypes ? SrcT : TC.unknown());
+    SlotVregSet.insert(SlotVreg);
+    noteVarWrite(S, SlotVreg, provRoot(S, Src));
+  }
+
+  ReturnCollector RC;
+  ActiveReturns[Inst] = &RC;
+  InlineStack.push_back(Body);
+  EvalCtx Inner;
+  Inner.Inst = Inst;
+  Inner.Depth = Ctx.Depth + 1;
+
+  int Last = evalBody(S, Body, Inner);
+
+  InlineStack.pop_back();
+  ActiveReturns.erase(Inst);
+  (void)Sel;
+
+  int DefaultResult = Last >= 0 ? Last : RecvVreg;
+  if (RC.States.empty())
+    return DefaultResult;
+
+  std::vector<State> Ends = std::move(RC.States);
+  std::vector<int> Results = std::move(RC.Results);
+  Ends.push_back(std::move(S));
+  Results.push_back(DefaultResult);
+  int Out = -1;
+  State Joined = mergeStates(std::move(Ends), std::move(Results), Out);
+  S = std::move(Joined);
+  return Out;
+}
+
+int Analyzer::inlineBlockBody(State &S, const Type *ClosureT,
+                              int ClosureVreg,
+                              const std::vector<int> &Args, EvalCtx &Ctx) {
+  const BlockExpr *B = ClosureT->closureBlock();
+  const Code *Body = &B->Body;
+  int Occurrences = 0;
+  for (const ast::Code *C : InlineStack)
+    if (C == Body)
+      ++Occurrences;
+  if (Occurrences >= 3 || Ctx.Depth >= P.MaxInlineDepth) {
+    // Fall back to a dynamic `value...` send on the materialized closure
+    // (its MakeBlock node is still in the graph and stays live).
+    const std::string *Sel =
+        W.selectors().valueSelector(static_cast<int>(Args.size()));
+    return emitDynamicSend(S, ClosureVreg, Sel, Args);
+  }
+  ++Stats.SendsInlined;
+  ScopeInst *Parent = ClosureT->closureInst();
+  int Base = NextVreg;
+  NextVreg += static_cast<int>(Body->Slots.size());
+  ScopeInst *Inst = G.newInst(Body, Parent, Base, Parent->SelfVreg);
+
+  if (Body->HasCaptured) {
+    Node *Es = emit(S, NodeOp::EnterScope, 1);
+    Es->Inst = Inst;
+  }
+  for (size_t K = 0; K < Body->Slots.size(); ++K) {
+    const Code::VarSlot &Slot = Body->Slots[K];
+    int SlotVreg = Base + static_cast<int>(K);
+    int Src;
+    const Type *SrcT;
+    if (Slot.IsArgument) {
+      Src = Args[K];
+      SrcT = typeOf(S, Src);
+    } else {
+      Value Init = Slot.InitIsInt ? Value::fromInt(Slot.InitInt)
+                   : Slot.InitStr
+                       ? Value::fromObject(W.newString(*Slot.InitStr))
+                       : W.nilValue();
+      Src = newVreg();
+      Node *C = emit(S, NodeOp::Const, 1);
+      C->Dst = Src;
+      C->Val = Init;
+      SrcT = TC.constantOf(Init);
+    }
+    if (Slot.Storage == VarStorage::Env) {
+      Node *Vs = emit(S, NodeOp::VarSet, 1);
+      Vs->Inst = Inst;
+      Vs->Idx = static_cast<int>(K);
+      Vs->A = Src;
+    } else {
+      Node *Mv = emit(S, NodeOp::Move, 1);
+      Mv->Dst = SlotVreg;
+      Mv->A = Src;
+    }
+    setType(S, SlotVreg, P.TrackLocalTypes ? SrcT : TC.unknown());
+    SlotVregSet.insert(SlotVreg);
+    noteVarWrite(S, SlotVreg, provRoot(S, Src));
+  }
+
+  InlineStack.push_back(Body);
+  EvalCtx Inner;
+  Inner.Inst = Inst;
+  Inner.Depth = Ctx.Depth + 1;
+  int Last = evalBody(S, Body, Inner);
+  InlineStack.pop_back();
+
+  if (Last >= 0)
+    return Last;
+  int T = newVreg();
+  if (!S.Dead) {
+    Node *C = emit(S, NodeOp::Const, 1);
+    C->Dst = T;
+    C->Val = W.nilValue();
+    setType(S, T, TC.constantOf(W.nilValue()));
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean branching
+//===----------------------------------------------------------------------===//
+
+std::pair<Analyzer::State, Analyzer::State>
+Analyzer::branchOnBoolean(State S, int CondVreg, EvalCtx &Ctx) {
+  State DeadS;
+  DeadS.Dead = true;
+  if (S.Dead)
+    return {DeadS, DeadS};
+
+  const Type *T = typeOf(S, CondVreg);
+  if (auto C = T->constant()) {
+    if (*C == W.trueValue())
+      return {std::move(S), DeadS};
+    if (*C == W.falseValue())
+      return {DeadS, std::move(S)};
+  }
+
+  // Split a merge-typed condition back to its sources: this is how an
+  // inlined comparison's true/false constants turn into direct branches.
+  if (T->isMerge() && (P.ExtendedSplitting || P.LocalSplitting) &&
+      P.Inlining) {
+    std::vector<State> Parts;
+    if (trySplitAtMerge(S, CondVreg, Parts)) {
+      std::vector<State> TrueSide, FalseSide;
+      for (State &Part : Parts) {
+        auto [Ts, Fs] = branchOnBoolean(std::move(Part), CondVreg, Ctx);
+        TrueSide.push_back(std::move(Ts));
+        FalseSide.push_back(std::move(Fs));
+      }
+      int Dummy = -1;
+      State TrueS = mergeStates(std::move(TrueSide), {}, Dummy);
+      State FalseS = mergeStates(std::move(FalseSide), {}, Dummy);
+      return {std::move(TrueS), std::move(FalseS)};
+    }
+  }
+
+  if (T->excludesMap(W, W.trueMap()) && T->excludesMap(W, W.falseMap())) {
+    emitError(S, "expected a boolean");
+    return {DeadS, DeadS};
+  }
+
+  // Run-time dispatch on the boolean's map.
+  Node *TestT = emit(S, NodeOp::TestMap, 2);
+  TestT->A = CondVreg;
+  TestT->MapArg = W.trueMap();
+  ++Stats.TypeTestsEmitted;
+  State TrueS = forkState(S, TestT, 0);
+  refineType(TrueS, CondVreg, TC.constantOf(W.trueValue()));
+
+  State Rest = forkState(S, TestT, 1);
+  Node *TestF = emit(Rest, NodeOp::TestMap, 2);
+  TestF->A = CondVreg;
+  TestF->MapArg = W.falseMap();
+  ++Stats.TypeTestsEmitted;
+  State FalseS = forkState(Rest, TestF, 0);
+  refineType(FalseS, CondVreg, TC.constantOf(W.falseValue()));
+  State ErrS = forkState(Rest, TestF, 1);
+  emitError(ErrS, "expected a boolean");
+  return {std::move(TrueS), std::move(FalseS)};
+}

@@ -1,0 +1,224 @@
+//===-- compiler/analyze.h - The optimizing compiler ------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Analyzer implements the paper's new compilation phase: it constructs
+/// the control flow graph from ASTs while *simultaneously* performing type
+/// analysis, message/primitive inlining, type prediction, local and
+/// extended message splitting, and iterative type analysis for loops. Its
+/// methods are spread over analyze.cpp (expressions, sends, primitives),
+/// split.cpp (extended splitting and the per-node transfer functions), and
+/// loops.cpp (iterative analysis and multi-version loops); lower.cpp turns
+/// the finished graph into bytecode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_ANALYZE_H
+#define MINISELF_COMPILER_ANALYZE_H
+
+#include "compiler/cfg.h"
+#include "compiler/compile.h"
+#include "compiler/policy.h"
+#include "parser/ast.h"
+#include "runtime/lookup.h"
+#include "runtime/world.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace mself {
+
+class Analyzer {
+public:
+  Analyzer(World &W, const Policy &P, const CompileRequest &Req);
+
+  std::unique_ptr<CompiledFunction> compile();
+
+  /// One point in the analysis: where the next node attaches (Tail's
+  /// successor slot Slot) and what the variables are known to hold there.
+  struct State {
+    Node *Tail = nullptr;
+    int Slot = 0;
+    TypeMap Types;
+    /// Value provenance: temp vreg -> the variable (slot vreg) whose value
+    /// it currently holds. A run-time type test on the temp then refines
+    /// the *variable's* binding as well — the paper's type tests "alter
+    /// the type bindings of their arguments" (§3.2.1), and variables are
+    /// the bindings that persist across loop iterations.
+    std::map<int, int> Prov;
+    bool Dead = false;
+  };
+
+  /// Everything that depends on the inline nesting at an eval site.
+  struct EvalCtx {
+    ScopeInst *Inst = nullptr;
+    int Depth = 0; ///< Inline nesting depth.
+  };
+
+private:
+  friend std::unique_ptr<CompiledFunction>
+  lowerGraph(World &W, const Policy &P, const CompileRequest &Req, Graph &G,
+             int NumVregs, CompileStats Stats);
+
+  //===--- plumbing (analyze.cpp) -----------------------------------------===//
+
+  int newVreg() { return NextVreg++; }
+  const Type *typeOf(const State &S, int Vreg) const;
+  void setType(State &S, int Vreg, const Type *T);
+  /// Refines \p Vreg's type and, when its provenance is intact, the
+  /// originating variable's binding (only ever narrowing it).
+  void refineType(State &S, int Vreg, const Type *T);
+  /// \returns the slot vreg whose value \p Vreg holds, or -1.
+  int provRoot(const State &S, int Vreg) const;
+  /// Records that variable \p SlotVreg was (re)assigned: stale provenance
+  /// entries rooted at it die; \p NewRoot (if >= 0) chains assignments.
+  void noteVarWrite(State &S, int SlotVreg, int NewRoot);
+  Node *emit(State &S, NodeOp Op, int NumSuccs);
+  /// Forks a state onto successor slot \p Slot of branch node \p N.
+  State forkState(const State &S, Node *N, int Slot) const;
+  /// Terminates \p S with a runtime error.
+  void emitError(State &S, const std::string &Msg);
+  /// Joins states; alive inputs' \p ResultVregs are moved into one fresh
+  /// vreg. \returns the joined state and sets \p ResultOut.
+  State mergeStates(std::vector<State> States, std::vector<int> ResultVregs,
+                    int &ResultOut);
+  /// Marks the free variables of \p ClosureT's block escaped (their types
+  /// become unknown and stay invalidated across dynamic calls).
+  void escapeClosure(const Type *ClosureT);
+  void escapeIfClosure(const State &S, int Vreg);
+  /// After a dynamic send/prim: escaped variables may have been mutated.
+  void invalidateEscaped(State &S);
+  /// Collects (scope, slot) pairs of variables a block subtree assigns
+  /// outside itself.
+  void collectFreeWrites(const ast::Code *C,
+                         std::set<std::pair<const ast::Code *, int>> &Out);
+  void collectFreeReads(const ast::Code *C,
+                        std::set<std::pair<const ast::Code *, int>> &Out);
+  /// Resolves a (scope, slot) to its vreg through the instance chain.
+  int resolveSlotVreg(ScopeInst *From, const ast::Code *Scope, int Slot) const;
+  /// AST size of a code body, for the inline budget.
+  int astSize(const ast::Code *C);
+  /// True when \p C contains a block literal whose body performs `^`:
+  /// such methods are never inlined (an escaping block could not target
+  /// the merged activation with its non-local return).
+  bool hasNLRBlock(const ast::Code *C);
+
+  //===--- expressions and sends (analyze.cpp) ----------------------------===//
+
+  int evalBody(State &S, const ast::Code *C, EvalCtx &Ctx);
+  int evalExpr(State &S, const ast::Expr *E, EvalCtx &Ctx);
+  int evalSend(State &S, int RecvVreg, const std::string *Sel,
+               const std::vector<int> &Args, EvalCtx &Ctx,
+               bool AllowPrediction = true);
+  int evalPrim(State &S, const ast::PrimCall *E, EvalCtx &Ctx);
+  int inlineMethod(State &S, const ast::Code *Body, const std::string *Sel,
+                   int RecvVreg, const std::vector<int> &Args, EvalCtx &Ctx);
+  int inlineBlockBody(State &S, const Type *ClosureT, int ClosureVreg,
+                      const std::vector<int> &Args, EvalCtx &Ctx);
+  /// Emits a dynamically-bound send.
+  int emitDynamicSend(State &S, int RecvVreg, const std::string *Sel,
+                      const std::vector<int> &Args);
+  /// Splits control on a boolean-valued vreg: \returns true/false states.
+  std::pair<State, State> branchOnBoolean(State S, int CondVreg,
+                                          EvalCtx &Ctx);
+  /// The arithmetic/comparison primitive bodies.
+  int evalIntArith(State &S, ArithKind K, int RecvVreg, int ArgVreg,
+                   const ast::Expr *OnFail, EvalCtx &Ctx);
+  int evalIntCompare(State &S, Cond C, int RecvVreg, int ArgVreg,
+                     const ast::Expr *OnFail, EvalCtx &Ctx);
+  /// Runs the failure handler (inlining literal blocks). \returns result.
+  int evalFailHandler(State &S, const ast::Expr *OnFail, EvalCtx &Ctx);
+  /// Ensures \p Vreg holds a small int, branching to the failure handler
+  /// otherwise. Folds to nothing when the type proves it. Returns the fail
+  /// state (possibly dead) through \p FailStates/\p FailResults.
+  void requireInt(State &S, int Vreg, const ast::Expr *OnFail, EvalCtx &Ctx,
+                  std::vector<State> &FailStates,
+                  std::vector<int> &FailResults);
+  void requireMap(State &S, int Vreg, Map *M, const ast::Expr *OnFail,
+                  EvalCtx &Ctx, std::vector<State> &FailStates,
+                  std::vector<int> &FailResults);
+
+  //===--- splitting (split.cpp) ------------------------------------------===//
+
+  /// Extended (and local) message splitting (§4): if \p Vreg's type at \p S
+  /// is a merge type whose origin merge is close enough, repartition the
+  /// merge's predecessors and clone the intervening nodes, producing one
+  /// state per constituent group with refined types.
+  bool trySplitAtMerge(const State &S, int Vreg, std::vector<State> &Out);
+
+  enum class Transfer : uint8_t {
+    Keep,     ///< Node stays; types updated.
+    Fold,     ///< Node proven unnecessary on this path; skip it.
+    DeadPath, ///< This path cannot continue through the taken successor.
+  };
+  /// Recomputes types across \p N when its taken successor is \p TakenSlot.
+  /// \p N may be mutated (e.g. checked arithmetic relaxed to raw) when the
+  /// recomputed types prove a check redundant.
+  Transfer applyTransfer(Node *N, int TakenSlot, TypeMap &Types);
+
+  //===--- loops (loops.cpp) -----------------------------------------------===//
+
+  int buildWhileLoop(State &S, const Type *CondClosure, int CondVreg,
+                     const Type *BodyClosure, int BodyVreg, bool Until,
+                     EvalCtx &Ctx);
+
+  struct ReturnCollector;
+  struct LoopVersion {
+    Node *Head = nullptr;
+    TypeMap Bindings;
+  };
+  /// Analyzes one pass of condition + body from \p Head. Appends exit
+  /// states to \p Exits; \returns the loop-tail state (dead if the body
+  /// never reaches the back edge).
+  State analyzeLoopBody(Node *Head, const TypeMap &Bindings,
+                        const Type *CondClosure, int CondVreg,
+                        const Type *BodyClosure, int BodyVreg, bool Until,
+                        EvalCtx &Ctx, std::vector<State> &Exits);
+  /// Snapshot of every active return collector's length, used to roll
+  /// back `^` states recorded inside a discarded loop analysis pass.
+  std::vector<std::pair<ReturnCollector *, size_t>> captureReturnMarks();
+  void rollbackReturns(
+      const std::vector<std::pair<ReturnCollector *, size_t>> &Marks);
+  /// The paper's compatibility rule (§5.2).
+  bool headCompatible(const TypeMap &Head, const TypeMap &Tail,
+                      bool Relaxed) const;
+  TypeMap generalizeBindings(const TypeMap &Head, const TypeMap &Tail);
+
+  //===--- members ----------------------------------------------------------===//
+
+  World &W;
+  const Policy &P;
+  CompileRequest Req;
+  TypeContext TC;
+  Graph G;
+  CompileStats Stats;
+
+  int NextVreg = 0;
+  ScopeInst *RootInst = nullptr;
+  std::set<int> EscapedVars;
+  std::set<int> SlotVregSet; ///< Every vreg that backs a variable slot.
+  std::vector<const ast::Code *> InlineStack;
+
+  /// Return collectors for the method bodies currently being inlined.
+  struct ReturnCollector {
+    std::vector<State> States;
+    std::vector<int> Results;
+  };
+  std::unordered_map<const ScopeInst *, ReturnCollector *> ActiveReturns;
+  std::unordered_map<const ast::Code *, int> AstSizeCache;
+  std::unordered_map<const ast::Code *, bool> NLRBlockCache;
+};
+
+/// Lowers a finished graph to bytecode (lower.cpp).
+std::unique_ptr<CompiledFunction> lowerGraph(World &W, const Policy &P,
+                                             const CompileRequest &Req,
+                                             Graph &G, int NumVregs,
+                                             CompileStats Stats);
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_ANALYZE_H

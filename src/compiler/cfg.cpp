@@ -1,0 +1,61 @@
+//===-- compiler/cfg.cpp - Control flow graph nodes -------------------------===//
+
+#include "compiler/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mself;
+
+Node *Graph::newNode(NodeOp Op, int NumSuccs) {
+  Nodes.push_back(std::make_unique<Node>());
+  Node *N = Nodes.back().get();
+  N->Op = Op;
+  N->Id = NextId++;
+  N->Succs.assign(static_cast<size_t>(NumSuccs), nullptr);
+  return N;
+}
+
+void Graph::connect(Node *From, int Slot, Node *To) {
+  assert(Slot >= 0 && Slot < From->numSuccs() && "bad successor slot");
+  assert(From->Succs[static_cast<size_t>(Slot)] == nullptr &&
+         "successor slot already connected");
+  From->Succs[static_cast<size_t>(Slot)] = To;
+  To->Preds.push_back(From);
+}
+
+void Graph::addMergePred(Node *Merge, Node *From, int Slot) {
+  assert((Merge->Op == NodeOp::MergeNode || Merge->Op == NodeOp::LoopHead) &&
+         "addMergePred target must be a join node");
+  connect(From, Slot, Merge);
+}
+
+void Graph::truncate(size_t Mark) {
+  assert(Mark <= Nodes.size() && "bad truncation mark");
+  // Remove edges from surviving nodes into the discarded region first.
+  for (size_t I = 0; I < Mark; ++I) {
+    Node *N = Nodes[I].get();
+    for (Node *&S : N->Succs)
+      if (S && static_cast<size_t>(S->Id) >= Mark)
+        S = nullptr;
+    N->Preds.erase(std::remove_if(N->Preds.begin(), N->Preds.end(),
+                                  [Mark](Node *P) {
+                                    return static_cast<size_t>(P->Id) >= Mark;
+                                  }),
+                   N->Preds.end());
+  }
+  Nodes.resize(Mark);
+  NextId = static_cast<int>(Mark);
+}
+
+ScopeInst *Graph::newInst(const ast::Code *Scope, ScopeInst *Parent,
+                          int VregBase, int SelfVreg) {
+  Insts.push_back(std::make_unique<ScopeInst>());
+  ScopeInst *I = Insts.back().get();
+  I->Scope = Scope;
+  I->ParentInst = Parent;
+  I->VregBase = VregBase;
+  I->SelfVreg = SelfVreg;
+  I->Id = NextInstId++;
+  return I;
+}

@@ -1,0 +1,154 @@
+//===-- compiler/cfg.h - Control flow graph nodes ---------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control flow graph the analyzer builds while it inlines (§3-§5).
+/// Node kinds mirror the paper's: simple data movement, raw vs. checked
+/// arithmetic (the checked forms are the robust-primitive residue the
+/// optimizer tries to eliminate), compare-and-branch, run-time type tests,
+/// dynamically-bound sends, merges, and loop heads. Values are virtual
+/// registers ("vregs"); merges are by register convergence (every incoming
+/// path writes the same vreg), so no phi nodes are needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_CFG_H
+#define MINISELF_COMPILER_CFG_H
+
+#include "bytecode/bytecode.h"
+#include "compiler/type.h"
+#include "runtime/primitives.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+namespace ast {
+struct BlockExpr;
+struct Code;
+} // namespace ast
+
+/// One inline instantiation of a method or block scope. Slot I of the scope
+/// lives in vreg VregBase + I.
+struct ScopeInst {
+  const ast::Code *Scope = nullptr;
+  ScopeInst *ParentInst = nullptr; ///< Lexical parent's instance (in-unit).
+  int VregBase = 0;
+  int SelfVreg = 0;
+  int EnvVreg = -1; ///< Assigned when the scope's environment materializes.
+  int Id = 0;
+};
+
+enum class ArithKind : uint8_t { Add, Sub, Mul, Div, Mod };
+
+enum class NodeOp : uint8_t {
+  Start,
+  Const,       ///< Dst <- Val
+  Move,        ///< Dst <- A
+  GetField,    ///< Dst <- A.fields[Idx]
+  SetField,    ///< A.fields[Idx] <- B
+  GetFieldK,   ///< Dst <- Val(object).fields[Idx]   (known holder object)
+  SetFieldK,   ///< Val(object).fields[Idx] <- A
+  ArithRR,     ///< Dst <- A op B; overflow proven impossible.
+  ArithCk,     ///< Dst <- A op B; succs [ok, overflow/zero-divide].
+  CompareBr,   ///< branch on A cond B; succs [true, false]. Ints proven
+               ///< except for identity conditions.
+  TestInt,     ///< succs [A is small int, A is not].
+  TestMap,     ///< succs [A's map == MapArg, differs].
+  ArrAt,       ///< Dst <- A[B]; succs [in bounds, out of bounds].
+  ArrAtRaw,    ///< Dst <- A[B]; bounds proven.
+  ArrAtPut,    ///< A[B] <- C; succs [ok, out of bounds].
+  ArrAtPutRaw, ///< A[B] <- C
+  ArrSize,     ///< Dst <- size of A (proven array).
+  SendNode,    ///< Dst <- dynamically-bound send; Args[0] is the receiver.
+  PrimNode,    ///< Dst <- full primitive call; succs [ok] or [ok, fail].
+  VarGet,      ///< Dst <- captured variable (Inst, Idx).
+  VarSet,      ///< captured variable (Inst, Idx) <- A.
+  VarGetOuter, ///< Dst <- out-of-unit variable at (Hops=Idx2, EnvIdx=Idx).
+  VarSetOuter, ///< out-of-unit variable <- A.
+  EnterScope,  ///< Environment creation point for Inst (if materialized).
+  MakeBlockNode, ///< Dst <- closure over Block in context Inst.
+  MergeNode,   ///< Control-flow join; TypesAt snapshots the outgoing map.
+  LoopHead,    ///< Loop entry join (§5); TypesAt is the assumed bindings.
+  ReturnNode,  ///< Return A from the activation.
+  NLRetNode,   ///< Non-local return of A to the home activation.
+  ErrorNode,   ///< Dead end: report Msg as a runtime error.
+};
+
+/// Analysis-time variable binding table: vreg -> type.
+using TypeMap = std::map<int, const Type *>;
+
+struct Node {
+  NodeOp Op = NodeOp::Start;
+  int Id = 0;
+
+  int Dst = -1, A = -1, B = -1, C = -1;
+  int Idx = 0;  ///< Field index / env index.
+  int Idx2 = 0; ///< Env hop count (VarGetOuter/VarSetOuter).
+  ArithKind Arith = ArithKind::Add;
+  Cond CondCode = Cond::Lt;
+  Value Val;
+  Map *MapArg = nullptr;
+  const std::string *Sel = nullptr;
+  PrimId Prim = PrimId::Invalid;
+  std::vector<int> Args; ///< Send/Prim operand vregs (Args[0] = receiver).
+  const ast::BlockExpr *Block = nullptr;
+  ScopeInst *Inst = nullptr;
+  std::string Msg;
+
+  /// Fixed-arity successor slots (see numSuccs); null until connected.
+  std::vector<Node *> Succs;
+  std::vector<Node *> Preds;
+
+  /// Merge/LoopHead: the variable bindings on the outgoing edge.
+  TypeMap TypesAt;
+  /// Set when splitting attached extra predecessors whose types are not
+  /// reflected in merge types originating here; such merges cannot be
+  /// split again (their per-predecessor type lists are stale).
+  bool SplitUnsafe = false;
+
+  int numSuccs() const { return static_cast<int>(Succs.size()); }
+  bool isBranch() const { return Succs.size() > 1; }
+};
+
+/// Owns the nodes of one compilation. Supports truncation so iterative
+/// loop analysis can discard a rejected attempt (§5.1).
+class Graph {
+public:
+  Node *newNode(NodeOp Op, int NumSuccs);
+
+  /// Connects \p From's successor slot \p Slot to \p To.
+  void connect(Node *From, int Slot, Node *To);
+  /// Adds an incoming edge to a merge/loop-head node.
+  void addMergePred(Node *Merge, Node *From, int Slot);
+
+  size_t size() const { return Nodes.size(); }
+  /// Discards all nodes created at or after \p Mark (loop re-analysis).
+  void truncate(size_t Mark);
+
+  Node *start() { return StartNode; }
+  void setStart(Node *N) { StartNode = N; }
+
+  ScopeInst *newInst(const ast::Code *Scope, ScopeInst *Parent, int VregBase,
+                     int SelfVreg);
+  const std::vector<std::unique_ptr<ScopeInst>> &insts() const {
+    return Insts;
+  }
+
+private:
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<std::unique_ptr<ScopeInst>> Insts;
+  Node *StartNode = nullptr;
+  int NextId = 0;
+  int NextInstId = 0;
+};
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_CFG_H

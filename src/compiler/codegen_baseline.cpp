@@ -1,0 +1,306 @@
+//===-- compiler/codegen_baseline.cpp - Non-optimizing code generator ------===//
+//
+// The ST-80-style baseline: a direct AST-to-bytecode walk. Every message is
+// a dynamically-bound Send through an inline cache; every primitive is a
+// full robust Prim call; every block literal materializes a closure; and
+// control structures execute as real sends to boolean/block objects. This
+// is the "fastest commercially available dynamically-typed implementation"
+// point in the paper's comparison: dynamic translation with inline caches
+// but no type analysis and no inlining.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compile.h"
+
+#include "compiler/emit.h"
+#include "runtime/primitives.h"
+#include "vm/object.h"
+
+#include <cassert>
+
+using namespace mself;
+using namespace mself::ast;
+
+namespace {
+
+class BaselineCodegen {
+public:
+  BaselineCodegen(World &W, const Policy &P, const CompileRequest &Req)
+      : W(W), P(P), Req(Req), Fn(std::make_unique<CompiledFunction>()),
+        B(*Fn), Unit(Req.Source) {}
+
+  std::unique_ptr<CompiledFunction> run() {
+    Fn->Source = Unit;
+    Fn->ReceiverMap = P.Customize ? Req.ReceiverMap : nullptr;
+    Fn->IsBlockUnit = Req.IsBlockUnit;
+    Fn->Name = Req.Name;
+    Fn->NumArgs = Unit->NumArgs;
+
+    allocFixedRegs();
+    emitPrologue();
+    emitBody();
+
+    Fn->NumRegs = B.numRegs();
+    return std::move(Fn);
+  }
+
+private:
+  World &W;
+  const Policy &P;
+  const CompileRequest &Req;
+  std::unique_ptr<CompiledFunction> Fn;
+  FunctionBuilder B;
+  const Code *Unit;
+
+  std::vector<int> SlotRegs; ///< Per unit slot: register, or -1 (env).
+  int IncomingEnv = -1;      ///< Block units: the captured environment.
+  int OwnEnv = -1;           ///< This scope's environment, if it captures.
+  int CurEnv = -1;           ///< Environment register var refs start from.
+
+  void allocFixedRegs() {
+    int SelfReg = B.fixedReg();
+    (void)SelfReg;
+    assert(SelfReg == 0 && "self must be register 0");
+    SlotRegs.assign(Unit->Slots.size(), -1);
+    for (int I = 0; I < Unit->NumArgs; ++I) {
+      int R = B.fixedReg();
+      SlotRegs[static_cast<size_t>(I)] = R;
+    }
+    for (size_t I = static_cast<size_t>(Unit->NumArgs);
+         I < Unit->Slots.size(); ++I)
+      if (Unit->Slots[I].Storage == VarStorage::Reg)
+        SlotRegs[I] = B.fixedReg();
+    if (Req.IsBlockUnit) {
+      IncomingEnv = B.fixedReg();
+      Fn->IncomingEnvReg = IncomingEnv;
+    }
+    if (Unit->HasCaptured)
+      OwnEnv = B.fixedReg();
+    CurEnv = Unit->HasCaptured ? OwnEnv : IncomingEnv;
+  }
+
+  Value initValueOf(const Code::VarSlot &S) {
+    if (S.InitIsInt)
+      return Value::fromInt(S.InitInt);
+    if (S.InitStr)
+      return Value::fromObject(W.newString(*S.InitStr));
+    return W.nilValue();
+  }
+
+  void emitPrologue() {
+    if (Unit->HasCaptured) {
+      B.emit3(Op::MakeEnv, OwnEnv, Unit->EnvSlotCount, IncomingEnv);
+      // Captured arguments move from their incoming registers to the env.
+      for (int I = 0; I < Unit->NumArgs; ++I) {
+        const Code::VarSlot &S = Unit->Slots[static_cast<size_t>(I)];
+        if (S.Storage == VarStorage::Env)
+          B.emit4(Op::EnvSet, OwnEnv, 0, S.EnvIndex, 1 + I);
+      }
+    }
+    // Initialize locals.
+    for (size_t I = static_cast<size_t>(Unit->NumArgs);
+         I < Unit->Slots.size(); ++I) {
+      const Code::VarSlot &S = Unit->Slots[I];
+      Value Init = initValueOf(S);
+      if (S.Storage == VarStorage::Reg) {
+        emitLoadValue(SlotRegs[I], Init);
+      } else {
+        int Mark = B.tempMark();
+        int T = B.allocTemp();
+        emitLoadValue(T, Init);
+        B.emit4(Op::EnvSet, OwnEnv, 0, S.EnvIndex, T);
+        B.resetTemps(Mark);
+      }
+    }
+  }
+
+  void emitLoadValue(int Dst, Value V) {
+    if (V.isInt() && V.asInt() >= INT32_MIN && V.asInt() <= INT32_MAX) {
+      B.emit2(Op::LoadInt, Dst, static_cast<int>(V.asInt()));
+      return;
+    }
+    B.emit2(Op::LoadConst, Dst, B.literal(V));
+  }
+
+  void emitBody() {
+    const std::vector<Expr *> &Body = Unit->Body;
+    if (Body.empty()) {
+      if (Req.IsBlockUnit) {
+        int T = B.allocTemp();
+        emitLoadValue(T, W.nilValue());
+        B.emit1(Op::Return, T);
+      } else {
+        B.emit1(Op::Return, 0); // Empty methods return self.
+      }
+      return;
+    }
+    for (size_t I = 0; I + 1 < Body.size(); ++I) {
+      int Mark = B.tempMark();
+      eval(Body[I]);
+      B.resetTemps(Mark);
+    }
+    int R = eval(Body.back());
+    B.emit1(Op::Return, R);
+  }
+
+  int eval(const Expr *E) {
+    switch (E->Kind) {
+    case ExprKind::IntLit: {
+      int T = B.allocTemp();
+      emitLoadValue(T, Value::fromInt(static_cast<const IntLit *>(E)->Val));
+      return T;
+    }
+    case ExprKind::StrLit: {
+      int T = B.allocTemp();
+      Value S = Value::fromObject(
+          W.newString(*static_cast<const StrLit *>(E)->Text));
+      B.emit2(Op::LoadConst, T, B.literal(S));
+      return T;
+    }
+    case ExprKind::SelfRef:
+      return 0;
+    case ExprKind::VarGet:
+      return evalVarGet(static_cast<const VarGet *>(E));
+    case ExprKind::VarSet:
+      return evalVarSet(static_cast<const VarSet *>(E));
+    case ExprKind::Send:
+      return evalSend(static_cast<const Send *>(E));
+    case ExprKind::PrimCall:
+      return evalPrim(static_cast<const PrimCall *>(E));
+    case ExprKind::BlockLit: {
+      int T = B.allocTemp();
+      B.emit4(Op::MakeBlock, T,
+              B.blockIndex(static_cast<const BlockLit *>(E)->Block), CurEnv,
+              0);
+      return T;
+    }
+    case ExprKind::Return: {
+      int V = eval(static_cast<const Return *>(E)->Val);
+      B.emit1(Req.IsBlockUnit ? Op::NLRet : Op::Return, V);
+      return V; // Unreachable afterwards; any register will do.
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return 0;
+  }
+
+  /// \returns (EnvReg, Hops, Index) placement for an env-stored slot.
+  void envPlacement(const Code *S, int SlotIndex, int &EnvReg, int &Hops,
+                    int &Index) {
+    const Code::VarSlot &V = S->Slots[static_cast<size_t>(SlotIndex)];
+    assert(V.Storage == VarStorage::Env && "placement of a register slot");
+    Index = V.EnvIndex;
+    if (S == Unit) {
+      EnvReg = OwnEnv;
+      Hops = 0;
+      return;
+    }
+    assert(CurEnv >= 0 && "outer variable access without an environment");
+    EnvReg = CurEnv;
+    Hops = Unit->EnvLevel - S->EnvLevel;
+    assert(Hops >= 0 && "environment hop count cannot be negative");
+  }
+
+  int evalVarGet(const VarGet *E) {
+    if (E->Scope == Unit &&
+        Unit->Slots[static_cast<size_t>(E->SlotIndex)].Storage ==
+            VarStorage::Reg)
+      return SlotRegs[static_cast<size_t>(E->SlotIndex)];
+    int EnvReg, Hops, Index;
+    envPlacement(E->Scope, E->SlotIndex, EnvReg, Hops, Index);
+    int T = B.allocTemp();
+    B.emit4(Op::EnvGet, T, EnvReg, Hops, Index);
+    return T;
+  }
+
+  int evalVarSet(const VarSet *E) {
+    int V = eval(E->Val);
+    // Copy into a fresh temp so the expression's value survives even if the
+    // assigned location is written again within the same statement.
+    int T = B.allocTemp();
+    B.emit2(Op::Move, T, V);
+    if (E->Scope == Unit &&
+        Unit->Slots[static_cast<size_t>(E->SlotIndex)].Storage ==
+            VarStorage::Reg) {
+      B.emit2(Op::Move, SlotRegs[static_cast<size_t>(E->SlotIndex)], T);
+      return T;
+    }
+    int EnvReg, Hops, Index;
+    envPlacement(E->Scope, E->SlotIndex, EnvReg, Hops, Index);
+    B.emit4(Op::EnvSet, EnvReg, Hops, Index, T);
+    return T;
+  }
+
+  /// Evaluates receiver + args, then copies them into a fresh contiguous
+  /// register window. \returns the window base.
+  int buildWindow(const Expr *Recv, const std::vector<Expr *> &Args) {
+    int RecvReg = Recv ? eval(Recv) : 0;
+    std::vector<int> ArgRegs;
+    ArgRegs.reserve(Args.size());
+    for (const Expr *A : Args)
+      ArgRegs.push_back(eval(A));
+    int Win = B.allocTemp();
+    for (size_t I = 0; I < Args.size(); ++I)
+      B.allocTemp();
+    B.emit2(Op::Move, Win, RecvReg);
+    for (size_t I = 0; I < ArgRegs.size(); ++I)
+      B.emit2(Op::Move, Win + 1 + static_cast<int>(I), ArgRegs[I]);
+    return Win;
+  }
+
+  int evalSend(const Send *E) {
+    int Win = buildWindow(E->Recv, E->Args);
+    ++Fn->Stats.SendsDynamic;
+    B.emit5(Op::Send, Win, B.selector(E->Selector), Win,
+            static_cast<int>(E->Args.size()), B.cacheIndex());
+    return Win;
+  }
+
+  int evalPrim(const PrimCall *E) {
+    PrimId Id = E->Selector ? primIdFor(*E->Selector) : PrimId::Invalid;
+    int Argc = static_cast<int>(E->Args.size());
+    bool Valid = Id != PrimId::Invalid && primInfo(Id).Argc == Argc;
+
+    int Win = buildWindow(E->Recv, E->Args);
+    if (!Valid) {
+      // Unknown primitive: executing it reports a runtime error.
+      B.emit5(Op::Prim, Win, static_cast<int>(PrimId::Invalid), Win, 0, -1);
+      return Win;
+    }
+    if (!E->OnFail) {
+      B.emit5(Op::Prim, Win, static_cast<int>(Id), Win, Argc, -1);
+      return Win;
+    }
+    B.emit(Op::Prim);
+    B.operand(Win);
+    B.operand(static_cast<int>(Id));
+    B.operand(Win);
+    B.operand(Argc);
+    size_t FailAt = B.placeholder();
+    B.emit(Op::Jump);
+    size_t JoinAt = B.placeholder();
+    // Failure path: evaluate the handler, send it `value`.
+    B.patchHere(FailAt);
+    {
+      int Mark = B.tempMark();
+      int H = eval(E->OnFail);
+      int HWin = B.allocTemp();
+      B.emit2(Op::Move, HWin, H);
+      ++Fn->Stats.SendsDynamic;
+      B.emit5(Op::Send, HWin, B.selector(W.selectors().Value), HWin, 0,
+              B.cacheIndex());
+      B.emit2(Op::Move, Win, HWin);
+      B.resetTemps(Mark);
+    }
+    B.patchHere(JoinAt);
+    return Win;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<CompiledFunction>
+mself::compileBaseline(World &W, const Policy &P, const CompileRequest &Req) {
+  BaselineCodegen G(W, P, Req);
+  return G.run();
+}

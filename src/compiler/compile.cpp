@@ -1,0 +1,13 @@
+//===-- compiler/compile.cpp - Compiler entry point -------------------------===//
+
+#include "compiler/compile.h"
+
+using namespace mself;
+
+std::unique_ptr<CompiledFunction>
+mself::compileFunction(World &W, const Policy &P, const CompileRequest &Req) {
+  if (P.Inlining || P.TypeAnalysis)
+    return compileOptimized(W, P, Req);
+  return compileBaseline(W, P, Req);
+}
+

@@ -1,0 +1,42 @@
+//===-- compiler/compile.h - Compiler entry point ---------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry point dispatching a CompileRequest to the configured compiler:
+/// the baseline code generator (ST-80 policy: no inlining, every message a
+/// dynamically-bound send) or the optimizing compiler (old/new SELF
+/// policies: type analysis, inlining, splitting per the Policy flags).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_COMPILE_H
+#define MINISELF_COMPILER_COMPILE_H
+
+#include "compiler/policy.h"
+#include "interp/interp.h"
+
+#include <memory>
+
+namespace mself {
+
+/// Compiles \p Req under \p P. Never fails: malformed requests compile to
+/// code that reports a runtime error when executed.
+std::unique_ptr<CompiledFunction>
+compileFunction(World &W, const Policy &P, const CompileRequest &Req);
+
+/// The non-optimizing code generator (used directly by the ST-80 policy and
+/// as scaffolding for tests).
+std::unique_ptr<CompiledFunction>
+compileBaseline(World &W, const Policy &P, const CompileRequest &Req);
+
+/// The optimizing compiler (type analysis, inlining, splitting, iterative
+/// loop analysis; compiler/analyze.cpp).
+std::unique_ptr<CompiledFunction>
+compileOptimized(World &W, const Policy &P, const CompileRequest &Req);
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_COMPILE_H

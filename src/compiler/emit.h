@@ -1,0 +1,147 @@
+//===-- compiler/emit.h - Bytecode emission helper --------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FunctionBuilder: the bytecode assembler shared by the baseline code
+/// generator and the optimizing compiler's lowering pass. Handles register
+/// allocation (stack-discipline temporaries above the fixed prologue
+/// registers), literal/selector/map/block pools, inline-cache slots, and
+/// forward-jump fixups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_EMIT_H
+#define MINISELF_COMPILER_EMIT_H
+
+#include "bytecode/bytecode.h"
+
+#include <cassert>
+#include <vector>
+
+namespace mself {
+
+class FunctionBuilder {
+public:
+  explicit FunctionBuilder(CompiledFunction &Fn) : Fn(Fn) {}
+
+  //===--- registers ------------------------------------------------------===//
+
+  /// Reserves a register permanently (self, arguments, locals, env).
+  int fixedReg() {
+    int R = NumFixed++;
+    assert(TempTop == NumFixed - 1 && "fixed regs must precede temps");
+    TempTop = NumFixed;
+    HighWater = std::max(HighWater, TempTop);
+    return R;
+  }
+
+  /// Allocates a temporary; release in LIFO order via tempMark/resetTemps.
+  int allocTemp() {
+    int R = TempTop++;
+    HighWater = std::max(HighWater, TempTop);
+    return R;
+  }
+  int tempMark() const { return TempTop; }
+  void resetTemps(int Mark) {
+    assert(Mark >= NumFixed && Mark <= TempTop && "bad temp mark");
+    TempTop = Mark;
+  }
+
+  int numRegs() const { return HighWater; }
+
+  //===--- pools ----------------------------------------------------------===//
+
+  int literal(Value V) {
+    for (size_t I = 0; I < Fn.Literals.size(); ++I)
+      if (Fn.Literals[I] == V)
+        return static_cast<int>(I);
+    Fn.Literals.push_back(V);
+    return static_cast<int>(Fn.Literals.size()) - 1;
+  }
+  int selector(const std::string *S) {
+    for (size_t I = 0; I < Fn.SelectorPool.size(); ++I)
+      if (Fn.SelectorPool[I] == S)
+        return static_cast<int>(I);
+    Fn.SelectorPool.push_back(S);
+    return static_cast<int>(Fn.SelectorPool.size()) - 1;
+  }
+  int mapIndex(Map *M) {
+    for (size_t I = 0; I < Fn.MapPool.size(); ++I)
+      if (Fn.MapPool[I] == M)
+        return static_cast<int>(I);
+    Fn.MapPool.push_back(M);
+    return static_cast<int>(Fn.MapPool.size()) - 1;
+  }
+  int blockIndex(const ast::BlockExpr *B) {
+    Fn.BlockPool.push_back(B);
+    return static_cast<int>(Fn.BlockPool.size()) - 1;
+  }
+  int cacheIndex() {
+    Fn.Caches.emplace_back();
+    return static_cast<int>(Fn.Caches.size()) - 1;
+  }
+
+  //===--- instructions ----------------------------------------------------===//
+
+  size_t here() const { return Fn.Code.size(); }
+
+  void emit(Op O) { Fn.Code.push_back(static_cast<int32_t>(O)); }
+  void operand(int V) { Fn.Code.push_back(V); }
+
+  void emit1(Op O, int A) {
+    emit(O);
+    operand(A);
+  }
+  void emit2(Op O, int A, int B) {
+    emit(O);
+    operand(A);
+    operand(B);
+  }
+  void emit3(Op O, int A, int B, int C) {
+    emit(O);
+    operand(A);
+    operand(B);
+    operand(C);
+  }
+  void emit4(Op O, int A, int B, int C, int D) {
+    emit(O);
+    operand(A);
+    operand(B);
+    operand(C);
+    operand(D);
+  }
+  void emit5(Op O, int A, int B, int C, int D, int E) {
+    emit(O);
+    operand(A);
+    operand(B);
+    operand(C);
+    operand(D);
+    operand(E);
+  }
+
+  /// Emits an operand to be patched later; \returns its code index.
+  size_t placeholder() {
+    Fn.Code.push_back(-1);
+    return Fn.Code.size() - 1;
+  }
+  void patch(size_t At, int Target) {
+    assert(Fn.Code[At] == -1 && "double patch");
+    Fn.Code[At] = Target;
+  }
+  void patchHere(size_t At) { patch(At, static_cast<int>(here())); }
+
+  CompiledFunction &fn() { return Fn; }
+
+private:
+  CompiledFunction &Fn;
+  int NumFixed = 0;
+  int TempTop = 0;
+  int HighWater = 0;
+};
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_EMIT_H

@@ -1,0 +1,349 @@
+//===-- compiler/loops.cpp - Iterative type analysis for loops --------------===//
+//
+// Loops (§5): the loop head is a merge whose incoming back-edge types are
+// unknown until the body has been compiled, so the compiler repeatedly
+// compiles the body and compares the loop-tail bindings against the
+// loop-head assumptions until they reach a fix-point, generalizing
+// value/subrange types to class types at the head to converge quickly
+// (§5.1). With extended splitting enabled, merge-typed fix-point bindings
+// are split into a *specialized* loop version (common-case types, no type
+// tests) and a *general* version; the general version's tail connects to
+// the specialized head when its types allow, which is exactly how the
+// paper's type tests get hoisted out of the hot loop (§5.2-§5.4).
+//
+// Without iterative analysis (the old compiler), assigned locals are bound
+// to unknown at the head ("pessimistic type analysis", §5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/analyze.h"
+
+#include "bytecode/bytecode.h"
+
+#include <cassert>
+
+using namespace mself;
+using namespace mself::ast;
+
+std::vector<std::pair<Analyzer::ReturnCollector *, size_t>>
+Analyzer::captureReturnMarks() {
+  std::vector<std::pair<ReturnCollector *, size_t>> Marks;
+  for (auto &KV : ActiveReturns)
+    Marks.push_back({KV.second, KV.second->States.size()});
+  return Marks;
+}
+
+void Analyzer::rollbackReturns(
+    const std::vector<std::pair<ReturnCollector *, size_t>> &Marks) {
+  for (const auto &M : Marks) {
+    M.first->States.resize(M.second);
+    M.first->Results.resize(M.second);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compatibility and generalization (§5.1, §5.2)
+//===----------------------------------------------------------------------===//
+
+bool Analyzer::headCompatible(const TypeMap &Head, const TypeMap &Tail,
+                              bool Relaxed) const {
+  for (const auto &KV : Head) {
+    const Type *HT = KV.second;
+    auto It = Tail.find(KV.first);
+    const Type *TT =
+        It == Tail.end() ? const_cast<TypeContext &>(TC).unknown()
+                         : It->second;
+    if (HT->equals(TT))
+      continue;
+    if (!HT->contains(W, TT))
+      return false;
+    if (Relaxed)
+      continue;
+    // The head must not sacrifice class information present at the tail
+    // (§5.2): an unknown head binding is NOT compatible with a class-typed
+    // tail binding — the analysis iterates and forms a merge type instead,
+    // so the body can split the class branch off the unknown branch.
+    Map *TM = TT->definiteMap(W);
+    if (!TM || HT->definiteMap(W))
+      continue;
+    bool Preserved = false;
+    if (HT->isMerge() || HT->kind() == Type::Kind::Union)
+      for (const Type *E : HT->elems())
+        if (E->definiteMap(W) == TM && E->contains(W, TT)) {
+          Preserved = true;
+          break;
+        }
+    if (!Preserved)
+      return false;
+  }
+  return true;
+}
+
+TypeMap Analyzer::generalizeBindings(const TypeMap &Head,
+                                     const TypeMap &Tail) {
+  TypeMap Out;
+  for (const auto &KV : Head) {
+    const Type *HT = KV.second;
+    auto It = Tail.find(KV.first);
+    const Type *TT =
+        It == Tail.end() ? TC.unknown() : It->second;
+    Out[KV.first] =
+        TC.joinAtLoopHead(nullptr, HT, TT, P.LoopHeadGeneralization);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// One analysis pass over condition + body
+//===----------------------------------------------------------------------===//
+
+Analyzer::State Analyzer::analyzeLoopBody(Node *Head, const TypeMap &Bindings,
+                                          const Type *CondClosure,
+                                          int CondVreg,
+                                          const Type *BodyClosure,
+                                          int BodyVreg, bool Until,
+                                          EvalCtx &Ctx,
+                                          std::vector<State> &Exits) {
+  State S;
+  S.Tail = Head;
+  S.Slot = 0;
+  S.Types = Bindings;
+
+  int CondR = inlineBlockBody(S, CondClosure, CondVreg, {}, Ctx);
+  auto [TrueS, FalseS] = branchOnBoolean(std::move(S), CondR, Ctx);
+  State Continue = Until ? std::move(FalseS) : std::move(TrueS);
+  State Exit = Until ? std::move(TrueS) : std::move(FalseS);
+  Exits.push_back(std::move(Exit));
+  if (Continue.Dead)
+    return Continue;
+  inlineBlockBody(Continue, BodyClosure, BodyVreg, {}, Ctx);
+  return Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Picks the "good" constituent of each merge-typed binding: the loop
+/// version specialized to these bindings is the paper's common-case loop.
+bool specializeBindings(const World &W, const TypeMap &General,
+                        TypeMap &Specialized) {
+  bool Changed = false;
+  Specialized = General;
+  for (auto &KV : Specialized) {
+    const Type *T = KV.second;
+    if (!T->isMerge())
+      continue;
+    for (const Type *E : T->elems())
+      if (E->definiteMap(W)) {
+        KV.second = E;
+        Changed = true;
+        break;
+      }
+  }
+  return Changed;
+}
+
+} // namespace
+
+int Analyzer::buildWhileLoop(State &S, const Type *CondClosure,
+                             int CondVreg, const Type *BodyClosure,
+                             int BodyVreg, bool Until, EvalCtx &Ctx) {
+  if (S.Dead)
+    return newVreg();
+
+  std::vector<State> Exits;
+  size_t Mark0 = G.size();
+  int Vreg0 = NextVreg;
+  TypeMap Entry = S.Types;
+
+  // Connect a tail state to the first compatible head, splitting the tail
+  // when a merge-typed binding matches different heads (§5.2).
+  auto connectTail = [&](State Tail, std::vector<LoopVersion> &Heads,
+                         auto &&ConnectRef, int Depth) -> void {
+    if (Tail.Dead)
+      return;
+    for (LoopVersion &V : Heads)
+      if (headCompatible(V.Bindings, Tail.Types, /*Relaxed=*/false)) {
+        G.addMergePred(V.Head, Tail.Tail, Tail.Slot);
+        V.Head->SplitUnsafe = true; // Extra preds: stale per-pred types.
+        return;
+      }
+    // Try splitting the loop tail on a merge-typed variable.
+    if (Depth < 2 && P.ExtendedSplitting) {
+      for (const auto &KV : Tail.Types) {
+        if (!KV.second->isMerge())
+          continue;
+        std::vector<State> Parts;
+        if (trySplitAtMerge(Tail, KV.first, Parts)) {
+          for (State &Part : Parts)
+            ConnectRef(std::move(Part), Heads, ConnectRef, Depth + 1);
+          return;
+        }
+      }
+    }
+    // Fall back to any head that is compatible under the relaxed rule
+    // (the most general head always is, by fix-point construction).
+    for (LoopVersion &V : Heads)
+      if (headCompatible(V.Bindings, Tail.Types, /*Relaxed=*/true)) {
+        G.addMergePred(V.Head, Tail.Tail, Tail.Slot);
+        V.Head->SplitUnsafe = true;
+        return;
+      }
+    // Nothing matched (cannot happen when the general head's bindings are
+    // a fix-point); drop the path into an error to stay safe.
+    emitError(Tail, "loop tail matched no loop head");
+  };
+
+  TypeMap A = Entry;
+  Node *GeneralHead = nullptr;
+  State GeneralTail;
+  GeneralTail.Dead = true;
+  // `^` states recorded during a discarded pass would dangle; snapshot the
+  // active return collectors so rollbacks can discard them too.
+  auto ReturnMarks0 = captureReturnMarks();
+
+  if (!P.IterativeLoops) {
+    // Pessimistic type analysis (§5): anything assigned within the loop
+    // becomes unknown at the head. Discover the assigned set by compiling
+    // the body once (a static scan cannot see writes made through invoked
+    // closures) and widening every binding the pass changed.
+    {
+      size_t Mark = G.size();
+      int VregMark = NextVreg;
+      std::vector<State> ProbeExits;
+      Node *Probe = G.newNode(NodeOp::LoopHead, 1);
+      Probe->TypesAt = A;
+      State ProbeTail =
+          analyzeLoopBody(Probe, A, CondClosure, CondVreg, BodyClosure,
+                          BodyVreg, Until, Ctx, ProbeExits);
+      for (auto &KV : A) {
+        auto It = ProbeTail.Types.find(KV.first);
+        const Type *TT = It == ProbeTail.Types.end() ? TC.unknown()
+                                                     : It->second;
+        if (!ProbeTail.Dead && !KV.second->equals(TT))
+          KV.second = TC.unknown();
+      }
+      G.truncate(Mark);
+      NextVreg = VregMark;
+      rollbackReturns(ReturnMarks0);
+    }
+    ++Stats.LoopIterations;
+    GeneralHead = G.newNode(NodeOp::LoopHead, 1);
+    GeneralHead->TypesAt = A;
+    GeneralTail = analyzeLoopBody(GeneralHead, A, CondClosure, CondVreg,
+                                  BodyClosure, BodyVreg, Until, Ctx, Exits);
+  } else {
+    // Iterative type analysis (§5.1): recompile until fix-point.
+    bool Converged = false;
+    for (int Iter = 0; Iter < P.MaxLoopIterations && !Converged; ++Iter) {
+      ++Stats.LoopIterations;
+      size_t Mark = G.size();
+      int VregMark = NextVreg;
+      std::vector<State> PassExits;
+      Node *H = G.newNode(NodeOp::LoopHead, 1);
+      H->TypesAt = A;
+      State Tail = analyzeLoopBody(H, A, CondClosure, CondVreg,
+                                   BodyClosure, BodyVreg, Until, Ctx,
+                                   PassExits);
+      if (Tail.Dead || headCompatible(A, Tail.Types, /*Relaxed=*/false)) {
+        Converged = true;
+        GeneralHead = H;
+        GeneralTail = std::move(Tail);
+        for (State &E : PassExits)
+          Exits.push_back(std::move(E));
+        break;
+      }
+      A = generalizeBindings(A, Tail.Types);
+      G.truncate(Mark);
+      NextVreg = VregMark;
+      rollbackReturns(ReturnMarks0);
+    }
+    if (!Converged) {
+      // Give up: widen everything that still disagrees to unknown and
+      // accept the result under the relaxed rule.
+      for (auto &KV : A)
+        if (KV.second->isMerge())
+          KV.second = TC.unknown();
+      ++Stats.LoopIterations;
+      GeneralHead = G.newNode(NodeOp::LoopHead, 1);
+      GeneralHead->TypesAt = A;
+      GeneralTail = analyzeLoopBody(GeneralHead, A, CondClosure, CondVreg,
+                                    BodyClosure, BodyVreg, Until, Ctx,
+                                    Exits);
+    }
+  }
+
+  // Multi-version loops (§5.2): split merge-typed head bindings into a
+  // specialized common-case version plus the general version.
+  TypeMap A1;
+  bool Specialize = P.IterativeLoops && P.ExtendedSplitting &&
+                    specializeBindings(W, A, A1);
+  if (getenv("MINISELF_DEBUG_LOOPS")) {
+    fprintf(stderr, "[loop] specialize=%d bindings:\n", (int)Specialize);
+    for (auto &KV : A)
+      fprintf(stderr, "  v%d: %s\n", KV.first,
+              KV.second->describe().c_str());
+  }
+  if (!Specialize) {
+    ++Stats.LoopVersions;
+    std::vector<LoopVersion> Heads;
+    Heads.push_back({GeneralHead, A});
+    G.addMergePred(GeneralHead, S.Tail, S.Slot);
+    connectTail(std::move(GeneralTail), Heads, connectTail, 0);
+  } else {
+    // Rebuild both versions from scratch.
+    G.truncate(Mark0);
+    NextVreg = Vreg0;
+    rollbackReturns(ReturnMarks0);
+    Exits.clear();
+    Stats.LoopVersions += 2;
+
+    std::vector<LoopVersion> Heads;
+    Node *H1 = G.newNode(NodeOp::LoopHead, 1);
+    H1->TypesAt = A1;
+    Heads.push_back({H1, A1});
+    Node *H2 = G.newNode(NodeOp::LoopHead, 1);
+    H2->TypesAt = A;
+    Heads.push_back({H2, A});
+
+    ++Stats.LoopIterations;
+    State Tail1 = analyzeLoopBody(H1, A1, CondClosure, CondVreg,
+                                  BodyClosure, BodyVreg, Until, Ctx, Exits);
+    ++Stats.LoopIterations;
+    State Tail2 = analyzeLoopBody(H2, A, CondClosure, CondVreg, BodyClosure,
+                                  BodyVreg, Until, Ctx, Exits);
+
+    connectTail(std::move(Tail1), Heads, connectTail, 0);
+    connectTail(std::move(Tail2), Heads, connectTail, 0);
+
+    // Enter at the specialized version when the entry types allow; the
+    // general version otherwise (its tail hops into the fast version after
+    // the first iteration's tests pass — the paper's hoisting, §5.4).
+    if (headCompatible(A1, Entry, /*Relaxed=*/false)) {
+      G.addMergePred(H1, S.Tail, S.Slot);
+      H1->SplitUnsafe = true;
+    } else {
+      G.addMergePred(H2, S.Tail, S.Slot);
+      H2->SplitUnsafe = true;
+    }
+    // An unreachable head would leave a dangling loop; prune by marking
+    // unreachable heads' bodies dead is unnecessary — lowering only emits
+    // reachable nodes.
+  }
+
+  // The loop expression's value is nil, delivered at the merged exits.
+  int Dummy = -1;
+  State Out = mergeStates(std::move(Exits), {}, Dummy);
+  S = std::move(Out);
+  int T = newVreg();
+  if (!S.Dead) {
+    Node *C = emit(S, NodeOp::Const, 1);
+    C->Dst = T;
+    C->Val = W.nilValue();
+    setType(S, T, TC.constantOf(C->Val));
+  }
+  return T;
+}

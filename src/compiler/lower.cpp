@@ -1,0 +1,634 @@
+//===-- compiler/lower.cpp - CFG to bytecode lowering -----------------------===//
+//
+// The "traditional back-end" stage: dead node elimination, the environment
+// materialization decision, linearization, and bytecode emission.
+//
+// Environment decision: captured variables normally live in heap-allocated
+// environments (closures need them). When the optimizer inlined *every*
+// block of the unit (no MakeBlock node survives DCE), no closure can ever
+// observe this activation's variables, so captured variables are demoted to
+// plain registers — this is what puts the paper's loop counters in
+// registers even though the source closes over them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/analyze.h"
+
+#include "compiler/emit.h"
+#include "parser/ast.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace mself;
+using namespace mself::ast;
+
+namespace {
+
+/// Registers read by a node.
+void inputVregs(const Node *N, std::vector<int> &Out) {
+  Out.clear();
+  switch (N->Op) {
+  case NodeOp::Move:
+    Out.push_back(N->A);
+    break;
+  case NodeOp::GetField:
+    Out.push_back(N->A);
+    break;
+  case NodeOp::SetField:
+    Out.push_back(N->A);
+    Out.push_back(N->B);
+    break;
+  case NodeOp::SetFieldK:
+  case NodeOp::VarSetOuter:
+    Out.push_back(N->A);
+    break;
+  case NodeOp::ArithRR:
+  case NodeOp::ArithCk:
+  case NodeOp::CompareBr:
+    Out.push_back(N->A);
+    Out.push_back(N->B);
+    break;
+  case NodeOp::TestInt:
+  case NodeOp::TestMap:
+    Out.push_back(N->A);
+    break;
+  case NodeOp::ArrAt:
+  case NodeOp::ArrAtRaw:
+    Out.push_back(N->A);
+    Out.push_back(N->B);
+    break;
+  case NodeOp::ArrAtPut:
+  case NodeOp::ArrAtPutRaw:
+    Out.push_back(N->A);
+    Out.push_back(N->B);
+    Out.push_back(N->C);
+    break;
+  case NodeOp::ArrSize:
+    Out.push_back(N->A);
+    break;
+  case NodeOp::SendNode:
+  case NodeOp::PrimNode:
+    for (int A : N->Args)
+      Out.push_back(A);
+    break;
+  case NodeOp::VarSet:
+    Out.push_back(N->A);
+    break;
+  case NodeOp::VarGet:
+    // When the environment is elided this lowers to a move from the slot
+    // register, so that register must count as used.
+    Out.push_back(N->Inst->VregBase + N->Idx);
+    break;
+  case NodeOp::MakeBlockNode:
+    // Lowering reads the creating scope's self register (the closure's
+    // home self).
+    Out.push_back(N->Inst->SelfVreg);
+    break;
+  case NodeOp::ReturnNode:
+  case NodeOp::NLRetNode:
+    Out.push_back(N->A);
+    break;
+  default:
+    break;
+  }
+}
+
+/// True when the node has no side effect and exists only for its Dst.
+bool isPureValueNode(const Node *N) {
+  switch (N->Op) {
+  case NodeOp::Const:
+  case NodeOp::Move:
+  case NodeOp::GetField:
+  case NodeOp::GetFieldK:
+  case NodeOp::ArithRR:
+  case NodeOp::ArrSize:
+  case NodeOp::MakeBlockNode:
+  case NodeOp::VarGet:
+  case NodeOp::VarGetOuter:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<CompiledFunction>
+mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
+                  Graph &G, int NumVregs, CompileStats Stats) {
+  const Code *Unit = Req.Source;
+  auto Fn = std::make_unique<CompiledFunction>();
+  Fn->Source = Unit;
+  Fn->ReceiverMap = P.Customize ? Req.ReceiverMap : nullptr;
+  Fn->IsBlockUnit = Req.IsBlockUnit;
+  Fn->Name = Req.Name;
+  Fn->NumArgs = Unit->NumArgs;
+
+  //===--- reachability ----------------------------------------------------===//
+
+  std::vector<Node *> Order; // Reverse-ish DFS order used for emission.
+  std::set<Node *> Reached;
+  {
+    std::vector<Node *> Work{G.start()};
+    while (!Work.empty()) {
+      Node *N = Work.back();
+      Work.pop_back();
+      if (!Reached.insert(N).second)
+        continue;
+      Order.push_back(N);
+      // Push in reverse so Succs[0] is visited first (fallthrough bias).
+      for (auto It = N->Succs.rbegin(); It != N->Succs.rend(); ++It)
+        if (*It)
+          Work.push_back(*It);
+    }
+  }
+
+  //===--- dead value elimination ------------------------------------------===//
+
+  std::set<const Node *> Removed;
+  // Two rounds: optimistically assume all environments elide (VarSet is
+  // then a plain register move and removable when its variable is never
+  // read). If a MakeBlock survives, redo conservatively: closures may
+  // observe captured variables, so VarSet must stay.
+  int FirstTemp = 1 + static_cast<int>(Unit->Slots.size());
+  auto runDce = [&](bool Optimistic) {
+    Removed.clear();
+    bool Changed = true;
+    std::vector<int> Ins;
+    while (Changed) {
+      Changed = false;
+      std::set<int> Used;
+      for (const Node *N : Order) {
+        if (Removed.count(N))
+          continue;
+        inputVregs(N, Ins);
+        for (int V : Ins)
+          Used.insert(V);
+      }
+      for (Node *N : Order) {
+        if (Removed.count(N))
+          continue;
+        bool Pure = isPureValueNode(N);
+        int Dst = N->Dst;
+        if (Optimistic && N->Op == NodeOp::VarSet) {
+          Pure = true;
+          Dst = N->Inst->VregBase + N->Idx;
+        }
+        if (!Pure)
+          continue;
+        // Registers holding unit variables are always observable (they
+        // carry the variable across merges); temps are not.
+        if (Dst >= FirstTemp && !Used.count(Dst)) {
+          Removed.insert(N);
+          Changed = true;
+        }
+        if (N->Op == NodeOp::Move && N->Dst == N->A) {
+          Removed.insert(N);
+          Changed = true;
+        }
+      }
+    }
+  };
+  auto anyBlocksLeft = [&]() {
+    for (Node *N : Order)
+      if (!Removed.count(N) && N->Op == NodeOp::MakeBlockNode)
+        return true;
+    return false;
+  };
+  runDce(/*Optimistic=*/true);
+  bool AnyBlocks = anyBlocksLeft();
+  if (AnyBlocks) {
+    runDce(/*Optimistic=*/false);
+    AnyBlocks = anyBlocksLeft();
+  }
+
+  FunctionBuilder B(*Fn);
+  // Fixed registers: all analysis vregs, then (if needed) the incoming
+  // env, per-scope env registers, and one send/prim argument window.
+  for (int I = 0; I < NumVregs; ++I)
+    B.fixedReg();
+
+  int IncomingEnv = -1;
+  if (Req.IsBlockUnit) {
+    IncomingEnv = B.fixedReg();
+    Fn->IncomingEnvReg = IncomingEnv;
+  }
+
+  // Which scope instances materialize an environment.
+  std::map<const ScopeInst *, int> EnvRegs;
+  if (AnyBlocks)
+    for (const auto &Inst : G.insts())
+      if (Inst->Scope->HasCaptured)
+        EnvRegs[Inst.get()] = B.fixedReg();
+
+  // Environment register a block created in scope instance \p I closes
+  // over: the nearest materialized enclosing scope, else the incoming env.
+  auto envSourceFor = [&](const ScopeInst *I) -> int {
+    for (const ScopeInst *Cur = I; Cur; Cur = Cur->ParentInst) {
+      auto It = EnvRegs.find(Cur);
+      if (It != EnvRegs.end())
+        return It->second;
+    }
+    return IncomingEnv;
+  };
+  auto envParentFor = [&](const ScopeInst *I) -> int {
+    return envSourceFor(I->ParentInst ? I->ParentInst : nullptr);
+  };
+
+  // Maximum argument window needed by sends/prims.
+  int MaxWin = 0;
+  for (Node *N : Order)
+    if (!Removed.count(N) &&
+        (N->Op == NodeOp::SendNode || N->Op == NodeOp::PrimNode ||
+         N->Op == NodeOp::ErrorNode))
+      MaxWin = std::max(MaxWin,
+                        N->Op == NodeOp::ErrorNode
+                            ? 2
+                            : static_cast<int>(N->Args.size()));
+  int Win = -1;
+  if (MaxWin > 0) {
+    Win = B.fixedReg();
+    for (int I = 1; I < MaxWin; ++I)
+      B.fixedReg();
+  }
+
+  //===--- emission ---------------------------------------------------------===//
+
+  std::map<const Node *, int> Offsets;
+  struct Fixup {
+    size_t At;
+    const Node *Target;
+  };
+  std::vector<Fixup> Fixups;
+  std::set<const Node *> Emitted;
+
+  // Emission order: straight-line DFS preferring fallthrough successors.
+  // We walk chains from a worklist; a chain ends at an already-emitted
+  // node (emit a Jump) or a terminal.
+  std::vector<Node *> Work{G.start()};
+  auto jumpTo = [&](const Node *T) {
+    B.emit(Op::Jump);
+    auto It = Offsets.find(T);
+    if (It != Offsets.end()) {
+      B.operand(It->second);
+    } else {
+      Fixups.push_back({B.placeholder(), T});
+    }
+  };
+  auto refTarget = [&](const Node *T) {
+    if (!T) { // Unreachable slot (dead split path): jump to a Halt.
+      Fixups.push_back({B.placeholder(), nullptr});
+      return;
+    }
+    auto It = Offsets.find(T);
+    if (It != Offsets.end())
+      B.operand(It->second);
+    else
+      Fixups.push_back({B.placeholder(), T});
+  };
+
+  auto emitValueWindow = [&](const std::vector<int> &Args) {
+    for (size_t I = 0; I < Args.size(); ++I)
+      B.emit2(Op::Move, Win + static_cast<int>(I), Args[I]);
+  };
+
+  while (!Work.empty()) {
+    Node *N = Work.back();
+    Work.pop_back();
+    if (Emitted.count(N))
+      continue;
+
+    // Emit a chain starting at N.
+    Node *Cur = N;
+    while (Cur && !Emitted.count(Cur)) {
+      Emitted.insert(Cur);
+      Offsets[Cur] = static_cast<int>(B.here());
+
+      Node *Next = Cur->numSuccs() >= 1 ? Cur->Succs[0] : nullptr;
+      bool Skip = Removed.count(Cur) > 0;
+
+      switch (Cur->Op) {
+      case NodeOp::Start:
+      case NodeOp::MergeNode:
+      case NodeOp::LoopHead:
+        break;
+      case NodeOp::Const:
+        if (!Skip) {
+          Value V = Cur->Val;
+          if (V.isInt() && V.asInt() >= INT32_MIN && V.asInt() <= INT32_MAX)
+            B.emit2(Op::LoadInt, Cur->Dst, static_cast<int>(V.asInt()));
+          else
+            B.emit2(Op::LoadConst, Cur->Dst, B.literal(V));
+        }
+        break;
+      case NodeOp::Move:
+        if (!Skip && Cur->Dst != Cur->A)
+          B.emit2(Op::Move, Cur->Dst, Cur->A);
+        break;
+      case NodeOp::GetField:
+        if (!Skip)
+          B.emit3(Op::GetField, Cur->Dst, Cur->A, Cur->Idx);
+        break;
+      case NodeOp::SetField:
+        B.emit3(Op::SetField, Cur->A, Cur->Idx, Cur->B);
+        break;
+      case NodeOp::GetFieldK:
+        if (!Skip)
+          B.emit3(Op::GetFieldConst, Cur->Dst, B.literal(Cur->Val),
+                  Cur->Idx);
+        break;
+      case NodeOp::SetFieldK:
+        B.emit3(Op::SetFieldConst, B.literal(Cur->Val), Cur->Idx, Cur->A);
+        break;
+      case NodeOp::ArithRR:
+        if (!Skip) {
+          Op O = Cur->Arith == ArithKind::Add   ? Op::AddRaw
+                 : Cur->Arith == ArithKind::Sub ? Op::SubRaw
+                                                : Op::MulRaw;
+          B.emit3(O, Cur->Dst, Cur->A, Cur->B);
+        }
+        break;
+      case NodeOp::ArithCk: {
+        Op O;
+        switch (Cur->Arith) {
+        case ArithKind::Add:
+          O = Op::AddCk;
+          break;
+        case ArithKind::Sub:
+          O = Op::SubCk;
+          break;
+        case ArithKind::Mul:
+          O = Op::MulCk;
+          break;
+        case ArithKind::Div:
+          O = Op::DivCk;
+          break;
+        case ArithKind::Mod:
+          O = Op::ModCk;
+          break;
+        }
+        B.emit(O);
+        B.operand(Cur->Dst);
+        B.operand(Cur->A);
+        B.operand(Cur->B);
+        refTarget(Cur->Succs[1]);
+        break;
+      }
+      case NodeOp::CompareBr:
+        B.emit(Op::BrCmp);
+        B.operand(static_cast<int>(Cur->CondCode));
+        B.operand(Cur->A);
+        B.operand(Cur->B);
+        refTarget(Cur->Succs[0]); // Branch when true.
+        Next = Cur->Succs[1];     // Fall through when false.
+        break;
+      case NodeOp::TestInt:
+        B.emit(Op::TestInt);
+        B.operand(Cur->A);
+        refTarget(Cur->Succs[1]);
+        break;
+      case NodeOp::TestMap:
+        B.emit(Op::TestMap);
+        B.operand(Cur->A);
+        B.operand(B.mapIndex(Cur->MapArg));
+        refTarget(Cur->Succs[1]);
+        break;
+      case NodeOp::ArrAt:
+        B.emit(Op::ArrAt);
+        B.operand(Cur->Dst);
+        B.operand(Cur->A);
+        B.operand(Cur->B);
+        refTarget(Cur->Succs[1]);
+        break;
+      case NodeOp::ArrAtRaw:
+        if (!Skip)
+          B.emit3(Op::ArrAtRaw, Cur->Dst, Cur->A, Cur->B);
+        break;
+      case NodeOp::ArrAtPut:
+        B.emit(Op::ArrAtPut);
+        B.operand(Cur->A);
+        B.operand(Cur->B);
+        B.operand(Cur->C);
+        refTarget(Cur->Succs[1]);
+        break;
+      case NodeOp::ArrAtPutRaw:
+        B.emit3(Op::ArrAtPutRaw, Cur->A, Cur->B, Cur->C);
+        break;
+      case NodeOp::ArrSize:
+        if (!Skip)
+          B.emit2(Op::ArrSize, Cur->Dst, Cur->A);
+        break;
+      case NodeOp::SendNode: {
+        emitValueWindow(Cur->Args);
+        B.emit5(Op::Send, Cur->Dst, B.selector(Cur->Sel), Win,
+                static_cast<int>(Cur->Args.size()) - 1, B.cacheIndex());
+        break;
+      }
+      case NodeOp::PrimNode: {
+        emitValueWindow(Cur->Args);
+        B.emit(Op::Prim);
+        B.operand(Cur->Dst);
+        B.operand(static_cast<int>(Cur->Prim));
+        B.operand(Win);
+        B.operand(static_cast<int>(Cur->Args.size()) - 1);
+        if (Cur->numSuccs() == 2)
+          refTarget(Cur->Succs[1]);
+        else
+          B.operand(-1);
+        break;
+      }
+      case NodeOp::VarGet: {
+        if (Skip)
+          break;
+        int SlotVreg = Cur->Inst->VregBase + Cur->Idx;
+        auto It = EnvRegs.find(Cur->Inst);
+        if (It == EnvRegs.end()) {
+          if (Cur->Dst != SlotVreg)
+            B.emit2(Op::Move, Cur->Dst, SlotVreg);
+        } else {
+          int EnvIdx =
+              Cur->Inst->Scope->Slots[static_cast<size_t>(Cur->Idx)]
+                  .EnvIndex;
+          B.emit4(Op::EnvGet, Cur->Dst, It->second, 0, EnvIdx);
+        }
+        break;
+      }
+      case NodeOp::VarSet: {
+        int SlotVreg = Cur->Inst->VregBase + Cur->Idx;
+        auto It = EnvRegs.find(Cur->Inst);
+        if (It == EnvRegs.end()) {
+          if (SlotVreg != Cur->A)
+            B.emit2(Op::Move, SlotVreg, Cur->A);
+        } else {
+          int EnvIdx =
+              Cur->Inst->Scope->Slots[static_cast<size_t>(Cur->Idx)]
+                  .EnvIndex;
+          B.emit4(Op::EnvSet, It->second, 0, EnvIdx, Cur->A);
+        }
+        break;
+      }
+      case NodeOp::VarGetOuter:
+        if (!Skip)
+          B.emit4(Op::EnvGet, Cur->Dst, IncomingEnv, Cur->Idx2, Cur->Idx);
+        break;
+      case NodeOp::VarSetOuter:
+        B.emit4(Op::EnvSet, IncomingEnv, Cur->Idx2, Cur->Idx, Cur->A);
+        break;
+      case NodeOp::EnterScope: {
+        auto It = EnvRegs.find(Cur->Inst);
+        if (It == EnvRegs.end())
+          break; // Environment elided: captured vars are registers.
+        const Code *Sc = Cur->Inst->Scope;
+        B.emit3(Op::MakeEnv, It->second, Sc->EnvSlotCount,
+                envParentFor(Cur->Inst));
+        // Copy captured incoming values (arguments and, for the root
+        // scope, nothing else — locals are stored via VarSet nodes).
+        for (int K = 0; K < Sc->NumArgs; ++K) {
+          const Code::VarSlot &Slot = Sc->Slots[static_cast<size_t>(K)];
+          if (Slot.Storage == VarStorage::Env &&
+              Cur->Inst->ParentInst == nullptr &&
+              Cur->Inst->Scope == Unit)
+            B.emit4(Op::EnvSet, It->second, 0, Slot.EnvIndex,
+                    Cur->Inst->VregBase + K);
+        }
+        break;
+      }
+      case NodeOp::MakeBlockNode:
+        if (!Skip)
+          B.emit4(Op::MakeBlock, Cur->Dst, B.blockIndex(Cur->Block),
+                  envSourceFor(Cur->Inst), Cur->Inst->SelfVreg);
+        break;
+      case NodeOp::ReturnNode:
+        B.emit1(Op::Return, Cur->A);
+        Next = nullptr;
+        break;
+      case NodeOp::NLRetNode:
+        B.emit1(Op::NLRet, Cur->A);
+        Next = nullptr;
+        break;
+      case NodeOp::ErrorNode: {
+        Value Msg = Value::fromObject(W.newString(Cur->Msg));
+        B.emit2(Op::Move, Win, 0);
+        B.emit2(Op::LoadConst, Win + 1, B.literal(Msg));
+        B.emit5(Op::Prim, Win, static_cast<int>(PrimId::ErrorOp), Win, 1,
+                -1);
+        Next = nullptr;
+        break;
+      }
+      }
+
+      if (!Next) {
+        // Terminal or unconnected slot.
+        if (Cur->Op != NodeOp::ReturnNode && Cur->Op != NodeOp::NLRetNode &&
+            Cur->Op != NodeOp::ErrorNode && Cur->numSuccs() >= 1)
+          B.emit(Op::Halt); // Unreachable (dead split path).
+        break;
+      }
+      // Queue the not-taken side of branches for later emission.
+      for (size_t SI = 0; SI < Cur->Succs.size(); ++SI)
+        if (Cur->Succs[SI] && Cur->Succs[SI] != Next)
+          Work.push_back(Cur->Succs[SI]);
+      if (Emitted.count(Next)) {
+        jumpTo(Next);
+        break;
+      }
+      Cur = Next;
+    }
+  }
+
+  // Resolve forward references; null targets resolve to a shared Halt.
+  int HaltAt = -1;
+  for (const Fixup &F : Fixups) {
+    if (!F.Target) {
+      if (HaltAt < 0) {
+        HaltAt = static_cast<int>(B.here());
+        B.emit(Op::Halt);
+      }
+      B.patch(F.At, HaltAt);
+      continue;
+    }
+    auto It = Offsets.find(F.Target);
+    assert(It != Offsets.end() && "branch target was never emitted");
+    B.patch(F.At, It->second);
+  }
+
+  Fn->NumRegs = B.numRegs();
+  Fn->Stats = Stats;
+
+#ifndef NDEBUG
+  // Verify the stream decodes cleanly: instruction starts line up and every
+  // branch target lands on an instruction boundary.
+  {
+    std::set<int> Starts;
+    size_t I = 0;
+    while (I < Fn->Code.size()) {
+      Starts.insert(static_cast<int>(I));
+      Op O = static_cast<Op>(Fn->Code[I]);
+      int Arity = opArity(O);
+      I += static_cast<size_t>(1 + Arity);
+    }
+    assert(I == Fn->Code.size() && "bytecode stream misaligned");
+    I = 0;
+    while (I < Fn->Code.size()) {
+      Op O = static_cast<Op>(Fn->Code[I]);
+      auto CheckTarget = [&](int T) {
+        assert(T >= 0 && Starts.count(T) && "branch target misaligned");
+      };
+      switch (O) {
+      case Op::Jump:
+        CheckTarget(Fn->Code[I + 1]);
+        break;
+      case Op::TestInt:
+        CheckTarget(Fn->Code[I + 2]);
+        break;
+      case Op::TestMap:
+        CheckTarget(Fn->Code[I + 3]);
+        break;
+      case Op::BrCmp:
+      case Op::AddCk:
+      case Op::SubCk:
+      case Op::MulCk:
+      case Op::DivCk:
+      case Op::ModCk:
+      case Op::ArrAt:
+      case Op::ArrAtPut:
+        CheckTarget(Fn->Code[I + 4]);
+        break;
+      case Op::BrTrue:
+        CheckTarget(Fn->Code[I + 2]);
+        CheckTarget(Fn->Code[I + 3]);
+        break;
+      case Op::Prim:
+        if (Fn->Code[I + 5] != -1)
+          CheckTarget(Fn->Code[I + 5]);
+        break;
+      default:
+        break;
+      }
+      I += static_cast<size_t>(1 + opArity(O));
+    }
+    // Every instruction path must end in a control transfer, never run off
+    // the end: the last instruction must be a terminator or jump.
+    if (!Fn->Code.empty()) {
+      size_t Last = 0;
+      for (I = 0; I < Fn->Code.size();
+           I += static_cast<size_t>(1 + opArity(static_cast<Op>(Fn->Code[I]))))
+        Last = I;
+      Op O = static_cast<Op>(Fn->Code[Last]);
+      assert((O == Op::Return || O == Op::NLRet || O == Op::Jump ||
+              O == Op::Halt ||
+              (O == Op::Prim && Fn->Code[Last + 5] == -1)) &&
+             "function may run off the end of its code");
+    }
+  }
+#endif
+  return Fn;
+}
+
+std::unique_ptr<CompiledFunction>
+mself::compileOptimized(World &W, const Policy &P, const CompileRequest &Req) {
+  Analyzer A(W, P, Req);
+  return A.compile();
+}

@@ -1,0 +1,43 @@
+//===-- compiler/policy.cpp - Compiler configurations ----------------------===//
+
+#include "compiler/policy.h"
+
+using namespace mself;
+
+Policy Policy::st80() {
+  Policy P;
+  P.Name = "st80";
+  P.Customize = false;
+  P.Inlining = false;
+  P.TypePrediction = false;
+  P.TypeAnalysis = false;
+  P.TrackLocalTypes = false;
+  P.RangeAnalysis = false;
+  P.LocalSplitting = false;
+  P.ExtendedSplitting = false;
+  P.IterativeLoops = false;
+  P.LoopHeadGeneralization = false;
+  return P;
+}
+
+Policy Policy::oldSelf() {
+  Policy P;
+  P.Name = "oldself";
+  P.Customize = true;
+  P.Inlining = true;
+  P.TypePrediction = true;
+  P.TypeAnalysis = true;
+  P.TrackLocalTypes = false;
+  P.RangeAnalysis = false;
+  P.LocalSplitting = true;
+  P.ExtendedSplitting = false;
+  P.IterativeLoops = false;
+  P.LoopHeadGeneralization = false;
+  return P;
+}
+
+Policy Policy::newSelf() {
+  Policy P;
+  P.Name = "newself";
+  return P;
+}

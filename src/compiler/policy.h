@@ -1,0 +1,77 @@
+//===-- compiler/policy.h - Compiler configurations -------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature flags selecting a compiler configuration. The three presets are
+/// the systems the paper compares (§6): a Smalltalk-80-style baseline
+/// ("ST-80"), the previous SELF compiler ("old SELF": customization, type
+/// prediction, message/primitive inlining, local splitting, pessimistic
+/// loops, no range analysis), and the paper's contribution ("new SELF").
+/// Individual flags double as the ablation switches for DESIGN.md §5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_POLICY_H
+#define MINISELF_COMPILER_POLICY_H
+
+#include <string>
+
+namespace mself {
+
+struct Policy {
+  std::string Name = "newself";
+
+  /// Compile one machine method per (source method, receiver map) pair so
+  /// the receiver's type is a compile-time constant (paper §2).
+  bool Customize = true;
+  /// Compile-time lookup + inlining of sends with known receiver class,
+  /// and opening up of small primitives into raw/checked instructions.
+  bool Inlining = true;
+  /// Insert a run-time type test when the message name predicts the
+  /// receiver type (+, -, <, ... predict small integers; §2, §3.2.2).
+  bool TypePrediction = true;
+  /// Maintain the type lattice at all (off: every value is unknown).
+  bool TypeAnalysis = true;
+  /// Track types of assigned locals (the old compiler treated all locals
+  /// as unknown; §5: "the original SELF compiler performed no type
+  /// analysis").
+  bool TrackLocalTypes = true;
+  /// Integer subrange analysis: fold comparisons, remove overflow checks
+  /// and array bounds checks (§3.2.1, §3.2.3).
+  bool RangeAnalysis = true;
+  /// Split a send that *immediately* follows a merge (§4, the old
+  /// compiler's "local message splitting").
+  bool LocalSplitting = true;
+  /// Split sends arbitrarily far from the diluting merge by copying the
+  /// intervening nodes (§4, "extended message splitting").
+  bool ExtendedSplitting = true;
+  /// Iterative type analysis for loops (§5.1); off = pessimistic loops
+  /// (assigned locals become unknown at the loop head).
+  bool IterativeLoops = true;
+  /// Generalize value/subrange types to their class type at loop heads to
+  /// reach the fix-point quickly (§5.1).
+  bool LoopHeadGeneralization = true;
+
+  /// Maximum number of nodes extended splitting may copy per split (§4:
+  /// "only performs extended message splitting when the number of copied
+  /// nodes is below a fixed threshold").
+  int SplitThreshold = 32;
+  /// Maximum AST size (expression nodes) of an inlinable method.
+  int MaxInlineSize = 120;
+  /// Maximum nesting depth of inlined sends.
+  int MaxInlineDepth = 24;
+  /// Maximum re-analysis passes per loop before giving up and using
+  /// pessimistic bindings.
+  int MaxLoopIterations = 6;
+
+  static Policy st80();
+  static Policy oldSelf();
+  static Policy newSelf();
+};
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_POLICY_H

@@ -1,0 +1,678 @@
+//===-- compiler/prims.cpp - Primitive inlining and range analysis ---------===//
+//
+// Robust primitives (§3.2.3): every primitive checks its argument types and
+// its exceptional conditions (overflow, zero divisor, bounds) and transfers
+// to the caller's IfFail: handler on failure. The optimizer opens the
+// common primitives into explicit type tests + raw operations, then uses
+// the type bindings to constant-fold the tests, the overflow checks, and
+// sometimes the primitive itself (integer subrange analysis).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/analyze.h"
+
+#include "bytecode/bytecode.h"
+#include "runtime/selector.h"
+#include "vm/object.h"
+
+#include <cassert>
+
+using namespace mself;
+using namespace mself::ast;
+
+namespace {
+
+/// Widest array size the runtime will create; used as the size-type bound.
+constexpr int64_t kMaxArraySize = int64_t(1) << 30;
+
+std::optional<std::pair<int64_t, int64_t>> hull(const Type *T) {
+  if (auto R = T->intRange())
+    return R;
+  if (T->kind() == Type::Kind::Merge || T->kind() == Type::Kind::Union) {
+    int64_t Lo = kMaxSmallInt, Hi = kMinSmallInt;
+    for (const Type *E : T->elems()) {
+      auto R = hull(E);
+      if (!R)
+        return std::nullopt;
+      Lo = std::min(Lo, R->first);
+      Hi = std::max(Hi, R->second);
+    }
+    return std::make_pair(Lo, Hi);
+  }
+  return std::nullopt;
+}
+
+/// Exact interval arithmetic for Add/Sub/Mul over int64 with saturation
+/// outside the small-int range. \returns nullopt when bounds overflow
+/// int64 computation entirely.
+std::optional<std::pair<int64_t, int64_t>>
+intervalArith(ArithKind K, std::pair<int64_t, int64_t> A,
+              std::pair<int64_t, int64_t> B) {
+  auto Safe = [](int64_t X, int64_t Y, ArithKind K, int64_t &Out) {
+    switch (K) {
+    case ArithKind::Add:
+      return !__builtin_add_overflow(X, Y, &Out);
+    case ArithKind::Sub:
+      return !__builtin_sub_overflow(X, Y, &Out);
+    case ArithKind::Mul:
+      return !__builtin_mul_overflow(X, Y, &Out);
+    default:
+      return false;
+    }
+  };
+  int64_t Candidates[4];
+  std::pair<int64_t, int64_t> Pairs[4] = {{A.first, B.first},
+                                          {A.first, B.second},
+                                          {A.second, B.first},
+                                          {A.second, B.second}};
+  for (int I = 0; I < 4; ++I)
+    if (!Safe(Pairs[I].first, Pairs[I].second, K, Candidates[I]))
+      return std::nullopt;
+  int64_t Lo = Candidates[0], Hi = Candidates[0];
+  for (int I = 1; I < 4; ++I) {
+    Lo = std::min(Lo, Candidates[I]);
+    Hi = std::max(Hi, Candidates[I]);
+  }
+  return std::make_pair(Lo, Hi);
+}
+
+bool inSmallIntRange(std::pair<int64_t, int64_t> R) {
+  return R.first >= kMinSmallInt && R.second <= kMaxSmallInt;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Type tests for primitive operands
+//===----------------------------------------------------------------------===//
+
+void Analyzer::requireInt(State &S, int Vreg, const Expr *OnFail,
+                          EvalCtx &Ctx, std::vector<State> &FailStates,
+                          std::vector<int> &FailResults) {
+  if (S.Dead)
+    return;
+  const Type *T = typeOf(S, Vreg);
+  if (T->definiteMap(W) == W.smallIntMap()) {
+    ++Stats.ChecksEliminated; // The robust primitive's test folded away.
+    return;
+  }
+  if (T->excludesInt(W)) {
+    // The primitive is guaranteed to fail: the whole path becomes the
+    // failure handler.
+    State FailS = std::move(S);
+    S = State();
+    S.Dead = true;
+    FailResults.push_back(evalFailHandler(FailS, OnFail, Ctx));
+    FailStates.push_back(std::move(FailS));
+    return;
+  }
+  Node *Test = emit(S, NodeOp::TestInt, 2);
+  Test->A = Vreg;
+  ++Stats.TypeTestsEmitted;
+  State FailS = forkState(S, Test, 1);
+  refineType(FailS, Vreg, TC.difference(T, TC.intClass()));
+  FailResults.push_back(evalFailHandler(FailS, OnFail, Ctx));
+  FailStates.push_back(std::move(FailS));
+  // Continue on the integer branch, refining the tested variable too.
+  S.Tail = Test;
+  S.Slot = 0;
+  auto H = hull(T);
+  refineType(S, Vreg,
+             H ? TC.intRange(H->first, H->second) : TC.intClass());
+}
+
+void Analyzer::requireMap(State &S, int Vreg, Map *M, const Expr *OnFail,
+                          EvalCtx &Ctx, std::vector<State> &FailStates,
+                          std::vector<int> &FailResults) {
+  if (S.Dead)
+    return;
+  const Type *T = typeOf(S, Vreg);
+  if (T->definiteMap(W) == M) {
+    ++Stats.ChecksEliminated;
+    return;
+  }
+  if (T->excludesMap(W, M)) {
+    State FailS = std::move(S);
+    S = State();
+    S.Dead = true;
+    FailResults.push_back(evalFailHandler(FailS, OnFail, Ctx));
+    FailStates.push_back(std::move(FailS));
+    return;
+  }
+  Node *Test = emit(S, NodeOp::TestMap, 2);
+  Test->A = Vreg;
+  Test->MapArg = M;
+  ++Stats.TypeTestsEmitted;
+  State FailS = forkState(S, Test, 1);
+  refineType(FailS, Vreg, TC.difference(T, TC.classOf(M)));
+  FailResults.push_back(evalFailHandler(FailS, OnFail, Ctx));
+  FailStates.push_back(std::move(FailS));
+  S.Tail = Test;
+  S.Slot = 0;
+  refineType(S, Vreg, TC.classOf(M));
+}
+
+int Analyzer::evalFailHandler(State &S, const Expr *OnFail, EvalCtx &Ctx) {
+  if (S.Dead)
+    return newVreg();
+  if (!OnFail) {
+    // No handler: the default failure block calls the standard error
+    // routine (§3.2.3).
+    emitError(S, "primitive failed");
+    return newVreg();
+  }
+  int H = evalExpr(S, OnFail, Ctx);
+  if (S.Dead)
+    return H;
+  const Type *T = typeOf(S, H);
+  if (P.Inlining && T->isClosure() &&
+      T->closureBlock()->Body.NumArgs == 0)
+    return inlineBlockBody(S, T, H, {}, Ctx);
+  return emitDynamicSend(S, H, W.selectors().Value, {});
+}
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic and comparison primitives
+//===----------------------------------------------------------------------===//
+
+int Analyzer::evalIntArith(State &S, ArithKind K, int RecvVreg, int ArgVreg,
+                           const Expr *OnFail, EvalCtx &Ctx) {
+  std::vector<State> FailStates;
+  std::vector<int> FailResults;
+  requireInt(S, RecvVreg, OnFail, Ctx, FailStates, FailResults);
+  requireInt(S, ArgVreg, OnFail, Ctx, FailStates, FailResults);
+
+  int OkResult = -1;
+  if (!S.Dead) {
+    const Type *RT = typeOf(S, RecvVreg);
+    const Type *AT = typeOf(S, ArgVreg);
+    auto RC = RT->constant();
+    auto AC = AT->constant();
+
+    // Constant folding: execute the primitive at compile time (§3.2.3).
+    if (RC && AC) {
+      int64_t A = RC->asInt(), B = AC->asInt();
+      int64_t Res = 0;
+      bool Fails;
+      switch (K) {
+      case ArithKind::Add:
+        Fails = __builtin_add_overflow(A, B, &Res) || !fitsSmallInt(Res);
+        break;
+      case ArithKind::Sub:
+        Fails = __builtin_sub_overflow(A, B, &Res) || !fitsSmallInt(Res);
+        break;
+      case ArithKind::Mul:
+        Fails = __builtin_mul_overflow(A, B, &Res) || !fitsSmallInt(Res);
+        break;
+      case ArithKind::Div:
+      case ArithKind::Mod:
+        Fails = B == 0 || (A == kMinSmallInt && B == -1);
+        if (!Fails)
+          Res = K == ArithKind::Div ? A / B : A % B;
+        break;
+      }
+      if (Fails) {
+        State FailS = std::move(S);
+        S = State();
+        S.Dead = true;
+        FailResults.push_back(evalFailHandler(FailS, OnFail, Ctx));
+        FailStates.push_back(std::move(FailS));
+      } else {
+        OkResult = newVreg();
+        Node *C = emit(S, NodeOp::Const, 1);
+        C->Dst = OkResult;
+        C->Val = Value::fromInt(Res);
+        setType(S, OkResult, TC.constantOf(C->Val));
+        ++Stats.ChecksEliminated;
+      }
+    } else {
+      auto RR = P.RangeAnalysis ? RT->intRange() : std::nullopt;
+      auto AR = P.RangeAnalysis ? AT->intRange() : std::nullopt;
+      bool IsAddSubMul = K == ArithKind::Add || K == ArithKind::Sub ||
+                         K == ArithKind::Mul;
+      std::optional<std::pair<int64_t, int64_t>> ResRange;
+      if (RR && AR && IsAddSubMul)
+        ResRange = intervalArith(K, *RR, *AR);
+
+      OkResult = newVreg();
+      if (IsAddSubMul && ResRange && inSmallIntRange(*ResRange)) {
+        // Integer subrange analysis proves no overflow: a single raw
+        // instruction remains (§3.2.3).
+        Node *N = emit(S, NodeOp::ArithRR, 1);
+        N->Arith = K;
+        N->Dst = OkResult;
+        N->A = RecvVreg;
+        N->B = ArgVreg;
+        setType(S, OkResult, TC.intRange(ResRange->first, ResRange->second));
+        ++Stats.ChecksEliminated;
+      } else {
+        Node *N = emit(S, NodeOp::ArithCk, 2);
+        N->Arith = K;
+        N->Dst = OkResult;
+        N->A = RecvVreg;
+        N->B = ArgVreg;
+        State FailS = forkState(S, N, 1);
+        FailResults.push_back(evalFailHandler(FailS, OnFail, Ctx));
+        FailStates.push_back(std::move(FailS));
+        S.Tail = N;
+        S.Slot = 0;
+        const Type *ResT = TC.intClass();
+        if (P.RangeAnalysis) {
+          if (ResRange)
+            ResT = TC.intRange(std::max(ResRange->first, kMinSmallInt),
+                               std::min(ResRange->second, kMaxSmallInt));
+          else if (K == ArithKind::Mod && AR && AR->first > 0)
+            ResT = TC.intRange(0, AR->second - 1); // receiver sign unknown?
+        }
+        // Mod of a possibly-negative dividend can be negative: only narrow
+        // when the dividend is provably non-negative.
+        if (K == ArithKind::Mod &&
+            !(RR && RR->first >= 0 && AR && AR->first > 0))
+          ResT = TC.intClass();
+        setType(S, OkResult, ResT);
+      }
+    }
+  }
+
+  if (FailStates.empty())
+    return OkResult;
+  std::vector<State> All = std::move(FailStates);
+  std::vector<int> Results = std::move(FailResults);
+  if (!S.Dead || OkResult >= 0) {
+    All.push_back(std::move(S));
+    Results.push_back(OkResult >= 0 ? OkResult : newVreg());
+  }
+  int Out = -1;
+  State Joined = mergeStates(std::move(All), std::move(Results), Out);
+  S = std::move(Joined);
+  return Out;
+}
+
+int Analyzer::evalIntCompare(State &S, Cond C, int RecvVreg, int ArgVreg,
+                             const Expr *OnFail, EvalCtx &Ctx) {
+  std::vector<State> FailStates;
+  std::vector<int> FailResults;
+  requireInt(S, RecvVreg, OnFail, Ctx, FailStates, FailResults);
+  requireInt(S, ArgVreg, OnFail, Ctx, FailStates, FailResults);
+
+  std::vector<State> Outs;
+  std::vector<int> Results;
+  if (!S.Dead) {
+    const Type *RT = typeOf(S, RecvVreg);
+    const Type *AT = typeOf(S, ArgVreg);
+    auto RR = RT->intRange();
+    auto AR = AT->intRange();
+
+    // Fold the comparison when the subranges decide it (§3.2.3): constants
+    // always, disjoint/ordered ranges when range analysis is on.
+    std::optional<bool> Known;
+    if (RR && AR && (P.RangeAnalysis || (RR->first == RR->second &&
+                                         AR->first == AR->second))) {
+      switch (C) {
+      case Cond::Lt:
+        if (RR->second < AR->first)
+          Known = true;
+        else if (RR->first >= AR->second)
+          Known = false;
+        break;
+      case Cond::Le:
+        if (RR->second <= AR->first)
+          Known = true;
+        else if (RR->first > AR->second)
+          Known = false;
+        break;
+      case Cond::Gt:
+        if (RR->first > AR->second)
+          Known = true;
+        else if (RR->second <= AR->first)
+          Known = false;
+        break;
+      case Cond::Ge:
+        if (RR->first >= AR->second)
+          Known = true;
+        else if (RR->second < AR->first)
+          Known = false;
+        break;
+      case Cond::Eq:
+        if (RR->first == RR->second && AR->first == AR->second)
+          Known = RR->first == AR->first;
+        else if (RR->second < AR->first || RR->first > AR->second)
+          Known = false;
+        break;
+      case Cond::Ne:
+        if (RR->first == RR->second && AR->first == AR->second)
+          Known = RR->first != AR->first;
+        else if (RR->second < AR->first || RR->first > AR->second)
+          Known = true;
+        break;
+      default:
+        break;
+      }
+    }
+    if (Known) {
+      ++Stats.ChecksEliminated;
+      int T = newVreg();
+      Node *N = emit(S, NodeOp::Const, 1);
+      N->Dst = T;
+      N->Val = W.boolValue(*Known);
+      setType(S, T, TC.constantOf(N->Val));
+      Outs.push_back(std::move(S));
+      Results.push_back(T);
+    } else {
+      Node *Br = emit(S, NodeOp::CompareBr, 2);
+      Br->CondCode = C;
+      Br->A = RecvVreg;
+      Br->B = ArgVreg;
+
+      State TrueS = forkState(S, Br, 0);
+      State FalseS = forkState(S, Br, 1);
+      // Refine the operand subranges on each branch (§3.2.1).
+      if (P.RangeAnalysis && RR && AR) {
+        auto Clamp = [&](State &St, int V, int64_t Lo, int64_t Hi) {
+          if (Lo > Hi) {
+            St.Dead = true;
+            return;
+          }
+          refineType(St, V, TC.intRange(Lo, Hi));
+        };
+        switch (C) {
+        case Cond::Lt:
+          Clamp(TrueS, RecvVreg, RR->first, std::min(RR->second,
+                                                     AR->second - 1));
+          Clamp(TrueS, ArgVreg, std::max(AR->first, RR->first + 1),
+                AR->second);
+          Clamp(FalseS, RecvVreg, std::max(RR->first, AR->first),
+                RR->second);
+          Clamp(FalseS, ArgVreg, AR->first, std::min(AR->second,
+                                                     RR->second));
+          break;
+        case Cond::Le:
+          Clamp(TrueS, RecvVreg, RR->first, std::min(RR->second,
+                                                     AR->second));
+          Clamp(TrueS, ArgVreg, std::max(AR->first, RR->first), AR->second);
+          Clamp(FalseS, RecvVreg, std::max(RR->first, AR->first + 1),
+                RR->second);
+          Clamp(FalseS, ArgVreg, AR->first, std::min(AR->second,
+                                                     RR->second - 1));
+          break;
+        case Cond::Gt:
+          Clamp(TrueS, RecvVreg, std::max(RR->first, AR->first + 1),
+                RR->second);
+          Clamp(TrueS, ArgVreg, AR->first, std::min(AR->second,
+                                                    RR->second - 1));
+          Clamp(FalseS, RecvVreg, RR->first, std::min(RR->second,
+                                                      AR->second));
+          Clamp(FalseS, ArgVreg, std::max(AR->first, RR->first), AR->second);
+          break;
+        case Cond::Ge:
+          Clamp(TrueS, RecvVreg, std::max(RR->first, AR->first), RR->second);
+          Clamp(TrueS, ArgVreg, AR->first, std::min(AR->second, RR->second));
+          Clamp(FalseS, RecvVreg, RR->first, std::min(RR->second,
+                                                      AR->second - 1));
+          Clamp(FalseS, ArgVreg, std::max(AR->first, RR->first + 1),
+                AR->second);
+          break;
+        case Cond::Eq: {
+          int64_t Lo = std::max(RR->first, AR->first);
+          int64_t Hi = std::min(RR->second, AR->second);
+          Clamp(TrueS, RecvVreg, Lo, Hi);
+          Clamp(TrueS, ArgVreg, Lo, Hi);
+          break;
+        }
+        default:
+          break;
+        }
+      }
+      // Bind the boolean result as a constant on each branch; the merge
+      // below creates exactly the merge type later splitting consumes.
+      int RT1 = newVreg();
+      Node *CT = emit(TrueS, NodeOp::Const, 1);
+      CT->Dst = RT1;
+      CT->Val = W.trueValue();
+      setType(TrueS, RT1, TC.constantOf(W.trueValue()));
+      int RF = newVreg();
+      Node *CF = emit(FalseS, NodeOp::Const, 1);
+      CF->Dst = RF;
+      CF->Val = W.falseValue();
+      setType(FalseS, RF, TC.constantOf(W.falseValue()));
+      Outs.push_back(std::move(TrueS));
+      Results.push_back(RT1);
+      Outs.push_back(std::move(FalseS));
+      Results.push_back(RF);
+    }
+  }
+
+  for (size_t I = 0; I < FailStates.size(); ++I) {
+    Outs.push_back(std::move(FailStates[I]));
+    Results.push_back(FailResults[I]);
+  }
+  int Out = -1;
+  State Joined = mergeStates(std::move(Outs), std::move(Results), Out);
+  S = std::move(Joined);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Primitive dispatch
+//===----------------------------------------------------------------------===//
+
+int Analyzer::evalPrim(State &S, const PrimCall *E, EvalCtx &Ctx) {
+  PrimId Id = primIdFor(*E->Selector);
+  int Recv = evalExpr(S, E->Recv, Ctx);
+  std::vector<int> Args;
+  for (const Expr *A : E->Args) {
+    if (S.Dead)
+      return newVreg();
+    Args.push_back(evalExpr(S, A, Ctx));
+  }
+  if (S.Dead)
+    return newVreg();
+  if (Id == PrimId::Invalid ||
+      primInfo(Id).Argc != static_cast<int>(Args.size())) {
+    emitError(S, "unknown primitive: " + *E->Selector);
+    return newVreg();
+  }
+
+  // A generic (non-inlined) primitive call with an explicit failure path.
+  auto genericPrim = [&](const Type *ResultT, bool CanFail) -> int {
+    for (int A : Args)
+      escapeIfClosure(S, A);
+    escapeIfClosure(S, Recv);
+    int T = newVreg();
+    Node *N = emit(S, NodeOp::PrimNode, CanFail ? 2 : 1);
+    N->Dst = T;
+    N->Prim = Id;
+    N->Args.push_back(Recv);
+    for (int A : Args)
+      N->Args.push_back(A);
+    setType(S, T, ResultT);
+    if (!CanFail)
+      return T;
+    State FailS = forkState(S, N, 1);
+    int FailR = evalFailHandler(FailS, E->OnFail, Ctx);
+    S.Tail = N;
+    S.Slot = 0;
+    std::vector<State> All;
+    All.push_back(std::move(S));
+    All.push_back(std::move(FailS));
+    int Out = -1;
+    State Joined = mergeStates(std::move(All), {T, FailR}, Out);
+    S = std::move(Joined);
+    return Out;
+  };
+
+  if (!P.Inlining)
+    return genericPrim(TC.unknown(), primInfo(Id).CanFail);
+
+  switch (Id) {
+  case PrimId::IntAdd:
+    return evalIntArith(S, ArithKind::Add, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntSub:
+    return evalIntArith(S, ArithKind::Sub, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntMul:
+    return evalIntArith(S, ArithKind::Mul, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntDiv:
+    return evalIntArith(S, ArithKind::Div, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntMod:
+    return evalIntArith(S, ArithKind::Mod, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntLT:
+    return evalIntCompare(S, Cond::Lt, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntLE:
+    return evalIntCompare(S, Cond::Le, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntGT:
+    return evalIntCompare(S, Cond::Gt, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntGE:
+    return evalIntCompare(S, Cond::Ge, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntEQ:
+    return evalIntCompare(S, Cond::Eq, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::IntNE:
+    return evalIntCompare(S, Cond::Ne, Recv, Args[0], E->OnFail, Ctx);
+  case PrimId::Eq: {
+    const Type *RT = typeOf(S, Recv);
+    const Type *AT = typeOf(S, Args[0]);
+    auto RC = RT->constant();
+    auto AC = AT->constant();
+    if (RC && AC) {
+      int T = newVreg();
+      Node *N = emit(S, NodeOp::Const, 1);
+      N->Dst = T;
+      N->Val = W.boolValue(RC->identicalTo(*AC));
+      setType(S, T, TC.constantOf(N->Val));
+      return T;
+    }
+    Node *Br = emit(S, NodeOp::CompareBr, 2);
+    Br->CondCode = Cond::IdEq;
+    Br->A = Recv;
+    Br->B = Args[0];
+    State TrueS = forkState(S, Br, 0);
+    State FalseS = forkState(S, Br, 1);
+    int RT1 = newVreg(), RF = newVreg();
+    Node *CT = emit(TrueS, NodeOp::Const, 1);
+    CT->Dst = RT1;
+    CT->Val = W.trueValue();
+    setType(TrueS, RT1, TC.constantOf(W.trueValue()));
+    Node *CF = emit(FalseS, NodeOp::Const, 1);
+    CF->Dst = RF;
+    CF->Val = W.falseValue();
+    setType(FalseS, RF, TC.constantOf(W.falseValue()));
+    std::vector<State> Outs;
+    Outs.push_back(std::move(TrueS));
+    Outs.push_back(std::move(FalseS));
+    int Out = -1;
+    State Joined = mergeStates(std::move(Outs), {RT1, RF}, Out);
+    S = std::move(Joined);
+    return Out;
+  }
+  case PrimId::At:
+  case PrimId::AtPut: {
+    const Type *RT = typeOf(S, Recv);
+    if (RT->definiteMap(W) != W.arrayMap())
+      return genericPrim(TC.unknown(), true);
+    ++Stats.ChecksEliminated; // receiver check folded
+    std::vector<State> FailStates;
+    std::vector<int> FailResults;
+    requireInt(S, Args[0], E->OnFail, Ctx, FailStates, FailResults);
+    int T = newVreg();
+    if (!S.Dead) {
+      if (Id == PrimId::At) {
+        Node *N = emit(S, NodeOp::ArrAt, 2);
+        N->Dst = T;
+        N->A = Recv;
+        N->B = Args[0];
+        State FailS = forkState(S, N, 1);
+        FailResults.push_back(evalFailHandler(FailS, E->OnFail, Ctx));
+        FailStates.push_back(std::move(FailS));
+        S.Tail = N;
+        S.Slot = 0;
+        setType(S, T, TC.unknown());
+      } else {
+        escapeIfClosure(S, Args[1]);
+        Node *N = emit(S, NodeOp::ArrAtPut, 2);
+        N->A = Recv;
+        N->B = Args[0];
+        N->C = Args[1];
+        State FailS = forkState(S, N, 1);
+        FailResults.push_back(evalFailHandler(FailS, E->OnFail, Ctx));
+        FailStates.push_back(std::move(FailS));
+        S.Tail = N;
+        S.Slot = 0;
+        Node *Mv = emit(S, NodeOp::Move, 1);
+        Mv->Dst = T;
+        Mv->A = Args[1];
+        setType(S, T, typeOf(S, Args[1]));
+      }
+    }
+    if (FailStates.empty())
+      return T;
+    std::vector<State> All = std::move(FailStates);
+    std::vector<int> Results = std::move(FailResults);
+    if (!S.Dead) {
+      All.push_back(std::move(S));
+      Results.push_back(T);
+    }
+    int Out = -1;
+    State Joined = mergeStates(std::move(All), std::move(Results), Out);
+    S = std::move(Joined);
+    return Out;
+  }
+  case PrimId::Size: {
+    const Type *RT = typeOf(S, Recv);
+    if (RT->definiteMap(W) != W.arrayMap())
+      return genericPrim(TC.intRange(0, kMaxArraySize), true);
+    ++Stats.ChecksEliminated;
+    int T = newVreg();
+    Node *N = emit(S, NodeOp::ArrSize, 1);
+    N->Dst = T;
+    N->A = Recv;
+    setType(S, T, TC.intRange(0, kMaxArraySize));
+    return T;
+  }
+  case PrimId::VectorNew:
+  case PrimId::VectorNewFilling: {
+    auto SR = typeOf(S, Args[0])->intRange();
+    bool CanFail =
+        !(SR && SR->first >= 0 && SR->second <= kMaxArraySize);
+    if (!CanFail)
+      ++Stats.ChecksEliminated;
+    return genericPrim(TC.classOf(W.arrayMap()), CanFail);
+  }
+  case PrimId::Clone: {
+    Map *M = typeOf(S, Recv)->definiteMap(W);
+    bool CanFail = true;
+    const Type *ResT = TC.unknown();
+    if (M) {
+      ResT = TC.classOf(M);
+      switch (M->kind()) {
+      case ObjectKind::Plain:
+      case ObjectKind::Array:
+      case ObjectKind::SmallInt:
+      case ObjectKind::String:
+      case ObjectKind::Method:
+        CanFail = false;
+        ++Stats.ChecksEliminated;
+        break;
+      default:
+        break;
+      }
+    }
+    return genericPrim(ResT, CanFail);
+  }
+  case PrimId::StrCat:
+    return genericPrim(TC.classOf(W.stringMap()), true);
+  case PrimId::StrEq:
+    return genericPrim(TC.unknown(), true);
+  case PrimId::Print:
+  case PrimId::PrintLine:
+    return genericPrim(typeOf(S, Recv), false);
+  case PrimId::ErrorOp: {
+    int R = genericPrim(TC.unknown(), false);
+    // _Error: always fails at run time; nothing follows it.
+    S.Dead = true;
+    return R;
+  }
+  case PrimId::Invalid:
+    break;
+  }
+  emitError(S, "unknown primitive");
+  return newVreg();
+}

@@ -1,0 +1,526 @@
+//===-- compiler/split.cpp - Extended message splitting ---------------------===//
+//
+// Extended message splitting (§4): when the receiver of a send has a merge
+// type, the compiler may copy all the nodes between the diluting merge and
+// the send, giving each copy the more specific type information of its
+// branch so the send can be inlined separately on each. The old compiler
+// could only do this when the send *immediately* followed the merge ("local
+// splitting"); the threshold on copied nodes bounds code growth.
+//
+// Implementation: the merge's predecessors are partitioned by the receiver
+// constituent's map; each group gets its own fresh merge node and a clone
+// of the intervening node chain. Clones write the same vregs as the
+// originals (the later re-merge is by register convergence), and each
+// clone chain's types are recomputed by re-running the per-node transfer
+// functions — which is also where copied type tests and overflow checks
+// constant-fold away on the refined path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/analyze.h"
+
+#include "bytecode/bytecode.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace mself;
+
+bool Analyzer::trySplitAtMerge(const State &S, int Vreg,
+                               std::vector<State> &Out) {
+  if (S.Dead)
+    return false;
+  const Type *MT = typeOf(S, Vreg);
+  if (!MT->isMerge())
+    return false;
+  Node *M = MT->mergeOrigin();
+  if (!M || M->Op != NodeOp::MergeNode || M->SplitUnsafe)
+    return false;
+  if (MT->elems().size() != M->Preds.size())
+    return false; // Stale alignment (extra predecessors attached since).
+
+  // Collect the (linear) chain of nodes from M to the current point.
+  std::vector<Node *> Chain;
+  std::vector<int> InSlot; // Slot through which each chain node is entered.
+  Node *Cur = S.Tail;
+  int CurSlot = S.Slot;
+  std::vector<int> TakenSlot; // Successor slot the path takes out of node.
+  while (Cur != M) {
+    if (Cur->Preds.size() != 1)
+      return false; // Inner joins: give up (only common-case chains copy).
+    if (Cur->Op == NodeOp::MergeNode || Cur->Op == NodeOp::LoopHead)
+      return false;
+    Chain.push_back(Cur);
+    TakenSlot.push_back(CurSlot);
+    Node *Pred = Cur->Preds[0];
+    int Slot = -1;
+    for (int I = 0; I < Pred->numSuccs(); ++I)
+      if (Pred->Succs[static_cast<size_t>(I)] == Cur) {
+        Slot = I;
+        break;
+      }
+    if (Slot < 0)
+      return false;
+    CurSlot = Slot;
+    Cur = Pred;
+    if (static_cast<int>(Chain.size()) > P.SplitThreshold)
+      return false; // §4: bound the code growth.
+  }
+  std::reverse(Chain.begin(), Chain.end());
+  std::reverse(TakenSlot.begin(), TakenSlot.end());
+  if (!P.ExtendedSplitting && !Chain.empty())
+    return false; // Local splitting reaches only adjacent sends.
+
+  // Partition predecessors by the receiver constituent's definite map,
+  // keeping groups in first-predecessor order (pointer-keyed maps would
+  // make the compiled code nondeterministic).
+  std::vector<std::pair<Map *, std::vector<size_t>>> Groups;
+  for (size_t I = 0; I < MT->elems().size(); ++I) {
+    Map *DM = MT->elems()[I]->definiteMap(W);
+    bool Found = false;
+    for (auto &G : Groups)
+      if (G.first == DM) {
+        G.second.push_back(I);
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Groups.push_back({DM, {I}});
+  }
+  if (Groups.size() < 2)
+    return false;
+
+  Stats.NodesCopied +=
+      static_cast<int>(Chain.size()) * (static_cast<int>(Groups.size()) - 1);
+
+  // Snapshot and detach M's incoming edges (aligned with MT->elems()).
+  std::vector<Node *> MPreds = M->Preds;
+  std::vector<int> MPredSlots(MPreds.size(), -1);
+  for (size_t I = 0; I < MPreds.size(); ++I) {
+    Node *Pn = MPreds[I];
+    for (int SI = 0; SI < Pn->numSuccs(); ++SI)
+      if (Pn->Succs[static_cast<size_t>(SI)] == M) {
+        MPredSlots[I] = SI;
+        Pn->Succs[static_cast<size_t>(SI)] = nullptr;
+        break;
+      }
+    assert(MPredSlots[I] >= 0 && "merge predecessor edge not found");
+  }
+  M->Preds.clear(); // M and the original chain become unreachable.
+
+  for (auto &[GroupMap, Idxs] : Groups) {
+    (void)GroupMap;
+    // Per-group merge joining just this group's predecessors.
+    Node *Mg = G.newNode(NodeOp::MergeNode, 1);
+    TypeMap GTypes;
+    for (const auto &KV : M->TypesAt) {
+      const Type *T = KV.second;
+      if (T->isMerge() && T->mergeOrigin() == M &&
+          T->elems().size() == MPreds.size()) {
+        std::vector<const Type *> Per;
+        Per.reserve(Idxs.size());
+        for (size_t I : Idxs)
+          Per.push_back(T->elems()[I]);
+        GTypes[KV.first] = TC.mergeOf(Mg, std::move(Per));
+      } else {
+        GTypes[KV.first] = T;
+      }
+    }
+    Mg->TypesAt = GTypes;
+    for (size_t I : Idxs)
+      G.connect(MPreds[I], MPredSlots[I], Mg);
+
+    // Clone the chain, re-running the transfer functions with the group's
+    // refined types; redundant tests fold away here.
+    State St;
+    St.Tail = Mg;
+    St.Slot = 0;
+    St.Types = std::move(GTypes);
+    for (size_t CI = 0; CI < Chain.size() && !St.Dead; ++CI) {
+      Node *Orig = Chain[CI];
+      int Taken = TakenSlot[CI];
+      Node *Clone = G.newNode(Orig->Op, Orig->numSuccs());
+      Clone->Dst = Orig->Dst;
+      Clone->A = Orig->A;
+      Clone->B = Orig->B;
+      Clone->C = Orig->C;
+      Clone->Idx = Orig->Idx;
+      Clone->Idx2 = Orig->Idx2;
+      Clone->Arith = Orig->Arith;
+      Clone->CondCode = Orig->CondCode;
+      Clone->Val = Orig->Val;
+      Clone->MapArg = Orig->MapArg;
+      Clone->Sel = Orig->Sel;
+      Clone->Prim = Orig->Prim;
+      Clone->Args = Orig->Args;
+      Clone->Block = Orig->Block;
+      Clone->Inst = Orig->Inst;
+      Clone->Msg = Orig->Msg;
+
+      Transfer Tr = applyTransfer(Clone, Taken, St.Types);
+      if (Tr == Transfer::Fold)
+        continue; // Node proven unnecessary on this path; clone orphaned.
+
+      G.connect(St.Tail, St.Slot, Clone);
+      // Side exits (failure branches etc.) share the original targets.
+      for (int SI = 0; SI < Clone->numSuccs(); ++SI) {
+        if (SI == Taken && Tr != Transfer::DeadPath)
+          continue;
+        if (SI == Taken)
+          continue; // DeadPath: the taken slot stays unconnected (Halt).
+        Node *Target = Orig->Succs[static_cast<size_t>(SI)];
+        if (!Target)
+          continue;
+        G.connect(Clone, SI, Target);
+        if (Target->Op == NodeOp::MergeNode ||
+            Target->Op == NodeOp::LoopHead)
+          Target->SplitUnsafe = true;
+      }
+      if (Tr == Transfer::DeadPath) {
+        St.Dead = true;
+        break;
+      }
+      St.Tail = Clone;
+      St.Slot = Taken;
+    }
+    Out.push_back(std::move(St));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-node transfer functions
+//===----------------------------------------------------------------------===//
+
+Analyzer::Transfer Analyzer::applyTransfer(Node *N, int Taken,
+                                           TypeMap &T) {
+  auto typeAt = [&](int V) -> const Type * {
+    auto It = T.find(V);
+    return It == T.end() ? TC.unknown() : It->second;
+  };
+  auto range = [&](int V) { return typeAt(V)->intRange(); };
+
+  switch (N->Op) {
+  case NodeOp::Const:
+    T[N->Dst] = TC.constantOf(N->Val);
+    return Transfer::Keep;
+  case NodeOp::Move:
+    T[N->Dst] = typeAt(N->A);
+    return Transfer::Keep;
+  case NodeOp::GetField:
+  case NodeOp::GetFieldK:
+  case NodeOp::VarGetOuter:
+    T[N->Dst] = TC.unknown();
+    return Transfer::Keep;
+  case NodeOp::SetField:
+  case NodeOp::SetFieldK:
+  case NodeOp::VarSetOuter:
+  case NodeOp::EnterScope:
+  case NodeOp::ArrAtPut:
+  case NodeOp::ArrAtPutRaw:
+    return Transfer::Keep;
+  case NodeOp::ArithRR: {
+    auto RA = range(N->A), RB = range(N->B);
+    const Type *Res = TC.intClass();
+    if (P.RangeAnalysis && RA && RB) {
+      // Recompute the interval; it was provably in range when emitted and
+      // refinement only narrows it.
+      int64_t Cands[4] = {0, 0, 0, 0};
+      std::pair<int64_t, int64_t> Ps[4] = {{RA->first, RB->first},
+                                           {RA->first, RB->second},
+                                           {RA->second, RB->first},
+                                           {RA->second, RB->second}};
+      bool Ok = true;
+      for (int I = 0; I < 4 && Ok; ++I) {
+        switch (N->Arith) {
+        case ArithKind::Add:
+          Ok = !__builtin_add_overflow(Ps[I].first, Ps[I].second, &Cands[I]);
+          break;
+        case ArithKind::Sub:
+          Ok = !__builtin_sub_overflow(Ps[I].first, Ps[I].second, &Cands[I]);
+          break;
+        case ArithKind::Mul:
+          Ok = !__builtin_mul_overflow(Ps[I].first, Ps[I].second, &Cands[I]);
+          break;
+        default:
+          Ok = false;
+          break;
+        }
+      }
+      if (Ok) {
+        int64_t Lo = *std::min_element(Cands, Cands + 4);
+        int64_t Hi = *std::max_element(Cands, Cands + 4);
+        Res = TC.intRange(std::max(Lo, kMinSmallInt),
+                          std::min(Hi, kMaxSmallInt));
+      }
+    }
+    T[N->Dst] = Res;
+    return Transfer::Keep;
+  }
+  case NodeOp::ArithCk: {
+    if (Taken == 1) // Along the failure path nothing is defined.
+      return Transfer::Keep;
+    auto RA = range(N->A), RB = range(N->B);
+    bool IsAddSubMul = N->Arith == ArithKind::Add ||
+                       N->Arith == ArithKind::Sub ||
+                       N->Arith == ArithKind::Mul;
+    if (P.RangeAnalysis && IsAddSubMul && RA && RB) {
+      int64_t Cands[4] = {0, 0, 0, 0};
+      std::pair<int64_t, int64_t> Ps[4] = {{RA->first, RB->first},
+                                           {RA->first, RB->second},
+                                           {RA->second, RB->first},
+                                           {RA->second, RB->second}};
+      bool Ok = true;
+      for (int I = 0; I < 4 && Ok; ++I) {
+        switch (N->Arith) {
+        case ArithKind::Add:
+          Ok = !__builtin_add_overflow(Ps[I].first, Ps[I].second, &Cands[I]);
+          break;
+        case ArithKind::Sub:
+          Ok = !__builtin_sub_overflow(Ps[I].first, Ps[I].second, &Cands[I]);
+          break;
+        default:
+          Ok = !__builtin_mul_overflow(Ps[I].first, Ps[I].second, &Cands[I]);
+          break;
+        }
+      }
+      if (Ok) {
+        int64_t Lo = *std::min_element(Cands, Cands + 4);
+        int64_t Hi = *std::max_element(Cands, Cands + 4);
+        if (Lo >= kMinSmallInt && Hi <= kMaxSmallInt) {
+          // The refined ranges prove no overflow: relax to a raw op.
+          N->Op = NodeOp::ArithRR;
+          N->Succs.resize(1);
+          ++Stats.ChecksEliminated;
+          T[N->Dst] = TC.intRange(Lo, Hi);
+          return Transfer::Keep;
+        }
+        T[N->Dst] = TC.intRange(std::max(Lo, kMinSmallInt),
+                                std::min(Hi, kMaxSmallInt));
+        return Transfer::Keep;
+      }
+    }
+    T[N->Dst] = TC.intClass();
+    return Transfer::Keep;
+  }
+  case NodeOp::CompareBr: {
+    if (N->CondCode == Cond::IdEq || N->CondCode == Cond::IdNe) {
+      auto CA = typeAt(N->A)->constant();
+      auto CB = typeAt(N->B)->constant();
+      if (CA && CB) {
+        bool Eq = CA->identicalTo(*CB);
+        bool GoesTrue = N->CondCode == Cond::IdEq ? Eq : !Eq;
+        int Goes = GoesTrue ? 0 : 1;
+        return Goes == Taken ? Transfer::Fold : Transfer::DeadPath;
+      }
+      return Transfer::Keep;
+    }
+    auto RA = range(N->A), RB = range(N->B);
+    if (RA && RB && P.RangeAnalysis) {
+      std::optional<bool> Known;
+      switch (N->CondCode) {
+      case Cond::Lt:
+        if (RA->second < RB->first)
+          Known = true;
+        else if (RA->first >= RB->second)
+          Known = false;
+        break;
+      case Cond::Le:
+        if (RA->second <= RB->first)
+          Known = true;
+        else if (RA->first > RB->second)
+          Known = false;
+        break;
+      case Cond::Gt:
+        if (RA->first > RB->second)
+          Known = true;
+        else if (RA->second <= RB->first)
+          Known = false;
+        break;
+      case Cond::Ge:
+        if (RA->first >= RB->second)
+          Known = true;
+        else if (RA->second < RB->first)
+          Known = false;
+        break;
+      case Cond::Eq:
+        if (RA->second < RB->first || RA->first > RB->second)
+          Known = false;
+        else if (RA->first == RA->second && RA->first == RB->first &&
+                 RB->first == RB->second)
+          Known = true;
+        break;
+      case Cond::Ne:
+        if (RA->second < RB->first || RA->first > RB->second)
+          Known = true;
+        else if (RA->first == RA->second && RA->first == RB->first &&
+                 RB->first == RB->second)
+          Known = false;
+        break;
+      default:
+        break;
+      }
+      if (Known) {
+        ++Stats.ChecksEliminated;
+        int Goes = *Known ? 0 : 1;
+        return Goes == Taken ? Transfer::Fold : Transfer::DeadPath;
+      }
+      // Refine the taken branch's operand ranges (§3.2.1).
+      bool TrueSide = Taken == 0;
+      int64_t ALo = RA->first, AHi = RA->second;
+      int64_t BLo = RB->first, BHi = RB->second;
+      switch (N->CondCode) {
+      case Cond::Lt:
+        if (TrueSide) {
+          AHi = std::min(AHi, BHi - 1);
+          BLo = std::max(BLo, ALo + 1);
+        } else {
+          ALo = std::max(ALo, BLo);
+          BHi = std::min(BHi, AHi);
+        }
+        break;
+      case Cond::Le:
+        if (TrueSide) {
+          AHi = std::min(AHi, BHi);
+          BLo = std::max(BLo, ALo);
+        } else {
+          ALo = std::max(ALo, BLo + 1);
+          BHi = std::min(BHi, AHi - 1);
+        }
+        break;
+      case Cond::Gt:
+        if (TrueSide) {
+          ALo = std::max(ALo, BLo + 1);
+          BHi = std::min(BHi, AHi - 1);
+        } else {
+          AHi = std::min(AHi, BHi);
+          BLo = std::max(BLo, ALo);
+        }
+        break;
+      case Cond::Ge:
+        if (TrueSide) {
+          ALo = std::max(ALo, BLo);
+          BHi = std::min(BHi, AHi);
+        } else {
+          AHi = std::min(AHi, BHi - 1);
+          BLo = std::max(BLo, ALo + 1);
+        }
+        break;
+      case Cond::Eq:
+        if (TrueSide) {
+          ALo = BLo = std::max(ALo, BLo);
+          AHi = BHi = std::min(AHi, BHi);
+        }
+        break;
+      default:
+        break;
+      }
+      if (ALo > AHi || BLo > BHi)
+        return Transfer::DeadPath;
+      T[N->A] = TC.intRange(ALo, AHi);
+      T[N->B] = TC.intRange(BLo, BHi);
+    }
+    return Transfer::Keep;
+  }
+  case NodeOp::TestInt: {
+    const Type *At = typeAt(N->A);
+    if (At->definiteMap(W) == W.smallIntMap()) {
+      ++Stats.ChecksEliminated;
+      return Taken == 0 ? Transfer::Fold : Transfer::DeadPath;
+    }
+    if (At->excludesInt(W)) {
+      if (Taken == 0)
+        return Transfer::DeadPath;
+      ++Stats.ChecksEliminated;
+      return Transfer::Fold;
+    }
+    if (Taken == 0)
+      T[N->A] = TC.intClass();
+    else
+      T[N->A] = TC.difference(At, TC.intClass());
+    return Transfer::Keep;
+  }
+  case NodeOp::TestMap: {
+    const Type *At = typeAt(N->A);
+    if (At->definiteMap(W) == N->MapArg) {
+      ++Stats.ChecksEliminated;
+      return Taken == 0 ? Transfer::Fold : Transfer::DeadPath;
+    }
+    if (At->excludesMap(W, N->MapArg)) {
+      if (Taken == 0)
+        return Transfer::DeadPath;
+      ++Stats.ChecksEliminated;
+      return Transfer::Fold;
+    }
+    if (Taken == 0)
+      T[N->A] = TC.classOf(N->MapArg);
+    else
+      T[N->A] = TC.difference(At, TC.classOf(N->MapArg));
+    return Transfer::Keep;
+  }
+  case NodeOp::ArrAt:
+  case NodeOp::ArrAtRaw:
+    T[N->Dst] = TC.unknown();
+    return Transfer::Keep;
+  case NodeOp::ArrSize:
+    T[N->Dst] = TC.intRange(0, int64_t(1) << 30);
+    return Transfer::Keep;
+  case NodeOp::SendNode:
+    T[N->Dst] = TC.unknown();
+    for (int V : EscapedVars)
+      T[V] = TC.unknown();
+    return Transfer::Keep;
+  case NodeOp::PrimNode: {
+    const Type *Res = TC.unknown();
+    switch (N->Prim) {
+    case PrimId::VectorNew:
+    case PrimId::VectorNewFilling:
+      Res = TC.classOf(W.arrayMap());
+      break;
+    case PrimId::Clone:
+      if (Map *M = typeAt(N->Args[0])->definiteMap(W))
+        Res = TC.classOf(M);
+      break;
+    case PrimId::StrCat:
+      Res = TC.classOf(W.stringMap());
+      break;
+    case PrimId::Print:
+    case PrimId::PrintLine:
+      Res = typeAt(N->Args[0]);
+      break;
+    default:
+      break;
+    }
+    T[N->Dst] = Res;
+    for (int V : EscapedVars)
+      T[V] = TC.unknown();
+    return Transfer::Keep;
+  }
+  case NodeOp::VarGet: {
+    int SlotVreg = N->Inst->VregBase + N->Idx;
+    T[N->Dst] = EscapedVars.count(SlotVreg) ? TC.unknown()
+                                            : typeAt(SlotVreg);
+    return Transfer::Keep;
+  }
+  case NodeOp::VarSet: {
+    int SlotVreg = N->Inst->VregBase + N->Idx;
+    T[SlotVreg] = P.TrackLocalTypes && !EscapedVars.count(SlotVreg)
+                      ? typeAt(N->A)
+                      : TC.unknown();
+    return Transfer::Keep;
+  }
+  case NodeOp::MakeBlockNode:
+    T[N->Dst] = TC.closureOf(N->Block, N->Inst);
+    return Transfer::Keep;
+  case NodeOp::Start:
+  case NodeOp::MergeNode:
+  case NodeOp::LoopHead:
+  case NodeOp::ReturnNode:
+  case NodeOp::NLRetNode:
+  case NodeOp::ErrorNode:
+    assert(false && "join/terminal nodes never appear in a split chain");
+    return Transfer::Keep;
+  }
+  return Transfer::Keep;
+}

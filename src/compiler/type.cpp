@@ -1,0 +1,363 @@
+//===-- compiler/type.cpp - The compile-time type lattice ------------------===//
+
+#include "compiler/type.h"
+
+#include "runtime/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace mself;
+
+//===----------------------------------------------------------------------===//
+// Type queries
+//===----------------------------------------------------------------------===//
+
+std::optional<Value> Type::constant() const {
+  if (K == Kind::Value)
+    return V;
+  if (K == Kind::IntRange && Lo == Hi)
+    return Value::fromInt(Lo);
+  return std::nullopt;
+}
+
+std::optional<std::pair<int64_t, int64_t>> Type::intRange() const {
+  if (K == Kind::IntRange)
+    return std::make_pair(Lo, Hi);
+  return std::nullopt;
+}
+
+Map *Type::definiteMap(const World &W) const {
+  switch (K) {
+  case Kind::Value:
+    return M;
+  case Kind::IntRange:
+    return W.smallIntMap();
+  case Kind::Class:
+    return M;
+  case Kind::Unknown:
+    return nullptr;
+  case Kind::Union:
+  case Kind::Merge: {
+    Map *Common = nullptr;
+    for (const Type *E : Elems) {
+      Map *EM = E->definiteMap(W);
+      if (!EM || (Common && EM != Common))
+        return nullptr;
+      Common = EM;
+    }
+    return Common;
+  }
+  case Kind::Difference:
+    // Removing values cannot widen the set of possible maps.
+    return Base->definiteMap(W);
+  case Kind::Closure:
+    return W.blockMap();
+  }
+  return nullptr;
+}
+
+bool Type::excludesInt(const World &W) const {
+  switch (K) {
+  case Kind::Value:
+  case Kind::Class:
+    return M != W.smallIntMap();
+  case Kind::Closure:
+    return true;
+  case Kind::IntRange:
+    return false;
+  case Kind::Unknown:
+    return false;
+  case Kind::Union:
+  case Kind::Merge:
+    for (const Type *E : Elems)
+      if (!E->excludesInt(W))
+        return false;
+    return true;
+  case Kind::Difference:
+    // base \ sub excludes ints if base does, or if sub covers all ints.
+    if (Base->excludesInt(W))
+      return true;
+    if (Sub->K == Kind::IntRange && Sub->Lo == kMinSmallInt &&
+        Sub->Hi == kMaxSmallInt)
+      return true;
+    return false;
+  }
+  return false;
+}
+
+bool Type::excludesMap(const World &W, Map *Target) const {
+  switch (K) {
+  case Kind::Value:
+  case Kind::Class:
+    return M != Target;
+  case Kind::Closure:
+    return Target != W.blockMap();
+  case Kind::IntRange:
+    return Target != W.smallIntMap();
+  case Kind::Unknown:
+    return false;
+  case Kind::Union:
+  case Kind::Merge:
+    for (const Type *E : Elems)
+      if (!E->excludesMap(W, Target))
+        return false;
+    return true;
+  case Kind::Difference:
+    if (Base->excludesMap(W, Target))
+      return true;
+    // base \ sub excludes Target when sub covers the whole Target class.
+    if (Sub->K == Kind::Class && Sub->M == Target)
+      return true;
+    if (Target == W.smallIntMap() && Sub->K == Kind::IntRange &&
+        Sub->Lo == kMinSmallInt && Sub->Hi == kMaxSmallInt)
+      return true;
+    return false;
+  }
+  return false;
+}
+
+bool Type::equals(const Type *O) const {
+  if (this == O)
+    return true;
+  if (K != O->K)
+    return false;
+  switch (K) {
+  case Kind::Unknown:
+    return true;
+  case Kind::Value:
+    return V == O->V;
+  case Kind::IntRange:
+    return Lo == O->Lo && Hi == O->Hi;
+  case Kind::Class:
+    return M == O->M;
+  case Kind::Union:
+  case Kind::Merge:
+    if (K == Kind::Merge && Origin != O->Origin)
+      return false;
+    if (Elems.size() != O->Elems.size())
+      return false;
+    for (size_t I = 0; I < Elems.size(); ++I)
+      if (!Elems[I]->equals(O->Elems[I]))
+        return false;
+    return true;
+  case Kind::Difference:
+    return Base->equals(O->Base) && Sub->equals(O->Sub);
+  case Kind::Closure:
+    return ClosureB == O->ClosureB && ClosureI == O->ClosureI;
+  }
+  return false;
+}
+
+bool Type::contains(const World &W, const Type *SubT) const {
+  if (equals(SubT) || K == Kind::Unknown)
+    return true;
+  // A union/merge contains anything one of its constituents contains.
+  if (K == Kind::Union || K == Kind::Merge) {
+    for (const Type *E : Elems)
+      if (E->contains(W, SubT))
+        return true;
+    // Or, memberwise: every constituent of a sub-union is contained.
+  }
+  if (SubT->K == Kind::Union || SubT->K == Kind::Merge) {
+    bool All = true;
+    for (const Type *E : SubT->Elems)
+      if (!contains(W, E)) {
+        All = false;
+        break;
+      }
+    if (All)
+      return true;
+  }
+  switch (K) {
+  case Kind::IntRange: {
+    auto R = SubT->intRange();
+    return R && R->first >= Lo && R->second <= Hi;
+  }
+  case Kind::Class:
+    if (SubT->K == Kind::Value)
+      return SubT->M == M;
+    if (SubT->K == Kind::Class)
+      return SubT->M == M;
+    if (SubT->K == Kind::IntRange)
+      return M == W.smallIntMap();
+    if (SubT->K == Kind::Difference)
+      return contains(W, SubT->Base);
+    return false;
+  case Kind::Difference:
+    // Conservative: no structural reasoning beyond equality.
+    return false;
+  default:
+    return false;
+  }
+}
+
+std::string Type::describe() const {
+  std::ostringstream Os;
+  switch (K) {
+  case Kind::Unknown:
+    Os << "?";
+    break;
+  case Kind::Value:
+    Os << "val(" << V.describe() << ")";
+    break;
+  case Kind::IntRange:
+    if (Lo == kMinSmallInt && Hi == kMaxSmallInt)
+      Os << "int";
+    else if (Lo == Hi)
+      Os << Lo;
+    else
+      Os << "[" << Lo << ".." << Hi << "]";
+    break;
+  case Kind::Class:
+    Os << "class(" << M->debugName() << ")";
+    break;
+  case Kind::Union:
+  case Kind::Merge: {
+    Os << (K == Kind::Union ? "union{" : "merge{");
+    bool First = true;
+    for (const Type *E : Elems) {
+      if (!First)
+        Os << ", ";
+      First = false;
+      Os << E->describe();
+    }
+    Os << "}";
+    break;
+  }
+  case Kind::Difference:
+    Os << Base->describe() << " \\ " << Sub->describe();
+    break;
+  case Kind::Closure:
+    Os << "closure";
+    break;
+  }
+  return Os.str();
+}
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+Type *TypeContext::make(Type::Kind K) {
+  Arena.push_back(std::unique_ptr<Type>(new Type(K)));
+  return Arena.back().get();
+}
+
+const Type *TypeContext::unknown() {
+  if (!UnknownCache)
+    UnknownCache = make(Type::Kind::Unknown);
+  return UnknownCache;
+}
+
+const Type *TypeContext::constantOf(Value V) {
+  if (V.isInt())
+    return intRange(V.asInt(), V.asInt());
+  Type *T = make(Type::Kind::Value);
+  T->V = V;
+  T->M = W.mapOf(V);
+  return T;
+}
+
+const Type *TypeContext::intRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer range type");
+  Type *T = make(Type::Kind::IntRange);
+  T->Lo = std::max(Lo, kMinSmallInt);
+  T->Hi = std::min(Hi, kMaxSmallInt);
+  return T;
+}
+
+const Type *TypeContext::intClass() {
+  return intRange(kMinSmallInt, kMaxSmallInt);
+}
+
+const Type *TypeContext::classOf(Map *M) {
+  if (M == W.smallIntMap())
+    return intClass();
+  Type *T = make(Type::Kind::Class);
+  T->M = M;
+  return T;
+}
+
+const Type *TypeContext::closureOf(const ast::BlockExpr *B, ScopeInst *Inst) {
+  Type *T = make(Type::Kind::Closure);
+  T->ClosureB = B;
+  T->ClosureI = Inst;
+  return T;
+}
+
+const Type *TypeContext::unionOf(std::vector<const Type *> Elems) {
+  assert(!Elems.empty() && "empty union type");
+  if (Elems.size() == 1)
+    return Elems[0];
+  Type *T = make(Type::Kind::Union);
+  T->Elems = std::move(Elems);
+  return T;
+}
+
+const Type *TypeContext::difference(const Type *Base, const Type *Sub) {
+  Type *T = make(Type::Kind::Difference);
+  T->Base = Base;
+  T->Sub = Sub;
+  return T;
+}
+
+const Type *TypeContext::mergeOf(Node *Origin,
+                                 std::vector<const Type *> PerPred) {
+  assert(!PerPred.empty() && "merge of nothing");
+  bool AllEqual = true;
+  for (const Type *T : PerPred)
+    if (!T->equals(PerPred[0])) {
+      AllEqual = false;
+      break;
+    }
+  if (AllEqual)
+    return PerPred[0];
+  Type *T = make(Type::Kind::Merge);
+  T->Elems = std::move(PerPred);
+  T->Origin = Origin;
+  return T;
+}
+
+const Type *TypeContext::joinAtMerge(Node *Origin,
+                                     std::vector<const Type *> PerPred) {
+  return mergeOf(Origin, std::move(PerPred));
+}
+
+const Type *TypeContext::joinAtLoopHead(Node *Origin, const Type *HeadT,
+                                        const Type *TailT, bool Generalize) {
+  if (HeadT->equals(TailT))
+    return HeadT;
+  if (Generalize) {
+    // Same class, different values/subranges: widen to the class type so
+    // the analysis converges in one extra pass (§5.1).
+    auto HR = HeadT->intRange();
+    auto TR = TailT->intRange();
+    if (HR && TR)
+      return intClass();
+    Map *HM = HeadT->definiteMap(W);
+    Map *TM = TailT->definiteMap(W);
+    if (HM && HM == TM)
+      return classOf(HM);
+  }
+  // Flatten an existing head merge from a previous iteration so merge types
+  // don't nest unboundedly across passes. A constituent absorbs the tail
+  // type only when doing so loses no class information: the unknown type
+  // does NOT absorb a class type — the paper's merge of {unknown, class}
+  // keeps both, so the loop body can split the class branch off (§5.2).
+  std::vector<const Type *> Elems;
+  if (HeadT->isMerge())
+    Elems = HeadT->elems();
+  else
+    Elems.push_back(HeadT);
+  for (const Type *E : Elems) {
+    if (!E->contains(W, TailT))
+      continue;
+    Map *TM = TailT->definiteMap(W);
+    if (!TM || E->definiteMap(W) == TM)
+      return HeadT;
+  }
+  Elems.push_back(TailT);
+  return mergeOf(Origin, std::move(Elems));
+}

@@ -1,0 +1,165 @@
+//===-- compiler/type.h - The compile-time type lattice ---------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's type system (§3.1): a type is a non-empty set of values.
+///
+///   * Value          — a singleton set (compile-time constant object).
+///                      Integer constants are represented as degenerate
+///                      IntRange types instead, so every integer type
+///                      carries range information.
+///   * IntRange       — a set of sequential integer values; the integer
+///                      "class type" is the full range.
+///   * Class          — all values sharing one map (format + inheritance).
+///   * Unknown        — all values; provides no information.
+///   * Union          — set union of types.
+///   * Difference     — set difference (from failed run-time type tests).
+///   * Merge          — like a union, but remembers that the dilution came
+///                      from a control-flow merge: it records the identity
+///                      of each incoming branch's type, which is what makes
+///                      message splitting possible (§4).
+///
+/// Types are immutable and allocated from a TypeContext arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_TYPE_H
+#define MINISELF_COMPILER_TYPE_H
+
+#include "vm/map.h"
+#include "vm/value.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+class World;
+struct Node;
+struct ScopeInst;
+namespace ast {
+struct BlockExpr;
+} // namespace ast
+
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Unknown,
+    Value,
+    IntRange,
+    Class,
+    Union,
+    Difference,
+    Merge,
+    Closure, ///< A specific block literal from a specific inline context.
+  };
+
+  Kind kind() const { return K; }
+
+  bool isUnknown() const { return K == Kind::Unknown; }
+  bool isIntRange() const { return K == Kind::IntRange; }
+  bool isMerge() const { return K == Kind::Merge; }
+  bool isClosure() const { return K == Kind::Closure; }
+
+  /// The constant for Value types / degenerate ranges, if any.
+  std::optional<Value> constant() const;
+  /// Inclusive integer bounds when every member is a small integer.
+  std::optional<std::pair<int64_t, int64_t>> intRange() const;
+
+  /// The single map every member of this type is guaranteed to have, or
+  /// null. This is what permits compile-time message lookup (§3.2.2).
+  Map *definiteMap(const World &W) const;
+
+  /// True when no member of this type can be a small integer (used to
+  /// prune impossible test branches).
+  bool excludesInt(const World &W) const;
+  /// True when no member can have map \p M.
+  bool excludesMap(const World &W, Map *M) const;
+
+  /// Structural equality.
+  bool equals(const Type *O) const;
+
+  /// Conservative subset test: true only when every member of \p Sub is
+  /// provably a member of this type.
+  bool contains(const World &W, const Type *Sub) const;
+
+  /// Constituents of Union/Merge types.
+  const std::vector<const Type *> &elems() const { return Elems; }
+  /// The control-flow merge node a Merge type originated at.
+  Node *mergeOrigin() const { return Origin; }
+
+  const Type *diffBase() const { return Base; }
+  const Type *diffSub() const { return Sub; }
+
+  Value valueConstant() const { return V; }
+  Map *classMap() const { return M; }
+  const ast::BlockExpr *closureBlock() const { return ClosureB; }
+  struct ScopeInst *closureInst() const { return ClosureI; }
+  int64_t lo() const { return Lo; }
+  int64_t hi() const { return Hi; }
+
+  std::string describe() const;
+
+private:
+  friend class TypeContext;
+  explicit Type(Kind K) : K(K) {}
+
+  Kind K;
+  Value V;                 ///< Value
+  Map *M = nullptr;        ///< Class; also the constant's map for Value.
+  int64_t Lo = 0, Hi = 0;  ///< IntRange
+  std::vector<const Type *> Elems; ///< Union/Merge
+  const Type *Base = nullptr, *Sub = nullptr; ///< Difference
+  Node *Origin = nullptr;  ///< Merge
+  const ast::BlockExpr *ClosureB = nullptr; ///< Closure
+  struct ScopeInst *ClosureI = nullptr;     ///< Closure
+};
+
+/// Arena + factory for types used during one compilation.
+class TypeContext {
+public:
+  explicit TypeContext(const World &W) : W(W) {}
+
+  const Type *unknown();
+  /// Constant type for \p V (integers become degenerate ranges).
+  const Type *constantOf(Value V);
+  const Type *intRange(int64_t Lo, int64_t Hi);
+  const Type *intClass(); ///< The full small-integer range.
+  /// Class type for \p M (the small-int map normalizes to intClass()).
+  const Type *classOf(Map *M);
+  const Type *unionOf(std::vector<const Type *> Elems);
+  const Type *difference(const Type *Base, const Type *Sub);
+  /// A specific block literal created in inline context \p Inst.
+  const Type *closureOf(const ast::BlockExpr *B, ScopeInst *Inst);
+  /// Merge type: \p PerPred holds the incoming type of each predecessor of
+  /// \p Origin, in predecessor order. Collapses when all inputs are equal.
+  const Type *mergeOf(Node *Origin, std::vector<const Type *> PerPred);
+
+  /// The join used at normal merge nodes: equal types stay, different
+  /// types form a merge type remembering both (§4).
+  const Type *joinAtMerge(Node *Origin, std::vector<const Type *> PerPred);
+
+  /// The loop-head join (§5.1): different value/subrange types within the
+  /// same class generalize to the class type (when \p Generalize), other
+  /// differences form a merge type.
+  const Type *joinAtLoopHead(Node *Origin, const Type *HeadT,
+                             const Type *TailT, bool Generalize);
+
+  const World &world() const { return W; }
+
+private:
+  Type *make(Type::Kind K);
+  const World &W;
+  std::vector<std::unique_ptr<Type>> Arena;
+  const Type *UnknownCache = nullptr;
+};
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_TYPE_H

@@ -1,0 +1,65 @@
+//===-- driver/vm.cpp - The virtual machine facade --------------------------===//
+
+#include "driver/vm.h"
+
+#include "compiler/compile.h"
+
+using namespace mself;
+
+VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
+  TheWorld = std::make_unique<World>(TheHeap);
+  World *W = TheWorld.get();
+  const Policy *Pp = &Pol;
+  Code = std::make_unique<CodeManager>(
+      TheHeap, Pol.Customize, [W, Pp](const CompileRequest &Req) {
+        return compileFunction(*W, *Pp, Req);
+      });
+  Interp = std::make_unique<Interpreter>(*TheWorld, *Code);
+}
+
+bool VirtualMachine::load(const std::string &Source, std::string &ErrOut) {
+  std::vector<const ast::Code *> Exprs;
+  if (!TheWorld->loadSource(Source, Exprs, ErrOut))
+    return false;
+  for (const ast::Code *E : Exprs) {
+    Interpreter::Outcome O = Interp->evalTopLevel(E);
+    if (!O.Ok) {
+      ErrOut = O.Message;
+      return false;
+    }
+  }
+  return true;
+}
+
+Interpreter::Outcome VirtualMachine::eval(const std::string &Source) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  Interpreter::Outcome Out;
+  if (!TheWorld->loadSource(Source, Exprs, Err)) {
+    Out.Ok = false;
+    Out.Message = Err;
+    return Out;
+  }
+  Out.Result = TheWorld->nilValue();
+  for (const ast::Code *E : Exprs) {
+    Out = Interp->evalTopLevel(E);
+    if (!Out.Ok)
+      return Out;
+  }
+  return Out;
+}
+
+bool VirtualMachine::evalInt(const std::string &Source, int64_t &Out,
+                             std::string &ErrOut) {
+  Interpreter::Outcome O = eval(Source);
+  if (!O.Ok) {
+    ErrOut = O.Message;
+    return false;
+  }
+  if (!O.Result.isInt()) {
+    ErrOut = "expected an integer result, got " + O.Result.describe();
+    return false;
+  }
+  Out = O.Result.asInt();
+  return true;
+}

@@ -1,0 +1,61 @@
+//===-- driver/vm.h - The virtual machine facade ----------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VirtualMachine bundles one complete mini-SELF system — heap, world,
+/// code cache, interpreter — under one compiler Policy. This is the public
+/// entry point: load source (definitions + expressions), evaluate
+/// expressions, and read back compile/execution statistics. Each benchmark
+/// configuration in the paper's tables is one VirtualMachine with a
+/// different Policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_DRIVER_VM_H
+#define MINISELF_DRIVER_VM_H
+
+#include "compiler/policy.h"
+#include "interp/interp.h"
+
+#include <memory>
+#include <string>
+
+namespace mself {
+
+class VirtualMachine {
+public:
+  explicit VirtualMachine(Policy P = Policy::newSelf());
+
+  /// Loads \p Source: slot definitions install on the lobby; expression
+  /// statements evaluate immediately in order.
+  /// \returns false and sets \p ErrOut on parse/load/runtime errors.
+  bool load(const std::string &Source, std::string &ErrOut);
+
+  /// Parses and evaluates \p Source as a top-level program, returning the
+  /// value of the last expression statement.
+  Interpreter::Outcome eval(const std::string &Source);
+
+  /// Convenience: evaluates and expects a small-integer result.
+  /// \returns false unless evaluation succeeded with an integer.
+  bool evalInt(const std::string &Source, int64_t &Out, std::string &ErrOut);
+
+  const Policy &policy() const { return Pol; }
+  Heap &heap() { return TheHeap; }
+  World &world() { return *TheWorld; }
+  CodeManager &code() { return *Code; }
+  Interpreter &interp() { return *Interp; }
+
+private:
+  Policy Pol;
+  Heap TheHeap;
+  std::unique_ptr<World> TheWorld;
+  std::unique_ptr<CodeManager> Code;
+  std::unique_ptr<Interpreter> Interp;
+};
+
+} // namespace mself
+
+#endif // MINISELF_DRIVER_VM_H

@@ -1,0 +1,828 @@
+//===-- interp/interp.cpp - Bytecode interpreter and code cache -----------===//
+
+#include "interp/interp.h"
+
+#include "runtime/lookup.h"
+#include "runtime/primitives.h"
+#include "support/stopwatch.h"
+#include "vm/object.h"
+
+#include <cassert>
+
+using namespace mself;
+
+//===----------------------------------------------------------------------===//
+// CodeManager
+//===----------------------------------------------------------------------===//
+
+CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
+  CompileRequest Norm = Req;
+  if (!Customize)
+    Norm.ReceiverMap = nullptr;
+  Key K{Norm.Source, Norm.ReceiverMap};
+  auto It = Cache.find(K);
+  if (It != Cache.end())
+    return It->second;
+
+  double Before = cpuTimeSeconds();
+  std::unique_ptr<CompiledFunction> Fn = Compiler(Norm);
+  double Elapsed = cpuTimeSeconds() - Before;
+  assert(Fn && "compiler must produce code");
+  Fn->Stats.Seconds = Elapsed;
+  CompileSeconds += Elapsed;
+
+  CompiledFunction *Raw = Fn.get();
+  Functions.push_back(std::move(Fn));
+  Cache.emplace(K, Raw);
+  return Raw;
+}
+
+size_t CodeManager::totalCodeBytes() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    N += F->sizeInBytes();
+  return N;
+}
+
+void CodeManager::forEach(
+    const std::function<void(const CompiledFunction &)> &F) const {
+  for (const auto &Fn : Functions)
+    F(*Fn);
+}
+
+void CodeManager::traceRoots(GcVisitor &V) {
+  for (const auto &F : Functions) {
+    for (Value L : F->Literals)
+      V.visit(L);
+    for (const InlineCache &C : F->Caches) {
+      V.visit(C.ConstValue);
+      if (C.SlotHolder)
+        V.visitObject(C.SlotHolder);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+Interpreter::Interpreter(World &W, CodeManager &CM) : W(W), CM(CM) {
+  RegStack.reserve(1u << 16);
+  W.heap().addRootProvider(this);
+}
+
+Interpreter::~Interpreter() { W.heap().removeRootProvider(this); }
+
+void Interpreter::traceRoots(GcVisitor &V) {
+  size_t Top = 0;
+  if (!Frames.empty())
+    Top = static_cast<size_t>(Frames.back().Base + Frames.back().Fn->NumRegs);
+  for (size_t I = 0; I < Top; ++I)
+    V.visit(RegStack[I]);
+  for (Value R : NativeRoots)
+    V.visit(R);
+}
+
+void Interpreter::safepoint() {
+  if (!W.heap().shouldCollect())
+    return;
+  W.heap().collect();
+  // Scrub the dead region of the register stack: values there may point to
+  // objects the sweep just freed, and must never be traced or reused.
+  size_t Top = 0;
+  if (!Frames.empty())
+    Top = static_cast<size_t>(Frames.back().Base + Frames.back().Fn->NumRegs);
+  for (size_t I = Top; I < RegStack.size(); ++I)
+    RegStack[I] = Value();
+}
+
+bool Interpreter::pushActivation(CompiledFunction *Fn, Value Self,
+                                 const Value *Args, int Argc, int RetDst,
+                                 Object *Env, uint64_t HomeId, bool IsBlock) {
+  assert(Argc == Fn->NumArgs && "activation arity mismatch");
+  int NewBase = Frames.empty()
+                    ? 0
+                    : Frames.back().Base + Frames.back().Fn->NumRegs;
+  size_t Need = static_cast<size_t>(NewBase + Fn->NumRegs);
+  // Args may point into RegStack, which resize invalidates: copy first.
+  Value ArgBuf[8];
+  std::vector<Value> ArgOverflow;
+  if (Argc > 8) {
+    ArgOverflow.assign(Args, Args + Argc);
+    Args = ArgOverflow.data();
+  } else if (Argc > 0) {
+    for (int I = 0; I < Argc; ++I)
+      ArgBuf[I] = Args[I];
+    Args = ArgBuf;
+  }
+  if (RegStack.size() < Need)
+    RegStack.resize(Need); // New elements value-initialize to empty.
+  // Stale values above the live top are not traced (traceRoots stops at the
+  // top frame's extent) and are scrubbed after every collection, so the
+  // window needs no per-activation clearing — that cost would otherwise
+  // scale with the optimizer's inlining depth.
+
+  RegStack[static_cast<size_t>(NewBase)] = Self;
+  for (int I = 0; I < Argc; ++I)
+    RegStack[static_cast<size_t>(NewBase + 1 + I)] = Args[I];
+  if (Fn->IncomingEnvReg >= 0 && Env)
+    RegStack[static_cast<size_t>(NewBase + Fn->IncomingEnvReg)] =
+        Value::fromObject(Env);
+
+  Frame F;
+  F.Fn = Fn;
+  F.IP = 0;
+  F.Base = NewBase;
+  F.RetDst = RetDst;
+  F.FrameId = NextFrameId++;
+  F.HomeFrameId = IsBlock ? HomeId : F.FrameId;
+  Frames.push_back(F);
+  return true;
+}
+
+Interpreter::RunResult Interpreter::fail(const std::string &Msg) {
+  ErrMsg = Msg;
+  RunResult R;
+  R.K = RunResult::Kind::Error;
+  return R;
+}
+
+Interpreter::DispatchKind
+Interpreter::dispatchSend(Value Recv, const std::string *Sel,
+                          const Value *Args, int Argc, int RetDst,
+                          InlineCache *Cache, Value &Immediate) {
+  ++Counters.Sends;
+  Map *M = W.mapOf(Recv);
+
+  // Inline-cache fast path.
+  if (Cache && Cache->CachedMap == M) {
+    ++Counters.IcHits;
+    ++Cache->HitCount;
+    switch (Cache->CacheKind) {
+    case InlineCache::Kind::Method:
+      pushActivation(Cache->Target, Recv, Args, Argc, RetDst, nullptr, 0,
+                     false);
+      return DispatchKind::Pushed;
+    case InlineCache::Kind::DataGet: {
+      Object *Holder = Cache->SlotHolder ? Cache->SlotHolder
+                                         : Recv.asObject();
+      Immediate = Holder->field(Cache->FieldIndex);
+      return DispatchKind::Immediate;
+    }
+    case InlineCache::Kind::DataSet: {
+      Object *Holder = Cache->SlotHolder ? Cache->SlotHolder
+                                         : Recv.asObject();
+      Holder->setField(Cache->FieldIndex, Args[0]);
+      Immediate = Args[0];
+      return DispatchKind::Immediate;
+    }
+    case InlineCache::Kind::ConstGet:
+      Immediate = Cache->ConstValue;
+      return DispatchKind::Immediate;
+    case InlineCache::Kind::Empty:
+      break;
+    }
+  }
+  if (Cache) {
+    ++Counters.IcMisses;
+    ++Cache->MissCount;
+  }
+
+  LookupResult R = lookupSelector(W, M, Sel);
+  switch (R.ResultKind) {
+  case LookupResult::Kind::NotFound:
+    ErrMsg = "message not understood: '" + *Sel + "' sent to " +
+             Recv.describe();
+    return DispatchKind::Error;
+  case LookupResult::Kind::Method: {
+    auto *MO = static_cast<MethodObj *>(R.Slot->Constant.asObject());
+    int Need = selectorArity(*Sel);
+    if (Need != Argc || MO->body()->NumArgs != Argc) {
+      ErrMsg = "method '" + *Sel + "' arity mismatch";
+      return DispatchKind::Error;
+    }
+    CompileRequest Req;
+    Req.Source = MO->body();
+    Req.ReceiverMap = M;
+    Req.IsBlockUnit = false;
+    Req.Name = MO->selector();
+    CompiledFunction *Fn = CM.getOrCompile(Req);
+    if (Cache) {
+      Cache->CachedMap = M;
+      Cache->CacheKind = InlineCache::Kind::Method;
+      Cache->Target = Fn;
+    }
+    pushActivation(Fn, Recv, Args, Argc, RetDst, nullptr, 0, false);
+    return DispatchKind::Pushed;
+  }
+  case LookupResult::Kind::Data: {
+    if (Argc != 0) {
+      ErrMsg = "data slot '" + *Sel + "' read takes no arguments";
+      return DispatchKind::Error;
+    }
+    Object *Holder = R.Holder ? R.Holder : Recv.asObject();
+    Immediate = Holder->field(R.Slot->FieldIndex);
+    if (Cache) {
+      Cache->CachedMap = M;
+      Cache->CacheKind = InlineCache::Kind::DataGet;
+      Cache->SlotHolder = R.Holder;
+      Cache->FieldIndex = R.Slot->FieldIndex;
+    }
+    return DispatchKind::Immediate;
+  }
+  case LookupResult::Kind::Assign: {
+    if (Argc != 1) {
+      ErrMsg = "assignment '" + *Sel + "' takes one argument";
+      return DispatchKind::Error;
+    }
+    Object *Holder = R.Holder ? R.Holder : Recv.asObject();
+    Holder->setField(R.Slot->FieldIndex, Args[0]);
+    Immediate = Args[0];
+    if (Cache) {
+      Cache->CachedMap = M;
+      Cache->CacheKind = InlineCache::Kind::DataSet;
+      Cache->SlotHolder = R.Holder;
+      Cache->FieldIndex = R.Slot->FieldIndex;
+    }
+    return DispatchKind::Immediate;
+  }
+  case LookupResult::Kind::Constant:
+    if (Argc != 0) {
+      ErrMsg = "constant slot '" + *Sel + "' takes no arguments";
+      return DispatchKind::Error;
+    }
+    Immediate = R.Slot->Constant;
+    if (Cache) {
+      Cache->CachedMap = M;
+      Cache->CacheKind = InlineCache::Kind::ConstGet;
+      Cache->ConstValue = R.Slot->Constant;
+    }
+    return DispatchKind::Immediate;
+  }
+  ErrMsg = "lookup failed unexpectedly";
+  return DispatchKind::Error;
+}
+
+Interpreter::RunResult Interpreter::callValueOn(Value Callee,
+                                                const Value *Args, int Argc) {
+  size_t Barrier = Frames.size();
+  if (Callee.isObject() && Callee.asObject()->kind() == ObjectKind::Block) {
+    auto *Blk = static_cast<BlockObj *>(Callee.asObject());
+    if (Blk->body()->Body.NumArgs != Argc)
+      return fail("block invoked with the wrong number of arguments");
+    CompileRequest Req;
+    Req.Source = &Blk->body()->Body;
+    Req.ReceiverMap = W.mapOf(Blk->homeSelf());
+    Req.IsBlockUnit = true;
+    Req.Name = Blk->body()->Body.SelectorName;
+    CompiledFunction *Fn = CM.getOrCompile(Req);
+    pushActivation(Fn, Blk->homeSelf(), Args, Argc, -1, Blk->env(),
+                   Blk->homeFrameId(), true);
+    return run(Barrier);
+  }
+  // Not a block: fall back to a generic `value...` send.
+  const std::string *Sel = W.selectors().valueSelector(Argc);
+  if (!Sel)
+    return fail("cannot invoke a non-block with that many arguments");
+  Value Imm;
+  DispatchKind K = dispatchSend(Callee, Sel, Args, Argc, -1, nullptr, Imm);
+  switch (K) {
+  case DispatchKind::Immediate: {
+    RunResult R;
+    R.Val = Imm;
+    return R;
+  }
+  case DispatchKind::Pushed:
+    return run(Barrier);
+  case DispatchKind::Error:
+    return fail(ErrMsg);
+  }
+  return fail("unreachable dispatch state");
+}
+
+Interpreter::RunResult Interpreter::runWhileLoop(Value CondBlock,
+                                                 Value BodyBlock, bool Until) {
+  // Keep the two callables rooted across iterations.
+  size_t Mark = NativeRoots.size();
+  NativeRoots.push_back(CondBlock);
+  NativeRoots.push_back(BodyBlock);
+  RunResult Out;
+  for (;;) {
+    safepoint();
+    RunResult C = callValueOn(CondBlock, nullptr, 0);
+    if (C.K != RunResult::Kind::Done) {
+      Out = C;
+      break;
+    }
+    bool Truthy;
+    if (C.Val == W.trueValue())
+      Truthy = true;
+    else if (C.Val == W.falseValue())
+      Truthy = false;
+    else {
+      Out = fail("loop condition must evaluate to a boolean");
+      break;
+    }
+    if (Truthy == Until) { // whileTrue: stop on false; whileFalse: on true.
+      Out.Val = W.nilValue();
+      break;
+    }
+    RunResult B = callValueOn(BodyBlock, nullptr, 0);
+    if (B.K != RunResult::Kind::Done) {
+      Out = B;
+      break;
+    }
+  }
+  NativeRoots.resize(Mark);
+  return Out;
+}
+
+Interpreter::RunResult Interpreter::continueNLR(uint64_t HomeId, Value Val,
+                                                size_t Barrier) {
+  while (Frames.size() > Barrier) {
+    Frame Top = Frames.back();
+    Frames.pop_back();
+    if (Top.FrameId == HomeId) {
+      // Returning *from* the home method to its caller.
+      if (Top.RetDst >= 0)
+        RegStack[static_cast<size_t>(Top.RetDst)] = Val;
+      RunResult R;
+      R.Val = Val;
+      R.HomeId = 0;
+      R.K = Frames.size() == Barrier ? RunResult::Kind::Done
+                                     : RunResult::Kind::NLR;
+      // Kind::NLR with HomeId==0 signals "resumed inside this run": the
+      // caller loop in run() checks for it.
+      return R;
+    }
+  }
+  RunResult R;
+  R.K = RunResult::Kind::NLR;
+  R.Val = Val;
+  R.HomeId = HomeId;
+  return R;
+}
+
+Interpreter::RunResult Interpreter::run(size_t Barrier) {
+  assert(Frames.size() > Barrier && "run() needs at least one frame");
+
+  while (true) {
+    Frame &F = Frames.back();
+    CompiledFunction *Fn = F.Fn;
+    const int32_t *Cd = Fn->Code.data();
+    int B = F.Base;
+    int IP = F.IP;
+
+    auto R = [&](int I) -> Value & {
+      return RegStack[static_cast<size_t>(B + I)];
+    };
+
+    // Executes until this frame pushes, pops, or errors.
+    for (;;) {
+      ++Counters.Instructions;
+      if (StepBudget != 0 && Counters.Instructions > StepBudget) {
+        Frames.resize(Barrier);
+        return fail("execution step budget exceeded");
+      }
+      Op O = static_cast<Op>(Cd[IP]);
+      switch (O) {
+      case Op::Halt:
+        Frames.resize(Barrier);
+        return fail("executed Halt");
+      case Op::Move:
+        R(Cd[IP + 1]) = R(Cd[IP + 2]);
+        IP += 3;
+        break;
+      case Op::LoadInt:
+        R(Cd[IP + 1]) = Value::fromInt(Cd[IP + 2]);
+        IP += 3;
+        break;
+      case Op::LoadConst:
+        R(Cd[IP + 1]) = Fn->Literals[static_cast<size_t>(Cd[IP + 2])];
+        IP += 3;
+        break;
+      case Op::GetField:
+        R(Cd[IP + 1]) = R(Cd[IP + 2]).asObject()->field(Cd[IP + 3]);
+        IP += 4;
+        break;
+      case Op::SetField:
+        R(Cd[IP + 1]).asObject()->setField(Cd[IP + 2], R(Cd[IP + 3]));
+        IP += 4;
+        break;
+      case Op::GetFieldConst:
+        R(Cd[IP + 1]) = Fn->Literals[static_cast<size_t>(Cd[IP + 2])]
+                            .asObject()
+                            ->field(Cd[IP + 3]);
+        IP += 4;
+        break;
+      case Op::SetFieldConst:
+        Fn->Literals[static_cast<size_t>(Cd[IP + 1])].asObject()->setField(
+            Cd[IP + 2], R(Cd[IP + 3]));
+        IP += 4;
+        break;
+      case Op::AddRaw:
+        R(Cd[IP + 1]) =
+            Value::fromInt(R(Cd[IP + 2]).asInt() + R(Cd[IP + 3]).asInt());
+        IP += 4;
+        break;
+      case Op::SubRaw:
+        R(Cd[IP + 1]) =
+            Value::fromInt(R(Cd[IP + 2]).asInt() - R(Cd[IP + 3]).asInt());
+        IP += 4;
+        break;
+      case Op::MulRaw:
+        R(Cd[IP + 1]) =
+            Value::fromInt(R(Cd[IP + 2]).asInt() * R(Cd[IP + 3]).asInt());
+        IP += 4;
+        break;
+      case Op::AddCk:
+      case Op::SubCk:
+      case Op::MulCk: {
+        int64_t A = R(Cd[IP + 2]).asInt();
+        int64_t Bv = R(Cd[IP + 3]).asInt();
+        int64_t Res = 0;
+        bool Ovf = O == Op::AddCk   ? __builtin_add_overflow(A, Bv, &Res)
+                   : O == Op::SubCk ? __builtin_sub_overflow(A, Bv, &Res)
+                                    : __builtin_mul_overflow(A, Bv, &Res);
+        if (Ovf || !fitsSmallInt(Res)) {
+          IP = Cd[IP + 4];
+          break;
+        }
+        R(Cd[IP + 1]) = Value::fromInt(Res);
+        IP += 5;
+        break;
+      }
+      case Op::DivCk:
+      case Op::ModCk: {
+        int64_t A = R(Cd[IP + 2]).asInt();
+        int64_t Bv = R(Cd[IP + 3]).asInt();
+        // minInt / -1 overflows the small-int range.
+        if (Bv == 0 || (A == kMinSmallInt && Bv == -1)) {
+          IP = Cd[IP + 4];
+          break;
+        }
+        R(Cd[IP + 1]) = Value::fromInt(O == Op::DivCk ? A / Bv : A % Bv);
+        IP += 5;
+        break;
+      }
+      case Op::CmpValue: {
+        Cond C = static_cast<Cond>(Cd[IP + 2]);
+        Value Av = R(Cd[IP + 3]), Bv = R(Cd[IP + 4]);
+        bool Res;
+        switch (C) {
+        case Cond::IdEq:
+          Res = Av.identicalTo(Bv);
+          break;
+        case Cond::IdNe:
+          Res = !Av.identicalTo(Bv);
+          break;
+        case Cond::Lt:
+          Res = Av.asInt() < Bv.asInt();
+          break;
+        case Cond::Le:
+          Res = Av.asInt() <= Bv.asInt();
+          break;
+        case Cond::Gt:
+          Res = Av.asInt() > Bv.asInt();
+          break;
+        case Cond::Ge:
+          Res = Av.asInt() >= Bv.asInt();
+          break;
+        case Cond::Eq:
+          Res = Av.asInt() == Bv.asInt();
+          break;
+        default:
+          Res = Av.asInt() != Bv.asInt();
+          break;
+        }
+        R(Cd[IP + 1]) = W.boolValue(Res);
+        IP += 5;
+        break;
+      }
+      case Op::BrCmp: {
+        Cond C = static_cast<Cond>(Cd[IP + 1]);
+        Value Av = R(Cd[IP + 2]), Bv = R(Cd[IP + 3]);
+        bool Res;
+        switch (C) {
+        case Cond::IdEq:
+          Res = Av.identicalTo(Bv);
+          break;
+        case Cond::IdNe:
+          Res = !Av.identicalTo(Bv);
+          break;
+        case Cond::Lt:
+          Res = Av.asInt() < Bv.asInt();
+          break;
+        case Cond::Le:
+          Res = Av.asInt() <= Bv.asInt();
+          break;
+        case Cond::Gt:
+          Res = Av.asInt() > Bv.asInt();
+          break;
+        case Cond::Ge:
+          Res = Av.asInt() >= Bv.asInt();
+          break;
+        case Cond::Eq:
+          Res = Av.asInt() == Bv.asInt();
+          break;
+        default:
+          Res = Av.asInt() != Bv.asInt();
+          break;
+        }
+        int Target = Cd[IP + 4];
+        if (Res) {
+          if (Target < IP)
+            safepoint();
+          IP = Target;
+        } else {
+          IP += 5;
+        }
+        break;
+      }
+      case Op::BrTrue: {
+        Value V = R(Cd[IP + 1]);
+        if (V == W.trueValue())
+          IP = Cd[IP + 2];
+        else if (V == W.falseValue())
+          IP = Cd[IP + 3];
+        else {
+          Frames.resize(Barrier);
+          return fail("expected a boolean, got " + V.describe());
+        }
+        break;
+      }
+      case Op::TestInt:
+        ++Counters.TypeTests;
+        if (R(Cd[IP + 1]).isInt())
+          IP += 3;
+        else
+          IP = Cd[IP + 2];
+        break;
+      case Op::TestMap:
+        ++Counters.TypeTests;
+        if (W.mapOf(R(Cd[IP + 1])) ==
+            Fn->MapPool[static_cast<size_t>(Cd[IP + 2])])
+          IP += 4;
+        else
+          IP = Cd[IP + 3];
+        break;
+      case Op::Jump: {
+        int Target = Cd[IP + 1];
+        if (Target < IP)
+          safepoint();
+        IP = Target;
+        break;
+      }
+      case Op::Send: {
+        int Dst = Cd[IP + 1];
+        const std::string *Sel =
+            Fn->SelectorPool[static_cast<size_t>(Cd[IP + 2])];
+        int WinBase = Cd[IP + 3];
+        int Argc = Cd[IP + 4];
+        int CacheIdx = Cd[IP + 5];
+        safepoint();
+        Value Recv = R(WinBase);
+        const Value *Args = &RegStack[static_cast<size_t>(B + WinBase + 1)];
+
+        // Block intercepts: invocation and the loop selectors.
+        if (Recv.isObject() &&
+            Recv.asObject()->kind() == ObjectKind::Block) {
+          auto *Blk = static_cast<BlockObj *>(Recv.asObject());
+          const CommonSelectors &S = W.selectors();
+          if (Sel == S.valueSelector(Argc)) {
+            if (Blk->body()->Body.NumArgs != Argc) {
+              Frames.resize(Barrier);
+              return fail("block invoked with the wrong number of "
+                          "arguments");
+            }
+            CompileRequest Req;
+            Req.Source = &Blk->body()->Body;
+            Req.ReceiverMap = W.mapOf(Blk->homeSelf());
+            Req.IsBlockUnit = true;
+            Req.Name = Blk->body()->Body.SelectorName;
+            CompiledFunction *Callee = CM.getOrCompile(Req);
+            F.IP = IP + 6;
+            pushActivation(Callee, Blk->homeSelf(), Args, Argc, B + Dst,
+                           Blk->env(), Blk->homeFrameId(), true);
+            goto frameChanged;
+          }
+          if ((Sel == S.WhileTrue || Sel == S.WhileFalse) && Argc == 1) {
+            F.IP = IP + 6;
+            RunResult L =
+                runWhileLoop(Recv, Args[0], /*Until=*/Sel == S.WhileFalse);
+            if (L.K == RunResult::Kind::Error) {
+              Frames.resize(Barrier);
+              return L;
+            }
+            if (L.K == RunResult::Kind::NLR) {
+              RunResult U = continueNLR(L.HomeId, L.Val, Barrier);
+              if (U.K == RunResult::Kind::Done)
+                return U;
+              if (U.K == RunResult::Kind::NLR && U.HomeId != 0)
+                return U;
+              goto frameChanged; // Resumed in some caller frame.
+            }
+            // The Frames vector may have reallocated during the loop, so
+            // re-enter through frameChanged rather than touching F again
+            // (the frame's IP was already advanced above).
+            RegStack[static_cast<size_t>(B + Dst)] = L.Val;
+            goto frameChanged;
+          }
+        }
+
+        // Save the resume point before dispatch: a successful dispatch may
+        // push a frame, and pushing can reallocate the Frames vector.
+        F.IP = IP + 6;
+        Value Imm;
+        DispatchKind K =
+            dispatchSend(Recv, Sel, Args, Argc, B + Dst,
+                         &Fn->Caches[static_cast<size_t>(CacheIdx)], Imm);
+        if (K == DispatchKind::Immediate) {
+          RegStack[static_cast<size_t>(B + Dst)] = Imm;
+          IP += 6;
+          break;
+        }
+        if (K == DispatchKind::Pushed)
+          goto frameChanged;
+        Frames.resize(Barrier);
+        return fail(ErrMsg);
+      }
+      case Op::Prim: {
+        int Dst = Cd[IP + 1];
+        PrimId Id = static_cast<PrimId>(Cd[IP + 2]);
+        int WinBase = Cd[IP + 3];
+        int FailTarget = Cd[IP + 5];
+        ++Counters.PrimCalls;
+        Value Result;
+        bool Ok = execPrimitive(W, Id, &RegStack[static_cast<size_t>(
+                                           B + WinBase)],
+                                Result);
+        if (Ok) {
+          R(Dst) = Result;
+          IP += 6;
+          break;
+        }
+        if (FailTarget >= 0) {
+          IP = FailTarget;
+          break;
+        }
+        Frames.resize(Barrier);
+        return fail("primitive failed: " + W.primError());
+      }
+      case Op::ArrAt: {
+        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 2]).asObject());
+        int64_t Idx = R(Cd[IP + 3]).asInt();
+        if (!A->inBounds(Idx)) {
+          IP = Cd[IP + 4];
+          break;
+        }
+        R(Cd[IP + 1]) = A->at(Idx);
+        IP += 5;
+        break;
+      }
+      case Op::ArrAtRaw: {
+        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 2]).asObject());
+        R(Cd[IP + 1]) = A->at(R(Cd[IP + 3]).asInt());
+        IP += 4;
+        break;
+      }
+      case Op::ArrAtPut: {
+        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 1]).asObject());
+        int64_t Idx = R(Cd[IP + 2]).asInt();
+        if (!A->inBounds(Idx)) {
+          IP = Cd[IP + 4];
+          break;
+        }
+        A->atPut(Idx, R(Cd[IP + 3]));
+        IP += 5;
+        break;
+      }
+      case Op::ArrAtPutRaw: {
+        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 1]).asObject());
+        A->atPut(R(Cd[IP + 2]).asInt(), R(Cd[IP + 3]));
+        IP += 4;
+        break;
+      }
+      case Op::ArrSize: {
+        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 2]).asObject());
+        R(Cd[IP + 1]) = Value::fromInt(A->size());
+        IP += 3;
+        break;
+      }
+      case Op::MakeEnv: {
+        int Slots = Cd[IP + 2];
+        int ParentReg = Cd[IP + 3];
+        ArrayObj *E = W.heap().allocArray(
+            W.envMap(), static_cast<size_t>(1 + Slots), W.nilValue());
+        if (ParentReg >= 0)
+          E->atPut(0, R(ParentReg));
+        R(Cd[IP + 1]) = Value::fromObject(E);
+        IP += 4;
+        break;
+      }
+      case Op::EnvGet: {
+        ++Counters.EnvAccesses;
+        Object *E = R(Cd[IP + 2]).asObject();
+        for (int Hop = Cd[IP + 3]; Hop > 0; --Hop)
+          E = static_cast<ArrayObj *>(E)->at(0).asObject();
+        R(Cd[IP + 1]) = static_cast<ArrayObj *>(E)->at(1 + Cd[IP + 4]);
+        IP += 5;
+        break;
+      }
+      case Op::EnvSet: {
+        ++Counters.EnvAccesses;
+        Object *E = R(Cd[IP + 1]).asObject();
+        for (int Hop = Cd[IP + 2]; Hop > 0; --Hop)
+          E = static_cast<ArrayObj *>(E)->at(0).asObject();
+        static_cast<ArrayObj *>(E)->atPut(1 + Cd[IP + 3], R(Cd[IP + 4]));
+        IP += 5;
+        break;
+      }
+      case Op::MakeBlock: {
+        ++Counters.BlocksMade;
+        const ast::BlockExpr *BE =
+            Fn->BlockPool[static_cast<size_t>(Cd[IP + 2])];
+        int EnvReg = Cd[IP + 3];
+        int SelfReg = Cd[IP + 4];
+        Object *Env = EnvReg >= 0 && R(EnvReg).isObject()
+                          ? R(EnvReg).asObject()
+                          : nullptr;
+        // The block's home self is the (possibly inlined) home method's
+        // receiver, which need not be this frame's own receiver.
+        BlockObj *Blk = W.heap().allocBlock(W.blockMap(), BE, Env,
+                                            R(SelfReg), F.HomeFrameId);
+        R(Cd[IP + 1]) = Value::fromObject(Blk);
+        IP += 5;
+        break;
+      }
+      case Op::Return: {
+        Value V = R(Cd[IP + 1]);
+        Frame Top = Frames.back();
+        Frames.pop_back();
+        if (Top.RetDst >= 0)
+          RegStack[static_cast<size_t>(Top.RetDst)] = V;
+        if (Frames.size() == Barrier) {
+          RunResult Res;
+          Res.Val = V;
+          return Res;
+        }
+        goto frameChanged;
+      }
+      case Op::NLRet: {
+        Value V = R(Cd[IP + 1]);
+        uint64_t HomeId = F.HomeFrameId;
+        RunResult U = continueNLR(HomeId, V, Barrier);
+        if (U.K == RunResult::Kind::Done)
+          return U;
+        if (U.K == RunResult::Kind::NLR && U.HomeId != 0)
+          return U; // Crosses this run's barrier; propagate.
+        goto frameChanged;
+      }
+      }
+      continue;
+    frameChanged:
+      break;
+    }
+  }
+}
+
+Interpreter::Outcome Interpreter::callFunction(CompiledFunction *Fn,
+                                               Value Self,
+                                               const std::vector<Value> &Args) {
+  Outcome Out;
+  size_t Barrier = Frames.size();
+  if (Fn->NumArgs != static_cast<int>(Args.size())) {
+    Out.Ok = false;
+    Out.Message = "entry function arity mismatch";
+    return Out;
+  }
+  pushActivation(Fn, Self, Args.data(), static_cast<int>(Args.size()), -1,
+                 nullptr, 0, false);
+  RunResult R = run(Barrier);
+  switch (R.K) {
+  case RunResult::Kind::Done:
+    Out.Result = R.Val;
+    return Out;
+  case RunResult::Kind::NLR:
+    Out.Ok = false;
+    Out.Message = "non-local return from an exited method";
+    return Out;
+  case RunResult::Kind::Error:
+    Out.Ok = false;
+    Out.Message = ErrMsg;
+    return Out;
+  }
+  Out.Ok = false;
+  Out.Message = "unknown run result";
+  return Out;
+}
+
+Interpreter::Outcome Interpreter::evalTopLevel(const ast::Code *Body) {
+  CompileRequest Req;
+  Req.Source = Body;
+  Req.ReceiverMap = W.lobby()->map();
+  Req.IsBlockUnit = false;
+  Req.Name = Body->SelectorName;
+  CompiledFunction *Fn = CM.getOrCompile(Req);
+  return callFunction(Fn, W.lobbyValue(), {});
+}

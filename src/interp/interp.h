@@ -1,0 +1,181 @@
+//===-- interp/interp.h - Bytecode interpreter and code cache ---*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine: an explicit-frame bytecode interpreter with
+/// on-the-fly (lazy) compilation, monomorphic inline caches at dynamic send
+/// sites, non-local return, and GC safepoints. The CodeManager is the code
+/// cache: compiled code is keyed by (source code body, receiver map) — the
+/// receiver map being the paper's *customization* — and the actual compiler
+/// is injected by the driver so every compiler configuration runs on the
+/// same engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_INTERP_INTERP_H
+#define MINISELF_INTERP_INTERP_H
+
+#include "bytecode/bytecode.h"
+#include "runtime/world.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mself {
+
+/// What the injected compiler is asked to produce.
+struct CompileRequest {
+  const ast::Code *Source = nullptr;
+  Map *ReceiverMap = nullptr; ///< Customization key; null = uncustomized.
+  bool IsBlockUnit = false;
+  const std::string *Name = nullptr;
+};
+
+using CompileFn =
+    std::function<std::unique_ptr<CompiledFunction>(const CompileRequest &)>;
+
+/// The code cache: compiles lazily; when \p Customize is set, entries are
+/// keyed per receiver map (the paper's customized compilation), otherwise
+/// one compile per source body is shared by all receivers.
+class CodeManager : public RootProvider {
+public:
+  CodeManager(Heap &H, bool Customize, CompileFn Compiler)
+      : H(H), Customize(Customize), Compiler(std::move(Compiler)) {
+    H.addRootProvider(this);
+  }
+  ~CodeManager() override { H.removeRootProvider(this); }
+
+  /// \returns cached or freshly compiled code for \p Req.
+  CompiledFunction *getOrCompile(const CompileRequest &Req);
+
+  /// Total CPU seconds spent inside the injected compiler.
+  double totalCompileSeconds() const { return CompileSeconds; }
+  /// Total compiled-code bytes across all cache entries.
+  size_t totalCodeBytes() const;
+  size_t functionCount() const { return Functions.size(); }
+
+  /// Applies \p F to every compiled function (for stats and tests).
+  void forEach(const std::function<void(const CompiledFunction &)> &F) const;
+
+  void traceRoots(GcVisitor &V) override;
+
+private:
+  struct Key {
+    const ast::Code *Source;
+    Map *ReceiverMap;
+    bool operator==(const Key &O) const {
+      return Source == O.Source && ReceiverMap == O.ReceiverMap;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return std::hash<const void *>()(K.Source) * 31 +
+             std::hash<const void *>()(K.ReceiverMap);
+    }
+  };
+
+  Heap &H;
+  bool Customize;
+  CompileFn Compiler;
+  std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
+  std::vector<std::unique_ptr<CompiledFunction>> Functions;
+  double CompileSeconds = 0;
+};
+
+/// Dynamic execution counters (the "work" the benchmarks measure).
+struct ExecCounters {
+  uint64_t Instructions = 0;
+  uint64_t Sends = 0;      ///< Dynamically-bound sends executed.
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
+  uint64_t PrimCalls = 0;  ///< Non-inlined primitive calls executed.
+  uint64_t TypeTests = 0;  ///< TestInt/TestMap executed.
+  uint64_t BlocksMade = 0; ///< Closures created.
+  uint64_t EnvAccesses = 0;
+};
+
+/// The bytecode interpreter for one World.
+class Interpreter : public RootProvider {
+public:
+  Interpreter(World &W, CodeManager &CM);
+  ~Interpreter() override;
+
+  /// Result of a top-level call.
+  struct Outcome {
+    bool Ok = true;
+    Value Result;
+    std::string Message; ///< Error description when !Ok.
+  };
+
+  /// Calls \p Fn with receiver \p Self and \p Args, running to completion.
+  Outcome callFunction(CompiledFunction *Fn, Value Self,
+                       const std::vector<Value> &Args);
+
+  /// Compiles (uncached key: top-level bodies are unique) and runs a
+  /// top-level expression body with the lobby as receiver.
+  Outcome evalTopLevel(const ast::Code *Body);
+
+  const ExecCounters &counters() const { return Counters; }
+  void resetCounters() { Counters = ExecCounters(); }
+
+  /// Aborts execution with an error after \p N instructions (0: unlimited).
+  void setStepBudget(uint64_t N) { StepBudget = N; }
+
+  void traceRoots(GcVisitor &V) override;
+
+private:
+  struct Frame {
+    CompiledFunction *Fn;
+    int IP;
+    int Base;       ///< First register index in the shared register stack.
+    int RetDst;     ///< Absolute register receiving the return value; -1.
+    uint64_t FrameId;
+    uint64_t HomeFrameId; ///< Target of `^`; == FrameId for method frames.
+  };
+
+  struct RunResult {
+    enum class Kind : uint8_t { Done, NLR, Error } K = Kind::Done;
+    Value Val;
+    uint64_t HomeId = 0;
+  };
+
+  RunResult run(size_t Barrier);
+  bool pushActivation(CompiledFunction *Fn, Value Self, const Value *Args,
+                      int Argc, int RetDst, Object *Env, uint64_t HomeId,
+                      bool IsBlock);
+  /// Full send dispatch; either produces an immediate result, pushes an
+  /// activation, or reports an error.
+  enum class DispatchKind : uint8_t { Immediate, Pushed, Error };
+  DispatchKind dispatchSend(Value Recv, const std::string *Sel,
+                            const Value *Args, int Argc, int RetDst,
+                            InlineCache *Cache, Value &Immediate);
+  /// Sends `value...` to \p Callee (block fast path or generic send) and
+  /// runs it to completion.
+  RunResult callValueOn(Value Callee, const Value *Args, int Argc);
+  /// Runs the whileTrue:/whileFalse: native loop.
+  RunResult runWhileLoop(Value CondBlock, Value BodyBlock, bool Until);
+  /// Unwinds a non-local return toward \p HomeId; stops at \p Barrier.
+  RunResult continueNLR(uint64_t HomeId, Value Val, size_t Barrier);
+  RunResult fail(const std::string &Msg);
+  void safepoint();
+
+  World &W;
+  CodeManager &CM;
+  std::vector<Value> RegStack;
+  std::vector<Frame> Frames;
+  std::vector<Value> NativeRoots; ///< Values live in native helpers.
+  uint64_t NextFrameId = 1;
+  uint64_t StepBudget = 0;
+  std::string ErrMsg;
+  ExecCounters Counters;
+};
+
+} // namespace mself
+
+#endif // MINISELF_INTERP_INTERP_H

@@ -1,0 +1,35 @@
+//===-- parser/ast.cpp - Abstract syntax trees for mini-SELF -------------===//
+
+#include "parser/ast.h"
+
+using namespace mself;
+using namespace mself::ast;
+
+int Code::findSlot(const std::string *Name) const {
+  for (size_t I = 0, E = Slots.size(); I != E; ++I)
+    if (Slots[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+Code *Program::makeCode() {
+  Codes.push_back(std::make_unique<Code>());
+  return Codes.back().get();
+}
+
+BlockExpr *Program::makeBlock() {
+  Blocks.push_back(std::make_unique<BlockExpr>());
+  BlockExpr *B = Blocks.back().get();
+  B->Id = static_cast<int>(Blocks.size()) - 1;
+  return B;
+}
+
+ObjectLit *Program::makeObjectLit() {
+  Objects.push_back(std::make_unique<ObjectLit>());
+  return Objects.back().get();
+}
+
+SlotDef *Program::makeSlotDef() {
+  SlotDefs.push_back(std::make_unique<SlotDef>());
+  return SlotDefs.back().get();
+}

@@ -1,0 +1,250 @@
+//===-- parser/ast.h - Abstract syntax trees for mini-SELF ------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASTs for mini-SELF. The parser resolves identifiers against lexical
+/// scopes: a name bound by an enclosing method/block becomes a VarGet/VarSet
+/// referring to its defining scope; anything else is a message send to
+/// (implicit) self, as in SELF, where even "globals" are slots found through
+/// the lobby parent chain.
+///
+/// Scope storage model: a slot of a Code scope that is referenced from a
+/// lexically nested block is "captured". Captured slots live in a
+/// heap-allocated environment when any closure actually escapes; the
+/// optimizing compiler demotes them to registers when it inlines every block
+/// of the compilation unit (see compiler/lower.cpp), which is what lets the
+/// paper's loop variables live in registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_PARSER_AST_H
+#define MINISELF_PARSER_AST_H
+
+#include "vm/map.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mself {
+namespace ast {
+
+struct BlockExpr;
+struct Code;
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  StrLit,
+  SelfRef,
+  VarGet,
+  VarSet,
+  Send,
+  PrimCall,
+  BlockLit,
+  Return,
+};
+
+/// Base of all expression nodes. Owned by the Program arena.
+struct Expr {
+  Expr(ExprKind Kind, int Line) : Kind(Kind), Line(Line) {}
+  virtual ~Expr() = default;
+
+  const ExprKind Kind;
+  const int Line;
+};
+
+struct IntLit : Expr {
+  IntLit(int64_t V, int Line) : Expr(ExprKind::IntLit, Line), Val(V) {}
+  int64_t Val;
+};
+
+/// String literal; the literal's StringObj is created at load time and
+/// entered into the Program literal pool under PoolIndex.
+struct StrLit : Expr {
+  StrLit(const std::string *Text, int Line)
+      : Expr(ExprKind::StrLit, Line), Text(Text) {}
+  const std::string *Text;
+  int PoolIndex = -1;
+};
+
+struct SelfRef : Expr {
+  explicit SelfRef(int Line) : Expr(ExprKind::SelfRef, Line) {}
+};
+
+/// Reference to an argument or local of an enclosing Code scope.
+struct VarGet : Expr {
+  VarGet(Code *Scope, int SlotIndex, const std::string *Name, int Line)
+      : Expr(ExprKind::VarGet, Line), Scope(Scope), SlotIndex(SlotIndex),
+        Name(Name) {}
+  Code *Scope;   ///< Defining scope.
+  int SlotIndex; ///< Index into Scope's unified arg+local slot list.
+  const std::string *Name;
+};
+
+struct VarSet : Expr {
+  VarSet(Code *Scope, int SlotIndex, const std::string *Name, Expr *Val,
+         int Line)
+      : Expr(ExprKind::VarSet, Line), Scope(Scope), SlotIndex(SlotIndex),
+        Name(Name), Val(Val) {}
+  Code *Scope;
+  int SlotIndex;
+  const std::string *Name;
+  Expr *Val;
+};
+
+/// A message send. Recv == nullptr means an implicit-self send.
+struct Send : Expr {
+  Send(Expr *Recv, const std::string *Selector, std::vector<Expr *> Args,
+       int Line)
+      : Expr(ExprKind::Send, Line), Recv(Recv), Selector(Selector),
+        Args(std::move(Args)) {}
+  Expr *Recv;
+  const std::string *Selector;
+  std::vector<Expr *> Args;
+};
+
+/// A robust primitive call (selector starting with '_'). If the source
+/// selector ends in "IfFail:", the final argument is split off into OnFail.
+struct PrimCall : Expr {
+  PrimCall(const std::string *Selector, Expr *Recv, std::vector<Expr *> Args,
+           Expr *OnFail, int Line)
+      : Expr(ExprKind::PrimCall, Line), Selector(Selector), Recv(Recv),
+        Args(std::move(Args)), OnFail(OnFail) {}
+  const std::string *Selector; ///< Without the trailing "IfFail:" part.
+  Expr *Recv;
+  std::vector<Expr *> Args;
+  Expr *OnFail;      ///< Failure handler expression or nullptr.
+  int PrimIndex = -1; ///< Resolved index into the primitive table.
+};
+
+struct BlockLit : Expr {
+  BlockLit(BlockExpr *Block, int Line)
+      : Expr(ExprKind::BlockLit, Line), Block(Block) {}
+  BlockExpr *Block;
+};
+
+/// `^ expr`: early return from the home method (non-local when it appears
+/// lexically inside a block).
+struct Return : Expr {
+  Return(Expr *Val, int Line) : Expr(ExprKind::Return, Line), Val(Val) {}
+  Expr *Val;
+};
+
+/// Storage assigned to one argument/local slot of a Code scope.
+enum class VarStorage : uint8_t {
+  Reg, ///< Never captured: plain register in the activation.
+  Env, ///< Captured by a nested block: lives in the scope's environment.
+};
+
+/// A method or block body: formals, locals, and a statement list.
+struct Code {
+  struct VarSlot {
+    const std::string *Name = nullptr;
+    bool IsArgument = false;
+    /// Literal initializer for locals (ints/strings only; nil when neither
+    /// is set). Locals are always initialized to compile-time constants,
+    /// which is what gives the analyzer its initial value types (§3.2.1).
+    int64_t InitInt = 0;                  ///< Valid when InitIsInt.
+    bool InitIsInt = false;
+    const std::string *InitStr = nullptr; ///< Valid when non-null.
+    VarStorage Storage = VarStorage::Reg;
+    int EnvIndex = -1; ///< Slot in the scope's environment, if Storage==Env.
+  };
+
+  std::vector<VarSlot> Slots; ///< Arguments first, then locals.
+  int NumArgs = 0;
+  std::vector<Expr *> Body;
+
+  Code *LexicalParent = nullptr;        ///< Null for method scopes.
+  std::vector<Code *> ChildScopes;      ///< Directly nested block bodies.
+  int Depth = 0;                 ///< 0 for methods, 1.. for nested blocks.
+  bool HasCaptured = false;      ///< Any slot with Env storage?
+  int EnvSlotCount = 0;
+  /// Number of capturing scopes from the method root down to and including
+  /// this scope; defines static environment-chain hop counts.
+  int EnvLevel = 0;
+  const std::string *SelectorName = nullptr; ///< For diagnostics.
+
+  /// \returns the slot index of \p Name or -1.
+  int findSlot(const std::string *Name) const;
+};
+
+/// A block literal's code plus its identity within the program.
+struct BlockExpr {
+  Code Body;
+  int Id = -1;
+};
+
+/// How a slot definition provides its value.
+enum class SlotValueKind : uint8_t {
+  IntConst,
+  StrConst,
+  Method,    ///< Code body (any slot with arguments, or code in the body).
+  ObjectLit, ///< Nested slots-only object literal.
+  PathExpr,  ///< Reference to an existing constant (e.g. `parent* = lobby`).
+};
+
+struct ObjectLit;
+
+/// One slot definition inside an object literal or at the top level.
+struct SlotDef {
+  const std::string *Name = nullptr; ///< Full selector, e.g. "at:Put:".
+  SlotKind Kind = SlotKind::Constant;
+  SlotValueKind ValueKind = SlotValueKind::IntConst;
+  int64_t IntValue = 0;
+  const std::string *StrValue = nullptr;
+  Code *MethodBody = nullptr;  ///< Owns arg names in its Slots.
+  ObjectLit *Object = nullptr; ///< For nested object literals.
+  /// Definition-time constant path, e.g. `parent* = traits int` is
+  /// {"traits", "int"}: the first name is looked up in the lobby, the rest
+  /// are constant-slot reads.
+  std::vector<const std::string *> PathNames;
+  int Line = 0;
+};
+
+/// `( | slot. slot. ... | )` — a slots-only object literal.
+struct ObjectLit {
+  std::vector<SlotDef> Slots;
+  int Line = 0;
+};
+
+/// One top-level item: either a slot definition applied to the lobby or an
+/// expression to evaluate (wrapped in a synthetic zero-argument Code).
+struct TopLevelItem {
+  SlotDef *Slot = nullptr; ///< Non-null for definitions.
+  Code *ExprBody = nullptr; ///< Non-null for expression statements.
+};
+
+/// Owns every AST node produced by one parse.
+class Program {
+public:
+  template <typename T, typename... ArgTs> T *make(ArgTs &&...Args) {
+    auto Owned = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+    T *Ptr = Owned.get();
+    Exprs.push_back(std::move(Owned));
+    return Ptr;
+  }
+
+  Code *makeCode();
+  BlockExpr *makeBlock();
+  ObjectLit *makeObjectLit();
+  SlotDef *makeSlotDef();
+
+  std::vector<TopLevelItem> TopLevel;
+
+private:
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Code>> Codes;
+  std::vector<std::unique_ptr<BlockExpr>> Blocks;
+  std::vector<std::unique_ptr<ObjectLit>> Objects;
+  std::vector<std::unique_ptr<SlotDef>> SlotDefs;
+};
+
+} // namespace ast
+} // namespace mself
+
+#endif // MINISELF_PARSER_AST_H

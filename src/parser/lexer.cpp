@@ -1,0 +1,209 @@
+//===-- parser/lexer.cpp - Tokenizer for mini-SELF ------------------------===//
+
+#include "parser/lexer.h"
+
+#include <cctype>
+
+using namespace mself;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isOpChar(char C) {
+  switch (C) {
+  case '+':
+  case '-':
+  case '*':
+  case '/':
+  case '%':
+  case '<':
+  case '>':
+  case '=':
+  case '!':
+  case '&':
+  case '~':
+  case ',':
+  case '@':
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::vector<Token> Lexer::tokenize(const std::string &Source,
+                                   StringInterner &Interner) {
+  std::vector<Token> Toks;
+  size_t I = 0, N = Source.size();
+  int Line = 1;
+
+  auto error = [&](const std::string &Msg) {
+    Token T;
+    T.Kind = TokKind::Error;
+    T.StrVal = Msg;
+    T.Line = Line;
+    Toks.push_back(T);
+  };
+  auto simple = [&](TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    Toks.push_back(T);
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '"') { // Comment: runs to the closing double quote.
+      ++I;
+      while (I < N && Source[I] != '"') {
+        if (Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      if (I == N) {
+        error("unterminated comment");
+        return Toks;
+      }
+      ++I;
+      continue;
+    }
+    if (C == '\'') { // String literal.
+      ++I;
+      std::string S;
+      while (I < N && Source[I] != '\'') {
+        if (Source[I] == '\n')
+          ++Line;
+        if (Source[I] == '\\' && I + 1 < N) {
+          ++I;
+          char E = Source[I];
+          S.push_back(E == 'n' ? '\n' : E == 't' ? '\t' : E);
+        } else {
+          S.push_back(Source[I]);
+        }
+        ++I;
+      }
+      if (I == N) {
+        error("unterminated string literal");
+        return Toks;
+      }
+      ++I;
+      Token T;
+      T.Kind = TokKind::Str;
+      T.StrVal = std::move(S);
+      T.Line = Line;
+      Toks.push_back(T);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      bool Overflow = false;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+        if (__builtin_mul_overflow(V, int64_t(10), &V) ||
+            __builtin_add_overflow(V, int64_t(Source[I] - '0'), &V))
+          Overflow = true;
+        ++I;
+      }
+      if (Overflow) {
+        error("integer literal too large");
+        return Toks;
+      }
+      Token T;
+      T.Kind = TokKind::Int;
+      T.IntVal = V;
+      T.Line = Line;
+      Toks.push_back(T);
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentChar(Source[I]))
+        ++I;
+      bool HasColon = I < N && Source[I] == ':';
+      Token T;
+      if (HasColon) {
+        ++I;
+        T.Kind = TokKind::Keyword;
+        T.Text = Interner.intern(Source.substr(Start, I - Start));
+      } else {
+        T.Kind = TokKind::Ident;
+        T.Text = Interner.intern(Source.substr(Start, I - Start));
+      }
+      T.Line = Line;
+      Toks.push_back(T);
+      continue;
+    }
+    if (C == ':' && I + 1 < N && isIdentStart(Source[I + 1])) {
+      size_t Start = ++I;
+      while (I < N && isIdentChar(Source[I]))
+        ++I;
+      Token T;
+      T.Kind = TokKind::ColonIdent;
+      T.Text = Interner.intern(Source.substr(Start, I - Start));
+      T.Line = Line;
+      Toks.push_back(T);
+      continue;
+    }
+    if (isOpChar(C)) {
+      size_t Start = I;
+      while (I < N && isOpChar(Source[I]))
+        ++I;
+      std::string Op = Source.substr(Start, I - Start);
+      if (Op == "=") {
+        simple(TokKind::Equals);
+      } else if (Op == "<-") {
+        simple(TokKind::Arrow);
+      } else {
+        Token T;
+        T.Kind = TokKind::BinOp;
+        T.Text = Interner.intern(Op);
+        T.Line = Line;
+        Toks.push_back(T);
+      }
+      continue;
+    }
+    switch (C) {
+    case '(':
+      simple(TokKind::LParen);
+      break;
+    case ')':
+      simple(TokKind::RParen);
+      break;
+    case '[':
+      simple(TokKind::LBracket);
+      break;
+    case ']':
+      simple(TokKind::RBracket);
+      break;
+    case '|':
+      simple(TokKind::VBar);
+      break;
+    case '.':
+      simple(TokKind::Dot);
+      break;
+    case '^':
+      simple(TokKind::Caret);
+      break;
+    default:
+      error(std::string("unexpected character '") + C + "'");
+      return Toks;
+    }
+    ++I;
+  }
+  simple(TokKind::End);
+  return Toks;
+}

@@ -1,0 +1,69 @@
+//===-- parser/lexer.h - Tokenizer for mini-SELF ----------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for mini-SELF. Notable conventions (all SELF-inherited):
+///   * `ident:` with the colon attached is one Keyword token;
+///   * binary selectors are runs of operator characters (`+ <= ==` ...);
+///   * `<-` is the assignable-slot arrow, `=` the constant-slot equals
+///     (neither is an expression operator; equality is `==`);
+///   * comments are double-quoted, strings single-quoted;
+///   * identifiers beginning with `_` name primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_PARSER_LEXER_H
+#define MINISELF_PARSER_LEXER_H
+
+#include "support/interner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+enum class TokKind : uint8_t {
+  End,
+  Int,        ///< Integer literal.
+  Str,        ///< 'single-quoted' string literal.
+  Ident,      ///< lowercase or _primitive identifier.
+  Keyword,    ///< identifier with attached colon, e.g. `at:` / `Put:`.
+  BinOp,      ///< operator run, e.g. `+` `<=` `==`.
+  Equals,     ///< `=` (constant slot definition).
+  Arrow,      ///< `<-` (assignable slot definition).
+  LParen,     ///< `(`
+  RParen,     ///< `)`
+  LBracket,   ///< `[`
+  RBracket,   ///< `]`
+  VBar,       ///< `|`
+  Dot,        ///< `.`
+  Caret,      ///< `^`
+  ColonIdent, ///< `:name` (block argument declaration).
+  Error,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  const std::string *Text = nullptr; ///< Interned spelling (idents/ops).
+  int64_t IntVal = 0;
+  std::string StrVal; ///< String literal contents / error message.
+  int Line = 1;
+};
+
+/// Tokenizes a whole buffer up front (mini-SELF sources are small).
+class Lexer {
+public:
+  /// Tokenizes \p Source; reported token text is interned into \p Interner.
+  /// On a lexical error the token stream ends with an Error token whose
+  /// StrVal describes the problem.
+  static std::vector<Token> tokenize(const std::string &Source,
+                                     StringInterner &Interner);
+};
+
+} // namespace mself
+
+#endif // MINISELF_PARSER_LEXER_H

@@ -1,0 +1,704 @@
+//===-- parser/parser.cpp - Recursive-descent parser for mini-SELF --------===//
+
+#include "parser/parser.h"
+
+#include "vm/value.h"
+
+#include <cassert>
+
+using namespace mself;
+using namespace mself::ast;
+
+namespace {
+
+/// Longest-match parse failure carrier: set once, checked by callers.
+struct ParseError {
+  bool Failed = false;
+  int Line = 0;
+  std::string Msg;
+
+  void fail(int L, std::string M) {
+    if (Failed)
+      return;
+    Failed = true;
+    Line = L;
+    Msg = std::move(M);
+  }
+};
+
+} // namespace
+
+class Parser::Impl {
+public:
+  Impl(Program &Prog, StringInterner &Interner, std::vector<Token> Toks)
+      : Prog(Prog), Interner(Interner), Toks(std::move(Toks)) {
+    SelfName = Interner.intern("self");
+  }
+
+  ParseError Err;
+
+  void parseProgram() {
+    while (!Err.Failed && !at(TokKind::End)) {
+      parseTopItem();
+      if (Err.Failed)
+        break;
+      if (at(TokKind::Dot)) {
+        advance();
+        continue;
+      }
+      if (!at(TokKind::End))
+        Err.fail(cur().Line, "expected '.' between top-level items");
+    }
+  }
+
+private:
+  Program &Prog;
+  StringInterner &Interner;
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::vector<Code *> ScopeStack;
+  const std::string *SelfName;
+
+  //===------------------------------------------------------------------===//
+  // Token helpers
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t N = 1) const {
+    size_t I = Pos + N;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atBinOp(const char *Text) const {
+    return at(TokKind::BinOp) && *cur().Text == Text;
+  }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+  bool expect(TokKind K, const char *What) {
+    if (at(K)) {
+      advance();
+      return true;
+    }
+    Err.fail(cur().Line, std::string("expected ") + What);
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Top level
+  //===------------------------------------------------------------------===//
+
+  /// True if the tokens at the cursor begin a slot definition rather than an
+  /// expression statement (decided by bounded lookahead).
+  bool looksLikeSlotDef() const {
+    const Token &T0 = cur();
+    if (T0.Kind == TokKind::Ident) {
+      const Token &T1 = peek();
+      if (T1.Kind == TokKind::Equals || T1.Kind == TokKind::Arrow)
+        return true;
+      // `parent* = ...`
+      if (T1.Kind == TokKind::BinOp && *T1.Text == "*" &&
+          peek(2).Kind == TokKind::Equals)
+        return true;
+      return false;
+    }
+    if (T0.Kind == TokKind::BinOp)
+      return peek().Kind == TokKind::Ident && peek(2).Kind == TokKind::Equals;
+    if (T0.Kind == TokKind::Keyword) {
+      // keyword parts each followed by an argument name, then '='.
+      size_t I = 0;
+      while (peek(I).Kind == TokKind::Keyword &&
+             peek(I + 1).Kind == TokKind::Ident)
+        I += 2;
+      return I > 0 && peek(I).Kind == TokKind::Equals;
+    }
+    return false;
+  }
+
+  void parseTopItem() {
+    if (looksLikeSlotDef()) {
+      SlotDef *S = parseSlotDef();
+      if (Err.Failed)
+        return;
+      TopLevelItem Item;
+      Item.Slot = S;
+      Prog.TopLevel.push_back(Item);
+      return;
+    }
+    // Expression statement: wrap in a synthetic zero-argument method body.
+    Code *C = Prog.makeCode();
+    C->SelectorName = Interner.intern("<top-level>");
+    ScopeStack.push_back(C);
+    Expr *E = parseStatement();
+    ScopeStack.pop_back();
+    if (Err.Failed)
+      return;
+    C->Body.push_back(E);
+    finalizeScope(C, 0);
+    TopLevelItem Item;
+    Item.ExprBody = C;
+    Prog.TopLevel.push_back(Item);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Slot definitions
+  //===------------------------------------------------------------------===//
+
+  /// Parses one slot definition: data (`x <- lit`), constant, parent, or
+  /// method (unary/binary/keyword signatures).
+  SlotDef *parseSlotDef() {
+    SlotDef *S = Prog.makeSlotDef();
+    S->Line = cur().Line;
+    std::vector<const std::string *> ArgNames;
+
+    if (at(TokKind::Ident)) {
+      const std::string *Name = cur().Text;
+      advance();
+      if (at(TokKind::BinOp) && *cur().Text == "*") {
+        advance();
+        S->Name = Name;
+        S->Kind = SlotKind::Parent;
+        if (!expect(TokKind::Equals, "'=' after parent slot name"))
+          return S;
+        parseConstantSlotValue(S, ArgNames);
+        if (!Err.Failed && S->ValueKind == SlotValueKind::Method)
+          Err.fail(S->Line, "a parent slot cannot hold a method");
+        return S;
+      }
+      S->Name = Name;
+      if (at(TokKind::Arrow)) {
+        advance();
+        S->Kind = SlotKind::Data;
+        parseLiteralSlotValue(S);
+        return S;
+      }
+      if (at(TokKind::Dot) || at(TokKind::VBar)) {
+        // Bare name: nil-initialized data slot / local, e.g. `| i |`.
+        S->Kind = SlotKind::Data;
+        S->ValueKind = SlotValueKind::PathExpr;
+        S->PathNames.push_back(Interner.intern("nil"));
+        return S;
+      }
+      if (!expect(TokKind::Equals, "'=' or '<-' after slot name"))
+        return S;
+      S->Kind = SlotKind::Constant;
+      parseConstantSlotValue(S, ArgNames);
+      return S;
+    }
+
+    if (at(TokKind::BinOp)) {
+      S->Name = cur().Text;
+      advance();
+      if (!at(TokKind::Ident)) {
+        Err.fail(cur().Line, "expected argument name in binary method slot");
+        return S;
+      }
+      ArgNames.push_back(cur().Text);
+      advance();
+      S->Kind = SlotKind::Constant;
+      if (!expect(TokKind::Equals, "'=' in binary method slot"))
+        return S;
+      parseConstantSlotValue(S, ArgNames);
+      if (!Err.Failed && S->ValueKind != SlotValueKind::Method)
+        Err.fail(S->Line, "a binary slot must hold a method");
+      return S;
+    }
+
+    if (at(TokKind::Keyword)) {
+      std::string Selector;
+      while (at(TokKind::Keyword)) {
+        Selector += *cur().Text;
+        advance();
+        if (!at(TokKind::Ident)) {
+          Err.fail(cur().Line, "expected argument name after keyword part");
+          return S;
+        }
+        ArgNames.push_back(cur().Text);
+        advance();
+      }
+      S->Name = Interner.intern(Selector);
+      S->Kind = SlotKind::Constant;
+      if (!expect(TokKind::Equals, "'=' in keyword method slot"))
+        return S;
+      parseConstantSlotValue(S, ArgNames);
+      if (!Err.Failed && S->ValueKind != SlotValueKind::Method)
+        Err.fail(S->Line, "a keyword slot must hold a method");
+      return S;
+    }
+
+    Err.fail(cur().Line, "expected a slot definition");
+    return S;
+  }
+
+  /// `name <- literal`: int or string initializer for a data slot.
+  void parseLiteralSlotValue(SlotDef *S) {
+    if (at(TokKind::Int)) {
+      S->ValueKind = SlotValueKind::IntConst;
+      S->IntValue = cur().IntVal;
+      advance();
+      return;
+    }
+    if (at(TokKind::Str)) {
+      S->ValueKind = SlotValueKind::StrConst;
+      S->StrValue = Interner.intern(cur().StrVal);
+      advance();
+      return;
+    }
+    if (at(TokKind::Ident)) { // e.g. `x <- nil` style path constants
+      S->ValueKind = SlotValueKind::PathExpr;
+      parsePathNames(S);
+      return;
+    }
+    Err.fail(cur().Line, "data slot initializer must be a literal");
+  }
+
+  /// Value after `=`: literal, code body/object literal, or constant path.
+  void parseConstantSlotValue(SlotDef *S,
+                              const std::vector<const std::string *> &Args) {
+    if (at(TokKind::Int)) {
+      if (!Args.empty()) {
+        Err.fail(cur().Line, "method slot needs a code body");
+        return;
+      }
+      S->ValueKind = SlotValueKind::IntConst;
+      S->IntValue = cur().IntVal;
+      advance();
+      return;
+    }
+    if (at(TokKind::Str)) {
+      if (!Args.empty()) {
+        Err.fail(cur().Line, "method slot needs a code body");
+        return;
+      }
+      S->ValueKind = SlotValueKind::StrConst;
+      S->StrValue = Interner.intern(cur().StrVal);
+      advance();
+      return;
+    }
+    if (at(TokKind::LParen)) {
+      parseParenSlotValue(S, Args);
+      return;
+    }
+    if (at(TokKind::Ident)) {
+      if (!Args.empty()) {
+        Err.fail(cur().Line, "method slot needs a code body");
+        return;
+      }
+      S->ValueKind = SlotValueKind::PathExpr;
+      parsePathNames(S);
+      return;
+    }
+    Err.fail(cur().Line, "expected a slot value");
+  }
+
+  void parsePathNames(SlotDef *S) {
+    while (at(TokKind::Ident)) {
+      S->PathNames.push_back(cur().Text);
+      advance();
+    }
+  }
+
+  /// `( ... )` in slot-value position: a method body or, when it contains
+  /// only slot definitions and no statements (and the slot takes no
+  /// arguments), a nested object literal.
+  void parseParenSlotValue(SlotDef *S,
+                           const std::vector<const std::string *> &Args) {
+    int Line = cur().Line;
+    advance(); // '('
+
+    std::vector<SlotDef *> Entries;
+    if (at(TokKind::VBar)) {
+      advance();
+      parseSlotEntries(Entries, /*AllowBlockArgs=*/false);
+      if (Err.Failed)
+        return;
+      if (!expect(TokKind::VBar, "'|' closing the slot list"))
+        return;
+    }
+
+    bool HasStatements = !at(TokKind::RParen);
+    if (!HasStatements && Args.empty() && !Entries.empty() &&
+        !onlySimpleLocals(Entries)) {
+      // Slots-only with complex slots: a nested object literal.
+      advance(); // ')'
+      ObjectLit *O = Prog.makeObjectLit();
+      O->Line = Line;
+      O->Slots.reserve(Entries.size());
+      for (SlotDef *E : Entries)
+        O->Slots.push_back(*E);
+      S->ValueKind = SlotValueKind::ObjectLit;
+      S->Object = O;
+      return;
+    }
+    if (!HasStatements && Args.empty() && Entries.empty()) {
+      // `( )` and `( | | )` denote the empty object.
+      advance(); // ')'
+      ObjectLit *O = Prog.makeObjectLit();
+      O->Line = Line;
+      S->ValueKind = SlotValueKind::ObjectLit;
+      S->Object = O;
+      return;
+    }
+    if (!HasStatements && Args.empty() && onlySimpleLocals(Entries)) {
+      // Ambiguous `( | x <- 0 | )`: treat as an object with data slots.
+      advance(); // ')'
+      ObjectLit *O = Prog.makeObjectLit();
+      O->Line = Line;
+      for (SlotDef *E : Entries)
+        O->Slots.push_back(*E);
+      S->ValueKind = SlotValueKind::ObjectLit;
+      S->Object = O;
+      return;
+    }
+
+    // A method body. Its slot-list entries become locals.
+    Code *C = Prog.makeCode();
+    C->SelectorName = S->Name;
+    for (const std::string *A : Args) {
+      Code::VarSlot V;
+      V.Name = A;
+      V.IsArgument = true;
+      C->Slots.push_back(V);
+      ++C->NumArgs;
+    }
+    if (!entriesToLocals(Entries, C))
+      return;
+    ScopeStack.push_back(C);
+    parseStatements(TokKind::RParen, C);
+    ScopeStack.pop_back();
+    if (Err.Failed)
+      return;
+    if (!expect(TokKind::RParen, "')' closing the method body"))
+      return;
+    finalizeScope(C, 0);
+    S->ValueKind = SlotValueKind::Method;
+    S->MethodBody = C;
+  }
+
+  /// True when every entry is a plain data/constant slot with a literal or
+  /// path value (usable both as object data slots and as method locals).
+  static bool onlySimpleLocals(const std::vector<SlotDef *> &Entries) {
+    for (const SlotDef *E : Entries) {
+      if (E->Kind == SlotKind::Parent)
+        return false;
+      if (E->ValueKind == SlotValueKind::Method ||
+          E->ValueKind == SlotValueKind::ObjectLit)
+        return false;
+    }
+    return true;
+  }
+
+  /// Converts slot-list entries of a method body into local VarSlots.
+  bool entriesToLocals(const std::vector<SlotDef *> &Entries, Code *C) {
+    for (const SlotDef *E : Entries) {
+      if (E->Kind == SlotKind::Parent ||
+          E->ValueKind == SlotValueKind::Method ||
+          E->ValueKind == SlotValueKind::ObjectLit) {
+        Err.fail(E->Line, "method locals must be simple data slots");
+        return false;
+      }
+      Code::VarSlot V;
+      V.Name = E->Name;
+      if (E->ValueKind == SlotValueKind::IntConst) {
+        V.InitIsInt = true;
+        V.InitInt = E->IntValue;
+      } else if (E->ValueKind == SlotValueKind::StrConst) {
+        V.InitStr = E->StrValue;
+      } else if (E->ValueKind == SlotValueKind::PathExpr) {
+        // Only `nil` is accepted as a path initializer for locals; other
+        // references would need load-time evaluation inside methods.
+        if (E->PathNames.size() != 1 || *E->PathNames[0] != "nil") {
+          Err.fail(E->Line, "local initializer must be a literal or nil");
+          return false;
+        }
+      }
+      C->Slots.push_back(V);
+    }
+    return true;
+  }
+
+  /// Parses slot-list entries up to (not consuming) the closing '|'.
+  /// Block argument declarations (`:x`) are collected as Arg entries when
+  /// \p AllowBlockArgs, encoded as SlotDefs with Kind Argument.
+  void parseSlotEntries(std::vector<SlotDef *> &Out, bool AllowBlockArgs) {
+    while (!at(TokKind::VBar) && !at(TokKind::End) && !Err.Failed) {
+      if (at(TokKind::ColonIdent)) {
+        if (!AllowBlockArgs) {
+          Err.fail(cur().Line, "':arg' is only allowed in block slot lists");
+          return;
+        }
+        SlotDef *S = Prog.makeSlotDef();
+        S->Line = cur().Line;
+        S->Name = cur().Text;
+        S->Kind = SlotKind::Argument;
+        advance();
+        Out.push_back(S);
+      } else {
+        Out.push_back(parseSlotDef());
+        if (Err.Failed)
+          return;
+      }
+      if (at(TokKind::Dot)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements and expressions
+  //===------------------------------------------------------------------===//
+
+  Code *scope() { return ScopeStack.back(); }
+
+  void parseStatements(TokKind Terminator, Code *C) {
+    while (!at(Terminator) && !at(TokKind::End) && !Err.Failed) {
+      Expr *E = parseStatement();
+      if (Err.Failed)
+        return;
+      C->Body.push_back(E);
+      if (at(TokKind::Dot)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Expr *parseStatement() {
+    if (at(TokKind::Caret)) {
+      int Line = cur().Line;
+      advance();
+      Expr *V = parseExpr();
+      return Prog.make<Return>(V, Line);
+    }
+    return parseExpr();
+  }
+
+  Expr *parseExpr() { return parseKeywordExpr(); }
+
+  Expr *parseKeywordExpr() {
+    int Line = cur().Line;
+    Expr *Recv = nullptr;
+    if (!at(TokKind::Keyword)) {
+      Recv = parseBinaryExpr();
+      if (Err.Failed)
+        return Recv;
+      if (!at(TokKind::Keyword))
+        return Recv;
+    }
+    // Gather keyword parts and arguments.
+    std::string Selector;
+    std::vector<Expr *> Args;
+    bool IsPrim = cur().Text->size() > 1 && (*cur().Text)[0] == '_';
+    while (at(TokKind::Keyword)) {
+      Selector += *cur().Text;
+      advance();
+      Args.push_back(parseBinaryExpr());
+      if (Err.Failed)
+        return Args.back();
+    }
+    if (IsPrim)
+      return makePrimCall(Recv, Selector, std::move(Args), Line);
+
+    const std::string *Sel = Interner.intern(Selector);
+    // Assignment to a lexically visible local: `x: expr`.
+    if (Recv == nullptr && Args.size() == 1) {
+      std::string Base = Selector.substr(0, Selector.size() - 1);
+      const std::string *BaseName = Interner.intern(Base);
+      if (auto [DefScope, Index] = resolve(BaseName); DefScope)
+        return Prog.make<VarSet>(DefScope, Index, BaseName, Args[0], Line);
+    }
+    return Prog.make<Send>(Recv, Sel, std::move(Args), Line);
+  }
+
+  Expr *makePrimCall(Expr *Recv, const std::string &Selector,
+                     std::vector<Expr *> Args, int Line) {
+    if (Recv == nullptr)
+      Recv = Prog.make<SelfRef>(Line);
+    Expr *OnFail = nullptr;
+    std::string Sel = Selector;
+    static const std::string IfFail = "IfFail:";
+    if (Sel.size() > IfFail.size() &&
+        Sel.compare(Sel.size() - IfFail.size(), IfFail.size(), IfFail) == 0) {
+      Sel.resize(Sel.size() - IfFail.size());
+      OnFail = Args.back();
+      Args.pop_back();
+    }
+    return Prog.make<PrimCall>(Interner.intern(Sel), Recv, std::move(Args),
+                               OnFail, Line);
+  }
+
+  Expr *parseBinaryExpr() {
+    Expr *Lhs = parseUnaryExpr();
+    while (!Err.Failed && at(TokKind::BinOp)) {
+      const std::string *Op = cur().Text;
+      int Line = cur().Line;
+      advance();
+      Expr *Rhs = parseUnaryExpr();
+      std::vector<Expr *> Args{Rhs};
+      Lhs = Prog.make<Send>(Lhs, Op, std::move(Args), Line);
+    }
+    return Lhs;
+  }
+
+  Expr *parseUnaryExpr() {
+    Expr *E = parsePrimary();
+    while (!Err.Failed && at(TokKind::Ident)) {
+      const std::string *Name = cur().Text;
+      int Line = cur().Line;
+      advance();
+      if (Name->size() > 1 && (*Name)[0] == '_')
+        E = Prog.make<PrimCall>(Name, E, std::vector<Expr *>(), nullptr,
+                                Line);
+      else
+        E = Prog.make<Send>(E, Name, std::vector<Expr *>(), Line);
+    }
+    return E;
+  }
+
+  Expr *parsePrimary() {
+    int Line = cur().Line;
+    switch (cur().Kind) {
+    case TokKind::Int: {
+      int64_t V = cur().IntVal;
+      advance();
+      if (!fitsSmallInt(V)) {
+        Err.fail(Line, "integer literal exceeds the small-integer range");
+        return Prog.make<IntLit>(0, Line);
+      }
+      return Prog.make<IntLit>(V, Line);
+    }
+    case TokKind::Str: {
+      const std::string *T = Interner.intern(cur().StrVal);
+      advance();
+      return Prog.make<StrLit>(T, Line);
+    }
+    case TokKind::LParen: {
+      advance();
+      Expr *E = parseExpr();
+      expect(TokKind::RParen, "')'");
+      return E;
+    }
+    case TokKind::LBracket:
+      return parseBlock();
+    case TokKind::Ident: {
+      const std::string *Name = cur().Text;
+      advance();
+      if (Name == SelfName)
+        return Prog.make<SelfRef>(Line);
+      if (Name->size() > 1 && (*Name)[0] == '_')
+        return Prog.make<PrimCall>(Name, Prog.make<SelfRef>(Line),
+                                   std::vector<Expr *>(), nullptr, Line);
+      if (auto [DefScope, Index] = resolve(Name); DefScope)
+        return Prog.make<VarGet>(DefScope, Index, Name, Line);
+      // Unknown name: an implicit-self unary send (reaches the lobby).
+      return Prog.make<Send>(nullptr, Name, std::vector<Expr *>(), Line);
+    }
+    default:
+      Err.fail(Line, "expected an expression");
+      advance();
+      return Prog.make<IntLit>(0, Line);
+    }
+  }
+
+  Expr *parseBlock() {
+    int Line = cur().Line;
+    advance(); // '['
+    BlockExpr *B = Prog.makeBlock();
+    Code *C = &B->Body;
+    C->LexicalParent = scope();
+    C->Depth = scope()->Depth + 1;
+    C->SelectorName = Interner.intern("<block>");
+    scope()->ChildScopes.push_back(C);
+
+    if (at(TokKind::ColonIdent)) {
+      // Smalltalk-style arg list: `[ :a :b | ... ]`.
+      while (at(TokKind::ColonIdent)) {
+        Code::VarSlot V;
+        V.Name = cur().Text;
+        V.IsArgument = true;
+        C->Slots.push_back(V);
+        ++C->NumArgs;
+        advance();
+      }
+      if (!expect(TokKind::VBar, "'|' after block arguments"))
+        return Prog.make<BlockLit>(B, Line);
+    } else if (at(TokKind::VBar)) {
+      advance();
+      std::vector<SlotDef *> Entries;
+      parseSlotEntries(Entries, /*AllowBlockArgs=*/true);
+      if (Err.Failed)
+        return Prog.make<BlockLit>(B, Line);
+      if (!expect(TokKind::VBar, "'|' closing the block slot list"))
+        return Prog.make<BlockLit>(B, Line);
+      // Arguments first, then locals, preserving declaration order.
+      for (const SlotDef *E : Entries) {
+        if (E->Kind != SlotKind::Argument)
+          continue;
+        Code::VarSlot V;
+        V.Name = E->Name;
+        V.IsArgument = true;
+        C->Slots.push_back(V);
+        ++C->NumArgs;
+      }
+      std::vector<SlotDef *> LocalEntries;
+      for (SlotDef *E : Entries)
+        if (E->Kind != SlotKind::Argument)
+          LocalEntries.push_back(E);
+      if (!entriesToLocals(LocalEntries, C))
+        return Prog.make<BlockLit>(B, Line);
+    }
+
+    ScopeStack.push_back(C);
+    parseStatements(TokKind::RBracket, C);
+    ScopeStack.pop_back();
+    expect(TokKind::RBracket, "']' closing the block");
+    return Prog.make<BlockLit>(B, Line);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scope resolution and capture analysis
+  //===------------------------------------------------------------------===//
+
+  /// Finds \p Name in the lexical scope chain. Marks the slot captured when
+  /// the reference crosses a block boundary.
+  std::pair<Code *, int> resolve(const std::string *Name) {
+    for (auto It = ScopeStack.rbegin(); It != ScopeStack.rend(); ++It) {
+      Code *C = *It;
+      int Index = C->findSlot(Name);
+      if (Index < 0)
+        continue;
+      if (C != ScopeStack.back())
+        C->Slots[Index].Storage = VarStorage::Env;
+      return {C, Index};
+    }
+    return {nullptr, -1};
+  }
+
+  /// Assigns environment indices and static environment levels over a
+  /// completed method-root scope tree.
+  void finalizeScope(Code *C, int ParentEnvLevel) {
+    C->EnvSlotCount = 0;
+    for (Code::VarSlot &V : C->Slots)
+      if (V.Storage == VarStorage::Env)
+        V.EnvIndex = C->EnvSlotCount++;
+    C->HasCaptured = C->EnvSlotCount > 0;
+    C->EnvLevel = ParentEnvLevel + (C->HasCaptured ? 1 : 0);
+    for (Code *Child : C->ChildScopes)
+      finalizeScope(Child, C->EnvLevel);
+  }
+};
+
+ParseResult Parser::parseTopLevel(const std::string &Source) {
+  std::vector<Token> Toks = Lexer::tokenize(Source, Interner);
+  if (!Toks.empty() && Toks.back().Kind == TokKind::Error)
+    return ParseResult::failure(Toks.back().Line, Toks.back().StrVal);
+  Impl I(Prog, Interner, std::move(Toks));
+  I.parseProgram();
+  if (I.Err.Failed)
+    return ParseResult::failure(I.Err.Line, I.Err.Msg);
+  return ParseResult::success();
+}

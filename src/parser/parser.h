@@ -1,0 +1,58 @@
+//===-- parser/parser.h - Recursive-descent parser for mini-SELF *- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing ast::Program contents. Identifier
+/// resolution against lexical scopes happens here (locals/arguments become
+/// VarGet/VarSet; everything else becomes a message send), as does capture
+/// analysis: slots referenced from nested blocks are assigned environment
+/// storage and scopes get their static environment levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_PARSER_PARSER_H
+#define MINISELF_PARSER_PARSER_H
+
+#include "parser/ast.h"
+#include "parser/lexer.h"
+#include "support/interner.h"
+
+#include <string>
+
+namespace mself {
+
+/// Outcome of a parse; on failure, Error holds a "line N: message" string.
+struct ParseResult {
+  bool Ok = true;
+  std::string Error;
+
+  static ParseResult success() { return ParseResult(); }
+  static ParseResult failure(int Line, const std::string &Msg) {
+    ParseResult R;
+    R.Ok = false;
+    R.Error = "line " + std::to_string(Line) + ": " + Msg;
+    return R;
+  }
+};
+
+/// Parses top-level mini-SELF source into an ast::Program.
+class Parser {
+public:
+  Parser(ast::Program &Prog, StringInterner &Interner)
+      : Prog(Prog), Interner(Interner) {}
+
+  /// Parses \p Source, appending items to the program's top level.
+  ParseResult parseTopLevel(const std::string &Source);
+
+private:
+  class Impl;
+  ast::Program &Prog;
+  StringInterner &Interner;
+};
+
+} // namespace mself
+
+#endif // MINISELF_PARSER_PARSER_H

@@ -1,0 +1,137 @@
+//===-- runtime/corelib.cpp - The embedded mini-SELF core library ----------===//
+//
+// The standard world, written in mini-SELF itself. Everything here is
+// ordinary user-level code: booleans are two plain objects, integer
+// arithmetic is methods over robust primitives with IfFail: handlers, and
+// the iteration protocol (to:Do:, upTo:Do:, ...) is user-defined control
+// structure built from blocks — exactly the setting the paper's compiler
+// techniques are designed for. The optimizer sees nothing special about any
+// of it; it must inline its way from `1 upTo: n Do: [...]` down to a loop
+// over raw arithmetic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/world.h"
+
+const char *mself::kCoreLibrarySource = R"SELF(
+
+"--- lobby-level defaults, inherited by nil and by user objects that
+ declare `parent* = lobby` ---"
+
+print = ( _Print ).
+printLine = ( _PrintLine ).
+printString: x = ( x print. self ).
+== x = ( _Eq: x ).
+!= x = ( (_Eq: x) not ).
+isNil = ( _Eq: nil ).
+notNil = ( (_Eq: nil) not ).
+clone = ( _Clone ).
+error: msg = ( _Error: msg ).
+primitiveFailedError = ( _Error: 'arithmetic primitive failed' ).
+indexError = ( _Error: 'index out of bounds' ).
+vectorOfSize: n = ( _VectorNew: n ).
+vectorOfSize: n FillingWith: v = ( _VectorNew: n Filling: v ).
+
+"--- booleans: two ordinary objects ---"
+
+true = ( |
+  parent* = lobby.
+  ifTrue: b = ( b value ).
+  ifFalse: b = ( nil ).
+  ifTrue: tb False: fb = ( tb value ).
+  ifFalse: fb True: tb = ( tb value ).
+  not = ( false ).
+  and: b = ( b value ).
+  or: b = ( true ).
+  asBit = ( 1 ).
+  print = ( 'true' _Print. self ).
+| ).
+
+false = ( |
+  parent* = lobby.
+  ifTrue: b = ( nil ).
+  ifFalse: b = ( b value ).
+  ifTrue: tb False: fb = ( fb value ).
+  ifFalse: fb True: tb = ( fb value ).
+  not = ( true ).
+  and: b = ( false ).
+  or: b = ( b value ).
+  asBit = ( 0 ).
+  print = ( 'false' _Print. self ).
+| ).
+
+"--- integers: robust primitives plus user-defined iteration ---"
+
+intTraits = ( |
+  parent* = lobby.
+  + n = ( _IntAdd: n IfFail: [ primitiveFailedError ] ).
+  - n = ( _IntSub: n IfFail: [ primitiveFailedError ] ).
+  * n = ( _IntMul: n IfFail: [ primitiveFailedError ] ).
+  / n = ( _IntDiv: n IfFail: [ primitiveFailedError ] ).
+  % n = ( _IntMod: n IfFail: [ primitiveFailedError ] ).
+  < n = ( _IntLT: n IfFail: [ primitiveFailedError ] ).
+  <= n = ( _IntLE: n IfFail: [ primitiveFailedError ] ).
+  > n = ( _IntGT: n IfFail: [ primitiveFailedError ] ).
+  >= n = ( _IntGE: n IfFail: [ primitiveFailedError ] ).
+  == n = ( _IntEQ: n IfFail: [ false ] ).
+  != n = ( _IntNE: n IfFail: [ true ] ).
+  min: n = ( self < n ifTrue: [ self ] False: [ n ] ).
+  max: n = ( self < n ifTrue: [ n ] False: [ self ] ).
+  abs = ( self < 0 ifTrue: [ 0 - self ] False: [ self ] ).
+  negate = ( 0 - self ).
+  isZero = ( self == 0 ).
+  even = ( (self % 2) == 0 ).
+  odd = ( (self % 2) != 0 ).
+  between: lo And: hi = ( (self >= lo) and: [ self <= hi ] ).
+  to: lim Do: blk = ( | i |
+    i: self.
+    [ i <= lim ] whileTrue: [ blk value: i. i: i + 1 ].
+    self ).
+  upTo: lim Do: blk = ( | i |
+    i: self.
+    [ i < lim ] whileTrue: [ blk value: i. i: i + 1 ].
+    self ).
+  downTo: lim Do: blk = ( | i |
+    i: self.
+    [ i >= lim ] whileTrue: [ blk value: i. i: i - 1 ].
+    self ).
+  to: lim By: step Do: blk = ( | i |
+    i: self.
+    [ i <= lim ] whileTrue: [ blk value: i. i: i + step ].
+    self ).
+  timesRepeat: blk = ( 1 to: self Do: [ :each | blk value ]. self ).
+| ).
+
+"--- blocks ---"
+
+blockTraits = ( |
+  parent* = lobby.
+  whileFalse: body = ( [ self value not ] whileTrue: body. nil ).
+  loop = ( [ true ] whileTrue: [ self value ]. nil ).
+| ).
+
+"--- vectors (0-based indexable collections) ---"
+
+vectorTraits = ( |
+  parent* = lobby.
+  at: i = ( _At: i IfFail: [ indexError ] ).
+  at: i Put: v = ( _At: i Put: v IfFail: [ indexError ] ).
+  size = ( _Size ).
+  isEmpty = ( self size == 0 ).
+  first = ( self at: 0 ).
+  last = ( self at: self size - 1 ).
+  do: blk = ( 0 upTo: self size Do: [ :i | blk value: (self at: i) ]. self ).
+  doIndexes: blk = ( 0 upTo: self size Do: [ :i | blk value: i ]. self ).
+  atAllPut: v = ( 0 upTo: self size Do: [ :i | self at: i Put: v ]. self ).
+  copy = ( _Clone ).
+| ).
+
+"--- strings ---"
+
+stringTraits = ( |
+  parent* = lobby.
+  size = ( _Size ).
+  , s = ( _StrCat: s IfFail: [ primitiveFailedError ] ).
+  sameAs: s = ( _StrEq: s IfFail: [ false ] ).
+| )
+)SELF";

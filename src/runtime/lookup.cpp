@@ -1,0 +1,89 @@
+//===-- runtime/lookup.cpp - Message lookup through parent slots ----------===//
+
+#include "runtime/lookup.h"
+
+#include "vm/object.h"
+
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+/// One lookup work item: a map plus the object that holds its data fields
+/// (nullptr for the original receiver).
+struct WorkItem {
+  Map *M;
+  Object *Holder;
+};
+
+LookupResult classify(const SlotDesc *Slot, Object *Holder, bool IsAssign) {
+  LookupResult R;
+  R.Slot = Slot;
+  R.Holder = Holder;
+  if (IsAssign) {
+    R.ResultKind = LookupResult::Kind::Assign;
+    return R;
+  }
+  switch (Slot->Kind) {
+  case SlotKind::Data:
+    R.ResultKind = LookupResult::Kind::Data;
+    break;
+  case SlotKind::Constant:
+  case SlotKind::Parent: {
+    Value V = Slot->Constant;
+    bool IsMethod =
+        V.isObject() && V.asObject()->kind() == ObjectKind::Method;
+    R.ResultKind = IsMethod ? LookupResult::Kind::Method
+                            : LookupResult::Kind::Constant;
+    break;
+  }
+  case SlotKind::Argument:
+    R.ResultKind = LookupResult::Kind::NotFound;
+    break;
+  }
+  return R;
+}
+
+} // namespace
+
+LookupResult mself::lookupSelector(const World &, Map *M,
+                                   const std::string *Selector) {
+  // Depth-first, declaration order; Visited prevents parent cycles (the
+  // lobby is commonly its own ancestor) from looping.
+  std::vector<WorkItem> Stack{{M, nullptr}};
+  std::vector<Map *> Visited;
+
+  while (!Stack.empty()) {
+    WorkItem Item = Stack.back();
+    Stack.pop_back();
+
+    bool Seen = false;
+    for (Map *V : Visited)
+      if (V == Item.M) {
+        Seen = true;
+        break;
+      }
+    if (Seen)
+      continue;
+    Visited.push_back(Item.M);
+
+    if (const SlotDesc *S = Item.M->findSlot(Selector))
+      if (S->Kind != SlotKind::Argument)
+        return classify(S, Item.Holder, /*IsAssign=*/false);
+    if (const SlotDesc *S = Item.M->findAssignSlot(Selector))
+      return classify(S, Item.Holder, /*IsAssign=*/true);
+
+    // Queue parents in reverse so the first-declared parent pops first.
+    const std::vector<int> &Parents = Item.M->parentSlotIndices();
+    for (auto It = Parents.rbegin(); It != Parents.rend(); ++It) {
+      const SlotDesc &P = Item.M->slots()[static_cast<size_t>(*It)];
+      Value PV = P.Constant;
+      if (!PV.isObject())
+        continue; // Unbound or non-object parent: skip.
+      Object *PO = PV.asObject();
+      Stack.push_back({PO->map(), PO});
+    }
+  }
+  return LookupResult();
+}

@@ -1,0 +1,56 @@
+//===-- runtime/lookup.h - Message lookup through parent slots --*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message lookup: depth-first search of the receiver's map and its parent
+/// objects (declaration order, first match wins, cycles tolerated). The same
+/// routine serves the runtime's dynamic sends and the compiler's
+/// compile-time lookup — the paper's message inlining is exactly "perform
+/// the lookup at compile time", which is sound here because maps and parent
+/// constants are immutable after load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_RUNTIME_LOOKUP_H
+#define MINISELF_RUNTIME_LOOKUP_H
+
+#include "vm/map.h"
+
+#include <string>
+
+namespace mself {
+
+class Object;
+class World;
+
+/// Outcome of one lookup.
+struct LookupResult {
+  enum class Kind : uint8_t {
+    NotFound,
+    Method,   ///< Constant slot holding a method: activate it.
+    Constant, ///< Constant slot holding a plain value.
+    Data,     ///< Data slot read.
+    Assign,   ///< Data slot assignment (selector "x:").
+  };
+
+  Kind ResultKind = Kind::NotFound;
+  const SlotDesc *Slot = nullptr;
+  /// For Data/Assign: the object whose fields hold the slot, or nullptr when
+  /// the field belongs to the receiver itself (found on the receiver's map).
+  Object *Holder = nullptr;
+
+  bool found() const { return ResultKind != Kind::NotFound; }
+};
+
+/// Looks \p Selector up starting at map \p M. \p M is the receiver's map;
+/// data slots found directly on it report Holder == nullptr (i.e. "the
+/// receiver"), while slots found on parent objects report that parent.
+LookupResult lookupSelector(const World &W, Map *M,
+                            const std::string *Selector);
+
+} // namespace mself
+
+#endif // MINISELF_RUNTIME_LOOKUP_H

@@ -1,0 +1,314 @@
+//===-- runtime/primitives.cpp - Robust primitive operations --------------===//
+
+#include "runtime/primitives.h"
+
+#include "runtime/world.h"
+#include "vm/object.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <unordered_map>
+
+using namespace mself;
+
+static const PrimInfo kPrims[] = {
+    {PrimId::IntAdd, "_IntAdd:", 1, true, false},
+    {PrimId::IntSub, "_IntSub:", 1, true, false},
+    {PrimId::IntMul, "_IntMul:", 1, true, false},
+    {PrimId::IntDiv, "_IntDiv:", 1, true, false},
+    {PrimId::IntMod, "_IntMod:", 1, true, false},
+    {PrimId::IntLT, "_IntLT:", 1, true, false},
+    {PrimId::IntLE, "_IntLE:", 1, true, false},
+    {PrimId::IntGT, "_IntGT:", 1, true, false},
+    {PrimId::IntGE, "_IntGE:", 1, true, false},
+    {PrimId::IntEQ, "_IntEQ:", 1, true, false},
+    {PrimId::IntNE, "_IntNE:", 1, true, false},
+    {PrimId::Eq, "_Eq:", 1, false, false},
+    {PrimId::At, "_At:", 1, true, false},
+    {PrimId::AtPut, "_At:Put:", 2, true, true},
+    {PrimId::Size, "_Size", 0, true, false},
+    {PrimId::VectorNew, "_VectorNew:", 1, true, true},
+    {PrimId::VectorNewFilling, "_VectorNew:Filling:", 2, true, true},
+    {PrimId::Clone, "_Clone", 0, true, true},
+    {PrimId::StrCat, "_StrCat:", 1, true, true},
+    {PrimId::StrEq, "_StrEq:", 1, true, false},
+    {PrimId::Print, "_Print", 0, false, true},
+    {PrimId::PrintLine, "_PrintLine", 0, false, true},
+    {PrimId::ErrorOp, "_Error:", 1, true, true},
+};
+
+PrimId mself::primIdFor(const std::string &Selector) {
+  static const std::unordered_map<std::string, PrimId> Index = [] {
+    std::unordered_map<std::string, PrimId> M;
+    for (const PrimInfo &P : kPrims)
+      M.emplace(P.Selector, P.Id);
+    return M;
+  }();
+  auto It = Index.find(Selector);
+  return It == Index.end() ? PrimId::Invalid : It->second;
+}
+
+const PrimInfo &mself::primInfo(PrimId Id) {
+  assert(Id != PrimId::Invalid && "no info for the invalid primitive");
+  const PrimInfo &P = kPrims[static_cast<size_t>(Id)];
+  assert(P.Id == Id && "primitive table out of order");
+  return P;
+}
+
+namespace {
+
+/// Writes \p V to \p F the way mini-SELF `print` renders values.
+void printValue(World &W, FILE *F, Value V) {
+  if (V.isInt()) {
+    fprintf(F, "%" PRId64, V.asInt());
+    return;
+  }
+  if (V.isEmpty()) {
+    fprintf(F, "<empty>");
+    return;
+  }
+  Object *O = V.asObject();
+  if (O->kind() == ObjectKind::String) {
+    fputs(static_cast<StringObj *>(O)->str().c_str(), F);
+    return;
+  }
+  if (V == W.nilValue()) {
+    fputs("nil", F);
+    return;
+  }
+  if (V == W.trueValue()) {
+    fputs("true", F);
+    return;
+  }
+  if (V == W.falseValue()) {
+    fputs("false", F);
+    return;
+  }
+  fputs(V.describe().c_str(), F);
+}
+
+bool intPair(const Value *W, int64_t &A, int64_t &B) {
+  if (!W[0].isInt() || !W[1].isInt())
+    return false;
+  A = W[0].asInt();
+  B = W[1].asInt();
+  return true;
+}
+
+} // namespace
+
+bool mself::execPrimitive(World &W, PrimId Id, const Value *Win,
+                          Value &Result) {
+  switch (Id) {
+  case PrimId::IntAdd:
+  case PrimId::IntSub:
+  case PrimId::IntMul: {
+    int64_t A, B;
+    if (!intPair(Win, A, B)) {
+      W.setPrimError("integer primitive: operand is not a small integer");
+      return false;
+    }
+    int64_t R = 0;
+    bool Ovf = Id == PrimId::IntAdd   ? __builtin_add_overflow(A, B, &R)
+               : Id == PrimId::IntSub ? __builtin_sub_overflow(A, B, &R)
+                                      : __builtin_mul_overflow(A, B, &R);
+    if (Ovf || !fitsSmallInt(R)) {
+      W.setPrimError("integer primitive: overflow");
+      return false;
+    }
+    Result = Value::fromInt(R);
+    return true;
+  }
+  case PrimId::IntDiv:
+  case PrimId::IntMod: {
+    int64_t A, B;
+    if (!intPair(Win, A, B)) {
+      W.setPrimError("integer primitive: operand is not a small integer");
+      return false;
+    }
+    if (B == 0) {
+      W.setPrimError("integer primitive: division by zero");
+      return false;
+    }
+    if (A == kMinSmallInt && B == -1) {
+      W.setPrimError("integer primitive: overflow");
+      return false;
+    }
+    int64_t R = Id == PrimId::IntDiv ? A / B : A % B;
+    Result = Value::fromInt(R);
+    return true;
+  }
+  case PrimId::IntLT:
+  case PrimId::IntLE:
+  case PrimId::IntGT:
+  case PrimId::IntGE:
+  case PrimId::IntEQ:
+  case PrimId::IntNE: {
+    int64_t A, B;
+    if (!intPair(Win, A, B)) {
+      W.setPrimError("integer comparison: operand is not a small integer");
+      return false;
+    }
+    bool R = false;
+    switch (Id) {
+    case PrimId::IntLT:
+      R = A < B;
+      break;
+    case PrimId::IntLE:
+      R = A <= B;
+      break;
+    case PrimId::IntGT:
+      R = A > B;
+      break;
+    case PrimId::IntGE:
+      R = A >= B;
+      break;
+    case PrimId::IntEQ:
+      R = A == B;
+      break;
+    default:
+      R = A != B;
+      break;
+    }
+    Result = W.boolValue(R);
+    return true;
+  }
+  case PrimId::Eq:
+    Result = W.boolValue(Win[0].identicalTo(Win[1]));
+    return true;
+  case PrimId::At: {
+    if (!Win[0].isObject() || Win[0].asObject()->kind() != ObjectKind::Array ||
+        !Win[1].isInt()) {
+      W.setPrimError("_At: receiver is not an array or index not an integer");
+      return false;
+    }
+    auto *A = static_cast<ArrayObj *>(Win[0].asObject());
+    int64_t I = Win[1].asInt();
+    if (!A->inBounds(I)) {
+      W.setPrimError("_At: index out of bounds");
+      return false;
+    }
+    Result = A->at(I);
+    return true;
+  }
+  case PrimId::AtPut: {
+    if (!Win[0].isObject() || Win[0].asObject()->kind() != ObjectKind::Array ||
+        !Win[1].isInt()) {
+      W.setPrimError("_At:Put: receiver is not an array or index not an "
+                     "integer");
+      return false;
+    }
+    auto *A = static_cast<ArrayObj *>(Win[0].asObject());
+    int64_t I = Win[1].asInt();
+    if (!A->inBounds(I)) {
+      W.setPrimError("_At:Put: index out of bounds");
+      return false;
+    }
+    A->atPut(I, Win[2]);
+    Result = Win[2];
+    return true;
+  }
+  case PrimId::Size: {
+    if (Win[0].isObject() && Win[0].asObject()->kind() == ObjectKind::Array) {
+      Result = Value::fromInt(static_cast<ArrayObj *>(Win[0].asObject())
+                                  ->size());
+      return true;
+    }
+    if (Win[0].isObject() && Win[0].asObject()->kind() == ObjectKind::String) {
+      Result = Value::fromInt(static_cast<int64_t>(
+          static_cast<StringObj *>(Win[0].asObject())->str().size()));
+      return true;
+    }
+    W.setPrimError("_Size: receiver is not an array or string");
+    return false;
+  }
+  case PrimId::VectorNew:
+  case PrimId::VectorNewFilling: {
+    if (!Win[1].isInt() || Win[1].asInt() < 0 ||
+        Win[1].asInt() > (int64_t(1) << 30)) {
+      W.setPrimError("_VectorNew: size is not a reasonable integer");
+      return false;
+    }
+    Value Fill = Id == PrimId::VectorNewFilling ? Win[2] : W.nilValue();
+    Result = Value::fromObject(
+        W.heap().allocArray(W.arrayMap(), static_cast<size_t>(Win[1].asInt()),
+                            Fill));
+    return true;
+  }
+  case PrimId::Clone: {
+    if (Win[0].isInt()) { // Integers are immutable; clone is identity.
+      Result = Win[0];
+      return true;
+    }
+    Object *O = Win[0].asObject();
+    switch (O->kind()) {
+    case ObjectKind::Plain: {
+      Object *C = W.heap().allocPlain(O->map());
+      C->fields() = O->fields();
+      Result = Value::fromObject(C);
+      return true;
+    }
+    case ObjectKind::Array: {
+      auto *A = static_cast<ArrayObj *>(O);
+      ArrayObj *C = W.heap().allocArray(A->map(),
+                                        static_cast<size_t>(A->size()),
+                                        W.nilValue());
+      C->elems() = A->elems();
+      C->fields() = A->fields();
+      Result = Value::fromObject(C);
+      return true;
+    }
+    case ObjectKind::String:
+    case ObjectKind::Method:
+      Result = Win[0]; // Immutable: clone is identity.
+      return true;
+    default:
+      W.setPrimError("_Clone: receiver cannot be cloned");
+      return false;
+    }
+  }
+  case PrimId::StrCat: {
+    if (!Win[0].isObject() || Win[0].asObject()->kind() != ObjectKind::String ||
+        !Win[1].isObject() ||
+        Win[1].asObject()->kind() != ObjectKind::String) {
+      W.setPrimError("_StrCat: both operands must be strings");
+      return false;
+    }
+    Result = Value::fromObject(W.newString(
+        static_cast<StringObj *>(Win[0].asObject())->str() +
+        static_cast<StringObj *>(Win[1].asObject())->str()));
+    return true;
+  }
+  case PrimId::StrEq: {
+    if (!Win[0].isObject() || Win[0].asObject()->kind() != ObjectKind::String ||
+        !Win[1].isObject() ||
+        Win[1].asObject()->kind() != ObjectKind::String) {
+      W.setPrimError("_StrEq: both operands must be strings");
+      return false;
+    }
+    Result = W.boolValue(static_cast<StringObj *>(Win[0].asObject())->str() ==
+                         static_cast<StringObj *>(Win[1].asObject())->str());
+    return true;
+  }
+  case PrimId::Print:
+  case PrimId::PrintLine:
+    printValue(W, W.output(), Win[0]);
+    if (Id == PrimId::PrintLine)
+      fputc('\n', W.output());
+    Result = Win[0];
+    return true;
+  case PrimId::ErrorOp: {
+    std::string Msg = "error";
+    if (Win[1].isObject() && Win[1].asObject()->kind() == ObjectKind::String)
+      Msg = static_cast<StringObj *>(Win[1].asObject())->str();
+    else
+      Msg = "error: " + Win[1].describe();
+    W.setPrimError(Msg);
+    return false;
+  }
+  case PrimId::Invalid:
+    break;
+  }
+  W.setPrimError("unknown primitive");
+  return false;
+}

@@ -1,0 +1,77 @@
+//===-- runtime/primitives.h - Robust primitive operations ------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The primitive operations of mini-SELF. All primitives are *robust* in the
+/// paper's sense (§3.2.3): argument types, overflow, zero divisors, and
+/// array bounds are checked at the start, and a failing primitive transfers
+/// control to the caller's IfFail: handler (or the default error routine).
+/// The optimizing compiler's job is to prove these checks away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_RUNTIME_PRIMITIVES_H
+#define MINISELF_RUNTIME_PRIMITIVES_H
+
+#include "vm/value.h"
+
+#include <string>
+
+namespace mself {
+
+class World;
+
+/// Identifies a primitive operation.
+enum class PrimId : int32_t {
+  IntAdd,   ///< _IntAdd:    fails on non-int operand or overflow.
+  IntSub,   ///< _IntSub:
+  IntMul,   ///< _IntMul:
+  IntDiv,   ///< _IntDiv:    also fails on zero divisor.
+  IntMod,   ///< _IntMod:
+  IntLT,    ///< _IntLT:     fails on non-int operand.
+  IntLE,    ///< _IntLE:
+  IntGT,    ///< _IntGT:
+  IntGE,    ///< _IntGE:
+  IntEQ,    ///< _IntEQ:
+  IntNE,    ///< _IntNE:
+  Eq,       ///< _Eq:        identity; never fails.
+  At,       ///< _At:        fails unless receiver array, index int in bounds.
+  AtPut,    ///< _At:Put:
+  Size,     ///< _Size       arrays and strings.
+  VectorNew,        ///< _VectorNew:          nil-filled array.
+  VectorNewFilling, ///< _VectorNew:Filling:
+  Clone,    ///< _Clone      shallow copy sharing the map.
+  StrCat,   ///< _StrCat:    string concatenation.
+  StrEq,    ///< _StrEq:     string content equality.
+  Print,    ///< _Print      writes receiver to the world's output.
+  PrintLine,///< _PrintLine  same plus newline.
+  ErrorOp,  ///< _Error:     always fails, recording the message.
+  Invalid,
+};
+
+/// Static facts about one primitive.
+struct PrimInfo {
+  PrimId Id = PrimId::Invalid;
+  const char *Selector = nullptr; ///< Without any IfFail: part.
+  int Argc = 0;                   ///< Arguments besides the receiver.
+  bool CanFail = true;
+  bool HasSideEffects = false; ///< Excludes it from constant folding.
+};
+
+/// \returns the primitive named by \p Selector, or Invalid.
+PrimId primIdFor(const std::string &Selector);
+
+/// \returns static facts about \p Id (Id must be valid).
+const PrimInfo &primInfo(PrimId Id);
+
+/// Executes primitive \p Id with receiver Window[0] and arguments
+/// Window[1..Argc]. On success writes Result and returns true; on failure
+/// returns false (the failure message is recorded in the World).
+bool execPrimitive(World &W, PrimId Id, const Value *Window, Value &Result);
+
+} // namespace mself
+
+#endif // MINISELF_RUNTIME_PRIMITIVES_H

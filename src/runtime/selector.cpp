@@ -1,0 +1,35 @@
+//===-- runtime/selector.cpp - Selector utilities --------------------------===//
+
+#include "runtime/selector.h"
+
+#include <cctype>
+
+using namespace mself;
+
+int mself::selectorArity(const std::string &Sel) {
+  if (Sel.empty())
+    return 0;
+  char C0 = Sel[0];
+  if (std::isalpha(static_cast<unsigned char>(C0)) || C0 == '_') {
+    int N = 0;
+    for (char C : Sel)
+      if (C == ':')
+        ++N;
+    return N;
+  }
+  return 1; // binary operator
+}
+
+CommonSelectors::CommonSelectors(StringInterner &In)
+    : Value(In.intern("value")), Value1(In.intern("value:")),
+      Value2(In.intern("value:With:")), Value3(In.intern("value:With:With:")),
+      WhileTrue(In.intern("whileTrue:")), WhileFalse(In.intern("whileFalse:")),
+      IfTrue(In.intern("ifTrue:")), IfFalse(In.intern("ifFalse:")),
+      IfTrueFalse(In.intern("ifTrue:False:")),
+      IfFalseTrue(In.intern("ifFalse:True:")) {}
+
+bool mself::isIntPredictedSelector(const std::string &Sel) {
+  return Sel == "+" || Sel == "-" || Sel == "*" || Sel == "/" || Sel == "%" ||
+         Sel == "<" || Sel == "<=" || Sel == ">" || Sel == ">=" ||
+         Sel == "==" || Sel == "!=";
+}

@@ -1,0 +1,67 @@
+//===-- runtime/selector.h - Selector utilities -----------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selector helpers: arity computation and the cache of selectors the
+/// runtime and compiler treat specially (block invocation, the inlinable
+/// control-structure selectors, and the type-predicted arithmetic
+/// selectors from the paper's type-prediction table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_RUNTIME_SELECTOR_H
+#define MINISELF_RUNTIME_SELECTOR_H
+
+#include "support/interner.h"
+
+#include <string>
+
+namespace mself {
+
+/// \returns the number of arguments selector \p Sel takes: keyword parts
+/// for keyword selectors, 1 for binary operators, 0 for unary names.
+int selectorArity(const std::string &Sel);
+
+/// Interned selectors with special runtime/compiler meaning.
+struct CommonSelectors {
+  explicit CommonSelectors(StringInterner &In);
+
+  const std::string *Value;        ///< "value"
+  const std::string *Value1;       ///< "value:"
+  const std::string *Value2;       ///< "value:With:"
+  const std::string *Value3;       ///< "value:With:With:"
+  const std::string *WhileTrue;    ///< "whileTrue:"
+  const std::string *WhileFalse;   ///< "whileFalse:"
+  const std::string *IfTrue;       ///< "ifTrue:"
+  const std::string *IfFalse;      ///< "ifFalse:"
+  const std::string *IfTrueFalse;  ///< "ifTrue:False:"
+  const std::string *IfFalseTrue;  ///< "ifFalse:True:"
+
+  /// \returns the block-invocation selector for \p Argc arguments, or null.
+  const std::string *valueSelector(int Argc) const {
+    switch (Argc) {
+    case 0:
+      return Value;
+    case 1:
+      return Value1;
+    case 2:
+      return Value2;
+    case 3:
+      return Value3;
+    default:
+      return nullptr;
+    }
+  }
+};
+
+/// True for the binary selectors whose receiver the compiler predicts to be
+/// a small integer (the paper's type prediction: "the receiver of a +
+/// message is nine times more likely to be a small integer").
+bool isIntPredictedSelector(const std::string &Sel);
+
+} // namespace mself
+
+#endif // MINISELF_RUNTIME_SELECTOR_H

@@ -1,0 +1,224 @@
+//===-- runtime/world.cpp - The mini-SELF object world --------------------===//
+
+#include "runtime/world.h"
+
+#include "parser/parser.h"
+#include "runtime/lookup.h"
+
+#include <cassert>
+
+using namespace mself;
+using namespace mself::ast;
+
+World::World(Heap &H) : H(H) {
+  Sels = std::make_unique<CommonSelectors>(Interner);
+  bootNativeMaps();
+  H.addRootProvider(this);
+  loadCoreLibrary();
+  bindNativeTraits();
+}
+
+World::~World() { H.removeRootProvider(this); }
+
+void World::traceRoots(GcVisitor &V) {
+  V.visitObject(Lobby);
+  V.visit(Nil);
+  V.visit(True);
+  V.visit(False);
+  for (Value R : LiteralRoots)
+    V.visit(R);
+}
+
+void World::bootNativeMaps() {
+  LobbyMap = H.newMap(ObjectKind::Plain, "lobby");
+  NilMap = H.newMap(ObjectKind::Plain, "nil");
+  SmallIntMap = H.newMap(ObjectKind::SmallInt, "smallInt");
+  ArrayMap = H.newMap(ObjectKind::Array, "vector");
+  StringMap = H.newMap(ObjectKind::String, "string");
+  BlockMap = H.newMap(ObjectKind::Block, "block");
+  MethodMap = H.newMap(ObjectKind::Method, "method");
+  EnvMap = H.newMap(ObjectKind::Env, "environment");
+
+  // Native maps get a parent slot that is late-bound to a traits object
+  // defined by the core library.
+  const std::string *ParentName = Interner.intern("traits");
+  SmallIntParentSlot = SmallIntMap->addSlot(ParentName, SlotKind::Parent);
+  ArrayParentSlot = ArrayMap->addSlot(ParentName, SlotKind::Parent);
+  StringParentSlot = StringMap->addSlot(ParentName, SlotKind::Parent);
+  BlockParentSlot = BlockMap->addSlot(ParentName, SlotKind::Parent);
+  NilParentSlot = NilMap->addSlot(ParentName, SlotKind::Parent);
+
+  Lobby = H.allocPlain(LobbyMap);
+  Object *NilObj = H.allocPlain(NilMap);
+  Nil = Value::fromObject(NilObj);
+
+  // The lobby names itself (as in SELF) and nil.
+  LobbyMap->addSlot(Interner.intern("lobby"), SlotKind::Constant,
+                    Value::fromObject(Lobby));
+  LobbyMap->addSlot(Interner.intern("nil"), SlotKind::Constant, Nil);
+}
+
+void World::loadCoreLibrary() {
+  std::vector<const Code *> Exprs;
+  std::string Err;
+  bool Ok = loadSource(kCoreLibrarySource, Exprs, Err);
+  if (!Ok) {
+    fprintf(stderr, "core library failed to load: %s\n", Err.c_str());
+    assert(false && "core library must load");
+  }
+  assert(Exprs.empty() && "core library must contain only definitions");
+}
+
+void World::bindNativeTraits() {
+  auto bind = [&](const char *Name, Map *M, int SlotIndex) {
+    const SlotDesc *S = LobbyMap->findSlot(Interner.intern(Name));
+    assert(S && S->Kind == SlotKind::Constant && "missing core traits");
+    M->setSlotConstant(SlotIndex, S->Constant);
+  };
+  bind("intTraits", SmallIntMap, SmallIntParentSlot);
+  bind("vectorTraits", ArrayMap, ArrayParentSlot);
+  bind("stringTraits", StringMap, StringParentSlot);
+  bind("blockTraits", BlockMap, BlockParentSlot);
+  // nil inherits straight from the lobby (print, ==, isNil and globals).
+  NilMap->setSlotConstant(NilParentSlot, Value::fromObject(Lobby));
+
+  auto wellKnown = [&](const char *Name) {
+    const SlotDesc *S = LobbyMap->findSlot(Interner.intern(Name));
+    assert(S && "missing core well-known object");
+    return S->Constant;
+  };
+  True = wellKnown("true");
+  False = wellKnown("false");
+  TrueMap = True.asObject()->map();
+  FalseMap = False.asObject()->map();
+}
+
+bool World::loadSource(const std::string &Source,
+                       std::vector<const Code *> &ExprsOut,
+                       std::string &ErrOut) {
+  Programs.push_back(std::make_unique<Program>());
+  Program &Prog = *Programs.back();
+  Parser P(Prog, Interner);
+  ParseResult R = P.parseTopLevel(Source);
+  if (!R.Ok) {
+    ErrOut = R.Error;
+    return false;
+  }
+  for (const TopLevelItem &Item : Prog.TopLevel) {
+    if (Item.Slot) {
+      if (!defineLobbySlot(*Item.Slot, ErrOut))
+        return false;
+    } else {
+      ExprsOut.push_back(Item.ExprBody);
+    }
+  }
+  return true;
+}
+
+bool World::defineLobbySlot(const SlotDef &Def, std::string &ErrOut) {
+  if (LobbyMap->findSlot(Def.Name)) {
+    ErrOut = "line " + std::to_string(Def.Line) + ": lobby slot '" +
+             *Def.Name + "' is already defined";
+    return false;
+  }
+  Value V;
+  if (!evalSlotValue(Def, V, ErrOut))
+    return false;
+
+  if (Def.Kind == SlotKind::Data) {
+    const std::string *Setter = Interner.intern(*Def.Name + ":");
+    LobbyMap->addSlot(Def.Name, SlotKind::Data, V, Setter);
+    // The lobby is the one object whose map grows after creation; keep its
+    // field storage in step.
+    Lobby->fields().resize(static_cast<size_t>(LobbyMap->fieldCount()),
+                           Nil);
+    Lobby->setField(LobbyMap->fieldCount() - 1, V);
+    return true;
+  }
+  LobbyMap->addSlot(Def.Name, Def.Kind, V);
+  return true;
+}
+
+bool World::evalSlotValue(const SlotDef &Def, Value &Out,
+                          std::string &ErrOut) {
+  switch (Def.ValueKind) {
+  case SlotValueKind::IntConst:
+    if (!fitsSmallInt(Def.IntValue)) {
+      ErrOut = "integer slot value out of range";
+      return false;
+    }
+    Out = Value::fromInt(Def.IntValue);
+    return true;
+  case SlotValueKind::StrConst: {
+    StringObj *S = newString(*Def.StrValue);
+    Out = Value::fromObject(S);
+    LiteralRoots.push_back(Out);
+    return true;
+  }
+  case SlotValueKind::Method: {
+    MethodObj *M = H.allocMethod(MethodMap, Def.MethodBody, Def.Name);
+    Out = Value::fromObject(M);
+    LiteralRoots.push_back(Out);
+    return true;
+  }
+  case SlotValueKind::ObjectLit: {
+    bool Ok = true;
+    Object *O = buildObjectLiteral(*Def.Object, ErrOut, Ok);
+    if (!Ok)
+      return false;
+    Out = Value::fromObject(O);
+    LiteralRoots.push_back(Out);
+    return true;
+  }
+  case SlotValueKind::PathExpr:
+    return resolvePath(Def.PathNames, Out, ErrOut);
+  }
+  ErrOut = "unsupported slot value";
+  return false;
+}
+
+Object *World::buildObjectLiteral(const ObjectLit &Lit, std::string &ErrOut,
+                                  bool &Ok) {
+  Map *M = H.newMap(ObjectKind::Plain, "objectLiteral");
+  for (const SlotDef &S : Lit.Slots) {
+    if (S.Kind == SlotKind::Argument) {
+      ErrOut = "block arguments are not allowed in object literals";
+      Ok = false;
+      return nullptr;
+    }
+    Value V;
+    if (!evalSlotValue(S, V, ErrOut)) {
+      Ok = false;
+      return nullptr;
+    }
+    if (S.Kind == SlotKind::Data) {
+      const std::string *Setter = Interner.intern(*S.Name + ":");
+      M->addSlot(S.Name, SlotKind::Data, V, Setter);
+    } else {
+      M->addSlot(S.Name, S.Kind, V);
+    }
+  }
+  return H.allocPlain(M);
+}
+
+bool World::resolvePath(const std::vector<const std::string *> &Names,
+                        Value &Out, std::string &ErrOut) {
+  if (Names.empty()) {
+    ErrOut = "empty constant path";
+    return false;
+  }
+  Value Cur = Value::fromObject(Lobby);
+  for (const std::string *Name : Names) {
+    Map *M = mapOf(Cur);
+    LookupResult R = lookupSelector(*this, M, Name);
+    if (R.ResultKind != LookupResult::Kind::Constant &&
+        R.ResultKind != LookupResult::Kind::Method) {
+      ErrOut = "constant path name '" + *Name + "' does not resolve to a "
+               "constant slot";
+      return false;
+    }
+    Cur = R.Slot->Constant;
+  }
+  Out = Cur;
+  return true;
+}

@@ -1,0 +1,146 @@
+//===-- runtime/world.h - The mini-SELF object world ------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One mini-SELF universe: the lobby (the global namespace object), the
+/// well-known objects (nil, true, false), the synthetic maps of the native
+/// representations (small integers, arrays, strings, blocks), and the loader
+/// that installs parsed slot definitions. The core library (runtime/
+/// corelib.cpp) is loaded at construction; it defines the traits objects
+/// that native maps inherit from, so that messages like `3 + 4` find
+/// ordinary mini-SELF methods built on robust primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_RUNTIME_WORLD_H
+#define MINISELF_RUNTIME_WORLD_H
+
+#include "parser/ast.h"
+#include "runtime/selector.h"
+#include "support/interner.h"
+#include "vm/heap.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+/// Source text of the embedded core library.
+extern const char *kCoreLibrarySource;
+
+class World : public RootProvider {
+public:
+  /// Boots a fresh universe over \p H, including the core library.
+  /// Asserts on core-library load failure (it is embedded and must parse).
+  explicit World(Heap &H);
+  ~World() override;
+
+  Heap &heap() { return H; }
+  StringInterner &interner() { return Interner; }
+  const CommonSelectors &selectors() const { return *Sels; }
+
+  Object *lobby() const { return Lobby; }
+  Value lobbyValue() const { return Value::fromObject(Lobby); }
+  Value nilValue() const { return Nil; }
+  Value trueValue() const { return True; }
+  Value falseValue() const { return False; }
+
+  Map *smallIntMap() const { return SmallIntMap; }
+  Map *arrayMap() const { return ArrayMap; }
+  Map *stringMap() const { return StringMap; }
+  Map *blockMap() const { return BlockMap; }
+  Map *methodMap() const { return MethodMap; }
+  Map *envMap() const { return EnvMap; }
+  Map *nilMap() const { return NilMap; }
+  Map *trueMap() const { return TrueMap; }
+  Map *falseMap() const { return FalseMap; }
+
+  /// \returns the map describing \p V (the synthetic int map for ints).
+  Map *mapOf(Value V) const {
+    return V.isInt() ? SmallIntMap : V.asObject()->map();
+  }
+
+  /// \returns the boolean object for \p B.
+  Value boolValue(bool B) const { return B ? True : False; }
+
+  //===------------------------------------------------------------------===//
+  // Loading
+  //===------------------------------------------------------------------===//
+
+  /// Parses \p Source. Slot definitions are installed on the lobby
+  /// immediately; expression statements are appended to \p ExprsOut in
+  /// program order for the caller (the VM driver) to evaluate.
+  /// \returns false and sets \p ErrOut on parse or load errors.
+  bool loadSource(const std::string &Source,
+                  std::vector<const ast::Code *> &ExprsOut,
+                  std::string &ErrOut);
+
+  /// Installs one slot definition on the lobby.
+  bool defineLobbySlot(const ast::SlotDef &Def, std::string &ErrOut);
+
+  /// Evaluates a definition-time slot value (literal, object literal, or
+  /// constant path). \returns false and sets \p ErrOut on failure.
+  bool evalSlotValue(const ast::SlotDef &Def, Value &Out, std::string &ErrOut);
+
+  //===------------------------------------------------------------------===//
+  // Primitive support
+  //===------------------------------------------------------------------===//
+
+  FILE *output() const { return Out; }
+  void setOutput(FILE *F) { Out = F; }
+
+  /// Records the message of the most recent hard primitive failure.
+  void setPrimError(std::string Msg) { PrimError = std::move(Msg); }
+  const std::string &primError() const { return PrimError; }
+
+  /// Creates an array with \p N nil elements.
+  ArrayObj *newVector(size_t N) { return H.allocArray(ArrayMap, N, Nil); }
+  StringObj *newString(std::string S) {
+    return H.allocString(StringMap, std::move(S));
+  }
+
+  void traceRoots(GcVisitor &V) override;
+
+private:
+  void bootNativeMaps();
+  void loadCoreLibrary();
+  void bindNativeTraits();
+  Object *buildObjectLiteral(const ast::ObjectLit &Lit, std::string &ErrOut,
+                             bool &Ok);
+  bool resolvePath(const std::vector<const std::string *> &Names, Value &Out,
+                   std::string &ErrOut);
+
+  Heap &H;
+  StringInterner Interner;
+  std::unique_ptr<CommonSelectors> Sels;
+  std::vector<std::unique_ptr<ast::Program>> Programs;
+
+  Object *Lobby = nullptr;
+  Value Nil, True, False;
+  Map *LobbyMap = nullptr;
+  Map *SmallIntMap = nullptr;
+  Map *ArrayMap = nullptr;
+  Map *StringMap = nullptr;
+  Map *BlockMap = nullptr;
+  Map *MethodMap = nullptr;
+  Map *EnvMap = nullptr;
+  Map *NilMap = nullptr;
+  Map *TrueMap = nullptr;
+  Map *FalseMap = nullptr;
+  /// Parent-slot indices of native maps, late-bound to core-library traits.
+  int SmallIntParentSlot = -1, ArrayParentSlot = -1, StringParentSlot = -1,
+      BlockParentSlot = -1, NilParentSlot = -1;
+
+  std::vector<Value> LiteralRoots; ///< String literals, built objects.
+  FILE *Out = stdout;
+  std::string PrimError;
+};
+
+} // namespace mself
+
+#endif // MINISELF_RUNTIME_WORLD_H

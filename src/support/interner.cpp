@@ -1,0 +1,15 @@
+//===-- support/interner.cpp - String interning --------------------------===//
+
+#include "support/interner.h"
+
+using namespace mself;
+
+const std::string *StringInterner::intern(std::string_view Text) {
+  auto It = Table.find(std::string(Text));
+  if (It != Table.end())
+    return It->second.get();
+  auto Owned = std::make_unique<std::string>(Text);
+  const std::string *Ptr = Owned.get();
+  Table.emplace(*Owned, std::move(Owned));
+  return Ptr;
+}

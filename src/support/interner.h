@@ -1,0 +1,38 @@
+//===-- support/interner.h - String interning -------------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple string interner. Interned strings have stable addresses for the
+/// lifetime of the interner, so identity comparison substitutes for string
+/// comparison (used for selector symbols and slot names).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_SUPPORT_INTERNER_H
+#define MINISELF_SUPPORT_INTERNER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mself {
+
+/// Owns a set of unique strings; intern() maps equal contents to one pointer.
+class StringInterner {
+public:
+  /// \returns a stable pointer to the unique copy of \p Text.
+  const std::string *intern(std::string_view Text);
+
+  size_t size() const { return Table.size(); }
+
+private:
+  std::unordered_map<std::string, std::unique_ptr<std::string>> Table;
+};
+
+} // namespace mself
+
+#endif // MINISELF_SUPPORT_INTERNER_H

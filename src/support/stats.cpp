@@ -1,0 +1,40 @@
+//===-- support/stats.cpp - Order statistics over samples ----------------===//
+
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace mself;
+
+double SampleStats::min() const {
+  assert(!Samples.empty() && "min() of empty sample set");
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::max() const {
+  assert(!Samples.empty() && "max() of empty sample set");
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::percentile(double P) const {
+  assert(!Samples.empty() && "percentile() of empty sample set");
+  assert(P >= 0.0 && P <= 100.0 && "percentile rank out of range");
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = (P / 100.0) * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Rank));
+  size_t Hi = static_cast<size_t>(std::ceil(Rank));
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+double SampleStats::mean() const {
+  assert(!Samples.empty() && "mean() of empty sample set");
+  double Sum = std::accumulate(Samples.begin(), Samples.end(), 0.0);
+  return Sum / static_cast<double>(Samples.size());
+}

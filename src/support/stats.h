@@ -1,0 +1,51 @@
+//===-- support/stats.h - Order statistics over samples --------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small-sample order statistics (median, percentiles, min, max) used by the
+/// benchmark harnesses to reproduce the paper's "median / 75%-ile / max" and
+/// "median (min - max)" table cells.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_SUPPORT_STATS_H
+#define MINISELF_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mself {
+
+/// Accumulates double-valued samples and answers order-statistic queries.
+///
+/// Percentiles use linear interpolation between closest ranks, matching the
+/// conventional definition used when the paper reports medians and 75th
+/// percentiles over 8-20 benchmark data points.
+class SampleStats {
+public:
+  void add(double X) { Samples.push_back(X); }
+
+  bool empty() const { return Samples.empty(); }
+  size_t size() const { return Samples.size(); }
+
+  /// \returns the minimum sample; asserts if no samples were added.
+  double min() const;
+  /// \returns the maximum sample; asserts if no samples were added.
+  double max() const;
+  /// \returns the median (50th percentile).
+  double median() const { return percentile(50.0); }
+  /// \returns the interpolated \p P th percentile, P in [0, 100].
+  double percentile(double P) const;
+  /// \returns the arithmetic mean.
+  double mean() const;
+
+private:
+  std::vector<double> Samples;
+};
+
+} // namespace mself
+
+#endif // MINISELF_SUPPORT_STATS_H

@@ -1,0 +1,15 @@
+//===-- support/stopwatch.cpp - Wall and CPU time measurement ------------===//
+
+#include "support/stopwatch.h"
+
+#include <ctime>
+
+using namespace mself;
+
+double mself::cpuTimeSeconds() {
+  timespec Ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &Ts) != 0)
+    return 0.0;
+  return static_cast<double>(Ts.tv_sec) +
+         static_cast<double>(Ts.tv_nsec) * 1e-9;
+}

@@ -1,0 +1,51 @@
+//===-- support/stopwatch.h - Wall and CPU time measurement ----*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing utilities for the benchmark harnesses. The paper reports compile
+/// time in "seconds of CPU time"; we expose both CPU and wall clocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_SUPPORT_STOPWATCH_H
+#define MINISELF_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace mself {
+
+/// \returns the per-process CPU time in seconds.
+double cpuTimeSeconds();
+
+/// Measures elapsed wall-clock time from construction (or last reset()).
+class Stopwatch {
+public:
+  Stopwatch() { reset(); }
+
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double elapsedSeconds() const {
+    auto Delta = Clock::now() - Start;
+    return std::chrono::duration<double>(Delta).count();
+  }
+
+  /// \returns nanoseconds elapsed since construction or the last reset().
+  uint64_t elapsedNanos() const {
+    auto Delta = Clock::now() - Start;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Delta).count());
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace mself
+
+#endif // MINISELF_SUPPORT_STOPWATCH_H

@@ -1,0 +1,128 @@
+//===-- vm/heap.cpp - Mark-sweep garbage-collected heap ------------------===//
+
+#include "vm/heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mself;
+
+void GcVisitor::visitObject(Object *O) {
+  if (O == nullptr || O->Marked)
+    return;
+  O->Marked = true;
+  Worklist.push_back(O);
+}
+
+Heap::~Heap() {
+  Object *O = AllObjects;
+  while (O) {
+    Object *Next = O->NextAlloc;
+    delete O;
+    O = Next;
+  }
+}
+
+Map *Heap::newMap(ObjectKind Kind, std::string DebugName) {
+  Maps.push_back(std::make_unique<Map>(Kind, std::move(DebugName)));
+  return Maps.back().get();
+}
+
+Object *Heap::allocPlain(Map *M) {
+  Object *O = track(new Object(M), sizeof(Object));
+  O->fields().assign(static_cast<size_t>(M->fieldCount()), Value());
+  // Data slots start out holding the initial value recorded in the map
+  // (slot-definition initializers; nil by convention elsewhere).
+  for (const SlotDesc &S : M->slots())
+    if (S.Kind == SlotKind::Data)
+      O->setField(S.FieldIndex, S.Constant);
+  return O;
+}
+
+ArrayObj *Heap::allocArray(Map *M, size_t N, Value Fill) {
+  ArrayObj *O = track(new ArrayObj(M, N, Fill),
+                      sizeof(ArrayObj) + N * sizeof(Value));
+  O->fields().assign(static_cast<size_t>(M->fieldCount()), Value());
+  return O;
+}
+
+StringObj *Heap::allocString(Map *M, std::string S) {
+  size_t Bytes = sizeof(StringObj) + S.size();
+  return track(new StringObj(M, std::move(S)), Bytes);
+}
+
+MethodObj *Heap::allocMethod(Map *M, const ast::Code *Body,
+                             const std::string *Selector) {
+  return track(new MethodObj(M, Body, Selector), sizeof(MethodObj));
+}
+
+BlockObj *Heap::allocBlock(Map *M, const ast::BlockExpr *Body, Object *Env,
+                           Value HomeSelf, uint64_t HomeFrameId) {
+  return track(new BlockObj(M, Body, Env, HomeSelf, HomeFrameId),
+               sizeof(BlockObj));
+}
+
+void Heap::removeRootProvider(RootProvider *P) {
+  Roots.erase(std::remove(Roots.begin(), Roots.end(), P), Roots.end());
+}
+
+/// Pushes every Value held inside \p O onto the mark worklist.
+static void traceObject(Object *O, GcVisitor &V) {
+  for (Value F : O->fields())
+    V.visit(F);
+  switch (O->kind()) {
+  case ObjectKind::Array:
+  case ObjectKind::Env:
+    for (Value E : static_cast<ArrayObj *>(O)->elems())
+      V.visit(E);
+    break;
+  case ObjectKind::Block: {
+    auto *B = static_cast<BlockObj *>(O);
+    if (B->env())
+      V.visitObject(B->env());
+    V.visit(B->homeSelf());
+    break;
+  }
+  case ObjectKind::Plain:
+  case ObjectKind::SmallInt:
+  case ObjectKind::String:
+  case ObjectKind::Method:
+    break;
+  }
+}
+
+void Heap::collect() {
+  ++NumCollections;
+  std::vector<Object *> Worklist;
+  GcVisitor V(Worklist);
+
+  // Map constant slots (methods, shared constants, parents) are roots: maps
+  // are immortal, so everything they reference stays live.
+  for (const auto &M : Maps)
+    for (const SlotDesc &S : M->slots())
+      V.visit(S.Constant);
+
+  for (RootProvider *P : Roots)
+    P->traceRoots(V);
+
+  while (!Worklist.empty()) {
+    Object *O = Worklist.back();
+    Worklist.pop_back();
+    traceObject(O, V);
+  }
+
+  // Sweep: unlink and delete unmarked objects, clear marks on survivors.
+  Object **Link = &AllObjects;
+  while (*Link) {
+    Object *O = *Link;
+    if (O->Marked) {
+      O->Marked = false;
+      Link = &O->NextAlloc;
+    } else {
+      *Link = O->NextAlloc;
+      delete O;
+      --NumObjects;
+    }
+  }
+  BytesSinceGc = 0;
+}

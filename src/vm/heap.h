@@ -1,0 +1,108 @@
+//===-- vm/heap.h - Mark-sweep garbage-collected heap -----------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap owns all Objects and all Maps. Objects are reclaimed by a
+/// stop-the-world mark-sweep collector triggered at interpreter safepoints;
+/// maps are immortal (their constant slots are traced as roots). Roots are
+/// enumerated through registered RootProviders (the world's globals and the
+/// interpreter's frame stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_VM_HEAP_H
+#define MINISELF_VM_HEAP_H
+
+#include "vm/object.h"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+/// Passed to RootProviders during collection; call visit() on every root.
+class GcVisitor {
+public:
+  explicit GcVisitor(std::vector<Object *> &Worklist) : Worklist(Worklist) {}
+
+  void visit(Value V) {
+    if (V.isObject())
+      visitObject(V.asObject());
+  }
+  void visitObject(Object *O);
+
+private:
+  std::vector<Object *> &Worklist;
+};
+
+/// Anything holding GC roots outside the heap implements this.
+class RootProvider {
+public:
+  virtual ~RootProvider() = default;
+  virtual void traceRoots(GcVisitor &V) = 0;
+};
+
+/// Owns every Object and Map in one mini-SELF universe.
+class Heap {
+public:
+  Heap() = default;
+  ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Creates an immortal map. The heap retains ownership.
+  Map *newMap(ObjectKind Kind, std::string DebugName);
+
+  Object *allocPlain(Map *M);
+  ArrayObj *allocArray(Map *M, size_t N, Value Fill);
+  StringObj *allocString(Map *M, std::string S);
+  MethodObj *allocMethod(Map *M, const ast::Code *Body,
+                         const std::string *Selector);
+  BlockObj *allocBlock(Map *M, const ast::BlockExpr *Body, Object *Env,
+                       Value HomeSelf, uint64_t HomeFrameId);
+
+  void addRootProvider(RootProvider *P) { Roots.push_back(P); }
+  void removeRootProvider(RootProvider *P);
+
+  /// \returns true when enough has been allocated that the caller (at a
+  /// safepoint, with all live values rooted) should call collect().
+  bool shouldCollect() const { return BytesSinceGc >= GcThresholdBytes; }
+
+  /// Runs a full mark-sweep collection. All live Values must be reachable
+  /// from registered RootProviders or from map constant slots.
+  void collect();
+
+  size_t objectCount() const { return NumObjects; }
+  size_t collectionCount() const { return NumCollections; }
+
+  /// Sets the allocation volume between collections (for tests).
+  void setGcThresholdBytes(size_t N) { GcThresholdBytes = N; }
+
+private:
+  /// Links \p O into the all-objects list and does allocation accounting.
+  template <typename T> T *track(T *O, size_t Bytes) {
+    O->NextAlloc = AllObjects;
+    AllObjects = O;
+    ++NumObjects;
+    BytesSinceGc += Bytes;
+    return O;
+  }
+
+  Object *AllObjects = nullptr;
+  size_t NumObjects = 0;
+  size_t BytesSinceGc = 0;
+  size_t GcThresholdBytes = 8u << 20;
+  size_t NumCollections = 0;
+  std::vector<std::unique_ptr<Map>> Maps;
+  std::vector<RootProvider *> Roots;
+};
+
+} // namespace mself
+
+#endif // MINISELF_VM_HEAP_H

@@ -1,0 +1,52 @@
+//===-- vm/map.cpp - Maps (hidden classes) and slot descriptors ----------===//
+
+#include "vm/map.h"
+
+#include <cassert>
+
+using namespace mself;
+
+int Map::addSlot(const std::string *Name, SlotKind Kind, Value Constant,
+                 const std::string *SetterName) {
+  assert(Name && "slot name must be interned");
+  assert(ReadIndex.find(Name) == ReadIndex.end() && "duplicate slot name");
+
+  SlotDesc Desc;
+  Desc.Name = Name;
+  Desc.Kind = Kind;
+  Desc.Constant = Constant;
+  if (Kind == SlotKind::Data)
+    Desc.FieldIndex = FieldCount++;
+
+  int Index = static_cast<int>(Slots.size());
+  Slots.push_back(Desc);
+  ReadIndex.emplace(Name, Index);
+  if (Kind == SlotKind::Parent)
+    ParentIndices.push_back(Index);
+  if (Kind == SlotKind::Data && SetterName)
+    AssignIndex.emplace(SetterName, Index);
+  return Index;
+}
+
+void Map::setSlotConstant(int SlotIndex, Value V) {
+  assert(SlotIndex >= 0 && SlotIndex < static_cast<int>(Slots.size()) &&
+         "slot index out of range");
+  SlotDesc &Desc = Slots[SlotIndex];
+  assert((Desc.Kind == SlotKind::Constant || Desc.Kind == SlotKind::Parent) &&
+         "only constant-valued slots can be late-bound");
+  Desc.Constant = V;
+}
+
+const SlotDesc *Map::findSlot(const std::string *Name) const {
+  auto It = ReadIndex.find(Name);
+  if (It == ReadIndex.end())
+    return nullptr;
+  return &Slots[It->second];
+}
+
+const SlotDesc *Map::findAssignSlot(const std::string *NameColon) const {
+  auto It = AssignIndex.find(NameColon);
+  if (It == AssignIndex.end())
+    return nullptr;
+  return &Slots[It->second];
+}

@@ -1,0 +1,107 @@
+//===-- vm/map.h - Maps (hidden classes) and slot descriptors ---*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps describe object layout and behaviour, playing the role of classes:
+/// the paper's "class type" is exactly "the set of all values sharing the
+/// same map" (paper §3.1, footnote 2). A map lists slots; objects created
+/// from one object literal (and their clones) share a map and differ only in
+/// the contents of their data-slot fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_VM_MAP_H
+#define MINISELF_VM_MAP_H
+
+#include "vm/value.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mself {
+
+/// What kind of heap object a map describes. Small integers are not heap
+/// objects but still have a (synthetic) map so that the compiler's class
+/// types and runtime type tests treat them uniformly.
+enum class ObjectKind : uint8_t {
+  Plain,    ///< Slots-only object (most objects, booleans, nil, lobby).
+  SmallInt, ///< Synthetic map shared by all tagged integers.
+  Array,    ///< Indexable Value elements plus slots.
+  String,   ///< Immutable byte string.
+  Method,   ///< Holds a method body (lives in constant slots).
+  Block,    ///< Closure: block body + captured environment.
+  Env,      ///< Heap-allocated activation record for captured locals.
+};
+
+/// The role a slot plays in lookup and object layout.
+enum class SlotKind : uint8_t {
+  Constant,   ///< `name = value`; value stored in the map, shared.
+  Data,       ///< `name <- value`; per-object field, implies `name:` setter.
+  Parent,     ///< `name* = value`; constant parent, searched on lookup miss.
+  Argument,   ///< Method/block formal; exists only in method maps.
+};
+
+/// One slot in a map.
+struct SlotDesc {
+  const std::string *Name = nullptr; ///< Interned read selector.
+  SlotKind Kind = SlotKind::Constant;
+  int FieldIndex = -1; ///< Index into Object fields (Data slots only).
+  Value Constant;      ///< Shared value (Constant and Parent slots only).
+};
+
+/// Layout and behaviour descriptor shared by a family of objects.
+///
+/// Maps are immortal: they are owned by the Heap's map registry and never
+/// collected, so Map* identity is stable and usable as a compile-time "class"
+/// and as the key for customized compilation.
+class Map {
+public:
+  Map(ObjectKind Kind, std::string DebugName)
+      : Kind(Kind), DebugName(std::move(DebugName)) {}
+
+  ObjectKind kind() const { return Kind; }
+  const std::string &debugName() const { return DebugName; }
+
+  /// Appends a slot. Data slots are assigned the next field index and, when
+  /// \p SetterName (the interned "name:" selector) is provided, become
+  /// writable through that assignment selector.
+  /// \returns the new slot's index.
+  int addSlot(const std::string *Name, SlotKind Kind, Value Constant = Value(),
+              const std::string *SetterName = nullptr);
+
+  /// Late-binds the constant of slot \p SlotIndex (used when bootstrapping
+  /// mutually-referential core objects, e.g. native maps' parent slots).
+  void setSlotConstant(int SlotIndex, Value V);
+
+  /// \returns the slot read by selector \p Name, or nullptr.
+  const SlotDesc *findSlot(const std::string *Name) const;
+
+  /// \returns the *data* slot written by assignment selector \p NameColon
+  /// (e.g. "x:" writes the data slot "x"), or nullptr.
+  const SlotDesc *findAssignSlot(const std::string *NameColon) const;
+
+  const std::vector<SlotDesc> &slots() const { return Slots; }
+
+  /// Number of per-object Value fields that objects with this map carry.
+  int fieldCount() const { return FieldCount; }
+
+  /// \returns indices of parent slots in declaration order.
+  const std::vector<int> &parentSlotIndices() const { return ParentIndices; }
+
+private:
+  ObjectKind Kind;
+  std::string DebugName;
+  std::vector<SlotDesc> Slots;
+  std::unordered_map<const std::string *, int> ReadIndex;
+  std::unordered_map<const std::string *, int> AssignIndex;
+  std::vector<int> ParentIndices;
+  int FieldCount = 0;
+};
+
+} // namespace mself
+
+#endif // MINISELF_VM_MAP_H

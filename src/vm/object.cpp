@@ -1,0 +1,15 @@
+//===-- vm/object.cpp - Heap object layouts -------------------------------===//
+
+#include "vm/object.h"
+
+// This file intentionally contains no logic; it anchors the Object vtable so
+// it is emitted in exactly one translation unit.
+
+namespace mself {
+namespace {
+/// Anchor referenced nowhere; forces vtable emission here.
+struct ObjectVTableAnchor : Object {
+  using Object::Object;
+};
+} // namespace
+} // namespace mself

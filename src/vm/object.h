@@ -1,0 +1,140 @@
+//===-- vm/object.h - Heap object layouts -----------------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap object layouts. Every heap object carries its Map (hidden class);
+/// the per-kind subclasses add indexable elements (arrays, environments),
+/// byte contents (strings), code pointers (methods), or a captured
+/// environment (blocks). Dispatch over kinds is by explicit enum, not RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_VM_OBJECT_H
+#define MINISELF_VM_OBJECT_H
+
+#include "vm/map.h"
+#include "vm/value.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+namespace ast {
+struct Code;
+struct BlockExpr;
+} // namespace ast
+
+/// Base of all heap objects. Owned by the Heap; reclaimed by mark-sweep GC.
+class Object {
+public:
+  Object(Map *M) : TheMap(M) { assert(M && "object needs a map"); }
+  virtual ~Object() = default;
+
+  Map *map() const { return TheMap; }
+  ObjectKind kind() const { return TheMap->kind(); }
+
+  /// Per-object storage for the map's data slots.
+  std::vector<Value> &fields() { return Fields; }
+  const std::vector<Value> &fields() const { return Fields; }
+
+  Value field(int I) const {
+    assert(I >= 0 && I < static_cast<int>(Fields.size()) &&
+           "data field index out of range");
+    return Fields[I];
+  }
+  void setField(int I, Value V) {
+    assert(I >= 0 && I < static_cast<int>(Fields.size()) &&
+           "data field index out of range");
+    Fields[I] = V;
+  }
+
+private:
+  friend class Heap;
+  friend class GcVisitor;
+  Map *TheMap;
+  Object *NextAlloc = nullptr; ///< Intrusive all-objects list for sweeping.
+  bool Marked = false;
+  std::vector<Value> Fields;
+};
+
+/// Indexable array of Values; also used (with an Env-kind map) for
+/// heap-allocated activation environments holding block-captured locals.
+class ArrayObj : public Object {
+public:
+  ArrayObj(Map *M, size_t N, Value Fill) : Object(M), Elems(N, Fill) {}
+
+  int64_t size() const { return static_cast<int64_t>(Elems.size()); }
+  bool inBounds(int64_t I) const {
+    return I >= 0 && I < static_cast<int64_t>(Elems.size());
+  }
+  Value at(int64_t I) const {
+    assert(inBounds(I) && "array index out of bounds");
+    return Elems[static_cast<size_t>(I)];
+  }
+  void atPut(int64_t I, Value V) {
+    assert(inBounds(I) && "array index out of bounds");
+    Elems[static_cast<size_t>(I)] = V;
+  }
+
+  std::vector<Value> &elems() { return Elems; }
+  const std::vector<Value> &elems() const { return Elems; }
+
+private:
+  std::vector<Value> Elems;
+};
+
+/// Immutable byte string.
+class StringObj : public Object {
+public:
+  StringObj(Map *M, std::string S) : Object(M), Str(std::move(S)) {}
+  const std::string &str() const { return Str; }
+
+private:
+  std::string Str;
+};
+
+/// A method: code stored in a constant slot, activated by message lookup.
+class MethodObj : public Object {
+public:
+  MethodObj(Map *M, const ast::Code *Body, const std::string *Selector)
+      : Object(M), Body(Body), Selector(Selector) {}
+
+  const ast::Code *body() const { return Body; }
+  const std::string *selector() const { return Selector; }
+
+private:
+  const ast::Code *Body;
+  const std::string *Selector;
+};
+
+/// A block closure: block code plus the captured lexical environment and the
+/// identity of the home method activation (for non-local return).
+class BlockObj : public Object {
+public:
+  BlockObj(Map *M, const ast::BlockExpr *Body, Object *Env, Value HomeSelf,
+           uint64_t HomeFrameId)
+      : Object(M), Body(Body), Env(Env), HomeSelf(HomeSelf),
+        HomeFrameId(HomeFrameId) {}
+
+  const ast::BlockExpr *body() const { return Body; }
+  Object *env() const { return Env; }
+  /// `self` inside the block body: the home method's receiver.
+  Value homeSelf() const { return HomeSelf; }
+  uint64_t homeFrameId() const { return HomeFrameId; }
+
+private:
+  friend class Heap;
+  const ast::BlockExpr *Body;
+  Object *Env; ///< May be null if the block captures nothing.
+  Value HomeSelf;
+  uint64_t HomeFrameId;
+};
+
+} // namespace mself
+
+#endif // MINISELF_VM_OBJECT_H

@@ -1,0 +1,36 @@
+//===-- vm/value.cpp - Tagged value representation ------------------------===//
+
+#include "vm/value.h"
+
+#include "vm/object.h"
+
+#include <sstream>
+
+using namespace mself;
+
+std::string Value::describe() const {
+  if (isEmpty())
+    return "<empty>";
+  if (isInt())
+    return std::to_string(asInt());
+  Object *O = asObject();
+  switch (O->kind()) {
+  case ObjectKind::String:
+    return "'" + static_cast<StringObj *>(O)->str() + "'";
+  case ObjectKind::Array: {
+    std::ostringstream Os;
+    Os << "<array size " << static_cast<ArrayObj *>(O)->size() << ">";
+    return Os.str();
+  }
+  case ObjectKind::Method:
+    return "<method " + *static_cast<MethodObj *>(O)->selector() + ">";
+  case ObjectKind::Block:
+    return "<block>";
+  case ObjectKind::Env:
+    return "<env>";
+  case ObjectKind::SmallInt:
+  case ObjectKind::Plain:
+    break;
+  }
+  return "<" + O->map()->debugName() + ">";
+}

@@ -1,0 +1,92 @@
+//===-- vm/value.h - Tagged value representation ----------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The universal value representation: a 64-bit word that is either a tagged
+/// small integer (low bit set, 63-bit signed payload) or a pointer to a heap
+/// Object (low bit clear). This mirrors the SELF VM's tagged integers, which
+/// is what makes the paper's integer type tests ("_IsInt") a single branch
+/// and makes integer arithmetic primitives need an explicit overflow check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_VM_VALUE_H
+#define MINISELF_VM_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace mself {
+
+class Object;
+
+/// Inclusive bounds of the tagged small-integer range (the paper's
+/// minInt..maxInt). Arithmetic whose result leaves this range must take the
+/// primitive's failure path.
+inline constexpr int64_t kMinSmallInt = -(int64_t(1) << 62);
+inline constexpr int64_t kMaxSmallInt = (int64_t(1) << 62) - 1;
+
+/// \returns true if \p X is representable as a tagged small integer.
+inline constexpr bool fitsSmallInt(int64_t X) {
+  return X >= kMinSmallInt && X <= kMaxSmallInt;
+}
+
+/// A tagged 64-bit value: small integer or Object pointer.
+///
+/// The default-constructed Value is the "empty" sentinel (null pointer); it
+/// is never visible to mini-SELF programs and is used for uninitialized
+/// registers and absent optional values.
+class Value {
+public:
+  constexpr Value() : Bits(0) {}
+
+  static Value fromInt(int64_t I) {
+    assert(fitsSmallInt(I) && "small integer overflow at boxing time");
+    return Value((static_cast<uint64_t>(I) << 1) | 1);
+  }
+
+  static Value fromObject(Object *O) {
+    assert(O != nullptr && "use Value() for the empty sentinel");
+    auto Bits = reinterpret_cast<uintptr_t>(O);
+    assert((Bits & 1) == 0 && "heap objects must be at least 2-aligned");
+    return Value(static_cast<uint64_t>(Bits));
+  }
+
+  bool isEmpty() const { return Bits == 0; }
+  bool isInt() const { return (Bits & 1) != 0; }
+  bool isObject() const { return !isInt() && !isEmpty(); }
+
+  int64_t asInt() const {
+    assert(isInt() && "asInt() on a non-integer value");
+    return static_cast<int64_t>(Bits) >> 1;
+  }
+
+  Object *asObject() const {
+    assert(isObject() && "asObject() on a non-object value");
+    return reinterpret_cast<Object *>(static_cast<uintptr_t>(Bits));
+  }
+
+  /// Identity comparison: equal ints or the same heap object.
+  bool identicalTo(Value Other) const { return Bits == Other.Bits; }
+
+  bool operator==(const Value &Other) const { return Bits == Other.Bits; }
+  bool operator!=(const Value &Other) const { return Bits != Other.Bits; }
+
+  uint64_t rawBits() const { return Bits; }
+
+  /// Renders a short human-readable description (for tests and debugging).
+  std::string describe() const;
+
+private:
+  explicit constexpr Value(uint64_t B) : Bits(B) {}
+
+  uint64_t Bits;
+};
+
+} // namespace mself
+
+#endif // MINISELF_VM_VALUE_H

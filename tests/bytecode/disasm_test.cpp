@@ -1,0 +1,72 @@
+//===-- tests/bytecode/disasm_test.cpp - Bytecode/disassembler tests --------===//
+
+#include "bytecode/disasm.h"
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+TEST(Bytecode, ArityTableCoversEveryOpcode) {
+  for (int O = 0; O <= static_cast<int>(Op::NLRet); ++O) {
+    EXPECT_GE(opArity(static_cast<Op>(O)), 0);
+    EXPECT_STRNE(opName(static_cast<Op>(O)), "?");
+  }
+}
+
+namespace {
+
+/// Compiles a program under \p P and disassembles every cached function;
+/// the disassembler walking cleanly end-to-end re-checks instruction
+/// alignment on real compiler output.
+void disassembleAll(const Policy &P, const char *Defs, const char *Expr) {
+  VirtualMachine VM(P);
+  std::string Err;
+  ASSERT_TRUE(VM.load(Defs, Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt(Expr, Out, Err)) << Err;
+  VM.code().forEach([](const CompiledFunction &Fn) {
+    std::string Listing = disassemble(Fn);
+    EXPECT_NE(Listing.find("function"), std::string::npos);
+    // Every listing ends in a control transfer; spot-check it mentions one.
+    bool HasTerminator = Listing.find("return") != std::string::npos ||
+                         Listing.find("jump") != std::string::npos ||
+                         Listing.find("halt") != std::string::npos ||
+                         Listing.find("nl_return") != std::string::npos;
+    EXPECT_TRUE(HasTerminator) << Listing;
+  });
+}
+
+const char *kDefs =
+    "triangleNumber: n = ( | sum <- 0 | 1 upTo: n Do: [ :i | "
+    "sum: sum + i ]. sum ). "
+    "poly = ( | v | v: (vectorOfSize: 2). v at: 0 Put: 3. v at: 1 Put: nil."
+    " ((v at: 0) isNil) asBit + (triangleNumber: 10) )";
+
+} // namespace
+
+TEST(Bytecode, DisassemblesSt80Output) {
+  disassembleAll(Policy::st80(), kDefs, "poly");
+}
+
+TEST(Bytecode, DisassemblesOldSelfOutput) {
+  disassembleAll(Policy::oldSelf(), kDefs, "poly");
+}
+
+TEST(Bytecode, DisassemblesNewSelfOutput) {
+  disassembleAll(Policy::newSelf(), kDefs, "poly");
+}
+
+TEST(Bytecode, CodeSizeAccountsPools) {
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  ASSERT_TRUE(VM.load("k = ( 'a string literal' size + 1 )", Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("k", Out, Err)) << Err;
+  EXPECT_EQ(Out, 17);
+  VM.code().forEach([](const CompiledFunction &Fn) {
+    EXPECT_GE(Fn.sizeInBytes(),
+              Fn.Code.size() * sizeof(int32_t)); // Pools only add.
+  });
+}

@@ -1,0 +1,101 @@
+//===-- tests/compiler/ablation_test.cpp - Ablation policy correctness ------===//
+//
+// Every ablation configuration (DESIGN.md §5) must still compute correct
+// results: disabling an optimization may never change semantics. Runs a
+// program battery under each single-flag ablation of new SELF.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+struct AblationCase {
+  const char *Name;
+  Policy P;
+};
+
+std::vector<AblationCase> ablations() {
+  std::vector<AblationCase> Out;
+  auto add = [&](const char *Name, auto Mut) {
+    Policy P = Policy::newSelf();
+    P.Name = Name;
+    Mut(P);
+    Out.push_back({Name, P});
+  };
+  add("noExtendedSplitting", [](Policy &P) { P.ExtendedSplitting = false; });
+  add("noLocalSplitting", [](Policy &P) {
+    P.ExtendedSplitting = false;
+    P.LocalSplitting = false;
+  });
+  add("noRangeAnalysis", [](Policy &P) { P.RangeAnalysis = false; });
+  add("noIterativeLoops", [](Policy &P) { P.IterativeLoops = false; });
+  add("noLoopHeadGen", [](Policy &P) { P.LoopHeadGeneralization = false; });
+  add("noTypePrediction", [](Policy &P) { P.TypePrediction = false; });
+  add("noLocalTypes", [](Policy &P) { P.TrackLocalTypes = false; });
+  add("tinySplitThreshold", [](Policy &P) { P.SplitThreshold = 2; });
+  add("tinyInlineBudget", [](Policy &P) {
+    P.MaxInlineSize = 10;
+    P.MaxInlineDepth = 3;
+  });
+  add("noCustomize", [](Policy &P) { P.Customize = false; });
+  return Out;
+}
+
+class AblationTest : public ::testing::TestWithParam<AblationCase> {};
+
+struct Program {
+  const char *Defs;
+  const char *Expr;
+  int64_t Expected;
+};
+
+const Program kBattery[] = {
+    {"triangleNumber: n = ( | sum <- 0 | 1 upTo: n Do: [ :i | "
+     "sum: sum + i ]. sum )",
+     "triangleNumber: 100", 4950},
+    {"fib: n = ( n < 2 ifTrue: [ n ] False: "
+     "[ (fib: n - 1) + (fib: n - 2) ] )",
+     "fib: 14", 377},
+    {"grid = ( | t <- 0 | 1 to: 6 Do: [ :i | 1 to: 6 Do: [ :j | "
+     "t: t + (i * j) ] ]. t )",
+     "grid", 441},
+    {"vsum = ( | v. s <- 0 | v: (vectorOfSize: 30). "
+     "v doIndexes: [ :i | v at: i Put: i * i ]. "
+     "v do: [ :e | s: s + e ]. s )",
+     "vsum", 8555},
+    {"early: lim = ( 1 to: 50 Do: [ :i | i * i > lim ifTrue: [ ^ i ] ]. "
+     "0 )",
+     "early: 100", 11},
+    {"counter = ( | parent* = lobby. n <- 0. bump = ( n: n + 1. n ) | ). "
+     "spin = ( | c | c: counter clone. 10 timesRepeat: [ c bump ]. c n )",
+     "spin", 10},
+    {"", "3 _IntAdd: nil IfFail: [ 0 - 4 ]", -4},
+    {"", "((7 % 2) == 1) ifTrue: [ 5 max: 2 ] False: [ 0 ]", 5},
+};
+
+} // namespace
+
+TEST_P(AblationTest, BatteryComputesCorrectResults) {
+  const AblationCase &C = GetParam();
+  for (const Program &Pr : kBattery) {
+    VirtualMachine VM(C.P);
+    std::string Err;
+    if (Pr.Defs[0] != '\0')
+      ASSERT_TRUE(VM.load(Pr.Defs, Err)) << C.Name << ": " << Err;
+    int64_t Out = 0;
+    ASSERT_TRUE(VM.evalInt(Pr.Expr, Out, Err))
+        << C.Name << " on `" << Pr.Expr << "`: " << Err;
+    EXPECT_EQ(Out, Pr.Expected) << C.Name << " on `" << Pr.Expr << "`";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AblationTest, ::testing::ValuesIn(ablations()),
+    [](const ::testing::TestParamInfo<AblationCase> &I) {
+      return std::string(I.param.Name);
+    });

@@ -1,0 +1,164 @@
+//===-- tests/compiler/cross_policy_test.cpp - Policy equivalence ----------===//
+//
+// The strongest correctness property in the system: every compiler
+// configuration must compute identical results. Each program below runs
+// under ST-80 (baseline), old SELF, and new SELF, and the outcomes are
+// compared.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+struct ProgramCase {
+  const char *Name;
+  const char *Defs; ///< Loaded first (may be "").
+  const char *Expr; ///< Evaluated; must yield an integer.
+  int64_t Expected;
+};
+
+const ProgramCase kPrograms[] = {
+    {"literal", "", "42", 42},
+    {"arith", "", "2 + 3 * 4 - 5", 15},
+    {"divmod", "", "(17 / 5) * 100 + (17 % 5)", 302},
+    {"compare", "", "(3 < 4) asBit + (4 <= 4) asBit + (5 > 9) asBit", 2},
+    {"ifTrueFalse", "", "3 < 4 ifTrue: [ 10 ] False: [ 20 ]", 10},
+    {"nestedIf", "",
+     "1 < 2 ifTrue: [ 3 < 2 ifTrue: [ 1 ] False: [ 2 ] ] False: [ 3 ]", 2},
+    {"minMaxAbs", "", "((0 - 7) abs max: 3) min: 6", 6},
+    {"whileSum",
+     "sumUpTo: n = ( | s <- 0. i <- 1 | "
+     "[ i <= n ] whileTrue: [ s: s + i. i: i + 1 ]. s )",
+     "sumUpTo: 100", 5050},
+    {"triangleNumber",
+     "triangleNumber: n = ( | sum <- 0 | "
+     "1 upTo: n Do: [ :i | sum: sum + i ]. sum )",
+     "triangleNumber: 100", 4950},
+    {"toDo",
+     "squaresTo: n = ( | s <- 0 | 1 to: n Do: [ :i | s: s + (i * i) ]. s )",
+     "squaresTo: 10", 385},
+    {"downTo", "", "down = ( | s <- 0 | 9 downTo: 3 Do: [ :i | s: s + i ]. "
+                   "s ). down",
+     42},
+    {"byDo", "", "byd = ( | s <- 0 | 1 to: 20 By: 3 Do: [ :i | s: s + i ]. "
+                 "s ). byd",
+     70},
+    {"timesRepeat", "", "tr = ( | c <- 0 | 7 timesRepeat: [ c: c + 2 ]. c )."
+                        " tr",
+     14},
+    {"recursion",
+     "fib: n = ( n < 2 ifTrue: [ n ] False: "
+     "[ (fib: n - 1) + (fib: n - 2) ] )",
+     "fib: 15", 610},
+    {"mutualRecursion",
+     "isEven: n = ( n == 0 ifTrue: [ 1 ] False: [ isOdd: n - 1 ] ). "
+     "isOdd: n = ( n == 0 ifTrue: [ 0 ] False: [ isEven: n - 1 ] )",
+     "isEven: 10", 1},
+    {"nonLocalReturn",
+     "firstSquareOver: lim = ( 1 to: 100 Do: [ :i | "
+     "i * i > lim ifTrue: [ ^ i ] ]. 0 )",
+     "firstSquareOver: 200", 15},
+    {"objects",
+     "counter = ( | parent* = lobby. n <- 0. "
+     "bump = ( n: n + 1. n ). reset = ( n: 0. self ) | )",
+     "counter reset. counter bump. counter bump. counter bump. counter n",
+     3},
+    {"clones",
+     "pt = ( | parent* = lobby. x <- 1. y <- 2. "
+     "sum = ( x + y ). withX: v = ( | c | c: self clone. c x: v. c ) | )",
+     "(pt withX: 10) sum + pt sum", 15},
+    {"vectors",
+     "fill: n = ( | v. s <- 0 | v: (vectorOfSize: n). "
+     "0 upTo: n Do: [ :i | v at: i Put: i * 2 ]. "
+     "v do: [ :e | s: s + e ]. s )",
+     "fill: 10", 90},
+    {"atAllPut",
+     "aap = ( | v. s <- 0 | v: (vectorOfSize: 8). v atAllPut: 3. "
+     "v do: [ :e | s: s + e ]. s )",
+     "aap", 24},
+    {"primFail", "", "3 _IntAdd: nil IfFail: [ 0 - 9 ]", -9},
+    {"primFailConstFold", "",
+     "m = ( | x | x: 4611686018427387903. x _IntAdd: 1 IfFail: [ 77 ] ). m",
+     77},
+    {"blockValues",
+     "applyTwice: b To: x = ( b value: (b value: x) )",
+     "applyTwice: [ :v | v * 3 ] To: 2", 18},
+    {"capture",
+     "mkAdder: n = ( [ :x | x + n ] )",
+     "(mkAdder: 10) value: 32", 42},
+    {"sharedEnv", "",
+     "se = ( | x <- 0. up. down | up: [ x: x + 10 ]. down: [ x: x - 3 ]. "
+     "up value. down value. up value. x ). se",
+     17},
+    {"nestedLoops",
+     "grid = ( | t <- 0 | 1 to: 5 Do: [ :i | 1 to: 5 Do: [ :j | "
+     "t: t + (i * j) ] ]. t )",
+     "grid", 225},
+    {"whileFalse", "",
+     "wf = ( | i <- 0 | [ i >= 5 ] whileFalse: [ i: i + 1 ]. i ). wf", 5},
+    {"booleanOps", "",
+     "((3 < 4) and: [ 4 < 5 ]) asBit + ((3 < 4) or: [ 9 < 5 ]) asBit "
+     "+ (3 < 4) not asBit",
+     2},
+    {"polymorphicSend",
+     "shapeA = ( | parent* = lobby. area = ( 10 ) | ). "
+     "shapeB = ( | parent* = lobby. area = ( 20 ) | ). "
+     "sumAreas = ( | t <- 0. s | 1 to: 10 Do: [ :i | "
+     "s: (i even ifTrue: [ shapeA ] False: [ shapeB ]). "
+     "t: t + s area ]. t )",
+     "sumAreas", 150},
+    {"identity",
+     "idt = ( | a. b | a: (vectorOfSize: 1). b: a. "
+     "((a == b) asBit * 10) + (a == (vectorOfSize: 1)) asBit )",
+     "idt", 10},
+    {"deepInline",
+     "l1: x = ( x + 1 ). l2: x = ( (l1: x) + 1 ). l3: x = ( (l2: x) + 1 ). "
+     "l4: x = ( (l3: x) + 1 )",
+     "l4: 0", 4},
+    {"argReassign",
+     "count: n = ( | c <- 0 | [ n > 0 ] whileTrue: [ c: c + 1. n: n - 1 ]. "
+     "c )",
+     "count: 7", 7},
+    {"sumFromTo",
+     "sumFrom: a To: b = ( | s <- 0 | a to: b Do: [ :i | s: s + i ]. s )",
+     "sumFrom: 10 To: 20", 165},
+    {"overflowIntoHandlerLoop",
+     "ovf = ( | x <- 1. n <- 0 | [ n < 100 ] whileTrue: [ "
+     "x: (x _IntMul: 2 IfFail: [ 1 ]). n: n + 1 ]. x )",
+     "ovf", 274877906944 /* overflow resets x to 1 every 62 doublings;
+                            after 100 iterations x == 2^38 */},
+};
+
+class CrossPolicy : public ::testing::TestWithParam<ProgramCase> {};
+
+} // namespace
+
+TEST_P(CrossPolicy, SameResultUnderAllPolicies) {
+  const ProgramCase &C = GetParam();
+  int64_t Results[3] = {0, 0, 0};
+  const Policy Policies[3] = {Policy::st80(), Policy::oldSelf(),
+                              Policy::newSelf()};
+  for (int I = 0; I < 3; ++I) {
+    VirtualMachine VM(Policies[I]);
+    std::string Err;
+    if (C.Defs[0] != '\0')
+      ASSERT_TRUE(VM.load(C.Defs, Err))
+          << Policies[I].Name << ": " << Err;
+    ASSERT_TRUE(VM.evalInt(C.Expr, Results[I], Err))
+        << Policies[I].Name << ": " << Err;
+  }
+  EXPECT_EQ(Results[0], C.Expected) << "st80";
+  EXPECT_EQ(Results[1], C.Expected) << "oldself";
+  EXPECT_EQ(Results[2], C.Expected) << "newself";
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, CrossPolicy,
+                         ::testing::ValuesIn(kPrograms),
+                         [](const ::testing::TestParamInfo<ProgramCase> &I) {
+                           return std::string(I.param.Name);
+                         });

@@ -1,0 +1,170 @@
+//===-- tests/compiler/random_expr_test.cpp - Differential fuzzing ----------===//
+//
+// Property-based differential test: generate random integer/boolean
+// expression trees, render them as mini-SELF source, evaluate the tree in
+// C++, and require all three compiler configurations to produce the same
+// value. This exercises constant folding, range analysis, splitting of the
+// comparison-produced boolean merges, and prediction on arbitrary shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace mself;
+
+namespace {
+
+/// Deterministic generator of (source, expected value) pairs. Division and
+/// modulo guard against zero divisors by construction; operands stay small
+/// so nothing overflows.
+class ExprGen {
+public:
+  explicit ExprGen(uint32_t Seed) : Rng(Seed) {}
+
+  /// Generates an integer-valued expression of depth <= D.
+  std::string intExpr(int D, int64_t &Val) {
+    if (D == 0 || pick(4) == 0) {
+      int64_t V = static_cast<int64_t>(pick(200)) - 100;
+      Val = V;
+      if (V < 0) {
+        int64_t Out = 0;
+        std::string S = "(0 - " + std::to_string(-V) + ")";
+        Out = V;
+        Val = Out;
+        return S;
+      }
+      return std::to_string(V);
+    }
+    switch (pick(6)) {
+    case 0: {
+      int64_t A, B;
+      std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
+      Val = A + B;
+      return "(" + SA + " + " + SB + ")";
+    }
+    case 1: {
+      int64_t A, B;
+      std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
+      Val = A - B;
+      return "(" + SA + " - " + SB + ")";
+    }
+    case 2: {
+      int64_t A, B;
+      std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
+      Val = A * B;
+      return "(" + SA + " * " + SB + ")";
+    }
+    case 3: { // Division with a guaranteed-nonzero divisor.
+      int64_t A;
+      std::string SA = intExpr(D - 1, A);
+      int64_t B = static_cast<int64_t>(pick(20)) + 1;
+      Val = A / B;
+      return "(" + SA + " / " + std::to_string(B) + ")";
+    }
+    case 4: { // Conditional expression on a random comparison.
+      int64_t C;
+      std::string SC = boolExpr(D - 1, C);
+      int64_t A, B;
+      std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
+      Val = C ? A : B;
+      return "(" + SC + " ifTrue: [ " + SA + " ] False: [ " + SB + " ])";
+    }
+    default: { // min:/max:/abs exercise the core library.
+      int64_t A, B;
+      std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
+      if (pick(2) == 0) {
+        Val = std::min(A, B);
+        return "(" + SA + " min: " + SB + ")";
+      }
+      Val = std::max(A, B);
+      return "(" + SA + " max: " + SB + ")";
+    }
+    }
+  }
+
+  /// Generates a boolean-valued expression; Val is 0 or 1.
+  std::string boolExpr(int D, int64_t &Val) {
+    if (D == 0 || pick(3) == 0) {
+      int64_t A, B;
+      std::string SA = intExpr(std::max(0, D - 1), A);
+      std::string SB = intExpr(std::max(0, D - 1), B);
+      const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+      int O = static_cast<int>(pick(6));
+      bool R = false;
+      switch (O) {
+      case 0:
+        R = A < B;
+        break;
+      case 1:
+        R = A <= B;
+        break;
+      case 2:
+        R = A > B;
+        break;
+      case 3:
+        R = A >= B;
+        break;
+      case 4:
+        R = A == B;
+        break;
+      default:
+        R = A != B;
+        break;
+      }
+      Val = R ? 1 : 0;
+      return "(" + SA + " " + Ops[O] + " " + SB + ")";
+    }
+    switch (pick(3)) {
+    case 0: {
+      int64_t A, B;
+      std::string SA = boolExpr(D - 1, A), SB = boolExpr(D - 1, B);
+      Val = (A != 0 && B != 0) ? 1 : 0;
+      return "(" + SA + " and: [ " + SB + " ])";
+    }
+    case 1: {
+      int64_t A, B;
+      std::string SA = boolExpr(D - 1, A), SB = boolExpr(D - 1, B);
+      Val = (A != 0 || B != 0) ? 1 : 0;
+      return "(" + SA + " or: [ " + SB + " ])";
+    }
+    default: {
+      int64_t A;
+      std::string SA = boolExpr(D - 1, A);
+      Val = A != 0 ? 0 : 1;
+      return SA + " not";
+    }
+    }
+  }
+
+private:
+  uint32_t pick(uint32_t N) { return Rng() % N; }
+  std::mt19937 Rng;
+};
+
+class RandomExpr : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(RandomExpr, AllPoliciesMatchCppEvaluation) {
+  ExprGen Gen(static_cast<uint32_t>(GetParam()) * 2654435761u + 1);
+  for (int Case = 0; Case < 8; ++Case) {
+    int64_t Expected = 0;
+    std::string Src = Gen.intExpr(4, Expected);
+    for (const Policy &P :
+         {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
+      VirtualMachine VM(P);
+      int64_t Out = 0;
+      std::string Err;
+      ASSERT_TRUE(VM.evalInt(Src, Out, Err))
+          << P.Name << " failed on: " << Src << "\n  " << Err;
+      EXPECT_EQ(Out, Expected) << P.Name << " on: " << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExpr, ::testing::Range(1, 13));

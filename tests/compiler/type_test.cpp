@@ -1,0 +1,191 @@
+//===-- tests/compiler/type_test.cpp - Type lattice unit tests -------------===//
+//
+// The paper's type system (§3.1): values, integer subranges, classes,
+// unions, differences, merges. Includes property-style sweeps over the
+// lattice operations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/type.h"
+
+#include "runtime/world.h"
+#include "vm/object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class TypeTest : public ::testing::Test {
+protected:
+  Heap H;
+  World W{H};
+  TypeContext TC{W};
+};
+
+} // namespace
+
+TEST_F(TypeTest, IntConstantsAreDegenerateRanges) {
+  const Type *T = TC.constantOf(Value::fromInt(7));
+  ASSERT_TRUE(T->isIntRange());
+  auto R = T->intRange();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->first, 7);
+  EXPECT_EQ(R->second, 7);
+  ASSERT_TRUE(T->constant().has_value());
+  EXPECT_EQ(T->constant()->asInt(), 7);
+}
+
+TEST_F(TypeTest, ObjectConstantsKnowTheirMap) {
+  const Type *T = TC.constantOf(W.trueValue());
+  EXPECT_EQ(T->definiteMap(W), W.trueMap());
+  EXPECT_TRUE(T->constant().has_value());
+  EXPECT_TRUE(T->excludesInt(W));
+  EXPECT_TRUE(T->excludesMap(W, W.falseMap()));
+  EXPECT_FALSE(T->excludesMap(W, W.trueMap()));
+}
+
+TEST_F(TypeTest, IntClassNormalization) {
+  // classOf(smallIntMap) is the full integer range (§3.1: integer value
+  // types and the integer class type are extreme subrange forms).
+  const Type *T = TC.classOf(W.smallIntMap());
+  ASSERT_TRUE(T->isIntRange());
+  EXPECT_EQ(T->lo(), kMinSmallInt);
+  EXPECT_EQ(T->hi(), kMaxSmallInt);
+  EXPECT_EQ(T->definiteMap(W), W.smallIntMap());
+}
+
+TEST_F(TypeTest, UnknownContainsEverything) {
+  const Type *U = TC.unknown();
+  EXPECT_TRUE(U->contains(W, TC.intRange(0, 5)));
+  EXPECT_TRUE(U->contains(W, TC.classOf(W.arrayMap())));
+  EXPECT_TRUE(U->contains(W, TC.constantOf(W.nilValue())));
+  EXPECT_EQ(U->definiteMap(W), nullptr);
+  EXPECT_FALSE(U->excludesInt(W));
+}
+
+TEST_F(TypeTest, RangeContainment) {
+  const Type *Wide = TC.intRange(0, 100);
+  const Type *Narrow = TC.intRange(10, 20);
+  EXPECT_TRUE(Wide->contains(W, Narrow));
+  EXPECT_FALSE(Narrow->contains(W, Wide));
+  EXPECT_TRUE(Wide->contains(W, TC.constantOf(Value::fromInt(50))));
+  EXPECT_FALSE(Wide->contains(W, TC.constantOf(Value::fromInt(101))));
+}
+
+TEST_F(TypeTest, DifferenceExcludesSubtrahendClass) {
+  const Type *U = TC.unknown();
+  const Type *D = TC.difference(U, TC.intClass());
+  EXPECT_TRUE(D->excludesInt(W));
+  EXPECT_FALSE(D->excludesMap(W, W.arrayMap()));
+  // Removing values never widens the map set.
+  const Type *DA = TC.difference(TC.classOf(W.arrayMap()), TC.intClass());
+  EXPECT_EQ(DA->definiteMap(W), W.arrayMap());
+}
+
+TEST_F(TypeTest, MergeRecordsConstituents) {
+  const Type *A = TC.intClass();
+  const Type *B = TC.unknown();
+  const Type *M = TC.mergeOf(nullptr, {A, B});
+  ASSERT_TRUE(M->isMerge());
+  ASSERT_EQ(M->elems().size(), 2u);
+  // A set union would collapse to unknown; a merge type must not (§4).
+  EXPECT_FALSE(M->isUnknown());
+  EXPECT_TRUE(M->elems()[0]->isIntRange());
+  EXPECT_TRUE(M->elems()[1]->isUnknown());
+  // Merge of equal inputs collapses.
+  EXPECT_FALSE(TC.mergeOf(nullptr, {A, TC.intClass()})->isMerge());
+}
+
+TEST_F(TypeTest, MergeDefiniteMapRequiresAgreement) {
+  const Type *M1 =
+      TC.mergeOf(nullptr, {TC.intRange(0, 1), TC.intRange(5, 9)});
+  EXPECT_EQ(M1->definiteMap(W), W.smallIntMap());
+  const Type *M2 =
+      TC.mergeOf(nullptr, {TC.intRange(0, 1), TC.classOf(W.arrayMap())});
+  EXPECT_EQ(M2->definiteMap(W), nullptr);
+}
+
+TEST_F(TypeTest, LoopHeadGeneralizationWidensWithinClass) {
+  // §5.1: value 0 at the head and value 1 at the tail generalize to the
+  // integer class type, not merge{0, 1}.
+  const Type *G = TC.joinAtLoopHead(nullptr, TC.intRange(0, 0),
+                                    TC.intRange(1, 1), true);
+  ASSERT_TRUE(G->isIntRange());
+  EXPECT_EQ(G->lo(), kMinSmallInt);
+  EXPECT_EQ(G->hi(), kMaxSmallInt);
+}
+
+TEST_F(TypeTest, LoopHeadWithoutGeneralizationFormsMerge) {
+  const Type *G = TC.joinAtLoopHead(nullptr, TC.intRange(0, 0),
+                                    TC.intRange(1, 1), false);
+  EXPECT_TRUE(G->isMerge());
+}
+
+TEST_F(TypeTest, LoopHeadKeepsClassInfoAgainstUnknown) {
+  // §5.2: unknown head + class tail must form merge{unknown, class}, NOT
+  // collapse to unknown (which set-contains the class).
+  const Type *G =
+      TC.joinAtLoopHead(nullptr, TC.unknown(), TC.intClass(), true);
+  ASSERT_TRUE(G->isMerge());
+  EXPECT_EQ(G->elems().size(), 2u);
+  // Re-joining the same tail is stable (fix-point).
+  const Type *G2 = TC.joinAtLoopHead(nullptr, G, TC.intClass(), true);
+  EXPECT_TRUE(G2->equals(G));
+}
+
+TEST_F(TypeTest, EqualsIsStructural) {
+  EXPECT_TRUE(TC.intRange(1, 5)->equals(TC.intRange(1, 5)));
+  EXPECT_FALSE(TC.intRange(1, 5)->equals(TC.intRange(1, 6)));
+  EXPECT_TRUE(TC.constantOf(W.nilValue())->equals(
+      TC.constantOf(W.nilValue())));
+  EXPECT_FALSE(TC.constantOf(W.nilValue())->equals(
+      TC.constantOf(W.trueValue())));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweeps
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct RangeCase {
+  int64_t Lo1, Hi1, Lo2, Hi2;
+};
+class RangeProperties : public ::testing::TestWithParam<RangeCase> {};
+} // namespace
+
+TEST_P(RangeProperties, ContainmentIsAPartialOrder) {
+  Heap H;
+  World W{H};
+  TypeContext TC{W};
+  const RangeCase &C = GetParam();
+  const Type *A = TC.intRange(C.Lo1, C.Hi1);
+  const Type *B = TC.intRange(C.Lo2, C.Hi2);
+  // Reflexive.
+  EXPECT_TRUE(A->contains(W, A));
+  EXPECT_TRUE(B->contains(W, B));
+  // Antisymmetric up to equality.
+  if (A->contains(W, B) && B->contains(W, A))
+    EXPECT_TRUE(A->equals(B));
+  // Containment agrees with interval inclusion.
+  bool Incl = C.Lo1 <= C.Lo2 && C.Hi2 <= C.Hi1;
+  EXPECT_EQ(A->contains(W, B), Incl);
+  // The integer class contains both; unknown contains the class.
+  EXPECT_TRUE(TC.intClass()->contains(W, A));
+  EXPECT_TRUE(TC.unknown()->contains(W, TC.intClass()));
+  // Merge of A and B contains each constituent.
+  const Type *M = TC.mergeOf(nullptr, {A, B});
+  EXPECT_TRUE(M->contains(W, A));
+  EXPECT_TRUE(M->contains(W, B));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RangeProperties,
+    ::testing::Values(RangeCase{0, 10, 2, 5}, RangeCase{0, 10, 0, 10},
+                      RangeCase{-5, 5, -5, 0}, RangeCase{0, 0, 0, 0},
+                      RangeCase{-100, -50, -80, -60},
+                      RangeCase{0, 10, 5, 15}, RangeCase{5, 15, 0, 10},
+                      RangeCase{kMinSmallInt, kMaxSmallInt, -1, 1},
+                      RangeCase{-1, 1, kMinSmallInt, kMaxSmallInt},
+                      RangeCase{7, 7, 7, 7}, RangeCase{7, 7, 8, 8}));

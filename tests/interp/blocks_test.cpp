@@ -1,0 +1,113 @@
+//===-- tests/interp/blocks_test.cpp - Closure and NLR semantics -----------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class BlocksTest : public ::testing::Test {
+protected:
+  VirtualMachine VM{Policy::st80()};
+
+  int64_t evalInt(const std::string &Src) {
+    int64_t Out = 0;
+    std::string Err;
+    bool Ok = VM.evalInt(Src, Out, Err);
+    EXPECT_TRUE(Ok) << Err << "  [source: " << Src << "]";
+    return Out;
+  }
+
+  void loadOk(const std::string &Src) {
+    std::string Err;
+    ASSERT_TRUE(VM.load(Src, Err)) << Err;
+  }
+};
+
+} // namespace
+
+TEST_F(BlocksTest, BlockValueBasic) {
+  EXPECT_EQ(evalInt("[ 7 ] value"), 7);
+  EXPECT_EQ(evalInt("[ :a | a + 1 ] value: 4"), 5);
+  EXPECT_EQ(evalInt("[ :a :b | a * b ] value: 6 With: 7"), 42);
+}
+
+TEST_F(BlocksTest, EmptyBlockReturnsNil) {
+  Interpreter::Outcome O = VM.eval("[ ] value");
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_EQ(O.Result, VM.world().nilValue());
+}
+
+TEST_F(BlocksTest, WrongArgCountIsError) {
+  Interpreter::Outcome O = VM.eval("[ :a | a ] value");
+  EXPECT_FALSE(O.Ok);
+}
+
+TEST_F(BlocksTest, SelfInsideBlockIsHomeSelf) {
+  loadOk("o = ( | parent* = lobby. v = ( 31 ). "
+         "probe = ( [ self v ] value ) | )");
+  EXPECT_EQ(evalInt("o probe"), 31);
+}
+
+TEST_F(BlocksTest, CaptureArgumentOfMethod) {
+  loadOk("adder: n = ( [ :x | x + n ] )");
+  EXPECT_EQ(evalInt("(adder: 10) value: 5"), 15);
+}
+
+TEST_F(BlocksTest, ClosuresShareOneEnvironment) {
+  EXPECT_EQ(evalInt("m = ( | x <- 0. up. down | up: [ x: x + 10 ]. "
+                    "down: [ x: x - 3 ]. up value. down value. up value. "
+                    "x ). m"),
+            17);
+}
+
+TEST_F(BlocksTest, NestedBlocksReachOuterScopes) {
+  EXPECT_EQ(evalInt("m = ( | total <- 0 | 1 to: 3 Do: [ :i | "
+                    "1 to: 3 Do: [ :j | total: total + (i * j) ] ]. "
+                    "total ). m"),
+            36);
+}
+
+TEST_F(BlocksTest, BlockLocalVariables) {
+  EXPECT_EQ(evalInt("[ | :a. t <- 10 | t + a ] value: 5"), 15);
+}
+
+TEST_F(BlocksTest, NonLocalReturnThroughTwoBlocks) {
+  loadOk("search = ( 1 to: 5 Do: [ :i | 1 to: 5 Do: [ :j | "
+         "(i * j) == 12 ifTrue: [ ^ (i * 10) + j ] ] ]. 0 )");
+  EXPECT_EQ(evalInt("search"), 34);
+}
+
+TEST_F(BlocksTest, NLRFromDeadHomeIsError) {
+  loadOk("maker = ( [ ^ 1 ] ). escapee <- 0");
+  std::string Err;
+  ASSERT_TRUE(VM.load("escapee: maker", Err)) << Err;
+  Interpreter::Outcome O = VM.eval("escapee value");
+  EXPECT_FALSE(O.Ok);
+}
+
+TEST_F(BlocksTest, WhileFalseAndLoopTraits) {
+  EXPECT_EQ(evalInt("m = ( | i <- 0 | [ i >= 5 ] whileFalse: [ i: i + 1 ]. "
+                    "i ). m"),
+            5);
+}
+
+TEST_F(BlocksTest, ConditionMustBeBoolean) {
+  Interpreter::Outcome O = VM.eval("[ 3 ] whileTrue: [ ]");
+  EXPECT_FALSE(O.Ok);
+}
+
+TEST_F(BlocksTest, BlockPassedDownTwoLevels) {
+  loadOk("apply: b = ( b value: 3 ). wrap: b = ( apply: b )");
+  EXPECT_EQ(evalInt("wrap: [ :x | x * 100 ]"), 300);
+}
+
+TEST_F(BlocksTest, HigherOrderCollect) {
+  EXPECT_EQ(evalInt(
+                "m = ( | v. s <- 0 | v: (vectorOfSize: 5). "
+                "v doIndexes: [ :i | v at: i Put: i * i ]. "
+                "v do: [ :e | s: s + e ]. s ). m"),
+            30);
+}

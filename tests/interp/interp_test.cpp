@@ -1,0 +1,194 @@
+//===-- tests/interp/interp_test.cpp - End-to-end execution tests ----------===//
+//
+// These run full mini-SELF programs through the baseline (ST-80) pipeline:
+// parse -> load -> lazy compile -> interpret.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class InterpTest : public ::testing::TestWithParam<const char *> {
+protected:
+  VirtualMachine VM{Policy::st80()};
+
+  int64_t evalInt(const std::string &Src) {
+    int64_t Out = 0;
+    std::string Err;
+    bool Ok = VM.evalInt(Src, Out, Err);
+    EXPECT_TRUE(Ok) << Err << "  [source: " << Src << "]";
+    return Out;
+  }
+
+  void loadOk(const std::string &Src) {
+    std::string Err;
+    ASSERT_TRUE(VM.load(Src, Err)) << Err;
+  }
+};
+
+} // namespace
+
+TEST_F(InterpTest, IntegerLiteral) { EXPECT_EQ(evalInt("42"), 42); }
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_EQ(evalInt("3 + 4"), 7);
+  EXPECT_EQ(evalInt("10 - 3"), 7);
+  EXPECT_EQ(evalInt("6 * 7"), 42);
+  EXPECT_EQ(evalInt("15 / 2"), 7);
+  EXPECT_EQ(evalInt("15 % 4"), 3);
+  EXPECT_EQ(evalInt("2 + 3 * 4"), 20); // Smalltalk-style left-to-right.
+}
+
+TEST_F(InterpTest, Comparisons) {
+  Interpreter::Outcome O = VM.eval("3 < 4");
+  ASSERT_TRUE(O.Ok) << O.Message;
+  EXPECT_EQ(O.Result, VM.world().trueValue());
+  O = VM.eval("3 == 4");
+  EXPECT_EQ(O.Result, VM.world().falseValue());
+  O = VM.eval("3 != 4");
+  EXPECT_EQ(O.Result, VM.world().trueValue());
+}
+
+TEST_F(InterpTest, BooleanControl) {
+  EXPECT_EQ(evalInt("3 < 4 ifTrue: [ 1 ] False: [ 2 ]"), 1);
+  EXPECT_EQ(evalInt("4 < 3 ifTrue: [ 1 ] False: [ 2 ]"), 2);
+  EXPECT_EQ(evalInt("((3 < 4) and: [ 5 < 6 ]) ifTrue: [ 1 ] False: [ 0 ]"),
+            1);
+  EXPECT_EQ(evalInt("3 max: 9"), 9);
+  EXPECT_EQ(evalInt("3 min: 9"), 3);
+  EXPECT_EQ(evalInt("0 - 5 abs"), -5); // unary binds tighter: 0 - (5 abs)
+  EXPECT_EQ(evalInt("(0 - 5) abs"), 5);
+}
+
+TEST_F(InterpTest, MethodsOnLobby) {
+  loadOk("double: x = ( x + x )");
+  EXPECT_EQ(evalInt("double: 21"), 42);
+}
+
+TEST_F(InterpTest, MethodsOnObjects) {
+  loadOk("counter = ( | parent* = lobby. n <- 0. "
+         "bump = ( n: n + 1. n ). get = ( n ) | )");
+  EXPECT_EQ(evalInt("counter bump. counter bump. counter get"), 2);
+}
+
+TEST_F(InterpTest, CloneSeparatesState) {
+  loadOk("proto = ( | parent* = lobby. n <- 0. bump = ( n: n + 1. n ) | )");
+  EXPECT_EQ(evalInt("proto clone bump"), 1);
+  EXPECT_EQ(evalInt("proto n"), 0);
+}
+
+TEST_F(InterpTest, WhileLoop) {
+  EXPECT_EQ(
+      evalInt("runSum = ( | s <- 0. i <- 0 | "
+              "[ i < 10 ] whileTrue: [ s: s + i. i: i + 1 ]. s ). runSum"),
+      45);
+}
+
+TEST_F(InterpTest, UserDefinedIteration) {
+  EXPECT_EQ(evalInt("tri = ( | s <- 0 | 1 to: 10 Do: [ :i | s: s + i ]. s )."
+                    " tri"),
+            55);
+  EXPECT_EQ(evalInt("u = ( | s <- 0 | 1 upTo: 10 Do: [ :i | s: s + i ]. s )."
+                    " u"),
+            45);
+  EXPECT_EQ(evalInt("d = ( | s <- 0 | 10 downTo: 1 Do: [ :i | s: s + i ]. "
+                    "s ). d"),
+            55);
+  EXPECT_EQ(evalInt("t = ( | c <- 0 | 5 timesRepeat: [ c: c + 1 ]. c ). t"),
+            5);
+}
+
+TEST_F(InterpTest, RecursionAndArguments) {
+  loadOk("fib: n = ( n < 2 ifTrue: [ n ] False: "
+         "[ (fib: n - 1) + (fib: n - 2) ] )");
+  EXPECT_EQ(evalInt("fib: 12"), 144);
+}
+
+TEST_F(InterpTest, NonLocalReturn) {
+  loadOk("findFirstOver: lim = ( 1 to: 100 Do: [ :i | "
+         "i * i > lim ifTrue: [ ^ i ] ]. 0 )");
+  EXPECT_EQ(evalInt("findFirstOver: 50"), 8);
+  EXPECT_EQ(evalInt("findFirstOver: 1000000"), 0);
+}
+
+TEST_F(InterpTest, Vectors) {
+  EXPECT_EQ(evalInt("(vectorOfSize: 5) size"), 5);
+  EXPECT_EQ(evalInt("v = ( | a | a: (vectorOfSize: 3). a at: 1 Put: 7. "
+                    "a at: 1 ). v"),
+            7);
+  EXPECT_EQ(evalInt("w = ( | a. s <- 0 | a: (vectorOfSize: 4). "
+                    "a atAllPut: 5. a do: [ :e | s: s + e ]. s ). w"),
+            20);
+}
+
+TEST_F(InterpTest, PrimitiveFailureRunsHandler) {
+  EXPECT_EQ(evalInt("3 _IntAdd: nil IfFail: [ 0 - 1 ]"), -1);
+  EXPECT_EQ(evalInt("3 _IntAdd: 4 IfFail: [ 0 - 1 ]"), 7);
+}
+
+TEST_F(InterpTest, PrimitiveFailureWithoutHandlerIsError) {
+  Interpreter::Outcome O = VM.eval("3 _IntDiv: 0");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("division by zero"), std::string::npos);
+}
+
+TEST_F(InterpTest, DefaultFailureBlockReportsError) {
+  Interpreter::Outcome O = VM.eval("3 / 0");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("primitive failed"), std::string::npos);
+}
+
+TEST_F(InterpTest, MessageNotUnderstood) {
+  Interpreter::Outcome O = VM.eval("3 fluxCapacitate");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("not understood"), std::string::npos);
+}
+
+TEST_F(InterpTest, OverflowFailsIntoHandler) {
+  loadOk("big = ( 1 )"); // placeholder so the file isn't empty
+  EXPECT_EQ(evalInt("m = ( | x | x: 4611686018427387903. "
+                    "x _IntAdd: 1 IfFail: [ 123 ] ). m"),
+            123);
+}
+
+TEST_F(InterpTest, BlocksAsValues) {
+  EXPECT_EQ(evalInt("applyTwice: b To: x = ( b value: (b value: x) ). "
+                    "applyTwice: [ :v | v * 3 ] To: 2"),
+            18);
+}
+
+TEST_F(InterpTest, LexicalCaptureSharedMutation) {
+  EXPECT_EQ(evalInt("m = ( | x <- 0. inc | inc: [ x: x + 1 ]. "
+                    "inc value. inc value. inc value. x ). m"),
+            3);
+}
+
+TEST_F(InterpTest, GcDuringExecution) {
+  VM.heap().setGcThresholdBytes(1 << 12); // Collect very frequently.
+  EXPECT_EQ(evalInt("g = ( | s <- 0 | 1 to: 200 Do: [ :i | "
+                    "s: s + ((vectorOfSize: 3) size) ]. s ). g"),
+            600);
+  EXPECT_GT(VM.heap().collectionCount(), 0u);
+}
+
+TEST_F(InterpTest, InlineCachesHit) {
+  loadOk("sq: x = ( x * x )");
+  EXPECT_EQ(evalInt("r = ( | s <- 0 | 1 to: 50 Do: [ :i | s: s + (sq: i) ]."
+                    " s ). r"),
+            42925);
+  const ExecCounters &C = VM.interp().counters();
+  EXPECT_GT(C.IcHits, C.IcMisses);
+}
+
+TEST_F(InterpTest, StepBudgetAborts) {
+  VM.interp().setStepBudget(1000);
+  Interpreter::Outcome O = VM.eval("spin = ( [ true ] whileTrue: [ ]. 0 ). "
+                                   "spin");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("budget"), std::string::npos);
+}

@@ -1,0 +1,103 @@
+//===-- tests/parser/lexer_test.cpp - Lexer unit tests ---------------------===//
+
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+std::vector<Token> lex(const std::string &S) {
+  // Interned token text must outlive the returned tokens.
+  static StringInterner In;
+  return Lexer::tokenize(S, In);
+}
+
+std::vector<TokKind> kinds(const std::string &S) {
+  std::vector<TokKind> K;
+  for (const Token &T : lex(S))
+    K.push_back(T.Kind);
+  return K;
+}
+
+} // namespace
+
+TEST(Lexer, IntegersAndIdents) {
+  auto Toks = lex("foo 42 Bar");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Ident);
+  EXPECT_EQ(*Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Kind, TokKind::Int);
+  EXPECT_EQ(Toks[1].IntVal, 42);
+  EXPECT_EQ(Toks[2].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[3].Kind, TokKind::End);
+}
+
+TEST(Lexer, KeywordTokensAttachColon) {
+  auto Toks = lex("at: i Put: v");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Keyword);
+  EXPECT_EQ(*Toks[0].Text, "at:");
+  EXPECT_EQ(Toks[2].Kind, TokKind::Keyword);
+  EXPECT_EQ(*Toks[2].Text, "Put:");
+}
+
+TEST(Lexer, BlockArgColonIdent) {
+  auto Toks = lex("[ :i | i ]");
+  EXPECT_EQ(Toks[1].Kind, TokKind::ColonIdent);
+  EXPECT_EQ(*Toks[1].Text, "i");
+}
+
+TEST(Lexer, OperatorsSplitCorrectly) {
+  auto Toks = lex("a <= b == c <- 1 = 2");
+  EXPECT_EQ(Toks[1].Kind, TokKind::BinOp);
+  EXPECT_EQ(*Toks[1].Text, "<=");
+  EXPECT_EQ(Toks[3].Kind, TokKind::BinOp);
+  EXPECT_EQ(*Toks[3].Text, "==");
+  EXPECT_EQ(Toks[5].Kind, TokKind::Arrow);
+  EXPECT_EQ(Toks[7].Kind, TokKind::Equals);
+}
+
+TEST(Lexer, CommentsAreSkippedAndTrackLines) {
+  auto Toks = lex("\"a comment\nover two lines\" foo");
+  ASSERT_GE(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[0].Line, 2);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  auto Toks = lex("'hi\\nthere'");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Str);
+  EXPECT_EQ(Toks[0].StrVal, "hi\nthere");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  auto Toks = lex("'oops");
+  EXPECT_EQ(Toks.back().Kind, TokKind::Error);
+}
+
+TEST(Lexer, UnterminatedCommentIsError) {
+  auto Toks = lex("\"oops");
+  EXPECT_EQ(Toks.back().Kind, TokKind::Error);
+}
+
+TEST(Lexer, PrimitiveIdentifiers) {
+  auto Toks = lex("_IntAdd: x _Print");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Keyword);
+  EXPECT_EQ(*Toks[0].Text, "_IntAdd:");
+  EXPECT_EQ(Toks[2].Kind, TokKind::Ident);
+  EXPECT_EQ(*Toks[2].Text, "_Print");
+}
+
+TEST(Lexer, PunctuationKinds) {
+  EXPECT_EQ(kinds("( ) [ ] | . ^"),
+            (std::vector<TokKind>{TokKind::LParen, TokKind::RParen,
+                                  TokKind::LBracket, TokKind::RBracket,
+                                  TokKind::VBar, TokKind::Dot, TokKind::Caret,
+                                  TokKind::End}));
+}
+
+TEST(Lexer, HugeIntegerLiteralIsError) {
+  auto Toks = lex("99999999999999999999999999");
+  EXPECT_EQ(Toks.back().Kind, TokKind::Error);
+}

@@ -1,0 +1,207 @@
+//===-- tests/parser/parser_test.cpp - Parser unit tests -------------------===//
+
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+using namespace mself::ast;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  Program Prog;
+  StringInterner In;
+
+  ParseResult parse(const std::string &Src) {
+    Parser P(Prog, In);
+    return P.parseTopLevel(Src);
+  }
+};
+
+} // namespace
+
+TEST_F(ParserTest, ExpressionStatement) {
+  ASSERT_TRUE(parse("3 + 4").Ok);
+  ASSERT_EQ(Prog.TopLevel.size(), 1u);
+  ASSERT_NE(Prog.TopLevel[0].ExprBody, nullptr);
+  const Code *C = Prog.TopLevel[0].ExprBody;
+  ASSERT_EQ(C->Body.size(), 1u);
+  ASSERT_EQ(C->Body[0]->Kind, ExprKind::Send);
+  const auto *S = static_cast<const Send *>(C->Body[0]);
+  EXPECT_EQ(*S->Selector, "+");
+  ASSERT_EQ(S->Args.size(), 1u);
+  EXPECT_EQ(S->Recv->Kind, ExprKind::IntLit);
+}
+
+TEST_F(ParserTest, UnaryBinaryKeywordPrecedence) {
+  // `a foo + b bar max: c` == `((a foo) + (b bar)) max: c`
+  ASSERT_TRUE(parse("a foo + b bar max: c").Ok);
+  const auto *S =
+      static_cast<const Send *>(Prog.TopLevel[0].ExprBody->Body[0]);
+  EXPECT_EQ(*S->Selector, "max:");
+  const auto *Plus = static_cast<const Send *>(S->Recv);
+  EXPECT_EQ(*Plus->Selector, "+");
+  const auto *Foo = static_cast<const Send *>(Plus->Recv);
+  EXPECT_EQ(*Foo->Selector, "foo");
+}
+
+TEST_F(ParserTest, SlotDefConstantInt) {
+  ASSERT_TRUE(parse("answer = 42").Ok);
+  ASSERT_NE(Prog.TopLevel[0].Slot, nullptr);
+  const SlotDef *S = Prog.TopLevel[0].Slot;
+  EXPECT_EQ(*S->Name, "answer");
+  EXPECT_EQ(S->Kind, SlotKind::Constant);
+  EXPECT_EQ(S->ValueKind, SlotValueKind::IntConst);
+  EXPECT_EQ(S->IntValue, 42);
+}
+
+TEST_F(ParserTest, DataSlotDef) {
+  ASSERT_TRUE(parse("counter <- 7").Ok);
+  const SlotDef *S = Prog.TopLevel[0].Slot;
+  EXPECT_EQ(S->Kind, SlotKind::Data);
+  EXPECT_EQ(S->IntValue, 7);
+}
+
+TEST_F(ParserTest, KeywordMethodDef) {
+  ASSERT_TRUE(parse("at: i Put: v = ( v )").Ok);
+  const SlotDef *S = Prog.TopLevel[0].Slot;
+  EXPECT_EQ(*S->Name, "at:Put:");
+  EXPECT_EQ(S->ValueKind, SlotValueKind::Method);
+  ASSERT_NE(S->MethodBody, nullptr);
+  EXPECT_EQ(S->MethodBody->NumArgs, 2);
+  EXPECT_EQ(*S->MethodBody->Slots[0].Name, "i");
+  EXPECT_EQ(*S->MethodBody->Slots[1].Name, "v");
+}
+
+TEST_F(ParserTest, BinaryMethodDef) {
+  ASSERT_TRUE(parse("+ n = ( n )").Ok);
+  const SlotDef *S = Prog.TopLevel[0].Slot;
+  EXPECT_EQ(*S->Name, "+");
+  EXPECT_EQ(S->MethodBody->NumArgs, 1);
+}
+
+TEST_F(ParserTest, MethodLocalsWithInitializers) {
+  ASSERT_TRUE(parse("m = ( | sum <- 0. name <- 'x' | sum )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  ASSERT_EQ(C->Slots.size(), 2u);
+  EXPECT_TRUE(C->Slots[0].InitIsInt);
+  EXPECT_EQ(C->Slots[0].InitInt, 0);
+  ASSERT_NE(C->Slots[1].InitStr, nullptr);
+  // `sum` resolves to a local, not a send.
+  EXPECT_EQ(C->Body[0]->Kind, ExprKind::VarGet);
+}
+
+TEST_F(ParserTest, LocalAssignmentBecomesVarSet) {
+  ASSERT_TRUE(parse("m = ( | x <- 0 | x: x + 1. x )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  ASSERT_EQ(C->Body.size(), 2u);
+  ASSERT_EQ(C->Body[0]->Kind, ExprKind::VarSet);
+  const auto *VS = static_cast<const VarSet *>(C->Body[0]);
+  EXPECT_EQ(*VS->Name, "x");
+  EXPECT_EQ(VS->Val->Kind, ExprKind::Send);
+}
+
+TEST_F(ParserTest, UnknownNameIsImplicitSelfSend) {
+  ASSERT_TRUE(parse("m = ( someGlobal )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  ASSERT_EQ(C->Body[0]->Kind, ExprKind::Send);
+  const auto *S = static_cast<const Send *>(C->Body[0]);
+  EXPECT_EQ(S->Recv, nullptr);
+  EXPECT_EQ(*S->Selector, "someGlobal");
+}
+
+TEST_F(ParserTest, BlockCaptureMarksEnvStorage) {
+  ASSERT_TRUE(parse("m = ( | sum <- 0 | [ sum ] value. sum )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  EXPECT_EQ(C->Slots[0].Storage, VarStorage::Env);
+  EXPECT_TRUE(C->HasCaptured);
+  EXPECT_EQ(C->EnvSlotCount, 1);
+  EXPECT_EQ(C->EnvLevel, 1);
+  ASSERT_EQ(C->ChildScopes.size(), 1u);
+  EXPECT_EQ(C->ChildScopes[0]->EnvLevel, 1); // block captures nothing itself
+}
+
+TEST_F(ParserTest, UncapturedLocalStaysInRegister) {
+  ASSERT_TRUE(parse("m = ( | x <- 0 | x: 1. x )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  EXPECT_EQ(C->Slots[0].Storage, VarStorage::Reg);
+  EXPECT_FALSE(C->HasCaptured);
+}
+
+TEST_F(ParserTest, NestedBlockCapture) {
+  ASSERT_TRUE(parse("m = ( | x <- 0 | [ [ x ] value ] value )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  EXPECT_EQ(C->Slots[0].Storage, VarStorage::Env);
+  const Code *B1 = C->ChildScopes[0];
+  const Code *B2 = B1->ChildScopes[0];
+  EXPECT_EQ(C->EnvLevel, 1);
+  EXPECT_EQ(B1->EnvLevel, 1);
+  EXPECT_EQ(B2->EnvLevel, 1);
+}
+
+TEST_F(ParserTest, BlockArgsBothSyntaxes) {
+  ASSERT_TRUE(parse("m = ( [ :a :b | a ] value: 1 With: 2 )").Ok);
+  ASSERT_TRUE(parse("m2 = ( [ | :a. :b | b ] value: 1 With: 2 )").Ok);
+}
+
+TEST_F(ParserTest, CaretReturn) {
+  ASSERT_TRUE(parse("m = ( [ ^ 5 ] value. 9 )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  const Code *B = C->ChildScopes[0];
+  ASSERT_EQ(B->Body.size(), 1u);
+  EXPECT_EQ(B->Body[0]->Kind, ExprKind::Return);
+}
+
+TEST_F(ParserTest, PrimitiveCallWithIfFail) {
+  ASSERT_TRUE(parse("m = ( 3 _IntAdd: 4 IfFail: [ 0 ] )").Ok);
+  const Code *C = Prog.TopLevel[0].Slot->MethodBody;
+  ASSERT_EQ(C->Body[0]->Kind, ExprKind::PrimCall);
+  const auto *P = static_cast<const PrimCall *>(C->Body[0]);
+  EXPECT_EQ(*P->Selector, "_IntAdd:");
+  ASSERT_EQ(P->Args.size(), 1u);
+  ASSERT_NE(P->OnFail, nullptr);
+  EXPECT_EQ(P->OnFail->Kind, ExprKind::BlockLit);
+}
+
+TEST_F(ParserTest, ObjectLiteralSlotValue) {
+  ASSERT_TRUE(
+      parse("point = ( | x <- 0. y <- 0. sum = ( x + y ) | )").Ok);
+  const SlotDef *S = Prog.TopLevel[0].Slot;
+  EXPECT_EQ(S->ValueKind, SlotValueKind::ObjectLit);
+  ASSERT_NE(S->Object, nullptr);
+  ASSERT_EQ(S->Object->Slots.size(), 3u);
+  EXPECT_EQ(S->Object->Slots[0].Kind, SlotKind::Data);
+  EXPECT_EQ(S->Object->Slots[2].ValueKind, SlotValueKind::Method);
+}
+
+TEST_F(ParserTest, ParentSlot) {
+  ASSERT_TRUE(parse("o = ( | parent* = lobby. v = 3 | )").Ok);
+  const ObjectLit *O = Prog.TopLevel[0].Slot->Object;
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Slots[0].Kind, SlotKind::Parent);
+  EXPECT_EQ(O->Slots[0].ValueKind, SlotValueKind::PathExpr);
+  ASSERT_EQ(O->Slots[0].PathNames.size(), 1u);
+  EXPECT_EQ(*O->Slots[0].PathNames[0], "lobby");
+}
+
+TEST_F(ParserTest, ErrorsReported) {
+  EXPECT_FALSE(parse("m = (").Ok);
+  EXPECT_FALSE(parse("3 +").Ok);
+  EXPECT_FALSE(parse("x <- [ 1 ]").Ok); // data slot needs a literal
+}
+
+TEST_F(ParserTest, MultipleTopLevelItems) {
+  ASSERT_TRUE(parse("a = 1. b = 2. a").Ok);
+  EXPECT_EQ(Prog.TopLevel.size(), 3u);
+  EXPECT_NE(Prog.TopLevel[0].Slot, nullptr);
+  EXPECT_NE(Prog.TopLevel[1].Slot, nullptr);
+  EXPECT_NE(Prog.TopLevel[2].ExprBody, nullptr);
+}
+
+TEST_F(ParserTest, SelfKeyword) {
+  ASSERT_TRUE(parse("m = ( self )").Ok);
+  EXPECT_EQ(Prog.TopLevel[0].Slot->MethodBody->Body[0]->Kind,
+            ExprKind::SelfRef);
+}

@@ -1,0 +1,139 @@
+//===-- tests/runtime/corelib_test.cpp - Core library behaviour ------------===//
+//
+// The embedded mini-SELF core library (runtime/corelib.cpp) is ordinary
+// user-level code; these tests pin its protocol under the optimizing
+// compiler (the cross-policy tests cover policy equivalence).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class CorelibTest : public ::testing::Test {
+protected:
+  VirtualMachine VM{Policy::newSelf()};
+
+  int64_t evalInt(const std::string &Src) {
+    int64_t Out = 0;
+    std::string Err;
+    EXPECT_TRUE(VM.evalInt(Src, Out, Err)) << Err << " [" << Src << "]";
+    return Out;
+  }
+  bool evalBool(const std::string &Src) {
+    Interpreter::Outcome O = VM.eval(Src);
+    EXPECT_TRUE(O.Ok) << O.Message;
+    EXPECT_TRUE(O.Result == VM.world().trueValue() ||
+                O.Result == VM.world().falseValue())
+        << "not a boolean: " << O.Result.describe();
+    return O.Result == VM.world().trueValue();
+  }
+};
+
+} // namespace
+
+TEST_F(CorelibTest, IntegerProtocol) {
+  EXPECT_EQ(evalInt("17 min: 4"), 4);
+  EXPECT_EQ(evalInt("17 max: 4"), 17);
+  EXPECT_EQ(evalInt("(0 - 9) abs"), 9);
+  EXPECT_EQ(evalInt("9 negate"), -9);
+  EXPECT_TRUE(evalBool("0 isZero"));
+  EXPECT_FALSE(evalBool("3 isZero"));
+  EXPECT_TRUE(evalBool("4 even"));
+  EXPECT_TRUE(evalBool("5 odd"));
+  EXPECT_TRUE(evalBool("5 between: 1 And: 9"));
+  EXPECT_FALSE(evalBool("5 between: 6 And: 9"));
+  EXPECT_EQ(evalInt("true asBit + false asBit"), 1);
+}
+
+TEST_F(CorelibTest, IterationProtocol) {
+  EXPECT_EQ(evalInt("m1 = ( | s <- 0 | 3 to: 7 Do: [ :i | s: s + i ]. s )."
+                    " m1"),
+            25);
+  EXPECT_EQ(evalInt("m2 = ( | s <- 0 | 3 upTo: 7 Do: [ :i | s: s + i ]. s "
+                    "). m2"),
+            18);
+  EXPECT_EQ(evalInt("m3 = ( | s <- 0 | 7 downTo: 3 Do: [ :i | s: s + i ]. "
+                    "s ). m3"),
+            25);
+  EXPECT_EQ(evalInt("m4 = ( | s <- 0 | 1 to: 10 By: 4 Do: [ :i | s: s + i "
+                    "]. s ). m4"),
+            15);
+  // Bounds that never admit an iteration.
+  EXPECT_EQ(evalInt("m5 = ( | s <- 0 | 5 to: 1 Do: [ :i | s: s + i ]. s )."
+                    " m5"),
+            0);
+}
+
+TEST_F(CorelibTest, BooleanProtocol) {
+  EXPECT_TRUE(evalBool("(3 < 4) and: [ 4 < 5 ]"));
+  EXPECT_FALSE(evalBool("(3 < 4) and: [ 5 < 4 ]"));
+  EXPECT_TRUE(evalBool("(4 < 3) or: [ 4 < 5 ]"));
+  EXPECT_TRUE(evalBool("(4 < 3) not"));
+  // Short-circuiting: the unreached arm would divide by zero.
+  EXPECT_FALSE(evalBool("(4 < 3) and: [ (1 / 0) == 0 ]"));
+  EXPECT_TRUE(evalBool("(3 < 4) or: [ (1 / 0) == 0 ]"));
+  EXPECT_EQ(evalInt("nil isNil asBit"), 1);
+  EXPECT_EQ(evalInt("3 isNil asBit"), 0);
+  EXPECT_EQ(evalInt("3 notNil asBit"), 1);
+}
+
+TEST_F(CorelibTest, VectorProtocol) {
+  EXPECT_EQ(evalInt("(vectorOfSize: 4 FillingWith: 9) first"), 9);
+  EXPECT_EQ(evalInt("(vectorOfSize: 4 FillingWith: 9) last"), 9);
+  EXPECT_EQ(evalInt("(vectorOfSize: 0) isEmpty asBit"), 1);
+  EXPECT_EQ(evalInt("(vectorOfSize: 3) isEmpty asBit"), 0);
+  EXPECT_EQ(evalInt("c1 = ( | v. w | v: (vectorOfSize: 2 FillingWith: 5). "
+                    "w: v copy. w at: 0 Put: 1. (v at: 0) * 10 + (w at: 0) "
+                    "). c1"),
+            51);
+}
+
+TEST_F(CorelibTest, VectorIndexErrorsReport) {
+  Interpreter::Outcome O = VM.eval("(vectorOfSize: 2) at: 5");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("index out of bounds"), std::string::npos);
+  O = VM.eval("(vectorOfSize: 2) at: 5 Put: 0");
+  EXPECT_FALSE(O.Ok);
+}
+
+TEST_F(CorelibTest, StringProtocol) {
+  EXPECT_EQ(evalInt("'hello' size"), 5);
+  EXPECT_EQ(evalInt("('foo' , 'bar') size"), 6);
+  EXPECT_TRUE(evalBool("'abc' sameAs: 'abc'"));
+  EXPECT_FALSE(evalBool("'abc' sameAs: 'abd'"));
+  // Strings are not identical unless the same object.
+  EXPECT_EQ(evalInt("ids = ( | s | s: 'x'. (s == s) asBit ). ids"), 1);
+}
+
+TEST_F(CorelibTest, IdentityAndClone) {
+  EXPECT_TRUE(evalBool("nil == nil"));
+  EXPECT_FALSE(evalBool("nil == 0"));
+  EXPECT_TRUE(evalBool("3 == 3"));
+  std::string Err;
+  ASSERT_TRUE(VM.load("pr = ( | parent* = lobby. x <- 2 | )", Err)) << Err;
+  EXPECT_FALSE(evalBool("pr == pr clone"));
+  EXPECT_EQ(evalInt("pr clone x"), 2);
+}
+
+TEST_F(CorelibTest, ArithmeticErrorsReport) {
+  Interpreter::Outcome O = VM.eval("3 + nil");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("primitive failed"), std::string::npos);
+  O = VM.eval("nil + 3");
+  EXPECT_FALSE(O.Ok);
+  O = VM.eval("3 / 0");
+  EXPECT_FALSE(O.Ok);
+  O = VM.eval("3 % 0");
+  EXPECT_FALSE(O.Ok);
+}
+
+TEST_F(CorelibTest, UserErrorsCarryTheirMessage) {
+  Interpreter::Outcome O = VM.eval("error: 'custom failure text'");
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Message.find("custom failure text"), std::string::npos);
+}

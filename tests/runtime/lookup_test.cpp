@@ -1,0 +1,97 @@
+//===-- tests/runtime/lookup_test.cpp - Message lookup unit tests ----------===//
+
+#include "runtime/lookup.h"
+
+#include "runtime/world.h"
+#include "vm/object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class LookupTest : public ::testing::Test {
+protected:
+  Heap H;
+  World W{H};
+
+  const std::string *sym(const char *S) { return W.interner().intern(S); }
+
+  bool loadOk(const std::string &Src) {
+    std::vector<const ast::Code *> Exprs;
+    std::string Err;
+    bool Ok = W.loadSource(Src, Exprs, Err);
+    EXPECT_TRUE(Ok) << Err;
+    return Ok;
+  }
+
+  Object *lobbyConst(const char *Name) {
+    const SlotDesc *S = W.lobby()->map()->findSlot(sym(Name));
+    return S ? S->Constant.asObject() : nullptr;
+  }
+};
+
+} // namespace
+
+TEST_F(LookupTest, OwnSlotBeatsParent) {
+  loadOk("base = ( | v = 1 | ). child = ( | parent* = base. v = 2 | )");
+  Object *C = lobbyConst("child");
+  LookupResult R = lookupSelector(W, C->map(), sym("v"));
+  ASSERT_EQ(R.ResultKind, LookupResult::Kind::Constant);
+  EXPECT_EQ(R.Slot->Constant.asInt(), 2);
+}
+
+TEST_F(LookupTest, InheritedThroughParentChain) {
+  loadOk("g1 = ( | v = 7 | ). g2 = ( | parent* = g1 | ). "
+         "g3 = ( | parent* = g2 | )");
+  Object *C = lobbyConst("g3");
+  LookupResult R = lookupSelector(W, C->map(), sym("v"));
+  ASSERT_EQ(R.ResultKind, LookupResult::Kind::Constant);
+  EXPECT_EQ(R.Slot->Constant.asInt(), 7);
+}
+
+TEST_F(LookupTest, FirstParentWinsInOrder) {
+  loadOk("pa = ( | v = 1 | ). pb = ( | v = 2 | ). "
+         "kid = ( | p1* = pa. p2* = pb | )");
+  Object *C = lobbyConst("kid");
+  LookupResult R = lookupSelector(W, C->map(), sym("v"));
+  ASSERT_EQ(R.ResultKind, LookupResult::Kind::Constant);
+  EXPECT_EQ(R.Slot->Constant.asInt(), 1);
+}
+
+TEST_F(LookupTest, DataSlotHolderIsParentObject) {
+  loadOk("shared = ( | count <- 10 | ). "
+         "user = ( | parent* = shared | )");
+  Object *U = lobbyConst("user");
+  Object *S = lobbyConst("shared");
+  LookupResult R = lookupSelector(W, U->map(), sym("count"));
+  ASSERT_EQ(R.ResultKind, LookupResult::Kind::Data);
+  EXPECT_EQ(R.Holder, S);
+  // Assignment selector resolves to the same slot.
+  LookupResult A = lookupSelector(W, U->map(), sym("count:"));
+  ASSERT_EQ(A.ResultKind, LookupResult::Kind::Assign);
+  EXPECT_EQ(A.Holder, S);
+}
+
+TEST_F(LookupTest, OwnDataSlotHolderIsNull) {
+  loadOk("thing = ( | x <- 1 | )");
+  Object *T = lobbyConst("thing");
+  LookupResult R = lookupSelector(W, T->map(), sym("x"));
+  ASSERT_EQ(R.ResultKind, LookupResult::Kind::Data);
+  EXPECT_EQ(R.Holder, nullptr);
+}
+
+TEST_F(LookupTest, CyclesTerminate) {
+  // lobby's parent chains already cycle (objects name the lobby, whose
+  // slots include those objects); a miss must still terminate.
+  LookupResult R = lookupSelector(W, W.lobby()->map(), sym("noSuchName"));
+  EXPECT_FALSE(R.found());
+}
+
+TEST_F(LookupTest, MethodsClassified) {
+  loadOk("o = ( | m = ( 3 ) | )");
+  Object *O = lobbyConst("o");
+  LookupResult R = lookupSelector(W, O->map(), sym("m"));
+  EXPECT_EQ(R.ResultKind, LookupResult::Kind::Method);
+}

@@ -1,0 +1,147 @@
+//===-- tests/runtime/primitives_test.cpp - Primitive unit tests -----------===//
+
+#include "runtime/primitives.h"
+
+#include "runtime/world.h"
+#include "vm/object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class PrimTest : public ::testing::Test {
+protected:
+  Heap H;
+  World W{H};
+
+  Value run(PrimId Id, std::vector<Value> Win, bool ExpectOk = true) {
+    Value R;
+    bool Ok = execPrimitive(W, Id, Win.data(), R);
+    EXPECT_EQ(Ok, ExpectOk) << W.primError();
+    return R;
+  }
+};
+
+} // namespace
+
+TEST_F(PrimTest, IntArithmetic) {
+  EXPECT_EQ(run(PrimId::IntAdd, {Value::fromInt(3), Value::fromInt(4)})
+                .asInt(),
+            7);
+  EXPECT_EQ(run(PrimId::IntSub, {Value::fromInt(3), Value::fromInt(4)})
+                .asInt(),
+            -1);
+  EXPECT_EQ(run(PrimId::IntMul, {Value::fromInt(6), Value::fromInt(7)})
+                .asInt(),
+            42);
+  EXPECT_EQ(run(PrimId::IntDiv, {Value::fromInt(7), Value::fromInt(2)})
+                .asInt(),
+            3);
+  EXPECT_EQ(run(PrimId::IntMod, {Value::fromInt(7), Value::fromInt(2)})
+                .asInt(),
+            1);
+}
+
+TEST_F(PrimTest, ArithmeticFailsOnNonInt) {
+  run(PrimId::IntAdd, {Value::fromInt(3), W.nilValue()}, false);
+  run(PrimId::IntAdd, {W.nilValue(), Value::fromInt(3)}, false);
+}
+
+TEST_F(PrimTest, ArithmeticFailsOnOverflow) {
+  run(PrimId::IntAdd, {Value::fromInt(kMaxSmallInt), Value::fromInt(1)},
+      false);
+  run(PrimId::IntMul,
+      {Value::fromInt(kMaxSmallInt / 2 + 1), Value::fromInt(2)}, false);
+  run(PrimId::IntSub, {Value::fromInt(kMinSmallInt), Value::fromInt(1)},
+      false);
+}
+
+TEST_F(PrimTest, DivisionByZeroFails) {
+  run(PrimId::IntDiv, {Value::fromInt(1), Value::fromInt(0)}, false);
+  run(PrimId::IntMod, {Value::fromInt(1), Value::fromInt(0)}, false);
+}
+
+TEST_F(PrimTest, Comparisons) {
+  EXPECT_EQ(run(PrimId::IntLT, {Value::fromInt(1), Value::fromInt(2)}),
+            W.trueValue());
+  EXPECT_EQ(run(PrimId::IntGE, {Value::fromInt(1), Value::fromInt(2)}),
+            W.falseValue());
+  EXPECT_EQ(run(PrimId::IntEQ, {Value::fromInt(2), Value::fromInt(2)}),
+            W.trueValue());
+  run(PrimId::IntLT, {Value::fromInt(1), W.nilValue()}, false);
+}
+
+TEST_F(PrimTest, IdentityNeverFails) {
+  EXPECT_EQ(run(PrimId::Eq, {W.nilValue(), W.nilValue()}), W.trueValue());
+  EXPECT_EQ(run(PrimId::Eq, {W.nilValue(), Value::fromInt(0)}),
+            W.falseValue());
+}
+
+TEST_F(PrimTest, VectorNewAndAccess) {
+  Value V = run(PrimId::VectorNew, {W.lobbyValue(), Value::fromInt(3)});
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(run(PrimId::Size, {V}).asInt(), 3);
+  EXPECT_EQ(run(PrimId::At, {V, Value::fromInt(0)}), W.nilValue());
+  run(PrimId::AtPut, {V, Value::fromInt(2), Value::fromInt(99)});
+  EXPECT_EQ(run(PrimId::At, {V, Value::fromInt(2)}).asInt(), 99);
+}
+
+TEST_F(PrimTest, BoundsChecksFail) {
+  Value V = run(PrimId::VectorNew, {W.lobbyValue(), Value::fromInt(2)});
+  run(PrimId::At, {V, Value::fromInt(2)}, false);
+  run(PrimId::At, {V, Value::fromInt(-1)}, false);
+  run(PrimId::AtPut, {V, Value::fromInt(5), Value::fromInt(0)}, false);
+  run(PrimId::At, {V, W.nilValue()}, false);
+  run(PrimId::At, {Value::fromInt(3), Value::fromInt(0)}, false);
+}
+
+TEST_F(PrimTest, VectorNewRejectsBadSizes) {
+  run(PrimId::VectorNew, {W.lobbyValue(), Value::fromInt(-1)}, false);
+  run(PrimId::VectorNew, {W.lobbyValue(), W.nilValue()}, false);
+}
+
+TEST_F(PrimTest, CloneCopiesFields) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  ASSERT_TRUE(W.loadSource("proto = ( | x <- 5 | )", Exprs, Err)) << Err;
+  const SlotDesc *S = W.lobby()->map()->findSlot(W.interner().intern("proto"));
+  Value P = S->Constant;
+  Value C = run(PrimId::Clone, {P});
+  ASSERT_TRUE(C.isObject());
+  EXPECT_NE(C.asObject(), P.asObject());
+  EXPECT_EQ(C.asObject()->map(), P.asObject()->map());
+  EXPECT_EQ(C.asObject()->field(0).asInt(), 5);
+  // Mutating the clone leaves the prototype untouched.
+  C.asObject()->setField(0, Value::fromInt(9));
+  EXPECT_EQ(P.asObject()->field(0).asInt(), 5);
+}
+
+TEST_F(PrimTest, CloneIntIsIdentity) {
+  EXPECT_EQ(run(PrimId::Clone, {Value::fromInt(3)}).asInt(), 3);
+}
+
+TEST_F(PrimTest, StringPrims) {
+  Value A = Value::fromObject(W.newString("foo"));
+  Value Bv = Value::fromObject(W.newString("bar"));
+  Value C = run(PrimId::StrCat, {A, Bv});
+  EXPECT_EQ(static_cast<StringObj *>(C.asObject())->str(), "foobar");
+  EXPECT_EQ(run(PrimId::StrEq, {A, A}), W.trueValue());
+  EXPECT_EQ(run(PrimId::StrEq, {A, Bv}), W.falseValue());
+  run(PrimId::StrCat, {A, Value::fromInt(3)}, false);
+}
+
+TEST_F(PrimTest, ErrorPrimAlwaysFails) {
+  Value Msg = Value::fromObject(W.newString("boom"));
+  run(PrimId::ErrorOp, {W.lobbyValue(), Msg}, false);
+  EXPECT_EQ(W.primError(), "boom");
+}
+
+TEST_F(PrimTest, PrimIdLookupBySelector) {
+  EXPECT_EQ(primIdFor("_IntAdd:"), PrimId::IntAdd);
+  EXPECT_EQ(primIdFor("_At:Put:"), PrimId::AtPut);
+  EXPECT_EQ(primIdFor("_NoSuchPrim"), PrimId::Invalid);
+  EXPECT_EQ(primInfo(PrimId::AtPut).Argc, 2);
+  EXPECT_FALSE(primInfo(PrimId::Eq).CanFail);
+}

@@ -1,0 +1,120 @@
+//===-- tests/runtime/world_test.cpp - World bootstrap unit tests ----------===//
+
+#include "runtime/world.h"
+
+#include "runtime/lookup.h"
+#include "vm/object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class WorldTest : public ::testing::Test {
+protected:
+  Heap H;
+  World W{H};
+};
+
+} // namespace
+
+TEST_F(WorldTest, CoreObjectsExist) {
+  EXPECT_NE(W.lobby(), nullptr);
+  EXPECT_TRUE(W.nilValue().isObject());
+  EXPECT_TRUE(W.trueValue().isObject());
+  EXPECT_TRUE(W.falseValue().isObject());
+  EXPECT_NE(W.trueMap(), W.falseMap());
+}
+
+TEST_F(WorldTest, MapOfValues) {
+  EXPECT_EQ(W.mapOf(Value::fromInt(3)), W.smallIntMap());
+  EXPECT_EQ(W.mapOf(W.nilValue()), W.nilMap());
+  EXPECT_EQ(W.mapOf(W.lobbyValue()), W.lobby()->map());
+}
+
+TEST_F(WorldTest, IntTraitsReachableFromIntegers) {
+  const std::string *Plus = W.interner().intern("+");
+  LookupResult R = lookupSelector(W, W.smallIntMap(), Plus);
+  EXPECT_EQ(R.ResultKind, LookupResult::Kind::Method);
+}
+
+TEST_F(WorldTest, GlobalsReachableFromIntegers) {
+  // intTraits has parent* = lobby, so lobby globals are visible from ints.
+  const std::string *NilName = W.interner().intern("nil");
+  LookupResult R = lookupSelector(W, W.smallIntMap(), NilName);
+  EXPECT_EQ(R.ResultKind, LookupResult::Kind::Constant);
+  EXPECT_EQ(R.Slot->Constant, W.nilValue());
+}
+
+TEST_F(WorldTest, LoadDefinesLobbySlots) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  ASSERT_TRUE(W.loadSource("seven = 7. name = 'x'", Exprs, Err)) << Err;
+  const SlotDesc *S = W.lobby()->map()->findSlot(W.interner().intern("seven"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Constant.asInt(), 7);
+}
+
+TEST_F(WorldTest, LoadDataSlotOnLobby) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  ASSERT_TRUE(W.loadSource("counter <- 5", Exprs, Err)) << Err;
+  const SlotDesc *S =
+      W.lobby()->map()->findSlot(W.interner().intern("counter"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Kind, SlotKind::Data);
+  EXPECT_EQ(W.lobby()->field(S->FieldIndex).asInt(), 5);
+}
+
+TEST_F(WorldTest, DuplicateDefinitionRejected) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  ASSERT_TRUE(W.loadSource("dup = 1", Exprs, Err));
+  EXPECT_FALSE(W.loadSource("dup = 2", Exprs, Err));
+  EXPECT_NE(Err.find("already defined"), std::string::npos);
+}
+
+TEST_F(WorldTest, ObjectLiteralWithParent) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  ASSERT_TRUE(
+      W.loadSource("pt = ( | parent* = lobby. x <- 3 | )", Exprs, Err))
+      << Err;
+  const SlotDesc *S = W.lobby()->map()->findSlot(W.interner().intern("pt"));
+  ASSERT_NE(S, nullptr);
+  Object *Pt = S->Constant.asObject();
+  // The data slot initial value landed in the object's field.
+  const SlotDesc *X = Pt->map()->findSlot(W.interner().intern("x"));
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(Pt->field(X->FieldIndex).asInt(), 3);
+  // The lobby is reachable as a parent.
+  LookupResult R =
+      lookupSelector(W, Pt->map(), W.interner().intern("nil"));
+  EXPECT_TRUE(R.found());
+}
+
+TEST_F(WorldTest, PathResolution) {
+  std::vector<const ast::Code *> Exprs;
+  std::string Err;
+  ASSERT_TRUE(W.loadSource("outer = ( | inner = ( | v = 9 | ) | )", Exprs,
+                           Err))
+      << Err;
+  ASSERT_TRUE(W.loadSource("alias = outer inner", Exprs, Err)) << Err;
+  const SlotDesc *S =
+      W.lobby()->map()->findSlot(W.interner().intern("alias"));
+  ASSERT_NE(S, nullptr);
+  LookupResult R =
+      lookupSelector(W, S->Constant.asObject()->map(),
+                     W.interner().intern("v"));
+  ASSERT_EQ(R.ResultKind, LookupResult::Kind::Constant);
+  EXPECT_EQ(R.Slot->Constant.asInt(), 9);
+}
+
+TEST_F(WorldTest, WorldSurvivesCollection) {
+  H.collect();
+  EXPECT_TRUE(W.trueValue().isObject());
+  const std::string *Plus = W.interner().intern("+");
+  LookupResult R = lookupSelector(W, W.smallIntMap(), Plus);
+  EXPECT_EQ(R.ResultKind, LookupResult::Kind::Method);
+}

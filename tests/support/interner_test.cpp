@@ -1,0 +1,36 @@
+//===-- tests/support/interner_test.cpp - StringInterner unit tests --------===//
+
+#include "support/interner.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+TEST(StringInterner, SameContentsSamePointer) {
+  StringInterner In;
+  const std::string *A = In.intern("hello");
+  const std::string *B = In.intern(std::string("hel") + "lo");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(*A, "hello");
+}
+
+TEST(StringInterner, DifferentContentsDifferentPointer) {
+  StringInterner In;
+  EXPECT_NE(In.intern("a"), In.intern("b"));
+  EXPECT_EQ(In.size(), 2u);
+}
+
+TEST(StringInterner, EmptyString) {
+  StringInterner In;
+  const std::string *E = In.intern("");
+  EXPECT_EQ(E, In.intern(""));
+  EXPECT_TRUE(E->empty());
+}
+
+TEST(StringInterner, PointersStableAcrossGrowth) {
+  StringInterner In;
+  const std::string *First = In.intern("stable");
+  for (int I = 0; I < 1000; ++I)
+    In.intern("filler" + std::to_string(I));
+  EXPECT_EQ(First, In.intern("stable"));
+}

@@ -1,0 +1,50 @@
+//===-- tests/support/stats_test.cpp - SampleStats unit tests -------------===//
+
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+TEST(SampleStats, SingleSample) {
+  SampleStats S;
+  S.add(42.0);
+  EXPECT_DOUBLE_EQ(S.min(), 42.0);
+  EXPECT_DOUBLE_EQ(S.max(), 42.0);
+  EXPECT_DOUBLE_EQ(S.median(), 42.0);
+  EXPECT_DOUBLE_EQ(S.percentile(75.0), 42.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+}
+
+TEST(SampleStats, MedianOfOddCount) {
+  SampleStats S;
+  for (double X : {5.0, 1.0, 3.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.median(), 3.0);
+}
+
+TEST(SampleStats, MedianOfEvenCountInterpolates) {
+  SampleStats S;
+  for (double X : {1.0, 2.0, 3.0, 4.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.median(), 2.5);
+}
+
+TEST(SampleStats, PercentileEndpoints) {
+  SampleStats S;
+  for (double X : {10.0, 20.0, 30.0, 40.0, 50.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(S.percentile(75.0), 40.0);
+}
+
+TEST(SampleStats, MinMaxMeanUnsorted) {
+  SampleStats S;
+  for (double X : {7.0, -2.0, 9.0, 0.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.min(), -2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_EQ(S.size(), 4u);
+}

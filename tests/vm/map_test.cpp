@@ -1,0 +1,81 @@
+//===-- tests/vm/map_test.cpp - Map (hidden class) unit tests --------------===//
+
+#include "vm/map.h"
+
+#include "support/interner.h"
+#include "vm/heap.h"
+#include "vm/object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+class MapTest : public ::testing::Test {
+protected:
+  StringInterner In;
+  Heap H;
+};
+
+} // namespace
+
+TEST_F(MapTest, ConstantSlotLookup) {
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  const std::string *N = In.intern("answer");
+  M->addSlot(N, SlotKind::Constant, Value::fromInt(42));
+  const SlotDesc *S = M->findSlot(N);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Kind, SlotKind::Constant);
+  EXPECT_EQ(S->Constant.asInt(), 42);
+  EXPECT_EQ(M->fieldCount(), 0);
+}
+
+TEST_F(MapTest, DataSlotGetsFieldIndexAndSetter) {
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  const std::string *X = In.intern("x");
+  const std::string *XSet = In.intern("x:");
+  const std::string *Y = In.intern("y");
+  const std::string *YSet = In.intern("y:");
+  M->addSlot(X, SlotKind::Data, Value::fromInt(0), XSet);
+  M->addSlot(Y, SlotKind::Data, Value::fromInt(0), YSet);
+  EXPECT_EQ(M->fieldCount(), 2);
+  EXPECT_EQ(M->findSlot(X)->FieldIndex, 0);
+  EXPECT_EQ(M->findSlot(Y)->FieldIndex, 1);
+  const SlotDesc *A = M->findAssignSlot(YSet);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->FieldIndex, 1);
+}
+
+TEST_F(MapTest, MissingSlotIsNull) {
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  EXPECT_EQ(M->findSlot(In.intern("nope")), nullptr);
+  EXPECT_EQ(M->findAssignSlot(In.intern("nope:")), nullptr);
+}
+
+TEST_F(MapTest, ParentSlotsTracked) {
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  M->addSlot(In.intern("a"), SlotKind::Constant, Value::fromInt(1));
+  int P1 = M->addSlot(In.intern("p1"), SlotKind::Parent);
+  int P2 = M->addSlot(In.intern("p2"), SlotKind::Parent);
+  ASSERT_EQ(M->parentSlotIndices().size(), 2u);
+  EXPECT_EQ(M->parentSlotIndices()[0], P1);
+  EXPECT_EQ(M->parentSlotIndices()[1], P2);
+}
+
+TEST_F(MapTest, LateBoundParentConstant) {
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  int P = M->addSlot(In.intern("parent"), SlotKind::Parent);
+  EXPECT_TRUE(M->slots()[size_t(P)].Constant.isEmpty());
+  Object *O = H.allocPlain(H.newMap(ObjectKind::Plain, "p"));
+  M->setSlotConstant(P, Value::fromObject(O));
+  EXPECT_EQ(M->slots()[size_t(P)].Constant.asObject(), O);
+}
+
+TEST_F(MapTest, DataSlotInitialValueCopiedToObjects) {
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  M->addSlot(In.intern("x"), SlotKind::Data, Value::fromInt(9),
+             In.intern("x:"));
+  Object *O = H.allocPlain(M);
+  EXPECT_EQ(O->field(0).asInt(), 9);
+}

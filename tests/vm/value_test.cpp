@@ -1,0 +1,66 @@
+//===-- tests/vm/value_test.cpp - Tagged value unit tests ------------------===//
+
+#include "vm/value.h"
+
+#include "vm/heap.h"
+#include "vm/object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+TEST(Value, DefaultIsEmpty) {
+  Value V;
+  EXPECT_TRUE(V.isEmpty());
+  EXPECT_FALSE(V.isInt());
+  EXPECT_FALSE(V.isObject());
+}
+
+TEST(Value, IntRoundTrip) {
+  for (int64_t I : {int64_t(0), int64_t(1), int64_t(-1), int64_t(123456789),
+                    kMinSmallInt, kMaxSmallInt}) {
+    Value V = Value::fromInt(I);
+    EXPECT_TRUE(V.isInt());
+    EXPECT_EQ(V.asInt(), I);
+  }
+}
+
+TEST(Value, SmallIntBounds) {
+  EXPECT_TRUE(fitsSmallInt(0));
+  EXPECT_TRUE(fitsSmallInt(kMinSmallInt));
+  EXPECT_TRUE(fitsSmallInt(kMaxSmallInt));
+  EXPECT_FALSE(fitsSmallInt(kMaxSmallInt + 1));
+  EXPECT_FALSE(fitsSmallInt(kMinSmallInt - 1));
+}
+
+TEST(Value, ObjectRoundTrip) {
+  Heap H;
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  Object *O = H.allocPlain(M);
+  Value V = Value::fromObject(O);
+  EXPECT_TRUE(V.isObject());
+  EXPECT_EQ(V.asObject(), O);
+  EXPECT_FALSE(V.isInt());
+}
+
+TEST(Value, IdentityComparison) {
+  Heap H;
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  Object *A = H.allocPlain(M);
+  Object *B = H.allocPlain(M);
+  EXPECT_TRUE(Value::fromObject(A).identicalTo(Value::fromObject(A)));
+  EXPECT_FALSE(Value::fromObject(A).identicalTo(Value::fromObject(B)));
+  EXPECT_TRUE(Value::fromInt(7).identicalTo(Value::fromInt(7)));
+  EXPECT_FALSE(Value::fromInt(7).identicalTo(Value::fromInt(8)));
+}
+
+TEST(Value, IntsAndObjectsNeverIdentical) {
+  Heap H;
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  Object *O = H.allocPlain(M);
+  EXPECT_FALSE(Value::fromInt(0).identicalTo(Value::fromObject(O)));
+}
+
+TEST(Value, DescribeInt) {
+  EXPECT_EQ(Value::fromInt(-17).describe(), "-17");
+}
