@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_a_speed.dir/appendix_a_speed.cpp.o"
+  "CMakeFiles/appendix_a_speed.dir/appendix_a_speed.cpp.o.d"
+  "appendix_a_speed"
+  "appendix_a_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_a_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

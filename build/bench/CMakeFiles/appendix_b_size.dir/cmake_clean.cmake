@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_b_size.dir/appendix_b_size.cpp.o"
+  "CMakeFiles/appendix_b_size.dir/appendix_b_size.cpp.o.d"
+  "appendix_b_size"
+  "appendix_b_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_b_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

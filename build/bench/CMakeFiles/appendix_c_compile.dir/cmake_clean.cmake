@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_c_compile.dir/appendix_c_compile.cpp.o"
+  "CMakeFiles/appendix_c_compile.dir/appendix_c_compile.cpp.o.d"
+  "appendix_c_compile"
+  "appendix_c_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_c_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

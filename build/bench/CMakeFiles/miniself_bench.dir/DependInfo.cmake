@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/harness.cpp" "bench/CMakeFiles/miniself_bench.dir/harness.cpp.o" "gcc" "bench/CMakeFiles/miniself_bench.dir/harness.cpp.o.d"
+  "/root/repo/bench/native.cpp" "bench/CMakeFiles/miniself_bench.dir/native.cpp.o" "gcc" "bench/CMakeFiles/miniself_bench.dir/native.cpp.o.d"
+  "/root/repo/bench/suites.cpp" "bench/CMakeFiles/miniself_bench.dir/suites.cpp.o" "gcc" "bench/CMakeFiles/miniself_bench.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miniself.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniself_bench.dir/harness.cpp.o"
+  "CMakeFiles/miniself_bench.dir/harness.cpp.o.d"
+  "CMakeFiles/miniself_bench.dir/native.cpp.o"
+  "CMakeFiles/miniself_bench.dir/native.cpp.o.d"
+  "CMakeFiles/miniself_bench.dir/suites.cpp.o"
+  "CMakeFiles/miniself_bench.dir/suites.cpp.o.d"
+  "libminiself_bench.a"
+  "libminiself_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniself_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

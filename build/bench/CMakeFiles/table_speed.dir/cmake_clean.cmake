@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_speed.dir/table_speed.cpp.o"
+  "CMakeFiles/table_speed.dir/table_speed.cpp.o.d"
+  "table_speed"
+  "table_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

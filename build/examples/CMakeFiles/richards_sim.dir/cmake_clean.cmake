@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richards_sim.dir/richards_sim.cpp.o"
+  "CMakeFiles/richards_sim.dir/richards_sim.cpp.o.d"
+  "richards_sim"
+  "richards_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richards_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_number.dir/triangle_number.cpp.o"
+  "CMakeFiles/triangle_number.dir/triangle_number.cpp.o.d"
+  "triangle_number"
+  "triangle_number.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_number.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/bytecode.cpp" "src/CMakeFiles/miniself.dir/bytecode/bytecode.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/bytecode/bytecode.cpp.o.d"
+  "/root/repo/src/bytecode/disasm.cpp" "src/CMakeFiles/miniself.dir/bytecode/disasm.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/bytecode/disasm.cpp.o.d"
+  "/root/repo/src/compiler/analyze.cpp" "src/CMakeFiles/miniself.dir/compiler/analyze.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/analyze.cpp.o.d"
+  "/root/repo/src/compiler/cfg.cpp" "src/CMakeFiles/miniself.dir/compiler/cfg.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/cfg.cpp.o.d"
+  "/root/repo/src/compiler/codegen_baseline.cpp" "src/CMakeFiles/miniself.dir/compiler/codegen_baseline.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/codegen_baseline.cpp.o.d"
+  "/root/repo/src/compiler/compile.cpp" "src/CMakeFiles/miniself.dir/compiler/compile.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/compile.cpp.o.d"
+  "/root/repo/src/compiler/loops.cpp" "src/CMakeFiles/miniself.dir/compiler/loops.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/loops.cpp.o.d"
+  "/root/repo/src/compiler/lower.cpp" "src/CMakeFiles/miniself.dir/compiler/lower.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/lower.cpp.o.d"
+  "/root/repo/src/compiler/policy.cpp" "src/CMakeFiles/miniself.dir/compiler/policy.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/policy.cpp.o.d"
+  "/root/repo/src/compiler/prims.cpp" "src/CMakeFiles/miniself.dir/compiler/prims.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/prims.cpp.o.d"
+  "/root/repo/src/compiler/split.cpp" "src/CMakeFiles/miniself.dir/compiler/split.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/split.cpp.o.d"
+  "/root/repo/src/compiler/type.cpp" "src/CMakeFiles/miniself.dir/compiler/type.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/compiler/type.cpp.o.d"
+  "/root/repo/src/driver/vm.cpp" "src/CMakeFiles/miniself.dir/driver/vm.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/driver/vm.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/miniself.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/parser/ast.cpp" "src/CMakeFiles/miniself.dir/parser/ast.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/parser/ast.cpp.o.d"
+  "/root/repo/src/parser/lexer.cpp" "src/CMakeFiles/miniself.dir/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/parser/lexer.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/miniself.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/runtime/corelib.cpp" "src/CMakeFiles/miniself.dir/runtime/corelib.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/runtime/corelib.cpp.o.d"
+  "/root/repo/src/runtime/lookup.cpp" "src/CMakeFiles/miniself.dir/runtime/lookup.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/runtime/lookup.cpp.o.d"
+  "/root/repo/src/runtime/primitives.cpp" "src/CMakeFiles/miniself.dir/runtime/primitives.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/runtime/primitives.cpp.o.d"
+  "/root/repo/src/runtime/selector.cpp" "src/CMakeFiles/miniself.dir/runtime/selector.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/runtime/selector.cpp.o.d"
+  "/root/repo/src/runtime/world.cpp" "src/CMakeFiles/miniself.dir/runtime/world.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/runtime/world.cpp.o.d"
+  "/root/repo/src/support/interner.cpp" "src/CMakeFiles/miniself.dir/support/interner.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/support/interner.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/miniself.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/miniself.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/support/stopwatch.cpp.o.d"
+  "/root/repo/src/vm/heap.cpp" "src/CMakeFiles/miniself.dir/vm/heap.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/vm/heap.cpp.o.d"
+  "/root/repo/src/vm/map.cpp" "src/CMakeFiles/miniself.dir/vm/map.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/vm/map.cpp.o.d"
+  "/root/repo/src/vm/object.cpp" "src/CMakeFiles/miniself.dir/vm/object.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/vm/object.cpp.o.d"
+  "/root/repo/src/vm/value.cpp" "src/CMakeFiles/miniself.dir/vm/value.cpp.o" "gcc" "src/CMakeFiles/miniself.dir/vm/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

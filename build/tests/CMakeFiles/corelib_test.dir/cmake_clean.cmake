@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelib_test.dir/runtime/corelib_test.cpp.o"
+  "CMakeFiles/corelib_test.dir/runtime/corelib_test.cpp.o.d"
+  "corelib_test"
+  "corelib_test.pdb"
+  "corelib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
