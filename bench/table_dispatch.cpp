@@ -1,0 +1,182 @@
+//===-- bench/table_dispatch.cpp - E10: Dispatch micro-suite ----------------===//
+//
+// Measures the send fast path in isolation: three degrees of receiver
+// polymorphism at a single hot send site (monomorphic, polymorphic with 4
+// receiver maps, megamorphic with 16) under four dispatch configurations —
+// no caches at all (full lookup per send), single-entry monomorphic caches
+// (the pre-PIC system), PICs without the global lookup cache, and the full
+// stack (PICs + global cache). Reported per cell: send throughput and the
+// fraction of sends served without a full parent-walk lookup.
+//
+// The headline claims this table must support (EXPERIMENTS.md E10):
+//   - the PIC + global-cache stack serves >= 90% of sends from a cache on
+//     the polymorphic workload, and
+//   - send throughput with caches beats the no-cache baseline.
+// The program exits nonzero if either fails.
+//
+// All runs use the ST-80 compiler policy so sends stay dynamically bound
+// and the dispatch path dominates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "driver/vm.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+/// Definitions for \p Kinds receiver shapes (one map each) and a driver
+/// cycling them through one `tag` send site.
+std::string shapeWorld(int Kinds) {
+  std::string S;
+  for (int I = 0; I < Kinds; ++I) {
+    std::string Id = std::to_string(I);
+    S += "s" + Id + " = ( | parent* = lobby. tag = ( " + std::to_string(I + 1) +
+         " ) | ). ";
+  }
+  S += "mkShapes = ( | v | v: (vectorOfSize: " + std::to_string(Kinds) + "). ";
+  for (int I = 0; I < Kinds; ++I)
+    S += "v at: " + std::to_string(I) + " Put: s" + std::to_string(I) + ". ";
+  S += "v ). "
+       "drive: n Kinds: k = ( | v. t <- 0 | v: mkShapes. "
+       "1 to: n Do: [ :i | t: t + (v at: i % k) tag ]. t )";
+  return S;
+}
+
+int64_t expectedSum(int64_t N, int64_t K) {
+  int64_t T = 0;
+  for (int64_t I = 1; I <= N; ++I)
+    T += (I % K) + 1;
+  return T;
+}
+
+struct Workload {
+  const char *Name;
+  int Kinds;
+};
+
+struct DispatchConfig {
+  const char *Name;
+  bool InlineCaches;
+  bool Polymorphic;
+  bool GlobalCache;
+};
+
+struct Cell {
+  bool Ok = false;
+  double SendsPerSec = 0;
+  double PicHitRate = 0;
+  double CombinedHitRate = 0;
+};
+
+constexpr int64_t kIterations = 200000;
+
+Cell runCell(const Workload &W, const DispatchConfig &C) {
+  Policy P = Policy::st80();
+  P.InlineCaches = C.InlineCaches;
+  P.PolymorphicInlineCaches = C.Polymorphic;
+  P.PicArity = 8;
+  P.UseGlobalLookupCache = C.GlobalCache;
+
+  Cell Out;
+  VirtualMachine VM(P);
+  std::string Err;
+  if (!VM.load(shapeWorld(W.Kinds), Err)) {
+    fprintf(stderr, "FAIL %s/%s load: %s\n", W.Name, C.Name, Err.c_str());
+    return Out;
+  }
+  std::string Expr = "drive: " + std::to_string(kIterations) +
+                     " Kinds: " + std::to_string(W.Kinds);
+  // Warm-up: triggers lazy compilation and fills the caches.
+  int64_t V = 0;
+  if (!VM.evalInt("drive: 100 Kinds: " + std::to_string(W.Kinds), V, Err)) {
+    fprintf(stderr, "FAIL %s/%s warmup: %s\n", W.Name, C.Name, Err.c_str());
+    return Out;
+  }
+
+  VM.interp().resetCounters();
+  auto T0 = std::chrono::steady_clock::now();
+  if (!VM.evalInt(Expr, V, Err)) {
+    fprintf(stderr, "FAIL %s/%s: %s\n", W.Name, C.Name, Err.c_str());
+    return Out;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  if (V != expectedSum(kIterations, W.Kinds)) {
+    fprintf(stderr, "FAIL %s/%s: checksum %lld != %lld\n", W.Name, C.Name,
+            (long long)V, (long long)expectedSum(kIterations, W.Kinds));
+    return Out;
+  }
+
+  DispatchStats S = VM.dispatchStats();
+  double Secs = std::chrono::duration<double>(T1 - T0).count();
+  Out.Ok = true;
+  Out.SendsPerSec = Secs > 0 ? double(S.Sends) / Secs : 0;
+  Out.PicHitRate = S.picHitRate();
+  Out.CombinedHitRate = S.combinedHitRate();
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const Workload Workloads[] = {
+      {"monomorphic", 1}, {"polymorphic-4", 4}, {"megamorphic-16", 16}};
+  const DispatchConfig Configs[] = {
+      {"no caches", false, false, false},
+      {"mono IC", true, false, false},
+      {"PIC-8", true, true, false},
+      {"PIC-8 + GLC", true, true, true},
+  };
+
+  printf("E10: Dispatch micro-suite — one hot send site, ST-80 policy\n");
+  printf("     cell: Msends/s  (PIC hit rate / PIC+GLC combined hit rate)\n\n");
+  printf("%-13s", "");
+  for (const Workload &W : Workloads)
+    printf(" %-24s", W.Name);
+  printf("\n");
+
+  bool AllOk = true;
+  Cell Table[4][3];
+  for (int CI = 0; CI < 4; ++CI) {
+    printf("%-13s", Configs[CI].Name);
+    for (int WI = 0; WI < 3; ++WI) {
+      Cell &X = Table[CI][WI];
+      X = runCell(Workloads[WI], Configs[CI]);
+      if (!X.Ok) {
+        AllOk = false;
+        printf(" %-24s", "-");
+        continue;
+      }
+      std::string S = fixed(X.SendsPerSec / 1e6, 2) + " (" +
+                      pct(X.PicHitRate) + "/" + pct(X.CombinedHitRate) + ")";
+      printf(" %-24s", S.c_str());
+    }
+    printf("\n");
+  }
+
+  // Headline checks for EXPERIMENTS.md E10.
+  const Cell &PolyFull = Table[3][1];
+  const Cell &PolyNone = Table[0][1];
+  bool HitRateOk = PolyFull.Ok && PolyFull.CombinedHitRate >= 0.90;
+  bool SpeedupOk = PolyFull.Ok && PolyNone.Ok &&
+                   PolyFull.SendsPerSec > PolyNone.SendsPerSec;
+  printf("\npolymorphic-4 combined hit rate with PIC-8 + GLC: %s (>= 90%% "
+         "required): %s\n",
+         pct(PolyFull.CombinedHitRate).c_str(), HitRateOk ? "ok" : "FAIL");
+  printf("polymorphic-4 send throughput vs no caches: %sx: %s\n",
+         fixed(PolyNone.SendsPerSec > 0
+                   ? PolyFull.SendsPerSec / PolyNone.SendsPerSec
+                   : 0,
+               2)
+             .c_str(),
+         SpeedupOk ? "ok" : "FAIL");
+
+  return (AllOk && HitRateOk && SpeedupOk) ? 0 : 1;
+}

@@ -97,18 +97,59 @@ int opArity(Op O);
 /// \returns a mnemonic for \p O.
 const char *opName(Op O);
 
-/// Per-send-site monomorphic inline cache (Deutsch-Schiffman style).
-struct InlineCache {
+/// One cached (receiver map → bound action) pair inside a send site's
+/// polymorphic inline cache.
+struct PicEntry {
   Map *CachedMap = nullptr;
   enum class Kind : uint8_t { Empty, Method, DataGet, DataSet, ConstGet }
-      CacheKind = Kind::Empty;
+      EntryKind = Kind::Empty;
   /// Method: compiled callee. DataGet/DataSet: field access target.
   struct CompiledFunction *Target = nullptr;
   Object *SlotHolder = nullptr; ///< Object owning the data field.
   int FieldIndex = -1;
   Value ConstValue; ///< ConstGet payload.
-  uint64_t HitCount = 0;
-  uint64_t MissCount = 0;
+  uint64_t HitCount = 0; ///< Hits served by this entry.
+};
+
+/// Per-send-site polymorphic inline cache (Hölzle-Chambers-Ungar style).
+///
+/// A site starts Empty, becomes Monomorphic on its first fill, Polymorphic
+/// when a second receiver map arrives, and Megamorphic once the configured
+/// arity limit is exceeded; megamorphic sites stop probing their entries and
+/// dispatch through the world's global lookup cache instead. The interpreter
+/// owns all state transitions (Interpreter::installPicEntry); this struct is
+/// pure data so the compiler and code cache can allocate and trace it.
+struct InlineCache {
+  /// Hard per-site entry capacity; Policy::PicArity is clamped to it.
+  static constexpr int kCapacity = 8;
+
+  enum class State : uint8_t { Empty, Monomorphic, Polymorphic, Megamorphic };
+
+  State SiteState = State::Empty;
+  uint8_t Size = 0; ///< Occupied entries (<= configured arity <= kCapacity).
+  PicEntry Entries[kCapacity];
+
+  uint64_t HitCount = 0;   ///< Probe hits at this site.
+  uint64_t MissCount = 0;  ///< Probe misses plus megamorphic dispatches.
+  uint64_t Evictions = 0;  ///< Entries replaced at the arity limit
+                           ///< (monomorphic-replacement mode only).
+
+  /// \returns the entry for \p M, or nullptr. Does not touch counters.
+  PicEntry *findEntry(Map *M) {
+    for (int I = 0; I < Size; ++I)
+      if (Entries[I].CachedMap == M)
+        return &Entries[I];
+    return nullptr;
+  }
+
+  /// Drops every cached binding (world-mutation invalidation hook); the
+  /// traffic counters survive so observability spans flushes.
+  void flush() {
+    SiteState = State::Empty;
+    Size = 0;
+    for (PicEntry &E : Entries)
+      E = PicEntry();
+  }
 };
 
 /// Statistics from one compilation, aggregated by the benchmark tables.

@@ -798,10 +798,12 @@ int Analyzer::evalSend(State &S, int RecvVreg, const std::string *Sel,
                             Sel == CS.WhileFalse, Ctx);
   }
 
-  // Compile-time lookup when the receiver's map is known (§3.2.2).
+  // Compile-time lookup when the receiver's map is known (§3.2.2). Routed
+  // through the global lookup cache: message inlining repeats the same
+  // (map, selector) probes across customized compilations.
   Map *M = RT->definiteMap(W);
   if (M && P.Inlining) {
-    LookupResult R = lookupSelector(W, M, Sel);
+    LookupResult R = lookupSelectorCached(W, M, Sel);
     switch (R.ResultKind) {
     case LookupResult::Kind::NotFound:
       emitError(S, "message not understood: '" + *Sel + "'");

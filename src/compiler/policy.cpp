@@ -41,3 +41,12 @@ Policy Policy::newSelf() {
   P.Name = "newself";
   return P;
 }
+
+Policy Policy::pureInterp() {
+  Policy P = st80();
+  P.Name = "pureinterp";
+  P.InlineCaches = false;
+  P.PolymorphicInlineCaches = false;
+  P.UseGlobalLookupCache = false;
+  return P;
+}

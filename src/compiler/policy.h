@@ -67,9 +67,34 @@ struct Policy {
   /// pessimistic bindings.
   int MaxLoopIterations = 6;
 
+  //===--- Dispatch (runtime) knobs ------------------------------------===//
+  // The send fast path is shared by every compiler configuration; these
+  // flags exist for ablation (bench/table_dispatch) and differential
+  // testing, not as part of the three paper presets.
+
+  /// Inline caches at dynamically-bound send sites. Off: every send does a
+  /// full lookup — "pure interpretation" of the dispatch path.
+  bool InlineCaches = true;
+  /// Polymorphic inline caches: up to PicArity (map, target) entries per
+  /// site with mono → poly → megamorphic transitions. Off: single-entry
+  /// monomorphic caches with replacement on miss (the pre-PIC behaviour).
+  bool PolymorphicInlineCaches = true;
+  /// Entries per PIC site before the megamorphic transition (clamped to
+  /// 1..InlineCache::kCapacity by the interpreter).
+  int PicArity = 4;
+  /// Hashed process-wide (map, selector) lookup cache serving megamorphic
+  /// sites, cold PIC misses, and compile-time lookups.
+  bool UseGlobalLookupCache = true;
+  /// Global lookup cache size in entries (rounded up to a power of two).
+  int GlobalLookupCacheEntries = 2048;
+
   static Policy st80();
   static Policy oldSelf();
   static Policy newSelf();
+
+  /// The dispatch-path baseline: no inline caches, no global lookup cache,
+  /// no compiler optimizations — every send walks the parent chain.
+  static Policy pureInterp();
 };
 
 } // namespace mself

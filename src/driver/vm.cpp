@@ -14,7 +14,73 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
       TheHeap, Pol.Customize, [W, Pp](const CompileRequest &Req) {
         return compileFunction(*W, *Pp, Req);
       });
-  Interp = std::make_unique<Interpreter>(*TheWorld, *Code);
+
+  // Dispatch fast-path configuration: the global (map, selector) cache
+  // lives in the world; the per-site PIC knobs ride into the interpreter.
+  TheWorld->lookupCache().configure(
+      static_cast<size_t>(Pol.GlobalLookupCacheEntries > 0
+                              ? Pol.GlobalLookupCacheEntries
+                              : 1),
+      Pol.UseGlobalLookupCache);
+  DispatchOptions DO;
+  DO.InlineCaches = Pol.InlineCaches;
+  DO.Polymorphic = Pol.PolymorphicInlineCaches;
+  DO.PicArity = Pol.PicArity;
+  DO.UseGlobalCache = Pol.UseGlobalLookupCache;
+  Interp = std::make_unique<Interpreter>(*TheWorld, *Code, DO);
+
+  // World shape mutations (a map gaining a slot) invalidate every cached
+  // dispatch decision: the world flushes its own lookup cache, and this
+  // hook flushes the per-site inline caches in the code cache.
+  CodeManager *CM = Code.get();
+  TheWorld->setShapeMutationHook([CM] { CM->flushInlineCaches(); });
+}
+
+DispatchStats VirtualMachine::dispatchStats() const {
+  DispatchStats S;
+  const ExecCounters &C = Interp->counters();
+  S.Sends = C.Sends;
+  S.PicHits = C.IcHits;
+  S.PicMisses = C.IcMisses;
+  S.GlcHits = C.GlcHits;
+  S.GlcMisses = C.GlcMisses;
+  S.FullLookups = C.FullLookups;
+  S.SendsMono = C.SendsMono;
+  S.SendsPoly = C.SendsPoly;
+  S.SendsMega = C.SendsMega;
+  S.SendsUncached = C.SendsUncached;
+  S.PicFills = C.PicFills;
+  S.MonoToPoly = C.MonoToPoly;
+  S.ToMegamorphic = C.ToMegamorphic;
+  S.PicEvictions = C.PicEvictions;
+
+  Code->forEach([&S](const CompiledFunction &F) {
+    for (const InlineCache &IC : F.Caches) {
+      ++S.Sites;
+      switch (IC.SiteState) {
+      case InlineCache::State::Empty:
+        ++S.SitesEmpty;
+        break;
+      case InlineCache::State::Monomorphic:
+        ++S.SitesMono;
+        break;
+      case InlineCache::State::Polymorphic:
+        ++S.SitesPoly;
+        break;
+      case InlineCache::State::Megamorphic:
+        ++S.SitesMega;
+        break;
+      }
+    }
+  });
+
+  const GlobalLookupCache &Glc = TheWorld->lookupCache();
+  S.GlcCapacity = Glc.capacity();
+  S.GlcOccupied = Glc.occupied();
+  S.GlcFills = Glc.stats().Fills;
+  S.GlcInvalidations = Glc.stats().Invalidations;
+  S.InlineCacheFlushes = Code->inlineCacheFlushes();
+  return S;
 }
 
 bool VirtualMachine::load(const std::string &Source, std::string &ErrOut) {

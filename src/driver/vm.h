@@ -48,6 +48,11 @@ public:
   CodeManager &code() { return *Code; }
   Interpreter &interp() { return *Interp; }
 
+  /// Aggregate dispatch-path observability: PIC hit/miss/transition
+  /// counters, per-state send counts, send-site census, and global
+  /// lookup-cache occupancy and traffic.
+  DispatchStats dispatchStats() const;
+
 private:
   Policy Pol;
   Heap TheHeap;

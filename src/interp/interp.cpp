@@ -4,6 +4,7 @@
 
 #include "runtime/lookup.h"
 #include "runtime/primitives.h"
+#include "support/stats.h"
 #include "support/stopwatch.h"
 #include "vm/object.h"
 
@@ -54,19 +55,48 @@ void CodeManager::traceRoots(GcVisitor &V) {
   for (const auto &F : Functions) {
     for (Value L : F->Literals)
       V.visit(L);
+    // Every occupied PIC entry can hold an Object* (data-slot holder) and a
+    // Value (ConstGet payload); all must survive collection for the cached
+    // dispatch to remain valid. Cached Map* and CompiledFunction* are not
+    // heap-managed (maps are immortal, code is owned by this manager).
     for (const InlineCache &C : F->Caches) {
-      V.visit(C.ConstValue);
-      if (C.SlotHolder)
-        V.visitObject(C.SlotHolder);
+      for (int I = 0; I < C.Size; ++I) {
+        const PicEntry &E = C.Entries[I];
+        V.visit(E.ConstValue);
+        if (E.SlotHolder)
+          V.visitObject(E.SlotHolder);
+      }
     }
   }
+}
+
+void CodeManager::flushInlineCaches() {
+  for (const auto &F : Functions)
+    for (InlineCache &C : F->Caches)
+      C.flush();
+  ++CacheFlushes;
+}
+
+//===----------------------------------------------------------------------===//
+// DispatchStats
+//===----------------------------------------------------------------------===//
+
+double DispatchStats::picHitRate() const { return safeRatio(PicHits, Sends); }
+
+double DispatchStats::combinedHitRate() const {
+  return safeRatio(PicHits + GlcHits, Sends);
+}
+
+double DispatchStats::glcOccupancy() const {
+  return safeRatio(GlcOccupied, GlcCapacity);
 }
 
 //===----------------------------------------------------------------------===//
 // Interpreter
 //===----------------------------------------------------------------------===//
 
-Interpreter::Interpreter(World &W, CodeManager &CM) : W(W), CM(CM) {
+Interpreter::Interpreter(World &W, CodeManager &CM, DispatchOptions Opts)
+    : W(W), CM(CM), Opts(Opts) {
   RegStack.reserve(1u << 16);
   W.heap().addRootProvider(this);
 }
@@ -148,47 +178,125 @@ Interpreter::RunResult Interpreter::fail(const std::string &Msg) {
 }
 
 Interpreter::DispatchKind
+Interpreter::applyPicEntry(PicEntry &E, Value Recv, const Value *Args,
+                           int Argc, int RetDst, Value &Immediate) {
+  ++E.HitCount;
+  switch (E.EntryKind) {
+  case PicEntry::Kind::Method:
+    pushActivation(E.Target, Recv, Args, Argc, RetDst, nullptr, 0, false);
+    return DispatchKind::Pushed;
+  case PicEntry::Kind::DataGet: {
+    Object *Holder = E.SlotHolder ? E.SlotHolder : Recv.asObject();
+    Immediate = Holder->field(E.FieldIndex);
+    return DispatchKind::Immediate;
+  }
+  case PicEntry::Kind::DataSet: {
+    Object *Holder = E.SlotHolder ? E.SlotHolder : Recv.asObject();
+    Holder->setField(E.FieldIndex, Args[0]);
+    Immediate = Args[0];
+    return DispatchKind::Immediate;
+  }
+  case PicEntry::Kind::ConstGet:
+    Immediate = E.ConstValue;
+    return DispatchKind::Immediate;
+  case PicEntry::Kind::Empty:
+    break;
+  }
+  ErrMsg = "empty inline-cache entry applied";
+  return DispatchKind::Error;
+}
+
+void Interpreter::installPicEntry(InlineCache &C, const PicEntry &E) {
+  if (C.SiteState == InlineCache::State::Megamorphic)
+    return; // Mega sites stop caching; the global lookup cache serves them.
+  int Arity = Opts.clampedArity();
+  if (C.Size < Arity) {
+    C.Entries[C.Size++] = E;
+    ++Counters.PicFills;
+    if (C.Size == 1) {
+      C.SiteState = InlineCache::State::Monomorphic;
+    } else {
+      if (C.SiteState == InlineCache::State::Monomorphic)
+        ++Counters.MonoToPoly;
+      C.SiteState = InlineCache::State::Polymorphic;
+    }
+    return;
+  }
+  if (!Opts.Polymorphic) {
+    // Pre-PIC monomorphic behaviour: evict the single entry and stay
+    // monomorphic; such sites never become megamorphic.
+    C.Entries[0] = E;
+    ++C.Evictions;
+    ++Counters.PicEvictions;
+    ++Counters.PicFills;
+    return;
+  }
+  // Arity limit reached with yet another receiver map: give the site up as
+  // megamorphic. Existing entries are kept (their hit counters document the
+  // site's history and they stay GC-traced) but are no longer probed.
+  C.SiteState = InlineCache::State::Megamorphic;
+  ++Counters.ToMegamorphic;
+}
+
+Interpreter::DispatchKind
 Interpreter::dispatchSend(Value Recv, const std::string *Sel,
                           const Value *Args, int Argc, int RetDst,
                           InlineCache *Cache, Value &Immediate) {
   ++Counters.Sends;
   Map *M = W.mapOf(Recv);
 
-  // Inline-cache fast path.
-  if (Cache && Cache->CachedMap == M) {
-    ++Counters.IcHits;
-    ++Cache->HitCount;
-    switch (Cache->CacheKind) {
-    case InlineCache::Kind::Method:
-      pushActivation(Cache->Target, Recv, Args, Argc, RetDst, nullptr, 0,
-                     false);
-      return DispatchKind::Pushed;
-    case InlineCache::Kind::DataGet: {
-      Object *Holder = Cache->SlotHolder ? Cache->SlotHolder
-                                         : Recv.asObject();
-      Immediate = Holder->field(Cache->FieldIndex);
-      return DispatchKind::Immediate;
-    }
-    case InlineCache::Kind::DataSet: {
-      Object *Holder = Cache->SlotHolder ? Cache->SlotHolder
-                                         : Recv.asObject();
-      Holder->setField(Cache->FieldIndex, Args[0]);
-      Immediate = Args[0];
-      return DispatchKind::Immediate;
-    }
-    case InlineCache::Kind::ConstGet:
-      Immediate = Cache->ConstValue;
-      return DispatchKind::Immediate;
-    case InlineCache::Kind::Empty:
+  // Polymorphic-inline-cache fast path: probe the site's entries.
+  const bool UseSiteCache = Cache && Opts.InlineCaches;
+  if (UseSiteCache) {
+    switch (Cache->SiteState) {
+    case InlineCache::State::Empty:
+      ++Counters.SendsUncached;
+      break;
+    case InlineCache::State::Monomorphic:
+      ++Counters.SendsMono;
+      break;
+    case InlineCache::State::Polymorphic:
+      ++Counters.SendsPoly;
+      break;
+    case InlineCache::State::Megamorphic:
+      ++Counters.SendsMega;
       break;
     }
-  }
-  if (Cache) {
+    if (Cache->SiteState != InlineCache::State::Megamorphic) {
+      if (PicEntry *E = Cache->findEntry(M)) {
+        ++Counters.IcHits;
+        ++Cache->HitCount;
+        return applyPicEntry(*E, Recv, Args, Argc, RetDst, Immediate);
+      }
+    }
     ++Counters.IcMisses;
     ++Cache->MissCount;
+  } else {
+    ++Counters.SendsUncached;
   }
 
-  LookupResult R = lookupSelector(W, M, Sel);
+  // Miss path: the hashed global lookup cache serves megamorphic sites and
+  // cold PIC misses before we pay for the full parent walk.
+  LookupResult R;
+  bool Resolved = false;
+  GlobalLookupCache *Glc =
+      Opts.UseGlobalCache && W.lookupCache().enabled() ? &W.lookupCache()
+                                                       : nullptr;
+  if (Glc) {
+    if (Glc->find(M, Sel, R)) {
+      ++Counters.GlcHits;
+      Resolved = true;
+    } else {
+      ++Counters.GlcMisses;
+    }
+  }
+  if (!Resolved) {
+    ++Counters.FullLookups;
+    R = lookupSelector(W, M, Sel);
+    if (Glc)
+      Glc->insert(M, Sel, R);
+  }
+
   switch (R.ResultKind) {
   case LookupResult::Kind::NotFound:
     ErrMsg = "message not understood: '" + *Sel + "' sent to " +
@@ -207,10 +315,12 @@ Interpreter::dispatchSend(Value Recv, const std::string *Sel,
     Req.IsBlockUnit = false;
     Req.Name = MO->selector();
     CompiledFunction *Fn = CM.getOrCompile(Req);
-    if (Cache) {
-      Cache->CachedMap = M;
-      Cache->CacheKind = InlineCache::Kind::Method;
-      Cache->Target = Fn;
+    if (UseSiteCache) {
+      PicEntry E;
+      E.CachedMap = M;
+      E.EntryKind = PicEntry::Kind::Method;
+      E.Target = Fn;
+      installPicEntry(*Cache, E);
     }
     pushActivation(Fn, Recv, Args, Argc, RetDst, nullptr, 0, false);
     return DispatchKind::Pushed;
@@ -222,11 +332,13 @@ Interpreter::dispatchSend(Value Recv, const std::string *Sel,
     }
     Object *Holder = R.Holder ? R.Holder : Recv.asObject();
     Immediate = Holder->field(R.Slot->FieldIndex);
-    if (Cache) {
-      Cache->CachedMap = M;
-      Cache->CacheKind = InlineCache::Kind::DataGet;
-      Cache->SlotHolder = R.Holder;
-      Cache->FieldIndex = R.Slot->FieldIndex;
+    if (UseSiteCache) {
+      PicEntry E;
+      E.CachedMap = M;
+      E.EntryKind = PicEntry::Kind::DataGet;
+      E.SlotHolder = R.Holder;
+      E.FieldIndex = R.Slot->FieldIndex;
+      installPicEntry(*Cache, E);
     }
     return DispatchKind::Immediate;
   }
@@ -238,11 +350,13 @@ Interpreter::dispatchSend(Value Recv, const std::string *Sel,
     Object *Holder = R.Holder ? R.Holder : Recv.asObject();
     Holder->setField(R.Slot->FieldIndex, Args[0]);
     Immediate = Args[0];
-    if (Cache) {
-      Cache->CachedMap = M;
-      Cache->CacheKind = InlineCache::Kind::DataSet;
-      Cache->SlotHolder = R.Holder;
-      Cache->FieldIndex = R.Slot->FieldIndex;
+    if (UseSiteCache) {
+      PicEntry E;
+      E.CachedMap = M;
+      E.EntryKind = PicEntry::Kind::DataSet;
+      E.SlotHolder = R.Holder;
+      E.FieldIndex = R.Slot->FieldIndex;
+      installPicEntry(*Cache, E);
     }
     return DispatchKind::Immediate;
   }
@@ -252,10 +366,12 @@ Interpreter::dispatchSend(Value Recv, const std::string *Sel,
       return DispatchKind::Error;
     }
     Immediate = R.Slot->Constant;
-    if (Cache) {
-      Cache->CachedMap = M;
-      Cache->CacheKind = InlineCache::Kind::ConstGet;
-      Cache->ConstValue = R.Slot->Constant;
+    if (UseSiteCache) {
+      PicEntry E;
+      E.CachedMap = M;
+      E.EntryKind = PicEntry::Kind::ConstGet;
+      E.ConstValue = R.Slot->Constant;
+      installPicEntry(*Cache, E);
     }
     return DispatchKind::Immediate;
   }

@@ -6,12 +6,12 @@
 ///
 /// \file
 /// The execution engine: an explicit-frame bytecode interpreter with
-/// on-the-fly (lazy) compilation, monomorphic inline caches at dynamic send
-/// sites, non-local return, and GC safepoints. The CodeManager is the code
-/// cache: compiled code is keyed by (source code body, receiver map) — the
-/// receiver map being the paper's *customization* — and the actual compiler
-/// is injected by the driver so every compiler configuration runs on the
-/// same engine.
+/// on-the-fly (lazy) compilation, polymorphic inline caches at dynamic send
+/// sites (backed by the world's global lookup cache), non-local return, and
+/// GC safepoints. The CodeManager is the code cache: compiled code is keyed
+/// by (source code body, receiver map) — the receiver map being the paper's
+/// *customization* — and the actual compiler is injected by the driver so
+/// every compiler configuration runs on the same engine.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,6 +63,14 @@ public:
   /// Applies \p F to every compiled function (for stats and tests).
   void forEach(const std::function<void(const CompiledFunction &)> &F) const;
 
+  /// Invalidation hook: resets every send site's inline cache back to the
+  /// Empty state. Called (via the world's shape-mutation hook) whenever a
+  /// map gains a slot, since cached bindings may then be stale.
+  void flushInlineCaches();
+
+  /// Number of flushInlineCaches() calls (observability).
+  uint64_t inlineCacheFlushes() const { return CacheFlushes; }
+
   void traceRoots(GcVisitor &V) override;
 
 private:
@@ -86,25 +94,83 @@ private:
   std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
   std::vector<std::unique_ptr<CompiledFunction>> Functions;
   double CompileSeconds = 0;
+  uint64_t CacheFlushes = 0;
+};
+
+/// Runtime dispatch configuration, derived from the compiler Policy by the
+/// driver (interp/ deliberately does not depend on compiler/).
+struct DispatchOptions {
+  bool InlineCaches = true;   ///< Off: every send performs a full lookup.
+  bool Polymorphic = true;    ///< Off: single-entry caches, replace on miss.
+  int PicArity = 4;           ///< Entries per site before megamorphic.
+  bool UseGlobalCache = true; ///< Consult the world's global lookup cache.
+
+  /// \returns PicArity clamped to the PIC's physical capacity.
+  int clampedArity() const {
+    int A = Polymorphic ? PicArity : 1;
+    if (A < 1)
+      return 1;
+    return A > InlineCache::kCapacity ? InlineCache::kCapacity : A;
+  }
 };
 
 /// Dynamic execution counters (the "work" the benchmarks measure).
 struct ExecCounters {
   uint64_t Instructions = 0;
   uint64_t Sends = 0;      ///< Dynamically-bound sends executed.
-  uint64_t IcHits = 0;
-  uint64_t IcMisses = 0;
+  uint64_t IcHits = 0;     ///< Sends served by a PIC entry probe.
+  uint64_t IcMisses = 0;   ///< PIC probe misses (incl. megamorphic sends).
   uint64_t PrimCalls = 0;  ///< Non-inlined primitive calls executed.
   uint64_t TypeTests = 0;  ///< TestInt/TestMap executed.
   uint64_t BlocksMade = 0; ///< Closures created.
   uint64_t EnvAccesses = 0;
+
+  // Dispatch-path observability (the PIC + global-cache fast path).
+  uint64_t GlcHits = 0;      ///< Misses resolved by the global lookup cache.
+  uint64_t GlcMisses = 0;    ///< Global-cache probes that fell through.
+  uint64_t FullLookups = 0;  ///< Full parent-walk lookups performed.
+  uint64_t SendsMono = 0;    ///< Sends dispatched at a Monomorphic site.
+  uint64_t SendsPoly = 0;    ///< ... at a Polymorphic site.
+  uint64_t SendsMega = 0;    ///< ... at a Megamorphic site.
+  uint64_t SendsUncached = 0;///< ... at a cold site, or with caching off.
+  uint64_t PicFills = 0;     ///< PIC entries installed.
+  uint64_t MonoToPoly = 0;   ///< Monomorphic → Polymorphic transitions.
+  uint64_t ToMegamorphic = 0;///< Transitions into the Megamorphic state.
+  uint64_t PicEvictions = 0; ///< Entries replaced (monomorphic mode).
+};
+
+/// Aggregate dispatch-path statistics assembled by the driver: dynamic
+/// counters from the interpreter, a send-site census from the code cache,
+/// and the world's global-lookup-cache numbers.
+struct DispatchStats {
+  // Dynamic (per-interpreter) counts.
+  uint64_t Sends = 0, PicHits = 0, PicMisses = 0;
+  uint64_t GlcHits = 0, GlcMisses = 0, FullLookups = 0;
+  uint64_t SendsMono = 0, SendsPoly = 0, SendsMega = 0, SendsUncached = 0;
+  uint64_t PicFills = 0, MonoToPoly = 0, ToMegamorphic = 0, PicEvictions = 0;
+  // Send-site census (code cache walk at sampling time).
+  size_t Sites = 0, SitesEmpty = 0, SitesMono = 0, SitesPoly = 0,
+         SitesMega = 0;
+  // Global lookup cache.
+  size_t GlcCapacity = 0, GlcOccupied = 0;
+  uint64_t GlcFills = 0, GlcInvalidations = 0;
+  uint64_t InlineCacheFlushes = 0;
+
+  /// Fraction of sends served directly by a PIC entry.
+  double picHitRate() const;
+  /// Fraction of sends served by either a PIC entry or the global cache.
+  double combinedHitRate() const;
+  /// Fraction of global-cache slots holding an entry.
+  double glcOccupancy() const;
 };
 
 /// The bytecode interpreter for one World.
 class Interpreter : public RootProvider {
 public:
-  Interpreter(World &W, CodeManager &CM);
+  Interpreter(World &W, CodeManager &CM, DispatchOptions Opts = {});
   ~Interpreter() override;
+
+  const DispatchOptions &dispatchOptions() const { return Opts; }
 
   /// Result of a top-level call.
   struct Outcome {
@@ -155,6 +221,12 @@ private:
   DispatchKind dispatchSend(Value Recv, const std::string *Sel,
                             const Value *Args, int Argc, int RetDst,
                             InlineCache *Cache, Value &Immediate);
+  /// Executes the action bound in PIC entry \p E for receiver \p Recv.
+  DispatchKind applyPicEntry(PicEntry &E, Value Recv, const Value *Args,
+                             int Argc, int RetDst, Value &Immediate);
+  /// Installs \p E into \p C, driving the mono → poly → megamorphic state
+  /// machine (or single-entry replacement when PICs are disabled).
+  void installPicEntry(InlineCache &C, const PicEntry &E);
   /// Sends `value...` to \p Callee (block fast path or generic send) and
   /// runs it to completion.
   RunResult callValueOn(Value Callee, const Value *Args, int Argc);
@@ -167,6 +239,7 @@ private:
 
   World &W;
   CodeManager &CM;
+  DispatchOptions Opts;
   std::vector<Value> RegStack;
   std::vector<Frame> Frames;
   std::vector<Value> NativeRoots; ///< Values live in native helpers.

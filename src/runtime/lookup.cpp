@@ -2,6 +2,8 @@
 
 #include "runtime/lookup.h"
 
+#include "runtime/world.h"
+#include "vm/heap.h"
 #include "vm/object.h"
 
 #include <vector>
@@ -86,4 +88,86 @@ LookupResult mself::lookupSelector(const World &, Map *M,
     }
   }
   return LookupResult();
+}
+
+//===----------------------------------------------------------------------===//
+// GlobalLookupCache
+//===----------------------------------------------------------------------===//
+
+void GlobalLookupCache::configure(size_t Entries, bool Enable) {
+  size_t N = 1;
+  while (N < Entries)
+    N <<= 1;
+  Table.assign(N, Entry());
+  Mask = N - 1;
+  Occupied = 0;
+  Enabled = Enable;
+}
+
+size_t GlobalLookupCache::indexFor(Map *M, const std::string *Selector) const {
+  // Pointer-identity hash: both keys are stable addresses (maps are
+  // immortal, selectors are interned). Shift off alignment zeros, then mix
+  // with two odd constants so (map, selector) pairs spread independently.
+  uintptr_t A = reinterpret_cast<uintptr_t>(M) >> 4;
+  uintptr_t B = reinterpret_cast<uintptr_t>(Selector) >> 4;
+  uint64_t H = static_cast<uint64_t>(A) * 0x9E3779B97F4A7C15ull ^
+               static_cast<uint64_t>(B) * 0xC2B2AE3D27D4EB4Full;
+  H ^= H >> 29;
+  return static_cast<size_t>(H) & Mask;
+}
+
+bool GlobalLookupCache::find(Map *M, const std::string *Selector,
+                             LookupResult &Out) {
+  if (!Enabled)
+    return false;
+  const Entry &E = Table[indexFor(M, Selector)];
+  if (E.M == M && E.Selector == Selector) {
+    ++Counters.Hits;
+    Out = E.Result;
+    return true;
+  }
+  ++Counters.Misses;
+  return false;
+}
+
+void GlobalLookupCache::insert(Map *M, const std::string *Selector,
+                               const LookupResult &R) {
+  if (!Enabled)
+    return;
+  Entry &E = Table[indexFor(M, Selector)];
+  if (E.M == nullptr)
+    ++Occupied;
+  E.M = M;
+  E.Selector = Selector;
+  E.Result = R;
+  ++Counters.Fills;
+}
+
+void GlobalLookupCache::flush() {
+  for (Entry &E : Table)
+    E = Entry();
+  Occupied = 0;
+  ++Counters.Invalidations;
+}
+
+void GlobalLookupCache::traceEntries(GcVisitor &V) {
+  for (Entry &E : Table) {
+    if (E.M == nullptr)
+      continue;
+    if (E.Result.Holder)
+      V.visitObject(E.Result.Holder);
+    if (E.Result.Slot)
+      V.visit(E.Result.Slot->Constant);
+  }
+}
+
+LookupResult mself::lookupSelectorCached(const World &W, Map *M,
+                                         const std::string *Selector) {
+  GlobalLookupCache &C = W.lookupCache();
+  LookupResult R;
+  if (C.find(M, Selector, R))
+    return R;
+  R = lookupSelector(W, M, Selector);
+  C.insert(M, Selector, R);
+  return R;
 }

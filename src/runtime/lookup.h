@@ -10,7 +10,13 @@
 /// routine serves the runtime's dynamic sends and the compiler's
 /// compile-time lookup — the paper's message inlining is exactly "perform
 /// the lookup at compile time", which is sound here because maps and parent
-/// constants are immutable after load.
+/// constants are immutable between world mutations (slot definitions), and
+/// every mutation flushes the caches below.
+///
+/// On top of the raw parent walk sits a process-wide hashed *global lookup
+/// cache* keyed by (receiver map, selector) — the classic backing store for
+/// megamorphic send sites and cold inline-cache misses. The World owns one;
+/// lookupSelectorCached() routes through it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,10 +25,13 @@
 
 #include "vm/map.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mself {
 
+class GcVisitor;
 class Object;
 class World;
 
@@ -50,6 +59,75 @@ struct LookupResult {
 /// receiver"), while slots found on parent objects report that parent.
 LookupResult lookupSelector(const World &W, Map *M,
                             const std::string *Selector);
+
+/// Process-wide direct-mapped cache of lookup results keyed by
+/// (receiver map, selector).
+///
+/// Serves megamorphic send sites and cold inline-cache misses, and
+/// accelerates the compiler's compile-time lookups. Entries store raw
+/// SlotDesc pointers into maps, so any shape mutation (a map gaining a
+/// slot) must flush() the cache — the World's shape-mutation hook does
+/// exactly that. Negative results (NotFound) are cached too; flushing keeps
+/// them sound. Cached Holder objects and constants are GC-rooted via
+/// traceEntries(), called from the owning World's traceRoots().
+class GlobalLookupCache {
+public:
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Fills = 0;         ///< insert() calls that stored an entry.
+    uint64_t Invalidations = 0; ///< flush() calls.
+  };
+
+  static constexpr size_t kDefaultEntries = 2048;
+
+  GlobalLookupCache() { configure(kDefaultEntries, true); }
+
+  /// Sizes the table to \p Entries (rounded up to a power of two) and
+  /// enables/disables the cache. Drops all cached entries.
+  void configure(size_t Entries, bool Enable);
+
+  bool enabled() const { return Enabled; }
+
+  /// Probes for (\p M, \p Selector). On a hit copies the cached result into
+  /// \p Out and returns true. Counts a hit or a miss.
+  bool find(Map *M, const std::string *Selector, LookupResult &Out);
+
+  /// Stores \p R for (\p M, \p Selector), replacing whatever hashed there.
+  void insert(Map *M, const std::string *Selector, const LookupResult &R);
+
+  /// Drops every entry: the invalidation hook for world shape mutation.
+  void flush();
+
+  size_t capacity() const { return Table.size(); }
+  size_t occupied() const { return Occupied; }
+  const Stats &stats() const { return Counters; }
+
+  /// GC-roots every object a cached result can reach (Holder objects and
+  /// slot constants), keeping entries valid across collections.
+  void traceEntries(GcVisitor &V);
+
+private:
+  struct Entry {
+    Map *M = nullptr;
+    const std::string *Selector = nullptr;
+    LookupResult Result;
+  };
+
+  size_t indexFor(Map *M, const std::string *Selector) const;
+
+  std::vector<Entry> Table;
+  size_t Mask = 0;
+  size_t Occupied = 0;
+  bool Enabled = true;
+  Stats Counters;
+};
+
+/// lookupSelector() through the world's global lookup cache: probes the
+/// cache first and fills it from the full parent walk on a miss. Falls back
+/// to the raw walk when the cache is disabled.
+LookupResult lookupSelectorCached(const World &W, Map *M,
+                                  const std::string *Selector);
 
 } // namespace mself
 

@@ -27,6 +27,9 @@ void World::traceRoots(GcVisitor &V) {
   V.visit(False);
   for (Value R : LiteralRoots)
     V.visit(R);
+  // Cached lookup results hold Object* (slot holders) and Values; root them
+  // so cache entries never outlive what they point at.
+  LookupCache.traceEntries(V);
 }
 
 void World::bootNativeMaps() {
@@ -133,10 +136,22 @@ bool World::defineLobbySlot(const SlotDef &Def, std::string &ErrOut) {
     Lobby->fields().resize(static_cast<size_t>(LobbyMap->fieldCount()),
                            Nil);
     Lobby->setField(LobbyMap->fieldCount() - 1, V);
+    noteShapeMutation();
     return true;
   }
   LobbyMap->addSlot(Def.Name, Def.Kind, V);
+  noteShapeMutation();
   return true;
+}
+
+void World::noteShapeMutation() {
+  // A map gained a slot: cached SlotDesc pointers may now dangle (addSlot
+  // can reallocate the slot vector) and cached NotFound results may have
+  // become reachable. Drop everything derived from the old shape.
+  ++ShapeVersion;
+  LookupCache.flush();
+  if (MutationHook)
+    MutationHook();
 }
 
 bool World::evalSlotValue(const SlotDef &Def, Value &Out,

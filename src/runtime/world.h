@@ -19,11 +19,13 @@
 #define MINISELF_RUNTIME_WORLD_H
 
 #include "parser/ast.h"
+#include "runtime/lookup.h"
 #include "runtime/selector.h"
 #include "support/interner.h"
 #include "vm/heap.h"
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +69,30 @@ public:
 
   /// \returns the boolean object for \p B.
   Value boolValue(bool B) const { return B ? True : False; }
+
+  //===------------------------------------------------------------------===//
+  // Lookup caching and shape-mutation invalidation
+  //===------------------------------------------------------------------===//
+
+  /// The process-wide (map, selector) lookup cache. Mutable because probing
+  /// a cache is logically const on the world.
+  GlobalLookupCache &lookupCache() const { return LookupCache; }
+
+  /// Invalidation hook: called after any post-boot shape mutation (a map
+  /// gaining a slot). Flushes the global lookup cache, bumps the shape
+  /// version, and notifies the registered listener (the driver flushes the
+  /// code cache's inline caches there).
+  void noteShapeMutation();
+
+  /// Registers \p Hook to run on every shape mutation (one listener; the
+  /// VirtualMachine uses it to flush inline caches).
+  void setShapeMutationHook(std::function<void()> Hook) {
+    MutationHook = std::move(Hook);
+  }
+
+  /// Monotonic counter of shape mutations; cached dispatch state derived
+  /// before a bump is stale.
+  uint64_t shapeVersion() const { return ShapeVersion; }
 
   //===------------------------------------------------------------------===//
   // Loading
@@ -137,6 +163,9 @@ private:
       BlockParentSlot = -1, NilParentSlot = -1;
 
   std::vector<Value> LiteralRoots; ///< String literals, built objects.
+  mutable GlobalLookupCache LookupCache;
+  std::function<void()> MutationHook;
+  uint64_t ShapeVersion = 0;
   FILE *Out = stdout;
   std::string PrimError;
 };

@@ -9,6 +9,11 @@
 
 using namespace mself;
 
+double mself::safeRatio(uint64_t Num, uint64_t Den) {
+  return Den == 0 ? 0.0
+                  : static_cast<double>(Num) / static_cast<double>(Den);
+}
+
 double SampleStats::min() const {
   assert(!Samples.empty() && "min() of empty sample set");
   return *std::min_element(Samples.begin(), Samples.end());

@@ -15,9 +15,14 @@
 #define MINISELF_SUPPORT_STATS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mself {
+
+/// \returns Num/Den as a double, or 0 when Den == 0. The hit-rate /
+/// occupancy helper shared by dispatch statistics and the bench tables.
+double safeRatio(uint64_t Num, uint64_t Den);
 
 /// Accumulates double-valued samples and answers order-statistic queries.
 ///

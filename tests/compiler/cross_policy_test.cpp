@@ -2,12 +2,13 @@
 //
 // The strongest correctness property in the system: every compiler
 // configuration must compute identical results. Each program below runs
-// under ST-80 (baseline), old SELF, and new SELF, and the outcomes are
-// compared.
+// through the differential harness — ST-80 / old SELF / new SELF crossed
+// with every dispatch-cache configuration (PIC, monomorphic, no global
+// cache, no caches = pure interpretation) — and the outcomes are compared.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/vm.h"
+#include "harness/differential.h"
 
 #include <gtest/gtest.h>
 
@@ -140,21 +141,7 @@ class CrossPolicy : public ::testing::TestWithParam<ProgramCase> {};
 
 TEST_P(CrossPolicy, SameResultUnderAllPolicies) {
   const ProgramCase &C = GetParam();
-  int64_t Results[3] = {0, 0, 0};
-  const Policy Policies[3] = {Policy::st80(), Policy::oldSelf(),
-                              Policy::newSelf()};
-  for (int I = 0; I < 3; ++I) {
-    VirtualMachine VM(Policies[I]);
-    std::string Err;
-    if (C.Defs[0] != '\0')
-      ASSERT_TRUE(VM.load(C.Defs, Err))
-          << Policies[I].Name << ": " << Err;
-    ASSERT_TRUE(VM.evalInt(C.Expr, Results[I], Err))
-        << Policies[I].Name << ": " << Err;
-  }
-  EXPECT_EQ(Results[0], C.Expected) << "st80";
-  EXPECT_EQ(Results[1], C.Expected) << "oldself";
-  EXPECT_EQ(Results[2], C.Expected) << "newself";
+  EXPECT_TRUE(difftest::expectAll(C.Defs, C.Expr, C.Expected));
 }
 
 INSTANTIATE_TEST_SUITE_P(Programs, CrossPolicy,

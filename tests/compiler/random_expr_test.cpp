@@ -2,13 +2,14 @@
 //
 // Property-based differential test: generate random integer/boolean
 // expression trees, render them as mini-SELF source, evaluate the tree in
-// C++, and require all three compiler configurations to produce the same
-// value. This exercises constant folding, range analysis, splitting of the
-// comparison-produced boolean merges, and prediction on arbitrary shapes.
+// C++, and require every (compiler policy × dispatch cache) configuration
+// to produce the same value. This exercises constant folding, range
+// analysis, splitting of the comparison-produced boolean merges, prediction
+// on arbitrary shapes, and the PIC/global-cache dispatch layers.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/vm.h"
+#include "harness/differential.h"
 
 #include <gtest/gtest.h>
 
@@ -155,15 +156,7 @@ TEST_P(RandomExpr, AllPoliciesMatchCppEvaluation) {
   for (int Case = 0; Case < 8; ++Case) {
     int64_t Expected = 0;
     std::string Src = Gen.intExpr(4, Expected);
-    for (const Policy &P :
-         {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
-      VirtualMachine VM(P);
-      int64_t Out = 0;
-      std::string Err;
-      ASSERT_TRUE(VM.evalInt(Src, Out, Err))
-          << P.Name << " failed on: " << Src << "\n  " << Err;
-      EXPECT_EQ(Out, Expected) << P.Name << " on: " << Src;
-    }
+    ASSERT_TRUE(difftest::expectAll("", Src, Expected));
   }
 }
 

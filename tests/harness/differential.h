@@ -1,0 +1,119 @@
+//===-- tests/harness/differential.h - Differential policy harness ---------===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-testing harness: runs one program under the full
+/// compiler-policy × dispatch-cache matrix — every paper preset (ST-80,
+/// old SELF, new SELF) crossed with PIC on / monomorphic / no global cache /
+/// no caches at all (st80/nocache being pure interpretation) — and asserts
+/// that every configuration computes the identical result. This is the
+/// strongest correctness property in the system: neither the optimizer nor
+/// any dispatch caching layer may change observable behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_TESTS_HARNESS_DIFFERENTIAL_H
+#define MINISELF_TESTS_HARNESS_DIFFERENTIAL_H
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mself::difftest {
+
+/// One labelled configuration of the differential matrix.
+struct Config {
+  std::string Label;
+  Policy P;
+};
+
+/// The full matrix: {st80, oldself, newself} × {pic, mono, noglc, nocache}.
+/// "pic" is the default dispatch stack (PIC + global lookup cache), "mono"
+/// degrades to single-entry replace-on-miss caches (the pre-PIC system),
+/// "noglc" runs PICs without the global cache, and "nocache" performs a
+/// full lookup on every send — st80/nocache is pure interpretation.
+inline std::vector<Config> policyMatrix() {
+  std::vector<Config> Out;
+  for (const Policy &Base :
+       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
+    Out.push_back({Base.Name + "/pic", Base});
+
+    Policy Mono = Base;
+    Mono.PolymorphicInlineCaches = false;
+    Mono.UseGlobalLookupCache = false;
+    Out.push_back({Base.Name + "/mono", Mono});
+
+    Policy NoGlc = Base;
+    NoGlc.UseGlobalLookupCache = false;
+    Out.push_back({Base.Name + "/noglc", NoGlc});
+
+    Policy NoCache = Base;
+    NoCache.InlineCaches = false;
+    NoCache.UseGlobalLookupCache = false;
+    Out.push_back({Base.Name + "/nocache", NoCache});
+  }
+  // Tiny global cache: forces heavy replacement traffic so index collisions
+  // cannot change results either.
+  Policy TinyGlc = Policy::newSelf();
+  TinyGlc.GlobalLookupCacheEntries = 8;
+  Out.push_back({"newself/tinyglc", TinyGlc});
+  return Out;
+}
+
+/// Runs \p Defs + \p Expr under every configuration in the matrix. Fails
+/// (with the offending configuration's label) unless every configuration
+/// succeeds and they all agree; on success stores the common value in
+/// \p Out.
+inline ::testing::AssertionResult
+runIdentical(const std::string &Defs, const std::string &Expr, int64_t &Out) {
+  bool Have = false;
+  int64_t First = 0;
+  std::string FirstLabel;
+  for (const Config &C : policyMatrix()) {
+    VirtualMachine VM(C.P);
+    std::string Err;
+    if (!Defs.empty() && !VM.load(Defs, Err))
+      return ::testing::AssertionFailure()
+             << C.Label << " failed to load defs: " << Err;
+    int64_t V = 0;
+    if (!VM.evalInt(Expr, V, Err))
+      return ::testing::AssertionFailure()
+             << C.Label << " failed on '" << Expr << "': " << Err;
+    if (!Have) {
+      Have = true;
+      First = V;
+      FirstLabel = C.Label;
+    } else if (V != First) {
+      return ::testing::AssertionFailure()
+             << "differential mismatch on '" << Expr << "': " << FirstLabel
+             << " => " << First << " but " << C.Label << " => " << V;
+    }
+  }
+  Out = First;
+  return ::testing::AssertionSuccess();
+}
+
+/// runIdentical() plus a check of the agreed value against \p Expected.
+inline ::testing::AssertionResult expectAll(const std::string &Defs,
+                                            const std::string &Expr,
+                                            int64_t Expected) {
+  int64_t Got = 0;
+  ::testing::AssertionResult R = runIdentical(Defs, Expr, Got);
+  if (!R)
+    return R;
+  if (Got != Expected)
+    return ::testing::AssertionFailure()
+           << "all configurations agree on '" << Expr << "' but computed "
+           << Got << ", expected " << Expected;
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace mself::difftest
+
+#endif // MINISELF_TESTS_HARNESS_DIFFERENTIAL_H

@@ -100,6 +100,66 @@ TEST_P(GcStress, DeepRecursionWithAllocation) {
   EXPECT_EQ(Out, 400);
 }
 
+// Allocation-heavy *polymorphic* send loop: six receiver kinds cycle
+// through one send site (driving it polymorphic, then megamorphic under
+// the default PIC arity) while every send allocates garbage vectors under
+// a tiny collection threshold. The maps, method objects, and slot holders
+// cached in PIC entries and in the global lookup cache must be traced as
+// roots, or a collection mid-loop would leave dangling cache entries.
+TEST_P(GcStress, PolymorphicSendLoopSurvivesCollections) {
+  VirtualMachine VM(policy());
+  VM.heap().setGcThresholdBytes(1 << 12);
+  std::string Defs;
+  for (int I = 0; I < 6; ++I) {
+    std::string Id = std::to_string(I);
+    // Each tag method allocates garbage, then yields its kind number.
+    Defs += "k" + Id + " = ( | parent* = lobby. tag = ( "
+            "(vectorOfSize: 3) size - 3 + " + std::to_string(I + 1) +
+            " ) | ). ";
+  }
+  Defs += "mkKinds = ( | v | v: (vectorOfSize: 6). ";
+  for (int I = 0; I < 6; ++I)
+    Defs += "v at: " + std::to_string(I) + " Put: k" + std::to_string(I) + ". ";
+  Defs += "v ). "
+          "churnPoly: n = ( | v. t <- 0 | v: mkKinds. "
+          "1 to: n Do: [ :i | t: t + (v at: i % 6) tag ]. t )";
+  std::string Err;
+  ASSERT_TRUE(VM.load(Defs, Err)) << Err;
+
+  // 600 iterations: each residue 0..5 occurs 100 times; tags sum to 21
+  // per 6 iterations.
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("churnPoly: 600", Out, Err)) << Err;
+  EXPECT_EQ(Out, 2100);
+  EXPECT_GT(VM.heap().collectionCount(), 0u);
+  EXPECT_GT(VM.interp().counters().Sends, 0u);
+
+  // A full collection with every cache warm, then the same workload: the
+  // cached bindings must still dispatch correctly.
+  VM.heap().collect();
+  ASSERT_TRUE(VM.evalInt("churnPoly: 600", Out, Err)) << Err;
+  EXPECT_EQ(Out, 2100);
+}
+
+// Clone-churn variant: the receiver objects themselves are garbage (a fresh
+// clone per iteration) while the site's cached map and field bindings stay
+// hot across collections.
+TEST_P(GcStress, CloneChurnKeepsDispatchCachesValid) {
+  VirtualMachine VM(policy());
+  VM.heap().setGcThresholdBytes(1 << 12);
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "proto = ( | parent* = lobby. val <- 0. dbl = ( val + val ) | ). "
+      "spin: n = ( | o. t <- 0 | 1 to: n Do: [ :i | "
+      "o: proto clone. o val: i. t: t + o dbl ]. t )",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("spin: 400", Out, Err)) << Err;
+  EXPECT_EQ(Out, 400 * 401); // 2 * sum(1..400)
+  EXPECT_GT(VM.heap().collectionCount(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Policies, GcStress,
                          ::testing::Values("st80", "oldself", "newself"),
                          [](const ::testing::TestParamInfo<const char *> &I) {

@@ -1,0 +1,306 @@
+//===-- tests/interp/pic_test.cpp - Polymorphic inline cache states --------===//
+//
+// Unit tests for the dispatch fast path: the per-site PIC state machine
+// (Empty → Monomorphic → Polymorphic → Megamorphic), per-entry hit
+// counters, single-entry replacement mode, the global lookup cache, and
+// cache invalidation on world shape mutation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+#include "runtime/lookup.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mself;
+
+namespace {
+
+/// Definitions for \p N distinct receiver shapes (each its own map), a
+/// vector holding one of each, and a driver that cycles sends of `tag`
+/// through a single send site.
+std::string shapeWorld(int N) {
+  std::string S;
+  for (int I = 0; I < N; ++I) {
+    std::string Id = std::to_string(I);
+    S += "s" + Id + " = ( | parent* = lobby. tag = ( " + std::to_string(I + 1) +
+         " ) | ). ";
+  }
+  S += "mkShapes = ( | v | v: (vectorOfSize: " + std::to_string(N) + "). ";
+  for (int I = 0; I < N; ++I)
+    S += "v at: " + std::to_string(I) + " Put: s" + std::to_string(I) + ". ";
+  S += "v ). ";
+  // One dynamically-bound `tag` send site, shared by every receiver kind.
+  S += "drive: n Kinds: k = ( | v. t <- 0 | v: mkShapes. "
+       "1 to: n Do: [ :i | t: t + (v at: i % k) tag ]. t )";
+  return S;
+}
+
+/// Sum of `tag` over n sends cycling through the first k kinds
+/// (tag of s_j is j+1; index i % k for i in 1..n).
+int64_t expectedSum(int64_t N, int64_t K) {
+  int64_t T = 0;
+  for (int64_t I = 1; I <= N; ++I)
+    T += (I % K) + 1;
+  return T;
+}
+
+/// ST-80 base policy so sends stay dynamically bound, with PIC knobs.
+Policy picPolicy(int Arity = 4, bool Poly = true, bool Glc = true) {
+  Policy P = Policy::st80();
+  P.InlineCaches = true;
+  P.PolymorphicInlineCaches = Poly;
+  P.PicArity = Arity;
+  P.UseGlobalLookupCache = Glc;
+  return P;
+}
+
+} // namespace
+
+TEST(PicTest, MonomorphicSiteStaysMonomorphic) {
+  VirtualMachine VM(picPolicy());
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(1), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 200 Kinds: 1", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(200, 1));
+
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_GT(S.SendsMono, 0u);
+  EXPECT_EQ(S.ToMegamorphic, 0u);
+  EXPECT_EQ(S.SitesMega, 0u);
+  EXPECT_GT(S.SitesMono, 0u);
+  // A steady-state monomorphic workload is almost all PIC hits.
+  EXPECT_GT(S.picHitRate(), 0.9);
+}
+
+TEST(PicTest, MonoToPolyTransition) {
+  VirtualMachine VM(picPolicy());
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(2), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 200 Kinds: 2", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(200, 2));
+
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_GE(S.MonoToPoly, 1u);
+  EXPECT_GT(S.SendsPoly, 0u);
+  EXPECT_GT(S.SitesPoly, 0u);
+  EXPECT_EQ(S.ToMegamorphic, 0u);
+  EXPECT_EQ(S.SitesMega, 0u);
+  EXPECT_GT(S.picHitRate(), 0.9);
+}
+
+TEST(PicTest, MegamorphicTransitionDispatchesThroughGlobalCache) {
+  VirtualMachine VM(picPolicy(/*Arity=*/4));
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(8), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 400 Kinds: 8", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(400, 8));
+
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_GE(S.ToMegamorphic, 1u);
+  EXPECT_GT(S.SendsMega, 0u);
+  EXPECT_GT(S.SitesMega, 0u);
+  // Megamorphic sends skip the PIC and resolve via the global cache.
+  EXPECT_GT(S.GlcHits, 0u);
+  // Nearly every send still avoids the full parent walk.
+  EXPECT_GT(S.combinedHitRate(), 0.9);
+}
+
+TEST(PicTest, PerEntryHitCountersAccumulate) {
+  VirtualMachine VM(picPolicy());
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(3), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 300 Kinds: 3", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(300, 3));
+
+  // Find the polymorphic `tag` site and check its per-entry counters.
+  bool FoundPoly = false;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    for (const InlineCache &C : F.Caches) {
+      if (C.SiteState != InlineCache::State::Polymorphic || C.Size < 3)
+        continue;
+      FoundPoly = true;
+      uint64_t EntrySum = 0;
+      for (int I = 0; I < C.Size; ++I) {
+        EXPECT_NE(C.Entries[I].CachedMap, nullptr);
+        // Every receiver kind recurs, so every entry gets probe hits.
+        EXPECT_GT(C.Entries[I].HitCount, 0u);
+        EntrySum += C.Entries[I].HitCount;
+      }
+      // Site-level hits are exactly the sum over entries.
+      EXPECT_EQ(EntrySum, C.HitCount);
+      EXPECT_GT(C.MissCount, 0u); // At least the initial fills missed.
+    }
+  });
+  EXPECT_TRUE(FoundPoly);
+}
+
+TEST(PicTest, MonomorphicModeEvictsInsteadOfGrowing) {
+  VirtualMachine VM(picPolicy(/*Arity=*/4, /*Poly=*/false, /*Glc=*/false));
+  EXPECT_EQ(VM.interp().dispatchOptions().clampedArity(), 1);
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(2), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 100 Kinds: 2", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(100, 2));
+
+  DispatchStats S = VM.dispatchStats();
+  // Alternating receivers thrash the single entry: replacement, never
+  // a polymorphic or megamorphic transition.
+  EXPECT_GT(S.PicEvictions, 0u);
+  EXPECT_EQ(S.MonoToPoly, 0u);
+  EXPECT_EQ(S.ToMegamorphic, 0u);
+  EXPECT_EQ(S.SitesPoly, 0u);
+  EXPECT_EQ(S.SitesMega, 0u);
+}
+
+TEST(PicTest, ArityIsClampedToPhysicalCapacity) {
+  {
+    VirtualMachine VM(picPolicy(/*Arity=*/100));
+    EXPECT_EQ(VM.interp().dispatchOptions().clampedArity(),
+              InlineCache::kCapacity);
+  }
+  {
+    VirtualMachine VM(picPolicy(/*Arity=*/0));
+    EXPECT_EQ(VM.interp().dispatchOptions().clampedArity(), 1);
+  }
+}
+
+TEST(PicTest, SmallArityGoesMegamorphicEarly) {
+  VirtualMachine VM(picPolicy(/*Arity=*/2));
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(3), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 120 Kinds: 3", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(120, 3));
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_GE(S.ToMegamorphic, 1u);
+  EXPECT_GT(S.SitesMega, 0u);
+}
+
+// Regression: a site cached for one receiver map must dispatch correctly
+// when a second map arrives, and again when the ninth (beyond the PIC's
+// physical capacity) arrives.
+TEST(PicTest, SecondAndNinthReceiverMapDispatchCorrectly) {
+  VirtualMachine VM(picPolicy(/*Arity=*/8));
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(9) + ". poke: o = ( o tag )", Err)) << Err;
+
+  int64_t Out = 0;
+  // Warm the site monomorphically on s0's map.
+  ASSERT_TRUE(VM.evalInt("(poke: s0) + (poke: s0) + (poke: s0)", Out, Err))
+      << Err;
+  EXPECT_EQ(Out, 3);
+  // Second map through the same (still-warm) site.
+  ASSERT_TRUE(VM.evalInt("poke: s1", Out, Err)) << Err;
+  EXPECT_EQ(Out, 2);
+  // Maps 3..8 fill the PIC to capacity; the ninth overflows it.
+  ASSERT_TRUE(VM.evalInt("(poke: s2) + (poke: s3) + (poke: s4) + (poke: s5) "
+                         "+ (poke: s6) + (poke: s7)",
+                         Out, Err))
+      << Err;
+  EXPECT_EQ(Out, 3 + 4 + 5 + 6 + 7 + 8);
+  ASSERT_TRUE(VM.evalInt("poke: s8", Out, Err)) << Err;
+  EXPECT_EQ(Out, 9);
+  // And the original receiver still dispatches to its own method.
+  ASSERT_TRUE(VM.evalInt("poke: s0", Out, Err)) << Err;
+  EXPECT_EQ(Out, 1);
+}
+
+TEST(PicTest, GlobalCacheFillsAndHits) {
+  VirtualMachine VM(picPolicy());
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(8), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 400 Kinds: 8", Out, Err)) << Err;
+
+  const GlobalLookupCache &Glc = VM.world().lookupCache();
+  EXPECT_TRUE(Glc.enabled());
+  EXPECT_GT(Glc.stats().Fills, 0u);
+  EXPECT_GT(Glc.stats().Hits, 0u);
+  EXPECT_GT(Glc.occupied(), 0u);
+  EXPECT_LE(Glc.occupied(), Glc.capacity());
+}
+
+TEST(PicTest, ShapeMutationFlushesEveryCache) {
+  VirtualMachine VM(picPolicy());
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(3), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 90 Kinds: 3", Out, Err)) << Err;
+
+  GlobalLookupCache &Glc = VM.world().lookupCache();
+  ASSERT_GT(Glc.occupied(), 0u);
+  uint64_t FlushesBefore = VM.code().inlineCacheFlushes();
+  uint64_t InvalidationsBefore = Glc.stats().Invalidations;
+  uint64_t VersionBefore = VM.world().shapeVersion();
+
+  // Defining a new lobby slot is a shape mutation: the lobby map gains a
+  // slot, so every cached lookup may be stale.
+  ASSERT_TRUE(VM.load("freshSlot = ( 77 )", Err)) << Err;
+
+  EXPECT_GT(VM.world().shapeVersion(), VersionBefore);
+  EXPECT_GT(VM.code().inlineCacheFlushes(), FlushesBefore);
+  EXPECT_GT(Glc.stats().Invalidations, InvalidationsBefore);
+  EXPECT_EQ(Glc.occupied(), 0u);
+
+  // Every previously-warmed send site is back to Empty.
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_EQ(S.SitesMono + S.SitesPoly + S.SitesMega, 0u);
+  EXPECT_EQ(S.SitesEmpty, S.Sites);
+
+  // The world still dispatches correctly and re-warms.
+  ASSERT_TRUE(VM.evalInt("(drive: 90 Kinds: 3) + freshSlot", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(90, 3) + 77);
+}
+
+// Regression: a cached NotFound result must not survive the definition of
+// the missing slot.
+TEST(PicTest, CachedNotFoundInvalidatedByDefinition) {
+  VirtualMachine VM(picPolicy());
+  std::string Err;
+  int64_t Out = 0;
+  // `mystery` does not exist yet: the send fails (and the NotFound result
+  // may be cached).
+  EXPECT_FALSE(VM.evalInt("mystery", Out, Err));
+  EXPECT_FALSE(VM.evalInt("mystery", Out, Err));
+  // Defining it flushes the negative cache entry.
+  ASSERT_TRUE(VM.load("mystery = ( 99 )", Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("mystery", Out, Err)) << Err;
+  EXPECT_EQ(Out, 99);
+}
+
+TEST(PicTest, DisabledCachesFallBackToFullLookup) {
+  VirtualMachine VM(Policy::pureInterp());
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(3), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 60 Kinds: 3", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(60, 3));
+
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_EQ(S.PicHits, 0u);
+  EXPECT_EQ(S.PicFills, 0u);
+  EXPECT_EQ(S.GlcHits, 0u);
+  EXPECT_EQ(S.SendsUncached, S.Sends);
+  EXPECT_GT(S.FullLookups, 0u);
+  EXPECT_EQ(S.SitesMono + S.SitesPoly + S.SitesMega, 0u);
+}
+
+TEST(PicTest, TinyGlobalCacheCollisionsStayCorrect) {
+  Policy P = picPolicy(/*Arity=*/2);
+  P.GlobalLookupCacheEntries = 4; // Force heavy index-collision traffic.
+  VirtualMachine VM(P);
+  std::string Err;
+  ASSERT_TRUE(VM.load(shapeWorld(8), Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("drive: 400 Kinds: 8", Out, Err)) << Err;
+  EXPECT_EQ(Out, expectedSum(400, 8));
+  EXPECT_LE(VM.world().lookupCache().capacity(), 4u);
+}
