@@ -1,0 +1,244 @@
+//===-- bench/table_tiering.cpp - E11: Two-tier adaptive execution ---------===//
+//
+// Measures what the baseline tier buys at startup and what it costs at
+// steady state. Startup phase: load a program of two dozen methods and call
+// each once — the cost that matters is CPU seconds spent in the compiler.
+// Steady-state phase: one hot loop method, warmed until the tiered configs
+// have promoted it, then a long timed run measured both in wall time and in
+// executed bytecode instructions (the machine-independent work measure the
+// gates use, so the result does not depend on machine load).
+//
+// The headline claims this table must support (EXPERIMENTS.md E11):
+//   - tiered execution (threshold 50) spends <= half the startup compile
+//     seconds of full-opt-first-call, and
+//   - its steady-state instruction count is within 5% of full-opt.
+// The program exits nonzero if either fails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "driver/vm.h"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+constexpr int kStartupMethods = 24;
+constexpr int64_t kStartupArg = 3;
+constexpr int64_t kSteadyIters = 200000;
+
+/// kStartupMethods similar-but-distinct methods plus a driver calling each
+/// exactly once: a pure compile-load, the paper's "interactive use" shape.
+std::string startupWorld() {
+  std::string S;
+  for (int I = 0; I < kStartupMethods; ++I) {
+    std::string Id = std::to_string(I);
+    S += "m" + Id + ": x = ( | t <- " + Id + " | 1 to: 6 Do: [ :i | "
+         "(x + i) % 2 == 0 ifTrue: [ t: t + (x * i) ] False: [ t: t - i ] ]. "
+         "t ). ";
+  }
+  S += "callAll: x = ( | t <- 0 | ";
+  for (int I = 0; I < kStartupMethods; ++I)
+    S += "t: t + (m" + std::to_string(I) + ": x). ";
+  S += "t )";
+  return S;
+}
+
+int64_t startupExpected() {
+  int64_t Total = 0;
+  for (int64_t M = 0; M < kStartupMethods; ++M) {
+    int64_t T = M;
+    for (int64_t I = 1; I <= 6; ++I)
+      T += (kStartupArg + I) % 2 == 0 ? kStartupArg * I : -I;
+    Total += T;
+  }
+  return Total;
+}
+
+const char *steadyWorld() {
+  return "hot: n = ( | t <- 0. i <- 0 | [ i < n ] whileTrue: "
+         "[ i: i + 1. t: t + ((i * 3) % 7) + (i % 5) ]. t )";
+}
+
+int64_t steadyExpected(int64_t N) {
+  int64_t T = 0;
+  for (int64_t I = 1; I <= N; ++I)
+    T += (I * 3) % 7 + I % 5;
+  return T;
+}
+
+struct TierConfig {
+  const char *Name;
+  bool Tiered;
+  int Threshold;
+};
+
+struct Row {
+  bool Ok = false;
+  double StartupCompileSec = 0; ///< CPU s in the compiler during startup.
+  double StartupWallSec = 0;
+  double SteadyWallSec = 0;
+  uint64_t SteadyInstructions = 0;
+  TierStats Stats; ///< Snapshot after both phases.
+};
+
+const char *kindName(CompileEvent::Kind K) {
+  switch (K) {
+  case CompileEvent::Kind::Compile:
+    return "compile";
+  case CompileEvent::Kind::Promote:
+    return "promote";
+  case CompileEvent::Kind::Swap:
+    return "swap";
+  case CompileEvent::Kind::Invalidate:
+    return "invalidate";
+  }
+  return "?";
+}
+
+Row runConfig(const TierConfig &C, bool PrintEvents) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = C.Tiered;
+  P.TierUpThreshold = C.Threshold;
+
+  Row Out;
+  VirtualMachine VM(P);
+  std::string Err;
+  if (!VM.load(startupWorld() + ". " + steadyWorld(), Err)) {
+    fprintf(stderr, "FAIL %s load: %s\n", C.Name, Err.c_str());
+    return Out;
+  }
+
+  // Startup: every method compiled and run once.
+  int64_t V = 0;
+  auto S0 = std::chrono::steady_clock::now();
+  if (!VM.evalInt("callAll: " + std::to_string(kStartupArg), V, Err)) {
+    fprintf(stderr, "FAIL %s startup: %s\n", C.Name, Err.c_str());
+    return Out;
+  }
+  auto S1 = std::chrono::steady_clock::now();
+  if (V != startupExpected()) {
+    fprintf(stderr, "FAIL %s startup checksum %lld != %lld\n", C.Name,
+            (long long)V, (long long)startupExpected());
+    return Out;
+  }
+  Out.StartupWallSec = std::chrono::duration<double>(S1 - S0).count();
+  Out.StartupCompileSec = VM.code().totalCompileSeconds();
+
+  // Steady state: warm until the tiered configs have promoted the hot
+  // method (the 1000-iteration warm-up crosses every finite threshold at
+  // the loop back-edge), then one long measured run.
+  for (int I = 0; I < 3; ++I) {
+    if (!VM.evalInt("hot: 1000", V, Err) || V != steadyExpected(1000)) {
+      fprintf(stderr, "FAIL %s warmup: %s\n", C.Name, Err.c_str());
+      return Out;
+    }
+  }
+  VM.interp().resetCounters();
+  auto T0 = std::chrono::steady_clock::now();
+  if (!VM.evalInt("hot: " + std::to_string(kSteadyIters), V, Err)) {
+    fprintf(stderr, "FAIL %s steady: %s\n", C.Name, Err.c_str());
+    return Out;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  if (V != steadyExpected(kSteadyIters)) {
+    fprintf(stderr, "FAIL %s steady checksum %lld != %lld\n", C.Name,
+            (long long)V, (long long)steadyExpected(kSteadyIters));
+    return Out;
+  }
+  Out.SteadyWallSec = std::chrono::duration<double>(T1 - T0).count();
+  Out.SteadyInstructions = VM.interp().counters().Instructions;
+  Out.Stats = VM.tierStats();
+  Out.Ok = true;
+
+  if (PrintEvents) {
+    const auto &Events = VM.compilationEvents().events();
+    size_t From = Events.size() > 6 ? Events.size() - 6 : 0;
+    printf("\nlast compilation events (%s, %llu total):\n", C.Name,
+           (unsigned long long)VM.compilationEvents().totalRecorded());
+    for (size_t I = From; I < Events.size(); ++I) {
+      const CompileEvent &E = Events[I];
+      printf("  #%-4llu %-10s %-9s %-12s hot=%-4u %.3f ms\n",
+             (unsigned long long)E.Seq, kindName(E.EventKind),
+             E.Tier == CompiledFunction::Tier::Baseline ? "baseline"
+                                                        : "optimized",
+             E.Name ? E.Name->c_str() : "<top-level>", E.HotCount,
+             E.Seconds * 1e3);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const TierConfig Configs[] = {
+      {"full-opt", false, 0},
+      {"tier-1", true, 1},
+      {"tier-50", true, 50},
+      {"tier-1000", true, 1000},
+      {"baseline-only", true, std::numeric_limits<int>::max()},
+  };
+  constexpr int kNumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+
+  printf("E11: Two-tier adaptive execution — %d-method startup + hot loop\n",
+         kStartupMethods);
+  printf("%-14s %12s %12s %12s %12s %6s %6s\n", "config", "compile ms",
+         "startup ms", "steady ms", "Minstr", "promo", "inval");
+
+  bool AllOk = true;
+  Row Rows[kNumConfigs];
+  for (int I = 0; I < kNumConfigs; ++I) {
+    Rows[I] = runConfig(Configs[I], /*PrintEvents=*/false);
+    if (!Rows[I].Ok) {
+      AllOk = false;
+      printf("%-14s %12s\n", Configs[I].Name, "-");
+      continue;
+    }
+    const Row &R = Rows[I];
+    printf("%-14s %12s %12s %12s %12s %6llu %6llu\n", Configs[I].Name,
+           fixed(R.StartupCompileSec * 1e3, 3).c_str(),
+           fixed(R.StartupWallSec * 1e3, 3).c_str(),
+           fixed(R.SteadyWallSec * 1e3, 3).c_str(),
+           fixed(double(R.SteadyInstructions) / 1e6, 2).c_str(),
+           (unsigned long long)R.Stats.Promotions,
+           (unsigned long long)R.Stats.Invalidations);
+  }
+
+  // Event-log sample from the representative tiered config.
+  Row Sample = runConfig(Configs[2], /*PrintEvents=*/true);
+  (void)Sample;
+
+  const Row &Full = Rows[0], &T50 = Rows[2];
+  bool StartupOk = AllOk && Full.StartupCompileSec >= 2.0 * T50.StartupCompileSec;
+  double InstrDelta =
+      AllOk && Full.SteadyInstructions
+          ? double(T50.SteadyInstructions) - double(Full.SteadyInstructions)
+          : 0;
+  double InstrRel = AllOk && Full.SteadyInstructions
+                        ? (InstrDelta < 0 ? -InstrDelta : InstrDelta) /
+                              double(Full.SteadyInstructions)
+                        : 1.0;
+  bool SteadyOk = AllOk && InstrRel <= 0.05;
+
+  printf("\nstartup compile seconds, full-opt vs tier-50: %sx (>= 2x "
+         "required): %s\n",
+         fixed(T50.StartupCompileSec > 0
+                   ? Full.StartupCompileSec / T50.StartupCompileSec
+                   : 0,
+               2)
+             .c_str(),
+         StartupOk ? "ok" : "FAIL");
+  printf("steady-state instructions, tier-50 vs full-opt: %s apart (<= 5%% "
+         "required): %s\n",
+         pct(InstrRel).c_str(), SteadyOk ? "ok" : "FAIL");
+
+  return (AllOk && StartupOk && SteadyOk) ? 0 : 1;
+}

@@ -155,6 +155,15 @@ struct InlineCache {
 /// Statistics from one compilation, aggregated by the benchmark tables.
 struct CompileStats {
   double Seconds = 0;
+  // Per-phase CPU seconds (compilation event log). Parse is zero for cached
+  // method/block bodies — ASTs arrive pre-parsed from the loader — and is
+  // kept as a field so the event log's phase breakdown is complete.
+  double ParseSeconds = 0;
+  double AnalyzeSeconds = 0; ///< Graph construction + type analysis.
+  double SplitSeconds = 0;   ///< Message splitting (subset of analysis time).
+  double LowerSeconds = 0;   ///< Reachability, DCE, linearization, regalloc.
+  double EmitSeconds = 0;    ///< Bytecode emission + fixups (baseline
+                             ///< compiles account all their time here).
   int SendsInlined = 0;     ///< Message sends bound and inlined.
   int SendsDynamic = 0;     ///< Send instructions emitted.
   int PrimsInlined = 0;     ///< Primitive calls opened into raw/checked ops.
@@ -168,6 +177,10 @@ struct CompileStats {
 /// One compiled activation: a customized method, a block body, or a
 /// top-level expression.
 struct CompiledFunction {
+  /// Which compile produced this code: the cheap first tier or the full
+  /// configured policy. With tiering off every function is Optimized.
+  enum class Tier : uint8_t { Baseline, Optimized };
+
   std::vector<int32_t> Code;
   std::vector<Value> Literals;
   std::vector<Map *> MapPool;
@@ -187,6 +200,24 @@ struct CompiledFunction {
   const std::string *Name = nullptr;
 
   CompileStats Stats;
+
+  //===--- Tiering + invalidation metadata (owned by the CodeManager) ----===//
+
+  Tier CodeTier = Tier::Optimized;
+  /// Invocations + loop back-edges observed while this was the cache entry.
+  uint32_t HotCount = 0;
+  /// Set when a shape mutation voided a compile-time lookup this code was
+  /// specialized on. Invalidated code is unreachable from the cache (new
+  /// calls recompile) but stays allocated for activations mid-flight.
+  bool Invalidated = false;
+  /// Baseline code only: the optimized replacement installed by promotion,
+  /// so callers holding a stale pointer can forward instead of re-promoting.
+  CompiledFunction *ReplacedBy = nullptr;
+  /// Maps whose shape the optimizer's compile-time lookups walked: a new
+  /// slot on any of them could change a lookup this code inlined, so a
+  /// mutation of any member invalidates the function. Maps are immortal
+  /// (never GC-traced through this set); invalidation clears the set.
+  std::vector<Map *> DependsOnMaps;
 
   /// Compiled-code size in bytes: instruction words plus pool entries, the
   /// quantity reported by the paper's code-space tables.

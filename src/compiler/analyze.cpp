@@ -15,6 +15,7 @@
 
 #include "bytecode/bytecode.h"
 #include "runtime/selector.h"
+#include "support/stopwatch.h"
 #include "vm/object.h"
 
 #include <algorithm>
@@ -483,7 +484,17 @@ bool Analyzer::hasNLRBlock(const Code *C) {
 // Compilation driver
 //===----------------------------------------------------------------------===//
 
+LookupResult Analyzer::compileLookup(Map *M, const std::string *Sel) {
+  std::vector<Map *> Walked;
+  LookupResult R = lookupSelector(W, M, Sel, &Walked);
+  DepMaps.insert(Walked.begin(), Walked.end());
+  if (W.lookupCache().enabled())
+    W.lookupCache().insert(M, Sel, R);
+  return R;
+}
+
 std::unique_ptr<CompiledFunction> Analyzer::compile() {
+  double T0 = cpuTimeSeconds();
   const Code *Unit = Req.Source;
   Node *Start = G.newNode(NodeOp::Start, 1);
   G.setStart(Start);
@@ -580,7 +591,13 @@ std::unique_ptr<CompiledFunction> Analyzer::compile() {
     Ret->A = FinalVreg;
   }
 
-  return lowerGraph(W, P, Req, G, NextVreg, Stats);
+  // Analysis time excludes splitting (accumulated separately inside
+  // trySplitAtMerge) so the event log's phase breakdown is disjoint;
+  // lowerGraph fills the lower/emit phases.
+  Stats.AnalyzeSeconds = (cpuTimeSeconds() - T0) - Stats.SplitSeconds;
+  auto Fn = lowerGraph(W, P, Req, G, NextVreg, Stats);
+  Fn->DependsOnMaps.assign(DepMaps.begin(), DepMaps.end());
+  return Fn;
 }
 
 int Analyzer::evalBody(State &S, const Code *C, EvalCtx &Ctx) {
@@ -798,12 +815,14 @@ int Analyzer::evalSend(State &S, int RecvVreg, const std::string *Sel,
                             Sel == CS.WhileFalse, Ctx);
   }
 
-  // Compile-time lookup when the receiver's map is known (§3.2.2). Routed
-  // through the global lookup cache: message inlining repeats the same
-  // (map, selector) probes across customized compilations.
+  // Compile-time lookup when the receiver's map is known (§3.2.2). Always
+  // the raw parent walk (not a global-cache probe): the walk's visited set
+  // is recorded as the compiled function's shape dependencies, so a later
+  // mutation of any walked map invalidates exactly this code. The result
+  // still warms the global lookup cache for the runtime.
   Map *M = RT->definiteMap(W);
   if (M && P.Inlining) {
-    LookupResult R = lookupSelectorCached(W, M, Sel);
+    LookupResult R = compileLookup(M, Sel);
     switch (R.ResultKind) {
     case LookupResult::Kind::NotFound:
       emitError(S, "message not understood: '" + *Sel + "'");

@@ -102,6 +102,10 @@ private:
   int resolveSlotVreg(ScopeInst *From, const ast::Code *Scope, int Slot) const;
   /// AST size of a code body, for the inline budget.
   int astSize(const ast::Code *C);
+  /// Compile-time lookup with dependency tracking: performs the raw parent
+  /// walk (recording every visited map in DepMaps — the shapes the result
+  /// is specialized on) and warms the global lookup cache for the runtime.
+  LookupResult compileLookup(Map *M, const std::string *Sel);
   /// True when \p C contains a block literal whose body performs `^`:
   /// such methods are never inlined (an escaping block could not target
   /// the merged activation with its non-local return).
@@ -199,6 +203,9 @@ private:
 
   int NextVreg = 0;
   ScopeInst *RootInst = nullptr;
+  /// Maps walked by compile-time lookups: the compiled function's shape
+  /// dependencies (CompiledFunction::DependsOnMaps).
+  std::set<Map *> DepMaps;
   std::set<int> EscapedVars;
   std::set<int> SlotVregSet; ///< Every vreg that backs a variable slot.
   std::vector<const ast::Code *> InlineStack;

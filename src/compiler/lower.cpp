@@ -16,6 +16,7 @@
 
 #include "compiler/emit.h"
 #include "parser/ast.h"
+#include "support/stopwatch.h"
 
 #include <cassert>
 #include <map>
@@ -118,6 +119,7 @@ bool isPureValueNode(const Node *N) {
 std::unique_ptr<CompiledFunction>
 mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
                   Graph &G, int NumVregs, CompileStats Stats) {
+  double LowerStart = cpuTimeSeconds();
   const Code *Unit = Req.Source;
   auto Fn = std::make_unique<CompiledFunction>();
   Fn->Source = Unit;
@@ -255,6 +257,9 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
   }
 
   //===--- emission ---------------------------------------------------------===//
+
+  double EmitStart = cpuTimeSeconds();
+  Stats.LowerSeconds = EmitStart - LowerStart;
 
   std::map<const Node *, int> Offsets;
   struct Fixup {
@@ -555,6 +560,7 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
   }
 
   Fn->NumRegs = B.numRegs();
+  Stats.EmitSeconds = cpuTimeSeconds() - EmitStart;
   Fn->Stats = Stats;
 
 #ifndef NDEBUG

@@ -42,6 +42,22 @@ Policy Policy::newSelf() {
   return P;
 }
 
+Policy Policy::baselinePolicy() const {
+  Policy B = *this;
+  B.Name = Name + "-baseline";
+  B.Inlining = false;
+  B.TypePrediction = false;
+  B.TypeAnalysis = false;
+  B.TrackLocalTypes = false;
+  B.RangeAnalysis = false;
+  B.LocalSplitting = false;
+  B.ExtendedSplitting = false;
+  B.IterativeLoops = false;
+  B.LoopHeadGeneralization = false;
+  B.TieredCompilation = false;
+  return B;
+}
+
 Policy Policy::pureInterp() {
   Policy P = st80();
   P.Name = "pureinterp";

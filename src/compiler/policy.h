@@ -88,6 +88,27 @@ struct Policy {
   /// Global lookup cache size in entries (rounded up to a power of two).
   int GlobalLookupCacheEntries = 2048;
 
+  //===--- Tiered adaptive recompilation -------------------------------===//
+  // Two-tier execution: functions first compile under baselinePolicy() (a
+  // fast, non-optimizing compile) and carry an invocation + loop-back-edge
+  // hotness counter; crossing TierUpThreshold recompiles them under the
+  // full policy and swaps the code-cache entry (re-entries of already
+  // running activations keep the old code — there is no OSR).
+
+  /// Enables the baseline tier + promotion pipeline. Off: every function is
+  /// compiled under the full policy on its first call.
+  bool TieredCompilation = false;
+  /// Hotness count (invocations plus loop back-edges) at which baseline
+  /// code is recompiled under the full policy. A threshold <= 0 skips the
+  /// baseline tier entirely (equivalent to full-opt-first-call).
+  int TierUpThreshold = 100;
+
+  /// \returns the cheap first-tier policy derived from this one: every
+  /// compiler optimization off (routing to the baseline code generator),
+  /// customization and all dispatch-path knobs preserved so code-cache keys
+  /// and send-site behaviour stay consistent across tiers.
+  Policy baselinePolicy() const;
+
   static Policy st80();
   static Policy oldSelf();
   static Policy newSelf();

@@ -20,6 +20,7 @@
 #include "compiler/analyze.h"
 
 #include "bytecode/bytecode.h"
+#include "support/stopwatch.h"
 
 #include <algorithm>
 #include <cassert>
@@ -27,8 +28,22 @@
 
 using namespace mself;
 
+namespace {
+
+/// Accumulates the enclosing scope's CPU time into a CompileStats phase
+/// field (trySplitAtMerge has many early returns).
+struct PhaseTimer {
+  double &Out;
+  double T0;
+  explicit PhaseTimer(double &Out) : Out(Out), T0(cpuTimeSeconds()) {}
+  ~PhaseTimer() { Out += cpuTimeSeconds() - T0; }
+};
+
+} // namespace
+
 bool Analyzer::trySplitAtMerge(const State &S, int Vreg,
                                std::vector<State> &Out) {
+  PhaseTimer T(Stats.SplitSeconds);
   if (S.Dead)
     return false;
   const Type *MT = typeOf(S, Vreg);

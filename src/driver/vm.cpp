@@ -10,10 +10,18 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
   TheWorld = std::make_unique<World>(TheHeap);
   World *W = TheWorld.get();
   const Policy *Pp = &Pol;
+  // Tiered execution: baseline-tier requests compile under the derived
+  // cheap policy; everything else (first-call compiles with tiering off,
+  // and promotions) uses the full configured policy.
+  CodeManager::TieringConfig TC;
+  TC.Enabled = Pol.TieredCompilation;
+  TC.Threshold = Pol.TierUpThreshold;
   Code = std::make_unique<CodeManager>(
-      TheHeap, Pol.Customize, [W, Pp](const CompileRequest &Req) {
-        return compileFunction(*W, *Pp, Req);
-      });
+      TheHeap, Pol.Customize,
+      [W, Pp, BP = Pol.baselinePolicy()](const CompileRequest &Req) {
+        return compileFunction(*W, Req.BaselineTier ? BP : *Pp, Req);
+      },
+      TC);
 
   // Dispatch fast-path configuration: the global (map, selector) cache
   // lives in the world; the per-site PIC knobs ride into the interpreter.
@@ -31,9 +39,20 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
 
   // World shape mutations (a map gaining a slot) invalidate every cached
   // dispatch decision: the world flushes its own lookup cache, and this
-  // hook flushes the per-site inline caches in the code cache.
+  // hook flushes the per-site inline caches plus the compiled functions
+  // whose compile-time lookups assumed the mutated map's shape (they fall
+  // back to the baseline tier and re-promote with fresh types).
   CodeManager *CM = Code.get();
-  TheWorld->setShapeMutationHook([CM] { CM->flushInlineCaches(); });
+  TheWorld->setShapeMutationHook([CM](Map *Mutated) {
+    CM->flushInlineCaches();
+    CM->invalidateDependents(Mutated);
+  });
+}
+
+TierStats VirtualMachine::tierStats() const { return Code->tierStats(); }
+
+const CompilationEventLog &VirtualMachine::compilationEvents() const {
+  return Code->eventLog();
 }
 
 DispatchStats VirtualMachine::dispatchStats() const {

@@ -53,6 +53,15 @@ public:
   /// lookup-cache occupancy and traffic.
   DispatchStats dispatchStats() const;
 
+  /// Tiered-execution observability: compile/promotion/invalidation
+  /// counters, per-tier compile seconds, and the live/retired/invalidated
+  /// code-cache census.
+  TierStats tierStats() const;
+
+  /// The code cache's bounded compilation event log (compile, promote,
+  /// swap, invalidate — with per-phase compile timings).
+  const CompilationEventLog &compilationEvents() const;
+
 private:
   Policy Pol;
   Heap TheHeap;

@@ -16,6 +16,41 @@ using namespace mself;
 // CodeManager
 //===----------------------------------------------------------------------===//
 
+CompiledFunction *CodeManager::compileInternal(const CompileRequest &Req,
+                                               CompiledFunction::Tier T,
+                                               CompileEvent::Kind LogKind) {
+  double Before = cpuTimeSeconds();
+  std::unique_ptr<CompiledFunction> Fn = Compiler(Req);
+  double Elapsed = cpuTimeSeconds() - Before;
+  assert(Fn && "compiler must produce code");
+  Fn->Stats.Seconds = Elapsed;
+  Fn->CodeTier = T;
+  CompileSeconds += Elapsed;
+  if (T == CompiledFunction::Tier::Baseline) {
+    ++Tiers.BaselineCompiles;
+    Tiers.BaselineCompileSeconds += Elapsed;
+  } else {
+    ++Tiers.OptimizedCompiles;
+    Tiers.OptimizedCompileSeconds += Elapsed;
+  }
+
+  CompileEvent E;
+  E.EventKind = LogKind;
+  E.Name = Fn->Name;
+  E.Tier = T;
+  E.Seconds = Elapsed;
+  E.ParseSeconds = Fn->Stats.ParseSeconds;
+  E.AnalyzeSeconds = Fn->Stats.AnalyzeSeconds;
+  E.SplitSeconds = Fn->Stats.SplitSeconds;
+  E.LowerSeconds = Fn->Stats.LowerSeconds;
+  E.EmitSeconds = Fn->Stats.EmitSeconds;
+  Events.append(E);
+
+  CompiledFunction *Raw = Fn.get();
+  Functions.push_back(std::move(Fn));
+  return Raw;
+}
+
 CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
   CompileRequest Norm = Req;
   if (!Customize)
@@ -25,17 +60,101 @@ CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
   if (It != Cache.end())
     return It->second;
 
-  double Before = cpuTimeSeconds();
-  std::unique_ptr<CompiledFunction> Fn = Compiler(Norm);
-  double Elapsed = cpuTimeSeconds() - Before;
-  assert(Fn && "compiler must produce code");
-  Fn->Stats.Seconds = Elapsed;
-  CompileSeconds += Elapsed;
-
-  CompiledFunction *Raw = Fn.get();
-  Functions.push_back(std::move(Fn));
+  // A non-positive threshold degenerates to full-opt-first-call.
+  bool Baseline = Tiering.Enabled && Tiering.Threshold > 0;
+  Norm.BaselineTier = Baseline;
+  CompiledFunction *Raw =
+      compileInternal(Norm, Baseline ? CompiledFunction::Tier::Baseline
+                                     : CompiledFunction::Tier::Optimized,
+                      CompileEvent::Kind::Compile);
   Cache.emplace(K, Raw);
   return Raw;
+}
+
+CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
+  CompileRequest Req;
+  Req.Source = Old->Source;
+  Req.ReceiverMap = Old->ReceiverMap; // Already normalized at first compile.
+  Req.IsBlockUnit = Old->IsBlockUnit;
+  Req.Name = Old->Name;
+  Req.BaselineTier = false;
+  CompiledFunction *New = compileInternal(
+      Req, CompiledFunction::Tier::Optimized, CompileEvent::Kind::Promote);
+  Old->ReplacedBy = New;
+  ++Tiers.Promotions;
+
+  // Swap the cache entry: future getOrCompile() calls — including every
+  // block invocation and each native-loop iteration — run the new code.
+  // Executing activations of Old keep running it (no OSR).
+  Cache[Key{Old->Source, Old->ReceiverMap}] = New;
+  ++Tiers.Swaps;
+  CompileEvent E;
+  E.EventKind = CompileEvent::Kind::Swap;
+  E.Name = Old->Name;
+  E.Tier = CompiledFunction::Tier::Optimized;
+  E.HotCount = Old->HotCount;
+  Events.append(E);
+
+  // Send sites cache a CompiledFunction* per receiver map; re-point entries
+  // still targeting the baseline code so cached call sites promote too.
+  // Promotion is rare (at most once per function between invalidations), so
+  // the full sweep is cheaper than a forwarding check on every dispatch.
+  for (const auto &F : Functions)
+    for (InlineCache &C : F->Caches)
+      for (int I = 0; I < C.Size; ++I)
+        if (C.Entries[I].EntryKind == PicEntry::Kind::Method &&
+            C.Entries[I].Target == Old)
+          C.Entries[I].Target = New;
+  return New;
+}
+
+CompiledFunction *CodeManager::noteInvocation(CompiledFunction *Fn) {
+  if (!Tiering.Enabled || Fn->CodeTier != CompiledFunction::Tier::Baseline ||
+      Fn->Invalidated)
+    return Fn;
+  if (Fn->ReplacedBy)
+    return Fn->ReplacedBy;
+  if (++Fn->HotCount < static_cast<uint32_t>(Tiering.Threshold))
+    return Fn;
+  return promote(Fn);
+}
+
+void CodeManager::noteBackEdge(CompiledFunction *Fn) {
+  if (!Tiering.Enabled || Fn->CodeTier != CompiledFunction::Tier::Baseline ||
+      Fn->Invalidated || Fn->ReplacedBy)
+    return;
+  if (++Fn->HotCount >= static_cast<uint32_t>(Tiering.Threshold))
+    promote(Fn);
+}
+
+void CodeManager::invalidateDependents(Map *Mutated) {
+  std::vector<Key> Doomed;
+  for (const auto &[K, Fn] : Cache)
+    for (Map *M : Fn->DependsOnMaps)
+      if (M == Mutated) {
+        Doomed.push_back(K);
+        break;
+      }
+  for (const Key &K : Doomed) {
+    CompiledFunction *Fn = Cache[K];
+    Fn->Invalidated = true;
+    Fn->HotCount = 0;
+    // Drop the dependency set: invalidated code never consults it again,
+    // and clearing keeps dead-map bookkeeping out of long-lived functions.
+    Fn->DependsOnMaps.clear();
+    Fn->DependsOnMaps.shrink_to_fit();
+    // Baseline ancestors must not forward into voided code.
+    for (const auto &F : Functions)
+      if (F->ReplacedBy == Fn)
+        F->ReplacedBy = nullptr;
+    Cache.erase(K);
+    ++Tiers.Invalidations;
+    CompileEvent E;
+    E.EventKind = CompileEvent::Kind::Invalidate;
+    E.Name = Fn->Name;
+    E.Tier = Fn->CodeTier;
+    Events.append(E);
+  }
 }
 
 size_t CodeManager::totalCodeBytes() const {
@@ -43,6 +162,47 @@ size_t CodeManager::totalCodeBytes() const {
   for (const auto &F : Functions)
     N += F->sizeInBytes();
   return N;
+}
+
+size_t CodeManager::liveCodeBytes() const {
+  size_t N = 0;
+  for (const auto &[K, Fn] : Cache)
+    N += Fn->sizeInBytes();
+  return N;
+}
+
+size_t CodeManager::invalidatedFunctionCount() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    N += F->Invalidated ? 1 : 0;
+  return N;
+}
+
+size_t CodeManager::invalidatedCodeBytes() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    if (F->Invalidated)
+      N += F->sizeInBytes();
+  return N;
+}
+
+TierStats CodeManager::tierStats() const {
+  TierStats S = Tiers;
+  for (const auto &F : Functions) {
+    size_t Bytes = F->sizeInBytes();
+    if (F->Invalidated) {
+      ++S.InvalidatedFunctions;
+      S.InvalidatedCodeBytes += Bytes;
+    } else if (Cache.count(Key{F->Source, F->ReceiverMap}) &&
+               Cache.at(Key{F->Source, F->ReceiverMap}) == F.get()) {
+      ++S.LiveFunctions;
+      S.LiveCodeBytes += Bytes;
+    } else {
+      ++S.RetiredFunctions;
+      S.RetiredCodeBytes += Bytes;
+    }
+  }
+  return S;
 }
 
 void CodeManager::forEach(
@@ -129,6 +289,12 @@ void Interpreter::safepoint() {
 bool Interpreter::pushActivation(CompiledFunction *Fn, Value Self,
                                  const Value *Args, int Argc, int RetDst,
                                  Object *Env, uint64_t HomeId, bool IsBlock) {
+  // Tiering: every activation entry bumps the hotness counter; crossing the
+  // threshold recompiles under the full policy and this call already runs
+  // the optimized code (callers may hold a stale pointer briefly — PIC
+  // entries are re-pointed by the promotion itself).
+  if (CM.tieringEnabled())
+    Fn = CM.noteInvocation(Fn);
   assert(Argc == Fn->NumArgs && "activation arity mismatch");
   int NewBase = Frames.empty()
                     ? 0
@@ -422,9 +588,16 @@ Interpreter::RunResult Interpreter::runWhileLoop(Value CondBlock,
   size_t Mark = NativeRoots.size();
   NativeRoots.push_back(CondBlock);
   NativeRoots.push_back(BodyBlock);
+  // Baseline code never emits backward branches (loops run through this
+  // native helper), so the enclosing function's back-edge counter is bumped
+  // here, once per iteration. Promotion mid-loop takes effect for the block
+  // bodies immediately: callValueOn re-probes the code cache every call.
+  CompiledFunction *HomeFn = Frames.empty() ? nullptr : Frames.back().Fn;
   RunResult Out;
   for (;;) {
     safepoint();
+    if (HomeFn && CM.tieringEnabled())
+      CM.noteBackEdge(HomeFn);
     RunResult C = callValueOn(CondBlock, nullptr, 0);
     if (C.K != RunResult::Kind::Done) {
       Out = C;
@@ -647,8 +820,12 @@ Interpreter::RunResult Interpreter::run(size_t Barrier) {
         }
         int Target = Cd[IP + 4];
         if (Res) {
-          if (Target < IP)
+          if (Target < IP) {
             safepoint();
+            if (CM.tieringEnabled())
+              CM.noteBackEdge(Fn); // Loop back-edge: promotion swaps the
+                                   // cache; this frame finishes old code.
+          }
           IP = Target;
         } else {
           IP += 5;
@@ -684,8 +861,11 @@ Interpreter::RunResult Interpreter::run(size_t Barrier) {
         break;
       case Op::Jump: {
         int Target = Cd[IP + 1];
-        if (Target < IP)
+        if (Target < IP) {
           safepoint();
+          if (CM.tieringEnabled())
+            CM.noteBackEdge(Fn);
+        }
         IP = Target;
         break;
       }

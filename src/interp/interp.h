@@ -21,6 +21,7 @@
 #include "bytecode/bytecode.h"
 #include "runtime/world.h"
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,30 +36,149 @@ struct CompileRequest {
   Map *ReceiverMap = nullptr; ///< Customization key; null = uncustomized.
   bool IsBlockUnit = false;
   const std::string *Name = nullptr;
+  /// Compile under the driver's baseline (first-tier) policy instead of the
+  /// full one. Set by the CodeManager, honoured by the injected compiler.
+  bool BaselineTier = false;
 };
 
 using CompileFn =
     std::function<std::unique_ptr<CompiledFunction>(const CompileRequest &)>;
+
+/// One entry in the bounded compilation event log.
+struct CompileEvent {
+  enum class Kind : uint8_t {
+    Compile,    ///< A function entered the cache (either tier).
+    Promote,    ///< Hot baseline code was recompiled under the full policy.
+    Swap,       ///< The cache entry was switched to the promoted code.
+    Invalidate, ///< A shape mutation voided the function's assumptions.
+  };
+
+  Kind EventKind = Kind::Compile;
+  uint64_t Seq = 0; ///< Monotonic event number (survives log eviction).
+  const std::string *Name = nullptr; ///< Function name; may be null.
+  CompiledFunction::Tier Tier = CompiledFunction::Tier::Optimized;
+  uint32_t HotCount = 0; ///< Counter value at promotion/invalidation.
+  // Compiler time for Compile/Promote events, with the phase breakdown.
+  double Seconds = 0;
+  double ParseSeconds = 0;
+  double AnalyzeSeconds = 0;
+  double SplitSeconds = 0;
+  double LowerSeconds = 0;
+  double EmitSeconds = 0;
+};
+
+/// Bounded in-memory log of compilation activity: the oldest events are
+/// evicted once the capacity is reached, while totalRecorded() keeps the
+/// all-time count so samplers can detect eviction.
+class CompilationEventLog {
+public:
+  static constexpr size_t kDefaultCapacity = 512;
+
+  explicit CompilationEventLog(size_t Capacity = kDefaultCapacity)
+      : Cap(Capacity ? Capacity : 1) {}
+
+  void append(CompileEvent E) {
+    E.Seq = Total++;
+    Ring.push_back(E);
+    while (Ring.size() > Cap)
+      Ring.pop_front();
+  }
+
+  /// Retained events, oldest first.
+  const std::deque<CompileEvent> &events() const { return Ring; }
+  size_t capacity() const { return Cap; }
+  uint64_t totalRecorded() const { return Total; }
+
+private:
+  size_t Cap;
+  uint64_t Total = 0;
+  std::deque<CompileEvent> Ring;
+};
+
+/// Aggregate tiering observability surfaced by the driver alongside
+/// DispatchStats. Counter fields accumulate; the census fields are computed
+/// from the code cache at sampling time.
+struct TierStats {
+  uint64_t BaselineCompiles = 0;
+  uint64_t OptimizedCompiles = 0; ///< Full-policy compiles incl. promotions.
+  uint64_t Promotions = 0;        ///< Baseline → optimized recompiles.
+  uint64_t Swaps = 0;             ///< Cache entries switched by promotion.
+  uint64_t Invalidations = 0;     ///< Functions voided by shape mutations.
+  double BaselineCompileSeconds = 0;
+  double OptimizedCompileSeconds = 0;
+  // Code-cache census. Live: reachable from the cache (new calls run it).
+  // Retired: baseline code replaced by promotion. Invalidated: voided by a
+  // shape mutation. Live + Retired + Invalidated == functionCount().
+  size_t LiveFunctions = 0, RetiredFunctions = 0, InvalidatedFunctions = 0;
+  size_t LiveCodeBytes = 0, RetiredCodeBytes = 0, InvalidatedCodeBytes = 0;
+};
 
 /// The code cache: compiles lazily; when \p Customize is set, entries are
 /// keyed per receiver map (the paper's customized compilation), otherwise
 /// one compile per source body is shared by all receivers.
 class CodeManager : public RootProvider {
 public:
-  CodeManager(Heap &H, bool Customize, CompileFn Compiler)
-      : H(H), Customize(Customize), Compiler(std::move(Compiler)) {
+  /// Tiered-execution configuration, derived from the Policy by the driver.
+  struct TieringConfig {
+    bool Enabled = false;
+    /// Hotness (invocations + loop back-edges) promoting baseline code;
+    /// <= 0 compiles under the full policy on first call even when Enabled.
+    int Threshold = 0;
+  };
+
+  CodeManager(Heap &H, bool Customize, CompileFn Compiler,
+              TieringConfig Tiering = TieringConfig{false, 0})
+      : H(H), Customize(Customize), Compiler(std::move(Compiler)),
+        Tiering(Tiering) {
     H.addRootProvider(this);
   }
   ~CodeManager() override { H.removeRootProvider(this); }
 
-  /// \returns cached or freshly compiled code for \p Req.
+  /// \returns cached or freshly compiled code for \p Req. With tiering on
+  /// (and a positive threshold) a cache miss compiles the baseline tier.
   CompiledFunction *getOrCompile(const CompileRequest &Req);
+
+  bool tieringEnabled() const { return Tiering.Enabled; }
+
+  /// Counter bump on activation entry. \returns the function the caller
+  /// should actually run: \p Fn itself, its promoted replacement when the
+  /// bump crossed the threshold (or a previous one did), else \p Fn.
+  CompiledFunction *noteInvocation(CompiledFunction *Fn);
+
+  /// Counter bump on a loop back-edge (a backward bytecode branch, or one
+  /// iteration of the interpreter's native while loop). Promotion triggered
+  /// here swaps the cache entry so *future* calls run optimized code; the
+  /// executing activation finishes on the old code (no OSR).
+  void noteBackEdge(CompiledFunction *Fn);
+
+  /// Invalidates every live function whose compile-time lookups walked
+  /// \p Mutated: the entry leaves the cache (the next call recompiles at
+  /// the baseline tier and re-promotes with fresh types) and its dependency
+  /// set is cleared. Called by the world's shape-mutation hook.
+  void invalidateDependents(Map *Mutated);
 
   /// Total CPU seconds spent inside the injected compiler.
   double totalCompileSeconds() const { return CompileSeconds; }
-  /// Total compiled-code bytes across all cache entries.
+  /// Total compiled-code bytes across every function ever compiled,
+  /// including retired (replaced by promotion) and invalidated code that
+  /// is kept allocated for in-flight activations. Use liveCodeBytes() for
+  /// the footprint of code new calls can actually reach.
   size_t totalCodeBytes() const;
+  /// All functions ever compiled (live + retired + invalidated).
   size_t functionCount() const { return Functions.size(); }
+
+  /// Functions reachable from the cache — what a fresh call would run.
+  size_t liveFunctionCount() const { return Cache.size(); }
+  size_t liveCodeBytes() const;
+  /// Functions voided by shape mutations (kept for in-flight frames).
+  size_t invalidatedFunctionCount() const;
+  size_t invalidatedCodeBytes() const;
+
+  /// Tiering counters plus a live/retired/invalidated code-cache census.
+  TierStats tierStats() const;
+
+  /// The bounded compile/promote/swap/invalidate event log.
+  const CompilationEventLog &eventLog() const { return Events; }
 
   /// Applies \p F to every compiled function (for stats and tests).
   void forEach(const std::function<void(const CompiledFunction &)> &F) const;
@@ -74,6 +194,13 @@ public:
   void traceRoots(GcVisitor &V) override;
 
 private:
+  /// Compiles \p Req (already normalized) at \p T, charges timing stats,
+  /// logs the event, and takes ownership. Does not touch the cache.
+  CompiledFunction *compileInternal(const CompileRequest &Req,
+                                    CompiledFunction::Tier T,
+                                    CompileEvent::Kind LogKind);
+  /// Recompiles \p Old under the full policy and swaps the cache entry.
+  CompiledFunction *promote(CompiledFunction *Old);
   struct Key {
     const ast::Code *Source;
     Map *ReceiverMap;
@@ -91,10 +218,13 @@ private:
   Heap &H;
   bool Customize;
   CompileFn Compiler;
+  TieringConfig Tiering;
   std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
   std::vector<std::unique_ptr<CompiledFunction>> Functions;
   double CompileSeconds = 0;
   uint64_t CacheFlushes = 0;
+  TierStats Tiers; ///< Counter fields only; census filled by tierStats().
+  CompilationEventLog Events;
 };
 
 /// Runtime dispatch configuration, derived from the compiler Policy by the

@@ -50,11 +50,18 @@ LookupResult classify(const SlotDesc *Slot, Object *Holder, bool IsAssign) {
 } // namespace
 
 LookupResult mself::lookupSelector(const World &, Map *M,
-                                   const std::string *Selector) {
+                                   const std::string *Selector,
+                                   std::vector<Map *> *VisitedOut) {
   // Depth-first, declaration order; Visited prevents parent cycles (the
-  // lobby is commonly its own ancestor) from looping.
+  // lobby is commonly its own ancestor) from looping. At any return it
+  // holds exactly the maps whose shape the outcome depends on, which is
+  // what VisitedOut reports to the compiler's dependency tracking.
   std::vector<WorkItem> Stack{{M, nullptr}};
   std::vector<Map *> Visited;
+  auto Report = [&] {
+    if (VisitedOut)
+      VisitedOut->insert(VisitedOut->end(), Visited.begin(), Visited.end());
+  };
 
   while (!Stack.empty()) {
     WorkItem Item = Stack.back();
@@ -71,10 +78,14 @@ LookupResult mself::lookupSelector(const World &, Map *M,
     Visited.push_back(Item.M);
 
     if (const SlotDesc *S = Item.M->findSlot(Selector))
-      if (S->Kind != SlotKind::Argument)
+      if (S->Kind != SlotKind::Argument) {
+        Report();
         return classify(S, Item.Holder, /*IsAssign=*/false);
-    if (const SlotDesc *S = Item.M->findAssignSlot(Selector))
+      }
+    if (const SlotDesc *S = Item.M->findAssignSlot(Selector)) {
+      Report();
       return classify(S, Item.Holder, /*IsAssign=*/true);
+    }
 
     // Queue parents in reverse so the first-declared parent pops first.
     const std::vector<int> &Parents = Item.M->parentSlotIndices();
@@ -87,6 +98,9 @@ LookupResult mself::lookupSelector(const World &, Map *M,
       Stack.push_back({PO->map(), PO});
     }
   }
+  // NotFound depends on every reachable map: a slot added to any of them
+  // could make the selector resolvable.
+  Report();
   return LookupResult();
 }
 

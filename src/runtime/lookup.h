@@ -57,8 +57,15 @@ struct LookupResult {
 /// Looks \p Selector up starting at map \p M. \p M is the receiver's map;
 /// data slots found directly on it report Holder == nullptr (i.e. "the
 /// receiver"), while slots found on parent objects report that parent.
+///
+/// When \p VisitedOut is non-null, the maps the walk examined are appended
+/// to it — exactly the set whose shapes the result depends on (a new slot
+/// on any visited map could shadow or produce the result; unvisited maps
+/// cannot affect it). The compiler records this set per compiled function
+/// so shape mutations invalidate precisely the dependent code.
 LookupResult lookupSelector(const World &W, Map *M,
-                            const std::string *Selector);
+                            const std::string *Selector,
+                            std::vector<Map *> *VisitedOut = nullptr);
 
 /// Process-wide direct-mapped cache of lookup results keyed by
 /// (receiver map, selector).

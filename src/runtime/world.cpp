@@ -136,22 +136,24 @@ bool World::defineLobbySlot(const SlotDef &Def, std::string &ErrOut) {
     Lobby->fields().resize(static_cast<size_t>(LobbyMap->fieldCount()),
                            Nil);
     Lobby->setField(LobbyMap->fieldCount() - 1, V);
-    noteShapeMutation();
+    noteShapeMutation(LobbyMap);
     return true;
   }
   LobbyMap->addSlot(Def.Name, Def.Kind, V);
-  noteShapeMutation();
+  noteShapeMutation(LobbyMap);
   return true;
 }
 
-void World::noteShapeMutation() {
+void World::noteShapeMutation(Map *Mutated) {
   // A map gained a slot: cached SlotDesc pointers may now dangle (addSlot
   // can reallocate the slot vector) and cached NotFound results may have
-  // become reachable. Drop everything derived from the old shape.
+  // become reachable. Drop everything derived from the old shape, and tell
+  // the listener which map changed so it can invalidate precisely the
+  // compiled functions whose lookups walked it.
   ++ShapeVersion;
   LookupCache.flush();
   if (MutationHook)
-    MutationHook();
+    MutationHook(Mutated);
 }
 
 bool World::evalSlotValue(const SlotDef &Def, Value &Out,

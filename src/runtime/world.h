@@ -78,15 +78,17 @@ public:
   /// a cache is logically const on the world.
   GlobalLookupCache &lookupCache() const { return LookupCache; }
 
-  /// Invalidation hook: called after any post-boot shape mutation (a map
-  /// gaining a slot). Flushes the global lookup cache, bumps the shape
-  /// version, and notifies the registered listener (the driver flushes the
-  /// code cache's inline caches there).
-  void noteShapeMutation();
+  /// Invalidation hook: called after any post-boot shape mutation — map
+  /// \p Mutated gained a slot. Flushes the global lookup cache, bumps the
+  /// shape version, and notifies the registered listener (the driver
+  /// flushes the code cache's inline caches and invalidates compiled
+  /// functions that depend on the mutated map's shape).
+  void noteShapeMutation(Map *Mutated);
 
-  /// Registers \p Hook to run on every shape mutation (one listener; the
-  /// VirtualMachine uses it to flush inline caches).
-  void setShapeMutationHook(std::function<void()> Hook) {
+  /// Registers \p Hook to run on every shape mutation, receiving the map
+  /// that gained a slot (one listener; the VirtualMachine uses it to flush
+  /// inline caches and invalidate dependent compiled code).
+  void setShapeMutationHook(std::function<void(Map *)> Hook) {
     MutationHook = std::move(Hook);
   }
 
@@ -164,7 +166,7 @@ private:
 
   std::vector<Value> LiteralRoots; ///< String literals, built objects.
   mutable GlobalLookupCache LookupCache;
-  std::function<void()> MutationHook;
+  std::function<void(Map *)> MutationHook;
   uint64_t ShapeVersion = 0;
   FILE *Out = stdout;
   std::string PrimError;

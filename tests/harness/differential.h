@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -33,11 +34,16 @@ struct Config {
   Policy P;
 };
 
-/// The full matrix: {st80, oldself, newself} × {pic, mono, noglc, nocache}.
+/// The full matrix: {st80, oldself, newself} × {pic, mono, noglc, nocache},
+/// plus the execution-tier axis on the optimizing presets.
 /// "pic" is the default dispatch stack (PIC + global lookup cache), "mono"
 /// degrades to single-entry replace-on-miss caches (the pre-PIC system),
 /// "noglc" runs PICs without the global cache, and "nocache" performs a
 /// full lookup on every send — st80/nocache is pure interpretation.
+/// The tier axis: "/pic" doubles as full-opt-first-call (tiering off),
+/// "tier1" promotes on the first invocation, "tierN" promotes mid-run at a
+/// small threshold (exercising baseline → optimized swaps while frames are
+/// live), and "tierbase" never promotes — baseline-only execution.
 inline std::vector<Config> policyMatrix() {
   std::vector<Config> Out;
   for (const Policy &Base :
@@ -63,6 +69,26 @@ inline std::vector<Config> policyMatrix() {
   Policy TinyGlc = Policy::newSelf();
   TinyGlc.GlobalLookupCacheEntries = 8;
   Out.push_back({"newself/tinyglc", TinyGlc});
+
+  // Tier axis: baseline-tier execution, immediate promotion, and mid-run
+  // promotion must all be observationally identical to full-opt-first-call
+  // (the plain presets above). oldself and newself differ in how much the
+  // optimized tier changes relative to baseline, so both are crossed.
+  for (const Policy &Base : {Policy::oldSelf(), Policy::newSelf()}) {
+    Policy T1 = Base;
+    T1.TieredCompilation = true;
+    T1.TierUpThreshold = 1;
+    Out.push_back({Base.Name + "/tier1", T1});
+
+    Policy TN = Base;
+    TN.TieredCompilation = true;
+    TN.TierUpThreshold = 8;
+    Out.push_back({Base.Name + "/tierN", TN});
+  }
+  Policy BaseOnly = Policy::newSelf();
+  BaseOnly.TieredCompilation = true;
+  BaseOnly.TierUpThreshold = std::numeric_limits<int>::max();
+  Out.push_back({"newself/tierbase", BaseOnly});
   return Out;
 }
 

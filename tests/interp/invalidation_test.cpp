@@ -1,0 +1,231 @@
+//===-- tests/interp/invalidation_test.cpp - Compiled-method invalidation --===//
+//
+// Shape mutations must void exactly the compiled functions whose
+// compile-time lookups walked the mutated map: dependent code is
+// invalidated and recompiles with fresh bindings, independent code is left
+// alone, and the code-cache census distinguishes live from voided entries.
+//
+// The receiver-laundering device used throughout: methods are invoked off
+// the assignable lobby slot `cur`, whose static type the optimizer cannot
+// know — so the send stays dynamically bound and the callee is compiled as
+// its own cache unit (the thing invalidation acts on) instead of being
+// inlined into a single-use top-level body.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mself;
+
+namespace {
+
+/// First compiled function named \p Name, or null.
+const CompiledFunction *findNamed(VirtualMachine &VM, const std::string &Name) {
+  const CompiledFunction *Found = nullptr;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    if (!Found && F.Name && *F.Name == Name)
+      Found = &F;
+  });
+  return Found;
+}
+
+} // namespace
+
+// The headline regression: a function compiled when a selector did not
+// exist inlines the lookup failure. Defining the selector afterwards must
+// invalidate that function — re-running it may never serve the stale
+// compiled answer. Exercised under full optimization and both tiering
+// modes, since the stale unit can sit in either tier's cache.
+TEST(Invalidation, StaleInlinedLookupNeverServed) {
+  struct Mode {
+    const char *Label;
+    bool Tiered;
+    int Threshold;
+  };
+  for (const Mode &M : {Mode{"full-opt", false, 0}, Mode{"tier1", true, 1},
+                        Mode{"tierN", true, 3}}) {
+    Policy P = Policy::newSelf();
+    P.TieredCompilation = M.Tiered;
+    P.TierUpThreshold = M.Threshold;
+    VirtualMachine VM(P);
+    std::string Err;
+    ASSERT_TRUE(VM.load(
+        "thing = ( | parent* = lobby. go = ( mystery ) | ). cur <- 0", Err))
+        << M.Label << ": " << Err;
+    int64_t Out = 0;
+    ASSERT_TRUE(VM.evalInt("cur: thing. 0", Out, Err)) << M.Label << ": "
+                                                       << Err;
+
+    // `mystery` does not exist: every call fails, including repeats served
+    // from the compiled (possibly promoted) unit with the failure baked in.
+    for (int I = 0; I < 5; ++I) {
+      EXPECT_FALSE(VM.evalInt("cur go", Out, Err)) << M.Label;
+      EXPECT_NE(Err.find("not understood"), std::string::npos)
+          << M.Label << ": " << Err;
+    }
+
+    // Defining the missing selector mutates the lobby's shape; the units
+    // whose compile-time lookups walked the lobby map are invalidated.
+    uint64_t Before = VM.tierStats().Invalidations;
+    ASSERT_TRUE(VM.load("mystery = ( 9 )", Err)) << M.Label << ": " << Err;
+    EXPECT_GT(VM.tierStats().Invalidations, Before) << M.Label;
+
+    // The dependent method recompiles and binds the new definition.
+    ASSERT_TRUE(VM.evalInt("cur go", Out, Err)) << M.Label << ": " << Err;
+    EXPECT_EQ(Out, 9) << M.Label;
+    // And stays correct on the cached recompiled unit.
+    ASSERT_TRUE(VM.evalInt("cur go", Out, Err)) << M.Label << ": " << Err;
+    EXPECT_EQ(Out, 9) << M.Label;
+  }
+}
+
+// Precision: mutating the lobby invalidates only functions whose lookups
+// walked the lobby map. A method whose compiled body performed no lookups
+// has an empty dependency set and survives.
+TEST(Invalidation, OnlyDependentFunctionsInvalidated) {
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "pureHost = ( | parent* = lobby. pureGo = ( 41 ) | ). "
+      "depHost = ( | parent* = lobby. depGo = ( val ) | ). "
+      "val = ( 7 ). cur <- 0",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("cur: pureHost. 0", Out, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur pureGo", Out, Err)) << Err;
+  EXPECT_EQ(Out, 41);
+  ASSERT_TRUE(VM.evalInt("cur: depHost. 0", Out, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur depGo", Out, Err)) << Err;
+  EXPECT_EQ(Out, 7);
+
+  // pureGo's body is a constant: no compile-time lookups, no dependencies.
+  // depGo's body sends `val`, whose lookup walks depHost's map and then the
+  // lobby map where it is found.
+  const CompiledFunction *Pure = findNamed(VM, "pureGo");
+  const CompiledFunction *Dep = findNamed(VM, "depGo");
+  ASSERT_NE(Pure, nullptr);
+  ASSERT_NE(Dep, nullptr);
+  EXPECT_TRUE(Pure->DependsOnMaps.empty());
+  EXPECT_FALSE(Dep->DependsOnMaps.empty());
+
+  ASSERT_TRUE(VM.load("other = ( 5 )", Err)) << Err; // Lobby shape mutation.
+
+  EXPECT_TRUE(Dep->Invalidated);
+  EXPECT_FALSE(Pure->Invalidated);
+  EXPECT_GE(VM.tierStats().Invalidations, 1u);
+
+  // Both methods still compute correctly afterwards.
+  ASSERT_TRUE(VM.evalInt("cur depGo", Out, Err)) << Err;
+  EXPECT_EQ(Out, 7);
+  ASSERT_TRUE(VM.evalInt("cur: pureHost. 0", Out, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur pureGo", Out, Err)) << Err;
+  EXPECT_EQ(Out, 41);
+}
+
+// Regression for the stats surface: totalCodeBytes()/functionCount() keep
+// counting voided code (it stays allocated for in-flight activations), but
+// the live/invalidated split must expose the distinction instead of
+// reporting stale functions as healthy.
+TEST(Invalidation, StatsDistinguishLiveFromInvalidated) {
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "depHost = ( | parent* = lobby. depGo = ( val ) | ). "
+      "val = ( 7 ). cur <- 0",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("cur: depHost. 0", Out, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur depGo", Out, Err)) << Err;
+  EXPECT_EQ(Out, 7);
+
+  CodeManager &CM = VM.code();
+  size_t FnsBefore = CM.functionCount();
+  ASSERT_GT(FnsBefore, 0u);
+  // Untiered and unmutated: every compiled function is live.
+  EXPECT_EQ(CM.liveFunctionCount(), FnsBefore);
+  EXPECT_EQ(CM.invalidatedFunctionCount(), 0u);
+  EXPECT_EQ(CM.totalCodeBytes(), CM.liveCodeBytes());
+
+  ASSERT_TRUE(VM.load("other = ( 5 )", Err)) << Err;
+
+  // Nothing is freed, but the census now splits live from invalidated.
+  EXPECT_EQ(CM.functionCount(), FnsBefore);
+  size_t Invalidated = CM.invalidatedFunctionCount();
+  EXPECT_GE(Invalidated, 1u);
+  EXPECT_EQ(CM.liveFunctionCount(), FnsBefore - Invalidated);
+  EXPECT_EQ(CM.totalCodeBytes(),
+            CM.liveCodeBytes() + CM.invalidatedCodeBytes());
+  EXPECT_LT(CM.liveCodeBytes(), CM.totalCodeBytes());
+
+  TierStats S = VM.tierStats();
+  EXPECT_EQ(S.LiveFunctions, CM.liveFunctionCount());
+  EXPECT_EQ(S.InvalidatedFunctions, Invalidated);
+  EXPECT_EQ(S.RetiredFunctions, 0u); // No promotions without tiering.
+  EXPECT_EQ(S.LiveCodeBytes, CM.liveCodeBytes());
+  EXPECT_EQ(S.InvalidatedCodeBytes, CM.invalidatedCodeBytes());
+}
+
+// GC stress: repeated compile → promote → invalidate cycles with an
+// artificially tiny collection threshold. Invalidated functions must have
+// dropped their dependency sets (so long-dead shapes are not retained by
+// bookkeeping), and results stay correct across every round.
+TEST(Invalidation, GcStressDependencySetsStayClean) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = true;
+  P.TierUpThreshold = 3;
+  VirtualMachine VM(P);
+  VM.heap().setGcThresholdBytes(1 << 12);
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "thing = ( | parent* = lobby. go = ( base + 1 ) | ). "
+      "base = ( 1 ). cur <- 0. "
+      "spin = ( | t <- 0. i <- 0 | [ i < 40 ] whileTrue: "
+      "[ i: i + 1. t: t + (vectorOfSize: 4) size + cur go ]. t )",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("cur: thing. 0", Out, Err)) << Err;
+
+  // Per iteration: vector size 4 + go's 2 = 6, over 40 iterations.
+  const int64_t Expect = 40 * 6;
+  for (int Round = 0; Round < 5; ++Round) {
+    for (int Rep = 0; Rep < 2; ++Rep) { // Promotes at the back edge.
+      ASSERT_TRUE(VM.evalInt("spin", Out, Err))
+          << "round " << Round << ": " << Err;
+      EXPECT_EQ(Out, Expect) << "round " << Round;
+    }
+    // Mutate the lobby's shape: everything whose compile walked it —
+    // including the freshly promoted spin unit — is voided.
+    ASSERT_TRUE(VM.load("extra" + std::to_string(Round) + " = ( " +
+                            std::to_string(Round) + " )",
+                        Err))
+        << Err;
+  }
+  VM.heap().collect();
+  EXPECT_GT(VM.heap().collectionCount(), 0u);
+
+  TierStats S = VM.tierStats();
+  EXPECT_GE(S.Invalidations, 5u); // At least one unit per round.
+  EXPECT_GE(S.Promotions, 1u);
+
+  // Voided code keeps no dependency edges alive.
+  size_t Checked = 0;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    if (F.Invalidated) {
+      ++Checked;
+      EXPECT_TRUE(F.DependsOnMaps.empty());
+      EXPECT_EQ(F.ReplacedBy, nullptr);
+    }
+  });
+  EXPECT_GT(Checked, 0u);
+
+  // And the world still computes the right answer.
+  ASSERT_TRUE(VM.evalInt("spin", Out, Err)) << Err;
+  EXPECT_EQ(Out, Expect);
+}

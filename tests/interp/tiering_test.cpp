@@ -1,0 +1,289 @@
+//===-- tests/interp/tiering_test.cpp - Tiered adaptive recompilation ------===//
+//
+// The counter state machine (cold → baseline → hot → optimized), threshold
+// edge cases (0, 1, max), and promotion at a loop back-edge mid-execution.
+// With tiering on, the baseline tier never inlines, so method bodies are
+// compiled as named cache units reached through dynamic dispatch — which is
+// what lets these tests observe per-function hotness counters by name.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+Policy tiered(int Threshold) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = true;
+  P.TierUpThreshold = Threshold;
+  return P;
+}
+
+/// Collects every compiled function whose name is \p Name.
+std::vector<const CompiledFunction *> functionsNamed(VirtualMachine &VM,
+                                                     const std::string &Name) {
+  std::vector<const CompiledFunction *> Out;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    if (F.Name && *F.Name == Name)
+      Out.push_back(&F);
+  });
+  return Out;
+}
+
+} // namespace
+
+TEST(Tiering, ColdFunctionStaysBaseline) {
+  VirtualMachine VM(tiered(100));
+  std::string Err;
+  ASSERT_TRUE(VM.load("bump: n = ( n + 1 )", Err)) << Err;
+  for (int I = 0; I < 5; ++I) {
+    int64_t Out = 0;
+    ASSERT_TRUE(VM.evalInt("bump: 41", Out, Err)) << Err;
+    EXPECT_EQ(Out, 42);
+  }
+  TierStats S = VM.tierStats();
+  EXPECT_GT(S.BaselineCompiles, 0u);
+  EXPECT_EQ(S.OptimizedCompiles, 0u);
+  EXPECT_EQ(S.Promotions, 0u);
+
+  auto Fns = functionsNamed(VM, "bump:");
+  ASSERT_EQ(Fns.size(), 1u);
+  EXPECT_EQ(Fns[0]->CodeTier, CompiledFunction::Tier::Baseline);
+  EXPECT_EQ(Fns[0]->HotCount, 5u);
+  EXPECT_EQ(Fns[0]->ReplacedBy, nullptr);
+}
+
+// The full counter state machine: cold (not compiled) → baseline with a
+// rising counter → promoted at the threshold, with the old code forwarding
+// to its replacement and the cache serving the optimized version.
+TEST(Tiering, CounterStateMachineAcrossCalls) {
+  VirtualMachine VM(tiered(3));
+  std::string Err;
+  ASSERT_TRUE(VM.load("bump: n = ( n + 1 )", Err)) << Err;
+  EXPECT_TRUE(functionsNamed(VM, "bump:").empty()); // Cold: nothing yet.
+
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("bump: 1", Out, Err)) << Err;
+  EXPECT_EQ(Out, 2);
+  auto Fns = functionsNamed(VM, "bump:");
+  ASSERT_EQ(Fns.size(), 1u);
+  EXPECT_EQ(Fns[0]->CodeTier, CompiledFunction::Tier::Baseline);
+  EXPECT_EQ(Fns[0]->HotCount, 1u);
+
+  ASSERT_TRUE(VM.evalInt("bump: 2", Out, Err)) << Err;
+  EXPECT_EQ(functionsNamed(VM, "bump:")[0]->HotCount, 2u);
+  EXPECT_EQ(VM.tierStats().Promotions, 0u);
+
+  // Third invocation crosses the threshold: the bump happens on activation
+  // entry, so this very call already runs the optimized code.
+  ASSERT_TRUE(VM.evalInt("bump: 3", Out, Err)) << Err;
+  EXPECT_EQ(Out, 4);
+  TierStats S = VM.tierStats();
+  EXPECT_EQ(S.Promotions, 1u);
+  EXPECT_EQ(S.Swaps, 1u);
+  EXPECT_GE(S.OptimizedCompiles, 1u);
+  EXPECT_GE(S.RetiredFunctions, 1u); // The replaced baseline code.
+
+  Fns = functionsNamed(VM, "bump:");
+  ASSERT_EQ(Fns.size(), 2u);
+  const CompiledFunction *Old = Fns[0]->ReplacedBy ? Fns[0] : Fns[1];
+  const CompiledFunction *New = Fns[0]->ReplacedBy ? Fns[1] : Fns[0];
+  EXPECT_EQ(Old->CodeTier, CompiledFunction::Tier::Baseline);
+  EXPECT_EQ(New->CodeTier, CompiledFunction::Tier::Optimized);
+  EXPECT_EQ(Old->ReplacedBy, New);
+
+  // Steady state: later calls run the optimized entry; no re-promotion.
+  ASSERT_TRUE(VM.evalInt("bump: 4", Out, Err)) << Err;
+  EXPECT_EQ(Out, 5);
+  EXPECT_EQ(VM.tierStats().Promotions, 1u);
+}
+
+// Threshold <= 0 degenerates to full-opt-first-call: no baseline tier.
+TEST(Tiering, ThresholdZeroCompilesOptimizedDirectly) {
+  VirtualMachine VM(tiered(0));
+  std::string Err;
+  ASSERT_TRUE(VM.load("bump: n = ( n + 1 )", Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("bump: 41", Out, Err)) << Err;
+  EXPECT_EQ(Out, 42);
+  TierStats S = VM.tierStats();
+  EXPECT_EQ(S.BaselineCompiles, 0u);
+  EXPECT_GE(S.OptimizedCompiles, 1u);
+  EXPECT_EQ(S.Promotions, 0u);
+  VM.code().forEach([](const CompiledFunction &F) {
+    EXPECT_EQ(F.CodeTier, CompiledFunction::Tier::Optimized);
+  });
+}
+
+// Threshold 1: the first invocation bump already crosses the threshold, so
+// baseline code is compiled but promotes before it ever runs twice — the
+// top-level body itself promotes on entry, and its optimized recompile
+// inlines the send, so the result comes from optimized code immediately.
+TEST(Tiering, ThresholdOnePromotesOnFirstCall) {
+  VirtualMachine VM(tiered(1));
+  std::string Err;
+  ASSERT_TRUE(VM.load("bump: n = ( n + 1 )", Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("bump: 41", Out, Err)) << Err;
+  EXPECT_EQ(Out, 42);
+  TierStats S = VM.tierStats();
+  EXPECT_GT(S.BaselineCompiles, 0u);
+  EXPECT_GE(S.Promotions, 1u);
+  EXPECT_EQ(S.Promotions, S.Swaps);
+  // Every promoted baseline function forwards to its optimized replacement.
+  size_t Forwards = 0;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    if (F.ReplacedBy) {
+      ++Forwards;
+      EXPECT_EQ(F.CodeTier, CompiledFunction::Tier::Baseline);
+      EXPECT_EQ(F.ReplacedBy->CodeTier, CompiledFunction::Tier::Optimized);
+    }
+  });
+  EXPECT_EQ(Forwards, S.Promotions);
+}
+
+// Threshold "max": counters can never cross it — baseline-only execution.
+TEST(Tiering, ThresholdMaxNeverPromotes) {
+  VirtualMachine VM(tiered(std::numeric_limits<int>::max()));
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "spin = ( | t <- 0. i <- 0 | "
+      "[ i < 200 ] whileTrue: [ i: i + 1. t: t + i ]. t )",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("spin", Out, Err)) << Err;
+  EXPECT_EQ(Out, 200 * 201 / 2);
+  TierStats S = VM.tierStats();
+  EXPECT_GT(S.BaselineCompiles, 0u);
+  EXPECT_EQ(S.OptimizedCompiles, 0u);
+  EXPECT_EQ(S.Promotions, 0u);
+  VM.code().forEach([](const CompiledFunction &F) {
+    EXPECT_EQ(F.CodeTier, CompiledFunction::Tier::Baseline);
+  });
+}
+
+// Promotion at a loop back-edge, mid-execution: `spin` is invoked exactly
+// once, so only the per-iteration back-edge bumps (from the interpreter's
+// native while loop) can cross the threshold — and they do so while the
+// activation is still running. The executing frame finishes on the old
+// code; the swap is visible in the cache, the PICs, and the event log.
+TEST(Tiering, PromotionAtLoopBackEdgeMidExecution) {
+  constexpr int kThreshold = 50;
+  VirtualMachine VM(tiered(kThreshold));
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "spin = ( | t <- 0. i <- 0 | "
+      "[ i < 400 ] whileTrue: [ i: i + 1. t: t + i ]. t )",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("spin", Out, Err)) << Err;
+  EXPECT_EQ(Out, 400 * 401 / 2);
+
+  EXPECT_GE(VM.tierStats().Promotions, 1u);
+  auto Fns = functionsNamed(VM, "spin");
+  ASSERT_EQ(Fns.size(), 2u);
+  const CompiledFunction *Old = Fns[0]->ReplacedBy ? Fns[0] : Fns[1];
+  EXPECT_EQ(Old->CodeTier, CompiledFunction::Tier::Baseline);
+  ASSERT_NE(Old->ReplacedBy, nullptr);
+  EXPECT_EQ(Old->ReplacedBy->CodeTier, CompiledFunction::Tier::Optimized);
+
+  // The swap event records the hotness at promotion: one invocation plus
+  // back-edges, crossing the threshold exactly — mid-loop, not on re-entry.
+  bool SawSwap = false;
+  for (const CompileEvent &E : VM.compilationEvents().events())
+    if (E.EventKind == CompileEvent::Kind::Swap && E.Name &&
+        *E.Name == "spin") {
+      SawSwap = true;
+      EXPECT_EQ(E.HotCount, static_cast<uint32_t>(kThreshold));
+    }
+  EXPECT_TRUE(SawSwap);
+
+  // A second call runs the optimized version straight from the cache.
+  ASSERT_TRUE(VM.evalInt("spin", Out, Err)) << Err;
+  EXPECT_EQ(Out, 400 * 401 / 2);
+}
+
+// Results must be identical before, across, and after promotion.
+TEST(Tiering, PromotedCodeComputesIdenticalResults) {
+  VirtualMachine VM(tiered(4));
+  std::string Err;
+  ASSERT_TRUE(VM.load("calc: n = ( | t <- 0 | "
+                      "1 to: n Do: [ :i | t: t + (i * i) ]. t )",
+                      Err))
+      << Err;
+  for (int N = 1; N <= 12; ++N) {
+    int64_t Expect = 0;
+    for (int I = 1; I <= N; ++I)
+      Expect += static_cast<int64_t>(I) * I;
+    int64_t Out = 0;
+    ASSERT_TRUE(VM.evalInt("calc: " + std::to_string(N), Out, Err)) << Err;
+    EXPECT_EQ(Out, Expect) << "call " << N;
+  }
+  EXPECT_GE(VM.tierStats().Promotions, 1u);
+}
+
+// The event log records the whole lifecycle with phase timings, and the
+// driver surfaces it through the VirtualMachine accessor.
+TEST(Tiering, EventLogRecordsLifecycle) {
+  VirtualMachine VM(tiered(1));
+  std::string Err;
+  ASSERT_TRUE(VM.load("bump: n = ( n + 1 )", Err)) << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("bump: 41", Out, Err)) << Err;
+
+  const CompilationEventLog &Log = VM.compilationEvents();
+  EXPECT_EQ(Log.totalRecorded(), Log.events().size()); // Nothing evicted.
+  bool SawBaseline = false, SawPromote = false, SawSwap = false;
+  uint64_t LastSeq = 0;
+  bool First = true;
+  for (const CompileEvent &E : Log.events()) {
+    if (!First)
+      EXPECT_GT(E.Seq, LastSeq);
+    First = false;
+    LastSeq = E.Seq;
+    EXPECT_GE(E.Seconds, 0.0);
+    EXPECT_GE(E.AnalyzeSeconds, 0.0);
+    EXPECT_GE(E.SplitSeconds, 0.0);
+    EXPECT_GE(E.LowerSeconds, 0.0);
+    EXPECT_GE(E.EmitSeconds, 0.0);
+    switch (E.EventKind) {
+    case CompileEvent::Kind::Compile:
+      if (E.Tier == CompiledFunction::Tier::Baseline)
+        SawBaseline = true;
+      break;
+    case CompileEvent::Kind::Promote:
+      SawPromote = true;
+      EXPECT_EQ(E.Tier, CompiledFunction::Tier::Optimized);
+      break;
+    case CompileEvent::Kind::Swap:
+      SawSwap = true;
+      break;
+    case CompileEvent::Kind::Invalidate:
+      break;
+    }
+  }
+  EXPECT_TRUE(SawBaseline);
+  EXPECT_TRUE(SawPromote);
+  EXPECT_TRUE(SawSwap);
+}
+
+// The log is bounded: the oldest events are evicted at capacity while the
+// all-time count keeps growing.
+TEST(Tiering, EventLogIsBounded) {
+  CompilationEventLog Log(16);
+  for (int I = 0; I < 100; ++I)
+    Log.append(CompileEvent());
+  EXPECT_EQ(Log.events().size(), 16u);
+  EXPECT_EQ(Log.totalRecorded(), 100u);
+  EXPECT_EQ(Log.events().front().Seq, 84u); // 100 - 16.
+  EXPECT_EQ(Log.events().back().Seq, 99u);
+}
