@@ -96,6 +96,65 @@ double mself::bench::runNative(const BenchmarkDef &B, int64_t &ChecksumOut) {
   }
 }
 
+namespace {
+
+/// JSON string escaping for the report keys/values (quotes, backslashes,
+/// and control characters; keys here are ASCII by construction).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+bool JsonReport::write() const {
+  std::string Path = "BENCH_" + Table + ".json";
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F) {
+    fprintf(stderr, "JsonReport: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  fprintf(F, "{\n  \"table\": \"%s\",\n  \"pass\": %s,\n",
+          jsonEscape(Table).c_str(), Pass ? "true" : "false");
+  fprintf(F, "  \"metrics\": {");
+  for (size_t I = 0; I < Metrics.size(); ++I)
+    fprintf(F, "%s\n    \"%s\": %.6g", I ? "," : "",
+            jsonEscape(Metrics[I].first).c_str(), Metrics[I].second);
+  fprintf(F, "\n  },\n  \"notes\": {");
+  for (size_t I = 0; I < Notes.size(); ++I)
+    fprintf(F, "%s\n    \"%s\": \"%s\"", I ? "," : "",
+            jsonEscape(Notes[I].first).c_str(),
+            jsonEscape(Notes[I].second).c_str());
+  fprintf(F, "\n  }\n}\n");
+  fclose(F);
+  return true;
+}
+
 std::string mself::bench::pct(double Fraction) {
   char Buf[32];
   double P = Fraction * 100;

@@ -21,6 +21,8 @@
 #include "compiler/policy.h"
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mself::bench {
 
@@ -46,6 +48,34 @@ double runNative(const BenchmarkDef &B, int64_t &ChecksumOut);
 /// Fixed-width helpers for paper-style tables.
 std::string pct(double Fraction);         ///< "42%" from 0.42.
 std::string fixed(double V, int Prec);    ///< "%.*f".
+
+/// Machine-readable companion to the printed tables: collects flat
+/// key → value metrics in insertion order and writes them as
+/// `BENCH_<table>.json` in the working directory, so CI and the
+/// experiment log can diff numbers without scraping stdout. Keys are
+/// free-form "<row>/<column>/<metric>" paths.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Table) : Table(std::move(Table)) {}
+
+  void metric(const std::string &Key, double Value) {
+    Metrics.emplace_back(Key, Value);
+  }
+  void note(const std::string &Key, const std::string &Value) {
+    Notes.emplace_back(Key, Value);
+  }
+  void pass(bool Ok) { Pass = Ok; }
+
+  /// Writes BENCH_<table>.json; \returns false (with a stderr message) on
+  /// I/O failure. Never throws — benchmarks must still print their table.
+  bool write() const;
+
+private:
+  std::string Table;
+  std::vector<std::pair<std::string, double>> Metrics;
+  std::vector<std::pair<std::string, std::string>> Notes;
+  bool Pass = true;
+};
 
 } // namespace mself::bench
 

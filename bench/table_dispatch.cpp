@@ -142,6 +142,7 @@ int main() {
     printf(" %-24s", W.Name);
   printf("\n");
 
+  JsonReport Report("dispatch");
   bool AllOk = true;
   Cell Table[4][3];
   for (int CI = 0; CI < 4; ++CI) {
@@ -157,6 +158,10 @@ int main() {
       std::string S = fixed(X.SendsPerSec / 1e6, 2) + " (" +
                       pct(X.PicHitRate) + "/" + pct(X.CombinedHitRate) + ")";
       printf(" %-24s", S.c_str());
+      std::string Key =
+          std::string(Workloads[WI].Name) + "/" + Configs[CI].Name;
+      Report.metric(Key + "/msends_per_sec", X.SendsPerSec / 1e6);
+      Report.metric(Key + "/combined_hit_rate", X.CombinedHitRate);
     }
     printf("\n");
   }
@@ -178,5 +183,12 @@ int main() {
              .c_str(),
          SpeedupOk ? "ok" : "FAIL");
 
+  Report.metric("poly4_combined_hit_rate_full", PolyFull.CombinedHitRate);
+  Report.metric("poly4_speedup_vs_nocache",
+                PolyNone.SendsPerSec > 0
+                    ? PolyFull.SendsPerSec / PolyNone.SendsPerSec
+                    : 0);
+  Report.pass(AllOk && HitRateOk && SpeedupOk);
+  Report.write();
   return (AllOk && HitRateOk && SpeedupOk) ? 0 : 1;
 }

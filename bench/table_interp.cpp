@@ -1,0 +1,299 @@
+//===-- bench/table_interp.cpp - E12: Execution-engine micro-suite ----------===//
+//
+// Measures the interpreter's raw dispatch machinery on send-free inner
+// loops, where the per-instruction dispatch overhead is the whole story:
+// five integer/array kernels that (under the NEW-SELF policy) compile to
+// straight-line bytecode with no dynamically-bound sends, run under four
+// engine configurations —
+//   plain switch    portable switch loop, no fusion, no quickening
+//   +fusion         switch loop over superinstruction-fused code
+//   +threading      computed-goto dispatch, unfused code
+//   full engine     computed goto + fusion + quickening (the default)
+// A separate send-bound row isolates opcode quickening under the ST-80
+// policy (every send dynamically bound), switch loop, fusion off.
+//
+// The headline claim this table must support (EXPERIMENTS.md E12): in the
+// computed-goto build, the full engine reaches a geometric-mean speedup of
+// >= 1.5x over the plain switch baseline on the send-free kernels. The
+// program exits nonzero if that (or any checksum) fails. In a switch-only
+// build (MINISELF_COMPUTED_GOTO=OFF or an unsupported compiler) the gate
+// is waived and only correctness is enforced.
+//
+// Alongside the printed table the run writes BENCH_interp.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "bytecode/bytecode.h"
+#include "driver/vm.h"
+#include "interp/interp.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+constexpr int64_t kIterations = 300000;
+
+/// A send-free kernel: lobby method definitions plus a native model for the
+/// checksum. Each driver takes the iteration count as its sole argument.
+struct Kernel {
+  const char *Name;
+  const char *Defs;     ///< Lobby slot definitions.
+  const char *Selector; ///< One-argument driver selector, e.g. "tri:".
+  int64_t (*Native)(int64_t N);
+};
+
+const Kernel kKernels[] = {
+    {"countdown",
+     "count: n = ( | i. t <- 0 | i: n. [ i > 0 ] whileTrue: "
+     "[ i: i - 1. t: t + 2 ]. t )",
+     "count:", [](int64_t N) { return 2 * N; }},
+    {"triangle",
+     "tri: n = ( | s <- 0 | 1 to: n Do: [ :i | s: s + i ]. s )", "tri:",
+     [](int64_t N) { return N * (N + 1) / 2; }},
+    {"polyhash",
+     "poly: n = ( | a <- 1. i <- 0 | [ i < n ] whileTrue: "
+     "[ i: i + 1. a: ((a * 3) + i) % 1048573 ]. a )",
+     "poly:",
+     [](int64_t N) {
+       int64_t A = 1;
+       for (int64_t I = 1; I <= N; ++I)
+         A = (A * 3 + I) % 1048573;
+       return A;
+     }},
+    {"vecsum",
+     "vecsum: n = ( | v. t <- 0 | v: (vectorOfSize: 32). "
+     "0 to: 31 Do: [ :j | v at: j Put: j + j ]. "
+     "1 to: n Do: [ :i | t: t + (v at: i % 32) ]. t )",
+     "vecsum:",
+     [](int64_t N) {
+       int64_t T = 0;
+       for (int64_t I = 1; I <= N; ++I)
+         T += 2 * (I % 32);
+       return T;
+     }},
+    {"fibmod",
+     "fib: n = ( | a <- 0. b <- 1. i <- 0. t | [ i < n ] whileTrue: "
+     "[ i: i + 1. t: (a + b) % 1000003. a: b. b: t ]. a )",
+     "fib:",
+     [](int64_t N) {
+       int64_t A = 0, B = 1;
+       for (int64_t I = 0; I < N; ++I) {
+         int64_t T = (A + B) % 1000003;
+         A = B;
+         B = T;
+       }
+       return A;
+     }},
+};
+constexpr int kNumKernels = int(sizeof(kKernels) / sizeof(kKernels[0]));
+
+struct EngineConfig {
+  const char *Name;
+  bool Threaded;
+  bool Fusion;
+  bool Quickening;
+};
+
+const EngineConfig kConfigs[] = {
+    {"plain switch", false, false, false},
+    {"+fusion", false, true, false},
+    {"+threading", true, false, false},
+    {"full engine", true, true, true},
+};
+constexpr int kNumConfigs = int(sizeof(kConfigs) / sizeof(kConfigs[0]));
+
+struct Cell {
+  bool Ok = false;
+  double ItersPerSec = 0;
+  double FusedFrac = 0; ///< Superinstructions / all executed instructions.
+};
+
+Cell runCell(const Kernel &K, const EngineConfig &C) {
+  Policy P = Policy::newSelf();
+  P.ThreadedDispatch = C.Threaded;
+  P.Superinstructions = C.Fusion;
+  P.OpcodeQuickening = C.Quickening;
+
+  Cell Out;
+  VirtualMachine VM(P);
+  std::string Err;
+  int64_t V = 0;
+  if (!VM.load(K.Defs, Err)) {
+    fprintf(stderr, "FAIL %s/%s load: %s\n", K.Name, C.Name, Err.c_str());
+    return Out;
+  }
+  std::string Expr =
+      std::string(K.Selector) + " " + std::to_string(kIterations);
+  // Warm-up: compiles everything lazily and validates the checksum.
+  if (!VM.evalInt(std::string(K.Selector) + " 100", V, Err) ||
+      V != K.Native(100)) {
+    fprintf(stderr, "FAIL %s/%s warmup: %s (got %lld)\n", K.Name, C.Name,
+            Err.c_str(), (long long)V);
+    return Out;
+  }
+
+  // Best of three timed samples; each sample re-validates the checksum.
+  double BestSecs = 1e18;
+  for (int Sample = 0; Sample < 3; ++Sample) {
+    VM.interp().resetCounters();
+    auto T0 = std::chrono::steady_clock::now();
+    if (!VM.evalInt(Expr, V, Err)) {
+      fprintf(stderr, "FAIL %s/%s: %s\n", K.Name, C.Name, Err.c_str());
+      return Out;
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    if (V != K.Native(kIterations)) {
+      fprintf(stderr, "FAIL %s/%s: checksum %lld != %lld\n", K.Name, C.Name,
+              (long long)V, (long long)K.Native(kIterations));
+      return Out;
+    }
+    BestSecs = std::min(BestSecs,
+                        std::chrono::duration<double>(T1 - T0).count());
+  }
+
+  const ExecCounters &Ctr = VM.interp().counters();
+  uint64_t Fused = 0;
+  for (int O = 0; O < kNumOps; ++O)
+    if (isSuperinstruction(static_cast<Op>(O)))
+      Fused += Ctr.PerOp[O];
+  Out.Ok = true;
+  Out.ItersPerSec = BestSecs > 0 ? double(kIterations) / BestSecs : 0;
+  Out.FusedFrac =
+      Ctr.Instructions ? double(Fused) / double(Ctr.Instructions) : 0;
+  return Out;
+}
+
+/// The send-bound quickening row: monomorphic method + data-slot sends under
+/// ST-80 (nothing statically bound), switch loop, fusion off, so the only
+/// difference between the two runs is the quickened opcodes.
+double runSendBound(bool Quickening, bool &Ok) {
+  Policy P = Policy::st80();
+  P.ThreadedDispatch = false;
+  P.Superinstructions = false;
+  P.OpcodeQuickening = Quickening;
+
+  Ok = false;
+  VirtualMachine VM(P);
+  std::string Err;
+  int64_t V = 0;
+  if (!VM.load("h = ( | parent* = lobby. f <- 7. get = ( f ) | ). cur <- 0. "
+               "sdrive: n = ( | t <- 0 | 1 to: n Do: "
+               "[ :i | t: t + cur get + cur f ]. t )",
+               Err) ||
+      !VM.evalInt("cur: h. sdrive: 100", V, Err) || V != 1400) {
+    fprintf(stderr, "FAIL send-bound warmup: %s (got %lld)\n", Err.c_str(),
+            (long long)V);
+    return 0;
+  }
+  std::string Expr = "sdrive: " + std::to_string(kIterations);
+  double BestSecs = 1e18;
+  for (int Sample = 0; Sample < 3; ++Sample) {
+    auto T0 = std::chrono::steady_clock::now();
+    if (!VM.evalInt(Expr, V, Err) || V != 14 * kIterations) {
+      fprintf(stderr, "FAIL send-bound: %s (got %lld)\n", Err.c_str(),
+              (long long)V);
+      return 0;
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    BestSecs = std::min(BestSecs,
+                        std::chrono::duration<double>(T1 - T0).count());
+  }
+  if (Quickening && VM.dispatchStats().QuickSends == 0) {
+    fprintf(stderr, "FAIL send-bound: quickening on but no quick sends\n");
+    return 0;
+  }
+  Ok = true;
+  return double(kIterations) / BestSecs;
+}
+
+} // namespace
+
+int main() {
+  printf("E12: Execution-engine micro-suite — send-free kernels, NEW-SELF "
+         "policy\n");
+  printf("     cell: Miters/s   (computed-goto dispatch %s in this build)\n\n",
+         threadedDispatchSupported() ? "available" : "UNAVAILABLE");
+  printf("%-13s", "");
+  for (const Kernel &K : kKernels)
+    printf(" %-10s", K.Name);
+  printf("\n");
+
+  JsonReport Report("interp");
+  Report.note("threaded_dispatch_supported",
+              threadedDispatchSupported() ? "yes" : "no");
+
+  bool AllOk = true;
+  Cell Table[kNumConfigs][kNumKernels];
+  for (int CI = 0; CI < kNumConfigs; ++CI) {
+    printf("%-13s", kConfigs[CI].Name);
+    for (int KI = 0; KI < kNumKernels; ++KI) {
+      Cell &X = Table[CI][KI];
+      X = runCell(kKernels[KI], kConfigs[CI]);
+      if (!X.Ok) {
+        AllOk = false;
+        printf(" %-10s", "-");
+        continue;
+      }
+      printf(" %-10s", fixed(X.ItersPerSec / 1e6, 2).c_str());
+      Report.metric(std::string(kKernels[KI].Name) + "/" + kConfigs[CI].Name +
+                        "/miters_per_sec",
+                    X.ItersPerSec / 1e6);
+    }
+    printf("\n");
+  }
+
+  // How much of the executed stream the fuser replaced (full engine).
+  double FusedFrac = 0;
+  for (int KI = 0; KI < kNumKernels; ++KI)
+    FusedFrac += Table[kNumConfigs - 1][KI].FusedFrac;
+  FusedFrac /= kNumKernels;
+  printf("\nsuperinstruction share of executed stream (full engine): %s\n",
+         pct(FusedFrac).c_str());
+  Report.metric("fused_instruction_fraction_full", FusedFrac);
+
+  // Headline: geomean of full-engine vs plain-switch across the kernels.
+  double LogSum = 0;
+  int LogN = 0;
+  for (int KI = 0; KI < kNumKernels; ++KI) {
+    const Cell &Full = Table[kNumConfigs - 1][KI];
+    const Cell &Plain = Table[0][KI];
+    if (Full.Ok && Plain.Ok && Plain.ItersPerSec > 0) {
+      LogSum += std::log(Full.ItersPerSec / Plain.ItersPerSec);
+      ++LogN;
+    }
+  }
+  double Geomean = LogN ? std::exp(LogSum / LogN) : 0;
+  bool GateOn = threadedDispatchSupported();
+  bool GeomeanOk = !GateOn || Geomean >= 1.5;
+  printf("geomean speedup, full engine vs plain switch: %sx (>= 1.50x "
+         "required%s): %s\n",
+         fixed(Geomean, 2).c_str(),
+         GateOn ? "" : " — waived, switch-only build",
+         GeomeanOk ? "ok" : "FAIL");
+  Report.metric("geomean_speedup_full_vs_plain", Geomean);
+
+  // Quickening in isolation, on a send-bound loop.
+  bool QOffOk = false, QOnOk = false;
+  double QOff = runSendBound(false, QOffOk);
+  double QOn = runSendBound(true, QOnOk);
+  AllOk = AllOk && QOffOk && QOnOk;
+  double QSpeedup = (QOffOk && QOnOk && QOff > 0) ? QOn / QOff : 0;
+  printf("send-bound loop, quickening off -> on (ST-80, switch loop): "
+         "%s -> %s Miters/s (%sx)\n",
+         fixed(QOff / 1e6, 2).c_str(), fixed(QOn / 1e6, 2).c_str(),
+         fixed(QSpeedup, 2).c_str());
+  Report.metric("sendbound_quickening_speedup", QSpeedup);
+
+  bool Pass = AllOk && GeomeanOk;
+  Report.pass(Pass);
+  Report.write();
+  return Pass ? 0 : 1;
+}

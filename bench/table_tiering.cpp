@@ -193,6 +193,7 @@ int main() {
   printf("%-14s %12s %12s %12s %12s %6s %6s\n", "config", "compile ms",
          "startup ms", "steady ms", "Minstr", "promo", "inval");
 
+  JsonReport Report("tiering");
   bool AllOk = true;
   Row Rows[kNumConfigs];
   for (int I = 0; I < kNumConfigs; ++I) {
@@ -210,6 +211,12 @@ int main() {
            fixed(double(R.SteadyInstructions) / 1e6, 2).c_str(),
            (unsigned long long)R.Stats.Promotions,
            (unsigned long long)R.Stats.Invalidations);
+    std::string Key = Configs[I].Name;
+    Report.metric(Key + "/startup_compile_ms", R.StartupCompileSec * 1e3);
+    Report.metric(Key + "/steady_ms", R.SteadyWallSec * 1e3);
+    Report.metric(Key + "/steady_minstr",
+                  double(R.SteadyInstructions) / 1e6);
+    Report.metric(Key + "/promotions", double(R.Stats.Promotions));
   }
 
   // Event-log sample from the representative tiered config.
@@ -240,5 +247,12 @@ int main() {
          "required): %s\n",
          pct(InstrRel).c_str(), SteadyOk ? "ok" : "FAIL");
 
+  Report.metric("startup_compile_ratio_full_vs_tier50",
+                T50.StartupCompileSec > 0
+                    ? Full.StartupCompileSec / T50.StartupCompileSec
+                    : 0);
+  Report.metric("steady_instr_rel_delta", InstrRel);
+  Report.pass(AllOk && StartupOk && SteadyOk);
+  Report.write();
   return (AllOk && StartupOk && SteadyOk) ? 0 : 1;
 }

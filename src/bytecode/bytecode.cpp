@@ -33,6 +33,8 @@ int mself::opArity(Op O) {
   case Op::ArrAtRaw:
   case Op::ArrAtPutRaw:
     return 3;
+  case Op::MoveJump:
+    return 3;
   case Op::AddCk:
   case Op::SubCk:
   case Op::MulCk:
@@ -45,13 +47,67 @@ int mself::opArity(Op O) {
   case Op::EnvGet:
   case Op::EnvSet:
   case Op::MakeBlock:
+  case Op::Move2:
+  case Op::AddRawImm:
+  case Op::SubRawImm:
+  case Op::GetFieldMove:
     return 4;
   case Op::Send:
   case Op::Prim:
+  case Op::AddCkImm:
+  case Op::SubCkImm:
+  case Op::BrCmpImm:
+  case Op::SendMono:
+  case Op::SendGetF:
+  case Op::SendSetF:
+  case Op::SendConst:
     return 5;
+  case Op::CmpValueBr:
+    return 6;
   }
   assert(false && "unknown opcode");
   return 0;
+}
+
+int mself::opJumpOperands(Op O, int Out[2]) {
+  switch (O) {
+  case Op::Jump:
+    Out[0] = 1;
+    return 1;
+  case Op::TestInt:
+    Out[0] = 2;
+    return 1;
+  case Op::TestMap:
+  case Op::MoveJump:
+    Out[0] = 3;
+    return 1;
+  case Op::AddCk:
+  case Op::SubCk:
+  case Op::MulCk:
+  case Op::DivCk:
+  case Op::ModCk:
+  case Op::BrCmp:
+  case Op::ArrAt:
+  case Op::ArrAtPut:
+    Out[0] = 4;
+    return 1;
+  case Op::Prim:     // fail may be the -1 "runtime error" sentinel.
+  case Op::AddCkImm:
+  case Op::SubCkImm:
+  case Op::BrCmpImm:
+    Out[0] = 5;
+    return 1;
+  case Op::BrTrue:
+    Out[0] = 2;
+    Out[1] = 3;
+    return 2;
+  case Op::CmpValueBr:
+    Out[0] = 5;
+    Out[1] = 6;
+    return 2;
+  default:
+    return 0;
+  }
 }
 
 const char *mself::opName(Op O) {
@@ -126,6 +182,32 @@ const char *mself::opName(Op O) {
     return "return";
   case Op::NLRet:
     return "nl_return";
+  case Op::Move2:
+    return "move2";
+  case Op::MoveJump:
+    return "move_jump";
+  case Op::AddCkImm:
+    return "add_ck_imm";
+  case Op::SubCkImm:
+    return "sub_ck_imm";
+  case Op::AddRawImm:
+    return "add_raw_imm";
+  case Op::SubRawImm:
+    return "sub_raw_imm";
+  case Op::BrCmpImm:
+    return "br_cmp_imm";
+  case Op::CmpValueBr:
+    return "cmp_value_br";
+  case Op::GetFieldMove:
+    return "get_field_move";
+  case Op::SendMono:
+    return "send_mono";
+  case Op::SendGetF:
+    return "send_getf";
+  case Op::SendSetF:
+    return "send_setf";
+  case Op::SendConst:
+    return "send_const";
   }
   return "?";
 }

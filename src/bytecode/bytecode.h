@@ -89,13 +89,60 @@ enum class Op : int32_t {
   MakeBlock,///< dst, block, env(-1 none), selfReg   closure creation.
   Return,   ///< src             return from this activation.
   NLRet,    ///< src             non-local return to the home activation.
+
+  //===--- Superinstructions (peephole-fused pairs) -----------------------===//
+  // Emitted only by fuseSuperinstructions() after codegen; each executes the
+  // semantics of both component instructions in one dispatch. Both writes
+  // happen (no liveness analysis), so fusion is always sound.
+
+  Move2,       ///< d1, s1, d2, s2            Move + Move
+  MoveJump,    ///< dst, src, target          Move + Jump
+  AddCkImm,    ///< dst, a, imm, tmp, fail    LoadInt tmp,imm + AddCk dst,a,tmp
+  SubCkImm,    ///< dst, a, imm, tmp, fail    LoadInt tmp,imm + SubCk dst,a,tmp
+  AddRawImm,   ///< dst, a, imm, tmp          LoadInt tmp,imm + AddRaw dst,a,tmp
+  SubRawImm,   ///< dst, a, imm, tmp          LoadInt tmp,imm + SubRaw dst,a,tmp
+  BrCmpImm,    ///< cond, a, imm, tmp, target LoadInt tmp,imm + BrCmp cond,a,tmp
+  CmpValueBr,  ///< dst, cond, a, b, trueT, falseT   CmpValue + BrTrue dst
+  GetFieldMove,///< dst, obj, idx, d2         GetField + Move d2,dst
+
+  //===--- Quickened sends (runtime-rewritten Send slots) -----------------===//
+  // Same 5-operand encoding as Send, so the interpreter specializes a site by
+  // rewriting just the opcode word in place once its PIC goes monomorphic.
+  // Each form validates PIC entry 0 (map + entry kind) before the fast path
+  // and rewrites itself back to Send on any mismatch (de-quickening).
+
+  SendMono,  ///< dst, sel, base, argc, cache   monomorphic method call.
+  SendGetF,  ///< dst, sel, base, argc, cache   monomorphic data-slot read.
+  SendSetF,  ///< dst, sel, base, argc, cache   monomorphic data-slot write.
+  SendConst, ///< dst, sel, base, argc, cache   monomorphic constant-slot read.
 };
+
+/// Total number of opcodes (enum values are dense from 0).
+constexpr int kNumOps = static_cast<int>(Op::SendConst) + 1;
+
+/// \returns true for the runtime-rewritten specializations of Op::Send.
+constexpr bool isQuickenedSend(Op O) {
+  return O >= Op::SendMono && O <= Op::SendConst;
+}
+
+/// \returns true for instructions emitted only by the superinstruction fuser.
+constexpr bool isSuperinstruction(Op O) {
+  return O >= Op::Move2 && O <= Op::GetFieldMove;
+}
 
 /// \returns the number of operand words following \p O.
 int opArity(Op O);
 
 /// \returns a mnemonic for \p O.
 const char *opName(Op O);
+
+/// Fills \p Out with the operand indices (1-based from the opcode word) that
+/// hold absolute jump targets for \p O and returns how many there are (0-2).
+/// Operands holding -1 at runtime (Prim's optional fail target) are listed
+/// too; consumers must tolerate the sentinel. Shared by the bytecode
+/// verifier, the disassembler, and the superinstruction fuser so branch
+/// layouts have exactly one source of truth.
+int opJumpOperands(Op O, int Out[2]);
 
 /// One cached (receiver map → bound action) pair inside a send site's
 /// polymorphic inline cache.
@@ -172,6 +219,8 @@ struct CompileStats {
   int LoopVersions = 0;     ///< Loop heads in the final CFG.
   int LoopIterations = 0;   ///< Iterative type analysis passes.
   int NodesCopied = 0;      ///< Nodes duplicated by extended splitting.
+  int SuperFused = 0;       ///< Instruction pairs fused into superinstructions.
+  int MovesElided = 0;      ///< Dead moves/loads removed by the peephole pass.
 };
 
 /// One compiled activation: a customized method, a block body, or a

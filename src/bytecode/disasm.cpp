@@ -23,7 +23,7 @@ std::string mself::disassemble(const CompiledFunction &Fn) {
     for (int A = 1; A <= Arity; ++A)
       Os << " " << Fn.Code[I + static_cast<size_t>(A)];
     // Decorate selected operands.
-    if (O == Op::Send) {
+    if (O == Op::Send || isQuickenedSend(O)) {
       int Sel = Fn.Code[I + 2];
       Os << "    ; " << *Fn.SelectorPool[static_cast<size_t>(Sel)];
     } else if (O == Op::LoadConst) {

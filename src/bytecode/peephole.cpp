@@ -1,0 +1,621 @@
+//===-- bytecode/peephole.cpp - Peephole cleanup + superinstruction fusion --===//
+
+#include "bytecode/peephole.h"
+
+#include <cassert>
+#include <cstring>
+#include <initializer_list>
+#include <unordered_map>
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+/// Decoded instruction: opcode, original code index (the stable key branch
+/// targets reference until final re-emission), and operands. Arity can grow
+/// when immediate specialization swaps an op for its Imm form, so operands
+/// are stored at the maximum width (CmpValueBr, 6).
+struct Instr {
+  Op O;
+  int At;
+  int32_t A[6];
+  bool Dead = false;
+  bool Target = false; ///< Some live branch resolves to this instruction.
+};
+
+/// Register-operand roles of one opcode, for liveness and copy propagation.
+/// Positions are 0-based into the operand array; operands holding pool
+/// indices, immediates, hop counts, or jump targets are not listed.
+struct RegRoles {
+  int NumW = 0, NumR = 0;
+  int8_t W[2];  ///< Written register operand positions.
+  int8_t Rd[3]; ///< Read register operand positions.
+  bool Window = false; ///< Also reads regs [A[2], A[2]+A[3]] (recv + args).
+  int8_t OptR = -1;    ///< Read when the operand is >= 0 (-1 = "none").
+};
+
+/// \returns false for opcodes whose register behaviour this pass does not
+/// model; callers must then treat the instruction as an analysis barrier.
+bool regRoles(Op O, RegRoles &R) {
+  auto roles = [&R](std::initializer_list<int> Ws,
+                    std::initializer_list<int> Rs) {
+    for (int P : Ws)
+      R.W[R.NumW++] = static_cast<int8_t>(P);
+    for (int P : Rs)
+      R.Rd[R.NumR++] = static_cast<int8_t>(P);
+  };
+  switch (O) {
+  case Op::Halt:
+  case Op::Jump:
+    break;
+  case Op::Move:
+    roles({0}, {1});
+    break;
+  case Op::LoadInt:
+  case Op::LoadConst:
+  case Op::GetFieldConst:
+    roles({0}, {});
+    break;
+  case Op::GetField:
+  case Op::ArrSize:
+  case Op::EnvGet:
+    roles({0}, {1});
+    break;
+  case Op::SetField:
+    roles({}, {0, 2});
+    break;
+  case Op::SetFieldConst:
+    roles({}, {2});
+    break;
+  case Op::AddRaw:
+  case Op::SubRaw:
+  case Op::MulRaw:
+  case Op::AddCk:
+  case Op::SubCk:
+  case Op::MulCk:
+  case Op::DivCk:
+  case Op::ModCk:
+  case Op::ArrAt:
+  case Op::ArrAtRaw:
+    roles({0}, {1, 2});
+    break;
+  case Op::CmpValue:
+    roles({0}, {2, 3});
+    break;
+  case Op::BrCmp:
+    roles({}, {1, 2});
+    break;
+  case Op::BrTrue:
+  case Op::TestInt:
+  case Op::TestMap:
+  case Op::Return:
+  case Op::NLRet:
+    roles({}, {0});
+    break;
+  case Op::Send:
+  case Op::SendMono:
+  case Op::SendGetF:
+  case Op::SendSetF:
+  case Op::SendConst:
+  case Op::Prim:
+    roles({0}, {});
+    R.Window = true;
+    break;
+  case Op::ArrAtPut:
+  case Op::ArrAtPutRaw:
+    roles({}, {0, 1, 2});
+    break;
+  case Op::MakeEnv:
+    roles({0}, {});
+    R.OptR = 2;
+    break;
+  case Op::EnvSet:
+    roles({}, {0, 3});
+    break;
+  case Op::MakeBlock:
+    roles({0}, {3});
+    R.OptR = 2;
+    break;
+  case Op::Move2:
+    roles({0, 2}, {1, 3});
+    break;
+  case Op::MoveJump:
+    roles({0}, {1});
+    break;
+  case Op::AddCkImm:
+  case Op::SubCkImm:
+  case Op::AddRawImm:
+  case Op::SubRawImm:
+  case Op::GetFieldMove:
+    roles({0, 3}, {1});
+    break;
+  case Op::BrCmpImm:
+    roles({3}, {1});
+    break;
+  case Op::CmpValueBr:
+    roles({0}, {2, 3});
+    break;
+  default:
+    return false;
+  }
+  return true;
+}
+
+/// \returns true when execution never falls through to the next instruction.
+bool noFallthrough(Op O) {
+  switch (O) {
+  case Op::Halt:
+  case Op::Jump:
+  case Op::MoveJump:
+  case Op::Return:
+  case Op::NLRet:
+  case Op::BrTrue:      // Carries both a true and a false target.
+  case Op::CmpValueBr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class Peephole {
+public:
+  explicit Peephole(CompiledFunction &Fn) : Fn(Fn) {}
+
+  int run(int *ElidedOut);
+
+private:
+  CompiledFunction &Fn;
+  std::vector<Instr> Ins;
+  std::unordered_map<int, size_t> IdxOfAt; ///< original index -> Ins slot.
+  int Elided = 0;
+
+  void decode();
+  void markTargets();
+  bool propagateLocal();
+  bool eliminateDeadWrites();
+  int fusePairs();
+  void reemit();
+
+  size_t liveSucc(int32_t TargetAt) const {
+    size_t I = IdxOfAt.at(TargetAt);
+    while (I < Ins.size() && Ins[I].Dead)
+      ++I;
+    return I;
+  }
+};
+
+void Peephole::decode() {
+  std::vector<int32_t> &Code = Fn.Code;
+  for (size_t I = 0; I < Code.size();) {
+    Op O = static_cast<Op>(Code[I]);
+    Instr In;
+    In.O = O;
+    In.At = static_cast<int>(I);
+    int Arity = opArity(O);
+    for (int W = 0; W < Arity; ++W)
+      In.A[W] = Code[I + 1 + static_cast<size_t>(W)];
+    IdxOfAt[In.At] = Ins.size();
+    Ins.push_back(In);
+    I += static_cast<size_t>(1 + Arity);
+  }
+}
+
+/// Recomputes Instr::Target: the surviving instruction each live branch will
+/// land on after dead instructions are squeezed out.
+void Peephole::markTargets() {
+  for (Instr &In : Ins)
+    In.Target = false;
+  int Slots[2];
+  for (const Instr &In : Ins) {
+    if (In.Dead)
+      continue;
+    int N = opJumpOperands(In.O, Slots);
+    for (int K = 0; K < N; ++K) {
+      int32_t T = In.A[Slots[K] - 1];
+      if (T < 0)
+        continue; // Prim's optional fail target.
+      size_t S = liveSucc(T);
+      if (S < Ins.size())
+        Ins[S].Target = true;
+    }
+  }
+}
+
+/// Forward pass over straight-line regions: propagates register copies and
+/// known small-int immediates, rewrites reads through copies, and swaps
+/// checked/raw arithmetic and compares whose right operand is a known
+/// immediate for their single-dispatch Imm superinstruction (which still
+/// writes the feeding register, so the rewrite needs no liveness proof —
+/// it re-stores the value the register already holds). State is dropped at
+/// every branch target and after every analysis barrier.
+bool Peephole::propagateLocal() {
+  std::unordered_map<int, int32_t> KnownImm;
+  std::unordered_map<int, int> CopyOf;
+  bool Changed = false;
+
+  auto killReg = [&](int D) {
+    KnownImm.erase(D);
+    CopyOf.erase(D);
+    for (auto It = CopyOf.begin(); It != CopyOf.end();)
+      It = It->second == D ? CopyOf.erase(It) : std::next(It);
+  };
+
+  for (Instr &In : Ins) {
+    if (In.Dead)
+      continue;
+    if (In.Target) {
+      KnownImm.clear();
+      CopyOf.clear();
+    }
+
+    RegRoles Roles;
+    if (!regRoles(In.O, Roles)) {
+      KnownImm.clear();
+      CopyOf.clear();
+      continue;
+    }
+
+    // Reroute reads through known copies (the copy's source dominates it in
+    // this straight-line region and has not been overwritten since, by the
+    // invalidation discipline below).
+    for (int K = 0; K < Roles.NumR; ++K) {
+      int32_t &Reg = In.A[Roles.Rd[K]];
+      auto It = CopyOf.find(Reg);
+      if (It != CopyOf.end() && It->second != Reg) {
+        Reg = It->second;
+        Changed = true;
+      }
+    }
+
+    // Immediate specialization. Addition is commutative, so a known *left*
+    // operand works too once the operands are swapped.
+    auto knownAt = [&](int Pos) { return KnownImm.count(In.A[Pos]) != 0; };
+    if ((In.O == Op::AddCk || In.O == Op::AddRaw) && knownAt(1) &&
+        !knownAt(2))
+      std::swap(In.A[1], In.A[2]);
+    switch (In.O) {
+    case Op::AddCk:
+    case Op::SubCk:
+      if (knownAt(2)) {
+        int Tmp = In.A[2];
+        In.A[4] = In.A[3]; // fail
+        In.A[3] = Tmp;
+        In.A[2] = KnownImm[Tmp];
+        In.O = In.O == Op::AddCk ? Op::AddCkImm : Op::SubCkImm;
+        Changed = true;
+      }
+      break;
+    case Op::AddRaw:
+    case Op::SubRaw:
+      if (knownAt(2)) {
+        int Tmp = In.A[2];
+        In.A[3] = Tmp;
+        In.A[2] = KnownImm[Tmp];
+        In.O = In.O == Op::AddRaw ? Op::AddRawImm : Op::SubRawImm;
+        Changed = true;
+      }
+      break;
+    case Op::BrCmp:
+      if (knownAt(2)) {
+        int Tmp = In.A[2];
+        In.A[4] = In.A[3]; // target
+        In.A[3] = Tmp;
+        In.A[2] = KnownImm[Tmp];
+        In.O = Op::BrCmpImm;
+        Changed = true;
+      }
+      break;
+    default:
+      break;
+    }
+    // Roles stay valid across the specializations above: every Imm form
+    // writes {dst, tmp} ⊇ the original {dst} and reads {a} ⊆ {a, b}, and
+    // the state updates below re-derive from the rewritten form anyway.
+
+    // Update the copy/immediate state with this instruction's effects.
+    switch (In.O) {
+    case Op::LoadInt:
+      killReg(In.A[0]);
+      KnownImm[In.A[0]] = In.A[1];
+      break;
+    case Op::Move: {
+      int D = In.A[0], S = In.A[1];
+      if (D != S) {
+        killReg(D);
+        auto It = KnownImm.find(S);
+        if (It != KnownImm.end())
+          KnownImm[D] = It->second;
+        CopyOf[D] = S;
+      }
+      break;
+    }
+    case Op::AddCkImm:
+    case Op::SubCkImm:
+    case Op::AddRawImm:
+    case Op::SubRawImm:
+      killReg(In.A[0]);
+      killReg(In.A[3]);
+      KnownImm[In.A[3]] = In.A[2];
+      break;
+    case Op::BrCmpImm:
+      killReg(In.A[3]);
+      KnownImm[In.A[3]] = In.A[2];
+      break;
+    default: {
+      RegRoles R2;
+      regRoles(In.O, R2);
+      for (int K = 0; K < R2.NumW; ++K)
+        killReg(In.A[R2.W[K]]);
+      break;
+    }
+    }
+
+    if (noFallthrough(In.O)) {
+      KnownImm.clear();
+      CopyOf.clear();
+    }
+  }
+  return Changed;
+}
+
+/// Backward liveness over the instruction-level CFG, then removal of pure
+/// register writes (Move / LoadInt / LoadConst) whose destination is dead.
+/// Sound because nothing reads an activation's registers behind the
+/// bytecode's back: callees get their own frames and see only the Send
+/// window, blocks reach enclosing state through environment objects, tier
+/// promotion swaps code at call boundaries only (never remapping a live
+/// frame), and the GC merely scans registers (a stale value keeps an object
+/// alive, which is conservative, never wrong).
+bool Peephole::eliminateDeadWrites() {
+  const size_t N = Ins.size();
+  const size_t Words = static_cast<size_t>(Fn.NumRegs + 63) / 64;
+  std::vector<uint64_t> LiveIn(N * Words, 0), Tmp(Words);
+  auto set = [&](std::vector<uint64_t> &B, size_t Base, int R) {
+    B[Base + static_cast<size_t>(R) / 64] |= uint64_t(1)
+                                             << (static_cast<size_t>(R) % 64);
+  };
+  auto clear = [&](std::vector<uint64_t> &B, size_t Base, int R) {
+    B[Base + static_cast<size_t>(R) / 64] &=
+        ~(uint64_t(1) << (static_cast<size_t>(R) % 64));
+  };
+  auto test = [&](const std::vector<uint64_t> &B, size_t Base, int R) {
+    return (B[Base + static_cast<size_t>(R) / 64] >>
+            (static_cast<size_t>(R) % 64)) &
+           1;
+  };
+
+  int Slots[2];
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (size_t I = N; I-- > 0;) {
+      const Instr &In = Ins[I];
+      // LiveOut = union of successors' LiveIn.
+      std::fill(Tmp.begin(), Tmp.end(), 0);
+      if (!In.Dead && noFallthrough(In.O)) {
+        // Jump-target successors only.
+      } else if (I + 1 < N) {
+        std::memcpy(Tmp.data(), &LiveIn[(I + 1) * Words],
+                    Words * sizeof(uint64_t));
+      }
+      if (!In.Dead) {
+        int NT = opJumpOperands(In.O, Slots);
+        for (int K = 0; K < NT; ++K) {
+          int32_t T = In.A[Slots[K] - 1];
+          if (T < 0)
+            continue;
+          size_t S = IdxOfAt.at(T);
+          for (size_t W = 0; W < Words; ++W)
+            Tmp[W] |= LiveIn[S * Words + W];
+        }
+      }
+      // LiveIn = (LiveOut - def) | use. A dead instruction is a no-op.
+      if (!In.Dead) {
+        RegRoles Roles;
+        if (regRoles(In.O, Roles)) {
+          for (int K = 0; K < Roles.NumW; ++K)
+            clear(Tmp, 0, In.A[Roles.W[K]]);
+          for (int K = 0; K < Roles.NumR; ++K)
+            set(Tmp, 0, In.A[Roles.Rd[K]]);
+          if (Roles.OptR >= 0 && In.A[Roles.OptR] >= 0)
+            set(Tmp, 0, In.A[Roles.OptR]);
+          if (Roles.Window)
+            for (int32_t R = In.A[2]; R <= In.A[2] + In.A[3]; ++R)
+              set(Tmp, 0, static_cast<int>(R));
+        } else {
+          // Unmodeled op: assume it reads everything.
+          std::fill(Tmp.begin(), Tmp.end(), ~uint64_t(0));
+        }
+      }
+      if (std::memcmp(Tmp.data(), &LiveIn[I * Words],
+                      Words * sizeof(uint64_t)) != 0) {
+        std::memcpy(&LiveIn[I * Words], Tmp.data(),
+                    Words * sizeof(uint64_t));
+        Grew = true;
+      }
+    }
+  }
+
+  // A pure write is dead when its destination is not in LiveOut, i.e. not
+  // live into any successor.
+  bool Changed = false;
+  for (size_t I = 0; I < N; ++I) {
+    Instr &In = Ins[I];
+    if (In.Dead)
+      continue;
+    if (In.O != Op::Move && In.O != Op::LoadInt && In.O != Op::LoadConst)
+      continue;
+    if (In.O == Op::Move && In.A[0] == In.A[1]) {
+      In.Dead = true;
+      Changed = true;
+      ++Elided;
+      continue;
+    }
+    bool LiveOut = false;
+    if (I + 1 < N)
+      LiveOut = test(LiveIn, (I + 1) * Words, In.A[0]);
+    // Move/LoadInt/LoadConst all fall through, so the only successor is I+1.
+    if (!LiveOut) {
+      In.Dead = true;
+      Changed = true;
+      ++Elided;
+    }
+  }
+  return Changed;
+}
+
+/// The original pair fuser, over the surviving instructions. A pair fuses
+/// only when the second half is not an (effective) branch target; the first
+/// being one is fine, since the fused op executes both halves.
+int Peephole::fusePairs() {
+  markTargets();
+  int Fused = 0;
+  size_t K = 0;
+  auto nextLive = [this](size_t I) {
+    ++I;
+    while (I < Ins.size() && Ins[I].Dead)
+      ++I;
+    return I;
+  };
+  if (!Ins.empty() && Ins[0].Dead)
+    K = nextLive(0);
+
+  while (K < Ins.size()) {
+    size_t L = nextLive(K);
+    if (L >= Ins.size())
+      break;
+    Instr &A = Ins[K];
+    Instr &B = Ins[L];
+    bool DidFuse = false;
+    if (!B.Target) {
+      switch (A.O) {
+      case Op::LoadInt:
+        // Backstop for immediate feeds propagateLocal() could not touch
+        // (e.g. a LoadInt that is itself a branch target, where the
+        // known-immediate state had just been dropped).
+        if ((B.O == Op::AddCk || B.O == Op::SubCk) && B.A[2] == A.A[0]) {
+          Op F = B.O == Op::AddCk ? Op::AddCkImm : Op::SubCkImm;
+          int32_t Ops[5] = {B.A[0], B.A[1], A.A[1], A.A[0], B.A[3]};
+          A.O = F;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        } else if ((B.O == Op::AddRaw || B.O == Op::SubRaw) &&
+                   B.A[2] == A.A[0]) {
+          Op F = B.O == Op::AddRaw ? Op::AddRawImm : Op::SubRawImm;
+          int32_t Ops[4] = {B.A[0], B.A[1], A.A[1], A.A[0]};
+          A.O = F;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        } else if (B.O == Op::BrCmp && B.A[2] == A.A[0]) {
+          int32_t Ops[5] = {B.A[0], B.A[1], A.A[1], A.A[0], B.A[3]};
+          A.O = Op::BrCmpImm;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        }
+        break;
+      case Op::Move:
+        if (B.O == Op::Move) {
+          int32_t Ops[4] = {A.A[0], A.A[1], B.A[0], B.A[1]};
+          A.O = Op::Move2;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        } else if (B.O == Op::Jump) {
+          int32_t Ops[3] = {A.A[0], A.A[1], B.A[0]};
+          A.O = Op::MoveJump;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        }
+        break;
+      case Op::CmpValue:
+        if (B.O == Op::BrTrue && B.A[0] == A.A[0]) {
+          int32_t Ops[6] = {A.A[0], A.A[1], A.A[2], A.A[3], B.A[1], B.A[2]};
+          A.O = Op::CmpValueBr;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        }
+        break;
+      case Op::GetField:
+        if (B.O == Op::Move && B.A[1] == A.A[0]) {
+          int32_t Ops[4] = {A.A[0], A.A[1], A.A[2], B.A[0]};
+          A.O = Op::GetFieldMove;
+          std::memcpy(A.A, Ops, sizeof(Ops));
+          DidFuse = true;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+    if (DidFuse) {
+      ++Fused;
+      B.Dead = true;
+      // A now carries both halves; keep scanning from the next survivor
+      // (the fused form is never itself a fusion head).
+      K = nextLive(L);
+    } else {
+      K = L;
+    }
+  }
+  return Fused;
+}
+
+/// Re-emits the surviving instructions and repatches every branch target.
+/// NewAt is recorded for *every* original index — a deleted instruction maps
+/// to the next survivor's position, so branches into elided code land where
+/// execution would have continued anyway.
+void Peephole::reemit() {
+  std::vector<int32_t> Out;
+  Out.reserve(Fn.Code.size());
+  std::unordered_map<int, int> NewAt;
+  for (const Instr &In : Ins) {
+    NewAt[In.At] = static_cast<int>(Out.size());
+    if (In.Dead)
+      continue;
+    Out.push_back(static_cast<int32_t>(In.O));
+    for (int W = 0; W < opArity(In.O); ++W)
+      Out.push_back(In.A[W]);
+  }
+  int Slots[2];
+  for (size_t I = 0; I < Out.size();) {
+    Op O = static_cast<Op>(Out[I]);
+    int N = opJumpOperands(O, Slots);
+    for (int K = 0; K < N; ++K) {
+      int32_t &Tgt = Out[I + static_cast<size_t>(Slots[K])];
+      if (Tgt >= 0) {
+        assert(NewAt.count(Tgt) && "branch into the middle of an instruction");
+        Tgt = NewAt[Tgt];
+      }
+    }
+    I += static_cast<size_t>(1 + opArity(O));
+  }
+  Fn.Code = std::move(Out);
+}
+
+int Peephole::run(int *ElidedOut) {
+  if (Fn.Code.empty())
+    return 0;
+  decode();
+
+  // Cleanup to fixpoint: propagation exposes dead copies, and removing them
+  // makes new instruction pairs adjacent for both propagation and fusion.
+  for (int Round = 0; Round < 8; ++Round) {
+    markTargets();
+    bool C1 = propagateLocal();
+    bool C2 = eliminateDeadWrites();
+    if (!C1 && !C2)
+      break;
+  }
+
+  int Fused = fusePairs();
+  reemit();
+  if (ElidedOut)
+    *ElidedOut = Elided;
+  return Fused;
+}
+
+} // namespace
+
+int mself::fuseSuperinstructions(CompiledFunction &Fn, int *ElidedOut) {
+  return Peephole(Fn).run(ElidedOut);
+}

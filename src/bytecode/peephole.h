@@ -1,0 +1,42 @@
+//===-- bytecode/peephole.h - Superinstruction fusion -----------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-codegen peephole pass over the finished flat stream of either
+/// codegen, so the baseline and the optimizing compiler share one engine.
+/// Three stages:
+///   1. local copy + known-immediate propagation, which also rewrites
+///      checked/raw arithmetic and compares whose right operand is a known
+///      small-int into their Imm superinstruction forms (sound without
+///      liveness: the Imm forms re-store the immediate into the feeding
+///      register);
+///   2. liveness-driven elimination of dead register copies and literal
+///      loads (the registers the codegens spill every value through);
+///   3. fusion of the surviving adjacent pairs into single-dispatch
+///      superinstructions (Move2, AddCkImm, BrCmpImm, CmpValueBr, ...).
+/// Every fused form still performs both component writes, so fusion itself
+/// needs no liveness proof; only stage 2 relies on the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BYTECODE_PEEPHOLE_H
+#define MINISELF_BYTECODE_PEEPHOLE_H
+
+#include "bytecode/bytecode.h"
+
+namespace mself {
+
+/// Rewrites \p Fn.Code in place (cleanup passes + pair fusion) and
+/// repatches every branch target for the new layout. A pair is fused only
+/// when the second instruction is not a branch target (the first being one
+/// is fine — the fused op still executes both halves). If \p ElidedOut is
+/// non-null it receives the number of dead moves/loads eliminated.
+/// \returns the number of pairs fused.
+int fuseSuperinstructions(CompiledFunction &Fn, int *ElidedOut = nullptr);
+
+} // namespace mself
+
+#endif // MINISELF_BYTECODE_PEEPHOLE_H

@@ -12,6 +12,7 @@
 
 #include "compiler/compile.h"
 
+#include "bytecode/peephole.h"
 #include "compiler/emit.h"
 #include "runtime/primitives.h"
 #include "support/stopwatch.h"
@@ -45,6 +46,9 @@ public:
     emitBody();
 
     Fn->NumRegs = B.numRegs();
+    if (P.Superinstructions)
+      Fn->Stats.SuperFused =
+          fuseSuperinstructions(*Fn, &Fn->Stats.MovesElided);
     Fn->Stats.EmitSeconds = cpuTimeSeconds() - T0;
     return std::move(Fn);
   }

@@ -14,6 +14,7 @@
 
 #include "compiler/analyze.h"
 
+#include "bytecode/peephole.h"
 #include "compiler/emit.h"
 #include "parser/ast.h"
 #include "support/stopwatch.h"
@@ -560,12 +561,15 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
   }
 
   Fn->NumRegs = B.numRegs();
+  if (P.Superinstructions)
+    Stats.SuperFused = fuseSuperinstructions(*Fn, &Stats.MovesElided);
   Stats.EmitSeconds = cpuTimeSeconds() - EmitStart;
   Fn->Stats = Stats;
 
 #ifndef NDEBUG
   // Verify the stream decodes cleanly: instruction starts line up and every
-  // branch target lands on an instruction boundary.
+  // branch target lands on an instruction boundary. Branch operand layouts
+  // come from opJumpOperands so fused forms are covered automatically.
   {
     std::set<int> Starts;
     size_t I = 0;
@@ -579,39 +583,14 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
     I = 0;
     while (I < Fn->Code.size()) {
       Op O = static_cast<Op>(Fn->Code[I]);
-      auto CheckTarget = [&](int T) {
+      int Slots[2];
+      int NumTargets = opJumpOperands(O, Slots);
+      for (int K = 0; K < NumTargets; ++K) {
+        int T = Fn->Code[I + static_cast<size_t>(Slots[K])];
+        if (O == Op::Prim && T == -1)
+          continue; // Optional fail target: -1 means "runtime error".
         assert(T >= 0 && Starts.count(T) && "branch target misaligned");
-      };
-      switch (O) {
-      case Op::Jump:
-        CheckTarget(Fn->Code[I + 1]);
-        break;
-      case Op::TestInt:
-        CheckTarget(Fn->Code[I + 2]);
-        break;
-      case Op::TestMap:
-        CheckTarget(Fn->Code[I + 3]);
-        break;
-      case Op::BrCmp:
-      case Op::AddCk:
-      case Op::SubCk:
-      case Op::MulCk:
-      case Op::DivCk:
-      case Op::ModCk:
-      case Op::ArrAt:
-      case Op::ArrAtPut:
-        CheckTarget(Fn->Code[I + 4]);
-        break;
-      case Op::BrTrue:
-        CheckTarget(Fn->Code[I + 2]);
-        CheckTarget(Fn->Code[I + 3]);
-        break;
-      case Op::Prim:
-        if (Fn->Code[I + 5] != -1)
-          CheckTarget(Fn->Code[I + 5]);
-        break;
-      default:
-        break;
+        (void)T;
       }
       I += static_cast<size_t>(1 + opArity(O));
     }
@@ -624,7 +603,7 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
         Last = I;
       Op O = static_cast<Op>(Fn->Code[Last]);
       assert((O == Op::Return || O == Op::NLRet || O == Op::Jump ||
-              O == Op::Halt ||
+              O == Op::MoveJump || O == Op::Halt ||
               (O == Op::Prim && Fn->Code[Last + 5] == -1)) &&
              "function may run off the end of its code");
     }

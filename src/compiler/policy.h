@@ -88,6 +88,27 @@ struct Policy {
   /// Global lookup cache size in entries (rounded up to a power of two).
   int GlobalLookupCacheEntries = 2048;
 
+  //===--- Execution engine (interpreter core) knobs -------------------===//
+  // How compiled bytecode is *executed*, orthogonal to how it is compiled
+  // and dispatched. All three default on; the differential matrix and
+  // bench/table_interp cross-check every combination against the plain
+  // switch/generic/unfused engine.
+
+  /// Direct-threaded dispatch: the interpreter jumps label-to-label via
+  /// computed goto instead of re-entering a switch per instruction. Only
+  /// effective when the build has MINISELF_COMPUTED_GOTO (GNU/Clang);
+  /// otherwise the portable switch loop runs regardless.
+  bool ThreadedDispatch = true;
+  /// Opcode quickening: monomorphic Send sites rewrite their opcode word in
+  /// place to a specialized form (SendMono/SendGetF/SendSetF/SendConst)
+  /// validated against PIC entry 0, de-quickening on any mismatch and on
+  /// shape-mutation cache flushes.
+  bool OpcodeQuickening = true;
+  /// Superinstruction fusion: a post-codegen peephole pass merges hot
+  /// adjacent instruction pairs (compare+branch, load-imm+arith, move
+  /// chains) into single-dispatch superinstructions.
+  bool Superinstructions = true;
+
   //===--- Tiered adaptive recompilation -------------------------------===//
   // Two-tier execution: functions first compile under baselinePolicy() (a
   // fast, non-optimizing compile) and carry an invocation + loop-back-edge

@@ -35,6 +35,11 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
   DO.Polymorphic = Pol.PolymorphicInlineCaches;
   DO.PicArity = Pol.PicArity;
   DO.UseGlobalCache = Pol.UseGlobalLookupCache;
+  // Execution-engine knobs. Quickening specializes on PIC entry 0, so it is
+  // only meaningful with inline caches on; ThreadedDispatch additionally
+  // needs the computed-goto build (run() falls back to the switch loop).
+  DO.Threaded = Pol.ThreadedDispatch;
+  DO.Quickening = Pol.OpcodeQuickening && Pol.InlineCaches;
   Interp = std::make_unique<Interpreter>(*TheWorld, *Code, DO);
 
   // World shape mutations (a map gaining a slot) invalidate every cached
@@ -99,6 +104,10 @@ DispatchStats VirtualMachine::dispatchStats() const {
   S.GlcFills = Glc.stats().Fills;
   S.GlcInvalidations = Glc.stats().Invalidations;
   S.InlineCacheFlushes = Code->inlineCacheFlushes();
+  S.QuickSends = C.QuickSends;
+  S.Quickenings = C.Quickenings;
+  S.Dequickenings = C.Dequickenings;
+  S.DequickenedSites = Code->dequickenedSites();
   return S;
 }
 

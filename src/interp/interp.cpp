@@ -55,10 +55,19 @@ CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
   CompileRequest Norm = Req;
   if (!Customize)
     Norm.ReceiverMap = nullptr;
+  // Memo first: the same few block bodies are re-probed once per loop
+  // iteration, and a handful of pointer compares beat even a stored-hash
+  // table probe.
+  for (const MemoEntry &E : Memo)
+    if (E.Source == Norm.Source && E.ReceiverMap == Norm.ReceiverMap)
+      return E.Fn;
+
   Key K{Norm.Source, Norm.ReceiverMap};
   auto It = Cache.find(K);
-  if (It != Cache.end())
+  if (It != Cache.end()) {
+    memoInsert(K.Source, K.ReceiverMap, It->second);
     return It->second;
+  }
 
   // A non-positive threshold degenerates to full-opt-first-call.
   bool Baseline = Tiering.Enabled && Tiering.Threshold > 0;
@@ -68,6 +77,7 @@ CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
                                      : CompiledFunction::Tier::Optimized,
                       CompileEvent::Kind::Compile);
   Cache.emplace(K, Raw);
+  memoInsert(K.Source, K.ReceiverMap, Raw);
   return Raw;
 }
 
@@ -85,8 +95,10 @@ CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
 
   // Swap the cache entry: future getOrCompile() calls — including every
   // block invocation and each native-loop iteration — run the new code.
-  // Executing activations of Old keep running it (no OSR).
+  // Executing activations of Old keep running it (no OSR). The memo may
+  // still hand out Old, so flush it.
   Cache[Key{Old->Source, Old->ReceiverMap}] = New;
+  memoFlush();
   ++Tiers.Swaps;
   CompileEvent E;
   E.EventKind = CompileEvent::Kind::Swap;
@@ -155,6 +167,8 @@ void CodeManager::invalidateDependents(Map *Mutated) {
     E.Tier = Fn->CodeTier;
     Events.append(E);
   }
+  if (!Doomed.empty())
+    memoFlush();
 }
 
 size_t CodeManager::totalCodeBytes() const {
@@ -235,6 +249,24 @@ void CodeManager::flushInlineCaches() {
     for (InlineCache &C : F->Caches)
       C.flush();
   ++CacheFlushes;
+  // Quickened opcodes are specialized on PIC entry 0, which no longer
+  // exists; rewrite them back to the generic Send eagerly. (The runtime
+  // guard would also catch each site on its next execution — this keeps
+  // flushed code from carrying stale specializations at all.)
+  dequickenAll();
+}
+
+void CodeManager::dequickenAll() {
+  for (const auto &F : Functions) {
+    for (size_t I = 0; I < F->Code.size();) {
+      Op O = static_cast<Op>(F->Code[I]);
+      if (isQuickenedSend(O)) {
+        F->Code[I] = static_cast<int32_t>(Op::Send);
+        ++DequickenedSites;
+      }
+      I += static_cast<size_t>(1 + opArity(O));
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -652,434 +684,87 @@ Interpreter::RunResult Interpreter::continueNLR(uint64_t HomeId, Value Val,
   return R;
 }
 
-Interpreter::RunResult Interpreter::run(size_t Barrier) {
-  assert(Frames.size() > Barrier && "run() needs at least one frame");
-
-  while (true) {
-    Frame &F = Frames.back();
-    CompiledFunction *Fn = F.Fn;
-    const int32_t *Cd = Fn->Code.data();
-    int B = F.Base;
-    int IP = F.IP;
-
-    auto R = [&](int I) -> Value & {
-      return RegStack[static_cast<size_t>(B + I)];
-    };
-
-    // Executes until this frame pushes, pops, or errors.
-    for (;;) {
-      ++Counters.Instructions;
-      if (StepBudget != 0 && Counters.Instructions > StepBudget) {
-        Frames.resize(Barrier);
-        return fail("execution step budget exceeded");
-      }
-      Op O = static_cast<Op>(Cd[IP]);
-      switch (O) {
-      case Op::Halt:
-        Frames.resize(Barrier);
-        return fail("executed Halt");
-      case Op::Move:
-        R(Cd[IP + 1]) = R(Cd[IP + 2]);
-        IP += 3;
-        break;
-      case Op::LoadInt:
-        R(Cd[IP + 1]) = Value::fromInt(Cd[IP + 2]);
-        IP += 3;
-        break;
-      case Op::LoadConst:
-        R(Cd[IP + 1]) = Fn->Literals[static_cast<size_t>(Cd[IP + 2])];
-        IP += 3;
-        break;
-      case Op::GetField:
-        R(Cd[IP + 1]) = R(Cd[IP + 2]).asObject()->field(Cd[IP + 3]);
-        IP += 4;
-        break;
-      case Op::SetField:
-        R(Cd[IP + 1]).asObject()->setField(Cd[IP + 2], R(Cd[IP + 3]));
-        IP += 4;
-        break;
-      case Op::GetFieldConst:
-        R(Cd[IP + 1]) = Fn->Literals[static_cast<size_t>(Cd[IP + 2])]
-                            .asObject()
-                            ->field(Cd[IP + 3]);
-        IP += 4;
-        break;
-      case Op::SetFieldConst:
-        Fn->Literals[static_cast<size_t>(Cd[IP + 1])].asObject()->setField(
-            Cd[IP + 2], R(Cd[IP + 3]));
-        IP += 4;
-        break;
-      case Op::AddRaw:
-        R(Cd[IP + 1]) =
-            Value::fromInt(R(Cd[IP + 2]).asInt() + R(Cd[IP + 3]).asInt());
-        IP += 4;
-        break;
-      case Op::SubRaw:
-        R(Cd[IP + 1]) =
-            Value::fromInt(R(Cd[IP + 2]).asInt() - R(Cd[IP + 3]).asInt());
-        IP += 4;
-        break;
-      case Op::MulRaw:
-        R(Cd[IP + 1]) =
-            Value::fromInt(R(Cd[IP + 2]).asInt() * R(Cd[IP + 3]).asInt());
-        IP += 4;
-        break;
-      case Op::AddCk:
-      case Op::SubCk:
-      case Op::MulCk: {
-        int64_t A = R(Cd[IP + 2]).asInt();
-        int64_t Bv = R(Cd[IP + 3]).asInt();
-        int64_t Res = 0;
-        bool Ovf = O == Op::AddCk   ? __builtin_add_overflow(A, Bv, &Res)
-                   : O == Op::SubCk ? __builtin_sub_overflow(A, Bv, &Res)
-                                    : __builtin_mul_overflow(A, Bv, &Res);
-        if (Ovf || !fitsSmallInt(Res)) {
-          IP = Cd[IP + 4];
-          break;
-        }
-        R(Cd[IP + 1]) = Value::fromInt(Res);
-        IP += 5;
-        break;
-      }
-      case Op::DivCk:
-      case Op::ModCk: {
-        int64_t A = R(Cd[IP + 2]).asInt();
-        int64_t Bv = R(Cd[IP + 3]).asInt();
-        // minInt / -1 overflows the small-int range.
-        if (Bv == 0 || (A == kMinSmallInt && Bv == -1)) {
-          IP = Cd[IP + 4];
-          break;
-        }
-        R(Cd[IP + 1]) = Value::fromInt(O == Op::DivCk ? A / Bv : A % Bv);
-        IP += 5;
-        break;
-      }
-      case Op::CmpValue: {
-        Cond C = static_cast<Cond>(Cd[IP + 2]);
-        Value Av = R(Cd[IP + 3]), Bv = R(Cd[IP + 4]);
-        bool Res;
-        switch (C) {
-        case Cond::IdEq:
-          Res = Av.identicalTo(Bv);
-          break;
-        case Cond::IdNe:
-          Res = !Av.identicalTo(Bv);
-          break;
-        case Cond::Lt:
-          Res = Av.asInt() < Bv.asInt();
-          break;
-        case Cond::Le:
-          Res = Av.asInt() <= Bv.asInt();
-          break;
-        case Cond::Gt:
-          Res = Av.asInt() > Bv.asInt();
-          break;
-        case Cond::Ge:
-          Res = Av.asInt() >= Bv.asInt();
-          break;
-        case Cond::Eq:
-          Res = Av.asInt() == Bv.asInt();
-          break;
-        default:
-          Res = Av.asInt() != Bv.asInt();
-          break;
-        }
-        R(Cd[IP + 1]) = W.boolValue(Res);
-        IP += 5;
-        break;
-      }
-      case Op::BrCmp: {
-        Cond C = static_cast<Cond>(Cd[IP + 1]);
-        Value Av = R(Cd[IP + 2]), Bv = R(Cd[IP + 3]);
-        bool Res;
-        switch (C) {
-        case Cond::IdEq:
-          Res = Av.identicalTo(Bv);
-          break;
-        case Cond::IdNe:
-          Res = !Av.identicalTo(Bv);
-          break;
-        case Cond::Lt:
-          Res = Av.asInt() < Bv.asInt();
-          break;
-        case Cond::Le:
-          Res = Av.asInt() <= Bv.asInt();
-          break;
-        case Cond::Gt:
-          Res = Av.asInt() > Bv.asInt();
-          break;
-        case Cond::Ge:
-          Res = Av.asInt() >= Bv.asInt();
-          break;
-        case Cond::Eq:
-          Res = Av.asInt() == Bv.asInt();
-          break;
-        default:
-          Res = Av.asInt() != Bv.asInt();
-          break;
-        }
-        int Target = Cd[IP + 4];
-        if (Res) {
-          if (Target < IP) {
-            safepoint();
-            if (CM.tieringEnabled())
-              CM.noteBackEdge(Fn); // Loop back-edge: promotion swaps the
-                                   // cache; this frame finishes old code.
-          }
-          IP = Target;
-        } else {
-          IP += 5;
-        }
-        break;
-      }
-      case Op::BrTrue: {
-        Value V = R(Cd[IP + 1]);
-        if (V == W.trueValue())
-          IP = Cd[IP + 2];
-        else if (V == W.falseValue())
-          IP = Cd[IP + 3];
-        else {
-          Frames.resize(Barrier);
-          return fail("expected a boolean, got " + V.describe());
-        }
-        break;
-      }
-      case Op::TestInt:
-        ++Counters.TypeTests;
-        if (R(Cd[IP + 1]).isInt())
-          IP += 3;
-        else
-          IP = Cd[IP + 2];
-        break;
-      case Op::TestMap:
-        ++Counters.TypeTests;
-        if (W.mapOf(R(Cd[IP + 1])) ==
-            Fn->MapPool[static_cast<size_t>(Cd[IP + 2])])
-          IP += 4;
-        else
-          IP = Cd[IP + 3];
-        break;
-      case Op::Jump: {
-        int Target = Cd[IP + 1];
-        if (Target < IP) {
-          safepoint();
-          if (CM.tieringEnabled())
-            CM.noteBackEdge(Fn);
-        }
-        IP = Target;
-        break;
-      }
-      case Op::Send: {
-        int Dst = Cd[IP + 1];
-        const std::string *Sel =
-            Fn->SelectorPool[static_cast<size_t>(Cd[IP + 2])];
-        int WinBase = Cd[IP + 3];
-        int Argc = Cd[IP + 4];
-        int CacheIdx = Cd[IP + 5];
-        safepoint();
-        Value Recv = R(WinBase);
-        const Value *Args = &RegStack[static_cast<size_t>(B + WinBase + 1)];
-
-        // Block intercepts: invocation and the loop selectors.
-        if (Recv.isObject() &&
-            Recv.asObject()->kind() == ObjectKind::Block) {
-          auto *Blk = static_cast<BlockObj *>(Recv.asObject());
-          const CommonSelectors &S = W.selectors();
-          if (Sel == S.valueSelector(Argc)) {
-            if (Blk->body()->Body.NumArgs != Argc) {
-              Frames.resize(Barrier);
-              return fail("block invoked with the wrong number of "
-                          "arguments");
-            }
-            CompileRequest Req;
-            Req.Source = &Blk->body()->Body;
-            Req.ReceiverMap = W.mapOf(Blk->homeSelf());
-            Req.IsBlockUnit = true;
-            Req.Name = Blk->body()->Body.SelectorName;
-            CompiledFunction *Callee = CM.getOrCompile(Req);
-            F.IP = IP + 6;
-            pushActivation(Callee, Blk->homeSelf(), Args, Argc, B + Dst,
-                           Blk->env(), Blk->homeFrameId(), true);
-            goto frameChanged;
-          }
-          if ((Sel == S.WhileTrue || Sel == S.WhileFalse) && Argc == 1) {
-            F.IP = IP + 6;
-            RunResult L =
-                runWhileLoop(Recv, Args[0], /*Until=*/Sel == S.WhileFalse);
-            if (L.K == RunResult::Kind::Error) {
-              Frames.resize(Barrier);
-              return L;
-            }
-            if (L.K == RunResult::Kind::NLR) {
-              RunResult U = continueNLR(L.HomeId, L.Val, Barrier);
-              if (U.K == RunResult::Kind::Done)
-                return U;
-              if (U.K == RunResult::Kind::NLR && U.HomeId != 0)
-                return U;
-              goto frameChanged; // Resumed in some caller frame.
-            }
-            // The Frames vector may have reallocated during the loop, so
-            // re-enter through frameChanged rather than touching F again
-            // (the frame's IP was already advanced above).
-            RegStack[static_cast<size_t>(B + Dst)] = L.Val;
-            goto frameChanged;
-          }
-        }
-
-        // Save the resume point before dispatch: a successful dispatch may
-        // push a frame, and pushing can reallocate the Frames vector.
-        F.IP = IP + 6;
-        Value Imm;
-        DispatchKind K =
-            dispatchSend(Recv, Sel, Args, Argc, B + Dst,
-                         &Fn->Caches[static_cast<size_t>(CacheIdx)], Imm);
-        if (K == DispatchKind::Immediate) {
-          RegStack[static_cast<size_t>(B + Dst)] = Imm;
-          IP += 6;
-          break;
-        }
-        if (K == DispatchKind::Pushed)
-          goto frameChanged;
-        Frames.resize(Barrier);
-        return fail(ErrMsg);
-      }
-      case Op::Prim: {
-        int Dst = Cd[IP + 1];
-        PrimId Id = static_cast<PrimId>(Cd[IP + 2]);
-        int WinBase = Cd[IP + 3];
-        int FailTarget = Cd[IP + 5];
-        ++Counters.PrimCalls;
-        Value Result;
-        bool Ok = execPrimitive(W, Id, &RegStack[static_cast<size_t>(
-                                           B + WinBase)],
-                                Result);
-        if (Ok) {
-          R(Dst) = Result;
-          IP += 6;
-          break;
-        }
-        if (FailTarget >= 0) {
-          IP = FailTarget;
-          break;
-        }
-        Frames.resize(Barrier);
-        return fail("primitive failed: " + W.primError());
-      }
-      case Op::ArrAt: {
-        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 2]).asObject());
-        int64_t Idx = R(Cd[IP + 3]).asInt();
-        if (!A->inBounds(Idx)) {
-          IP = Cd[IP + 4];
-          break;
-        }
-        R(Cd[IP + 1]) = A->at(Idx);
-        IP += 5;
-        break;
-      }
-      case Op::ArrAtRaw: {
-        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 2]).asObject());
-        R(Cd[IP + 1]) = A->at(R(Cd[IP + 3]).asInt());
-        IP += 4;
-        break;
-      }
-      case Op::ArrAtPut: {
-        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 1]).asObject());
-        int64_t Idx = R(Cd[IP + 2]).asInt();
-        if (!A->inBounds(Idx)) {
-          IP = Cd[IP + 4];
-          break;
-        }
-        A->atPut(Idx, R(Cd[IP + 3]));
-        IP += 5;
-        break;
-      }
-      case Op::ArrAtPutRaw: {
-        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 1]).asObject());
-        A->atPut(R(Cd[IP + 2]).asInt(), R(Cd[IP + 3]));
-        IP += 4;
-        break;
-      }
-      case Op::ArrSize: {
-        auto *A = static_cast<ArrayObj *>(R(Cd[IP + 2]).asObject());
-        R(Cd[IP + 1]) = Value::fromInt(A->size());
-        IP += 3;
-        break;
-      }
-      case Op::MakeEnv: {
-        int Slots = Cd[IP + 2];
-        int ParentReg = Cd[IP + 3];
-        ArrayObj *E = W.heap().allocArray(
-            W.envMap(), static_cast<size_t>(1 + Slots), W.nilValue());
-        if (ParentReg >= 0)
-          E->atPut(0, R(ParentReg));
-        R(Cd[IP + 1]) = Value::fromObject(E);
-        IP += 4;
-        break;
-      }
-      case Op::EnvGet: {
-        ++Counters.EnvAccesses;
-        Object *E = R(Cd[IP + 2]).asObject();
-        for (int Hop = Cd[IP + 3]; Hop > 0; --Hop)
-          E = static_cast<ArrayObj *>(E)->at(0).asObject();
-        R(Cd[IP + 1]) = static_cast<ArrayObj *>(E)->at(1 + Cd[IP + 4]);
-        IP += 5;
-        break;
-      }
-      case Op::EnvSet: {
-        ++Counters.EnvAccesses;
-        Object *E = R(Cd[IP + 1]).asObject();
-        for (int Hop = Cd[IP + 2]; Hop > 0; --Hop)
-          E = static_cast<ArrayObj *>(E)->at(0).asObject();
-        static_cast<ArrayObj *>(E)->atPut(1 + Cd[IP + 3], R(Cd[IP + 4]));
-        IP += 5;
-        break;
-      }
-      case Op::MakeBlock: {
-        ++Counters.BlocksMade;
-        const ast::BlockExpr *BE =
-            Fn->BlockPool[static_cast<size_t>(Cd[IP + 2])];
-        int EnvReg = Cd[IP + 3];
-        int SelfReg = Cd[IP + 4];
-        Object *Env = EnvReg >= 0 && R(EnvReg).isObject()
-                          ? R(EnvReg).asObject()
-                          : nullptr;
-        // The block's home self is the (possibly inlined) home method's
-        // receiver, which need not be this frame's own receiver.
-        BlockObj *Blk = W.heap().allocBlock(W.blockMap(), BE, Env,
-                                            R(SelfReg), F.HomeFrameId);
-        R(Cd[IP + 1]) = Value::fromObject(Blk);
-        IP += 5;
-        break;
-      }
-      case Op::Return: {
-        Value V = R(Cd[IP + 1]);
-        Frame Top = Frames.back();
-        Frames.pop_back();
-        if (Top.RetDst >= 0)
-          RegStack[static_cast<size_t>(Top.RetDst)] = V;
-        if (Frames.size() == Barrier) {
-          RunResult Res;
-          Res.Val = V;
-          return Res;
-        }
-        goto frameChanged;
-      }
-      case Op::NLRet: {
-        Value V = R(Cd[IP + 1]);
-        uint64_t HomeId = F.HomeFrameId;
-        RunResult U = continueNLR(HomeId, V, Barrier);
-        if (U.K == RunResult::Kind::Done)
-          return U;
-        if (U.K == RunResult::Kind::NLR && U.HomeId != 0)
-          return U; // Crosses this run's barrier; propagate.
-        goto frameChanged;
-      }
-      }
-      continue;
-    frameChanged:
-      break;
-    }
+/// Shared comparison evaluator for CmpValue/BrCmp and their fused forms.
+static inline bool evalCond(Cond C, Value Av, Value Bv) {
+  switch (C) {
+  case Cond::IdEq:
+    return Av.identicalTo(Bv);
+  case Cond::IdNe:
+    return !Av.identicalTo(Bv);
+  case Cond::Lt:
+    return Av.asInt() < Bv.asInt();
+  case Cond::Le:
+    return Av.asInt() <= Bv.asInt();
+  case Cond::Gt:
+    return Av.asInt() > Bv.asInt();
+  case Cond::Ge:
+    return Av.asInt() >= Bv.asInt();
+  case Cond::Eq:
+    return Av.asInt() == Bv.asInt();
+  default:
+    return Av.asInt() != Bv.asInt();
   }
+}
+
+void Interpreter::maybeQuicken(int32_t *Cd, int IP, const InlineCache &C,
+                               const std::string *Sel, int Argc) {
+  if (!Opts.Quickening || C.SiteState != InlineCache::State::Monomorphic ||
+      C.Size != 1)
+    return;
+  // Leave the natively-intercepted selectors generic: value-family sends
+  // and whileTrue:/whileFalse: take the block fast path *before* dispatch,
+  // and a quickened form would route a block receiver through its cached
+  // entry's guard instead. (The guard would in fact reject it -- a block
+  // map is never cached for these selectors -- but not quickening keeps the
+  // intercept structurally unreachable from specialized code.)
+  const CommonSelectors &S = W.selectors();
+  if (Sel == S.valueSelector(Argc) || Sel == S.WhileTrue ||
+      Sel == S.WhileFalse)
+    return;
+  Op Q = Op::Send;
+  switch (C.Entries[0].EntryKind) {
+  case PicEntry::Kind::Method:
+    Q = Op::SendMono;
+    break;
+  case PicEntry::Kind::DataGet:
+    Q = Op::SendGetF;
+    break;
+  case PicEntry::Kind::DataSet:
+    Q = Op::SendSetF;
+    break;
+  case PicEntry::Kind::ConstGet:
+    Q = Op::SendConst;
+    break;
+  case PicEntry::Kind::Empty:
+    return;
+  }
+  assert(static_cast<Op>(Cd[IP]) == Op::Send && "quickening a non-Send slot");
+  Cd[IP] = static_cast<int32_t>(Q);
+  ++Counters.Quickenings;
+}
+
+// Expand the shared loop body into the portable switch engine and (when the
+// build supports computed goto) the direct-threaded engine.
+#define MSELF_THREADED 0
+#define MSELF_LOOP_FN runSwitch
+#include "interp/interp_loop.inc"
+#undef MSELF_THREADED
+#undef MSELF_LOOP_FN
+
+#if defined(MINISELF_COMPUTED_GOTO)
+#define MSELF_THREADED 1
+#define MSELF_LOOP_FN runThreaded
+#include "interp/interp_loop.inc"
+#undef MSELF_THREADED
+#undef MSELF_LOOP_FN
+#endif
+
+Interpreter::RunResult Interpreter::run(size_t Barrier) {
+#if defined(MINISELF_COMPUTED_GOTO)
+  if (Opts.Threaded)
+    return runThreaded(Barrier);
+#endif
+  return runSwitch(Barrier);
 }
 
 Interpreter::Outcome Interpreter::callFunction(CompiledFunction *Fn,

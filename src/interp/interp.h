@@ -184,12 +184,23 @@ public:
   void forEach(const std::function<void(const CompiledFunction &)> &F) const;
 
   /// Invalidation hook: resets every send site's inline cache back to the
-  /// Empty state. Called (via the world's shape-mutation hook) whenever a
-  /// map gains a slot, since cached bindings may then be stale.
+  /// Empty state and rewrites every quickened send opcode back to the
+  /// generic Op::Send (quickened forms validate against PIC entry 0, which
+  /// this just emptied — rewriting eagerly keeps specialized code from even
+  /// reaching its guard after a shape mutation). Called (via the world's
+  /// shape-mutation hook) whenever a map gains a slot, since cached
+  /// bindings may then be stale.
   void flushInlineCaches();
+
+  /// Rewrites every quickened send opcode in every compiled function back
+  /// to Op::Send. Part of flushInlineCaches(); exposed for tests.
+  void dequickenAll();
 
   /// Number of flushInlineCaches() calls (observability).
   uint64_t inlineCacheFlushes() const { return CacheFlushes; }
+
+  /// Quickened sites rewritten back to generic by dequickenAll().
+  uint64_t dequickenedSites() const { return DequickenedSites; }
 
   void traceRoots(GcVisitor &V) override;
 
@@ -201,31 +212,70 @@ private:
                                     CompileEvent::Kind LogKind);
   /// Recompiles \p Old under the full policy and swaps the cache entry.
   CompiledFunction *promote(CompiledFunction *Old);
+  /// Cache key with its hash computed once at construction, so the hot
+  /// lookup (every block invocation and native-loop iteration probes the
+  /// cache) hashes nothing at probe time — the table reads the stored value.
   struct Key {
     const ast::Code *Source;
     Map *ReceiverMap;
+    size_t Hash;
+    Key(const ast::Code *S, Map *M)
+        : Source(S), ReceiverMap(M),
+          Hash(std::hash<const void *>()(S) * 31 +
+               std::hash<const void *>()(M)) {}
     bool operator==(const Key &O) const {
       return Source == O.Source && ReceiverMap == O.ReceiverMap;
     }
   };
   struct KeyHash {
-    size_t operator()(const Key &K) const {
-      return std::hash<const void *>()(K.Source) * 31 +
-             std::hash<const void *>()(K.ReceiverMap);
-    }
+    size_t operator()(const Key &K) const { return K.Hash; }
   };
+
+  /// Tiny direct-mapped memo in front of the hash table: the same handful
+  /// of block bodies are re-probed once per loop iteration, so most hot
+  /// lookups resolve with a few pointer compares and no hashing at all.
+  /// Must be flushed whenever a cache entry changes (promotion swaps,
+  /// invalidation erasures).
+  static constexpr int kMemoEntries = 4;
+  struct MemoEntry {
+    const ast::Code *Source = nullptr;
+    Map *ReceiverMap = nullptr;
+    CompiledFunction *Fn = nullptr;
+  };
+  void memoInsert(const ast::Code *S, Map *M, CompiledFunction *Fn) {
+    Memo[MemoNext] = MemoEntry{S, M, Fn};
+    MemoNext = (MemoNext + 1) % kMemoEntries;
+  }
+  void memoFlush() {
+    for (MemoEntry &E : Memo)
+      E = MemoEntry();
+  }
 
   Heap &H;
   bool Customize;
   CompileFn Compiler;
   TieringConfig Tiering;
   std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
+  MemoEntry Memo[kMemoEntries];
+  unsigned MemoNext = 0;
   std::vector<std::unique_ptr<CompiledFunction>> Functions;
   double CompileSeconds = 0;
   uint64_t CacheFlushes = 0;
+  uint64_t DequickenedSites = 0;
   TierStats Tiers; ///< Counter fields only; census filled by tierStats().
   CompilationEventLog Events;
 };
+
+/// True when this build can run the computed-goto (direct-threaded)
+/// dispatch loop; without it DispatchOptions::Threaded is ignored and the
+/// portable switch loop runs.
+constexpr bool threadedDispatchSupported() {
+#if defined(MINISELF_COMPUTED_GOTO)
+  return true;
+#else
+  return false;
+#endif
+}
 
 /// Runtime dispatch configuration, derived from the compiler Policy by the
 /// driver (interp/ deliberately does not depend on compiler/).
@@ -234,6 +284,8 @@ struct DispatchOptions {
   bool Polymorphic = true;    ///< Off: single-entry caches, replace on miss.
   int PicArity = 4;           ///< Entries per site before megamorphic.
   bool UseGlobalCache = true; ///< Consult the world's global lookup cache.
+  bool Threaded = true;       ///< Computed-goto loop (when built in).
+  bool Quickening = true;     ///< Rewrite monomorphic Send sites in place.
 
   /// \returns PicArity clamped to the PIC's physical capacity.
   int clampedArity() const {
@@ -267,6 +319,17 @@ struct ExecCounters {
   uint64_t MonoToPoly = 0;   ///< Monomorphic → Polymorphic transitions.
   uint64_t ToMegamorphic = 0;///< Transitions into the Megamorphic state.
   uint64_t PicEvictions = 0; ///< Entries replaced (monomorphic mode).
+
+  // Opcode quickening (the specialized-send execution path).
+  uint64_t QuickSends = 0;     ///< Sends served by a quickened opcode.
+  uint64_t Quickenings = 0;    ///< Send sites rewritten to a quickened form.
+  uint64_t Dequickenings = 0;  ///< Quickened sites rewritten back on a
+                               ///< guard miss (map/kind mismatch).
+
+  /// Executions per opcode, indexed by Op. Always maintained — the cost is
+  /// one array increment per dispatch, paid identically by every engine
+  /// configuration — and asserted over by the opcode-coverage test.
+  uint64_t PerOp[kNumOps] = {};
 };
 
 /// Aggregate dispatch-path statistics assembled by the driver: dynamic
@@ -285,6 +348,9 @@ struct DispatchStats {
   size_t GlcCapacity = 0, GlcOccupied = 0;
   uint64_t GlcFills = 0, GlcInvalidations = 0;
   uint64_t InlineCacheFlushes = 0;
+  // Opcode quickening.
+  uint64_t QuickSends = 0, Quickenings = 0, Dequickenings = 0;
+  uint64_t DequickenedSites = 0; ///< Sites reset by invalidation flushes.
 
   /// Fraction of sends served directly by a PIC entry.
   double picHitRate() const;
@@ -341,7 +407,20 @@ private:
     uint64_t HomeId = 0;
   };
 
+  /// Dispatches to runThreaded() when the build supports computed goto and
+  /// Opts.Threaded is set, else to the portable switch loop. Both loops are
+  /// expanded from interp_loop.inc so their per-opcode semantics cannot
+  /// drift apart.
   RunResult run(size_t Barrier);
+  RunResult runSwitch(size_t Barrier);
+#if defined(MINISELF_COMPUTED_GOTO)
+  RunResult runThreaded(size_t Barrier);
+#endif
+  /// Rewrites the Send at \p IP in \p Cd to its quickened form when the
+  /// site's PIC is monomorphic (and the selector is not one the loop
+  /// intercepts natively).
+  void maybeQuicken(int32_t *Cd, int IP, const InlineCache &C,
+                    const std::string *Sel, int Argc);
   bool pushActivation(CompiledFunction *Fn, Value Self, const Value *Args,
                       int Argc, int RetDst, Object *Env, uint64_t HomeId,
                       bool IsBlock);

@@ -9,7 +9,7 @@
 using namespace mself;
 
 TEST(Bytecode, ArityTableCoversEveryOpcode) {
-  for (int O = 0; O <= static_cast<int>(Op::NLRet); ++O) {
+  for (int O = 0; O < kNumOps; ++O) {
     EXPECT_GE(opArity(static_cast<Op>(O)), 0);
     EXPECT_STRNE(opName(static_cast<Op>(O)), "?");
   }

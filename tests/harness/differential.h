@@ -35,7 +35,9 @@ struct Config {
 };
 
 /// The full matrix: {st80, oldself, newself} × {pic, mono, noglc, nocache},
-/// plus the execution-tier axis on the optimizing presets.
+/// plus the execution-tier axis on the optimizing presets and the
+/// execution-engine axis (dispatch loop / quickening / fusion) on the
+/// bracketing presets.
 /// "pic" is the default dispatch stack (PIC + global lookup cache), "mono"
 /// degrades to single-entry replace-on-miss caches (the pre-PIC system),
 /// "noglc" runs PICs without the global cache, and "nocache" performs a
@@ -89,6 +91,39 @@ inline std::vector<Config> policyMatrix() {
   BaseOnly.TieredCompilation = true;
   BaseOnly.TierUpThreshold = std::numeric_limits<int>::max();
   Out.push_back({"newself/tierbase", BaseOnly});
+
+  // Execution-engine axis: the dispatch loop (threaded vs switch), opcode
+  // quickening, and superinstruction fusion must each be observationally
+  // invisible. st80 and newself bracket the compiler spectrum — st80 runs
+  // the most generic sends (quickening hits hardest), newself the most
+  // optimized bytecode (fusion hits hardest).
+  for (const Policy &Base : {Policy::st80(), Policy::newSelf()}) {
+    Policy NoQuick = Base;
+    NoQuick.OpcodeQuickening = false;
+    Out.push_back({Base.Name + "/noquick", NoQuick});
+
+    Policy NoFuse = Base;
+    NoFuse.Superinstructions = false;
+    Out.push_back({Base.Name + "/nofuse", NoFuse});
+
+    Policy Plain = Base;
+    Plain.ThreadedDispatch = false;
+    Plain.OpcodeQuickening = false;
+    Plain.Superinstructions = false;
+    Out.push_back({Base.Name + "/plainloop", Plain});
+  }
+  // Switch loop with quickening + fusion still on: the non-default engine
+  // pairing (threaded-off is the portable fallback everywhere).
+  Policy SwitchLoop = Policy::newSelf();
+  SwitchLoop.ThreadedDispatch = false;
+  Out.push_back({"newself/switchloop", SwitchLoop});
+  // Quickening across tier promotion: baseline code quickens, promotion
+  // swaps in fresh optimized code mid-run, which must re-quicken cleanly.
+  Policy TierQuick = Policy::newSelf();
+  TierQuick.TieredCompilation = true;
+  TierQuick.TierUpThreshold = 8;
+  TierQuick.ThreadedDispatch = false;
+  Out.push_back({"newself/tierquick", TierQuick});
   return Out;
 }
 

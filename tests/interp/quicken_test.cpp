@@ -1,0 +1,237 @@
+//===-- tests/interp/quicken_test.cpp - Opcode quickening tests -----------===//
+//
+// Opcode quickening rewrites monomorphic Send sites in place to specialized
+// opcodes (SendMono/SendGetF/SendSetF/SendConst) guarded by PIC entry 0.
+// These tests pin down the full lifecycle: sites quicken once monomorphic,
+// quickened guards reject foreign receivers and rewrite themselves back to
+// the generic Send, and shape mutations eagerly de-quicken every compiled
+// function (the map-pointer guard alone cannot catch a mutated-in-place map
+// whose lookup results changed). Receiver laundering through the assignable
+// lobby slot `cur` keeps the interesting sends dynamically bound under
+// every policy, as in invalidation_test.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mself;
+
+namespace {
+
+/// Number of quickened send opcodes currently present across every compiled
+/// function's bytecode.
+size_t quickenedOpCount(VirtualMachine &VM) {
+  size_t N = 0;
+  VM.code().forEach([&N](const CompiledFunction &F) {
+    size_t I = 0;
+    while (I < F.Code.size()) {
+      Op O = static_cast<Op>(F.Code[I]);
+      if (isQuickenedSend(O))
+        ++N;
+      I += static_cast<size_t>(1 + opArity(O));
+    }
+  });
+  return N;
+}
+
+uint64_t perOp(VirtualMachine &VM, Op O) {
+  return VM.interp().counters().PerOp[static_cast<int>(O)];
+}
+
+// A host object exercising all four quickened forms through one driver
+// loop: `cur bump` is a method send, `cur n` a data-slot read, `n:` (inside
+// bump) a data-slot write, and `cur k` a constant-slot read.
+const char *kHostDefs =
+    "obj = ( | parent* = lobby. n <- 0. k = 7. bump = ( n: n + 1 ) | ). "
+    "cur <- 0. "
+    "drive = ( | i <- 0. t <- 0 | cur n: 0. [ i < 20 ] whileTrue: "
+    "[ i: i + 1. cur bump. t: t + cur n + cur k ]. t )";
+
+// After iteration j the counter n is j, so drive returns
+// sum_{j=1..20} (j + 7) = 210 + 140.
+constexpr int64_t kDriveResult = 350;
+
+} // namespace
+
+// Monomorphic sites quicken on their first dispatch after the PIC fills,
+// and every one of the four specialized opcodes actually executes.
+TEST(Quicken, MonomorphicSitesQuickenAllFourKinds) {
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kHostDefs, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
+  EXPECT_EQ(Out, kDriveResult);
+
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_GT(S.Quickenings, 0u);
+  EXPECT_GT(S.QuickSends, 0u);
+  EXPECT_EQ(S.Dequickenings, 0u); // Nothing polymorphic, nothing mutated.
+  EXPECT_GT(perOp(VM, Op::SendMono), 0u);
+  EXPECT_GT(perOp(VM, Op::SendGetF), 0u);
+  EXPECT_GT(perOp(VM, Op::SendSetF), 0u);
+  EXPECT_GT(perOp(VM, Op::SendConst), 0u);
+  // The rewrites are visible in the cached bytecode itself.
+  EXPECT_GT(quickenedOpCount(VM), 0u);
+  // Quickened hits count as monomorphic PIC-served sends.
+  EXPECT_LE(S.QuickSends, S.Sends);
+}
+
+// A site that turns polymorphic: the first receiver quickens it, the second
+// receiver misses the quickened guard, and the site rewrites itself back to
+// the generic Send (which then drives the PIC to the polymorphic state and
+// stays generic).
+TEST(Quicken, GuardMissDequickensPolymorphicSite) {
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  int64_t Out = 0;
+  // tagOf: funnels both receivers through ONE `x tag` send site (writing
+  // `cur tag` twice in the source would create two sites, each of which
+  // would stay happily monomorphic).
+  ASSERT_TRUE(VM.load(
+      "a = ( | parent* = lobby. tag = ( 1 ) | ). "
+      "b = ( | parent* = lobby. tag = ( 2 ) | ). "
+      "tagOf: x = ( x tag ). "
+      "probe = ( | t <- 0. i <- 0 | [ i < 6 ] whileTrue: "
+      "[ i: i + 1. t: t + (tagOf: a) + (tagOf: b) ]. t )",
+      Err))
+      << Err;
+  ASSERT_TRUE(VM.evalInt("probe", Out, Err)) << Err;
+  EXPECT_EQ(Out, 18); // 6 * (1 + 2).
+
+  DispatchStats S = VM.dispatchStats();
+  // The `cur tag` site quickened for a's map, then b's map missed the
+  // guard and reset it to the generic Send.
+  EXPECT_GT(S.Quickenings, 0u);
+  EXPECT_GT(S.Dequickenings, 0u);
+  // The site is polymorphic now; generic dispatch keeps serving it.
+  EXPECT_GT(S.SendsPoly, 0u);
+}
+
+// Shape mutations de-quicken eagerly. The lobby map mutates *in place*, so
+// a quickened site whose cached map is unaffected would still pass its map
+// guard while the world underneath it changed; flushInlineCaches() must
+// rewrite every quickened opcode back to the generic Send, and execution
+// afterwards must re-resolve, stay correct, and re-quicken.
+TEST(Quicken, ShapeMutationDequickensEverything) {
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kHostDefs, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
+  EXPECT_EQ(Out, kDriveResult);
+  ASSERT_GT(quickenedOpCount(VM), 0u);
+  uint64_t QuickeningsBefore = VM.dispatchStats().Quickenings;
+
+  // Any new lobby slot is a shape mutation on the (in-place) lobby map.
+  ASSERT_TRUE(VM.load("unrelated = ( 99 )", Err)) << Err;
+
+  DispatchStats S = VM.dispatchStats();
+  EXPECT_GT(S.DequickenedSites, 0u);
+  EXPECT_GT(S.InlineCacheFlushes, 0u);
+  // No specialized opcode survives the flush anywhere in the code cache.
+  EXPECT_EQ(quickenedOpCount(VM), 0u);
+
+  // Re-running re-resolves through the generic path and re-quickens.
+  ASSERT_TRUE(VM.evalInt("drive", Out, Err)) << Err;
+  EXPECT_EQ(Out, kDriveResult);
+  EXPECT_GT(VM.dispatchStats().Quickenings, QuickeningsBefore);
+  EXPECT_GT(quickenedOpCount(VM), 0u);
+}
+
+// The headline soundness scenario from invalidation_test.cpp, with
+// quickening active: a send that fails while a selector is missing must
+// pick up the later definition, and the surrounding quickened machinery
+// must not serve any stale decision.
+TEST(Quicken, LateDefinitionVisibleThroughQuickenedCode) {
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(
+      "thing = ( | parent* = lobby. go = ( mystery ) | ). cur <- 0", Err))
+      << Err;
+  ASSERT_TRUE(VM.evalInt("cur: thing. 0", Out, Err)) << Err;
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_FALSE(VM.evalInt("cur go", Out, Err));
+    EXPECT_NE(Err.find("not understood"), std::string::npos) << Err;
+  }
+  ASSERT_TRUE(VM.load("mystery = ( 9 )", Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur go", Out, Err)) << Err;
+  EXPECT_EQ(Out, 9);
+  ASSERT_TRUE(VM.evalInt("cur go", Out, Err)) << Err;
+  EXPECT_EQ(Out, 9);
+}
+
+// Quickening across tier promotion: baseline code quickens, crossing the
+// hotness threshold swaps in freshly compiled optimized code mid-run, and
+// the new unit re-quickens cleanly with results unchanged throughout.
+TEST(Quicken, SurvivesTierPromotion) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = true;
+  P.TierUpThreshold = 3;
+  VirtualMachine VM(P);
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kHostDefs, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur: obj. 0", Out, Err)) << Err;
+  for (int I = 0; I < 8; ++I) {
+    ASSERT_TRUE(VM.evalInt("drive", Out, Err)) << Err;
+    EXPECT_EQ(Out, kDriveResult) << "call " << I;
+  }
+  EXPECT_GE(VM.tierStats().Promotions, 1u);
+  EXPECT_GT(VM.dispatchStats().Quickenings, 0u);
+  EXPECT_GT(VM.dispatchStats().QuickSends, 0u);
+}
+
+// The knob: with OpcodeQuickening off (or with inline caches off, which
+// quickening needs for its guards), no site ever rewrites and no
+// specialized opcode executes — while results are identical.
+TEST(Quicken, DisabledEngineStaysFullyGeneric) {
+  for (int Mode = 0; Mode < 2; ++Mode) {
+    Policy P = Policy::st80();
+    if (Mode == 0)
+      P.OpcodeQuickening = false;
+    else
+      P.InlineCaches = false; // Implies quickening off in the driver.
+    VirtualMachine VM(P);
+    std::string Err;
+    int64_t Out = 0;
+    ASSERT_TRUE(VM.load(kHostDefs, Err)) << Err;
+    ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
+    EXPECT_EQ(Out, kDriveResult) << "mode " << Mode;
+
+    DispatchStats S = VM.dispatchStats();
+    EXPECT_EQ(S.Quickenings, 0u) << "mode " << Mode;
+    EXPECT_EQ(S.QuickSends, 0u) << "mode " << Mode;
+    EXPECT_EQ(S.Dequickenings, 0u) << "mode " << Mode;
+    EXPECT_EQ(quickenedOpCount(VM), 0u) << "mode " << Mode;
+    EXPECT_EQ(perOp(VM, Op::SendMono), 0u) << "mode " << Mode;
+  }
+}
+
+// dequickenAll() itself is idempotent and precise: it only rewrites
+// quickened opcodes, leaves counts consistent, and a second call finds
+// nothing left to do.
+TEST(Quicken, DequickenAllIsIdempotent) {
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kHostDefs, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
+  size_t Quickened = quickenedOpCount(VM);
+  ASSERT_GT(Quickened, 0u);
+
+  VM.code().dequickenAll();
+  EXPECT_EQ(VM.code().dequickenedSites(), Quickened);
+  EXPECT_EQ(quickenedOpCount(VM), 0u);
+  VM.code().dequickenAll();
+  EXPECT_EQ(VM.code().dequickenedSites(), Quickened); // Nothing new.
+
+  // The de-quickened code still runs (and re-quickens) correctly.
+  ASSERT_TRUE(VM.evalInt("drive", Out, Err)) << Err;
+  EXPECT_EQ(Out, kDriveResult);
+}
