@@ -20,6 +20,7 @@ int main() {
   printf("%-14s %-12s %10s %10s %10s\n", "benchmark", "group", "ST-80",
          "old SELF", "new SELF");
 
+  JsonReport Report("appendix_a_speed");
   bool AllOk = true;
   for (const BenchmarkDef &B : allBenchmarks()) {
     if (B.Group == "stanford-oo" && B.Name == "puzzle")
@@ -36,9 +37,13 @@ int main() {
         AllOk = false;
         continue;
       }
+      Report.metric(B.Name + "/" + P.Name + "/frac_of_native",
+                    Native / R.ExecSeconds);
       printf(" %10s", pct(Native / R.ExecSeconds).c_str());
     }
     printf("\n");
   }
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

@@ -19,6 +19,7 @@ int main() {
   printf("%-14s %-12s %10s %10s %10s\n", "benchmark", "group", "ST-80",
          "old SELF", "new SELF");
 
+  JsonReport Report("appendix_b_size");
   bool AllOk = true;
   for (const BenchmarkDef &B : allBenchmarks()) {
     if (B.Group == "stanford-oo" && B.Name == "puzzle")
@@ -33,10 +34,14 @@ int main() {
         AllOk = false;
         continue;
       }
+      Report.metric(B.Name + "/" + P.Name + "/code_kib",
+                    static_cast<double>(R.CodeBytes) / 1024.0);
       printf(" %10s", fixed(static_cast<double>(R.CodeBytes) / 1024.0, 1)
                           .c_str());
     }
     printf("\n");
   }
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

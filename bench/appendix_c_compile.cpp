@@ -21,6 +21,7 @@ int main() {
   printf("%-14s %-12s %10s %10s %10s\n", "benchmark", "group", "ST-80",
          "old SELF", "new SELF");
 
+  JsonReport Report("appendix_c_compile");
   bool AllOk = true;
   for (const BenchmarkDef &B : allBenchmarks()) {
     if (B.Group == "stanford-oo" && B.Name == "puzzle")
@@ -35,9 +36,13 @@ int main() {
         AllOk = false;
         continue;
       }
+      Report.metric(B.Name + "/" + P.Name + "/compile_ms",
+                    R.CompileSeconds * 1000);
       printf(" %10s", fixed(R.CompileSeconds * 1000, 2).c_str());
     }
     printf("\n");
   }
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

@@ -112,6 +112,7 @@ int main() {
   for (const BenchmarkDef *B : Subset)
     Base.push_back(runSelf(*B, Variants[0].second));
 
+  JsonReport Report("ablation");
   bool AllOk = true;
   for (const auto &[Label, P] : Variants) {
     double ExecRatio = 1, InstrRatio = 1, CompRatio = 1, SizeRatio = 1;
@@ -137,6 +138,10 @@ int main() {
     auto Geo = [N](double Prod) {
       return std::pow(Prod, 1.0 / N);
     };
+    Report.metric(P.Name + "/exec_ratio", Geo(ExecRatio));
+    Report.metric(P.Name + "/instr_ratio", Geo(InstrRatio));
+    Report.metric(P.Name + "/compile_ratio", Geo(CompRatio));
+    Report.metric(P.Name + "/size_ratio", Geo(SizeRatio));
     printf("%-28s %11.2fx %13.2fx %13.2fx %11.2fx\n", Label.c_str(),
            Geo(ExecRatio), Geo(InstrRatio), Geo(CompRatio), Geo(SizeRatio));
   }
@@ -151,6 +156,9 @@ int main() {
       AllOk = false;
       continue;
     }
+    Report.metric(P.Name + "/triangle_instr_ratio",
+                  static_cast<double>(R.Instructions) /
+                      static_cast<double>(TriBase.Instructions));
     printf("%-28s %11.2fx  (%llu instructions/run)\n", Label.c_str(),
            static_cast<double>(R.Instructions) /
                static_cast<double>(TriBase.Instructions),
@@ -159,5 +167,7 @@ int main() {
   printf("\nShape check (paper sections 4-5): disabling extended splitting "
          "or\niterative loops must slow execution; disabling loop-head\n"
          "generalization must raise compile time.\n");
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

@@ -52,6 +52,7 @@ int main() {
     printf(" %-24s", C);
   printf("\n");
 
+  JsonReport Report("code_size");
   bool AllOk = true;
   for (int PI = 0; PI < 3; ++PI) {
     printf("%-10s", Labels[PI]);
@@ -67,6 +68,12 @@ int main() {
         }
         S.add(static_cast<double>(R.CodeBytes) / 1024.0);
       }
+      if (!S.empty()) {
+        std::string Key = std::string(Policies[PI].Name) + "/" + C;
+        Report.metric(Key + "/median_kib", S.median());
+        Report.metric(Key + "/p75_kib", S.percentile(75));
+        Report.metric(Key + "/max_kib", S.max());
+      }
       std::string Cell = S.empty() ? std::string("-")
                                    : fixed(S.median(), 1) + " / " +
                                          fixed(S.percentile(75), 1) + " / " +
@@ -75,5 +82,7 @@ int main() {
     }
     printf("\n");
   }
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

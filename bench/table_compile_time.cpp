@@ -56,6 +56,7 @@ int main() {
     printf(" %-26s", "- (compiled ahead of time)");
   printf("\n");
 
+  JsonReport Report("compile_time");
   bool AllOk = true;
   for (int PI = 0; PI < 3; ++PI) {
     printf("%-10s", Labels[PI]);
@@ -71,6 +72,12 @@ int main() {
         }
         S.add(R.CompileSeconds);
       }
+      if (!S.empty()) {
+        std::string Key = std::string(Policies[PI].Name) + "/" + C;
+        Report.metric(Key + "/median_ms", S.median() * 1000);
+        Report.metric(Key + "/p75_ms", S.percentile(75) * 1000);
+        Report.metric(Key + "/max_ms", S.max() * 1000);
+      }
       std::string Cell = S.empty() ? std::string("-")
                                    : fixed(S.median() * 1000, 2) + " / " +
                                          fixed(S.percentile(75) * 1000, 2) +
@@ -80,5 +87,7 @@ int main() {
     }
     printf("\n");
   }
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

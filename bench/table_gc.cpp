@@ -1,0 +1,275 @@
+//===-- bench/table_gc.cpp - E13: Generation scavenging vs mark-sweep -------===//
+//
+// Measures the memory system on allocation-heavy kernels: five workloads
+// whose inner loops allocate on every iteration (fresh clones, vectors,
+// closures, linked pairs, and a surviving object window), each run under
+// the NEW-SELF compiler policy with the two collector configurations —
+//   mark-sweep      the single-space collector: every object old from
+//                   birth, reclaimed by full stop-the-world mark-sweep
+//   generational    bump-pointer nursery + copying scavenges + age-based
+//                   promotion (the default)
+// Before timing, each VM builds a retained binary tree of ~65k nodes that
+// stays reachable for the whole run — the long-lived data every real
+// program carries. That is where the generational bet pays off: full
+// mark-sweep collections re-mark the retained graph on every cycle, while
+// scavenges only touch the (mostly dead) nursery. Both configurations run
+// the heap's default nursery sizing and the same 2 MiB old-space growth
+// threshold, so the comparison is the two collectors under one policy,
+// not a tuned-vs-detuned strawman.
+//
+// The headline claim this table must support (EXPERIMENTS.md E13): the
+// generational collector reaches a geometric-mean allocation-throughput
+// speedup of >= 1.3x over mark-sweep across the kernels. The program exits
+// nonzero if that (or any checksum) fails. Alongside the printed table the
+// run writes BENCH_table_gc.json with per-kernel throughput, pause
+// distribution (median / p90 / max), survival rate, promotion volume, and
+// write-barrier traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "driver/vm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+constexpr int64_t kIterations = 200000;
+
+/// Shared by every kernel: a retained ~65k-node binary tree (rgrow: 15)
+/// built once per VM before timing, standing in for a program's long-lived
+/// heap. buildRetained answers 0 so the harness can checksum it.
+const char *kPrelude =
+    "rnode = ( | parent* = lobby. l. r. v <- 0 | ). "
+    "rgrow: d = ( | o | o: rnode clone. o v: d. "
+    "d > 0 ifTrue: [ o l: (rgrow: d - 1). o r: (rgrow: d - 1) ] "
+    "False: [ ]. o ). "
+    "retained <- nil. "
+    "buildRetained = ( retained: (rgrow: 15). 0 )";
+
+/// An allocation-heavy kernel: lobby definitions plus a native model for
+/// the checksum. Each driver takes the iteration count as its argument.
+struct Kernel {
+  const char *Name;
+  const char *Defs;
+  const char *Selector;
+  int64_t (*Native)(int64_t N);
+};
+
+const Kernel kKernels[] = {
+    // A fresh clone per iteration, dead by the next: the pure
+    // allocate-and-drop case generation scavenging is built for.
+    {"clonechurn",
+     "cproto = ( | parent* = lobby. v <- 0 | ). "
+     "cl: n = ( | o. t <- 0 | 1 to: n Do: [ :i | "
+     "o: cproto clone. o v: i. t: t + o v ]. t )",
+     "cl:", [](int64_t N) { return N * (N + 1) / 2; }},
+    // A small vector per iteration (shell + element payload).
+    {"vecchurn",
+     "vc: n = ( | t <- 0 | 1 to: n Do: [ :i | "
+     "t: t + (vectorOfSize: 4) size ]. t )",
+     "vc:", [](int64_t N) { return 4 * N; }},
+    // Four fieldless clones per iteration: the shell-only case — no field
+    // vector, so the entire allocation is the collector's own path (bump
+    // pointer vs general-purpose allocate + sweep).
+    {"shellchurn",
+     "fproto = ( | parent* = lobby. k = ( 3 ) | ). "
+     "sc: n = ( | t <- 0 | 1 to: n Do: [ :i | "
+     "t: t + fproto clone k + fproto clone k + fproto clone k + "
+     "fproto clone k ]. t )",
+     "sc:", [](int64_t N) { return 12 * N; }},
+    // Two linked objects per iteration: dead small graphs, not just
+    // isolated shells.
+    {"pairchurn",
+     "pproto = ( | parent* = lobby. a <- 0. b | ). "
+     "pc: n = ( | p. q. t <- 0 | 1 to: n Do: [ :i | "
+     "p: pproto clone. q: pproto clone. p a: i. q b: p. "
+     "t: t + (q b) a ]. t )",
+     "pc:", [](int64_t N) { return N * (N + 1) / 2; }},
+    // A 64-slot ring of survivors: each iteration's clone stays live for
+    // 64 more, so scavenges copy and promote, and storing young clones
+    // into the (tenured) ring vector exercises the write barrier.
+    {"livewindow",
+     "wproto = ( | parent* = lobby. v <- 0 | ). "
+     "win: n = ( | ring. o. t <- 0 | ring: (vectorOfSize: 64). "
+     "1 to: n Do: [ :i | o: wproto clone. o v: i. "
+     "ring at: i % 64 Put: o. t: t + (ring at: i % 64) v ]. t )",
+     "win:", [](int64_t N) { return N * (N + 1) / 2; }},
+};
+constexpr int kNumKernels = int(sizeof(kKernels) / sizeof(kKernels[0]));
+
+struct CollectorConfig {
+  const char *Name;
+  bool Generational;
+};
+const CollectorConfig kConfigs[] = {
+    {"mark-sweep", false},
+    {"generational", true},
+};
+constexpr int kNumConfigs = int(sizeof(kConfigs) / sizeof(kConfigs[0]));
+
+struct Cell {
+  bool Ok = false;
+  double ItersPerSec = 0;
+  GcStats Gc; ///< Collector statistics over the best timed run's VM.
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = std::min(V.size() - 1, size_t(P * double(V.size())));
+  return V[I];
+}
+
+Cell runCell(const Kernel &K, const CollectorConfig &C) {
+  Cell Out;
+  std::string Expr =
+      std::string(K.Selector) + " " + std::to_string(kIterations);
+  // Best of three samples, each in a fresh VM so collector statistics
+  // describe exactly one timed run (plus its warm-up).
+  double BestSecs = 1e18;
+  for (int Sample = 0; Sample < 3; ++Sample) {
+    Policy P = Policy::newSelf();
+    P.GenerationalGc = C.Generational;
+    P.GcThresholdKiB = 2048;
+    VirtualMachine VM(P);
+    std::string Err;
+    int64_t V = 0;
+    if (!VM.load(std::string(kPrelude) + ". " + K.Defs, Err)) {
+      fprintf(stderr, "FAIL %s/%s load: %s\n", K.Name, C.Name, Err.c_str());
+      return Out;
+    }
+    // Untimed setup: build the retained graph, then warm up the kernel
+    // (compiles everything lazily and validates the checksum).
+    if (!VM.evalInt("buildRetained", V, Err) || V != 0) {
+      fprintf(stderr, "FAIL %s/%s setup: %s\n", K.Name, C.Name, Err.c_str());
+      return Out;
+    }
+    if (!VM.evalInt(std::string(K.Selector) + " 100", V, Err) ||
+        V != K.Native(100)) {
+      fprintf(stderr, "FAIL %s/%s warmup: %s (got %lld)\n", K.Name, C.Name,
+              Err.c_str(), (long long)V);
+      return Out;
+    }
+    auto T0 = std::chrono::steady_clock::now();
+    if (!VM.evalInt(Expr, V, Err)) {
+      fprintf(stderr, "FAIL %s/%s: %s\n", K.Name, C.Name, Err.c_str());
+      return Out;
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    if (V != K.Native(kIterations)) {
+      fprintf(stderr, "FAIL %s/%s: checksum %lld != %lld\n", K.Name, C.Name,
+              (long long)V, (long long)K.Native(kIterations));
+      return Out;
+    }
+    double Secs = std::chrono::duration<double>(T1 - T0).count();
+    if (Secs < BestSecs) {
+      BestSecs = Secs;
+      Out.Gc = VM.gcStats();
+    }
+  }
+  Out.Ok = true;
+  Out.ItersPerSec = BestSecs > 0 ? double(kIterations) / BestSecs : 0;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printf("E13: Memory system — allocation-heavy kernels, NEW-SELF policy\n");
+  printf("     cell: Miters/s  [collections, total GC pause]\n\n");
+  printf("%-13s", "");
+  for (const Kernel &K : kKernels)
+    printf(" %-24s", K.Name);
+  printf("\n");
+
+  JsonReport Report("table_gc");
+  bool AllOk = true;
+  Cell Table[kNumConfigs][kNumKernels];
+  for (int CI = 0; CI < kNumConfigs; ++CI) {
+    printf("%-13s", kConfigs[CI].Name);
+    for (int KI = 0; KI < kNumKernels; ++KI) {
+      Cell &X = Table[CI][KI];
+      X = runCell(kKernels[KI], kConfigs[CI]);
+      if (!X.Ok) {
+        AllOk = false;
+        printf(" %-24s", "-");
+        continue;
+      }
+      uint64_t Collections = X.Gc.Scavenges + X.Gc.FullCollections;
+      std::string CellStr = fixed(X.ItersPerSec / 1e6, 2) + " [" +
+                            std::to_string((unsigned long long)Collections) +
+                            "gc " +
+                            fixed(X.Gc.totalPauseSeconds() * 1e3, 1) + "ms]";
+      printf(" %-24s", CellStr.c_str());
+
+      std::string Base =
+          std::string(kKernels[KI].Name) + "/" + kConfigs[CI].Name;
+      Report.metric(Base + "/miters_per_sec", X.ItersPerSec / 1e6);
+      Report.metric(Base + "/scavenges", double(X.Gc.Scavenges));
+      Report.metric(Base + "/full_collections",
+                    double(X.Gc.FullCollections));
+      Report.metric(Base + "/total_pause_ms",
+                    X.Gc.totalPauseSeconds() * 1e3);
+      Report.metric(Base + "/median_pause_ms",
+                    percentile(X.Gc.PauseSeconds, 0.5) * 1e3);
+      Report.metric(Base + "/p90_pause_ms",
+                    percentile(X.Gc.PauseSeconds, 0.9) * 1e3);
+      Report.metric(Base + "/max_pause_ms", X.Gc.MaxPauseSeconds * 1e3);
+      Report.metric(Base + "/survival_rate", X.Gc.survivalRate());
+      Report.metric(Base + "/promoted_kib",
+                    double(X.Gc.BytesPromoted) / 1024.0);
+      Report.metric(Base + "/barrier_hits", double(X.Gc.BarrierHits));
+      Report.metric(Base + "/overflow_allocs", double(X.Gc.OverflowAllocs));
+    }
+    printf("\n");
+  }
+
+  // Pause behaviour of the generational row: many short scavenges instead
+  // of fewer long full collections.
+  printf("\ngenerational pauses (median / p90 / max ms per kernel):");
+  for (int KI = 0; KI < kNumKernels; ++KI) {
+    const Cell &G = Table[1][KI];
+    if (!G.Ok)
+      continue;
+    printf("  %s %s/%s/%s", kKernels[KI].Name,
+           fixed(percentile(G.Gc.PauseSeconds, 0.5) * 1e3, 3).c_str(),
+           fixed(percentile(G.Gc.PauseSeconds, 0.9) * 1e3, 3).c_str(),
+           fixed(G.Gc.MaxPauseSeconds * 1e3, 3).c_str());
+  }
+  printf("\n");
+
+  // Headline: geomean allocation-throughput speedup, generational over
+  // mark-sweep, across the kernels.
+  double LogSum = 0;
+  int LogN = 0;
+  for (int KI = 0; KI < kNumKernels; ++KI) {
+    const Cell &Gen = Table[1][KI];
+    const Cell &Ms = Table[0][KI];
+    if (Gen.Ok && Ms.Ok && Ms.ItersPerSec > 0) {
+      LogSum += std::log(Gen.ItersPerSec / Ms.ItersPerSec);
+      ++LogN;
+    }
+  }
+  double Geomean = LogN ? std::exp(LogSum / LogN) : 0;
+  bool GeomeanOk = Geomean >= 1.3;
+  printf("geomean speedup, generational vs mark-sweep: %sx "
+         "(>= 1.30x required): %s\n",
+         fixed(Geomean, 2).c_str(), GeomeanOk ? "ok" : "FAIL");
+  Report.metric("geomean_speedup_generational_vs_marksweep", Geomean);
+
+  bool Pass = AllOk && GeomeanOk;
+  Report.pass(Pass);
+  Report.write();
+  return Pass ? 0 : 1;
+}

@@ -38,6 +38,7 @@ int main() {
     printf(" %-22s", G);
   printf("\n");
 
+  JsonReport Report("speed");
   bool AllOk = true;
   for (int PI = 0; PI < 3; ++PI) {
     printf("%-10s", Labels[PI]);
@@ -59,6 +60,10 @@ int main() {
         printf(" %-22s", "-");
         continue;
       }
+      std::string Key = std::string(Policies[PI].Name) + "/" + G;
+      Report.metric(Key + "/median_frac", S.median());
+      Report.metric(Key + "/min_frac", S.min());
+      Report.metric(Key + "/max_frac", S.max());
       std::string Cell = pct(S.median());
       if (S.size() > 1)
         Cell += " (" + pct(S.min()) + "-" + pct(S.max()) + ")";
@@ -68,5 +73,7 @@ int main() {
   }
   printf("\nAll checksums validated against the native implementations: %s\n",
          AllOk ? "yes" : "NO (see errors above)");
+  Report.pass(AllOk);
+  Report.write();
   return AllOk ? 0 : 1;
 }

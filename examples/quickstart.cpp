@@ -72,5 +72,11 @@ int main() {
            Fn.Name ? Fn.Name->c_str() : "<anon>", Fn.Stats.SendsInlined,
            Fn.Stats.SendsDynamic, Fn.Stats.LoopVersions);
   });
+
+  // The one-stop stats dump: dispatch-path, tiering, and collector
+  // statistics (the generational heap reports scavenge/full counts, pause
+  // times, promotion volume, survival rate, and write-barrier traffic).
+  printf("\n");
+  VM.printStats(stdout);
   return 0;
 }

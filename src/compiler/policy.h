@@ -109,6 +109,30 @@ struct Policy {
   /// chains) into single-dispatch superinstructions.
   bool Superinstructions = true;
 
+  //===--- Memory system (garbage collector) knobs ----------------------===//
+  // Which collector the VM's heap runs and how it is sized. Like the
+  // dispatch knobs these are orthogonal to the three compiler presets; the
+  // differential matrix crosses them against every policy, and
+  // bench/table_gc measures the generational collector against the
+  // mark-sweep baseline.
+
+  /// Two-generation collector: bump-pointer nursery + copying scavenges +
+  /// age-based promotion into the mark-sweep old space. Off: the
+  /// single-space mark-sweep collector (every object old from birth).
+  bool GenerationalGc = true;
+  /// Nursery semispace size in KiB (generational only). Tiny values
+  /// (e.g. 4) force scavenges mid-send and are used by the GC stress
+  /// tests; <= 0 selects the heap's default (256 KiB).
+  int GcNurseryKiB = 0;
+  /// Scavenges an object must survive before being tenured into the old
+  /// space; 0 promotes on the first scavenge. Negative selects the heap's
+  /// default (2).
+  int GcPromotionAge = -1;
+  /// Old-space growth (KiB) between full collections; <= 0 selects the
+  /// heap's default (8 MiB). This replaces the test-only
+  /// Heap::setGcThresholdBytes as the way to configure collection volume.
+  int GcThresholdKiB = 0;
+
   //===--- Tiered adaptive recompilation -------------------------------===//
   // Two-tier execution: functions first compile under baselinePolicy() (a
   // fast, non-optimizing compile) and carry an invocation + loop-back-edge

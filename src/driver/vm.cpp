@@ -4,9 +4,34 @@
 
 #include "compiler/compile.h"
 
+#include <cstdlib>
+#include <cstring>
+
 using namespace mself;
 
 VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
+  // Collector configuration must precede the first allocation — the world
+  // boot below already allocates. MINISELF_GC_STRESS=1 overrides the
+  // policy with a tiny, promotion-eager nursery so any test suite can be
+  // re-run with scavenges forced mid-send (the check-gc-stress target).
+  size_t Nursery = Pol.GcNurseryKiB > 0
+                       ? static_cast<size_t>(Pol.GcNurseryKiB) << 10
+                       : Heap::kDefaultNurseryBytes;
+  int Age = Pol.GcPromotionAge >= 0 ? Pol.GcPromotionAge
+                                    : Heap::kDefaultPromotionAge;
+  size_t Threshold = Pol.GcThresholdKiB > 0
+                         ? static_cast<size_t>(Pol.GcThresholdKiB) << 10
+                         : Heap::kDefaultGcThresholdBytes;
+  bool Generational = Pol.GenerationalGc;
+  if (const char *S = std::getenv("MINISELF_GC_STRESS");
+      S && *S && std::strcmp(S, "0") != 0) {
+    Generational = true;
+    Nursery = 4u << 10;
+    Age = 1;
+    Threshold = 512u << 10;
+  }
+  TheHeap.configureGc(Generational, Nursery, Age, Threshold);
+
   TheWorld = std::make_unique<World>(TheHeap);
   World *W = TheWorld.get();
   const Policy *Pp = &Pol;
@@ -109,6 +134,43 @@ DispatchStats VirtualMachine::dispatchStats() const {
   S.Dequickenings = C.Dequickenings;
   S.DequickenedSites = Code->dequickenedSites();
   return S;
+}
+
+void VirtualMachine::printStats(FILE *Out) const {
+  DispatchStats D = dispatchStats();
+  fprintf(Out, "dispatch: %llu sends, PIC hit rate %.1f%%, combined %.1f%%, "
+               "%llu full lookups\n",
+          (unsigned long long)D.Sends, D.picHitRate() * 100,
+          D.combinedHitRate() * 100, (unsigned long long)D.FullLookups);
+  fprintf(Out, "  sites: %zu (%zu mono, %zu poly, %zu mega), quick sends "
+               "%llu\n",
+          D.Sites, D.SitesMono, D.SitesPoly, D.SitesMega,
+          (unsigned long long)D.QuickSends);
+
+  TierStats T = tierStats();
+  fprintf(Out, "tiering: %llu baseline + %llu optimized compiles, "
+               "%llu promotions, %llu invalidations\n",
+          (unsigned long long)T.BaselineCompiles,
+          (unsigned long long)T.OptimizedCompiles,
+          (unsigned long long)T.Promotions,
+          (unsigned long long)T.Invalidations);
+
+  const GcStats &G = gcStats();
+  fprintf(Out, "gc (%s): %llu scavenges + %llu full collections, "
+               "%.2f ms total pause, %.3f ms max pause\n",
+          TheHeap.generational() ? "generational" : "mark-sweep",
+          (unsigned long long)G.Scavenges,
+          (unsigned long long)G.FullCollections,
+          G.totalPauseSeconds() * 1e3, G.MaxPauseSeconds * 1e3);
+  fprintf(Out, "  alloc: %llu nursery + %llu old (%llu overflow); "
+               "promoted %llu objs / %llu KiB; survival %.1f%%; "
+               "barrier hits %llu\n",
+          (unsigned long long)G.NurseryAllocs,
+          (unsigned long long)G.OldAllocs,
+          (unsigned long long)G.OverflowAllocs,
+          (unsigned long long)G.ObjectsPromoted,
+          (unsigned long long)(G.BytesPromoted >> 10), G.survivalRate() * 100,
+          (unsigned long long)G.BarrierHits);
 }
 
 bool VirtualMachine::load(const std::string &Source, std::string &ErrOut) {

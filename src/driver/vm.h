@@ -20,6 +20,7 @@
 #include "compiler/policy.h"
 #include "interp/interp.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -61,6 +62,14 @@ public:
   /// The code cache's bounded compilation event log (compile, promote,
   /// swap, invalidate — with per-phase compile timings).
   const CompilationEventLog &compilationEvents() const;
+
+  /// Collector observability: scavenge/full-collection counts, pause
+  /// timings, promotion and survival volumes, and write-barrier traffic.
+  const GcStats &gcStats() const { return TheHeap.stats(); }
+
+  /// Prints the dispatch, tiering, and collector statistics to \p Out — the
+  /// VM's one-stop stats dump (examples/quickstart uses it).
+  void printStats(FILE *Out) const;
 
 private:
   Policy Pol;

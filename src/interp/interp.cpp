@@ -227,18 +227,21 @@ void CodeManager::forEach(
 
 void CodeManager::traceRoots(GcVisitor &V) {
   for (const auto &F : Functions) {
-    for (Value L : F->Literals)
+    for (Value &L : F->Literals)
       V.visit(L);
     // Every occupied PIC entry can hold an Object* (data-slot holder) and a
-    // Value (ConstGet payload); all must survive collection for the cached
-    // dispatch to remain valid. Cached Map* and CompiledFunction* are not
-    // heap-managed (maps are immortal, code is owned by this manager).
-    for (const InlineCache &C : F->Caches) {
+    // Value (ConstGet payload); all must survive collection — updated in
+    // place when a scavenge moves them — for the cached dispatch to remain
+    // valid. Quickened SendConst/SendGetF/SendSetF sites read these same
+    // entries (their operands are cache-table indices, never raw heap
+    // pointers), so updating the PIC is what lets quickened code survive
+    // object motion. Cached Map* and CompiledFunction* are not heap-managed
+    // (maps are immortal, code is owned by this manager).
+    for (InlineCache &C : F->Caches) {
       for (int I = 0; I < C.Size; ++I) {
-        const PicEntry &E = C.Entries[I];
+        PicEntry &E = C.Entries[I];
         V.visit(E.ConstValue);
-        if (E.SlotHolder)
-          V.visitObject(E.SlotHolder);
+        V.visitObject(E.SlotHolder);
       }
     }
   }
@@ -301,14 +304,14 @@ void Interpreter::traceRoots(GcVisitor &V) {
     Top = static_cast<size_t>(Frames.back().Base + Frames.back().Fn->NumRegs);
   for (size_t I = 0; I < Top; ++I)
     V.visit(RegStack[I]);
-  for (Value R : NativeRoots)
+  for (Value &R : NativeRoots)
     V.visit(R);
 }
 
 void Interpreter::safepoint() {
   if (!W.heap().shouldCollect())
     return;
-  W.heap().collect();
+  W.heap().collectAtSafepoint();
   // Scrub the dead region of the register stack: values there may point to
   // objects the sweep just freed, and must never be traced or reused.
   size_t Top = 0;
@@ -630,7 +633,11 @@ Interpreter::RunResult Interpreter::runWhileLoop(Value CondBlock,
     safepoint();
     if (HomeFn && CM.tieringEnabled())
       CM.noteBackEdge(HomeFn);
-    RunResult C = callValueOn(CondBlock, nullptr, 0);
+    // Re-read the callables from NativeRoots each iteration (by index, not
+    // reference — the vector can reallocate): a scavenge inside safepoint()
+    // or either block call relocates the closures, and the locals this
+    // function was called with would then be stale.
+    RunResult C = callValueOn(NativeRoots[Mark], nullptr, 0);
     if (C.K != RunResult::Kind::Done) {
       Out = C;
       break;
@@ -648,7 +655,7 @@ Interpreter::RunResult Interpreter::runWhileLoop(Value CondBlock,
       Out.Val = W.nilValue();
       break;
     }
-    RunResult B = callValueOn(BodyBlock, nullptr, 0);
+    RunResult B = callValueOn(NativeRoots[Mark + 1], nullptr, 0);
     if (B.K != RunResult::Kind::Done) {
       Out = B;
       break;

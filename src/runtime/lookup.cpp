@@ -168,10 +168,10 @@ void GlobalLookupCache::traceEntries(GcVisitor &V) {
   for (Entry &E : Table) {
     if (E.M == nullptr)
       continue;
-    if (E.Result.Holder)
-      V.visitObject(E.Result.Holder);
-    if (E.Result.Slot)
-      V.visit(E.Result.Slot->Constant);
+    // The cached Holder is updated in place when a scavenge moves it. The
+    // cached SlotDesc points into an immortal map whose constant slots are
+    // traced (and updated) as heap roots, so it needs no visit here.
+    V.visitObject(E.Result.Holder);
   }
 }
 

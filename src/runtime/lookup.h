@@ -110,8 +110,9 @@ public:
   size_t occupied() const { return Occupied; }
   const Stats &stats() const { return Counters; }
 
-  /// GC-roots every object a cached result can reach (Holder objects and
-  /// slot constants), keeping entries valid across collections.
+  /// GC-roots every Holder object a cached result points at, updating the
+  /// cached pointer in place when a scavenge relocates the holder; slot
+  /// constants live in immortal maps and are rooted by the heap itself.
   void traceEntries(GcVisitor &V);
 
 private:

@@ -245,6 +245,9 @@ bool mself::execPrimitive(World &W, PrimId Id, const Value *Win,
     case ObjectKind::Plain: {
       Object *C = W.heap().allocPlain(O->map());
       C->fields() = O->fields();
+      // The bulk copy bypassed the per-store write barrier; if the clone
+      // landed in the old space (nursery overflow), re-scan it.
+      W.heap().writeBarrierAll(C);
       Result = Value::fromObject(C);
       return true;
     }
@@ -255,6 +258,7 @@ bool mself::execPrimitive(World &W, PrimId Id, const Value *Win,
                                         W.nilValue());
       C->elems() = A->elems();
       C->fields() = A->fields();
+      W.heap().writeBarrierAll(C);
       Result = Value::fromObject(C);
       return true;
     }

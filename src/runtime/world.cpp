@@ -25,7 +25,7 @@ void World::traceRoots(GcVisitor &V) {
   V.visit(Nil);
   V.visit(True);
   V.visit(False);
-  for (Value R : LiteralRoots)
+  for (Value &R : LiteralRoots)
     V.visit(R);
   // Cached lookup results hold Object* (slot holders) and Values; root them
   // so cache entries never outlive what they point at.
@@ -132,10 +132,12 @@ bool World::defineLobbySlot(const SlotDef &Def, std::string &ErrOut) {
     const std::string *Setter = Interner.intern(*Def.Name + ":");
     LobbyMap->addSlot(Def.Name, SlotKind::Data, V, Setter);
     // The lobby is the one object whose map grows after creation; keep its
-    // field storage in step.
+    // field storage in step. The bulk resize stores references (nil fill)
+    // without per-store barriers, so re-scan the lobby afterwards.
     Lobby->fields().resize(static_cast<size_t>(LobbyMap->fieldCount()),
                            Nil);
     Lobby->setField(LobbyMap->fieldCount() - 1, V);
+    H.writeBarrierAll(Lobby);
     noteShapeMutation(LobbyMap);
     return true;
   }

@@ -1,21 +1,75 @@
-//===-- vm/heap.cpp - Mark-sweep garbage-collected heap ------------------===//
+//===-- vm/heap.cpp - Generational garbage-collected heap -----------------===//
 
 #include "vm/heap.h"
 
+#include "support/stopwatch.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <new>
 
 using namespace mself;
 
-void GcVisitor::visitObject(Object *O) {
-  if (O == nullptr || O->Marked)
+namespace {
+constexpr size_t kAllocAlign = alignof(std::max_align_t);
+
+size_t alignUp(size_t N) {
+  return (N + kAllocAlign - 1) & ~(kAllocAlign - 1);
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// GcVisitor
+//===----------------------------------------------------------------------===//
+
+void GcVisitor::visitObject(Object *&O) {
+  if (O == nullptr)
     return;
-  O->Marked = true;
-  Worklist.push_back(O);
+  if (TheMode == Mode::Scavenge) {
+    // Minor collection: only young objects are in play. Old objects keep
+    // their identity, and their outgoing references are covered by the
+    // remembered set, not by tracing.
+    if ((O->GcFlags & Object::kGcYoung) != 0)
+      O = H.relocateYoung(O);
+    return;
+  }
+  // Full-collection marking (nothing moves; the nursery was evacuated
+  // before marking began, so everything reachable is in the old space).
+  if ((O->GcFlags & Object::kGcMarked) != 0)
+    return;
+  O->GcFlags |= Object::kGcMarked;
+  H.MarkWorklist.push_back(O);
 }
 
+//===----------------------------------------------------------------------===//
+// Object: write-barrier slow path
+//===----------------------------------------------------------------------===//
+
+void Object::rememberSelf() {
+  // Maps constructed outside any heap (unit tests building raw maps) leave
+  // OwnerHeap null; such objects can never be collected generationally.
+  if (Heap *H = TheMap->ownerHeap())
+    H->remember(this);
+}
+
+//===----------------------------------------------------------------------===//
+// Heap: setup and allocation
+//===----------------------------------------------------------------------===//
+
+Heap::Heap() { configureGc(true); }
+
 Heap::~Heap() {
-  Object *O = AllObjects;
+  // Nursery objects were constructed by placement new inside the arena:
+  // run their destructors explicitly (payload vectors/strings live on the
+  // C++ heap), then free old-space objects normally.
+  Object *O = NurseryList;
+  while (O) {
+    Object *Next = O->NextAlloc;
+    O->~Object();
+    O = Next;
+  }
+  O = AllObjects;
   while (O) {
     Object *Next = O->NextAlloc;
     delete O;
@@ -23,64 +77,218 @@ Heap::~Heap() {
   }
 }
 
+void Heap::configureGc(bool Gen, size_t Nursery, int Age, size_t Threshold) {
+  assert(NumObjects == 0 && "configureGc must precede the first allocation");
+  Generational = Gen;
+  PromotionAge = Age;
+  GcThresholdBytes = Threshold;
+  if (!Generational) {
+    NurserySpace[0].reset();
+    NurserySpace[1].reset();
+    NurseryBase = NurseryTop = NurseryLimit = nullptr;
+    ScavengeTriggerBytes = 0;
+    return;
+  }
+  NurseryBytes = std::max(Nursery, size_t(1) << 10);
+  NurserySpace[0] = std::make_unique<char[]>(NurseryBytes);
+  NurserySpace[1] = std::make_unique<char[]>(NurseryBytes);
+  ActiveSpace = 0;
+  NurseryBase = NurseryTop = NurserySpace[0].get();
+  NurseryLimit = NurseryBase + NurseryBytes;
+  // Scavenge once 7/8 of the nursery (shells plus attributed payload) is
+  // in use; the remaining headroom absorbs allocation between safepoints.
+  ScavengeTriggerBytes = NurseryBytes - NurseryBytes / 8;
+  NurseryPayloadBytes = 0;
+}
+
 Map *Heap::newMap(ObjectKind Kind, std::string DebugName) {
   Maps.push_back(std::make_unique<Map>(Kind, std::move(DebugName)));
+  Maps.back()->OwnerHeap = this;
   return Maps.back().get();
 }
 
+size_t Heap::shellSizeFor(ObjectKind K) {
+  switch (K) {
+  case ObjectKind::Plain:
+  case ObjectKind::SmallInt:
+    return alignUp(sizeof(Object));
+  case ObjectKind::Array:
+  case ObjectKind::Env:
+    return alignUp(sizeof(ArrayObj));
+  case ObjectKind::String:
+    return alignUp(sizeof(StringObj));
+  case ObjectKind::Method:
+    return alignUp(sizeof(MethodObj));
+  case ObjectKind::Block:
+    return alignUp(sizeof(BlockObj));
+  }
+  return alignUp(sizeof(Object));
+}
+
+void Heap::linkOld(Object *O, size_t ShellBytes) {
+  O->NextAlloc = AllObjects;
+  AllObjects = O;
+  ++NumObjects;
+  BytesSinceGc += ShellBytes;
+  ++Stats.OldAllocs;
+  Stats.BytesAllocatedOld += ShellBytes;
+}
+
+template <typename T, typename... Args>
+T *Heap::make(Map *M, Args &&...args) {
+  const size_t Sz = alignUp(sizeof(T));
+  if (Generational) {
+    if (NurseryTop + Sz <= NurseryLimit) {
+      T *O = new (NurseryTop) T(M, std::forward<Args>(args)...);
+      NurseryTop += Sz;
+      O->GcFlags = Object::kGcYoung;
+      O->NextAlloc = NurseryList;
+      NurseryList = O;
+      ++NumObjects;
+      ++Stats.NurseryAllocs;
+      Stats.BytesAllocatedNursery += Sz;
+      return O;
+    }
+    // Nursery full between safepoints: allocation must still succeed
+    // (collections only run at safepoints, when every live value is
+    // rooted), so spill into the old space. Such objects may immediately
+    // hold young references without a barrier having fired — the caller
+    // re-scans them with writeBarrierAll() once initialized.
+    ++Stats.OverflowAllocs;
+  }
+  T *O = new T(M, std::forward<Args>(args)...);
+  linkOld(O, Sz);
+  return O;
+}
+
+void Heap::chargePayload(Object *O, size_t Bytes) {
+  if (Bytes == 0)
+    return;
+  if ((O->GcFlags & Object::kGcYoung) != 0) {
+    NurseryPayloadBytes += Bytes;
+    Stats.BytesAllocatedNursery += Bytes;
+  } else {
+    BytesSinceGc += Bytes;
+    Stats.BytesAllocatedOld += Bytes;
+  }
+}
+
 Object *Heap::allocPlain(Map *M) {
-  Object *O = track(new Object(M), sizeof(Object));
+  Object *O = make<Object>(M);
   O->fields().assign(static_cast<size_t>(M->fieldCount()), Value());
   // Data slots start out holding the initial value recorded in the map
   // (slot-definition initializers; nil by convention elsewhere).
   for (const SlotDesc &S : M->slots())
     if (S.Kind == SlotKind::Data)
       O->setField(S.FieldIndex, S.Constant);
+  chargePayload(O, O->fields().size() * sizeof(Value));
   return O;
 }
 
 ArrayObj *Heap::allocArray(Map *M, size_t N, Value Fill) {
-  ArrayObj *O = track(new ArrayObj(M, N, Fill),
-                      sizeof(ArrayObj) + N * sizeof(Value));
+  ArrayObj *O = make<ArrayObj>(M, N, Fill);
   O->fields().assign(static_cast<size_t>(M->fieldCount()), Value());
+  chargePayload(O, (N + O->fields().size()) * sizeof(Value));
+  // The constructor stored Fill N times without a barrier; if the shell
+  // spilled into the old space and Fill is young, remember it.
+  if (Generational && (O->GcFlags & Object::kGcYoung) == 0)
+    writeBarrierAll(O);
   return O;
 }
 
 StringObj *Heap::allocString(Map *M, std::string S) {
-  size_t Bytes = sizeof(StringObj) + S.size();
-  return track(new StringObj(M, std::move(S)), Bytes);
+  size_t Payload = S.size();
+  StringObj *O = make<StringObj>(M, std::move(S));
+  chargePayload(O, Payload);
+  return O;
 }
 
 MethodObj *Heap::allocMethod(Map *M, const ast::Code *Body,
                              const std::string *Selector) {
-  return track(new MethodObj(M, Body, Selector), sizeof(MethodObj));
+  return make<MethodObj>(M, Body, Selector);
 }
 
 BlockObj *Heap::allocBlock(Map *M, const ast::BlockExpr *Body, Object *Env,
                            Value HomeSelf, uint64_t HomeFrameId) {
-  return track(new BlockObj(M, Body, Env, HomeSelf, HomeFrameId),
-               sizeof(BlockObj));
+  BlockObj *O = make<BlockObj>(M, Body, Env, HomeSelf, HomeFrameId);
+  // Captures are stored at construction, bypassing setField's barrier.
+  if (Generational && (O->GcFlags & Object::kGcYoung) == 0)
+    writeBarrierAll(O);
+  return O;
 }
 
 void Heap::removeRootProvider(RootProvider *P) {
   Roots.erase(std::remove(Roots.begin(), Roots.end(), P), Roots.end());
 }
 
-/// Pushes every Value held inside \p O onto the mark worklist.
-static void traceObject(Object *O, GcVisitor &V) {
+//===----------------------------------------------------------------------===//
+// Remembered set
+//===----------------------------------------------------------------------===//
+
+void Heap::remember(Object *O) {
+  if ((O->GcFlags & (Object::kGcRemembered | Object::kGcYoung)) != 0)
+    return;
+  O->GcFlags |= Object::kGcRemembered;
+  RememberedSet.push_back(O);
+  ++Stats.BarrierHits;
+}
+
+void Heap::writeBarrierAll(Object *O) {
+  if (!Generational || (O->GcFlags & (Object::kGcRemembered |
+                                      Object::kGcYoung)) != 0)
+    return;
+  if (hasYoungRef(O))
+    remember(O);
+}
+
+bool Heap::hasYoungRef(Object *O) {
+  auto YoungV = [](Value V) {
+    return V.isObject() && (V.asObject()->GcFlags & Object::kGcYoung) != 0;
+  };
   for (Value F : O->fields())
-    V.visit(F);
+    if (YoungV(F))
+      return true;
   switch (O->kind()) {
   case ObjectKind::Array:
   case ObjectKind::Env:
     for (Value E : static_cast<ArrayObj *>(O)->elems())
+      if (YoungV(E))
+        return true;
+    break;
+  case ObjectKind::Block: {
+    auto *B = static_cast<BlockObj *>(O);
+    if (B->Env && (B->Env->GcFlags & Object::kGcYoung) != 0)
+      return true;
+    if (YoungV(B->HomeSelf))
+      return true;
+    break;
+  }
+  case ObjectKind::Plain:
+  case ObjectKind::SmallInt:
+  case ObjectKind::String:
+  case ObjectKind::Method:
+    break;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+void Heap::traceObjectSlots(Object *O, GcVisitor &V) {
+  for (Value &F : O->fields())
+    V.visit(F);
+  switch (O->kind()) {
+  case ObjectKind::Array:
+  case ObjectKind::Env:
+    for (Value &E : static_cast<ArrayObj *>(O)->elems())
       V.visit(E);
     break;
   case ObjectKind::Block: {
     auto *B = static_cast<BlockObj *>(O);
-    if (B->env())
-      V.visitObject(B->env());
-    V.visit(B->homeSelf());
+    V.visitObject(B->Env);
+    V.visit(B->HomeSelf);
     break;
   }
   case ObjectKind::Plain:
@@ -91,32 +299,208 @@ static void traceObject(Object *O, GcVisitor &V) {
   }
 }
 
-void Heap::collect() {
-  ++NumCollections;
-  std::vector<Object *> Worklist;
-  GcVisitor V(Worklist);
+//===----------------------------------------------------------------------===//
+// Scavenging (minor collections)
+//===----------------------------------------------------------------------===//
+
+/// Move-constructs a copy of \p O (whose shell is about to be abandoned)
+/// into \p Mem, dispatching on the object kind because the shells differ in
+/// size and payload handles (vectors, strings) must be moved, not copied.
+static Object *moveShell(void *Mem, Object *O) {
+  switch (O->kind()) {
+  case ObjectKind::Plain:
+  case ObjectKind::SmallInt:
+    return new (Mem) Object(std::move(*O));
+  case ObjectKind::Array:
+  case ObjectKind::Env:
+    return new (Mem) ArrayObj(std::move(*static_cast<ArrayObj *>(O)));
+  case ObjectKind::String:
+    return new (Mem) StringObj(std::move(*static_cast<StringObj *>(O)));
+  case ObjectKind::Method:
+    return new (Mem) MethodObj(std::move(*static_cast<MethodObj *>(O)));
+  case ObjectKind::Block:
+    return new (Mem) BlockObj(std::move(*static_cast<BlockObj *>(O)));
+  }
+  return nullptr;
+}
+
+/// moveShell's promotion twin: move-constructs the copy with a plain
+/// (typed) `new`, so the old-space sweep's `delete` sees exactly the
+/// allocation the C++ runtime made — a raw `::operator new(shellSize)`
+/// here would trip sized-deallocation checking, since the rounded shell
+/// size differs from sizeof of the dynamic type.
+static Object *moveShellToOldSpace(Object *O) {
+  switch (O->kind()) {
+  case ObjectKind::Plain:
+  case ObjectKind::SmallInt:
+    return new Object(std::move(*O));
+  case ObjectKind::Array:
+  case ObjectKind::Env:
+    return new ArrayObj(std::move(*static_cast<ArrayObj *>(O)));
+  case ObjectKind::String:
+    return new StringObj(std::move(*static_cast<StringObj *>(O)));
+  case ObjectKind::Method:
+    return new MethodObj(std::move(*static_cast<MethodObj *>(O)));
+  case ObjectKind::Block:
+    return new BlockObj(std::move(*static_cast<BlockObj *>(O)));
+  }
+  return nullptr;
+}
+
+Object *Heap::relocateYoung(Object *O) {
+  if (O->Forwarding)
+    return O->Forwarding;
+  const size_t Sz = shellSizeFor(O->kind());
+  Stats.SurvivedScavengeBytes += Sz;
+  const bool Promote =
+      PromoteAllThisCycle || PromotionAge <= 0 || O->Age + 1 >= PromotionAge;
+  Object *N;
+  if (Promote) {
+    N = moveShellToOldSpace(O);
+    N->GcFlags = 0;
+    N->Age = 0;
+    N->Forwarding = nullptr;
+    // Link into the old space by hand: the object already exists (this is
+    // a move, not a birth), so only the growth accounting advances.
+    N->NextAlloc = AllObjects;
+    AllObjects = N;
+    BytesSinceGc += Sz;
+    ++Stats.ObjectsPromoted;
+    Stats.BytesPromoted += Sz;
+    PromotedThisCycle.push_back(N);
+  } else {
+    assert(ScavengeTo + Sz <= NurseryBase + NurseryBytes &&
+           "to-space cannot overflow: survivors fit in one semispace");
+    N = moveShell(ScavengeTo, O);
+    ScavengeTo += Sz;
+    N->GcFlags = Object::kGcYoung;
+    N->Age = static_cast<uint8_t>(std::min<int>(O->Age + 1, 255));
+    N->Forwarding = nullptr;
+    N->NextAlloc = NurseryList;
+    NurseryList = N;
+    ++Stats.ObjectsCopied;
+    Stats.BytesCopied += Sz;
+  }
+  O->Forwarding = N;
+  ScanList.push_back(N);
+  return N;
+}
+
+void Heap::scavengeImpl(bool PromoteAll) {
+  assert(Generational && "scavenge requires the generational collector");
+  PromoteAllThisCycle = PromoteAll;
+  Stats.ScannedScavengeBytes += nurseryUsedBytes();
+
+  // Flip: survivors are evacuated into the other semispace (or promoted);
+  // the current space becomes free once its corpses are destroyed.
+  Object *FromList = NurseryList;
+  NurseryList = nullptr;
+  const int ToSpace = 1 - ActiveSpace;
+  NurseryBase = NurserySpace[ToSpace].get();
+  ScavengeTo = NurseryBase;
+  ScanList.clear();
+  PromotedThisCycle.clear();
+
+  GcVisitor V(*this, GcVisitor::Mode::Scavenge);
+
+  // Roots: map constants, the remembered set (old objects holding young
+  // references), and every registered provider. All are updated in place.
+  for (const auto &M : Maps)
+    for (SlotDesc &S : M->Slots)
+      V.visit(S.Constant);
+  for (Object *O : RememberedSet)
+    traceObjectSlots(O, V);
+  for (RootProvider *P : Roots)
+    P->traceRoots(V);
+
+  // Cheney scan: relocated objects are scanned exactly once; scanning may
+  // relocate more objects, which join the list.
+  while (!ScanList.empty()) {
+    Object *O = ScanList.back();
+    ScanList.pop_back();
+    traceObjectSlots(O, V);
+  }
+
+  // Rebuild the remembered set: drop members whose young targets were all
+  // promoted away, keep the rest, and admit promoted objects that still
+  // point into the nursery (e.g. a tenured block whose environment stayed
+  // young).
+  std::vector<Object *> NewSet;
+  for (Object *O : RememberedSet) {
+    if (hasYoungRef(O)) {
+      NewSet.push_back(O);
+    } else {
+      O->GcFlags &= static_cast<uint8_t>(~Object::kGcRemembered);
+    }
+  }
+  for (Object *O : PromotedThisCycle)
+    if ((O->GcFlags & Object::kGcRemembered) == 0 && hasYoungRef(O)) {
+      O->GcFlags |= Object::kGcRemembered;
+      NewSet.push_back(O);
+    }
+  RememberedSet.swap(NewSet);
+  PromotedThisCycle.clear();
+
+  // Destroy from-space shells: both the dead (never forwarded) and the
+  // moved-from husks of survivors need their destructors run so payload
+  // storage is released; the arena itself is reused on the next flip.
+  for (Object *O = FromList; O;) {
+    Object *Next = O->NextAlloc;
+    if (!O->Forwarding)
+      --NumObjects;
+    O->~Object();
+    O = Next;
+  }
+
+  ActiveSpace = ToSpace;
+  NurseryTop = ScavengeTo;
+  NurseryLimit = NurseryBase + NurseryBytes;
+  NurseryPayloadBytes = 0;
+  ScavengeTo = nullptr;
+  PromoteAllThisCycle = false;
+}
+
+void Heap::scavenge() {
+  if (!Generational)
+    return;
+  Stopwatch Timer;
+  scavengeImpl(/*PromoteAll=*/false);
+  ++Stats.Scavenges;
+  double Secs = Timer.elapsedSeconds();
+  Stats.TotalScavengeSeconds += Secs;
+  Stats.MaxPauseSeconds = std::max(Stats.MaxPauseSeconds, Secs);
+  Stats.PauseSeconds.push_back(Secs);
+}
+
+//===----------------------------------------------------------------------===//
+// Full collection (evacuate + mark-sweep)
+//===----------------------------------------------------------------------===//
+
+void Heap::markSweepOldSpace() {
+  GcVisitor V(*this, GcVisitor::Mode::Mark);
+  MarkWorklist.clear();
 
   // Map constant slots (methods, shared constants, parents) are roots: maps
   // are immortal, so everything they reference stays live.
   for (const auto &M : Maps)
-    for (const SlotDesc &S : M->slots())
+    for (SlotDesc &S : M->Slots)
       V.visit(S.Constant);
 
   for (RootProvider *P : Roots)
     P->traceRoots(V);
 
-  while (!Worklist.empty()) {
-    Object *O = Worklist.back();
-    Worklist.pop_back();
-    traceObject(O, V);
+  while (!MarkWorklist.empty()) {
+    Object *O = MarkWorklist.back();
+    MarkWorklist.pop_back();
+    traceObjectSlots(O, V);
   }
 
   // Sweep: unlink and delete unmarked objects, clear marks on survivors.
   Object **Link = &AllObjects;
   while (*Link) {
     Object *O = *Link;
-    if (O->Marked) {
-      O->Marked = false;
+    if ((O->GcFlags & Object::kGcMarked) != 0) {
+      O->GcFlags &= static_cast<uint8_t>(~Object::kGcMarked);
       Link = &O->NextAlloc;
     } else {
       *Link = O->NextAlloc;
@@ -125,4 +509,29 @@ void Heap::collect() {
     }
   }
   BytesSinceGc = 0;
+}
+
+void Heap::collect() {
+  Stopwatch Timer;
+  if (Generational) {
+    // Empty the nursery first (force-promoting every survivor) so marking
+    // only ever walks the old space and the remembered set ends empty.
+    scavengeImpl(/*PromoteAll=*/true);
+    assert(RememberedSet.empty() && "no young objects can remain");
+  }
+  markSweepOldSpace();
+  ++Stats.FullCollections;
+  double Secs = Timer.elapsedSeconds();
+  Stats.TotalFullSeconds += Secs;
+  Stats.MaxPauseSeconds = std::max(Stats.MaxPauseSeconds, Secs);
+  Stats.PauseSeconds.push_back(Secs);
+}
+
+void Heap::collectAtSafepoint() {
+  if (BytesSinceGc >= GcThresholdBytes) {
+    collect();
+    return;
+  }
+  if (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes)
+    scavenge();
 }

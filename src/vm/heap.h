@@ -1,15 +1,34 @@
-//===-- vm/heap.h - Mark-sweep garbage-collected heap -----------*- C++ -*-===//
+//===-- vm/heap.h - Generational garbage-collected heap ---------*- C++ -*-===//
 //
 // Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The heap owns all Objects and all Maps. Objects are reclaimed by a
-/// stop-the-world mark-sweep collector triggered at interpreter safepoints;
-/// maps are immortal (their constant slots are traced as roots). Roots are
-/// enumerated through registered RootProviders (the world's globals and the
-/// interpreter's frame stack).
+/// The heap owns all Objects and all Maps. Two collector configurations:
+///
+///  * Generational (the default): objects are born in a contiguous
+///    bump-pointer *nursery* and reclaimed by Cheney-style copying
+///    scavenges — live objects are relocated through forwarding pointers,
+///    survivors age and are *promoted* into the mark-sweep old space once
+///    they reach the promotion age. Old objects holding pointers to young
+///    objects sit on a *remembered set*, maintained by the write barrier in
+///    Object::setField/ArrayObj::atPut, and serve as extra scavenge roots.
+///
+///  * Mark-sweep only (`configureGc(false, ...)`): every object is
+///    allocated directly in the old space and reclaimed by full
+///    stop-the-world mark-sweep — the pre-generational behaviour, kept as
+///    the differential-testing and benchmarking baseline.
+///
+/// Because objects move, GcVisitor is an *updating* visitor: it takes every
+/// root by reference and rewrites it to the object's new location. All
+/// collections happen only at interpreter safepoints; allocation itself
+/// never collects (a full nursery between safepoints falls back to direct
+/// old-space allocation), so raw Object* values are stable between
+/// safepoints. Maps are immortal (their constant slots are traced — and
+/// updated — as roots). Roots are enumerated through registered
+/// RootProviders (the world's globals, the interpreter's frame stack, and
+/// the code manager's literal/PIC caches).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,19 +44,32 @@
 
 namespace mself {
 
+class Heap;
+
 /// Passed to RootProviders during collection; call visit() on every root.
+/// Roots are taken by reference: a scavenge relocates young objects and
+/// writes the new address back through the reference.
 class GcVisitor {
 public:
-  explicit GcVisitor(std::vector<Object *> &Worklist) : Worklist(Worklist) {}
+  enum class Mode : uint8_t {
+    Mark,     ///< Full mark-sweep marking; nothing moves.
+    Scavenge, ///< Copying scavenge; young objects move, refs are updated.
+  };
 
-  void visit(Value V) {
-    if (V.isObject())
-      visitObject(V.asObject());
+  GcVisitor(Heap &H, Mode M) : H(H), TheMode(M) {}
+
+  void visit(Value &V) {
+    if (!V.isObject())
+      return;
+    Object *O = V.asObject();
+    visitObject(O);
+    V = Value::fromObject(O);
   }
-  void visitObject(Object *O);
+  void visitObject(Object *&O);
 
 private:
-  std::vector<Object *> &Worklist;
+  Heap &H;
+  Mode TheMode;
 };
 
 /// Anything holding GC roots outside the heap implements this.
@@ -47,14 +79,71 @@ public:
   virtual void traceRoots(GcVisitor &V) = 0;
 };
 
+/// Aggregate collector observability: collection counts, pause timings,
+/// promotion/survival volumes, and write-barrier traffic.
+struct GcStats {
+  uint64_t Scavenges = 0;       ///< Minor (nursery-only) collections.
+  uint64_t FullCollections = 0; ///< Full (evacuate + mark-sweep) collections.
+
+  uint64_t NurseryAllocs = 0;  ///< Objects born on the bump-pointer path.
+  uint64_t OldAllocs = 0;      ///< Objects born directly in the old space.
+  uint64_t OverflowAllocs = 0; ///< Old-space births forced by a full nursery.
+  uint64_t BytesAllocatedNursery = 0; ///< Shell + payload bytes, nursery.
+  uint64_t BytesAllocatedOld = 0;     ///< Shell + payload bytes, old space.
+
+  uint64_t ObjectsCopied = 0;   ///< Survivors kept young (copied to-space).
+  uint64_t BytesCopied = 0;     ///< Shell bytes of the above.
+  uint64_t ObjectsPromoted = 0; ///< Survivors tenured into the old space.
+  uint64_t BytesPromoted = 0;   ///< Shell bytes of the above.
+
+  uint64_t BarrierHits = 0; ///< Write-barrier slow-path remembered-set adds.
+
+  uint64_t SurvivedScavengeBytes = 0; ///< Live shell bytes over all scavenges.
+  uint64_t ScannedScavengeBytes = 0;  ///< Nursery shell bytes examined.
+
+  double TotalScavengeSeconds = 0;
+  double TotalFullSeconds = 0;
+  double MaxPauseSeconds = 0;
+  /// Every collection pause, in order (scavenges and full collections).
+  std::vector<double> PauseSeconds;
+
+  /// Fraction of nursery bytes that survived scavenges (copied or
+  /// promoted), aggregated over all scavenges so far.
+  double survivalRate() const {
+    return ScannedScavengeBytes
+               ? double(SurvivedScavengeBytes) / double(ScannedScavengeBytes)
+               : 0;
+  }
+  double totalPauseSeconds() const {
+    return TotalScavengeSeconds + TotalFullSeconds;
+  }
+};
+
 /// Owns every Object and Map in one mini-SELF universe.
 class Heap {
 public:
-  Heap() = default;
+  static constexpr size_t kDefaultNurseryBytes = 256u << 10;
+  static constexpr int kDefaultPromotionAge = 2;
+  static constexpr size_t kDefaultGcThresholdBytes = 8u << 20;
+
+  Heap();
   ~Heap();
 
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
+
+  /// Selects the collector. Must be called before the first allocation
+  /// (the driver configures the heap from its Policy before booting the
+  /// world). \p Generational off reproduces the single-space mark-sweep
+  /// collector exactly; on, \p NurseryBytes sizes each nursery semispace
+  /// and \p PromotionAge is the number of scavenges an object must survive
+  /// before being tenured (<= 0 promotes on the first scavenge).
+  void configureGc(bool Generational,
+                   size_t NurseryBytes = kDefaultNurseryBytes,
+                   int PromotionAge = kDefaultPromotionAge,
+                   size_t GcThresholdBytes = kDefaultGcThresholdBytes);
+
+  bool generational() const { return Generational; }
 
   /// Creates an immortal map. The heap retains ownership.
   Map *newMap(ObjectKind Kind, std::string DebugName);
@@ -71,34 +160,134 @@ public:
   void removeRootProvider(RootProvider *P);
 
   /// \returns true when enough has been allocated that the caller (at a
-  /// safepoint, with all live values rooted) should call collect().
-  bool shouldCollect() const { return BytesSinceGc >= GcThresholdBytes; }
-
-  /// Runs a full mark-sweep collection. All live Values must be reachable
-  /// from registered RootProviders or from map constant slots.
-  void collect();
-
-  size_t objectCount() const { return NumObjects; }
-  size_t collectionCount() const { return NumCollections; }
-
-  /// Sets the allocation volume between collections (for tests).
-  void setGcThresholdBytes(size_t N) { GcThresholdBytes = N; }
-
-private:
-  /// Links \p O into the all-objects list and does allocation accounting.
-  template <typename T> T *track(T *O, size_t Bytes) {
-    O->NextAlloc = AllObjects;
-    AllObjects = O;
-    ++NumObjects;
-    BytesSinceGc += Bytes;
-    return O;
+  /// safepoint, with all live values rooted) should call
+  /// collectAtSafepoint(): the nursery is near full (scavenge due) or the
+  /// old space grew past the threshold (full collection due).
+  bool shouldCollect() const {
+    return BytesSinceGc >= GcThresholdBytes ||
+           (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes);
   }
 
+  /// The collection entry point for interpreter safepoints: a full
+  /// collection when the old space crossed its growth threshold, otherwise
+  /// a scavenge when the nursery is near full.
+  void collectAtSafepoint();
+
+  /// Runs a full collection: evacuates the entire nursery (survivors are
+  /// promoted regardless of age), then mark-sweeps the old space. All live
+  /// Values must be reachable from registered RootProviders or from map
+  /// constant slots.
+  void collect();
+
+  /// Runs one minor collection (a copying scavenge of the nursery) without
+  /// touching the old space. No-op under the mark-sweep-only configuration.
+  void scavenge();
+
+  size_t objectCount() const { return NumObjects; }
+  /// Total collections of any kind (scavenges + full).
+  size_t collectionCount() const {
+    return static_cast<size_t>(Stats.Scavenges + Stats.FullCollections);
+  }
+
+  /// Old-space growth (bytes) between full collections.
+  void setGcThresholdBytes(size_t N) { GcThresholdBytes = N; }
+  size_t gcThresholdBytes() const { return GcThresholdBytes; }
+
+  /// Nursery shell bytes currently in use plus payload bytes (vector and
+  /// string storage) attributed to live-or-dead nursery objects.
+  size_t nurseryUsedBytes() const {
+    return static_cast<size_t>(NurseryTop - NurseryBase);
+  }
+  size_t nurseryCapacityBytes() const { return NurseryBytes; }
+
+  /// \returns true when \p O currently lives in the nursery (and may move
+  /// at the next scavenge).
+  static bool isYoung(const Object *O) {
+    return (O->GcFlags & Object::kGcYoung) != 0;
+  }
+
+  size_t rememberedSetSize() const { return RememberedSet.size(); }
+  const GcStats &stats() const { return Stats; }
+
+  /// Bulk-store barrier: after copying many references into \p O at once
+  /// (clone primitives, field-vector resizes) without per-store barriers,
+  /// re-scan it and add it to the remembered set if it gained an
+  /// old-to-young reference.
+  void writeBarrierAll(Object *O);
+
+  /// Write-barrier slow path (called from Object::rememberSelf).
+  void remember(Object *O);
+
+private:
+  friend class GcVisitor;
+
+  /// Shell size (the C++ object itself, excluding heap-side payload) for an
+  /// object of kind \p K, rounded up to the nursery allocation alignment.
+  static size_t shellSizeFor(ObjectKind K);
+
+  /// Allocates and constructs a T. Generational mode: bump-allocates in the
+  /// nursery, falling back to the old space when full. Mark-sweep mode:
+  /// always the old space.
+  template <typename T, typename... Args> T *make(Map *M, Args &&...args);
+
+  /// Charges \p Bytes of payload (vector/string storage held outside the
+  /// shell) to the space object \p O lives in, so collection triggers track
+  /// real allocation volume, not just shell counts.
+  void chargePayload(Object *O, size_t Bytes);
+
+  void linkOld(Object *O, size_t ShellBytes);
+
+  /// Visits every reference held inside \p O (fields, elements, block
+  /// captures), updating each through \p V.
+  void traceObjectSlots(Object *O, GcVisitor &V);
+
+  /// \returns true when \p O holds at least one reference to a young
+  /// object.
+  bool hasYoungRef(Object *O);
+
+  /// Relocates young \p O (copy to to-space or promote), returning the new
+  /// location; idempotent via the forwarding pointer.
+  Object *relocateYoung(Object *O);
+
+  /// The scavenge implementation; \p PromoteAll force-tenures every
+  /// survivor (used by full collections to empty the nursery).
+  void scavengeImpl(bool PromoteAll);
+
+  void markSweepOldSpace();
+
+  size_t nurseryPressureBytes() const {
+    return nurseryUsedBytes() + NurseryPayloadBytes;
+  }
+
+  //===--- Old space (mark-sweep) ---------------------------------------===//
   Object *AllObjects = nullptr;
+  size_t BytesSinceGc = 0; ///< Old-space growth since the last full GC.
+  size_t GcThresholdBytes = kDefaultGcThresholdBytes;
+
+  //===--- Nursery (bump-pointer semispaces) ----------------------------===//
+  bool Generational = true;
+  size_t NurseryBytes = kDefaultNurseryBytes;
+  int PromotionAge = kDefaultPromotionAge;
+  std::unique_ptr<char[]> NurserySpace[2];
+  int ActiveSpace = 0;
+  char *NurseryBase = nullptr;
+  char *NurseryTop = nullptr;
+  char *NurseryLimit = nullptr;
+  /// Payload bytes attributed to nursery objects since the last scavenge;
+  /// counts toward the scavenge trigger so payload-heavy allocation (big
+  /// vectors, strings) cannot outgrow memory behind a quiet bump pointer.
+  size_t NurseryPayloadBytes = 0;
+  size_t ScavengeTriggerBytes = 0;
+  Object *NurseryList = nullptr; ///< Intrusive list of nursery-born objects.
+  std::vector<Object *> RememberedSet;
+  bool PromoteAllThisCycle = false;
+  char *ScavengeTo = nullptr; ///< To-space bump pointer during a scavenge.
+  std::vector<Object *> ScanList; ///< Cheney scan worklist.
+  std::vector<Object *> PromotedThisCycle;
+  std::vector<Object *> MarkWorklist;
+
   size_t NumObjects = 0;
-  size_t BytesSinceGc = 0;
-  size_t GcThresholdBytes = 8u << 20;
-  size_t NumCollections = 0;
+  GcStats Stats;
   std::vector<std::unique_ptr<Map>> Maps;
   std::vector<RootProvider *> Roots;
 };

@@ -24,6 +24,8 @@
 
 namespace mself {
 
+class Heap;
+
 /// What kind of heap object a map describes. Small integers are not heap
 /// objects but still have a (synthetic) map so that the compiler's class
 /// types and runtime type tests treat them uniformly.
@@ -92,7 +94,13 @@ public:
   /// \returns indices of parent slots in declaration order.
   const std::vector<int> &parentSlotIndices() const { return ParentIndices; }
 
+  /// The heap that created this map (null for maps constructed directly in
+  /// tests). Objects reach their heap through here — the write barrier's
+  /// slow path needs it, and objects carry no other back pointer.
+  Heap *ownerHeap() const { return OwnerHeap; }
+
 private:
+  friend class Heap; ///< Sets OwnerHeap; updates slot constants during GC.
   ObjectKind Kind;
   std::string DebugName;
   std::vector<SlotDesc> Slots;
@@ -100,6 +108,7 @@ private:
   std::unordered_map<const std::string *, int> AssignIndex;
   std::vector<int> ParentIndices;
   int FieldCount = 0;
+  Heap *OwnerHeap = nullptr;
 };
 
 } // namespace mself

@@ -10,6 +10,13 @@
 /// byte contents (strings), code pointers (methods), or a captured
 /// environment (blocks). Dispatch over kinds is by explicit enum, not RTTI.
 ///
+/// Objects also carry the generational collector's per-object header: a
+/// young/old bit, a remembered bit (the object is on the heap's remembered
+/// set), the mark bit for old-space mark-sweep, a survival age, and a
+/// forwarding pointer used while a scavenge relocates nursery objects.
+/// Every reference store into an object routes through setField()/atPut(),
+/// which run the old-to-young write barrier inline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MINISELF_VM_OBJECT_H
@@ -29,10 +36,12 @@ struct Code;
 struct BlockExpr;
 } // namespace ast
 
-/// Base of all heap objects. Owned by the Heap; reclaimed by mark-sweep GC.
+/// Base of all heap objects. Owned by the Heap; nursery objects are
+/// reclaimed by copying scavenges, old-space objects by mark-sweep.
 class Object {
 public:
   Object(Map *M) : TheMap(M) { assert(M && "object needs a map"); }
+  Object(Object &&) = default;
   virtual ~Object() = default;
 
   Map *map() const { return TheMap; }
@@ -50,15 +59,42 @@ public:
   void setField(int I, Value V) {
     assert(I >= 0 && I < static_cast<int>(Fields.size()) &&
            "data field index out of range");
+    writeBarrier(V);
     Fields[I] = V;
+  }
+
+protected:
+  /// GC header flag bits (in GcFlags).
+  enum : uint8_t {
+    kGcYoung = 1u << 0,      ///< Lives in the nursery; may move.
+    kGcRemembered = 1u << 1, ///< Old object already on the remembered set.
+    kGcMarked = 1u << 2,     ///< Mark bit for old-space mark-sweep.
+  };
+
+  /// The generational write barrier, run on every reference store: an old
+  /// object storing a pointer to a young object must be added to the
+  /// remembered set, or the next scavenge would miss (and free or fail to
+  /// relocate) the young target. The common cases — young receiver, already
+  /// remembered receiver, non-pointer or old value — cost two flag tests.
+  void writeBarrier(Value V) {
+    if ((GcFlags & (kGcYoung | kGcRemembered)) == 0 && V.isObject() &&
+        (V.asObject()->GcFlags & kGcYoung) != 0)
+      rememberSelf();
   }
 
 private:
   friend class Heap;
   friend class GcVisitor;
+
+  /// Out-of-line barrier slow path: registers this object with its owning
+  /// heap's remembered set (reached through the map).
+  void rememberSelf();
+
   Map *TheMap;
-  Object *NextAlloc = nullptr; ///< Intrusive all-objects list for sweeping.
-  bool Marked = false;
+  Object *NextAlloc = nullptr; ///< Intrusive per-space allocation list.
+  Object *Forwarding = nullptr; ///< New location during a scavenge.
+  uint8_t GcFlags = 0;
+  uint8_t Age = 0; ///< Scavenges survived (promotion counter).
   std::vector<Value> Fields;
 };
 
@@ -67,6 +103,7 @@ private:
 class ArrayObj : public Object {
 public:
   ArrayObj(Map *M, size_t N, Value Fill) : Object(M), Elems(N, Fill) {}
+  ArrayObj(ArrayObj &&) = default;
 
   int64_t size() const { return static_cast<int64_t>(Elems.size()); }
   bool inBounds(int64_t I) const {
@@ -78,6 +115,7 @@ public:
   }
   void atPut(int64_t I, Value V) {
     assert(inBounds(I) && "array index out of bounds");
+    writeBarrier(V);
     Elems[static_cast<size_t>(I)] = V;
   }
 
@@ -92,6 +130,7 @@ private:
 class StringObj : public Object {
 public:
   StringObj(Map *M, std::string S) : Object(M), Str(std::move(S)) {}
+  StringObj(StringObj &&) = default;
   const std::string &str() const { return Str; }
 
 private:
@@ -103,6 +142,7 @@ class MethodObj : public Object {
 public:
   MethodObj(Map *M, const ast::Code *Body, const std::string *Selector)
       : Object(M), Body(Body), Selector(Selector) {}
+  MethodObj(MethodObj &&) = default;
 
   const ast::Code *body() const { return Body; }
   const std::string *selector() const { return Selector; }
@@ -120,6 +160,7 @@ public:
            uint64_t HomeFrameId)
       : Object(M), Body(Body), Env(Env), HomeSelf(HomeSelf),
         HomeFrameId(HomeFrameId) {}
+  BlockObj(BlockObj &&) = default;
 
   const ast::BlockExpr *body() const { return Body; }
   Object *env() const { return Env; }

@@ -35,9 +35,10 @@ struct Config {
 };
 
 /// The full matrix: {st80, oldself, newself} × {pic, mono, noglc, nocache},
-/// plus the execution-tier axis on the optimizing presets and the
+/// plus the execution-tier axis on the optimizing presets, the
 /// execution-engine axis (dispatch loop / quickening / fusion) on the
-/// bracketing presets.
+/// bracketing presets, and the collector axis (mark-sweep-only vs a
+/// tiny-nursery generational stress mode) on every preset.
 /// "pic" is the default dispatch stack (PIC + global lookup cache), "mono"
 /// degrades to single-entry replace-on-miss caches (the pre-PIC system),
 /// "noglc" runs PICs without the global cache, and "nocache" performs a
@@ -124,6 +125,44 @@ inline std::vector<Config> policyMatrix() {
   TierQuick.TierUpThreshold = 8;
   TierQuick.ThreadedDispatch = false;
   Out.push_back({"newself/tierquick", TierQuick});
+
+  // Collector axis: the memory system must be observationally invisible
+  // too. "marksweep" turns the generational collector off entirely (every
+  // object old from birth, no barriers, no motion); "tinynursery" is the
+  // opposite extreme — a ~4 KiB nursery with promotion age 1 forces
+  // copying scavenges mid-send, so PICs, quickened sites, and closure
+  // environments are exercised against object motion on every preset.
+  // newself/tinytier additionally promotes code tiers mid-run while the
+  // scavenger moves objects under the running frames.
+  for (const Policy &Base :
+       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
+    Policy MarkSweep = Base;
+    MarkSweep.GenerationalGc = false;
+    MarkSweep.GcThresholdKiB = 256;
+    Out.push_back({Base.Name + "/marksweep", MarkSweep});
+
+    Policy TinyNursery = Base;
+    TinyNursery.GcNurseryKiB = 4;
+    TinyNursery.GcPromotionAge = 1;
+    TinyNursery.GcThresholdKiB = 512;
+    Out.push_back({Base.Name + "/tinynursery", TinyNursery});
+  }
+  Policy TinyTier = Policy::newSelf();
+  TinyTier.GcNurseryKiB = 4;
+  TinyTier.GcPromotionAge = 1;
+  TinyTier.GcThresholdKiB = 512;
+  TinyTier.TieredCompilation = true;
+  TinyTier.TierUpThreshold = 8;
+  Out.push_back({"newself/tinytier", TinyTier});
+  // Tiny nursery with quickening off: object motion against generic sends
+  // only (isolates the PIC/GLC updating from the quickened-operand
+  // updating covered by tinynursery above).
+  Policy TinyNoQuick = Policy::newSelf();
+  TinyNoQuick.GcNurseryKiB = 4;
+  TinyNoQuick.GcPromotionAge = 1;
+  TinyNoQuick.GcThresholdKiB = 512;
+  TinyNoQuick.OpcodeQuickening = false;
+  Out.push_back({"newself/tinynoquick", TinyNoQuick});
   return Out;
 }
 

@@ -1,8 +1,9 @@
 //===-- tests/interp/gc_stress_test.cpp - GC under execution ---------------===//
 //
-// Allocation-heavy programs with an artificially tiny collection threshold,
-// under every compiler configuration: objects, closures, environments, and
-// arrays must survive exactly as long as they are reachable.
+// Allocation-heavy programs with an artificially tiny nursery and old-space
+// growth threshold, under every compiler configuration: objects, closures,
+// environments, and arrays must survive exactly as long as they are
+// reachable, and must keep working after the scavenger moves them.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,13 +25,24 @@ protected:
       return Policy::oldSelf();
     return Policy::newSelf();
   }
+
+  /// The configured policy with the collector squeezed down so that these
+  /// small workloads trigger many collections: a 4 KiB nursery scavenges
+  /// mid-loop, promotion age 1 tenures survivors fast, and a small
+  /// old-space growth threshold forces full collections too.
+  Policy stressPolicy(int ThresholdKiB) const {
+    Policy P = policy();
+    P.GcNurseryKiB = 4;
+    P.GcPromotionAge = 1;
+    P.GcThresholdKiB = ThresholdKiB;
+    return P;
+  }
 };
 
 } // namespace
 
 TEST_P(GcStress, ObjectGraphSurvivesCollections) {
-  VirtualMachine VM(policy());
-  VM.heap().setGcThresholdBytes(1 << 12);
+  VirtualMachine VM(stressPolicy(4));
   std::string Err;
   ASSERT_TRUE(VM.load(
       "node = ( | parent* = lobby. next. val <- 0 | ). "
@@ -50,8 +62,7 @@ TEST_P(GcStress, ObjectGraphSurvivesCollections) {
 }
 
 TEST_P(GcStress, GarbageIsActuallyReclaimed) {
-  VirtualMachine VM(policy());
-  VM.heap().setGcThresholdBytes(1 << 14);
+  VirtualMachine VM(stressPolicy(16));
   std::string Err;
   ASSERT_TRUE(VM.load("churn = ( | t <- 0 | 1 to: 2000 Do: [ :i | "
                       "t: t + (vectorOfSize: 20) size ]. t )",
@@ -66,8 +77,7 @@ TEST_P(GcStress, GarbageIsActuallyReclaimed) {
 }
 
 TEST_P(GcStress, ClosuresAndEnvironmentsSurvive) {
-  VirtualMachine VM(policy());
-  VM.heap().setGcThresholdBytes(1 << 12);
+  VirtualMachine VM(stressPolicy(4));
   std::string Err;
   ASSERT_TRUE(VM.load(
       "mkCounter = ( | c <- 0 | [ c: c + 1. c ] ). "
@@ -87,8 +97,7 @@ TEST_P(GcStress, ClosuresAndEnvironmentsSurvive) {
 }
 
 TEST_P(GcStress, DeepRecursionWithAllocation) {
-  VirtualMachine VM(policy());
-  VM.heap().setGcThresholdBytes(1 << 13);
+  VirtualMachine VM(stressPolicy(8));
   std::string Err;
   ASSERT_TRUE(VM.load(
       "deep: n = ( n == 0 ifTrue: [ 0 ] False: [ "
@@ -107,8 +116,7 @@ TEST_P(GcStress, DeepRecursionWithAllocation) {
 // cached in PIC entries and in the global lookup cache must be traced as
 // roots, or a collection mid-loop would leave dangling cache entries.
 TEST_P(GcStress, PolymorphicSendLoopSurvivesCollections) {
-  VirtualMachine VM(policy());
-  VM.heap().setGcThresholdBytes(1 << 12);
+  VirtualMachine VM(stressPolicy(4));
   std::string Defs;
   for (int I = 0; I < 6; ++I) {
     std::string Id = std::to_string(I);
@@ -145,8 +153,7 @@ TEST_P(GcStress, PolymorphicSendLoopSurvivesCollections) {
 // clone per iteration) while the site's cached map and field bindings stay
 // hot across collections.
 TEST_P(GcStress, CloneChurnKeepsDispatchCachesValid) {
-  VirtualMachine VM(policy());
-  VM.heap().setGcThresholdBytes(1 << 12);
+  VirtualMachine VM(stressPolicy(4));
   std::string Err;
   ASSERT_TRUE(VM.load(
       "proto = ( | parent* = lobby. val <- 0. dbl = ( val + val ) | ). "
@@ -158,6 +165,57 @@ TEST_P(GcStress, CloneChurnKeepsDispatchCachesValid) {
   ASSERT_TRUE(VM.evalInt("spin: 400", Out, Err)) << Err;
   EXPECT_EQ(Out, 400 * 401); // 2 * sum(1..400)
   EXPECT_GT(VM.heap().collectionCount(), 0u);
+}
+
+// Quickened send sites cache PIC-entry operands (receiver maps, slot
+// holders, constants); when the scavenger moves the cached objects, the
+// updated PIC entries are what keep those sites valid. Force quickening on
+// and verify quick sends and scavenges both actually happened.
+TEST_P(GcStress, QuickenedSitesSurviveObjectMotion) {
+  Policy P = stressPolicy(512);
+  P.OpcodeQuickening = true;
+  P.InlineCaches = true;
+  VirtualMachine VM(P);
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "pt = ( | parent* = lobby. x <- 0. getX = ( x ) | ). "
+      "sweep: n = ( | o. t <- 0 | 1 to: n Do: [ :i | "
+      "o: pt clone. o x: i. t: t + o getX + ((vectorOfSize: 2) size) - 2 ]. "
+      "t )",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("sweep: 500", Out, Err)) << Err;
+  EXPECT_EQ(Out, 500 * 501 / 2);
+  EXPECT_GT(VM.heap().stats().Scavenges, 0u);
+  // Optimizing presets may inline every send in the loop away; only the
+  // non-inlining baseline is guaranteed to leave quickenable send sites.
+  if (!P.Inlining) {
+    EXPECT_GT(VM.interp().counters().QuickSends, 0u);
+  }
+}
+
+// Tier promotion swaps optimized code in mid-run while the scavenger moves
+// objects under the live frames: literals and caches of both the baseline
+// and the optimized code must be updated across the swap.
+TEST_P(GcStress, TieredPromotionSurvivesObjectMotion) {
+  Policy P = stressPolicy(512);
+  P.TieredCompilation = true;
+  P.TierUpThreshold = 8;
+  VirtualMachine VM(P);
+  std::string Err;
+  ASSERT_TRUE(VM.load(
+      "acc = ( | parent* = lobby. v <- 0. add: n = ( v: v + n. v ) | ). "
+      "grind: n = ( | a. t <- 0 | a: acc clone. 1 to: n Do: [ :i | "
+      "t: t + (a add: 1) - (a add: 0) + ((vectorOfSize: 3) size) - 3 + 1 ]. "
+      "t )",
+      Err))
+      << Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("grind: 400", Out, Err)) << Err;
+  EXPECT_EQ(Out, 400);
+  EXPECT_GT(VM.heap().stats().Scavenges, 0u);
+  EXPECT_GE(VM.tierStats().Promotions, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, GcStress,

@@ -169,11 +169,21 @@ TEST_F(InterpTest, LexicalCaptureSharedMutation) {
 }
 
 TEST_F(InterpTest, GcDuringExecution) {
-  VM.heap().setGcThresholdBytes(1 << 12); // Collect very frequently.
-  EXPECT_EQ(evalInt("g = ( | s <- 0 | 1 to: 200 Do: [ :i | "
-                    "s: s + ((vectorOfSize: 3) size) ]. s ). g"),
-            600);
-  EXPECT_GT(VM.heap().collectionCount(), 0u);
+  // Collect very frequently: a tiny nursery forces scavenges mid-loop and
+  // a tiny old-space threshold forces full collections as survivors tenure.
+  Policy P = Policy::st80();
+  P.GcNurseryKiB = 4;
+  P.GcPromotionAge = 1;
+  P.GcThresholdKiB = 4;
+  VirtualMachine GcVM(P);
+  int64_t Out = 0;
+  std::string Err;
+  ASSERT_TRUE(GcVM.evalInt("g = ( | s <- 0 | 1 to: 200 Do: [ :i | "
+                           "s: s + ((vectorOfSize: 3) size) ]. s ). g",
+                           Out, Err))
+      << Err;
+  EXPECT_EQ(Out, 600);
+  EXPECT_GT(GcVM.heap().collectionCount(), 0u);
 }
 
 TEST_F(InterpTest, InlineCachesHit) {

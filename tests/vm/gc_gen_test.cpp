@@ -1,0 +1,266 @@
+//===-- tests/vm/gc_gen_test.cpp - Generational collector mechanics --------===//
+//
+// The generational machinery itself: copying scavenges, age-based
+// promotion, the old-to-young write barrier and remembered set, nursery
+// overflow, and full-collection evacuation. Collector-independent
+// reachability semantics live in heap_test.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/heap.h"
+
+#include "support/interner.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+
+namespace {
+
+struct TestRoots : RootProvider {
+  std::vector<Value> Roots;
+  void traceRoots(GcVisitor &V) override {
+    for (Value &R : Roots)
+      V.visit(R);
+  }
+};
+
+/// A heap with a registered root list and a map with one data slot, under
+/// an explicit generational configuration.
+struct GenHeap {
+  Heap H;
+  StringInterner In;
+  TestRoots R;
+  Map *M = nullptr;
+
+  GenHeap(size_t NurseryBytes, int PromotionAge) {
+    H.configureGc(true, NurseryBytes, PromotionAge);
+    H.addRootProvider(&R);
+    M = H.newMap(ObjectKind::Plain, "t");
+    M->addSlot(In.intern("x"), SlotKind::Data, Value(), In.intern("x:"));
+  }
+  ~GenHeap() { H.removeRootProvider(&R); }
+
+  Object *rooted() {
+    Object *O = H.allocPlain(M);
+    R.Roots.push_back(Value::fromObject(O));
+    return O;
+  }
+};
+
+} // namespace
+
+TEST(GcGen, ScavengeReclaimsDeadYoungObjects) {
+  GenHeap G(64u << 10, 2);
+  G.rooted();
+  for (int I = 0; I < 50; ++I)
+    G.H.allocPlain(G.M); // garbage
+  EXPECT_EQ(G.H.objectCount(), 51u);
+  G.H.scavenge();
+  EXPECT_EQ(G.H.objectCount(), 1u);
+  EXPECT_EQ(G.H.stats().Scavenges, 1u);
+  EXPECT_EQ(G.H.stats().FullCollections, 0u);
+}
+
+TEST(GcGen, ScavengeMovesSurvivorsAndUpdatesRoots) {
+  GenHeap G(64u << 10, 2);
+  Object *O = G.rooted();
+  O->setField(0, Value::fromInt(77));
+  Object *Before = O;
+  G.H.scavenge();
+  // The semispaces flipped: the survivor was copied and the root rewritten
+  // to its new address, with contents intact.
+  Object *After = G.R.Roots[0].asObject();
+  EXPECT_NE(After, Before);
+  EXPECT_TRUE(Heap::isYoung(After));
+  ASSERT_TRUE(After->field(0).isInt());
+  EXPECT_EQ(After->field(0).asInt(), 77);
+  EXPECT_EQ(G.H.stats().ObjectsCopied, 1u);
+}
+
+TEST(GcGen, PromotionAgeZeroTenuresOnFirstScavenge) {
+  GenHeap G(64u << 10, 0);
+  G.rooted();
+  G.H.scavenge();
+  Object *O = G.R.Roots[0].asObject();
+  EXPECT_FALSE(Heap::isYoung(O));
+  EXPECT_EQ(G.H.stats().ObjectsPromoted, 1u);
+  EXPECT_EQ(G.H.stats().ObjectsCopied, 0u);
+}
+
+TEST(GcGen, PromotionAgeTwoNeedsTwoScavenges) {
+  GenHeap G(64u << 10, 2);
+  G.rooted();
+  G.H.scavenge();
+  EXPECT_TRUE(Heap::isYoung(G.R.Roots[0].asObject()));
+  EXPECT_EQ(G.H.stats().ObjectsPromoted, 0u);
+  G.H.scavenge();
+  EXPECT_FALSE(Heap::isYoung(G.R.Roots[0].asObject()));
+  EXPECT_EQ(G.H.stats().ObjectsPromoted, 1u);
+  // Once old, further scavenges leave it alone.
+  G.H.scavenge();
+  EXPECT_EQ(G.H.objectCount(), 1u);
+  EXPECT_EQ(G.H.stats().ObjectsPromoted, 1u);
+}
+
+TEST(GcGen, WriteBarrierKeepsUnrootedChildAliveThroughOldParent) {
+  GenHeap G(64u << 10, 2);
+  G.rooted();
+  G.H.scavenge();
+  G.H.scavenge(); // Parent is now old.
+  Object *Parent = G.R.Roots[0].asObject();
+  ASSERT_FALSE(Heap::isYoung(Parent));
+
+  Object *Child = G.H.allocPlain(G.M);
+  Child->setField(0, Value::fromInt(5));
+  Parent->setField(0, Value::fromObject(Child)); // old <- young: barrier.
+  EXPECT_EQ(G.H.stats().BarrierHits, 1u);
+  EXPECT_EQ(G.H.rememberedSetSize(), 1u);
+
+  // The child's only path from the roots is through the old parent: the
+  // remembered set must root it, and the parent's field must be updated to
+  // the child's new location.
+  G.H.scavenge();
+  EXPECT_EQ(G.H.objectCount(), 2u);
+  ASSERT_TRUE(Parent->field(0).isObject());
+  Object *MovedChild = Parent->field(0).asObject();
+  EXPECT_TRUE(Heap::isYoung(MovedChild));
+  EXPECT_EQ(MovedChild->field(0).asInt(), 5);
+  // Still young, so the parent stays remembered.
+  EXPECT_EQ(G.H.rememberedSetSize(), 1u);
+}
+
+TEST(GcGen, WriteBarrierDeduplicatesRememberedSetEntries) {
+  GenHeap G(64u << 10, 0);
+  G.rooted();
+  G.H.scavenge(); // Parent promoted (age 0).
+  Object *Parent = G.R.Roots[0].asObject();
+
+  Object *A = G.H.allocPlain(G.M);
+  Object *B = G.H.allocPlain(G.M);
+  Parent->setField(0, Value::fromObject(A));
+  Parent->setField(0, Value::fromObject(B));
+  // Two old-to-young stores into one object: one slow-path hit, one entry.
+  EXPECT_EQ(G.H.stats().BarrierHits, 1u);
+  EXPECT_EQ(G.H.rememberedSetSize(), 1u);
+}
+
+TEST(GcGen, NoBarrierForYoungHoldersOrOldValues) {
+  GenHeap G(64u << 10, 0);
+  Object *YoungParent = G.rooted();
+  Object *YoungChild = G.H.allocPlain(G.M);
+  YoungParent->setField(0, Value::fromObject(YoungChild));
+  EXPECT_EQ(G.H.stats().BarrierHits, 0u); // young holder: no barrier.
+
+  G.H.scavenge(); // Both promoted (age 0).
+  Object *OldParent = G.R.Roots[0].asObject();
+  Object *OldChild = OldParent->field(0).asObject();
+  OldParent->setField(0, Value::fromObject(OldChild));
+  OldParent->setField(0, Value::fromInt(3));
+  EXPECT_EQ(G.H.stats().BarrierHits, 0u); // old->old and old->int: none.
+  EXPECT_EQ(G.H.rememberedSetSize(), 0u);
+}
+
+TEST(GcGen, RememberedSetPrunedWhenChildPromotes) {
+  GenHeap G(64u << 10, 0);
+  G.rooted();
+  G.H.scavenge();
+  Object *Parent = G.R.Roots[0].asObject();
+  Object *Child = G.H.allocPlain(G.M);
+  Parent->setField(0, Value::fromObject(Child));
+  EXPECT_EQ(G.H.rememberedSetSize(), 1u);
+
+  // Age 0: the child promotes on this scavenge, so the parent no longer
+  // holds any young reference and must leave the remembered set.
+  G.H.scavenge();
+  EXPECT_EQ(G.H.rememberedSetSize(), 0u);
+  EXPECT_FALSE(Heap::isYoung(Parent->field(0).asObject()));
+  // A later store of another young object must re-remember the parent.
+  Object *Child2 = G.H.allocPlain(G.M);
+  Parent->setField(0, Value::fromObject(Child2));
+  EXPECT_EQ(G.H.rememberedSetSize(), 1u);
+  EXPECT_EQ(G.H.stats().BarrierHits, 2u);
+}
+
+TEST(GcGen, ArrayStoresHitTheBarrierToo) {
+  GenHeap G(64u << 10, 0);
+  Map *AM = G.H.newMap(ObjectKind::Array, "arr");
+  ArrayObj *Arr = G.H.allocArray(AM, 4, Value());
+  G.R.Roots.push_back(Value::fromObject(Arr));
+  G.H.scavenge(); // Array promoted.
+  auto *OldArr = static_cast<ArrayObj *>(G.R.Roots.back().asObject());
+  ASSERT_FALSE(Heap::isYoung(OldArr));
+
+  Object *Child = G.H.allocPlain(G.M);
+  OldArr->atPut(2, Value::fromObject(Child));
+  EXPECT_EQ(G.H.rememberedSetSize(), 1u);
+  G.H.scavenge();
+  EXPECT_FALSE(Heap::isYoung(OldArr->at(2).asObject()));
+}
+
+TEST(GcGen, NurseryOverflowFallsBackToOldSpace) {
+  // 4 KiB nursery, no collections run: allocation must never fail — the
+  // overflow path sends shells straight to the old space between
+  // safepoints.
+  GenHeap G(4u << 10, 2);
+  for (int I = 0; I < 300; ++I)
+    G.rooted();
+  EXPECT_EQ(G.H.objectCount(), 300u);
+  const GcStats &S = G.H.stats();
+  EXPECT_GT(S.NurseryAllocs, 0u);
+  EXPECT_GT(S.OverflowAllocs, 0u);
+  EXPECT_EQ(S.NurseryAllocs + S.OldAllocs, 300u);
+  // Everything stays reachable through a full collection.
+  G.H.collect();
+  EXPECT_EQ(G.H.objectCount(), 300u);
+}
+
+TEST(GcGen, FullCollectionEvacuatesTheNursery) {
+  GenHeap G(64u << 10, 2);
+  Object *O = G.rooted();
+  O->setField(0, Value::fromInt(9));
+  for (int I = 0; I < 20; ++I)
+    G.H.allocPlain(G.M); // garbage
+  G.H.collect();
+  // Survivors were tenured regardless of age; the nursery is empty.
+  EXPECT_EQ(G.H.objectCount(), 1u);
+  EXPECT_EQ(G.H.nurseryUsedBytes(), 0u);
+  Object *Tenured = G.R.Roots[0].asObject();
+  EXPECT_FALSE(Heap::isYoung(Tenured));
+  EXPECT_EQ(Tenured->field(0).asInt(), 9);
+  EXPECT_EQ(G.H.stats().FullCollections, 1u);
+}
+
+TEST(GcGen, StatsTrackPausesAndSurvival) {
+  GenHeap G(64u << 10, 2);
+  G.rooted();
+  for (int I = 0; I < 40; ++I)
+    G.H.allocPlain(G.M);
+  G.H.scavenge();
+  G.H.collect();
+  const GcStats &S = G.H.stats();
+  EXPECT_EQ(S.Scavenges, 1u);
+  EXPECT_EQ(S.FullCollections, 1u);
+  EXPECT_EQ(S.PauseSeconds.size(), G.H.collectionCount());
+  EXPECT_GE(S.MaxPauseSeconds, 0.0);
+  EXPECT_GT(S.ScannedScavengeBytes, 0u);
+  EXPECT_GT(S.survivalRate(), 0.0);
+  EXPECT_LT(S.survivalRate(), 1.0); // 40 of 41 objects were garbage.
+}
+
+TEST(GcGen, MarkSweepModeNeverScavenges) {
+  Heap H;
+  H.configureGc(false);
+  TestRoots R;
+  H.addRootProvider(&R);
+  Map *M = H.newMap(ObjectKind::Plain, "t");
+  Object *O = H.allocPlain(M);
+  R.Roots.push_back(Value::fromObject(O));
+  H.scavenge(); // No-op without a nursery.
+  EXPECT_EQ(H.collectionCount(), 0u);
+  EXPECT_EQ(R.Roots[0].asObject(), O); // Nothing moved.
+  EXPECT_FALSE(Heap::isYoung(O));
+  EXPECT_EQ(H.stats().NurseryAllocs, 0u);
+  EXPECT_EQ(H.stats().OldAllocs, 1u);
+  H.removeRootProvider(&R);
+}
