@@ -1,0 +1,258 @@
+//===-- bench/table_async.cpp - E14: Background compilation ---------------===//
+//
+// Measures what moving tier-up compilation off-thread buys the mutator and
+// what it costs at steady state. The workload reuses E11's shapes: a
+// 24-method startup program plus one hot loop. The phase that matters here
+// is the *promotion storm* — every method crosses the hotness threshold in
+// a tight window, which on the synchronous path stalls the mutator inside
+// the optimizer once per method, and on the background path costs only an
+// enqueue per method plus a safepoint install.
+//
+// Rows: sync (tiered, queue off), async (queue on), and async-cap0 (queue
+// on but zero capacity, so every promotion takes the synchronous fallback —
+// the sanity row that shows the fallback path really is the sync path).
+//
+// The headline claims this table must support (EXPERIMENTS.md E14):
+//   - the mutator's promotion-attributable compile stall shrinks >= 5x
+//     under the background queue,
+//   - steady-state executed instructions stay within 2% of sync, and
+//   - every checksum is identical across all rows.
+// The program exits nonzero if any fails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "driver/vm.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+constexpr int kStartupMethods = 24;
+constexpr int64_t kStartupArg = 3;
+constexpr int kTierThreshold = 10;
+constexpr int kStormCalls = 2 * kTierThreshold; // Crosses the threshold.
+constexpr int64_t kSteadyIters = 200000;
+
+/// E11's startup program: kStartupMethods similar-but-distinct methods and
+/// a driver calling each once per invocation. Repeated invocations turn it
+/// into the promotion storm.
+std::string startupWorld() {
+  std::string S;
+  for (int I = 0; I < kStartupMethods; ++I) {
+    std::string Id = std::to_string(I);
+    S += "m" + Id + ": x = ( | t <- " + Id + " | 1 to: 6 Do: [ :i | "
+         "(x + i) % 2 == 0 ifTrue: [ t: t + (x * i) ] False: [ t: t - i ] ]. "
+         "t ). ";
+  }
+  S += "callAll: x = ( | t <- 0 | ";
+  for (int I = 0; I < kStartupMethods; ++I)
+    S += "t: t + (m" + std::to_string(I) + ": x). ";
+  S += "t )";
+  return S;
+}
+
+int64_t startupExpected() {
+  int64_t Total = 0;
+  for (int64_t M = 0; M < kStartupMethods; ++M) {
+    int64_t T = M;
+    for (int64_t I = 1; I <= 6; ++I)
+      T += (kStartupArg + I) % 2 == 0 ? kStartupArg * I : -I;
+    Total += T;
+  }
+  return Total;
+}
+
+const char *steadyWorld() {
+  return "hot: n = ( | t <- 0. i <- 0 | [ i < n ] whileTrue: "
+         "[ i: i + 1. t: t + ((i * 3) % 7) + (i % 5) ]. t )";
+}
+
+int64_t steadyExpected(int64_t N) {
+  int64_t T = 0;
+  for (int64_t I = 1; I <= N; ++I)
+    T += (I * 3) % 7 + I % 5;
+  return T;
+}
+
+struct AsyncConfig {
+  const char *Name;
+  bool Background;
+  int QueueCap;
+};
+
+struct Row {
+  bool Ok = false;
+  double StormWallSec = 0;  ///< Wall time of the promotion storm.
+  double StormStallSec = 0; ///< Mutator compile stall during the storm.
+  double SteadyWallSec = 0;
+  uint64_t SteadyInstructions = 0;
+  int64_t Checksum = 0; ///< Sum of every eval result, all phases.
+  TierStats Stats;      ///< Snapshot after settle.
+};
+
+Row runConfig(const AsyncConfig &C) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = true;
+  P.TierUpThreshold = kTierThreshold;
+  P.BackgroundCompile = C.Background;
+  P.BackgroundQueueCap = C.QueueCap;
+
+  Row Out;
+  VirtualMachine VM(P);
+  std::string Err;
+  if (!VM.load(startupWorld() + ". " + steadyWorld(), Err)) {
+    fprintf(stderr, "FAIL %s load: %s\n", C.Name, Err.c_str());
+    return Out;
+  }
+
+  // Startup: every method baseline-compiled and run once.
+  int64_t V = 0;
+  const std::string Call = "callAll: " + std::to_string(kStartupArg);
+  if (!VM.evalInt(Call, V, Err) || V != startupExpected()) {
+    fprintf(stderr, "FAIL %s startup: %s\n", C.Name, Err.c_str());
+    return Out;
+  }
+  Out.Checksum += V;
+
+  // Promotion storm: every method crosses the threshold. The stall delta
+  // across this phase is promotion-attributable by construction — startup
+  // compiles already happened, steady-state compiles haven't.
+  double StallBefore = VM.telemetry().Tier.MutatorStallSeconds;
+  auto S0 = std::chrono::steady_clock::now();
+  for (int I = 0; I < kStormCalls; ++I) {
+    if (!VM.evalInt(Call, V, Err) || V != startupExpected()) {
+      fprintf(stderr, "FAIL %s storm: %s\n", C.Name, Err.c_str());
+      return Out;
+    }
+    Out.Checksum += V;
+  }
+  for (int I = 0; I < kStormCalls; ++I) {
+    if (!VM.evalInt("hot: 1000", V, Err) || V != steadyExpected(1000)) {
+      fprintf(stderr, "FAIL %s warmup: %s\n", C.Name, Err.c_str());
+      return Out;
+    }
+    Out.Checksum += V;
+  }
+  auto S1 = std::chrono::steady_clock::now();
+  Out.StormWallSec = std::chrono::duration<double>(S1 - S0).count();
+  Out.StormStallSec =
+      VM.telemetry().Tier.MutatorStallSeconds - StallBefore;
+
+  // Every pending promotion installs before the measured steady run, so
+  // both modes execute the same optimized code.
+  VM.settleBackgroundCompiles();
+
+  VM.interp().resetCounters();
+  auto T0 = std::chrono::steady_clock::now();
+  if (!VM.evalInt("hot: " + std::to_string(kSteadyIters), V, Err) ||
+      V != steadyExpected(kSteadyIters)) {
+    fprintf(stderr, "FAIL %s steady: %s\n", C.Name, Err.c_str());
+    return Out;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  Out.Checksum += V;
+  Out.SteadyWallSec = std::chrono::duration<double>(T1 - T0).count();
+  Out.SteadyInstructions = VM.interp().counters().Instructions;
+  Out.Stats = VM.telemetry().Tier;
+  Out.Ok = true;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const AsyncConfig Configs[] = {
+      {"sync", false, 16},
+      {"async", true, 256},
+      {"async-cap0", true, 0},
+  };
+  constexpr int kNumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+
+  printf("E14: Background compilation — %d-method promotion storm + hot "
+         "loop (threshold %d)\n",
+         kStartupMethods, kTierThreshold);
+  printf("%-12s %12s %12s %12s %12s %6s %5s %5s %5s %5s\n", "config",
+         "stall ms", "storm ms", "steady ms", "Minstr", "promo", "enq",
+         "inst", "canc", "fall");
+
+  JsonReport Report("table_async");
+  bool AllOk = true;
+  Row Rows[kNumConfigs];
+  for (int I = 0; I < kNumConfigs; ++I) {
+    Rows[I] = runConfig(Configs[I]);
+    if (!Rows[I].Ok) {
+      AllOk = false;
+      printf("%-12s %12s\n", Configs[I].Name, "-");
+      continue;
+    }
+    const Row &R = Rows[I];
+    printf("%-12s %12s %12s %12s %12s %6llu %5llu %5llu %5llu %5llu\n",
+           Configs[I].Name, fixed(R.StormStallSec * 1e3, 3).c_str(),
+           fixed(R.StormWallSec * 1e3, 3).c_str(),
+           fixed(R.SteadyWallSec * 1e3, 3).c_str(),
+           fixed(double(R.SteadyInstructions) / 1e6, 2).c_str(),
+           (unsigned long long)R.Stats.Promotions,
+           (unsigned long long)R.Stats.BackgroundEnqueued,
+           (unsigned long long)R.Stats.BackgroundInstalled,
+           (unsigned long long)R.Stats.BackgroundCancelled,
+           (unsigned long long)R.Stats.BackgroundSyncFallbacks);
+    std::string Key = Configs[I].Name;
+    Report.metric(Key + "/storm_stall_ms", R.StormStallSec * 1e3);
+    Report.metric(Key + "/storm_ms", R.StormWallSec * 1e3);
+    Report.metric(Key + "/steady_ms", R.SteadyWallSec * 1e3);
+    Report.metric(Key + "/steady_minstr", double(R.SteadyInstructions) / 1e6);
+    Report.metric(Key + "/promotions", double(R.Stats.Promotions));
+    Report.metric(Key + "/bg_installed",
+                  double(R.Stats.BackgroundInstalled));
+    Report.metric(Key + "/bg_sync_fallbacks",
+                  double(R.Stats.BackgroundSyncFallbacks));
+  }
+
+  const Row &Sync = Rows[0], &Async = Rows[1], &Cap0 = Rows[2];
+
+  // Gate 1: promotion-attributable mutator stall shrinks >= 5x. A zero
+  // async stall (no fallbacks at all) passes by definition.
+  double StallRatio =
+      Async.StormStallSec > 0 ? Sync.StormStallSec / Async.StormStallSec
+                              : 1e9;
+  bool StallOk = AllOk && Sync.StormStallSec > 0 && StallRatio >= 5.0;
+
+  // Gate 2: steady-state work within 2%, measured in executed
+  // instructions (machine-load independent).
+  double InstrDelta = AllOk && Sync.SteadyInstructions
+                          ? (double(Async.SteadyInstructions) -
+                             double(Sync.SteadyInstructions))
+                          : 0;
+  double InstrRel = AllOk && Sync.SteadyInstructions
+                        ? (InstrDelta < 0 ? -InstrDelta : InstrDelta) /
+                              double(Sync.SteadyInstructions)
+                        : 1.0;
+  bool SteadyOk = AllOk && InstrRel <= 0.02;
+
+  // Gate 3: identical answers everywhere, including the fallback row.
+  bool ChecksumOk = AllOk && Sync.Checksum == Async.Checksum &&
+                    Sync.Checksum == Cap0.Checksum;
+
+  printf("\npromotion stall, sync vs async: %sx (>= 5x required): %s\n",
+         fixed(StallRatio > 1e8 ? 0 : StallRatio, 1).c_str(),
+         StallOk ? "ok" : "FAIL");
+  printf("steady-state instructions, async vs sync: %s apart (<= 2%% "
+         "required): %s\n",
+         pct(InstrRel).c_str(), SteadyOk ? "ok" : "FAIL");
+  printf("checksums identical across sync/async/cap0: %s\n",
+         ChecksumOk ? "ok" : "FAIL");
+
+  Report.metric("stall_ratio_sync_vs_async", StallRatio > 1e8 ? 1e8 : StallRatio);
+  Report.metric("steady_instr_rel_delta", InstrRel);
+  Report.metric("checksums_identical", ChecksumOk ? 1 : 0);
+  Report.pass(AllOk && StallOk && SteadyOk && ChecksumOk);
+  Report.write();
+  return (AllOk && StallOk && SteadyOk && ChecksumOk) ? 0 : 1;
+}

@@ -114,7 +114,7 @@ Cell runCell(const Workload &W, const DispatchConfig &C) {
     return Out;
   }
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   double Secs = std::chrono::duration<double>(T1 - T0).count();
   Out.Ok = true;
   Out.SendsPerSec = Secs > 0 ? double(S.Sends) / Secs : 0;

@@ -175,7 +175,7 @@ Cell runCell(const Kernel &K, const CollectorConfig &C) {
     double Secs = std::chrono::duration<double>(T1 - T0).count();
     if (Secs < BestSecs) {
       BestSecs = Secs;
-      Out.Gc = VM.gcStats();
+      Out.Gc = VM.telemetry().Gc;
     }
   }
   Out.Ok = true;

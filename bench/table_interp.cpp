@@ -206,7 +206,7 @@ double runSendBound(bool Quickening, bool &Ok) {
     BestSecs = std::min(BestSecs,
                         std::chrono::duration<double>(T1 - T0).count());
   }
-  if (Quickening && VM.dispatchStats().QuickSends == 0) {
+  if (Quickening && VM.telemetry().Dispatch.QuickSends == 0) {
     fprintf(stderr, "FAIL send-bound: quickening on but no quick sends\n");
     return 0;
   }

@@ -155,14 +155,15 @@ Row runConfig(const TierConfig &C, bool PrintEvents) {
   }
   Out.SteadyWallSec = std::chrono::duration<double>(T1 - T0).count();
   Out.SteadyInstructions = VM.interp().counters().Instructions;
-  Out.Stats = VM.tierStats();
+  Out.Stats = VM.telemetry().Tier;
   Out.Ok = true;
 
   if (PrintEvents) {
-    const auto &Events = VM.compilationEvents().events();
+    VmTelemetry Telem = VM.telemetry();
+    const std::vector<CompileEvent> &Events = Telem.Events;
     size_t From = Events.size() > 6 ? Events.size() - 6 : 0;
     printf("\nlast compilation events (%s, %llu total):\n", C.Name,
-           (unsigned long long)VM.compilationEvents().totalRecorded());
+           (unsigned long long)Telem.EventsRecorded);
     for (size_t I = From; I < Events.size(); ++I) {
       const CompileEvent &E = Events[I];
       printf("  #%-4llu %-10s %-9s %-12s hot=%-4u %.3f ms\n",

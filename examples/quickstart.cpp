@@ -57,13 +57,13 @@ int main() {
   // dynamically-bound sends or run-time type tests.
   VM.interp().resetCounters();
   O = VM.eval("compound: 5 Over: 20");
-  const ExecCounters &C = VM.interp().counters();
+  VmTelemetry T = VM.telemetry();
   printf("executed: %llu instructions, %llu dynamic sends, "
          "%llu type tests, %llu closures created\n",
-         static_cast<unsigned long long>(C.Instructions),
-         static_cast<unsigned long long>(C.Sends),
-         static_cast<unsigned long long>(C.TypeTests),
-         static_cast<unsigned long long>(C.BlocksMade));
+         static_cast<unsigned long long>(T.Exec.Instructions),
+         static_cast<unsigned long long>(T.Exec.Sends),
+         static_cast<unsigned long long>(T.Exec.TypeTests),
+         static_cast<unsigned long long>(T.Exec.BlocksMade));
 
   // Compiler statistics are available per compiled method.
   printf("\ncompiled methods (name, inlined sends, loop versions):\n");
@@ -73,10 +73,11 @@ int main() {
            Fn.Stats.SendsDynamic, Fn.Stats.LoopVersions);
   });
 
-  // The one-stop stats dump: dispatch-path, tiering, and collector
-  // statistics (the generational heap reports scavenge/full counts, pause
-  // times, promotion volume, survival rate, and write-barrier traffic).
+  // The one-stop stats dump: VmTelemetry is a coherent snapshot of the
+  // dispatch path, tiering (including the background compile queue), the
+  // collector, and the execution counters — printed as stable key=value
+  // lines (telemetry().toJson() gives the same keys as JSON).
   printf("\n");
-  VM.printStats(stdout);
+  VM.telemetry().print(stdout);
   return 0;
 }

@@ -262,6 +262,13 @@ struct CompiledFunction {
   /// Baseline code only: the optimized replacement installed by promotion,
   /// so callers holding a stale pointer can forward instead of re-promoting.
   CompiledFunction *ReplacedBy = nullptr;
+  /// Baseline code only: an asynchronous promotion of this function is
+  /// queued or in flight, so hotness triggers must not enqueue another
+  /// (per-(function, policy) dedup). Cleared when the job's result is
+  /// installed or discarded at a safepoint — a discarded (cancelled) job
+  /// self-heals because the still-hot function re-enqueues on its next
+  /// trigger. Mutator-thread only.
+  bool PromotionPending = false;
   /// Maps whose shape the optimizer's compile-time lookups walked: a new
   /// slot on any of them could change a lookup this code inlined, so a
   /// mutation of any member invalidates the function. Maps are immortal

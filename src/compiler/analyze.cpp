@@ -55,7 +55,8 @@ std::optional<std::pair<int64_t, int64_t>> rangeHull(const Type *T) {
 //===----------------------------------------------------------------------===//
 
 Analyzer::Analyzer(World &W, const Policy &P, const CompileRequest &Req)
-    : W(W), P(P), Req(Req), TC(W) {}
+    : W(W), P(P), Req(Req), OwnAccess(W, /*Background=*/false),
+      Access(this->Req.Access ? this->Req.Access : &OwnAccess), TC(W) {}
 
 const Type *Analyzer::typeOf(const State &S, int Vreg) const {
   auto It = S.Types.find(Vreg);
@@ -486,10 +487,8 @@ bool Analyzer::hasNLRBlock(const Code *C) {
 
 LookupResult Analyzer::compileLookup(Map *M, const std::string *Sel) {
   std::vector<Map *> Walked;
-  LookupResult R = lookupSelector(W, M, Sel, &Walked);
+  LookupResult R = Access->lookup(M, Sel, &Walked);
   DepMaps.insert(Walked.begin(), Walked.end());
-  if (W.lookupCache().enabled())
-    W.lookupCache().insert(M, Sel, R);
   return R;
 }
 
@@ -531,7 +530,7 @@ std::unique_ptr<CompiledFunction> Analyzer::compile() {
     const Code::VarSlot &Slot = Unit->Slots[K];
     Value Init = Slot.InitIsInt ? Value::fromInt(Slot.InitInt)
                  : Slot.InitStr
-                     ? Value::fromObject(W.newString(*Slot.InitStr))
+                     ? Access->stringLiteral(*Slot.InitStr)
                      : W.nilValue();
     int T = newVreg();
     Node *C = emit(S, NodeOp::Const, 1);
@@ -631,7 +630,7 @@ int Analyzer::evalExpr(State &S, const Expr *E, EvalCtx &Ctx) {
     Node *N = emit(S, NodeOp::Const, 1);
     N->Dst = T;
     N->Val =
-        Value::fromObject(W.newString(*static_cast<const StrLit *>(E)->Text));
+        Access->stringLiteral(*static_cast<const StrLit *>(E)->Text);
     setType(S, T, TC.constantOf(N->Val));
     return T;
   }
@@ -995,7 +994,7 @@ int Analyzer::inlineMethod(State &S, const Code *Body, const std::string *Sel,
     } else {
       Value Init = Slot.InitIsInt ? Value::fromInt(Slot.InitInt)
                    : Slot.InitStr
-                       ? Value::fromObject(W.newString(*Slot.InitStr))
+                       ? Access->stringLiteral(*Slot.InitStr)
                        : W.nilValue();
       Src = newVreg();
       Node *C = emit(S, NodeOp::Const, 1);
@@ -1082,7 +1081,7 @@ int Analyzer::inlineBlockBody(State &S, const Type *ClosureT,
     } else {
       Value Init = Slot.InitIsInt ? Value::fromInt(Slot.InitInt)
                    : Slot.InitStr
-                       ? Value::fromObject(W.newString(*Slot.InitStr))
+                       ? Access->stringLiteral(*Slot.InitStr)
                        : W.nilValue();
       Src = newVreg();
       Node *C = emit(S, NodeOp::Const, 1);

@@ -197,6 +197,10 @@ private:
   World &W;
   const Policy &P;
   CompileRequest Req;
+  /// Fallback synchronous world access, used when the request carries none;
+  /// Access points either here or at the request's (background) mediator.
+  CompileAccess OwnAccess;
+  CompileAccess *Access;
   TypeContext TC;
   Graph G;
   CompileStats Stats;

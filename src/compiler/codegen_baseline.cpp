@@ -28,8 +28,9 @@ namespace {
 class BaselineCodegen {
 public:
   BaselineCodegen(World &W, const Policy &P, const CompileRequest &Req)
-      : W(W), P(P), Req(Req), Fn(std::make_unique<CompiledFunction>()),
-        B(*Fn), Unit(Req.Source) {}
+      : W(W), P(P), Req(Req), OwnAccess(W, /*Background=*/false),
+        Access(Req.Access ? Req.Access : &OwnAccess),
+        Fn(std::make_unique<CompiledFunction>()), B(*Fn), Unit(Req.Source) {}
 
   std::unique_ptr<CompiledFunction> run() {
     // The whole baseline compile is one direct AST-to-bytecode walk; its
@@ -57,6 +58,8 @@ private:
   World &W;
   const Policy &P;
   const CompileRequest &Req;
+  CompileAccess OwnAccess; ///< Synchronous fallback when Req carries none.
+  CompileAccess *Access;
   std::unique_ptr<CompiledFunction> Fn;
   FunctionBuilder B;
   const Code *Unit;
@@ -92,7 +95,7 @@ private:
     if (S.InitIsInt)
       return Value::fromInt(S.InitInt);
     if (S.InitStr)
-      return Value::fromObject(W.newString(*S.InitStr));
+      return Access->stringLiteral(*S.InitStr);
     return W.nilValue();
   }
 
@@ -161,8 +164,7 @@ private:
     }
     case ExprKind::StrLit: {
       int T = B.allocTemp();
-      Value S = Value::fromObject(
-          W.newString(*static_cast<const StrLit *>(E)->Text));
+      Value S = Access->stringLiteral(*static_cast<const StrLit *>(E)->Text);
       B.emit2(Op::LoadConst, T, B.literal(S));
       return T;
     }

@@ -122,6 +122,8 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
                   Graph &G, int NumVregs, CompileStats Stats) {
   double LowerStart = cpuTimeSeconds();
   const Code *Unit = Req.Source;
+  CompileAccess OwnAccess(W, /*Background=*/false);
+  CompileAccess *Access = Req.Access ? Req.Access : &OwnAccess;
   auto Fn = std::make_unique<CompiledFunction>();
   Fn->Source = Unit;
   Fn->ReceiverMap = P.Customize ? Req.ReceiverMap : nullptr;
@@ -515,7 +517,7 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
         Next = nullptr;
         break;
       case NodeOp::ErrorNode: {
-        Value Msg = Value::fromObject(W.newString(Cur->Msg));
+        Value Msg = Access->stringLiteral(Cur->Msg);
         B.emit2(Op::Move, Win, 0);
         B.emit2(Op::LoadConst, Win + 1, B.literal(Msg));
         B.emit5(Op::Prim, Win, static_cast<int>(PrimId::ErrorOp), Win, 1,

@@ -2,6 +2,10 @@
 
 #include "compiler/policy.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
 using namespace mself;
 
 Policy Policy::st80() {
@@ -65,4 +69,274 @@ Policy Policy::pureInterp() {
   P.PolymorphicInlineCaches = false;
   P.UseGlobalLookupCache = false;
   return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Preset registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PolicyPreset matrixEntry(std::string Name, std::string Desc, Policy P) {
+  PolicyPreset E;
+  E.Name = std::move(Name);
+  E.Description = std::move(Desc);
+  E.P = std::move(P);
+  E.InMatrix = true;
+  return E;
+}
+
+std::vector<PolicyPreset> buildRegistry() {
+  std::vector<PolicyPreset> R;
+
+  // The paper's three systems (§6) plus the dispatch-path floor. These are
+  // what bench tables iterate; they are not matrix members themselves —
+  // the "<name>/pic" entries below run the identical configurations under
+  // their matrix labels.
+  for (const Policy &P :
+       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
+    PolicyPreset E;
+    E.Name = P.Name;
+    E.Description = P.Name == "st80"
+                        ? "Smalltalk-80-style baseline compiler"
+                        : (P.Name == "oldself"
+                               ? "previous SELF compiler (no iterative "
+                                 "analysis, local splitting only)"
+                               : "the paper's compiler (iterative type "
+                                 "analysis + extended splitting)");
+    E.P = P;
+    E.PaperSystem = true;
+    R.push_back(std::move(E));
+  }
+  {
+    PolicyPreset E;
+    E.Name = "pureinterp";
+    E.Description = "no caches, no optimizer: full lookup on every send";
+    E.P = Policy::pureInterp();
+    R.push_back(std::move(E));
+  }
+
+  // Dispatch axis: {st80, oldself, newself} × {pic, mono, noglc, nocache}.
+  // "pic" is the default stack (PIC + global lookup cache), "mono"
+  // degrades to single-entry replace-on-miss caches, "noglc" runs PICs
+  // without the global cache, "nocache" performs a full lookup on every
+  // send — st80/nocache is pure interpretation.
+  for (const Policy &Base :
+       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
+    R.push_back(matrixEntry(Base.Name + "/pic",
+                            "default dispatch stack (PIC + global cache)",
+                            Base));
+
+    Policy Mono = Base;
+    Mono.PolymorphicInlineCaches = false;
+    Mono.UseGlobalLookupCache = false;
+    R.push_back(matrixEntry(Base.Name + "/mono",
+                            "single-entry replace-on-miss inline caches",
+                            Mono));
+
+    Policy NoGlc = Base;
+    NoGlc.UseGlobalLookupCache = false;
+    R.push_back(matrixEntry(Base.Name + "/noglc",
+                            "PICs without the global lookup cache", NoGlc));
+
+    Policy NoCache = Base;
+    NoCache.InlineCaches = false;
+    NoCache.UseGlobalLookupCache = false;
+    R.push_back(matrixEntry(Base.Name + "/nocache",
+                            "full lookup on every send", NoCache));
+  }
+  // Tiny global cache: forces heavy replacement traffic so index collisions
+  // cannot change results either.
+  Policy TinyGlc = Policy::newSelf();
+  TinyGlc.GlobalLookupCacheEntries = 8;
+  R.push_back(matrixEntry("newself/tinyglc",
+                          "8-entry global cache (collision stress)",
+                          TinyGlc));
+
+  // Tier axis: baseline-tier execution, immediate promotion, and mid-run
+  // promotion must all be observationally identical to full-opt-first-call
+  // (the plain presets above). oldself and newself differ in how much the
+  // optimized tier changes relative to baseline, so both are crossed.
+  for (const Policy &Base : {Policy::oldSelf(), Policy::newSelf()}) {
+    Policy T1 = Base;
+    T1.TieredCompilation = true;
+    T1.TierUpThreshold = 1;
+    R.push_back(matrixEntry(Base.Name + "/tier1",
+                            "tiered, promotion on the first invocation",
+                            T1));
+
+    Policy TN = Base;
+    TN.TieredCompilation = true;
+    TN.TierUpThreshold = 8;
+    R.push_back(matrixEntry(Base.Name + "/tierN",
+                            "tiered, mid-run promotion at threshold 8", TN));
+  }
+  Policy BaseOnly = Policy::newSelf();
+  BaseOnly.TieredCompilation = true;
+  BaseOnly.TierUpThreshold = std::numeric_limits<int>::max();
+  R.push_back(matrixEntry("newself/tierbase",
+                          "baseline tier only, never promotes", BaseOnly));
+
+  // Execution-engine axis: the dispatch loop (threaded vs switch), opcode
+  // quickening, and superinstruction fusion must each be observationally
+  // invisible. st80 and newself bracket the compiler spectrum — st80 runs
+  // the most generic sends (quickening hits hardest), newself the most
+  // optimized bytecode (fusion hits hardest).
+  for (const Policy &Base : {Policy::st80(), Policy::newSelf()}) {
+    Policy NoQuick = Base;
+    NoQuick.OpcodeQuickening = false;
+    R.push_back(matrixEntry(Base.Name + "/noquick",
+                            "opcode quickening off", NoQuick));
+
+    Policy NoFuse = Base;
+    NoFuse.Superinstructions = false;
+    R.push_back(matrixEntry(Base.Name + "/nofuse",
+                            "superinstruction fusion off", NoFuse));
+
+    Policy Plain = Base;
+    Plain.ThreadedDispatch = false;
+    Plain.OpcodeQuickening = false;
+    Plain.Superinstructions = false;
+    R.push_back(matrixEntry(Base.Name + "/plainloop",
+                            "switch loop, no quickening, no fusion", Plain));
+  }
+  // Switch loop with quickening + fusion still on: the non-default engine
+  // pairing (threaded-off is the portable fallback everywhere).
+  Policy SwitchLoop = Policy::newSelf();
+  SwitchLoop.ThreadedDispatch = false;
+  R.push_back(matrixEntry("newself/switchloop",
+                          "switch loop with quickening + fusion",
+                          SwitchLoop));
+  // Quickening across tier promotion: baseline code quickens, promotion
+  // swaps in fresh optimized code mid-run, which must re-quicken cleanly.
+  Policy TierQuick = Policy::newSelf();
+  TierQuick.TieredCompilation = true;
+  TierQuick.TierUpThreshold = 8;
+  TierQuick.ThreadedDispatch = false;
+  R.push_back(matrixEntry("newself/tierquick",
+                          "quickening across mid-run tier promotion",
+                          TierQuick));
+
+  // Collector axis: the memory system must be observationally invisible
+  // too. "marksweep" turns the generational collector off entirely (every
+  // object old from birth, no barriers, no motion); "tinynursery" is the
+  // opposite extreme — a ~4 KiB nursery with promotion age 1 forces
+  // copying scavenges mid-send, so PICs, quickened sites, and closure
+  // environments are exercised against object motion on every preset.
+  // newself/tinytier additionally promotes code tiers mid-run while the
+  // scavenger moves objects under the running frames.
+  for (const Policy &Base :
+       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
+    Policy MarkSweep = Base;
+    MarkSweep.GenerationalGc = false;
+    MarkSweep.GcThresholdKiB = 256;
+    R.push_back(matrixEntry(Base.Name + "/marksweep",
+                            "single-space mark-sweep collector", MarkSweep));
+
+    Policy TinyNursery = Base;
+    TinyNursery.GcNurseryKiB = 4;
+    TinyNursery.GcPromotionAge = 1;
+    TinyNursery.GcThresholdKiB = 512;
+    R.push_back(matrixEntry(Base.Name + "/tinynursery",
+                            "4 KiB nursery, scavenges forced mid-send",
+                            TinyNursery));
+  }
+  Policy TinyTier = Policy::newSelf();
+  TinyTier.GcNurseryKiB = 4;
+  TinyTier.GcPromotionAge = 1;
+  TinyTier.GcThresholdKiB = 512;
+  TinyTier.TieredCompilation = true;
+  TinyTier.TierUpThreshold = 8;
+  R.push_back(matrixEntry("newself/tinytier",
+                          "tiny nursery + mid-run tier promotion",
+                          TinyTier));
+  // Tiny nursery with quickening off: object motion against generic sends
+  // only (isolates the PIC/GLC updating from the quickened-operand
+  // updating covered by tinynursery above).
+  Policy TinyNoQuick = Policy::newSelf();
+  TinyNoQuick.GcNurseryKiB = 4;
+  TinyNoQuick.GcPromotionAge = 1;
+  TinyNoQuick.GcThresholdKiB = 512;
+  TinyNoQuick.OpcodeQuickening = false;
+  R.push_back(matrixEntry("newself/tinynoquick",
+                          "tiny nursery with quickening off", TinyNoQuick));
+
+  // Background-compilation axis: off-thread tier-up + safepoint install
+  // must be observationally identical to inline promotion, including under
+  // GC stress (object motion while a compile is in flight) and under queue
+  // saturation (every request falling back to the synchronous path).
+  for (const Policy &Base : {Policy::oldSelf(), Policy::newSelf()}) {
+    Policy BgTier = Base;
+    BgTier.TieredCompilation = true;
+    BgTier.TierUpThreshold = 8;
+    BgTier.BackgroundCompile = true;
+    R.push_back(matrixEntry(Base.Name + "/bgtier",
+                            "off-thread promotion, safepoint install",
+                            BgTier));
+  }
+  Policy BgTinyTier = Policy::newSelf();
+  BgTinyTier.GcNurseryKiB = 4;
+  BgTinyTier.GcPromotionAge = 1;
+  BgTinyTier.GcThresholdKiB = 512;
+  BgTinyTier.TieredCompilation = true;
+  BgTinyTier.TierUpThreshold = 8;
+  BgTinyTier.BackgroundCompile = true;
+  R.push_back(matrixEntry("newself/bgtinytier",
+                          "background promotion under tiny-nursery GC "
+                          "stress",
+                          BgTinyTier));
+  Policy BgSat = Policy::newSelf();
+  BgSat.TieredCompilation = true;
+  BgSat.TierUpThreshold = 8;
+  BgSat.BackgroundCompile = true;
+  BgSat.BackgroundQueueCap = 0;
+  R.push_back(matrixEntry("newself/bgsat",
+                          "zero-capacity queue: every promotion takes the "
+                          "saturation fallback",
+                          BgSat));
+
+  return R;
+}
+
+} // namespace
+
+const std::vector<PolicyPreset> &Policy::presets() {
+  static const std::vector<PolicyPreset> Registry = buildRegistry();
+  return Registry;
+}
+
+const PolicyPreset *Policy::preset(const std::string &Name) {
+  for (const PolicyPreset &E : presets())
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+Policy Policy::fromEnv(Policy Base) {
+  if (const char *S = std::getenv("MINISELF_GC_STRESS");
+      S && *S && std::strcmp(S, "0") != 0) {
+    Base.GenerationalGc = true;
+    Base.GcNurseryKiB = 4;
+    Base.GcPromotionAge = 1;
+    Base.GcThresholdKiB = 512;
+  }
+  if (const char *S = std::getenv("MINISELF_BG_COMPILE"))
+    Base.BackgroundCompile = *S && std::strcmp(S, "0") != 0;
+  return Base;
+}
+
+std::vector<const PolicyPreset *> mself::matrixPresets() {
+  std::vector<const PolicyPreset *> Out;
+  for (const PolicyPreset &E : Policy::presets())
+    if (E.InMatrix)
+      Out.push_back(&E);
+  return Out;
+}
+
+std::vector<const PolicyPreset *> mself::paperPresets() {
+  std::vector<const PolicyPreset *> Out;
+  for (const PolicyPreset &E : Policy::presets())
+    if (E.PaperSystem)
+      Out.push_back(&E);
+  return Out;
 }

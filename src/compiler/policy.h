@@ -18,8 +18,11 @@
 #define MINISELF_COMPILER_POLICY_H
 
 #include <string>
+#include <vector>
 
 namespace mself {
+
+struct PolicyPreset;
 
 struct Policy {
   std::string Name = "newself";
@@ -148,6 +151,23 @@ struct Policy {
   /// baseline tier entirely (equivalent to full-opt-first-call).
   int TierUpThreshold = 100;
 
+  //===--- Background compilation ---------------------------------------===//
+  // Off-thread tier-up: promotions run on the CompileQueue worker thread
+  // against a locked snapshot of the lookup state and install at the next
+  // interpreter safepoint, so the mutator never pays the optimizing
+  // pipeline's latency inline. First-call (cold) compiles stay synchronous
+  // in either mode — there is nothing to execute until they finish.
+
+  /// Route tier-up recompiles through the background CompileQueue. Off
+  /// (the default): promotions compile inline on the mutator, which keeps
+  /// single-threaded runs fully deterministic.
+  bool BackgroundCompile = false;
+  /// Bounded depth of the background compile queue. A tier-up request that
+  /// finds the queue full falls back to a synchronous inline promotion
+  /// (backpressure); <= 0 saturates immediately, forcing the fallback path
+  /// on every promotion.
+  int BackgroundQueueCap = 16;
+
   /// \returns the cheap first-tier policy derived from this one: every
   /// compiler optimization off (routing to the baseline code generator),
   /// customization and all dispatch-path knobs preserved so code-cache keys
@@ -161,7 +181,49 @@ struct Policy {
   /// The dispatch-path baseline: no inline caches, no global lookup cache,
   /// no compiler optimizations — every send walks the parent chain.
   static Policy pureInterp();
+
+  //===--- Preset registry ----------------------------------------------===//
+  // Every named configuration the project runs — the paper's three
+  // systems, the dispatch/tier/engine/collector/background axes of the
+  // differential matrix — lives in one registry instead of being
+  // hand-rolled per harness. Tests and benches enumerate it by tag.
+
+  /// The full registry, built once. Order is stable (paper systems first,
+  /// then the matrix axes in the order they were introduced).
+  static const std::vector<PolicyPreset> &presets();
+
+  /// Looks up one preset by its registry name (e.g. "newself",
+  /// "st80/nocache"). \returns nullptr when no preset has that name.
+  static const PolicyPreset *preset(const std::string &Name);
+
+  /// Environment-override builder: the one place process environment is
+  /// allowed to reshape a Policy. MINISELF_GC_STRESS=1 forces the tiny
+  /// promotion-eager nursery (4 KiB, age 1, 512 KiB full-GC threshold) so
+  /// any suite can be re-run with scavenges mid-send; MINISELF_BG_COMPILE
+  /// (0/1) forces background tier-up compilation off/on. VirtualMachine
+  /// applies this to every policy it is constructed with.
+  static Policy fromEnv(Policy Base);
 };
+
+/// One named entry in the Policy preset registry.
+struct PolicyPreset {
+  /// Registry key, also the label differential failures report
+  /// (e.g. "newself/tinytier").
+  std::string Name;
+  /// One-line description of what the configuration exercises.
+  std::string Description;
+  Policy P;
+  /// Member of the differential-testing matrix (tests/harness/differential.h
+  /// runs every InMatrix preset and asserts identical results).
+  bool InMatrix = false;
+  /// One of the three systems the paper compares (§6): st80, oldself,
+  /// newself. Bench tables iterate these.
+  bool PaperSystem = false;
+};
+
+/// Convenience filters over Policy::presets().
+std::vector<const PolicyPreset *> matrixPresets();
+std::vector<const PolicyPreset *> paperPresets();
 
 } // namespace mself
 

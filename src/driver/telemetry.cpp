@@ -1,0 +1,195 @@
+//===-- driver/telemetry.cpp - Unified VM observability snapshot ----------===//
+
+#include "driver/telemetry.h"
+
+#include <cinttypes>
+#include <cstdarg>
+
+using namespace mself;
+
+namespace {
+
+void appendf(std::string &S, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    S.append(Buf, static_cast<size_t>(N) < sizeof(Buf) ? static_cast<size_t>(N)
+                                                       : sizeof(Buf) - 1);
+}
+
+/// Emits every scalar of the schema exactly once, in a fixed order, through
+/// one of two sinks — so the text and JSON serializations cannot drift
+/// apart. `section(name)` opens a group, `u`/`f` emit one key.
+class Emitter {
+public:
+  virtual ~Emitter() = default;
+  virtual void section(const char *Name) = 0;
+  virtual void u(const char *Key, uint64_t V) = 0;
+  virtual void f(const char *Key, double V) = 0;
+};
+
+void emitAll(const VmTelemetry &T, Emitter &E) {
+  E.section("exec");
+  E.u("instructions", T.Exec.Instructions);
+  E.u("sends", T.Exec.Sends);
+  E.u("prim_calls", T.Exec.PrimCalls);
+  E.u("type_tests", T.Exec.TypeTests);
+  E.u("blocks_made", T.Exec.BlocksMade);
+  E.u("env_accesses", T.Exec.EnvAccesses);
+
+  E.section("dispatch");
+  E.u("sends", T.Dispatch.Sends);
+  E.u("pic_hits", T.Dispatch.PicHits);
+  E.u("pic_misses", T.Dispatch.PicMisses);
+  E.f("pic_hit_rate", T.Dispatch.picHitRate());
+  E.f("combined_hit_rate", T.Dispatch.combinedHitRate());
+  E.u("glc_hits", T.Dispatch.GlcHits);
+  E.u("glc_misses", T.Dispatch.GlcMisses);
+  E.u("full_lookups", T.Dispatch.FullLookups);
+  E.u("sends_mono", T.Dispatch.SendsMono);
+  E.u("sends_poly", T.Dispatch.SendsPoly);
+  E.u("sends_mega", T.Dispatch.SendsMega);
+  E.u("sends_uncached", T.Dispatch.SendsUncached);
+  E.u("pic_fills", T.Dispatch.PicFills);
+  E.u("mono_to_poly", T.Dispatch.MonoToPoly);
+  E.u("to_megamorphic", T.Dispatch.ToMegamorphic);
+  E.u("pic_evictions", T.Dispatch.PicEvictions);
+  E.u("sites", T.Dispatch.Sites);
+  E.u("sites_empty", T.Dispatch.SitesEmpty);
+  E.u("sites_mono", T.Dispatch.SitesMono);
+  E.u("sites_poly", T.Dispatch.SitesPoly);
+  E.u("sites_mega", T.Dispatch.SitesMega);
+  E.u("glc_capacity", T.Dispatch.GlcCapacity);
+  E.u("glc_occupied", T.Dispatch.GlcOccupied);
+  E.u("glc_fills", T.Dispatch.GlcFills);
+  E.u("glc_invalidations", T.Dispatch.GlcInvalidations);
+  E.u("inline_cache_flushes", T.Dispatch.InlineCacheFlushes);
+  E.u("quick_sends", T.Dispatch.QuickSends);
+  E.u("quickenings", T.Dispatch.Quickenings);
+  E.u("dequickenings", T.Dispatch.Dequickenings);
+  E.u("dequickened_sites", T.Dispatch.DequickenedSites);
+
+  E.section("tier");
+  E.u("baseline_compiles", T.Tier.BaselineCompiles);
+  E.u("optimized_compiles", T.Tier.OptimizedCompiles);
+  E.u("promotions", T.Tier.Promotions);
+  E.u("swaps", T.Tier.Swaps);
+  E.u("invalidations", T.Tier.Invalidations);
+  E.f("baseline_compile_seconds", T.Tier.BaselineCompileSeconds);
+  E.f("optimized_compile_seconds", T.Tier.OptimizedCompileSeconds);
+  E.f("mutator_stall_seconds", T.Tier.MutatorStallSeconds);
+  E.u("bg_enqueued", T.Tier.BackgroundEnqueued);
+  E.u("bg_installed", T.Tier.BackgroundInstalled);
+  E.u("bg_cancelled", T.Tier.BackgroundCancelled);
+  E.u("bg_sync_fallbacks", T.Tier.BackgroundSyncFallbacks);
+  E.f("bg_compile_seconds", T.Tier.BackgroundCompileSeconds);
+  E.u("live_functions", T.Tier.LiveFunctions);
+  E.u("retired_functions", T.Tier.RetiredFunctions);
+  E.u("invalidated_functions", T.Tier.InvalidatedFunctions);
+  E.u("live_code_bytes", T.Tier.LiveCodeBytes);
+  E.u("retired_code_bytes", T.Tier.RetiredCodeBytes);
+  E.u("invalidated_code_bytes", T.Tier.InvalidatedCodeBytes);
+
+  E.section("gc");
+  E.u("scavenges", T.Gc.Scavenges);
+  E.u("full_collections", T.Gc.FullCollections);
+  E.u("nursery_allocs", T.Gc.NurseryAllocs);
+  E.u("old_allocs", T.Gc.OldAllocs);
+  E.u("overflow_allocs", T.Gc.OverflowAllocs);
+  E.u("bytes_allocated_nursery", T.Gc.BytesAllocatedNursery);
+  E.u("bytes_allocated_old", T.Gc.BytesAllocatedOld);
+  E.u("objects_copied", T.Gc.ObjectsCopied);
+  E.u("bytes_copied", T.Gc.BytesCopied);
+  E.u("objects_promoted", T.Gc.ObjectsPromoted);
+  E.u("bytes_promoted", T.Gc.BytesPromoted);
+  E.u("barrier_hits", T.Gc.BarrierHits);
+  E.u("deferrals", T.Gc.GcDeferrals);
+  E.f("survival_rate", T.Gc.survivalRate());
+  E.f("total_pause_seconds", T.Gc.totalPauseSeconds());
+  E.f("max_pause_seconds", T.Gc.MaxPauseSeconds);
+
+  E.section("events");
+  E.u("recorded", T.EventsRecorded);
+  E.u("retained", T.Events.size());
+}
+
+class TextEmitter : public Emitter {
+public:
+  explicit TextEmitter(std::string &S) : S(S) {}
+  void section(const char *Name) override { Sec = Name; }
+  void u(const char *Key, uint64_t V) override {
+    appendf(S, "%s.%s=%" PRIu64 "\n", Sec, Key, V);
+  }
+  void f(const char *Key, double V) override {
+    appendf(S, "%s.%s=%.6f\n", Sec, Key, V);
+  }
+
+private:
+  std::string &S;
+  const char *Sec = "";
+};
+
+class JsonEmitter : public Emitter {
+public:
+  explicit JsonEmitter(std::string &S) : S(S) {}
+  void section(const char *Name) override {
+    closeSection();
+    appendf(S, ",\n  \"%s\": {", Name);
+    FirstKey = true;
+    Open = true;
+  }
+  void u(const char *Key, uint64_t V) override {
+    appendf(S, "%s\n    \"%s\": %" PRIu64, FirstKey ? "" : ",", Key, V);
+    FirstKey = false;
+  }
+  void f(const char *Key, double V) override {
+    appendf(S, "%s\n    \"%s\": %.6f", FirstKey ? "" : ",", Key, V);
+    FirstKey = false;
+  }
+  void closeSection() {
+    if (Open)
+      S += "\n  }";
+    Open = false;
+  }
+
+private:
+  std::string &S;
+  bool FirstKey = true;
+  bool Open = false;
+};
+
+} // namespace
+
+std::string VmTelemetry::formatStats() const {
+  std::string S;
+  S.reserve(2048);
+  appendf(S, "miniself.telemetry schema=%d policy=%s background=%d "
+             "collector=%s\n",
+          kSchemaVersion, PolicyName.c_str(), Background ? 1 : 0,
+          Generational ? "generational" : "marksweep");
+  TextEmitter E(S);
+  emitAll(*this, E);
+  return S;
+}
+
+std::string VmTelemetry::toJson() const {
+  std::string S;
+  S.reserve(4096);
+  appendf(S, "{\n  \"schema\": %d,\n  \"policy\": \"%s\",\n"
+             "  \"background\": %s,\n  \"collector\": \"%s\"",
+          kSchemaVersion, PolicyName.c_str(), Background ? "true" : "false",
+          Generational ? "generational" : "marksweep");
+  JsonEmitter E(S);
+  emitAll(*this, E);
+  E.closeSection();
+  S += "\n}\n";
+  return S;
+}
+
+void VmTelemetry::print(FILE *Out) const {
+  std::string S = formatStats();
+  fwrite(S.data(), 1, S.size(), Out);
+}

@@ -1,0 +1,79 @@
+//===-- driver/telemetry.h - Unified VM observability snapshot --*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VmTelemetry is the one observability surface of the VirtualMachine: a
+/// single coherent snapshot of the dispatch path, the tiering pipeline
+/// (including the background compile queue), the collector, the dynamic
+/// execution counters, and the compilation event log — everything the four
+/// historical accessors (dispatchStats/tierStats/gcStats/compilationEvents)
+/// used to hand out piecemeal.
+///
+/// The snapshot is plain data: taking one is cheap (counters copy, plus one
+/// code-cache walk for the send-site census), and everything read afterwards
+/// is immune to the VM mutating underneath — including the background
+/// compile worker, which only ever touches job-local state until the
+/// mutator installs results at a safepoint.
+///
+/// Two serializations share one fixed schema:
+///   - formatStats(): line-oriented `section.key=value` text, emitted by
+///     print() with a single fwrite so output can never interleave with
+///     other threads' writes. The key set and order are stable across
+///     configurations (a key whose subsystem is off reports 0), which makes
+///     the output machine-diffable: two runs differ only in values.
+///   - toJson(): the same keys as one nested JSON object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_DRIVER_TELEMETRY_H
+#define MINISELF_DRIVER_TELEMETRY_H
+
+#include "interp/interp.h"
+#include "vm/heap.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mself {
+
+/// One coherent snapshot of every VM statistic. Obtain via
+/// VirtualMachine::telemetry().
+struct VmTelemetry {
+  /// Bumped whenever a key is added, removed, or renamed; emitted in the
+  /// header line so consumers can detect schema drift.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string PolicyName;    ///< Policy::Name of the VM's configuration.
+  bool Background = false;   ///< Background compile queue active.
+  bool Generational = false; ///< Generational collector (else mark-sweep).
+
+  ExecCounters Exec;     ///< Dynamic execution counters (work measures).
+  DispatchStats Dispatch; ///< Send fast path + site census + global cache.
+  TierStats Tier;        ///< Tiering counters, background pipeline, census.
+  GcStats Gc;            ///< Collector counts, pauses, volumes, barriers.
+
+  /// Retained tail of the bounded compilation event log, oldest first.
+  std::vector<CompileEvent> Events;
+  /// All-time number of events appended (>: the log evicted).
+  uint64_t EventsRecorded = 0;
+
+  /// The stable text serialization: one `section.key=value` pair per line,
+  /// fixed key set and order, `%.6f` for seconds/rates.
+  std::string formatStats() const;
+
+  /// The same keys as a nested JSON object (sections as sub-objects).
+  std::string toJson() const;
+
+  /// Writes formatStats() to \p Out with a single fwrite — atomic with
+  /// respect to other threads' stream writes, so dumps are never torn.
+  void print(FILE *Out) const;
+};
+
+} // namespace mself
+
+#endif // MINISELF_DRIVER_TELEMETRY_H

@@ -3,17 +3,16 @@
 #include "driver/vm.h"
 
 #include "compiler/compile.h"
-
-#include <cstdlib>
-#include <cstring>
+#include "interp/compile_queue.h"
 
 using namespace mself;
 
-VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
+VirtualMachine::VirtualMachine(Policy P) : Pol(Policy::fromEnv(std::move(P))) {
   // Collector configuration must precede the first allocation — the world
-  // boot below already allocates. MINISELF_GC_STRESS=1 overrides the
-  // policy with a tiny, promotion-eager nursery so any test suite can be
-  // re-run with scavenges forced mid-send (the check-gc-stress target).
+  // boot below already allocates. Environment overrides (the
+  // check-gc-stress / check-tsan targets' MINISELF_GC_STRESS and
+  // MINISELF_BG_COMPILE) were already folded into Pol by Policy::fromEnv
+  // above, so this reads pure policy state.
   size_t Nursery = Pol.GcNurseryKiB > 0
                        ? static_cast<size_t>(Pol.GcNurseryKiB) << 10
                        : Heap::kDefaultNurseryBytes;
@@ -22,15 +21,7 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
   size_t Threshold = Pol.GcThresholdKiB > 0
                          ? static_cast<size_t>(Pol.GcThresholdKiB) << 10
                          : Heap::kDefaultGcThresholdBytes;
-  bool Generational = Pol.GenerationalGc;
-  if (const char *S = std::getenv("MINISELF_GC_STRESS");
-      S && *S && std::strcmp(S, "0") != 0) {
-    Generational = true;
-    Nursery = 4u << 10;
-    Age = 1;
-    Threshold = 512u << 10;
-  }
-  TheHeap.configureGc(Generational, Nursery, Age, Threshold);
+  TheHeap.configureGc(Pol.GenerationalGc, Nursery, Age, Threshold);
 
   TheWorld = std::make_unique<World>(TheHeap);
   World *W = TheWorld.get();
@@ -67,16 +58,59 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(std::move(P)) {
   DO.Quickening = Pol.OpcodeQuickening && Pol.InlineCaches;
   Interp = std::make_unique<Interpreter>(*TheWorld, *Code, DO);
 
+  // Background compilation: promotions move to a worker thread, installed
+  // back at interpreter safepoints. The queue shares the exact compiler
+  // lambda above — only the CompileAccess the requests carry differs.
+  if (Pol.BackgroundCompile && Pol.TieredCompilation) {
+    BgQueue = std::make_unique<CompileQueue>(
+        *TheWorld, TheHeap,
+        [W, Pp, BP = Pol.baselinePolicy()](const CompileRequest &Req) {
+          return compileFunction(*W, Req.BaselineTier ? BP : *Pp, Req);
+        },
+        Pol.BackgroundQueueCap);
+    Code->setBackgroundQueue(BgQueue.get());
+  }
+
   // World shape mutations (a map gaining a slot) invalidate every cached
   // dispatch decision: the world flushes its own lookup cache, and this
   // hook flushes the per-site inline caches plus the compiled functions
   // whose compile-time lookups assumed the mutated map's shape (they fall
-  // back to the baseline tier and re-promote with fresh types).
+  // back to the baseline tier and re-promote with fresh types). With the
+  // compile queue on, the queue's cancellation fan-out runs first — this
+  // whole hook executes under the exclusive shape lock, so an in-flight
+  // compile that already depends on the mutated map is cancelled before
+  // any of its lookups can resume.
   CodeManager *CM = Code.get();
-  TheWorld->setShapeMutationHook([CM](Map *Mutated) {
+  TheWorld->setShapeMutationHook([CM, Q = BgQueue.get()](Map *Mutated) {
+    if (Q)
+      Q->onShapeMutation(Mutated);
     CM->flushInlineCaches();
     CM->invalidateDependents(Mutated);
   });
+}
+
+VirtualMachine::~VirtualMachine() = default;
+
+void VirtualMachine::settleBackgroundCompiles() {
+  if (!BgQueue)
+    return;
+  BgQueue->waitIdle();
+  Code->maybeInstall();
+}
+
+VmTelemetry VirtualMachine::telemetry() const {
+  VmTelemetry T;
+  T.PolicyName = Pol.Name;
+  T.Background = BgQueue != nullptr;
+  T.Generational = TheHeap.generational();
+  T.Exec = Interp->counters();
+  T.Dispatch = buildDispatchStats();
+  T.Tier = Code->tierStats();
+  T.Gc = TheHeap.stats();
+  const CompilationEventLog &Log = Code->eventLog();
+  T.Events.assign(Log.events().begin(), Log.events().end());
+  T.EventsRecorded = Log.totalRecorded();
+  return T;
 }
 
 TierStats VirtualMachine::tierStats() const { return Code->tierStats(); }
@@ -86,6 +120,10 @@ const CompilationEventLog &VirtualMachine::compilationEvents() const {
 }
 
 DispatchStats VirtualMachine::dispatchStats() const {
+  return buildDispatchStats();
+}
+
+DispatchStats VirtualMachine::buildDispatchStats() const {
   DispatchStats S;
   const ExecCounters &C = Interp->counters();
   S.Sends = C.Sends;
@@ -136,42 +174,7 @@ DispatchStats VirtualMachine::dispatchStats() const {
   return S;
 }
 
-void VirtualMachine::printStats(FILE *Out) const {
-  DispatchStats D = dispatchStats();
-  fprintf(Out, "dispatch: %llu sends, PIC hit rate %.1f%%, combined %.1f%%, "
-               "%llu full lookups\n",
-          (unsigned long long)D.Sends, D.picHitRate() * 100,
-          D.combinedHitRate() * 100, (unsigned long long)D.FullLookups);
-  fprintf(Out, "  sites: %zu (%zu mono, %zu poly, %zu mega), quick sends "
-               "%llu\n",
-          D.Sites, D.SitesMono, D.SitesPoly, D.SitesMega,
-          (unsigned long long)D.QuickSends);
-
-  TierStats T = tierStats();
-  fprintf(Out, "tiering: %llu baseline + %llu optimized compiles, "
-               "%llu promotions, %llu invalidations\n",
-          (unsigned long long)T.BaselineCompiles,
-          (unsigned long long)T.OptimizedCompiles,
-          (unsigned long long)T.Promotions,
-          (unsigned long long)T.Invalidations);
-
-  const GcStats &G = gcStats();
-  fprintf(Out, "gc (%s): %llu scavenges + %llu full collections, "
-               "%.2f ms total pause, %.3f ms max pause\n",
-          TheHeap.generational() ? "generational" : "mark-sweep",
-          (unsigned long long)G.Scavenges,
-          (unsigned long long)G.FullCollections,
-          G.totalPauseSeconds() * 1e3, G.MaxPauseSeconds * 1e3);
-  fprintf(Out, "  alloc: %llu nursery + %llu old (%llu overflow); "
-               "promoted %llu objs / %llu KiB; survival %.1f%%; "
-               "barrier hits %llu\n",
-          (unsigned long long)G.NurseryAllocs,
-          (unsigned long long)G.OldAllocs,
-          (unsigned long long)G.OverflowAllocs,
-          (unsigned long long)G.ObjectsPromoted,
-          (unsigned long long)(G.BytesPromoted >> 10), G.survivalRate() * 100,
-          (unsigned long long)G.BarrierHits);
-}
+void VirtualMachine::printStats(FILE *Out) const { telemetry().print(Out); }
 
 bool VirtualMachine::load(const std::string &Source, std::string &ErrOut) {
   std::vector<const ast::Code *> Exprs;

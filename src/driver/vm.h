@@ -18,6 +18,7 @@
 #define MINISELF_DRIVER_VM_H
 
 #include "compiler/policy.h"
+#include "driver/telemetry.h"
 #include "interp/interp.h"
 
 #include <cstdio>
@@ -29,6 +30,10 @@ namespace mself {
 class VirtualMachine {
 public:
   explicit VirtualMachine(Policy P = Policy::newSelf());
+  /// Tears down in dependency order; with background compilation on, the
+  /// compile queue shuts down first (worker joined, in-flight job allowed
+  /// to finish, pending jobs dropped) so no thread outlives the world.
+  ~VirtualMachine();
 
   /// Loads \p Source: slot definitions install on the lobby; expression
   /// statements evaluate immediately in order.
@@ -48,35 +53,53 @@ public:
   World &world() { return *TheWorld; }
   CodeManager &code() { return *Code; }
   Interpreter &interp() { return *Interp; }
+  /// The background compile queue, or null in synchronous mode.
+  CompileQueue *backgroundQueue() { return BgQueue.get(); }
 
-  /// Aggregate dispatch-path observability: PIC hit/miss/transition
-  /// counters, per-state send counts, send-site census, and global
-  /// lookup-cache occupancy and traffic.
-  DispatchStats dispatchStats() const;
+  /// Blocks until the background compile queue is idle, then installs
+  /// every finished job — the settle primitive tests and benchmarks call
+  /// before asserting on exact post-tier-up state. No-op in synchronous
+  /// mode, so assertions stay valid across both configurations.
+  void settleBackgroundCompiles();
 
-  /// Tiered-execution observability: compile/promotion/invalidation
-  /// counters, per-tier compile seconds, and the live/retired/invalidated
-  /// code-cache census.
-  TierStats tierStats() const;
+  /// The VM's one observability surface: a coherent snapshot of the
+  /// dispatch path, tiering (including the background compile pipeline),
+  /// the collector, the execution counters, and the compilation event log.
+  /// Serialize with VmTelemetry::print()/formatStats()/toJson().
+  VmTelemetry telemetry() const;
 
-  /// The code cache's bounded compilation event log (compile, promote,
-  /// swap, invalidate — with per-phase compile timings).
-  const CompilationEventLog &compilationEvents() const;
+  /// \deprecated Use telemetry().Dispatch.
+  [[deprecated("use telemetry().Dispatch")]] DispatchStats
+  dispatchStats() const;
 
-  /// Collector observability: scavenge/full-collection counts, pause
-  /// timings, promotion and survival volumes, and write-barrier traffic.
-  const GcStats &gcStats() const { return TheHeap.stats(); }
+  /// \deprecated Use telemetry().Tier.
+  [[deprecated("use telemetry().Tier")]] TierStats tierStats() const;
 
-  /// Prints the dispatch, tiering, and collector statistics to \p Out — the
-  /// VM's one-stop stats dump (examples/quickstart uses it).
-  void printStats(FILE *Out) const;
+  /// \deprecated Use telemetry().Events / telemetry().EventsRecorded.
+  [[deprecated("use telemetry().Events")]] const CompilationEventLog &
+  compilationEvents() const;
+
+  /// \deprecated Use telemetry().Gc.
+  [[deprecated("use telemetry().Gc")]] const GcStats &gcStats() const {
+    return TheHeap.stats();
+  }
+
+  /// \deprecated Use telemetry().print(Out).
+  [[deprecated("use telemetry().print(Out)")]] void printStats(FILE *Out) const;
 
 private:
+  /// Assembles the dispatch section of the telemetry snapshot (dynamic
+  /// counters + code-cache site census + global-lookup-cache numbers).
+  DispatchStats buildDispatchStats() const;
+
   Policy Pol;
   Heap TheHeap;
   std::unique_ptr<World> TheWorld;
   std::unique_ptr<CodeManager> Code;
   std::unique_ptr<Interpreter> Interp;
+  /// Declared last: destroyed first, joining the worker thread before the
+  /// world, heap, or code cache it reads go away.
+  std::unique_ptr<CompileQueue> BgQueue;
 };
 
 } // namespace mself

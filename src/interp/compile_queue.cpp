@@ -1,0 +1,145 @@
+//===-- interp/compile_queue.cpp - Background compilation queue -----------===//
+
+#include "interp/compile_queue.h"
+
+#include "support/stopwatch.h"
+
+#include <cassert>
+
+using namespace mself;
+
+CompileQueue::CompileQueue(World &W, Heap &H, CompileFn Compiler, int Cap)
+    : W(W), H(H), Compiler(std::move(Compiler)), Cap(Cap) {
+  H.setGcGate(&Gate);
+  H.addRootProvider(this);
+  Worker = std::thread([this] { workerLoop(); });
+}
+
+CompileQueue::~CompileQueue() {
+  {
+    std::lock_guard<std::mutex> L(QueueMutex);
+    Stopping = true;
+    // Pending jobs are dropped: nothing observed them beyond the
+    // PromotionPending flag, and the VM is going away anyway.
+    Pending.clear();
+  }
+  WorkCV.notify_all();
+  Worker.join();
+  H.removeRootProvider(this);
+  H.setGcGate(nullptr);
+}
+
+bool CompileQueue::enqueue(CompiledFunction *Old, const CompileRequest &Req) {
+  std::unique_lock<std::mutex> L(QueueMutex);
+  if (Stopping ||
+      Pending.size() >= static_cast<size_t>(Cap > 0 ? Cap : 0))
+    return false;
+  auto J = std::make_unique<Job>(W, Old, Req);
+  if (FirstWalkHook)
+    J->Access.setFirstWalkHook(FirstWalkHook);
+  Pending.push_back(std::move(J));
+  L.unlock();
+  WorkCV.notify_one();
+  return true;
+}
+
+std::vector<std::unique_ptr<CompileQueue::Job>> CompileQueue::takeDone() {
+  std::lock_guard<std::mutex> L(QueueMutex);
+  DoneCount.store(0, std::memory_order_relaxed);
+  std::vector<std::unique_ptr<Job>> Out = std::move(Done);
+  Done.clear();
+  return Out;
+}
+
+void CompileQueue::onShapeMutation(Map *Mutated) {
+  std::lock_guard<std::mutex> L(QueueMutex);
+  // In flight: cancel iff a lookup already walked the mutated map — the
+  // result may bake in the old shape. The visited set is complete for
+  // every walk that finished (appends happen under the shared shape lock,
+  // which the caller's exclusive hold excludes), so a map not in it
+  // cannot have influenced the compile so far; later walks will see the
+  // new shape consistently thanks to the job-local memo being keyed on
+  // walks that already happened.
+  if (InFlight && InFlight->Access.visitedMap(Mutated))
+    InFlight->Access.cancel();
+  // Finished but uninstalled: the result's dependency set is exact — the
+  // analog of CodeManager::invalidateDependents for code that never made
+  // it into the cache.
+  for (auto &J : Done) {
+    if (!J->Result || J->Access.cancelled())
+      continue;
+    for (Map *M : J->Result->DependsOnMaps)
+      if (M == Mutated) {
+        J->Access.cancel();
+        break;
+      }
+  }
+  // Pending jobs need nothing: their compile starts after this mutation
+  // and sees the new shape.
+}
+
+void CompileQueue::waitIdle() {
+  std::unique_lock<std::mutex> L(QueueMutex);
+  IdleCV.wait(L, [this] { return Pending.empty() && InFlight == nullptr; });
+}
+
+size_t CompileQueue::pendingCount() const {
+  std::lock_guard<std::mutex> L(QueueMutex);
+  return Pending.size();
+}
+
+void CompileQueue::traceRoots(GcVisitor &V) {
+  // Runs only during a collection, i.e. with the gate held by the
+  // collector — the worker cannot be publishing concurrently. The queue
+  // mutex is still taken for the mutator-side accessors' benefit.
+  std::lock_guard<std::mutex> L(QueueMutex);
+  for (auto &J : Done) {
+    if (!J->Result)
+      continue;
+    // Mirror CodeManager::traceRoots for code not yet in the cache:
+    // literal Values must survive (and be updated across moves); PICs are
+    // empty at birth but cheap to cover. Maps and code are not
+    // heap-managed.
+    for (Value &Lit : J->Result->Literals)
+      V.visit(Lit);
+    for (InlineCache &C : J->Result->Caches)
+      for (int I = 0; I < C.Size; ++I) {
+        V.visit(C.Entries[I].ConstValue);
+        V.visitObject(C.Entries[I].SlotHolder);
+      }
+  }
+}
+
+void CompileQueue::workerLoop() {
+  for (;;) {
+    std::unique_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> L(QueueMutex);
+      WorkCV.wait(L, [this] { return Stopping || !Pending.empty(); });
+      if (Stopping)
+        return;
+      J = std::move(Pending.front());
+      Pending.pop_front();
+      InFlight = J.get();
+    }
+
+    // The gate spans the compile *and* the publication below: until the
+    // job is on the Done list (where traceRoots covers it), the values it
+    // reads and the literals it accumulates are invisible to the
+    // collector, so collections must not run. Safepoint GC try_locks and
+    // defers instead of blocking — the mutator never waits on a compile.
+    Gate.lock();
+    Stopwatch Timer;
+    if (!J->Access.cancelled())
+      J->Result = Compiler(J->Req);
+    J->Seconds = Timer.elapsedSeconds();
+    {
+      std::lock_guard<std::mutex> L(QueueMutex);
+      InFlight = nullptr;
+      Done.push_back(std::move(J));
+      DoneCount.store(Done.size(), std::memory_order_relaxed);
+    }
+    Gate.unlock();
+    IdleCV.notify_all();
+  }
+}

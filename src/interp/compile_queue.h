@@ -1,0 +1,155 @@
+//===-- interp/compile_queue.h - Background compilation queue ---*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Off-thread tier-up compilation. Hotness triggers enqueue a promotion job
+/// instead of stalling the mutator inside the optimizer; a worker thread
+/// runs the full analyze/split/lower/emit pipeline against a consistent
+/// snapshot of lookup state (CompileAccess in background mode), and the
+/// mutator installs the finished code at its next safepoint through the
+/// same atomic cache-swap / PIC-re-pointing sequence the synchronous path
+/// uses. The paper's compiler is unchanged — only *when and where* it runs
+/// moves.
+///
+/// Concurrency protocol (all invariants enforced here, none in the
+/// compiler):
+///
+/// - The **GC gate** (a mutex registered with the Heap) is held by the
+///   worker for the whole compile, including publication of the result.
+///   Safepoint collections try_lock it and defer when the worker is busy
+///   (GcStats::GcDeferrals) — always safe, because allocation never
+///   requires collection in this heap. In return, the worker may read
+///   heap objects (map constant slots, method bodies, literal values) with
+///   no per-object synchronization: nothing moves or dies mid-compile.
+/// - The **shape lock** (World::shapeLock) orders the job's compile-time
+///   lookup walks (shared side) against mutator slot definitions
+///   (exclusive side). The job memoizes each (map, selector) walk, so it
+///   observes one consistent shape per lookup for the compile's duration.
+/// - **Cancellation**: the mutator's shape-mutation hook calls
+///   onShapeMutation() under the exclusive shape lock. An in-flight job is
+///   cancelled iff the mutated map is one its lookups already walked; a
+///   finished-but-uninstalled job iff the map is in its result's
+///   dependency set; jobs still pending compile later against the new
+///   shape and need nothing. A cancelled result is discarded at install
+///   time — stale code is never installed.
+/// - **Queue handoff** is guarded by a plain mutex. Lock order is
+///   consistent everywhere: gate -> shape lock (worker compile), gate ->
+///   queue mutex (worker publish, GC trace), shape lock -> queue mutex
+///   (mutator cancellation hook); nothing acquires the gate or shape lock
+///   while holding the queue mutex.
+///
+/// Finished-but-uninstalled results are GC roots (this class is a
+/// RootProvider): their literal Values — allocated old-space by the worker
+/// or copied from map constants — must survive any collection between
+/// publication and install.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_INTERP_COMPILE_QUEUE_H
+#define MINISELF_INTERP_COMPILE_QUEUE_H
+
+#include "interp/interp.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace mself {
+
+/// Bounded queue of tier-up compilation jobs plus the worker thread that
+/// drains it. Sized for one worker (the paper's machines were
+/// single-compiler too) but the protocol admits a pool: every worker-side
+/// structure is per-job, and the pending deque is the only shared feed.
+class CompileQueue : public RootProvider {
+public:
+  /// One asynchronous promotion. Old is touched only by the mutator; the
+  /// worker sees the request copy and the access mediator.
+  struct Job {
+    CompiledFunction *Old = nullptr; ///< Baseline function being promoted.
+    CompileRequest Req;
+    CompileAccess Access;
+    std::unique_ptr<CompiledFunction> Result; ///< Null if cancelled early.
+    double Seconds = 0; ///< Worker wall-clock compile time.
+
+    Job(World &W, CompiledFunction *Old, const CompileRequest &R)
+        : Old(Old), Req(R), Access(W, /*Background=*/true) {
+      Req.Access = &Access;
+    }
+  };
+
+  /// Starts the worker. Registers the GC gate with \p H and this queue as
+  /// a root provider. \p Cap bounds the pending deque; enqueue() beyond it
+  /// reports saturation (<= 0 rejects everything, forcing the synchronous
+  /// fallback — used to exercise that path deterministically).
+  CompileQueue(World &W, Heap &H, CompileFn Compiler, int Cap);
+  /// Stops and joins the worker: the in-flight job finishes (its result is
+  /// simply never installed), pending jobs are dropped.
+  ~CompileQueue() override;
+
+  /// Queues a promotion of \p Old. \returns false when saturated; the
+  /// caller then promotes synchronously. Mutator thread only.
+  bool enqueue(CompiledFunction *Old, const CompileRequest &Req);
+
+  /// True when finished jobs await install — one relaxed atomic load, so
+  /// every safepoint can afford to poll it.
+  bool hasDone() const { return DoneCount.load(std::memory_order_relaxed) != 0; }
+
+  /// Hands every finished job to the caller (the CodeManager's install
+  /// poll). Mutator thread only.
+  std::vector<std::unique_ptr<Job>> takeDone();
+
+  /// Shape-mutation fan-out; see the file comment for the exact rule.
+  /// Called under the exclusive shape lock.
+  void onShapeMutation(Map *Mutated);
+
+  /// Blocks until no job is pending or in flight (finished jobs may await
+  /// install). The test/bench settle primitive; pair with
+  /// CodeManager::maybeInstall().
+  void waitIdle();
+
+  size_t pendingCount() const;
+  int capacity() const { return Cap; }
+
+  /// Test hook forwarded to each job's CompileAccess: fires on the worker
+  /// after the job's first lookup walk completes (outside all locks),
+  /// giving race tests a deterministic mid-compile point to mutate shapes
+  /// against.
+  void setFirstWalkHook(std::function<void()> Hook) {
+    std::lock_guard<std::mutex> L(QueueMutex);
+    FirstWalkHook = std::move(Hook);
+  }
+
+  void traceRoots(GcVisitor &V) override;
+
+private:
+  void workerLoop();
+
+  World &W;
+  Heap &H;
+  CompileFn Compiler;
+  int Cap;
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable WorkCV; ///< Worker waits for jobs / stop.
+  std::condition_variable IdleCV; ///< waitIdle() waits for drain.
+  std::deque<std::unique_ptr<Job>> Pending;
+  Job *InFlight = nullptr; ///< Owned by the worker while compiling.
+  std::vector<std::unique_ptr<Job>> Done;
+  std::atomic<size_t> DoneCount{0};
+  bool Stopping = false;
+  std::function<void()> FirstWalkHook;
+
+  /// The GC gate; registered with the heap for the queue's lifetime.
+  std::mutex Gate;
+
+  std::thread Worker;
+};
+
+} // namespace mself
+
+#endif // MINISELF_INTERP_COMPILE_QUEUE_H

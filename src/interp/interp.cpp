@@ -2,6 +2,7 @@
 
 #include "interp/interp.h"
 
+#include "interp/compile_queue.h"
 #include "runtime/lookup.h"
 #include "runtime/primitives.h"
 #include "support/stats.h"
@@ -20,7 +21,9 @@ CompiledFunction *CodeManager::compileInternal(const CompileRequest &Req,
                                                CompiledFunction::Tier T,
                                                CompileEvent::Kind LogKind) {
   double Before = cpuTimeSeconds();
+  Stopwatch Wall; // Every synchronous compile stalls the mutator thread.
   std::unique_ptr<CompiledFunction> Fn = Compiler(Req);
+  Tiers.MutatorStallSeconds += Wall.elapsedSeconds();
   double Elapsed = cpuTimeSeconds() - Before;
   assert(Fn && "compiler must produce code");
   Fn->Stats.Seconds = Elapsed;
@@ -120,6 +123,29 @@ CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
   return New;
 }
 
+CompiledFunction *CodeManager::triggerPromotion(CompiledFunction *Old) {
+  if (!Queue)
+    return promote(Old);
+  // Already queued or compiling: keep running baseline until the install.
+  if (Old->PromotionPending)
+    return Old;
+  CompileRequest Req;
+  Req.Source = Old->Source;
+  Req.ReceiverMap = Old->ReceiverMap; // Already normalized at first compile.
+  Req.IsBlockUnit = Old->IsBlockUnit;
+  Req.Name = Old->Name;
+  Req.BaselineTier = false;
+  if (!Queue->enqueue(Old, Req)) {
+    // Saturated: take the stall now rather than letting hot code run
+    // baseline indefinitely behind a full queue.
+    ++Tiers.BackgroundSyncFallbacks;
+    return promote(Old);
+  }
+  Old->PromotionPending = true;
+  ++Tiers.BackgroundEnqueued;
+  return Old;
+}
+
 CompiledFunction *CodeManager::noteInvocation(CompiledFunction *Fn) {
   if (!Tiering.Enabled || Fn->CodeTier != CompiledFunction::Tier::Baseline ||
       Fn->Invalidated)
@@ -128,7 +154,7 @@ CompiledFunction *CodeManager::noteInvocation(CompiledFunction *Fn) {
     return Fn->ReplacedBy;
   if (++Fn->HotCount < static_cast<uint32_t>(Tiering.Threshold))
     return Fn;
-  return promote(Fn);
+  return triggerPromotion(Fn);
 }
 
 void CodeManager::noteBackEdge(CompiledFunction *Fn) {
@@ -136,7 +162,82 @@ void CodeManager::noteBackEdge(CompiledFunction *Fn) {
       Fn->Invalidated || Fn->ReplacedBy)
     return;
   if (++Fn->HotCount >= static_cast<uint32_t>(Tiering.Threshold))
-    promote(Fn);
+    triggerPromotion(Fn);
+}
+
+void CodeManager::installCompleted(CompiledFunction *Old,
+                                   std::unique_ptr<CompiledFunction> NewOwned,
+                                   double Seconds) {
+  // The accounting compileInternal() does for synchronous compiles, with
+  // the worker's wall-clock time standing in for compiler CPU time (the
+  // process CPU clock cannot attribute time to one thread), and none of it
+  // charged to the mutator's stall.
+  CompiledFunction *New = NewOwned.get();
+  New->CodeTier = CompiledFunction::Tier::Optimized;
+  New->Stats.Seconds = Seconds;
+  CompileSeconds += Seconds;
+  ++Tiers.OptimizedCompiles;
+  Tiers.OptimizedCompileSeconds += Seconds;
+  Tiers.BackgroundCompileSeconds += Seconds;
+  ++Tiers.BackgroundInstalled;
+  Functions.push_back(std::move(NewOwned));
+
+  CompileEvent E;
+  E.EventKind = CompileEvent::Kind::Promote;
+  E.Name = New->Name;
+  E.Tier = CompiledFunction::Tier::Optimized;
+  E.HotCount = Old->HotCount;
+  E.Seconds = Seconds;
+  E.ParseSeconds = New->Stats.ParseSeconds;
+  E.AnalyzeSeconds = New->Stats.AnalyzeSeconds;
+  E.SplitSeconds = New->Stats.SplitSeconds;
+  E.LowerSeconds = New->Stats.LowerSeconds;
+  E.EmitSeconds = New->Stats.EmitSeconds;
+  Events.append(E);
+
+  // From here on this is exactly the tail of promote(): the atomic (with
+  // respect to the interpreter — we are at a safepoint) cache swap plus
+  // the PIC re-point sweep.
+  Old->ReplacedBy = New;
+  ++Tiers.Promotions;
+  Cache[Key{Old->Source, Old->ReceiverMap}] = New;
+  memoFlush();
+  ++Tiers.Swaps;
+  CompileEvent SwapE;
+  SwapE.EventKind = CompileEvent::Kind::Swap;
+  SwapE.Name = Old->Name;
+  SwapE.Tier = CompiledFunction::Tier::Optimized;
+  SwapE.HotCount = Old->HotCount;
+  Events.append(SwapE);
+
+  for (const auto &F : Functions)
+    for (InlineCache &C : F->Caches)
+      for (int I = 0; I < C.Size; ++I)
+        if (C.Entries[I].EntryKind == PicEntry::Kind::Method &&
+            C.Entries[I].Target == Old)
+          C.Entries[I].Target = New;
+}
+
+void CodeManager::maybeInstall() {
+  if (!Queue || !Queue->hasDone())
+    return;
+  for (std::unique_ptr<CompileQueue::Job> &J : Queue->takeDone()) {
+    CompiledFunction *Old = J->Old;
+    // Clearing the dedup flag first makes every discard self-healing: the
+    // function is still hot, so its next trigger simply re-enqueues.
+    Old->PromotionPending = false;
+    // Discard stale or moot results. Cancelled covers shape mutations the
+    // compile (or its finished result) depended on; Invalidated covers the
+    // baseline function itself having been voided — its cache entry is
+    // gone, so there is nothing to swap; ReplacedBy covers a synchronous
+    // promotion that won the race (saturation fallback).
+    if (!J->Result || J->Access.cancelled() || Old->Invalidated ||
+        Old->ReplacedBy) {
+      ++Tiers.BackgroundCancelled;
+      continue;
+    }
+    installCompleted(Old, std::move(J->Result), J->Seconds);
+  }
 }
 
 void CodeManager::invalidateDependents(Map *Mutated) {
@@ -309,6 +410,11 @@ void Interpreter::traceRoots(GcVisitor &V) {
 }
 
 void Interpreter::safepoint() {
+  // Install finished background compiles first: the swap must happen at a
+  // point where no send is mid-dispatch, which is exactly what a safepoint
+  // guarantees, and installing before a potential collection puts the new
+  // code under CodeManager root tracing for that collection.
+  CM.maybeInstall();
   if (!W.heap().shouldCollect())
     return;
   W.heap().collectAtSafepoint();

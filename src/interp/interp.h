@@ -30,6 +30,8 @@
 
 namespace mself {
 
+class CompileQueue;
+
 /// What the injected compiler is asked to produce.
 struct CompileRequest {
   const ast::Code *Source = nullptr;
@@ -39,6 +41,13 @@ struct CompileRequest {
   /// Compile under the driver's baseline (first-tier) policy instead of the
   /// full one. Set by the CodeManager, honoured by the injected compiler.
   bool BaselineTier = false;
+  /// Mediates the compiler's access to mutable world state (compile-time
+  /// lookups, string-literal allocation). Null means "compile
+  /// synchronously on the mutator thread" — the compiler makes its own
+  /// synchronous CompileAccess. The background compile queue supplies one
+  /// in background mode, which routes lookups under the shape lock and
+  /// carries the job's cancellation flag.
+  CompileAccess *Access = nullptr;
 };
 
 using CompileFn =
@@ -106,6 +115,22 @@ struct TierStats {
   uint64_t Invalidations = 0;     ///< Functions voided by shape mutations.
   double BaselineCompileSeconds = 0;
   double OptimizedCompileSeconds = 0;
+  // Background (off-thread) promotion pipeline. Enqueued splits into
+  // Installed + Cancelled (+ still queued at sampling time);
+  // SyncFallbacks are promotions compiled synchronously because the
+  // queue was saturated.
+  uint64_t BackgroundEnqueued = 0;
+  uint64_t BackgroundInstalled = 0; ///< Results swapped in at a safepoint.
+  uint64_t BackgroundCancelled = 0; ///< Results discarded (shape mutation,
+                                    ///< invalidation, or shutdown).
+  uint64_t BackgroundSyncFallbacks = 0;
+  double BackgroundCompileSeconds = 0; ///< Worker wall-clock compile time.
+  /// Wall-clock time the mutator thread spent blocked inside the compiler
+  /// (every synchronous compile, including saturation fallbacks). This is
+  /// the tier-up stall that background compilation exists to remove: with
+  /// the queue on, promotions cost the mutator only an enqueue and a
+  /// safepoint install, and this stays near the first-call baseline cost.
+  double MutatorStallSeconds = 0;
   // Code-cache census. Live: reachable from the cache (new calls run it).
   // Retired: baseline code replaced by promotion. Invalidated: voided by a
   // shape mutation. Live + Retired + Invalidated == functionCount().
@@ -156,6 +181,20 @@ public:
   /// the baseline tier and re-promotes with fresh types) and its dependency
   /// set is cleared. Called by the world's shape-mutation hook.
   void invalidateDependents(Map *Mutated);
+
+  /// Routes hot-function promotions through \p Q instead of compiling them
+  /// synchronously: hotness triggers enqueue a background job and the
+  /// mutator keeps running baseline code until the result is installed at a
+  /// safepoint (maybeInstall). Null reverts to synchronous promotion.
+  void setBackgroundQueue(CompileQueue *Q) { Queue = Q; }
+  CompileQueue *backgroundQueue() const { return Queue; }
+
+  /// Safepoint poll: installs every finished background compile — the
+  /// promote/swap/PIC-re-point sequence of the synchronous path, run on the
+  /// mutator thread — and discards results whose job was cancelled or whose
+  /// baseline function was invalidated while the compile ran. Cheap when
+  /// nothing is pending; no-op without a queue.
+  void maybeInstall();
 
   /// Total CPU seconds spent inside the injected compiler.
   double totalCompileSeconds() const { return CompileSeconds; }
@@ -212,6 +251,17 @@ private:
                                     CompileEvent::Kind LogKind);
   /// Recompiles \p Old under the full policy and swaps the cache entry.
   CompiledFunction *promote(CompiledFunction *Old);
+  /// Tiering trigger with the queue attached: enqueues an asynchronous
+  /// promotion (dedup'd via PromotionPending) or falls back to a
+  /// synchronous promote() when the queue is saturated. \returns the
+  /// function the caller should run now.
+  CompiledFunction *triggerPromotion(CompiledFunction *Old);
+  /// Installs one finished background compile: the tail of promote()
+  /// (ReplacedBy, cache swap, PIC re-point) plus the ownership and
+  /// accounting that compileInternal() does for synchronous compiles.
+  void installCompleted(CompiledFunction *Old,
+                        std::unique_ptr<CompiledFunction> NewOwned,
+                        double Seconds);
   /// Cache key with its hash computed once at construction, so the hot
   /// lookup (every block invocation and native-loop iteration probes the
   /// cache) hashes nothing at probe time — the table reads the stored value.
@@ -255,6 +305,7 @@ private:
   bool Customize;
   CompileFn Compiler;
   TieringConfig Tiering;
+  CompileQueue *Queue = nullptr; ///< Non-null: promotions go off-thread.
   std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
   MemoEntry Memo[kMemoEntries];
   unsigned MemoNext = 0;

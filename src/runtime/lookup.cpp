@@ -6,6 +6,8 @@
 #include "vm/heap.h"
 #include "vm/object.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 using namespace mself;
@@ -184,4 +186,73 @@ LookupResult mself::lookupSelectorCached(const World &W, Map *M,
   R = lookupSelector(W, M, Selector);
   C.insert(M, Selector, R);
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileAccess
+//===----------------------------------------------------------------------===//
+
+LookupResult CompileAccess::lookup(Map *M, const std::string *Selector,
+                                   std::vector<Map *> *WalkedOut) {
+  if (!Background) {
+    // Synchronous tier-up on the mutator thread: exactly the historical
+    // compile-time lookup — a raw walk whose result primes the global
+    // lookup cache for later runtime sends.
+    LookupResult R = lookupSelector(W, M, Selector, WalkedOut);
+    if (W.lookupCache().enabled())
+      W.lookupCache().insert(M, Selector, R);
+    return R;
+  }
+
+  if (cancelled())
+    return LookupResult();
+
+  auto Key = std::make_pair(M, Selector);
+  auto It = Memo.find(Key);
+  if (It != Memo.end()) {
+    if (WalkedOut)
+      WalkedOut->insert(WalkedOut->end(), It->second.Walked.begin(),
+                        It->second.Walked.end());
+    return It->second.Result;
+  }
+
+  MemoEntry E;
+  {
+    std::shared_lock<std::shared_mutex> Guard(W.shapeLock());
+    // Re-check under the lock: a mutation that landed between the probe
+    // above and lock acquisition has already run the cancellation hook.
+    if (cancelled())
+      return LookupResult();
+    E.Result = lookupSelector(W, M, Selector, &E.Walked);
+    for (Map *V : E.Walked) {
+      bool Seen = false;
+      for (Map *Have : VisitedMaps)
+        if (Have == V) {
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        VisitedMaps.push_back(V);
+    }
+  }
+  if (WalkedOut)
+    WalkedOut->insert(WalkedOut->end(), E.Walked.begin(), E.Walked.end());
+  LookupResult R = E.Result;
+  Memo.emplace(Key, std::move(E));
+  if (OnFirstWalk && !FirstWalkFired) {
+    FirstWalkFired = true;
+    OnFirstWalk();
+  }
+  return R;
+}
+
+Value CompileAccess::stringLiteral(const std::string &S) {
+  if (!Background)
+    return Value::fromObject(W.newString(S));
+  // Off-thread: the nursery bump pointer belongs to the mutator, so string
+  // literals are born old. The job's CompiledFunction literals are traced
+  // as roots until install, and old space never moves, so the pointer is
+  // stable for the compile's whole lifetime.
+  return Value::fromObject(
+      W.heap().allocStringShared(W.stringMap(), S));
 }

@@ -25,8 +25,12 @@
 
 #include "vm/map.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mself {
@@ -136,6 +140,98 @@ private:
 /// to the raw walk when the cache is disabled.
 LookupResult lookupSelectorCached(const World &W, Map *M,
                                   const std::string *Selector);
+
+/// Mediates every access the compiler makes to mutable world state — the
+/// compile-time lookup walk and string-literal allocation — so one compiler
+/// serves both the synchronous tier-up path and the background compile
+/// thread.
+///
+/// Synchronous mode reproduces the historical behaviour exactly: raw parent
+/// walks that prime the global lookup cache, and nursery string allocation
+/// via World::newString.
+///
+/// Background mode is the job's immutable snapshot of lookup state. Each
+/// distinct (receiver map, selector) is walked once under the shared side of
+/// the world's shape lock and memoized job-locally, so a compile observes
+/// one consistent shape for its whole duration even if the walk is repeated;
+/// the global lookup cache is never touched (it is not thread-safe).
+/// Strings allocate directly into old space (Heap::allocStringShared) —
+/// the nursery bump pointer belongs to the mutator. The maps every walk
+/// visited accumulate in a job-visible set: the mutator's shape-mutation
+/// hook, which runs under the exclusive side of the shape lock, consults it
+/// via visitedMap() and cancels the job when a mutated map is one the
+/// compile already depended on. Cancellation is a relaxed flag — the job
+/// finishes fast (lookups report NotFound) and its result is discarded at
+/// install time, never installed.
+class CompileAccess {
+public:
+  CompileAccess(World &W, bool Background) : W(W), Background(Background) {}
+
+  CompileAccess(const CompileAccess &) = delete;
+  CompileAccess &operator=(const CompileAccess &) = delete;
+
+  bool background() const { return Background; }
+
+  /// Compile-time lookup of \p Selector starting at \p M. Appends the maps
+  /// the walk examined to \p WalkedOut (the dependency set, see
+  /// lookupSelector). In background mode a memoized repeat appends the maps
+  /// the original walk examined.
+  LookupResult lookup(Map *M, const std::string *Selector,
+                      std::vector<Map *> *WalkedOut);
+
+  /// Allocates the string object backing a literal in compiled code.
+  Value stringLiteral(const std::string &S);
+
+  /// Test hook: fires once, after the first background lookup walk
+  /// completes and its locks are released. Gives race tests a
+  /// deterministic "mid-compile, with recorded dependencies" point to
+  /// mutate shapes against. Never fires in synchronous mode.
+  void setFirstWalkHook(std::function<void()> Hook) {
+    OnFirstWalk = std::move(Hook);
+  }
+
+  /// Marks the job cancelled (mutator, under the exclusive shape lock).
+  void cancel() { CancelFlag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return CancelFlag.load(std::memory_order_relaxed);
+  }
+
+  /// True when any lookup this compile performed walked \p M — i.e. the
+  /// result so far depends on \p M's shape. Caller must hold the world's
+  /// shape lock exclusively (the worker appends only under the shared
+  /// side, so exclusive holders observe a quiescent, fully-published set).
+  bool visitedMap(const Map *M) const {
+    for (const Map *V : VisitedMaps)
+      if (V == M)
+        return true;
+    return false;
+  }
+
+private:
+  struct MemoEntry {
+    LookupResult Result;
+    std::vector<Map *> Walked;
+  };
+  struct KeyHash {
+    size_t operator()(const std::pair<Map *, const std::string *> &K) const {
+      size_t H1 = std::hash<const void *>()(K.first);
+      size_t H2 = std::hash<const void *>()(K.second);
+      return H1 ^ (H2 * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  World &W;
+  bool Background;
+  std::atomic<bool> CancelFlag{false};
+  std::function<void()> OnFirstWalk;
+  bool FirstWalkFired = false;
+  /// Maps visited by any walk so far, deduplicated. Appended under the
+  /// shared shape lock; read by the mutator under the exclusive side.
+  std::vector<Map *> VisitedMaps;
+  std::unordered_map<std::pair<Map *, const std::string *>, MemoEntry,
+                     KeyHash>
+      Memo;
+};
 
 } // namespace mself
 

@@ -128,6 +128,13 @@ bool World::defineLobbySlot(const SlotDef &Def, std::string &ErrOut) {
   if (!evalSlotValue(Def, V, ErrOut))
     return false;
 
+  // The lobby map is published: the background compile thread may be
+  // walking it (under the shared side of the shape lock) right now, so the
+  // mutation and its invalidation fan-out are one exclusive critical
+  // section. The shape-mutation hook runs inside it too — by the time any
+  // background lookup can resume, stale dependents are already invalidated
+  // and dependent in-flight compiles cancelled.
+  std::unique_lock<std::shared_mutex> Guard(ShapeLock);
   if (Def.Kind == SlotKind::Data) {
     const std::string *Setter = Interner.intern(*Def.Name + ":");
     LobbyMap->addSlot(Def.Name, SlotKind::Data, V, Setter);

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,15 @@ public:
   /// Monotonic counter of shape mutations; cached dispatch state derived
   /// before a bump is stale.
   uint64_t shapeVersion() const { return ShapeVersion; }
+
+  /// The shape lock orders the background compiler's map reads against
+  /// mutator shape mutations. The mutator holds it exclusively around every
+  /// post-boot addSlot + noteShapeMutation pair (defineLobbySlot); the
+  /// background compile thread holds it shared for the duration of each
+  /// compile-time lookup walk. The mutator's own reads never take it —
+  /// mutations happen on the mutator thread, so its reads are ordered by
+  /// program order alone.
+  std::shared_mutex &shapeLock() const { return ShapeLock; }
 
   //===------------------------------------------------------------------===//
   // Loading
@@ -165,6 +175,7 @@ private:
       BlockParentSlot = -1, NilParentSlot = -1;
 
   std::vector<Value> LiteralRoots; ///< String literals, built objects.
+  mutable std::shared_mutex ShapeLock;
   mutable GlobalLookupCache LookupCache;
   std::function<void(Map *)> MutationHook;
   uint64_t ShapeVersion = 0;

@@ -126,6 +126,11 @@ size_t Heap::shellSizeFor(ObjectKind K) {
 }
 
 void Heap::linkOld(Object *O, size_t ShellBytes) {
+  // Serialized against the background compile thread's allocStringShared;
+  // every old-space birth goes through here. (Scavenge-time promotions
+  // link by hand instead, which is safe because the GC gate excludes
+  // background allocation during collections.)
+  std::lock_guard<std::mutex> G(OldAllocMutex);
   O->NextAlloc = AllObjects;
   AllObjects = O;
   ++NumObjects;
@@ -168,6 +173,7 @@ void Heap::chargePayload(Object *O, size_t Bytes) {
     NurseryPayloadBytes += Bytes;
     Stats.BytesAllocatedNursery += Bytes;
   } else {
+    std::lock_guard<std::mutex> G(OldAllocMutex);
     BytesSinceGc += Bytes;
     Stats.BytesAllocatedOld += Bytes;
   }
@@ -199,6 +205,17 @@ ArrayObj *Heap::allocArray(Map *M, size_t N, Value Fill) {
 StringObj *Heap::allocString(Map *M, std::string S) {
   size_t Payload = S.size();
   StringObj *O = make<StringObj>(M, std::move(S));
+  chargePayload(O, Payload);
+  return O;
+}
+
+StringObj *Heap::allocStringShared(Map *M, std::string S) {
+  // Background-thread path: never touches the nursery bump pointer. A
+  // plain-new shell linked via linkOld is exactly an overflow-style
+  // old-space birth; the string is immovable from day one.
+  size_t Payload = S.size();
+  auto *O = new StringObj(M, std::move(S));
+  linkOld(O, alignUp(sizeof(StringObj)));
   chargePayload(O, Payload);
   return O;
 }
@@ -528,10 +545,22 @@ void Heap::collect() {
 }
 
 void Heap::collectAtSafepoint() {
-  if (BytesSinceGc >= GcThresholdBytes) {
-    collect();
+  // The background compile worker holds the gate across each compile job:
+  // the analyzer's internal state holds heap references (literal strings,
+  // map constants it read) that no RootProvider can enumerate, so nothing
+  // may move or be swept while a job is in flight. try_lock, never lock —
+  // blocking the mutator on a long optimizing compile would reintroduce
+  // exactly the stall this subsystem removes. Deferral is safe: allocation
+  // never *requires* a collection (a full nursery overflows into the old
+  // space), so the heap only grows a little until the next safepoint.
+  if (GcGate && !GcGate->try_lock()) {
+    ++Stats.GcDeferrals;
     return;
   }
-  if (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes)
+  if (BytesSinceGc >= GcThresholdBytes)
+    collect();
+  else if (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes)
     scavenge();
+  if (GcGate)
+    GcGate->unlock();
 }

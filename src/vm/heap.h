@@ -37,8 +37,10 @@
 
 #include "vm/object.h"
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,6 +100,11 @@ struct GcStats {
 
   uint64_t BarrierHits = 0; ///< Write-barrier slow-path remembered-set adds.
 
+  /// Safepoint collections skipped because a background compile held the
+  /// GC gate; the collection runs at a later safepoint (allocation in the
+  /// meantime overflows into the old space, so deferral is always safe).
+  uint64_t GcDeferrals = 0;
+
   uint64_t SurvivedScavengeBytes = 0; ///< Live shell bytes over all scavenges.
   uint64_t ScannedScavengeBytes = 0;  ///< Nursery shell bytes examined.
 
@@ -151,6 +158,14 @@ public:
   Object *allocPlain(Map *M);
   ArrayObj *allocArray(Map *M, size_t N, Value Fill);
   StringObj *allocString(Map *M, std::string S);
+
+  /// String allocation callable from the background compile thread: always
+  /// allocates directly in the old space (the nursery bump pointer belongs
+  /// to the mutator alone) under the old-space allocation mutex. Old-space
+  /// objects never move, so the returned pointer is stable even across
+  /// collections — but the caller must keep the object rooted (the
+  /// CompileQueue's RootProvider covers finished jobs' literals).
+  StringObj *allocStringShared(Map *M, std::string S);
   MethodObj *allocMethod(Map *M, const ast::Code *Body,
                          const std::string *Selector);
   BlockObj *allocBlock(Map *M, const ast::BlockExpr *Body, Object *Env,
@@ -170,8 +185,19 @@ public:
 
   /// The collection entry point for interpreter safepoints: a full
   /// collection when the old space crossed its growth threshold, otherwise
-  /// a scavenge when the nursery is near full.
+  /// a scavenge when the nursery is near full. When a GC gate is installed
+  /// (setGcGate) and currently held — a background compile is in flight —
+  /// the collection is *deferred* (GcStats::GcDeferrals) rather than run:
+  /// the compile thread's analyzer holds heap references no RootProvider
+  /// can enumerate, and deferral is safe because allocation never requires
+  /// a collection (a full nursery overflows to the old space).
   void collectAtSafepoint();
+
+  /// Installs (or clears, with nullptr) the GC gate: a mutex the background
+  /// compile worker holds for the duration of each compile job.
+  /// collectAtSafepoint() try-locks it and defers the collection when the
+  /// worker wins.
+  void setGcGate(std::mutex *M) { GcGate = M; }
 
   /// Runs a full collection: evacuates the entire nursery (survivors are
   /// promoted regardless of age), then mark-sweeps the old space. All live
@@ -208,6 +234,15 @@ public:
 
   size_t rememberedSetSize() const { return RememberedSet.size(); }
   const GcStats &stats() const { return Stats; }
+
+  /// A copy of the statistics taken under the old-space allocation mutex,
+  /// so reading them is well-ordered against concurrent background-thread
+  /// allocation (telemetry uses this; stats() remains for single-threaded
+  /// callers).
+  GcStats statsSnapshot() const {
+    std::lock_guard<std::mutex> G(OldAllocMutex);
+    return Stats;
+  }
 
   /// Bulk-store barrier: after copying many references into \p O at once
   /// (clone primitives, field-vector resizes) without per-store barriers,
@@ -260,9 +295,16 @@ private:
   }
 
   //===--- Old space (mark-sweep) ---------------------------------------===//
+  // The old space is the one allocation surface shared with the background
+  // compile thread (allocStringShared): the list linkage and stats update
+  // under OldAllocMutex, and the counters the mutator polls lock-free
+  // (shouldCollect, objectCount) are atomics.
   Object *AllObjects = nullptr;
-  size_t BytesSinceGc = 0; ///< Old-space growth since the last full GC.
+  /// Old-space growth since the last full GC.
+  std::atomic<size_t> BytesSinceGc{0};
   size_t GcThresholdBytes = kDefaultGcThresholdBytes;
+  mutable std::mutex OldAllocMutex;
+  std::mutex *GcGate = nullptr;
 
   //===--- Nursery (bump-pointer semispaces) ----------------------------===//
   bool Generational = true;
@@ -286,7 +328,7 @@ private:
   std::vector<Object *> PromotedThisCycle;
   std::vector<Object *> MarkWorklist;
 
-  size_t NumObjects = 0;
+  std::atomic<size_t> NumObjects{0};
   GcStats Stats;
   std::vector<std::unique_ptr<Map>> Maps;
   std::vector<RootProvider *> Roots;

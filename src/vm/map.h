@@ -18,6 +18,7 @@
 
 #include "vm/value.h"
 
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -86,7 +87,7 @@ public:
   /// (e.g. "x:" writes the data slot "x"), or nullptr.
   const SlotDesc *findAssignSlot(const std::string *NameColon) const;
 
-  const std::vector<SlotDesc> &slots() const { return Slots; }
+  const std::deque<SlotDesc> &slots() const { return Slots; }
 
   /// Number of per-object Value fields that objects with this map carry.
   int fieldCount() const { return FieldCount; }
@@ -103,7 +104,12 @@ private:
   friend class Heap; ///< Sets OwnerHeap; updates slot constants during GC.
   ObjectKind Kind;
   std::string DebugName;
-  std::vector<SlotDesc> Slots;
+  /// Deque, not vector: the background compiler retains `const SlotDesc *`
+  /// into published maps across its per-lookup shape-lock window, and
+  /// appending to a deque never relocates existing elements, so those
+  /// pointers stay valid across a concurrent addSlot (which shape-mutation
+  /// cancellation then handles at the semantic level).
+  std::deque<SlotDesc> Slots;
   std::unordered_map<const std::string *, int> ReadIndex;
   std::unordered_map<const std::string *, int> AssignIndex;
   std::vector<int> ParentIndices;

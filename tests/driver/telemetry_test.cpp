@@ -1,0 +1,186 @@
+//===-- tests/driver/telemetry_test.cpp - VmTelemetry schema tests --------===//
+//
+// VmTelemetry is the machine-diffable observability surface: one snapshot,
+// one fixed schema, two serializations (key=value text and JSON) emitted
+// through the same code path. These tests pin the contract external
+// tooling depends on — the header line, the key set and its order being
+// identical across every VM configuration, and the JSON mirroring the text
+// schema exactly — so a drive-by counter addition that forgets one side
+// fails here instead of in someone's dashboard.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+/// Splits \p S into lines (without terminators).
+std::vector<std::string> lines(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = S.size();
+    Out.push_back(S.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Out;
+}
+
+/// The ordered key list ("section.key") of a text dump, header excluded.
+std::vector<std::string> keysOf(const std::string &Text) {
+  std::vector<std::string> Keys;
+  std::vector<std::string> Ls = lines(Text);
+  for (size_t I = 1; I < Ls.size(); ++I) {
+    size_t Eq = Ls[I].find('=');
+    EXPECT_NE(Eq, std::string::npos) << "malformed line: " << Ls[I];
+    if (Eq != std::string::npos)
+      Keys.push_back(Ls[I].substr(0, Eq));
+  }
+  return Keys;
+}
+
+/// Runs a small workload so every subsystem has non-trivial counters.
+void warm(VirtualMachine &VM) {
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(
+      "hot: n = ( | t <- 0. i <- 0 | [ i < n ] whileTrue: "
+      "[ i: i + 1. t: t + (i % 3) ]. t )",
+      Err))
+      << Err;
+  for (int I = 0; I < 6; ++I)
+    ASSERT_TRUE(VM.evalInt("hot: 30", Out, Err)) << Err;
+  VM.settleBackgroundCompiles();
+}
+
+} // namespace
+
+// The first line identifies the schema version and the configuration; every
+// following line is exactly `section.key=value`.
+TEST(Telemetry, HeaderAndLineGrammar) {
+  VirtualMachine VM(Policy::newSelf());
+  warm(VM);
+  std::string Text = VM.telemetry().formatStats();
+  std::vector<std::string> Ls = lines(Text);
+  ASSERT_GT(Ls.size(), 10u);
+
+  std::string Head = "miniself.telemetry schema=1 policy=" +
+                     VM.policy().Name + " background=";
+  EXPECT_EQ(Ls[0].rfind(Head, 0), 0u) << Ls[0];
+  EXPECT_NE(Ls[0].find(" collector="), std::string::npos) << Ls[0];
+
+  for (size_t I = 1; I < Ls.size(); ++I) {
+    const std::string &L = Ls[I];
+    size_t Dot = L.find('.');
+    size_t Eq = L.find('=');
+    ASSERT_NE(Dot, std::string::npos) << L;
+    ASSERT_NE(Eq, std::string::npos) << L;
+    EXPECT_LT(Dot, Eq) << L;
+    // Values are plain unsigned integers or fixed-point decimals.
+    for (size_t C = Eq + 1; C < L.size(); ++C)
+      EXPECT_TRUE((L[C] >= '0' && L[C] <= '9') || L[C] == '.') << L;
+  }
+}
+
+// The key set and its order are configuration-independent: a parser written
+// against one dump reads every dump. Exercised across optimizing/
+// non-optimizing policies, tiering on/off, background on/off, and both
+// collectors, warmed and fresh.
+TEST(Telemetry, KeyOrderIdenticalAcrossConfigurations) {
+  std::vector<Policy> Configs;
+  Configs.push_back(Policy::newSelf());
+  Configs.push_back(Policy::st80());
+  Configs.push_back(Policy::oldSelf());
+  {
+    Policy P = Policy::newSelf();
+    P.TieredCompilation = true;
+    P.TierUpThreshold = 3;
+    P.BackgroundCompile = true;
+    Configs.push_back(P);
+  }
+  {
+    Policy P = Policy::newSelf();
+    P.GenerationalGc = true;
+    Configs.push_back(P);
+  }
+
+  std::vector<std::string> Reference;
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    VirtualMachine VM(Configs[I]);
+    std::vector<std::string> Fresh = keysOf(VM.telemetry().formatStats());
+    warm(VM);
+    std::vector<std::string> Warmed = keysOf(VM.telemetry().formatStats());
+    EXPECT_EQ(Fresh, Warmed) << "config " << I;
+    if (I == 0)
+      Reference = Warmed;
+    else
+      EXPECT_EQ(Warmed, Reference) << "config " << I;
+  }
+  ASSERT_FALSE(Reference.empty());
+}
+
+// Both serializations come from one emitter walk, so the JSON must contain
+// every text key under its section object — and nothing else.
+TEST(Telemetry, JsonMirrorsTextSchema) {
+  VirtualMachine VM(Policy::newSelf());
+  warm(VM);
+  VmTelemetry T = VM.telemetry();
+  std::string Json = T.toJson();
+
+  EXPECT_EQ(Json.rfind("{\n", 0), 0u);
+  EXPECT_EQ(Json.substr(Json.size() - 2), "}\n");
+  EXPECT_NE(Json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"policy\": \"" + T.PolicyName + "\""),
+            std::string::npos);
+
+  int Depth = 0;
+  for (char C : Json) {
+    if (C == '{')
+      ++Depth;
+    else if (C == '}')
+      --Depth;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+
+  std::string Section;
+  size_t JsonKeys = 0;
+  for (const std::string &K : keysOf(T.formatStats())) {
+    size_t Dot = K.find('.');
+    std::string Sec = K.substr(0, Dot), Key = K.substr(Dot + 1);
+    if (Sec != Section) {
+      EXPECT_NE(Json.find("\"" + Sec + "\": {"), std::string::npos) << Sec;
+      Section = Sec;
+    }
+    EXPECT_NE(Json.find("\"" + Key + "\":"), std::string::npos) << K;
+    ++JsonKeys;
+  }
+  EXPECT_GT(JsonKeys, 40u); // The schema is substantial; a truncated
+                            // emitter walk would shrink this.
+}
+
+// A snapshot is plain data decoupled from the live VM: formatting it twice
+// is bit-identical, and running more work afterwards changes a later
+// snapshot but never the one already taken.
+TEST(Telemetry, SnapshotIsImmutablePlainData) {
+  VirtualMachine VM(Policy::newSelf());
+  warm(VM);
+  VmTelemetry T = VM.telemetry();
+  std::string A = T.formatStats();
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.evalInt("hot: 30", Out, Err)) << Err;
+  std::string B = T.formatStats();
+  EXPECT_EQ(A, B);
+  // The live VM moved on.
+  EXPECT_GT(VM.telemetry().Exec.Instructions, T.Exec.Instructions);
+}

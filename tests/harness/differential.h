@@ -22,7 +22,6 @@
 
 #include <gtest/gtest.h>
 
-#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,135 +33,18 @@ struct Config {
   Policy P;
 };
 
-/// The full matrix: {st80, oldself, newself} × {pic, mono, noglc, nocache},
-/// plus the execution-tier axis on the optimizing presets, the
-/// execution-engine axis (dispatch loop / quickening / fusion) on the
-/// bracketing presets, and the collector axis (mark-sweep-only vs a
-/// tiny-nursery generational stress mode) on every preset.
-/// "pic" is the default dispatch stack (PIC + global lookup cache), "mono"
-/// degrades to single-entry replace-on-miss caches (the pre-PIC system),
-/// "noglc" runs PICs without the global cache, and "nocache" performs a
-/// full lookup on every send — st80/nocache is pure interpretation.
-/// The tier axis: "/pic" doubles as full-opt-first-call (tiering off),
-/// "tier1" promotes on the first invocation, "tierN" promotes mid-run at a
-/// small threshold (exercising baseline → optimized swaps while frames are
-/// live), and "tierbase" never promotes — baseline-only execution.
+/// The full matrix, enumerated from the Policy preset registry: every
+/// preset tagged InMatrix — {st80, oldself, newself} × {pic, mono, noglc,
+/// nocache} on the dispatch axis, the execution-tier axis (tier1/tierN/
+/// tierbase), the execution-engine axis (dispatch loop / quickening /
+/// fusion), the collector axis (mark-sweep vs tiny-nursery stress), and
+/// the background-compilation axis (off-thread promotion, GC-stressed
+/// background promotion, saturated-queue fallback). See
+/// compiler/policy.cpp (buildRegistry) for what each entry exercises.
 inline std::vector<Config> policyMatrix() {
   std::vector<Config> Out;
-  for (const Policy &Base :
-       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
-    Out.push_back({Base.Name + "/pic", Base});
-
-    Policy Mono = Base;
-    Mono.PolymorphicInlineCaches = false;
-    Mono.UseGlobalLookupCache = false;
-    Out.push_back({Base.Name + "/mono", Mono});
-
-    Policy NoGlc = Base;
-    NoGlc.UseGlobalLookupCache = false;
-    Out.push_back({Base.Name + "/noglc", NoGlc});
-
-    Policy NoCache = Base;
-    NoCache.InlineCaches = false;
-    NoCache.UseGlobalLookupCache = false;
-    Out.push_back({Base.Name + "/nocache", NoCache});
-  }
-  // Tiny global cache: forces heavy replacement traffic so index collisions
-  // cannot change results either.
-  Policy TinyGlc = Policy::newSelf();
-  TinyGlc.GlobalLookupCacheEntries = 8;
-  Out.push_back({"newself/tinyglc", TinyGlc});
-
-  // Tier axis: baseline-tier execution, immediate promotion, and mid-run
-  // promotion must all be observationally identical to full-opt-first-call
-  // (the plain presets above). oldself and newself differ in how much the
-  // optimized tier changes relative to baseline, so both are crossed.
-  for (const Policy &Base : {Policy::oldSelf(), Policy::newSelf()}) {
-    Policy T1 = Base;
-    T1.TieredCompilation = true;
-    T1.TierUpThreshold = 1;
-    Out.push_back({Base.Name + "/tier1", T1});
-
-    Policy TN = Base;
-    TN.TieredCompilation = true;
-    TN.TierUpThreshold = 8;
-    Out.push_back({Base.Name + "/tierN", TN});
-  }
-  Policy BaseOnly = Policy::newSelf();
-  BaseOnly.TieredCompilation = true;
-  BaseOnly.TierUpThreshold = std::numeric_limits<int>::max();
-  Out.push_back({"newself/tierbase", BaseOnly});
-
-  // Execution-engine axis: the dispatch loop (threaded vs switch), opcode
-  // quickening, and superinstruction fusion must each be observationally
-  // invisible. st80 and newself bracket the compiler spectrum — st80 runs
-  // the most generic sends (quickening hits hardest), newself the most
-  // optimized bytecode (fusion hits hardest).
-  for (const Policy &Base : {Policy::st80(), Policy::newSelf()}) {
-    Policy NoQuick = Base;
-    NoQuick.OpcodeQuickening = false;
-    Out.push_back({Base.Name + "/noquick", NoQuick});
-
-    Policy NoFuse = Base;
-    NoFuse.Superinstructions = false;
-    Out.push_back({Base.Name + "/nofuse", NoFuse});
-
-    Policy Plain = Base;
-    Plain.ThreadedDispatch = false;
-    Plain.OpcodeQuickening = false;
-    Plain.Superinstructions = false;
-    Out.push_back({Base.Name + "/plainloop", Plain});
-  }
-  // Switch loop with quickening + fusion still on: the non-default engine
-  // pairing (threaded-off is the portable fallback everywhere).
-  Policy SwitchLoop = Policy::newSelf();
-  SwitchLoop.ThreadedDispatch = false;
-  Out.push_back({"newself/switchloop", SwitchLoop});
-  // Quickening across tier promotion: baseline code quickens, promotion
-  // swaps in fresh optimized code mid-run, which must re-quicken cleanly.
-  Policy TierQuick = Policy::newSelf();
-  TierQuick.TieredCompilation = true;
-  TierQuick.TierUpThreshold = 8;
-  TierQuick.ThreadedDispatch = false;
-  Out.push_back({"newself/tierquick", TierQuick});
-
-  // Collector axis: the memory system must be observationally invisible
-  // too. "marksweep" turns the generational collector off entirely (every
-  // object old from birth, no barriers, no motion); "tinynursery" is the
-  // opposite extreme — a ~4 KiB nursery with promotion age 1 forces
-  // copying scavenges mid-send, so PICs, quickened sites, and closure
-  // environments are exercised against object motion on every preset.
-  // newself/tinytier additionally promotes code tiers mid-run while the
-  // scavenger moves objects under the running frames.
-  for (const Policy &Base :
-       {Policy::st80(), Policy::oldSelf(), Policy::newSelf()}) {
-    Policy MarkSweep = Base;
-    MarkSweep.GenerationalGc = false;
-    MarkSweep.GcThresholdKiB = 256;
-    Out.push_back({Base.Name + "/marksweep", MarkSweep});
-
-    Policy TinyNursery = Base;
-    TinyNursery.GcNurseryKiB = 4;
-    TinyNursery.GcPromotionAge = 1;
-    TinyNursery.GcThresholdKiB = 512;
-    Out.push_back({Base.Name + "/tinynursery", TinyNursery});
-  }
-  Policy TinyTier = Policy::newSelf();
-  TinyTier.GcNurseryKiB = 4;
-  TinyTier.GcPromotionAge = 1;
-  TinyTier.GcThresholdKiB = 512;
-  TinyTier.TieredCompilation = true;
-  TinyTier.TierUpThreshold = 8;
-  Out.push_back({"newself/tinytier", TinyTier});
-  // Tiny nursery with quickening off: object motion against generic sends
-  // only (isolates the PIC/GLC updating from the quickened-operand
-  // updating covered by tinynursery above).
-  Policy TinyNoQuick = Policy::newSelf();
-  TinyNoQuick.GcNurseryKiB = 4;
-  TinyNoQuick.GcPromotionAge = 1;
-  TinyNoQuick.GcThresholdKiB = 512;
-  TinyNoQuick.OpcodeQuickening = false;
-  Out.push_back({"newself/tinynoquick", TinyNoQuick});
+  for (const PolicyPreset *E : matrixPresets())
+    Out.push_back({E->Name, E->P});
   return Out;
 }
 

@@ -1,0 +1,331 @@
+//===-- tests/interp/bgcompile_test.cpp - Background compilation tests ----===//
+//
+// Race-surface tests for the off-thread tier-up pipeline: promotion results
+// install only at mutator safepoints, shape mutations cancel both in-flight
+// and finished-but-uninstalled jobs (stale code is never installed), queue
+// saturation falls back to the synchronous compiler, and shutdown drains
+// cleanly with work still queued.
+//
+// The deterministic lever is CompileQueue::setFirstWalkHook: it runs on the
+// worker thread right after the job's first compile-time lookup walk, so a
+// test can park the worker at a known mid-compile point, mutate shapes from
+// the mutator thread, and then let the compile finish against a world that
+// changed under it.
+//
+// Every test builds its VM with BackgroundCompile set explicitly, but the
+// driver folds MINISELF_BG_COMPILE into every policy (that is how the
+// check-tsan suite flips the whole tier-1 set to async). A hostile
+// environment can therefore force the queue off; tests that need it skip
+// instead of failing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+#include "interp/compile_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+Policy bgPolicy(int Threshold = 3) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = true;
+  P.TierUpThreshold = Threshold;
+  P.BackgroundCompile = true;
+  return P;
+}
+
+/// The hot method resolves `base` through the lobby, so (a) its optimized
+/// compile's dependency set provably contains the lobby map and (b) the
+/// compile's first lookup walk visits the lobby — the two facts the
+/// cancellation tests pivot on. Defining any new lobby slot afterwards is
+/// the canonical shape mutation.
+const char *kWorld =
+    "base = ( 2 ). "
+    "hot: n = ( | t <- 0. i <- 0 | [ i < n ] whileTrue: "
+    "[ i: i + 1. t: t + base + (i % 3) ]. t )";
+
+int64_t hotExpected(int64_t N) {
+  int64_t T = 0;
+  for (int64_t I = 1; I <= N; ++I)
+    T += 2 + I % 3;
+  return T;
+}
+
+/// Spin until \p Flag turns true or ~5 seconds pass. Returns the flag.
+bool waitFor(const std::atomic<bool> &Flag) {
+  for (int I = 0; I < 5000 && !Flag.load(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return Flag.load();
+}
+
+} // namespace
+
+// The baseline behavior: a hot method's promotion runs off-thread and the
+// result is swapped in at a safepoint, with the mutator never observing a
+// wrong answer before, during, or after the install.
+TEST(BgCompile, InstallsAtSafepointWithCorrectResults) {
+  VirtualMachine VM(bgPolicy());
+  if (!VM.backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+  for (int I = 0; I < 10; ++I) {
+    ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << "call " << I << ": " << Err;
+    EXPECT_EQ(Out, hotExpected(40)) << "call " << I;
+  }
+  VM.settleBackgroundCompiles();
+  ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+  EXPECT_EQ(Out, hotExpected(40));
+
+  TierStats S = VM.telemetry().Tier;
+  EXPECT_GE(S.Promotions, 1u);
+  EXPECT_EQ(S.Swaps, S.Promotions);
+  EXPECT_GE(S.BackgroundEnqueued, 1u);
+  EXPECT_GE(S.BackgroundInstalled, 1u);
+  // Every enqueued job is accounted for once it leaves the pipeline.
+  EXPECT_LE(S.BackgroundInstalled + S.BackgroundCancelled,
+            S.BackgroundEnqueued);
+}
+
+// No stale install, finished-job edition: a result that was compiled before
+// a shape mutation but not yet installed must be discarded at the next
+// install poll — and the promotion must self-heal (the function re-enqueues
+// and eventually runs optimized code compiled against the new shape).
+TEST(BgCompile, DoneJobDiscardedAfterShapeMutation) {
+  VirtualMachine VM(bgPolicy());
+  if (!VM.backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+  CompileQueue *Q = VM.backgroundQueue();
+
+  // Park the worker mid-compile until the triggering eval has returned, so
+  // the finished result lands in the done list with no safepoint left to
+  // install it.
+  std::atomic<bool> Release{false};
+  Q->setFirstWalkHook([&Release] { waitFor(Release); });
+
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+  for (int I = 0; I < 4; ++I) {
+    ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, hotExpected(40));
+  }
+  TierStats Before = VM.telemetry().Tier;
+  ASSERT_GE(Before.BackgroundEnqueued, 1u);
+  EXPECT_EQ(Before.BackgroundInstalled, 0u);
+
+  Release = true;
+  Q->waitIdle(); // Compile finishes; the result now awaits install.
+
+  // Mutating the lobby — which the result's dependency set contains —
+  // cancels the finished job before anything can install it.
+  ASSERT_TRUE(VM.load("padA = ( 1 )", Err)) << Err;
+  VM.settleBackgroundCompiles();
+  TierStats Mid = VM.telemetry().Tier;
+  EXPECT_GE(Mid.BackgroundCancelled, 1u);
+
+  // Self-healing: the discard cleared the pending flag, so keeping the
+  // method hot re-promotes it against the mutated world.
+  for (int I = 0; I < 6; ++I) {
+    ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, hotExpected(40));
+  }
+  VM.settleBackgroundCompiles();
+  TierStats After = VM.telemetry().Tier;
+  EXPECT_GE(After.BackgroundInstalled, 1u);
+  EXPECT_GE(After.Promotions, 1u);
+  ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+  EXPECT_EQ(Out, hotExpected(40));
+}
+
+// No stale install, in-flight edition: a shape mutation that lands while
+// the worker is mid-compile — after its lookups already walked the mutated
+// map — must cancel the job, because those memoized walks baked the old
+// shape into the result.
+TEST(BgCompile, InFlightJobCancelledByMidCompileShapeMutation) {
+  VirtualMachine VM(bgPolicy());
+  if (!VM.backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+  CompileQueue *Q = VM.backgroundQueue();
+
+  std::atomic<bool> Reached{false};
+  std::atomic<bool> Proceed{false};
+  Q->setFirstWalkHook([&Reached, &Proceed] {
+    Reached = true;
+    waitFor(Proceed);
+  });
+
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+  for (int I = 0; I < 4; ++I) {
+    ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, hotExpected(40));
+  }
+  if (!waitFor(Reached)) {
+    Proceed = true; // Never leave the worker parked.
+    FAIL() << "worker never reached the first lookup walk";
+  }
+
+  // The worker is parked with the lobby already in its visited-map set;
+  // this definition mutates the lobby under the exclusive shape lock and
+  // must flag the in-flight job as cancelled.
+  ASSERT_TRUE(VM.load("padB = ( 1 )", Err)) << Err;
+  Proceed = true;
+  VM.settleBackgroundCompiles();
+
+  TierStats S = VM.telemetry().Tier;
+  EXPECT_GE(S.BackgroundCancelled, 1u);
+
+  // The world stays correct and the method still reaches optimized code
+  // compiled against the post-mutation shape.
+  for (int I = 0; I < 6; ++I) {
+    ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, hotExpected(40));
+  }
+  VM.settleBackgroundCompiles();
+  EXPECT_GE(VM.telemetry().Tier.BackgroundInstalled, 1u);
+  ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+  EXPECT_EQ(Out, hotExpected(40));
+}
+
+// Saturation: a zero-capacity queue rejects every enqueue, so promotions
+// take the synchronous fallback — the mutator stalls, compiles, and
+// installs immediately, with the fallback visible in the stats.
+TEST(BgCompile, SaturatedQueueFallsBackToSynchronousPromotion) {
+  Policy P = bgPolicy();
+  P.BackgroundQueueCap = 0;
+  VirtualMachine VM(P);
+  if (!VM.backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+  ASSERT_EQ(VM.backgroundQueue()->capacity(), 0);
+
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+  for (int I = 0; I < 6; ++I) {
+    ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, hotExpected(40));
+  }
+
+  TierStats S = VM.telemetry().Tier;
+  EXPECT_GE(S.BackgroundSyncFallbacks, 1u);
+  EXPECT_EQ(S.BackgroundEnqueued, 0u);
+  EXPECT_GE(S.Promotions, 1u);
+  EXPECT_EQ(S.Swaps, S.Promotions); // Sync promotions install in place.
+}
+
+// Shutdown drains cleanly in both interesting states: with a finished
+// result that was never installed, and with the worker parked mid-compile
+// while more jobs sit pending behind it.
+TEST(BgCompile, ShutdownWithQueuedWorkIsClean) {
+  std::string Err;
+  int64_t Out = 0;
+
+  {
+    // Finished-but-uninstalled result at destruction time.
+    VirtualMachine VM(bgPolicy());
+    if (!VM.backgroundQueue())
+      GTEST_SKIP() << "background compilation disabled by environment";
+    ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+    for (int I = 0; I < 4; ++I) {
+      ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+      EXPECT_EQ(Out, hotExpected(40));
+    }
+    VM.backgroundQueue()->waitIdle(); // Done, deliberately not installed.
+  }
+
+  {
+    // Worker parked in an in-flight compile; releases just before the
+    // destructor joins it.
+    VirtualMachine VM(bgPolicy());
+    if (!VM.backgroundQueue())
+      GTEST_SKIP() << "background compilation disabled by environment";
+    std::atomic<bool> Reached{false};
+    std::atomic<bool> Proceed{false};
+    VM.backgroundQueue()->setFirstWalkHook([&Reached, &Proceed] {
+      Reached = true;
+      waitFor(Proceed);
+    });
+    ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+    for (int I = 0; I < 4; ++I) {
+      ASSERT_TRUE(VM.evalInt("hot: 40", Out, Err)) << Err;
+      EXPECT_EQ(Out, hotExpected(40));
+    }
+    EXPECT_TRUE(waitFor(Reached));
+    Proceed = true;
+    // ~VirtualMachine: worker finishes the in-flight job, pending jobs are
+    // dropped, the thread joins. Nothing to assert beyond "no hang".
+  }
+}
+
+// GC stress with the queue on: promotions race an artificially eager
+// collector. Collections that land while the worker holds the GC gate
+// defer (never block the compile), finished results' literals are traced
+// as roots, and every answer stays correct.
+TEST(BgCompile, GcStressPromotionsStayCorrect) {
+  Policy P = bgPolicy();
+  VirtualMachine VM(P);
+  if (!VM.backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+  VM.heap().setGcThresholdBytes(1 << 12);
+
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load(
+      "base = ( 2 ). "
+      "spin = ( | t <- 0. i <- 0 | [ i < 40 ] whileTrue: "
+      "[ i: i + 1. t: t + (vectorOfSize: 4) size + base ]. t )",
+      Err))
+      << Err;
+  const int64_t Expect = 40 * 6;
+  for (int Round = 0; Round < 8; ++Round) {
+    ASSERT_TRUE(VM.evalInt("spin", Out, Err)) << "round " << Round << ": "
+                                              << Err;
+    EXPECT_EQ(Out, Expect) << "round " << Round;
+    if (Round == 4)
+      VM.settleBackgroundCompiles();
+  }
+  VM.settleBackgroundCompiles();
+  VM.heap().collect();
+
+  EXPECT_GT(VM.heap().collectionCount(), 0u);
+  EXPECT_GE(VM.telemetry().Tier.Promotions, 1u);
+  ASSERT_TRUE(VM.evalInt("spin", Out, Err)) << Err;
+  EXPECT_EQ(Out, Expect);
+}
+
+// Differential identity: the same program under the same policy computes
+// bit-identical results with the queue on and off — background compilation
+// moves work off-thread without changing a single answer.
+TEST(BgCompile, SyncAndAsyncComputeIdenticalResults) {
+  std::vector<int64_t> Results[2];
+  for (int Mode = 0; Mode < 2; ++Mode) {
+    Policy P = bgPolicy();
+    P.BackgroundCompile = Mode == 1;
+    VirtualMachine VM(P);
+    std::string Err;
+    int64_t Out = 0;
+    ASSERT_TRUE(VM.load(kWorld, Err)) << Err;
+    for (int I = 0; I < 8; ++I) {
+      ASSERT_TRUE(VM.evalInt("hot: " + std::to_string(10 + I * 7), Out, Err))
+          << Err;
+      Results[Mode].push_back(Out);
+    }
+    VM.settleBackgroundCompiles();
+    ASSERT_TRUE(VM.evalInt("hot: 100", Out, Err)) << Err;
+    Results[Mode].push_back(Out);
+  }
+  EXPECT_EQ(Results[0], Results[1]);
+  EXPECT_EQ(Results[0].back(), hotExpected(100));
+}

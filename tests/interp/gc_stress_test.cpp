@@ -215,7 +215,8 @@ TEST_P(GcStress, TieredPromotionSurvivesObjectMotion) {
   ASSERT_TRUE(VM.evalInt("grind: 400", Out, Err)) << Err;
   EXPECT_EQ(Out, 400);
   EXPECT_GT(VM.heap().stats().Scavenges, 0u);
-  EXPECT_GE(VM.tierStats().Promotions, 1u);
+  VM.settleBackgroundCompiles();
+  EXPECT_GE(VM.telemetry().Tier.Promotions, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, GcStress,

@@ -68,11 +68,16 @@ TEST(Invalidation, StaleInlinedLookupNeverServed) {
           << M.Label << ": " << Err;
     }
 
+    // Let any pending background promotion install first: only optimized
+    // code carries compile-time dependency edges, so the invalidation below
+    // must act on the promoted unit, not a baseline placeholder.
+    VM.settleBackgroundCompiles();
+
     // Defining the missing selector mutates the lobby's shape; the units
     // whose compile-time lookups walked the lobby map are invalidated.
-    uint64_t Before = VM.tierStats().Invalidations;
+    uint64_t Before = VM.telemetry().Tier.Invalidations;
     ASSERT_TRUE(VM.load("mystery = ( 9 )", Err)) << M.Label << ": " << Err;
-    EXPECT_GT(VM.tierStats().Invalidations, Before) << M.Label;
+    EXPECT_GT(VM.telemetry().Tier.Invalidations, Before) << M.Label;
 
     // The dependent method recompiles and binds the new definition.
     ASSERT_TRUE(VM.evalInt("cur go", Out, Err)) << M.Label << ": " << Err;
@@ -117,7 +122,7 @@ TEST(Invalidation, OnlyDependentFunctionsInvalidated) {
 
   EXPECT_TRUE(Dep->Invalidated);
   EXPECT_FALSE(Pure->Invalidated);
-  EXPECT_GE(VM.tierStats().Invalidations, 1u);
+  EXPECT_GE(VM.telemetry().Tier.Invalidations, 1u);
 
   // Both methods still compute correctly afterwards.
   ASSERT_TRUE(VM.evalInt("cur depGo", Out, Err)) << Err;
@@ -163,7 +168,7 @@ TEST(Invalidation, StatsDistinguishLiveFromInvalidated) {
             CM.liveCodeBytes() + CM.invalidatedCodeBytes());
   EXPECT_LT(CM.liveCodeBytes(), CM.totalCodeBytes());
 
-  TierStats S = VM.tierStats();
+  TierStats S = VM.telemetry().Tier;
   EXPECT_EQ(S.LiveFunctions, CM.liveFunctionCount());
   EXPECT_EQ(S.InvalidatedFunctions, Invalidated);
   EXPECT_EQ(S.RetiredFunctions, 0u); // No promotions without tiering.
@@ -200,6 +205,10 @@ TEST(Invalidation, GcStressDependencySetsStayClean) {
           << "round " << Round << ": " << Err;
       EXPECT_EQ(Out, Expect) << "round " << Round;
     }
+    // Install any in-flight promotion so every round voids a freshly
+    // promoted unit (background mode would otherwise cancel it pre-install,
+    // which exercises a different path than this test is after).
+    VM.settleBackgroundCompiles();
     // Mutate the lobby's shape: everything whose compile walked it —
     // including the freshly promoted spin unit — is voided.
     ASSERT_TRUE(VM.load("extra" + std::to_string(Round) + " = ( " +
@@ -210,7 +219,7 @@ TEST(Invalidation, GcStressDependencySetsStayClean) {
   VM.heap().collect();
   EXPECT_GT(VM.heap().collectionCount(), 0u);
 
-  TierStats S = VM.tierStats();
+  TierStats S = VM.telemetry().Tier;
   EXPECT_GE(S.Invalidations, 5u); // At least one unit per round.
   EXPECT_GE(S.Promotions, 1u);
 

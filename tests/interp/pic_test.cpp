@@ -67,7 +67,7 @@ TEST(PicTest, MonomorphicSiteStaysMonomorphic) {
   ASSERT_TRUE(VM.evalInt("drive: 200 Kinds: 1", Out, Err)) << Err;
   EXPECT_EQ(Out, expectedSum(200, 1));
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_GT(S.SendsMono, 0u);
   EXPECT_EQ(S.ToMegamorphic, 0u);
   EXPECT_EQ(S.SitesMega, 0u);
@@ -84,7 +84,7 @@ TEST(PicTest, MonoToPolyTransition) {
   ASSERT_TRUE(VM.evalInt("drive: 200 Kinds: 2", Out, Err)) << Err;
   EXPECT_EQ(Out, expectedSum(200, 2));
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_GE(S.MonoToPoly, 1u);
   EXPECT_GT(S.SendsPoly, 0u);
   EXPECT_GT(S.SitesPoly, 0u);
@@ -101,7 +101,7 @@ TEST(PicTest, MegamorphicTransitionDispatchesThroughGlobalCache) {
   ASSERT_TRUE(VM.evalInt("drive: 400 Kinds: 8", Out, Err)) << Err;
   EXPECT_EQ(Out, expectedSum(400, 8));
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_GE(S.ToMegamorphic, 1u);
   EXPECT_GT(S.SendsMega, 0u);
   EXPECT_GT(S.SitesMega, 0u);
@@ -150,7 +150,7 @@ TEST(PicTest, MonomorphicModeEvictsInsteadOfGrowing) {
   ASSERT_TRUE(VM.evalInt("drive: 100 Kinds: 2", Out, Err)) << Err;
   EXPECT_EQ(Out, expectedSum(100, 2));
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   // Alternating receivers thrash the single entry: replacement, never
   // a polymorphic or megamorphic transition.
   EXPECT_GT(S.PicEvictions, 0u);
@@ -179,7 +179,7 @@ TEST(PicTest, SmallArityGoesMegamorphicEarly) {
   int64_t Out = 0;
   ASSERT_TRUE(VM.evalInt("drive: 120 Kinds: 3", Out, Err)) << Err;
   EXPECT_EQ(Out, expectedSum(120, 3));
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_GE(S.ToMegamorphic, 1u);
   EXPECT_GT(S.SitesMega, 0u);
 }
@@ -251,7 +251,7 @@ TEST(PicTest, ShapeMutationFlushesEveryCache) {
   EXPECT_EQ(Glc.occupied(), 0u);
 
   // Every previously-warmed send site is back to Empty.
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_EQ(S.SitesMono + S.SitesPoly + S.SitesMega, 0u);
   EXPECT_EQ(S.SitesEmpty, S.Sites);
 
@@ -284,7 +284,7 @@ TEST(PicTest, DisabledCachesFallBackToFullLookup) {
   ASSERT_TRUE(VM.evalInt("drive: 60 Kinds: 3", Out, Err)) << Err;
   EXPECT_EQ(Out, expectedSum(60, 3));
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_EQ(S.PicHits, 0u);
   EXPECT_EQ(S.PicFills, 0u);
   EXPECT_EQ(S.GlcHits, 0u);

@@ -67,7 +67,7 @@ TEST(Quicken, MonomorphicSitesQuickenAllFourKinds) {
   ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
   EXPECT_EQ(Out, kDriveResult);
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_GT(S.Quickenings, 0u);
   EXPECT_GT(S.QuickSends, 0u);
   EXPECT_EQ(S.Dequickenings, 0u); // Nothing polymorphic, nothing mutated.
@@ -103,7 +103,7 @@ TEST(Quicken, GuardMissDequickensPolymorphicSite) {
   ASSERT_TRUE(VM.evalInt("probe", Out, Err)) << Err;
   EXPECT_EQ(Out, 18); // 6 * (1 + 2).
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   // The `cur tag` site quickened for a's map, then b's map missed the
   // guard and reset it to the generic Send.
   EXPECT_GT(S.Quickenings, 0u);
@@ -125,12 +125,12 @@ TEST(Quicken, ShapeMutationDequickensEverything) {
   ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
   EXPECT_EQ(Out, kDriveResult);
   ASSERT_GT(quickenedOpCount(VM), 0u);
-  uint64_t QuickeningsBefore = VM.dispatchStats().Quickenings;
+  uint64_t QuickeningsBefore = VM.telemetry().Dispatch.Quickenings;
 
   // Any new lobby slot is a shape mutation on the (in-place) lobby map.
   ASSERT_TRUE(VM.load("unrelated = ( 99 )", Err)) << Err;
 
-  DispatchStats S = VM.dispatchStats();
+  DispatchStats S = VM.telemetry().Dispatch;
   EXPECT_GT(S.DequickenedSites, 0u);
   EXPECT_GT(S.InlineCacheFlushes, 0u);
   // No specialized opcode survives the flush anywhere in the code cache.
@@ -139,7 +139,7 @@ TEST(Quicken, ShapeMutationDequickensEverything) {
   // Re-running re-resolves through the generic path and re-quickens.
   ASSERT_TRUE(VM.evalInt("drive", Out, Err)) << Err;
   EXPECT_EQ(Out, kDriveResult);
-  EXPECT_GT(VM.dispatchStats().Quickenings, QuickeningsBefore);
+  EXPECT_GT(VM.telemetry().Dispatch.Quickenings, QuickeningsBefore);
   EXPECT_GT(quickenedOpCount(VM), 0u);
 }
 
@@ -182,9 +182,10 @@ TEST(Quicken, SurvivesTierPromotion) {
     ASSERT_TRUE(VM.evalInt("drive", Out, Err)) << Err;
     EXPECT_EQ(Out, kDriveResult) << "call " << I;
   }
-  EXPECT_GE(VM.tierStats().Promotions, 1u);
-  EXPECT_GT(VM.dispatchStats().Quickenings, 0u);
-  EXPECT_GT(VM.dispatchStats().QuickSends, 0u);
+  VM.settleBackgroundCompiles();
+  EXPECT_GE(VM.telemetry().Tier.Promotions, 1u);
+  EXPECT_GT(VM.telemetry().Dispatch.Quickenings, 0u);
+  EXPECT_GT(VM.telemetry().Dispatch.QuickSends, 0u);
 }
 
 // The knob: with OpcodeQuickening off (or with inline caches off, which
@@ -204,7 +205,7 @@ TEST(Quicken, DisabledEngineStaysFullyGeneric) {
     ASSERT_TRUE(VM.evalInt("cur: obj. drive", Out, Err)) << Err;
     EXPECT_EQ(Out, kDriveResult) << "mode " << Mode;
 
-    DispatchStats S = VM.dispatchStats();
+    DispatchStats S = VM.telemetry().Dispatch;
     EXPECT_EQ(S.Quickenings, 0u) << "mode " << Mode;
     EXPECT_EQ(S.QuickSends, 0u) << "mode " << Mode;
     EXPECT_EQ(S.Dequickenings, 0u) << "mode " << Mode;
