@@ -1,0 +1,284 @@
+//===-- bench/table_server.cpp - E15: Multi-isolate server mode -----------===//
+//
+// The traffic-storm experiment: N worker threads, each owning one
+// persistent isolate of a SharedRuntime, drain a queue of thousands of
+// short sessions — each session evaluates one script from a small mixed
+// workload (loops, recursion, closures, polymorphic sends, vectors) and
+// validates its answer. What the shared immutable tier buys is measured
+// directly: worker 2..N rehydrate the selectors, ASTs, and compiled code
+// worker 1 produced, so a storm's cold-start cost is paid once
+// process-wide rather than once per isolate.
+//
+// Reported per thread count: throughput (sessions/sec), p99 session
+// latency, and the cross-isolate code-cache hit rate (fraction of keyed
+// compile probes served by an existing artifact).
+//
+// Gates (EXPERIMENTS.md E15; the program exits nonzero when one fails):
+//   - identical order-independent checksum at every thread count,
+//   - cross-isolate code-cache hit rate >= 0.5 at the widest run,
+//   - throughput at 4 threads >= 3x the 1-thread run — hardware-
+//     conditional: skipped (with a JSON note) on machines with fewer than
+//     4 hardware threads, where the scaling claim is unmeasurable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "driver/isolate.h"
+#include "driver/vm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+constexpr int kSessions = 4000; ///< Sessions drained per thread-count run.
+
+/// One session script: definitions (loaded once per isolate as the
+/// prelude) and the expression a session evaluates.
+struct Script {
+  const char *Defs;
+  const char *Expr;
+  int64_t Expected;
+};
+
+const Script kScripts[] = {
+    {"sumUpTo: n = ( | s <- 0. i <- 1 | "
+     "[ i <= n ] whileTrue: [ s: s + i. i: i + 1 ]. s )",
+     "sumUpTo: 60", 1830},
+    {"fib: n = ( n < 2 ifTrue: [ n ] False: "
+     "[ (fib: n - 1) + (fib: n - 2) ] )",
+     "fib: 11", 89},
+    {"squaresTo: n = ( | s <- 0 | 1 to: n Do: [ :i | s: s + (i * i) ]. s )",
+     "squaresTo: 12", 650},
+    {"mkAdder: n = ( [ :x | x + n ] )", "(mkAdder: 30) value: 12", 42},
+    {"applyTwice: b To: x = ( b value: (b value: x) )",
+     "applyTwice: [ :v | v * 3 ] To: 2", 18},
+    {"shapeA = ( | parent* = lobby. area = ( 10 ) | ). "
+     "shapeB = ( | parent* = lobby. area = ( 20 ) | ). "
+     "sumAreas = ( | t <- 0. s | 1 to: 10 Do: [ :i | "
+     "s: (i even ifTrue: [ shapeA ] False: [ shapeB ]). "
+     "t: t + s area ]. t )",
+     "sumAreas", 150},
+    {"fill: n = ( | v. s <- 0 | v: (vectorOfSize: n). "
+     "0 upTo: n Do: [ :i | v at: i Put: i * 2 ]. "
+     "v do: [ :e | s: s + e ]. s )",
+     "fill: 12", 132},
+    {"grid = ( | t <- 0 | 1 to: 6 Do: [ :i | 1 to: 6 Do: [ :j | "
+     "t: t + (i * j) ] ]. t )",
+     "grid", 441},
+    {"isEven: n = ( n == 0 ifTrue: [ 1 ] False: [ isOdd: n - 1 ] ). "
+     "isOdd: n = ( n == 0 ifTrue: [ 0 ] False: [ isEven: n - 1 ] )",
+     "isEven: 14", 1},
+    {"firstSquareOver: lim = ( 1 to: 100 Do: [ :i | "
+     "i * i > lim ifTrue: [ ^ i ] ]. 0 )",
+     "firstSquareOver: 300", 18},
+    {"mix: n = ( | t <- 0 | 1 to: n Do: [ :i | "
+     "t: t + ((i * 3) % 7) + (i % 5) ]. t )",
+     "mix: 40", 202},
+    {"tr = ( | c <- 0 | 9 timesRepeat: [ c: c + 3 ]. c )", "tr", 27},
+};
+constexpr size_t kNumScripts = sizeof(kScripts) / sizeof(kScripts[0]);
+
+std::string prelude() {
+  std::string S;
+  for (size_t I = 0; I < kNumScripts; ++I) {
+    if (I)
+      S += ". ";
+    S += kScripts[I].Defs;
+  }
+  return S;
+}
+
+struct RunResult {
+  bool Ok = false;
+  double WallSec = 0;
+  double Throughput = 0;  ///< Sessions per second.
+  double P99LatencyUs = 0;
+  double HitRate = 0;     ///< Cross-isolate code-cache hit rate.
+  int64_t Checksum = 0;   ///< Order-independent sum over all sessions.
+  uint64_t SharedHits = 0, SharedPublishes = 0;
+};
+
+/// Drains kSessions sessions with \p Threads workers, each owning one
+/// persistent pre-warmed isolate. Sessions are claimed from one atomic
+/// counter, so scheduling is load-balanced and the checksum is summed
+/// order-independently.
+RunResult runStorm(int Threads) {
+  RunResult Out;
+  SharedRuntime RT(1);
+  std::vector<std::unique_ptr<Isolate>> Isolates;
+  const std::string Prelude = prelude();
+  for (int I = 0; I < Threads; ++I) {
+    Isolates.push_back(RT.createIsolate());
+    std::string Err;
+    if (!Isolates.back()->vm().load(Prelude, Err)) {
+      fprintf(stderr, "FAIL prelude (isolate %d): %s\n", I, Err.c_str());
+      return Out;
+    }
+  }
+
+  std::atomic<int> Next{0};
+  std::atomic<int64_t> Checksum{0};
+  std::atomic<bool> Failed{false};
+  std::vector<std::vector<double>> Latencies(Threads);
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      VirtualMachine &VM = Isolates[W]->vm();
+      std::string Err;
+      Latencies[W].reserve(kSessions / Threads + 1);
+      for (int S = Next.fetch_add(1); S < kSessions;
+           S = Next.fetch_add(1)) {
+        const Script &Sc = kScripts[S % kNumScripts];
+        int64_t V = 0;
+        auto L0 = std::chrono::steady_clock::now();
+        bool Ok = VM.evalInt(Sc.Expr, V, Err);
+        auto L1 = std::chrono::steady_clock::now();
+        if (!Ok || V != Sc.Expected) {
+          fprintf(stderr, "FAIL session %d (%s): %s\n", S, Sc.Expr,
+                  Err.c_str());
+          Failed = true;
+          return;
+        }
+        Checksum.fetch_add(V, std::memory_order_relaxed);
+        Latencies[W].push_back(
+            std::chrono::duration<double, std::micro>(L1 - L0).count());
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+  if (Failed)
+    return Out;
+
+  Out.WallSec = std::chrono::duration<double>(T1 - T0).count();
+  Out.Throughput = Out.WallSec > 0 ? kSessions / Out.WallSec : 0;
+  std::vector<double> All;
+  All.reserve(kSessions);
+  for (std::vector<double> &L : Latencies)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  Out.P99LatencyUs = All.empty() ? 0 : All[All.size() * 99 / 100];
+  Out.Checksum = Checksum.load();
+
+  SharedTierStats S = RT.tier().statsSnapshot();
+  Out.HitRate = S.hitRate();
+  ServerTelemetry ST = RT.serverTelemetry();
+  ServerTelemetry::Aggregate Agg = ST.aggregate();
+  Out.SharedHits = Agg.SharedHits;
+  Out.SharedPublishes = Agg.SharedPublishes;
+  Out.Ok = true;
+  Isolates.clear();
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const unsigned Hw = std::thread::hardware_concurrency();
+  std::vector<int> Counts = {1, 2, 4};
+  if (Hw >= 8)
+    Counts.push_back(8);
+
+  printf("E15: Multi-isolate server storm — %d sessions x %zu scripts "
+         "(%u hardware threads)\n",
+         kSessions, kNumScripts, Hw);
+  printf("%-8s %12s %12s %10s %8s %8s %14s\n", "threads", "sessions/s",
+         "p99 us", "hit rate", "hits", "pubs", "checksum");
+
+  JsonReport Report("table_server");
+  Report.note("hardware_threads", std::to_string(Hw));
+
+  bool AllOk = true;
+  std::vector<RunResult> Rows;
+  for (int N : Counts) {
+    RunResult R = runStorm(N);
+    Rows.push_back(R);
+    if (!R.Ok) {
+      AllOk = false;
+      printf("%-8d %12s\n", N, "-");
+      continue;
+    }
+    printf("%-8d %12s %12s %10s %8llu %8llu %14lld\n", N,
+           fixed(R.Throughput, 0).c_str(), fixed(R.P99LatencyUs, 1).c_str(),
+           fixed(R.HitRate, 3).c_str(), (unsigned long long)R.SharedHits,
+           (unsigned long long)R.SharedPublishes, (long long)R.Checksum);
+    std::string Key = "threads" + std::to_string(N);
+    Report.metric(Key + "/throughput_per_sec", R.Throughput);
+    Report.metric(Key + "/p99_latency_us", R.P99LatencyUs);
+    Report.metric(Key + "/cross_isolate_hit_rate", R.HitRate);
+    Report.metric(Key + "/shared_hits", double(R.SharedHits));
+    Report.metric(Key + "/shared_publishes", double(R.SharedPublishes));
+    Report.metric(Key + "/checksum", double(R.Checksum));
+  }
+
+  // Gate 1: identical order-independent checksum at every thread count.
+  bool ChecksumOk = AllOk;
+  for (const RunResult &R : Rows)
+    ChecksumOk = ChecksumOk && R.Checksum == Rows[0].Checksum;
+
+  // Gate 2: the widest run's cross-isolate hit rate. With >1 persistent
+  // isolates sharing one tier, most keyed compile probes after the first
+  // isolate's warm-up must be served from cache.
+  double WideHitRate = Rows.empty() ? 0 : Rows.back().HitRate;
+  bool MultiIsolate = Counts.back() > 1;
+  bool HitRateOk = AllOk && (!MultiIsolate || WideHitRate >= 0.5);
+
+  // Gate 3: throughput scaling — hardware-conditional. On a machine with
+  // fewer than 4 hardware threads the 4-worker run time-slices one core
+  // and the scaling claim is unmeasurable; record the skip in the JSON.
+  double Scaling = 0;
+  bool ScalingOk = true;
+  bool ScalingSkipped = Hw < 4;
+  if (!ScalingSkipped && AllOk) {
+    const RunResult *One = nullptr, *Four = nullptr;
+    for (size_t I = 0; I < Counts.size(); ++I) {
+      if (Counts[I] == 1)
+        One = &Rows[I];
+      if (Counts[I] == 4)
+        Four = &Rows[I];
+    }
+    Scaling = One && Four && One->Throughput > 0
+                  ? Four->Throughput / One->Throughput
+                  : 0;
+    ScalingOk = Scaling >= 3.0;
+  }
+
+  printf("\nchecksums identical across thread counts: %s\n",
+         ChecksumOk ? "ok" : "FAIL");
+  printf("cross-isolate code-cache hit rate %s (>= 0.5 required): %s\n",
+         fixed(WideHitRate, 3).c_str(), HitRateOk ? "ok" : "FAIL");
+  if (ScalingSkipped)
+    printf("throughput scaling at 4 threads: skipped (%u hardware threads "
+           "< 4)\n",
+           Hw);
+  else
+    printf("throughput scaling at 4 threads: %sx (>= 3x required): %s\n",
+           fixed(Scaling, 2).c_str(), ScalingOk ? "ok" : "FAIL");
+
+  Report.metric("checksums_identical", ChecksumOk ? 1 : 0);
+  Report.metric("wide_hit_rate", WideHitRate);
+  if (ScalingSkipped)
+    Report.note("scaling_gate",
+                "skipped: fewer than 4 hardware threads (" +
+                    std::to_string(Hw) + ")");
+  else
+    Report.metric("scaling_4t_vs_1t", Scaling);
+
+  bool Pass = AllOk && ChecksumOk && HitRateOk && ScalingOk;
+  Report.pass(Pass);
+  Report.write();
+  return Pass ? 0 : 1;
+}

@@ -4,22 +4,63 @@
 // inspect what the optimizing compiler did. This is the README's opening
 // example.
 //
+// `quickstart --isolates N` runs the same program in N isolates of one
+// SharedRuntime instead — the multi-isolate server mode, where isolates
+// share interned selectors, parsed ASTs, and compiled code (isolate 2..N
+// rehydrate what isolate 1 compiled) while heap and caches stay private —
+// and prints the server-wide telemetry roll-up.
+//
 //===----------------------------------------------------------------------===//
 
+#include "driver/isolate.h"
 #include "driver/vm.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
 
 using namespace mself;
 
-int main() {
-  // One VirtualMachine = one mini-SELF world + one compiler configuration.
-  // Policy::newSelf() is the paper's optimizing compiler; Policy::oldSelf()
-  // and Policy::st80() are the comparison systems.
-  VirtualMachine VM(Policy::newSelf());
+namespace {
 
+/// The server-mode variant: N isolates, one shared immutable code tier.
+int runIsolates(int N, const char *Program) {
+  SharedRuntime RT(1);
+  std::vector<std::unique_ptr<Isolate>> Isolates;
+  for (int I = 0; I < N; ++I) {
+    Isolates.push_back(RT.createIsolate());
+    std::string Err;
+    if (!Isolates.back()->load(Program, Err)) {
+      fprintf(stderr, "isolate %d load failed: %s\n", I, Err.c_str());
+      return 1;
+    }
+    Interpreter::Outcome O = Isolates.back()->eval("compound: 5 Over: 20");
+    if (!O.Ok) {
+      fprintf(stderr, "isolate %d eval failed: %s\n", I, O.Message.c_str());
+      return 1;
+    }
+    printf("isolate %d: 10000 at 5%% compounded over 20 years: %s\n", I,
+           O.Result.describe().c_str());
+  }
+
+  // The roll-up shows the sharing: one parse and one compile per method
+  // process-wide; later isolates' compile probes hit the shared tier.
+  printf("\n");
+  RT.serverTelemetry().print(stdout);
+  Isolates.clear();
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int NumIsolates = 0;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--isolates") == 0 && I + 1 < argc)
+      NumIsolates = std::atoi(argv[I + 1]);
   // Load definitions: slots installed on the lobby (the global namespace).
-  std::string Err;
   const char *Program = R"SELF(
     "A bank account prototype. Objects are created by cloning."
     account = ( | parent* = lobby. balance <- 0.
@@ -38,6 +79,16 @@ int main() {
       years timesRepeat: [ acct deposit: (acct balance * rate) / 100 ].
       acct balance ).
   )SELF";
+
+  // Server mode: the same program across N isolates of one SharedRuntime.
+  if (NumIsolates > 0)
+    return runIsolates(NumIsolates, Program);
+
+  // One VirtualMachine = one mini-SELF world + one compiler configuration.
+  // Policy::newSelf() is the paper's optimizing compiler; Policy::oldSelf()
+  // and Policy::st80() are the comparison systems.
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
   if (!VM.load(Program, Err)) {
     fprintf(stderr, "load failed: %s\n", Err.c_str());
     return 1;

@@ -62,6 +62,50 @@ Policy Policy::baselinePolicy() const {
   return B;
 }
 
+uint64_t Policy::fingerprint() const {
+  // FNV-1a over every field except Name, in declaration order. Keep in
+  // sync with the struct: a knob missing here would let two isolates with
+  // different codegen share artifacts.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= static_cast<uint8_t>(V >> (I * 8));
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(Customize);
+  Mix(Inlining);
+  Mix(TypePrediction);
+  Mix(TypeAnalysis);
+  Mix(TrackLocalTypes);
+  Mix(RangeAnalysis);
+  Mix(LocalSplitting);
+  Mix(ExtendedSplitting);
+  Mix(IterativeLoops);
+  Mix(LoopHeadGeneralization);
+  Mix(static_cast<uint64_t>(SplitThreshold));
+  Mix(static_cast<uint64_t>(MaxInlineSize));
+  Mix(static_cast<uint64_t>(MaxInlineDepth));
+  Mix(static_cast<uint64_t>(MaxLoopIterations));
+  Mix(InlineCaches);
+  Mix(PolymorphicInlineCaches);
+  Mix(static_cast<uint64_t>(PicArity));
+  Mix(UseGlobalLookupCache);
+  Mix(static_cast<uint64_t>(GlobalLookupCacheEntries));
+  Mix(ThreadedDispatch);
+  Mix(OpcodeQuickening);
+  Mix(Superinstructions);
+  Mix(GenerationalGc);
+  Mix(static_cast<uint64_t>(GcNurseryKiB));
+  Mix(static_cast<uint64_t>(GcPromotionAge));
+  Mix(static_cast<uint64_t>(GcThresholdKiB));
+  Mix(TieredCompilation);
+  Mix(static_cast<uint64_t>(TierUpThreshold));
+  Mix(BackgroundCompile);
+  Mix(static_cast<uint64_t>(BackgroundQueueCap));
+  return H;
+}
+
 Policy Policy::pureInterp() {
   Policy P = st80();
   P.Name = "pureinterp";

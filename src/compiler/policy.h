@@ -17,6 +17,7 @@
 #ifndef MINISELF_COMPILER_POLICY_H
 #define MINISELF_COMPILER_POLICY_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -85,7 +86,7 @@ struct Policy {
   /// Entries per PIC site before the megamorphic transition (clamped to
   /// 1..InlineCache::kCapacity by the interpreter).
   int PicArity = 4;
-  /// Hashed process-wide (map, selector) lookup cache serving megamorphic
+  /// Hashed per-world (map, selector) lookup cache serving megamorphic
   /// sites, cold PIC misses, and compile-time lookups.
   bool UseGlobalLookupCache = true;
   /// Global lookup cache size in entries (rounded up to a power of two).
@@ -173,6 +174,12 @@ struct Policy {
   /// customization and all dispatch-path knobs preserved so code-cache keys
   /// and send-site behaviour stay consistent across tiers.
   Policy baselinePolicy() const;
+
+  /// Structural hash of every code-shaping knob (Name excluded): the policy
+  /// component of the shared code tier's artifact key. Two isolates share
+  /// compiled code only when their fingerprints match, so a renamed preset
+  /// with equal flags still shares and any flag divergence forks the key.
+  uint64_t fingerprint() const;
 
   static Policy st80();
   static Policy oldSelf();

@@ -1,0 +1,67 @@
+//===-- driver/isolate.cpp - Multi-isolate server runtime -------------------===//
+
+#include "driver/isolate.h"
+
+#include "interp/compile_service.h"
+#include "runtime/shared_tier.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mself;
+
+//===----------------------------------------------------------------------===//
+// Isolate
+//===----------------------------------------------------------------------===//
+
+Isolate::Isolate(SharedRuntime &RT, uint64_t Id, Policy P)
+    : RT(RT), Id(Id),
+      Vm(std::move(P), &RT.tier(), &RT.compileService()) {}
+
+Isolate::~Isolate() { RT.unregister(this); }
+
+//===----------------------------------------------------------------------===//
+// SharedRuntime
+//===----------------------------------------------------------------------===//
+
+SharedRuntime::SharedRuntime(int CompileWorkers)
+    : Tier(std::make_unique<SharedTier>()),
+      Service(std::make_unique<CompileService>(CompileWorkers)) {}
+
+SharedRuntime::~SharedRuntime() {
+  // Isolates hold references into the tier and the service; destroying the
+  // runtime under them would leave their VMs dangling.
+  assert(Isolates.empty() && "destroy every Isolate before its SharedRuntime");
+}
+
+std::unique_ptr<Isolate> SharedRuntime::createIsolate(Policy P) {
+  uint64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  // Private constructor: can't go through make_unique.
+  std::unique_ptr<Isolate> I(new Isolate(*this, Id, std::move(P)));
+  std::lock_guard<std::mutex> L(RegMutex);
+  Isolates.push_back(I.get());
+  return I;
+}
+
+void SharedRuntime::unregister(Isolate *I) {
+  std::lock_guard<std::mutex> L(RegMutex);
+  Isolates.erase(std::remove(Isolates.begin(), Isolates.end(), I),
+                 Isolates.end());
+}
+
+size_t SharedRuntime::isolateCount() const {
+  std::lock_guard<std::mutex> L(RegMutex);
+  return Isolates.size();
+}
+
+ServerTelemetry SharedRuntime::serverTelemetry() const {
+  ServerTelemetry T;
+  T.Shared = Tier->statsSnapshot();
+  T.ServiceWorkers = static_cast<uint64_t>(Service->workerCount());
+  T.ServiceJobsExecuted = Service->jobsExecuted();
+  std::lock_guard<std::mutex> L(RegMutex);
+  T.Isolates.reserve(Isolates.size());
+  for (Isolate *I : Isolates)
+    T.Isolates.push_back(I->Vm.telemetry());
+  return T;
+}

@@ -1,0 +1,113 @@
+//===-- driver/isolate.h - Multi-isolate server runtime ---------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-mode entry point: one SharedRuntime owns the process-wide
+/// immutable artifacts (interned selectors, parsed ASTs, compiled-code
+/// artifacts — the SharedTier) and a fixed pool of compile workers (the
+/// CompileService); each Isolate it creates is a full VirtualMachine —
+/// private heap, world, dispatch caches, interpreter — that interns,
+/// parses, and compiles *through* the shared tier. Mutable state never
+/// crosses isolates: a shape mutation in one isolate forks its cache keys
+/// (copy-on-write) instead of invalidating anything its neighbours run.
+///
+/// Threading: each isolate belongs to one mutator thread at a time, exactly
+/// like a standalone VirtualMachine. SharedRuntime::createIsolate() and the
+/// shared tier underneath are thread-safe, so worker threads may create and
+/// run their own isolates concurrently.
+///
+/// Teardown order: every Isolate must be destroyed before its SharedRuntime
+/// (the tier and the service must outlive every VM attached to them —
+/// enforced by an assert in ~SharedRuntime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_DRIVER_ISOLATE_H
+#define MINISELF_DRIVER_ISOLATE_H
+
+#include "driver/telemetry.h"
+#include "driver/vm.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mself {
+
+class SharedRuntime;
+
+/// One tenant of a SharedRuntime: a VirtualMachine wired to the runtime's
+/// shared tier and compile service, plus a stable id. Everything a
+/// standalone VM can do, an isolate can do — load, eval, telemetry — and
+/// the semantics are identical by construction (sharing only short-cuts
+/// compilation, never changes its result).
+class Isolate {
+public:
+  ~Isolate();
+
+  uint64_t id() const { return Id; }
+  VirtualMachine &vm() { return Vm; }
+
+  /// Conveniences forwarding to the VM, so server code reads naturally.
+  bool load(const std::string &Source, std::string &ErrOut) {
+    return Vm.load(Source, ErrOut);
+  }
+  Interpreter::Outcome eval(const std::string &Source) {
+    return Vm.eval(Source);
+  }
+
+private:
+  friend class SharedRuntime;
+  Isolate(SharedRuntime &RT, uint64_t Id, Policy P);
+
+  SharedRuntime &RT;
+  uint64_t Id;
+  VirtualMachine Vm;
+};
+
+/// The process-wide half of server mode: shared tier + compile service +
+/// the isolate registry. Create one per server, then one Isolate per
+/// session/worker.
+class SharedRuntime {
+public:
+  /// \p CompileWorkers sizes the shared background-compile pool (clamped
+  /// to >= 1). Isolates whose policy disables background compilation
+  /// simply never enqueue to it.
+  explicit SharedRuntime(int CompileWorkers = 1);
+  ~SharedRuntime();
+
+  SharedTier &tier() { return *Tier; }
+  CompileService &compileService() { return *Service; }
+
+  /// Creates a registered isolate. Thread-safe. The returned isolate must
+  /// be destroyed before this runtime.
+  std::unique_ptr<Isolate> createIsolate(Policy P = Policy::newSelf());
+
+  size_t isolateCount() const;
+
+  /// The server-wide telemetry roll-up: shared-tier counters, compile-pool
+  /// counters, and one VmTelemetry per live isolate (in creation order).
+  /// Call only while every isolate is quiescent — per-isolate counters are
+  /// mutator-thread state and are snapshotted here without synchronization.
+  ServerTelemetry serverTelemetry() const;
+
+private:
+  friend class Isolate;
+  void unregister(Isolate *I);
+
+  std::unique_ptr<SharedTier> Tier;
+  std::unique_ptr<CompileService> Service;
+
+  mutable std::mutex RegMutex;
+  std::vector<Isolate *> Isolates; ///< Live isolates, creation order.
+  std::atomic<uint64_t> NextId{1};
+};
+
+} // namespace mself
+
+#endif // MINISELF_DRIVER_ISOLATE_H

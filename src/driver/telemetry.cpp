@@ -86,6 +86,10 @@ void emitAll(const VmTelemetry &T, Emitter &E) {
   E.u("bg_cancelled", T.Tier.BackgroundCancelled);
   E.u("bg_sync_fallbacks", T.Tier.BackgroundSyncFallbacks);
   E.f("bg_compile_seconds", T.Tier.BackgroundCompileSeconds);
+  E.u("shared_hits", T.Tier.SharedHits);
+  E.u("shared_publishes", T.Tier.SharedPublishes);
+  E.u("shared_rehydrate_failures", T.Tier.SharedRehydrateFailures);
+  E.u("shared_local_fallbacks", T.Tier.SharedLocalFallbacks);
   E.u("live_functions", T.Tier.LiveFunctions);
   E.u("retired_functions", T.Tier.RetiredFunctions);
   E.u("invalidated_functions", T.Tier.InvalidatedFunctions);
@@ -190,6 +194,108 @@ std::string VmTelemetry::toJson() const {
 }
 
 void VmTelemetry::print(FILE *Out) const {
+  std::string S = formatStats();
+  fwrite(S.data(), 1, S.size(), Out);
+}
+
+//===----------------------------------------------------------------------===//
+// ServerTelemetry
+//===----------------------------------------------------------------------===//
+
+ServerTelemetry::Aggregate ServerTelemetry::aggregate() const {
+  Aggregate A;
+  for (const VmTelemetry &T : Isolates) {
+    A.Sends += T.Exec.Sends;
+    A.Instructions += T.Exec.Instructions;
+    A.BaselineCompiles += T.Tier.BaselineCompiles;
+    A.OptimizedCompiles += T.Tier.OptimizedCompiles;
+    A.SharedHits += T.Tier.SharedHits;
+    A.SharedPublishes += T.Tier.SharedPublishes;
+    A.SharedRehydrateFailures += T.Tier.SharedRehydrateFailures;
+    A.SharedLocalFallbacks += T.Tier.SharedLocalFallbacks;
+    A.Invalidations += T.Tier.Invalidations;
+    A.InlineCacheFlushes += T.Dispatch.InlineCacheFlushes;
+    A.Scavenges += T.Gc.Scavenges;
+    A.FullCollections += T.Gc.FullCollections;
+    A.MutatorStallSeconds += T.Tier.MutatorStallSeconds;
+  }
+  return A;
+}
+
+namespace {
+
+/// Shared/service/aggregate scalars through the same dual-sink scheme as
+/// VmTelemetry, so the two serializations cannot drift.
+void emitServer(const ServerTelemetry &T, Emitter &E) {
+  E.section("shared");
+  E.u("interned_strings", T.Shared.InternedStrings);
+  E.u("ast_hits", T.Shared.AstHits);
+  E.u("ast_misses", T.Shared.AstMisses);
+  E.u("ast_programs", T.Shared.AstPrograms);
+  E.u("code_hits", T.Shared.CodeHits);
+  E.u("code_misses", T.Shared.CodeMisses);
+  E.u("code_waits", T.Shared.CodeWaits);
+  E.u("code_unportable_probes", T.Shared.CodeUnportableProbes);
+  E.u("code_fills", T.Shared.CodeFills);
+  E.u("code_unportable_marks", T.Shared.CodeUnportableMarks);
+  E.u("rehydrate_failures", T.Shared.RehydrateFailures);
+  E.u("artifacts", T.Shared.Artifacts);
+  E.f("hit_rate", T.Shared.hitRate());
+
+  E.section("service");
+  E.u("workers", T.ServiceWorkers);
+  E.u("jobs_executed", T.ServiceJobsExecuted);
+
+  ServerTelemetry::Aggregate A = T.aggregate();
+  E.section("agg");
+  E.u("isolates", T.Isolates.size());
+  E.u("sends", A.Sends);
+  E.u("instructions", A.Instructions);
+  E.u("baseline_compiles", A.BaselineCompiles);
+  E.u("optimized_compiles", A.OptimizedCompiles);
+  E.u("shared_hits", A.SharedHits);
+  E.u("shared_publishes", A.SharedPublishes);
+  E.u("shared_rehydrate_failures", A.SharedRehydrateFailures);
+  E.u("shared_local_fallbacks", A.SharedLocalFallbacks);
+  E.u("invalidations", A.Invalidations);
+  E.u("inline_cache_flushes", A.InlineCacheFlushes);
+  E.u("scavenges", A.Scavenges);
+  E.u("full_collections", A.FullCollections);
+  E.f("mutator_stall_seconds", A.MutatorStallSeconds);
+}
+
+} // namespace
+
+std::string ServerTelemetry::formatStats() const {
+  std::string S;
+  S.reserve(2048);
+  appendf(S, "miniself.server_telemetry schema=%d isolates=%zu\n",
+          kSchemaVersion, Isolates.size());
+  TextEmitter E(S);
+  emitServer(*this, E);
+  return S;
+}
+
+std::string ServerTelemetry::toJson() const {
+  std::string S;
+  S.reserve(4096);
+  appendf(S, "{\n  \"schema\": %d,\n  \"isolates\": %zu", kSchemaVersion,
+          Isolates.size());
+  JsonEmitter E(S);
+  emitServer(*this, E);
+  E.closeSection();
+  S += ",\n  \"per_isolate\": [";
+  for (size_t I = 0; I < Isolates.size(); ++I) {
+    if (I)
+      S += ",";
+    S += "\n";
+    S += Isolates[I].toJson();
+  }
+  S += "]\n}\n";
+  return S;
+}
+
+void ServerTelemetry::print(FILE *Out) const {
   std::string S = formatStats();
   fwrite(S.data(), 1, S.size(), Out);
 }

@@ -32,6 +32,7 @@
 #define MINISELF_DRIVER_TELEMETRY_H
 
 #include "interp/interp.h"
+#include "runtime/shared_tier.h"
 #include "vm/heap.h"
 
 #include <cstdint>
@@ -46,7 +47,9 @@ namespace mself {
 struct VmTelemetry {
   /// Bumped whenever a key is added, removed, or renamed; emitted in the
   /// header line so consumers can detect schema drift.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: tier section gained the shared-code-tier counters (shared_hits,
+  /// shared_publishes, shared_rehydrate_failures, shared_local_fallbacks).
+  static constexpr int kSchemaVersion = 2;
 
   std::string PolicyName;    ///< Policy::Name of the VM's configuration.
   bool Background = false;   ///< Background compile queue active.
@@ -71,6 +74,44 @@ struct VmTelemetry {
 
   /// Writes formatStats() to \p Out with a single fwrite — atomic with
   /// respect to other threads' stream writes, so dumps are never torn.
+  void print(FILE *Out) const;
+};
+
+/// The multi-isolate roll-up: the shared tier's process-wide counters, the
+/// compile service's, and one VmTelemetry per live isolate with sums over
+/// them. Obtain via SharedRuntime::serverTelemetry() — only while every
+/// isolate is quiescent (per-isolate counters are mutator-thread state and
+/// are read here without synchronization).
+struct ServerTelemetry {
+  static constexpr int kSchemaVersion = 1;
+
+  SharedTierStats Shared; ///< Interner / AST cache / artifact cache.
+  uint64_t ServiceWorkers = 0;      ///< Shared compile pool size (0: none).
+  uint64_t ServiceJobsExecuted = 0; ///< Background jobs run by the pool.
+  std::vector<VmTelemetry> Isolates; ///< Per-isolate snapshots, by id order.
+
+  /// Fraction of keyed compile probes served by an existing shared
+  /// artifact — the server bench's headline cache metric.
+  double crossIsolateHitRate() const { return Shared.hitRate(); }
+
+  /// Sums over the per-isolate snapshots (the `agg.*` keys).
+  struct Aggregate {
+    uint64_t Sends = 0, Instructions = 0;
+    uint64_t BaselineCompiles = 0, OptimizedCompiles = 0;
+    uint64_t SharedHits = 0, SharedPublishes = 0;
+    uint64_t SharedRehydrateFailures = 0, SharedLocalFallbacks = 0;
+    uint64_t Invalidations = 0, InlineCacheFlushes = 0;
+    uint64_t Scavenges = 0, FullCollections = 0;
+    double MutatorStallSeconds = 0;
+  };
+  Aggregate aggregate() const;
+
+  /// `shared.*` + `service.*` + `agg.*` keys in the VmTelemetry text style
+  /// (per-isolate detail is JSON-only to keep the text diffable).
+  std::string formatStats() const;
+  /// Everything, including a `per_isolate` array of full VmTelemetry
+  /// objects.
+  std::string toJson() const;
   void print(FILE *Out) const;
 };
 

@@ -4,10 +4,14 @@
 
 #include "compiler/compile.h"
 #include "interp/compile_queue.h"
+#include "interp/compile_service.h"
+#include "runtime/shared_tier.h"
 
 using namespace mself;
 
-VirtualMachine::VirtualMachine(Policy P) : Pol(Policy::fromEnv(std::move(P))) {
+VirtualMachine::VirtualMachine(Policy P, SharedTier *Tier,
+                               CompileService *Service)
+    : Pol(Policy::fromEnv(std::move(P))) {
   // Collector configuration must precede the first allocation — the world
   // boot below already allocates. Environment overrides (the
   // check-gc-stress / check-tsan targets' MINISELF_GC_STRESS and
@@ -23,9 +27,12 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(Policy::fromEnv(std::move(P))) {
                          : Heap::kDefaultGcThresholdBytes;
   TheHeap.configureGc(Pol.GenerationalGc, Nursery, Age, Threshold);
 
-  TheWorld = std::make_unique<World>(TheHeap);
+  TheWorld = std::make_unique<World>(TheHeap, Tier);
   World *W = TheWorld.get();
   const Policy *Pp = &Pol;
+  if (Tier)
+    Bridge = std::make_unique<SharedCodeBridge>(*Tier, *TheWorld,
+                                                Pol.fingerprint());
   // Tiered execution: baseline-tier requests compile under the derived
   // cheap policy; everything else (first-call compiles with tiering off,
   // and promotions) uses the full configured policy.
@@ -38,6 +45,7 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(Policy::fromEnv(std::move(P))) {
         return compileFunction(*W, Req.BaselineTier ? BP : *Pp, Req);
       },
       TC);
+  Code->setSharedBridge(Bridge.get());
 
   // Dispatch fast-path configuration: the global (map, selector) cache
   // lives in the world; the per-site PIC knobs ride into the interpreter.
@@ -67,7 +75,7 @@ VirtualMachine::VirtualMachine(Policy P) : Pol(Policy::fromEnv(std::move(P))) {
         [W, Pp, BP = Pol.baselinePolicy()](const CompileRequest &Req) {
           return compileFunction(*W, Req.BaselineTier ? BP : *Pp, Req);
         },
-        Pol.BackgroundQueueCap);
+        Pol.BackgroundQueueCap, Service);
     Code->setBackgroundQueue(BgQueue.get());
   }
 
@@ -111,16 +119,6 @@ VmTelemetry VirtualMachine::telemetry() const {
   T.Events.assign(Log.events().begin(), Log.events().end());
   T.EventsRecorded = Log.totalRecorded();
   return T;
-}
-
-TierStats VirtualMachine::tierStats() const { return Code->tierStats(); }
-
-const CompilationEventLog &VirtualMachine::compilationEvents() const {
-  return Code->eventLog();
-}
-
-DispatchStats VirtualMachine::dispatchStats() const {
-  return buildDispatchStats();
 }
 
 DispatchStats VirtualMachine::buildDispatchStats() const {
@@ -173,8 +171,6 @@ DispatchStats VirtualMachine::buildDispatchStats() const {
   S.DequickenedSites = Code->dequickenedSites();
   return S;
 }
-
-void VirtualMachine::printStats(FILE *Out) const { telemetry().print(Out); }
 
 bool VirtualMachine::load(const std::string &Source, std::string &ErrOut) {
   std::vector<const ast::Code *> Exprs;

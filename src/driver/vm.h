@@ -27,12 +27,26 @@
 
 namespace mself {
 
+class SharedTier;
+class CompileService;
+
 class VirtualMachine {
 public:
-  explicit VirtualMachine(Policy P = Policy::newSelf());
+  /// A standalone VM owns everything. With \p Tier (a SharedRuntime's
+  /// shared code tier) the VM becomes one *isolate*: it interns and parses
+  /// through the tier, probes it for compiled-code artifacts before
+  /// compiling, and publishes its own compiles for other isolates — while
+  /// heap, world, dispatch caches, and interpreter stay fully private.
+  /// With \p Service as well, background tier-up jobs drain on the shared
+  /// compile pool instead of a per-VM worker thread. Both must outlive the
+  /// VM; both default to null (the single-VM configuration, unchanged).
+  explicit VirtualMachine(Policy P = Policy::newSelf(),
+                          SharedTier *Tier = nullptr,
+                          CompileService *Service = nullptr);
   /// Tears down in dependency order; with background compilation on, the
-  /// compile queue shuts down first (worker joined, in-flight job allowed
-  /// to finish, pending jobs dropped) so no thread outlives the world.
+  /// compile queue shuts down first (worker joined or service drained,
+  /// in-flight job allowed to finish, pending jobs dropped) so no thread
+  /// outlives the world.
   ~VirtualMachine();
 
   /// Loads \p Source: slot definitions install on the lobby; expression
@@ -68,24 +82,8 @@ public:
   /// Serialize with VmTelemetry::print()/formatStats()/toJson().
   VmTelemetry telemetry() const;
 
-  /// \deprecated Use telemetry().Dispatch.
-  [[deprecated("use telemetry().Dispatch")]] DispatchStats
-  dispatchStats() const;
-
-  /// \deprecated Use telemetry().Tier.
-  [[deprecated("use telemetry().Tier")]] TierStats tierStats() const;
-
-  /// \deprecated Use telemetry().Events / telemetry().EventsRecorded.
-  [[deprecated("use telemetry().Events")]] const CompilationEventLog &
-  compilationEvents() const;
-
-  /// \deprecated Use telemetry().Gc.
-  [[deprecated("use telemetry().Gc")]] const GcStats &gcStats() const {
-    return TheHeap.stats();
-  }
-
-  /// \deprecated Use telemetry().print(Out).
-  [[deprecated("use telemetry().print(Out)")]] void printStats(FILE *Out) const;
+  /// The shared-tier doorway, or null for a standalone VM.
+  SharedCodeBridge *sharedBridge() { return Bridge.get(); }
 
 private:
   /// Assembles the dispatch section of the telemetry snapshot (dynamic
@@ -95,10 +93,14 @@ private:
   Policy Pol;
   Heap TheHeap;
   std::unique_ptr<World> TheWorld;
+  /// Mutator-thread-only doorway to the SharedRuntime's code tier (null
+  /// standalone). Before Code: the code cache probes it on every miss.
+  std::unique_ptr<SharedCodeBridge> Bridge;
   std::unique_ptr<CodeManager> Code;
   std::unique_ptr<Interpreter> Interp;
-  /// Declared last: destroyed first, joining the worker thread before the
-  /// world, heap, or code cache it reads go away.
+  /// Declared last: destroyed first, joining the worker thread (or
+  /// detaching from the compile service) before the world, heap, or code
+  /// cache it reads go away.
   std::unique_ptr<CompileQueue> BgQueue;
 };
 

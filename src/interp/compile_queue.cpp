@@ -2,17 +2,22 @@
 
 #include "interp/compile_queue.h"
 
+#include "interp/compile_service.h"
 #include "support/stopwatch.h"
 
 #include <cassert>
 
 using namespace mself;
 
-CompileQueue::CompileQueue(World &W, Heap &H, CompileFn Compiler, int Cap)
-    : W(W), H(H), Compiler(std::move(Compiler)), Cap(Cap) {
+CompileQueue::CompileQueue(World &W, Heap &H, CompileFn Compiler, int Cap,
+                           CompileService *Svc)
+    : W(W), H(H), Compiler(std::move(Compiler)), Cap(Cap), Svc(Svc) {
   H.setGcGate(&Gate);
   H.addRootProvider(this);
-  Worker = std::thread([this] { workerLoop(); });
+  if (Svc)
+    Svc->attach(this);
+  else
+    Worker = std::thread([this] { workerLoop(); });
 }
 
 CompileQueue::~CompileQueue() {
@@ -23,8 +28,14 @@ CompileQueue::~CompileQueue() {
     // PromotionPending flag, and the VM is going away anyway.
     Pending.clear();
   }
-  WorkCV.notify_all();
-  Worker.join();
+  if (Svc) {
+    // Blocks until no service worker still runs one of our jobs; after
+    // detach() no worker can reach this queue again.
+    Svc->detach(this);
+  } else {
+    WorkCV.notify_all();
+    Worker.join();
+  }
   H.removeRootProvider(this);
   H.setGcGate(nullptr);
 }
@@ -39,8 +50,29 @@ bool CompileQueue::enqueue(CompiledFunction *Old, const CompileRequest &Req) {
     J->Access.setFirstWalkHook(FirstWalkHook);
   Pending.push_back(std::move(J));
   L.unlock();
-  WorkCV.notify_one();
+  // Queue mutex released first: the service takes its own mutex, and the
+  // worker side nests service mutex -> queue mutex (serviceTake), so
+  // notifying while still holding the queue mutex would invert the order.
+  if (Svc)
+    Svc->notifyWork();
+  else
+    WorkCV.notify_one();
   return true;
+}
+
+std::unique_ptr<CompileQueue::Job> CompileQueue::serviceTake() {
+  std::lock_guard<std::mutex> L(QueueMutex);
+  if (Stopping || InFlight || Pending.empty())
+    return nullptr;
+  std::unique_ptr<Job> J = std::move(Pending.front());
+  Pending.pop_front();
+  InFlight = J.get();
+  return J;
+}
+
+bool CompileQueue::serviceTakeable() const {
+  std::lock_guard<std::mutex> L(QueueMutex);
+  return !Stopping && !InFlight && !Pending.empty();
 }
 
 std::vector<std::unique_ptr<CompileQueue::Job>> CompileQueue::takeDone() {
@@ -110,6 +142,27 @@ void CompileQueue::traceRoots(GcVisitor &V) {
   }
 }
 
+void CompileQueue::runJob(std::unique_ptr<Job> J) {
+  // The gate spans the compile *and* the publication below: until the
+  // job is on the Done list (where traceRoots covers it), the values it
+  // reads and the literals it accumulates are invisible to the
+  // collector, so collections must not run. Safepoint GC try_locks and
+  // defers instead of blocking — the mutator never waits on a compile.
+  Gate.lock();
+  Stopwatch Timer;
+  if (!J->Access.cancelled())
+    J->Result = Compiler(J->Req);
+  J->Seconds = Timer.elapsedSeconds();
+  {
+    std::lock_guard<std::mutex> L(QueueMutex);
+    InFlight = nullptr;
+    Done.push_back(std::move(J));
+    DoneCount.store(Done.size(), std::memory_order_relaxed);
+  }
+  Gate.unlock();
+  IdleCV.notify_all();
+}
+
 void CompileQueue::workerLoop() {
   for (;;) {
     std::unique_ptr<Job> J;
@@ -122,24 +175,6 @@ void CompileQueue::workerLoop() {
       Pending.pop_front();
       InFlight = J.get();
     }
-
-    // The gate spans the compile *and* the publication below: until the
-    // job is on the Done list (where traceRoots covers it), the values it
-    // reads and the literals it accumulates are invisible to the
-    // collector, so collections must not run. Safepoint GC try_locks and
-    // defers instead of blocking — the mutator never waits on a compile.
-    Gate.lock();
-    Stopwatch Timer;
-    if (!J->Access.cancelled())
-      J->Result = Compiler(J->Req);
-    J->Seconds = Timer.elapsedSeconds();
-    {
-      std::lock_guard<std::mutex> L(QueueMutex);
-      InFlight = nullptr;
-      Done.push_back(std::move(J));
-      DoneCount.store(Done.size(), std::memory_order_relaxed);
-    }
-    Gate.unlock();
-    IdleCV.notify_all();
+    runJob(std::move(J));
   }
 }

@@ -61,10 +61,19 @@
 
 namespace mself {
 
-/// Bounded queue of tier-up compilation jobs plus the worker thread that
-/// drains it. Sized for one worker (the paper's machines were
-/// single-compiler too) but the protocol admits a pool: every worker-side
-/// structure is per-job, and the pending deque is the only shared feed.
+class CompileService;
+
+/// Bounded queue of tier-up compilation jobs plus the worker that drains
+/// it. Two drain modes share one protocol:
+///
+///  - **Standalone** (default): the queue spawns its own worker thread —
+///    the single-VM configuration, exactly as before.
+///  - **Service**: constructed with a CompileService, the queue spawns no
+///    thread; the service's shared worker pool drains every attached
+///    isolate's queue through serviceTake()/serviceRun(). At most one of a
+///    queue's jobs is in flight at a time (serviceTake refuses while one
+///    is), which keeps onShapeMutation's cancellation rule — "the in-flight
+///    job" — meaningful per isolate.
 class CompileQueue : public RootProvider {
 public:
   /// One asynchronous promotion. Old is touched only by the mutator; the
@@ -82,13 +91,18 @@ public:
     }
   };
 
-  /// Starts the worker. Registers the GC gate with \p H and this queue as
-  /// a root provider. \p Cap bounds the pending deque; enqueue() beyond it
-  /// reports saturation (<= 0 rejects everything, forcing the synchronous
-  /// fallback — used to exercise that path deterministically).
-  CompileQueue(World &W, Heap &H, CompileFn Compiler, int Cap);
-  /// Stops and joins the worker: the in-flight job finishes (its result is
-  /// simply never installed), pending jobs are dropped.
+  /// Registers the GC gate with \p H and this queue as a root provider,
+  /// then starts a dedicated worker — or, when \p Svc is given, attaches
+  /// to the shared service instead (no thread of its own; \p Svc must
+  /// outlive this queue). \p Cap bounds the pending deque; enqueue() beyond
+  /// it reports saturation (<= 0 rejects everything, forcing the
+  /// synchronous fallback — used to exercise that path deterministically).
+  CompileQueue(World &W, Heap &H, CompileFn Compiler, int Cap,
+               CompileService *Svc = nullptr);
+  /// Stops draining: the in-flight job finishes (its result is simply
+  /// never installed), pending jobs are dropped. Standalone: joins the
+  /// worker. Service: detaches, blocking until no service worker still
+  /// runs one of this queue's jobs.
   ~CompileQueue() override;
 
   /// Queues a promotion of \p Old. \returns false when saturated; the
@@ -126,13 +140,30 @@ public:
 
   void traceRoots(GcVisitor &V) override;
 
+  //===--- Service-mode handoff (CompileService workers only) -----------===//
+
+  /// Pops the next pending job and marks it in flight, or returns null when
+  /// stopped, empty, or a job of this queue is already in flight. Called
+  /// under the service mutex (lock order: service mutex -> queue mutex).
+  std::unique_ptr<Job> serviceTake();
+  /// Non-popping preview of serviceTake() for the workers' wait predicate.
+  bool serviceTakeable() const;
+  /// Runs a job obtained from serviceTake() on the calling (service
+  /// worker) thread — same gate/publish sequence as the dedicated worker.
+  void serviceRun(std::unique_ptr<Job> J) { runJob(std::move(J)); }
+
 private:
   void workerLoop();
+  /// Compile + publish, common to both drain modes. Holds the GC gate for
+  /// the duration; clears InFlight and appends to Done under the queue
+  /// mutex; notifies waitIdle().
+  void runJob(std::unique_ptr<Job> J);
 
   World &W;
   Heap &H;
   CompileFn Compiler;
   int Cap;
+  CompileService *Svc; ///< Null: standalone mode with a dedicated worker.
 
   mutable std::mutex QueueMutex;
   std::condition_variable WorkCV; ///< Worker waits for jobs / stop.

@@ -1,0 +1,99 @@
+//===-- interp/compile_service.cpp - Shared compile worker pool -----------===//
+
+#include "interp/compile_service.h"
+
+#include "interp/compile_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mself;
+
+CompileService::CompileService(int Workers) {
+  if (Workers < 1)
+    Workers = 1;
+  Busy.resize(static_cast<size_t>(Workers), nullptr);
+  Threads.reserve(static_cast<size_t>(Workers));
+  for (int I = 0; I < Workers; ++I)
+    Threads.emplace_back([this, I] { run(static_cast<size_t>(I)); });
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    assert(Queues.empty() && "queues must detach before the service stops");
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void CompileService::attach(CompileQueue *Q) {
+  std::lock_guard<std::mutex> L(M);
+  Queues.push_back(Q);
+}
+
+void CompileService::detach(CompileQueue *Q) {
+  std::unique_lock<std::mutex> L(M);
+  Queues.erase(std::remove(Queues.begin(), Queues.end(), Q), Queues.end());
+  // The queue is unreachable for future takes; wait out any worker already
+  // inside serviceRun() on its behalf. The worker clears its busy slot
+  // under the service mutex after serviceRun returns, so when this
+  // predicate holds nothing references the queue anymore.
+  DetachCV.wait(L, [this, Q] {
+    return std::find(Busy.begin(), Busy.end(), Q) == Busy.end();
+  });
+}
+
+void CompileService::notifyWork() {
+  // Empty critical section on purpose: a worker that just scanned empty
+  // holds the mutex until it blocks in wait(), so taking it here orders
+  // this wake after that wait begins — the enqueue cannot slip between a
+  // worker's scan and its sleep unnoticed.
+  { std::lock_guard<std::mutex> L(M); }
+  WorkCV.notify_all();
+}
+
+size_t CompileService::attachedCount() const {
+  std::lock_guard<std::mutex> L(M);
+  return Queues.size();
+}
+
+bool CompileService::anyTakeable() const {
+  for (CompileQueue *Q : Queues)
+    if (Q->serviceTakeable())
+      return true;
+  return false;
+}
+
+void CompileService::run(size_t Idx) {
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    WorkCV.wait(L, [this] { return Stopping || anyTakeable(); });
+    if (Stopping)
+      return;
+    // Round-robin across attached queues so one chatty isolate cannot
+    // starve the rest.
+    std::unique_ptr<CompileQueue::Job> J;
+    CompileQueue *Q = nullptr;
+    size_t N = Queues.size();
+    for (size_t I = 0; I < N && !J; ++I) {
+      CompileQueue *C = Queues[(RR + I) % N];
+      J = C->serviceTake();
+      if (J) {
+        Q = C;
+        RR = (RR + I + 1) % N;
+      }
+    }
+    if (!J)
+      continue; // Raced with another worker; rescan.
+    Busy[Idx] = Q;
+    L.unlock();
+    Q->serviceRun(std::move(J));
+    Jobs.fetch_add(1, std::memory_order_relaxed);
+    L.lock();
+    Busy[Idx] = nullptr;
+    DetachCV.notify_all();
+  }
+}

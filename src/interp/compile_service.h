@@ -1,0 +1,94 @@
+//===-- interp/compile_service.h - Shared compile worker pool ---*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-isolate generalization of the background CompileQueue's
+/// dedicated worker: one pool of compile threads drains the tier-up queues
+/// of every attached isolate. Each isolate keeps its own CompileQueue — its
+/// bounded pending deque, GC gate, cancellation rules, and safepoint
+/// install protocol are untouched — but in service mode the queue spawns no
+/// thread; workers here pull jobs round-robin across attached queues
+/// through CompileQueue::serviceTake() and run them with the queue's own
+/// gate/publish sequence (CompileQueue::serviceRun). A server with dozens
+/// of isolates thus pays for a fixed number of compile threads instead of
+/// one per isolate.
+///
+/// Per-queue semantics preserved by construction:
+///  - serviceTake() hands out at most one job per queue at a time, so
+///    "the in-flight job" in CompileQueue::onShapeMutation() stays
+///    meaningful per isolate.
+///  - Saturation is still per-queue (the bounded pending deque): an isolate
+///    whose queue is full falls back to synchronous inline promotion
+///    exactly as in standalone mode, regardless of service load.
+///  - Shutdown: a queue's destructor detaches, which blocks until no
+///    worker still runs one of its jobs — after detach() returns, the
+///    queue's memory is unreachable from the pool. Queues may detach with
+///    jobs still pending (they are dropped, standalone rules). The service
+///    must outlive every attached queue.
+///
+/// Lock order: service mutex -> queue mutex (workers scanning/taking), and
+/// enqueue notifies the service only after releasing the queue mutex.
+/// Nothing holds the service mutex while compiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_INTERP_COMPILE_SERVICE_H
+#define MINISELF_INTERP_COMPILE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mself {
+
+class CompileQueue;
+
+/// Fixed pool of compile workers shared by every attached CompileQueue.
+class CompileService {
+public:
+  /// Spawns \p Workers threads (clamped to >= 1).
+  explicit CompileService(int Workers = 1);
+  /// Stops and joins the pool. Every attached queue must have detached
+  /// (been destroyed) first.
+  ~CompileService();
+
+  /// Registers \p Q for draining. Called from CompileQueue's constructor.
+  void attach(CompileQueue *Q);
+  /// Unregisters \p Q and blocks until no worker still runs one of its
+  /// jobs. Called from CompileQueue's destructor.
+  void detach(CompileQueue *Q);
+  /// Wakes the pool after an enqueue. Takes the service mutex briefly so a
+  /// wake between a worker's empty scan and its wait cannot be lost.
+  void notifyWork();
+
+  int workerCount() const { return static_cast<int>(Threads.size()); }
+  size_t attachedCount() const;
+  /// Total jobs run across all queues (ServerTelemetry).
+  uint64_t jobsExecuted() const {
+    return Jobs.load(std::memory_order_relaxed);
+  }
+
+private:
+  void run(size_t Idx);
+  bool anyTakeable() const; ///< Scan under the service mutex.
+
+  mutable std::mutex M;
+  std::condition_variable WorkCV;   ///< Workers wait for jobs / stop.
+  std::condition_variable DetachCV; ///< detach() waits for busy workers.
+  std::vector<CompileQueue *> Queues;
+  std::vector<CompileQueue *> Busy; ///< Per worker: queue being served.
+  size_t RR = 0;                    ///< Round-robin fairness cursor.
+  bool Stopping = false;
+  std::atomic<uint64_t> Jobs{0};
+  std::vector<std::thread> Threads;
+};
+
+} // namespace mself
+
+#endif // MINISELF_INTERP_COMPILE_SERVICE_H

@@ -5,6 +5,7 @@
 #include "interp/compile_queue.h"
 #include "runtime/lookup.h"
 #include "runtime/primitives.h"
+#include "runtime/shared_tier.h"
 #include "support/stats.h"
 #include "support/stopwatch.h"
 #include "vm/object.h"
@@ -54,6 +55,50 @@ CompiledFunction *CodeManager::compileInternal(const CompileRequest &Req,
   return Raw;
 }
 
+CompiledFunction *CodeManager::adoptShared(std::unique_ptr<CompiledFunction> Fn,
+                                           CompiledFunction::Tier T,
+                                           CompileEvent::Kind LogKind,
+                                           double Seconds) {
+  CompiledFunction *Raw = Fn.get();
+  Raw->CodeTier = T;
+  // The producer's compile stats describe this code accurately; only the
+  // event's cost is ours — rehydration wall time, not a compile. Neither
+  // tier compile counters nor CompileSeconds are charged: no compiler ran.
+  ++Tiers.SharedHits;
+  CompileEvent E;
+  E.EventKind = LogKind;
+  E.Name = Raw->Name;
+  E.Tier = T;
+  E.Seconds = Seconds;
+  Events.append(E);
+  Functions.push_back(std::move(Fn));
+  return Raw;
+}
+
+CompiledFunction *CodeManager::compileShared(const CompileRequest &Norm,
+                                             CompiledFunction::Tier T,
+                                             CompileEvent::Kind LogKind) {
+  if (!Bridge)
+    return compileInternal(Norm, T, LogKind);
+  bool Baseline = T == CompiledFunction::Tier::Baseline;
+  SharedCodeBridge::Ticket Tk;
+  Stopwatch Wall;
+  std::unique_ptr<CompiledFunction> Fn = Bridge->acquire(
+      Norm.Source, Norm.ReceiverMap, Norm.IsBlockUnit, Baseline, Tk);
+  if (Tk.RehydrateFailed)
+    ++Tiers.SharedRehydrateFailures;
+  if (Fn)
+    return adoptShared(std::move(Fn), T, LogKind, Wall.elapsedSeconds());
+  if (!Tk.HasKey)
+    ++Tiers.SharedLocalFallbacks;
+  CompiledFunction *Raw = compileInternal(Norm, T, LogKind);
+  // Holding the single-flight claim means other isolates may be blocked on
+  // this key right now; publish (or mark unportable) to release them.
+  if (Tk.Claimed && Bridge->publish(Tk, *Raw))
+    ++Tiers.SharedPublishes;
+  return Raw;
+}
+
 CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
   CompileRequest Norm = Req;
   if (!Customize)
@@ -76,9 +121,9 @@ CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
   bool Baseline = Tiering.Enabled && Tiering.Threshold > 0;
   Norm.BaselineTier = Baseline;
   CompiledFunction *Raw =
-      compileInternal(Norm, Baseline ? CompiledFunction::Tier::Baseline
-                                     : CompiledFunction::Tier::Optimized,
-                      CompileEvent::Kind::Compile);
+      compileShared(Norm, Baseline ? CompiledFunction::Tier::Baseline
+                                   : CompiledFunction::Tier::Optimized,
+                    CompileEvent::Kind::Compile);
   Cache.emplace(K, Raw);
   memoInsert(K.Source, K.ReceiverMap, Raw);
   return Raw;
@@ -91,8 +136,13 @@ CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
   Req.IsBlockUnit = Old->IsBlockUnit;
   Req.Name = Old->Name;
   Req.BaselineTier = false;
-  CompiledFunction *New = compileInternal(
+  CompiledFunction *New = compileShared(
       Req, CompiledFunction::Tier::Optimized, CompileEvent::Kind::Promote);
+  swapIn(Old, New);
+  return New;
+}
+
+void CodeManager::swapIn(CompiledFunction *Old, CompiledFunction *New) {
   Old->ReplacedBy = New;
   ++Tiers.Promotions;
 
@@ -120,7 +170,6 @@ CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
         if (C.Entries[I].EntryKind == PicEntry::Kind::Method &&
             C.Entries[I].Target == Old)
           C.Entries[I].Target = New;
-  return New;
 }
 
 CompiledFunction *CodeManager::triggerPromotion(CompiledFunction *Old) {
@@ -129,6 +178,21 @@ CompiledFunction *CodeManager::triggerPromotion(CompiledFunction *Old) {
   // Already queued or compiling: keep running baseline until the install.
   if (Old->PromotionPending)
     return Old;
+  // When some isolate already paid for the optimized code, adopt it now —
+  // a rehydration is cheap enough for the trigger path and skips the
+  // queue round-trip entirely.
+  if (Bridge) {
+    Stopwatch Wall;
+    std::unique_ptr<CompiledFunction> Fn = Bridge->tryAcquireReady(
+        Old->Source, Old->ReceiverMap, Old->IsBlockUnit, /*Baseline=*/false);
+    if (Fn) {
+      CompiledFunction *New =
+          adoptShared(std::move(Fn), CompiledFunction::Tier::Optimized,
+                      CompileEvent::Kind::Promote, Wall.elapsedSeconds());
+      swapIn(Old, New);
+      return New;
+    }
+  }
   CompileRequest Req;
   Req.Source = Old->Source;
   Req.ReceiverMap = Old->ReceiverMap; // Already normalized at first compile.
@@ -195,27 +259,19 @@ void CodeManager::installCompleted(CompiledFunction *Old,
   E.EmitSeconds = New->Stats.EmitSeconds;
   Events.append(E);
 
+  // Background-compiled results were produced outside any single-flight
+  // claim; offer them to the shared tier so other isolates' hot functions
+  // can skip their own optimizing compile. Never clobbers an existing
+  // entry or an in-flight claim.
+  if (Bridge &&
+      Bridge->publishIfAbsent(New->Source, New->ReceiverMap, New->IsBlockUnit,
+                              /*Baseline=*/false, *New))
+    ++Tiers.SharedPublishes;
+
   // From here on this is exactly the tail of promote(): the atomic (with
   // respect to the interpreter — we are at a safepoint) cache swap plus
   // the PIC re-point sweep.
-  Old->ReplacedBy = New;
-  ++Tiers.Promotions;
-  Cache[Key{Old->Source, Old->ReceiverMap}] = New;
-  memoFlush();
-  ++Tiers.Swaps;
-  CompileEvent SwapE;
-  SwapE.EventKind = CompileEvent::Kind::Swap;
-  SwapE.Name = Old->Name;
-  SwapE.Tier = CompiledFunction::Tier::Optimized;
-  SwapE.HotCount = Old->HotCount;
-  Events.append(SwapE);
-
-  for (const auto &F : Functions)
-    for (InlineCache &C : F->Caches)
-      for (int I = 0; I < C.Size; ++I)
-        if (C.Entries[I].EntryKind == PicEntry::Kind::Method &&
-            C.Entries[I].Target == Old)
-          C.Entries[I].Target = New;
+  swapIn(Old, New);
 }
 
 void CodeManager::maybeInstall() {

@@ -31,6 +31,7 @@
 namespace mself {
 
 class CompileQueue;
+class SharedCodeBridge;
 
 /// What the injected compiler is asked to produce.
 struct CompileRequest {
@@ -131,6 +132,15 @@ struct TierStats {
   /// the queue on, promotions cost the mutator only an enqueue and a
   /// safepoint install, and this stays near the first-call baseline cost.
   double MutatorStallSeconds = 0;
+  // Shared code tier (multi-isolate SharedRuntime; all zero without one).
+  // Hits + Publishes + LocalFallbacks partitions this isolate's compile
+  // traffic by how the shared tier served it.
+  uint64_t SharedHits = 0;      ///< Compiles served by a shared artifact.
+  uint64_t SharedPublishes = 0; ///< Local compiles published as artifacts.
+  uint64_t SharedRehydrateFailures = 0; ///< Ready artifacts this world could
+                                        ///< not rebind (compiled locally).
+  uint64_t SharedLocalFallbacks = 0; ///< Unkeyable requests (receiver shape
+                                     ///< with no portable identity).
   // Code-cache census. Live: reachable from the cache (new calls run it).
   // Retired: baseline code replaced by promotion. Invalidated: voided by a
   // shape mutation. Live + Retired + Invalidated == functionCount().
@@ -188,6 +198,15 @@ public:
   /// safepoint (maybeInstall). Null reverts to synchronous promotion.
   void setBackgroundQueue(CompileQueue *Q) { Queue = Q; }
   CompileQueue *backgroundQueue() const { return Queue; }
+
+  /// Connects this code cache to a SharedRuntime's code tier: cache misses
+  /// probe the tier first (adopting a rehydrated artifact instead of
+  /// compiling), local compiles publish their results, and promotion
+  /// triggers skip the background queue when the optimized code already
+  /// exists process-wide. Null (the default) is the single-VM
+  /// configuration: every compile is local, nothing is published.
+  void setSharedBridge(SharedCodeBridge *B) { Bridge = B; }
+  SharedCodeBridge *sharedBridge() const { return Bridge; }
 
   /// Safepoint poll: installs every finished background compile — the
   /// promote/swap/PIC-re-point sequence of the synchronous path, run on the
@@ -249,6 +268,22 @@ private:
   CompiledFunction *compileInternal(const CompileRequest &Req,
                                     CompiledFunction::Tier T,
                                     CompileEvent::Kind LogKind);
+  /// compileInternal() with the shared tier in front: adopt a rehydrated
+  /// artifact on a tier hit, else compile locally and publish when this
+  /// isolate holds the single-flight claim. Plain compileInternal() when no
+  /// bridge is attached.
+  CompiledFunction *compileShared(const CompileRequest &Norm,
+                                  CompiledFunction::Tier T,
+                                  CompileEvent::Kind LogKind);
+  /// Takes ownership of a function rehydrated from the shared tier and
+  /// gives it the same cache-entry accounting as a fresh compile, charging
+  /// only \p Seconds of rehydration wall time (no compiler ran here).
+  CompiledFunction *adoptShared(std::unique_ptr<CompiledFunction> Fn,
+                                CompiledFunction::Tier T,
+                                CompileEvent::Kind LogKind, double Seconds);
+  /// The promotion tail shared by every path that has optimized code in
+  /// hand: ReplacedBy, cache swap, memo flush, swap event, PIC re-point.
+  void swapIn(CompiledFunction *Old, CompiledFunction *New);
   /// Recompiles \p Old under the full policy and swaps the cache entry.
   CompiledFunction *promote(CompiledFunction *Old);
   /// Tiering trigger with the queue attached: enqueues an asynchronous
@@ -306,6 +341,7 @@ private:
   CompileFn Compiler;
   TieringConfig Tiering;
   CompileQueue *Queue = nullptr; ///< Non-null: promotions go off-thread.
+  SharedCodeBridge *Bridge = nullptr; ///< Non-null: shared code tier.
   std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
   MemoEntry Memo[kMemoEntries];
   unsigned MemoNext = 0;

@@ -13,9 +13,11 @@
 /// constants are immutable between world mutations (slot definitions), and
 /// every mutation flushes the caches below.
 ///
-/// On top of the raw parent walk sits a process-wide hashed *global lookup
-/// cache* keyed by (receiver map, selector) — the classic backing store for
-/// megamorphic send sites and cold inline-cache misses. The World owns one;
+/// On top of the raw parent walk sits a hashed *global lookup cache* keyed
+/// by (receiver map, selector) — the classic backing store for megamorphic
+/// send sites and cold inline-cache misses. Each World owns one (so in
+/// multi-isolate server mode every isolate has a private cache — map
+/// pointers are per-heap and must never cross isolates);
 /// lookupSelectorCached() routes through it.
 ///
 //===----------------------------------------------------------------------===//
@@ -71,7 +73,7 @@ LookupResult lookupSelector(const World &W, Map *M,
                             const std::string *Selector,
                             std::vector<Map *> *VisitedOut = nullptr);
 
-/// Process-wide direct-mapped cache of lookup results keyed by
+/// Per-world direct-mapped cache of lookup results keyed by
 /// (receiver map, selector).
 ///
 /// Serves megamorphic send sites and cold inline-cache misses, and

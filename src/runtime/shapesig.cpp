@@ -1,0 +1,250 @@
+//===-- runtime/shapesig.cpp - Transitive map shape signatures ------------===//
+
+#include "runtime/shapesig.h"
+
+#include "vm/object.h"
+
+#include <deque>
+
+using namespace mself;
+
+namespace {
+
+/// FNV-1a, the project's convention for structural hashes.
+struct Fnv {
+  uint64_t H = 1469598103934665603ull;
+  void byte(uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void ptr(const void *P) { u64(reinterpret_cast<uintptr_t>(P)); }
+  void str(const std::string &S) {
+    u64(S.size());
+    for (char C : S)
+      byte(static_cast<uint8_t>(C));
+  }
+};
+
+} // namespace
+
+NativeMapTag ShapeSigCache::nativeTag(Map *M) const {
+  if (M == W.smallIntMap())
+    return NativeMapTag::SmallInt;
+  if (M == W.arrayMap())
+    return NativeMapTag::Array;
+  if (M == W.stringMap())
+    return NativeMapTag::String;
+  if (M == W.blockMap())
+    return NativeMapTag::Block;
+  if (M == W.methodMap())
+    return NativeMapTag::Method;
+  if (M == W.envMap())
+    return NativeMapTag::Env;
+  if (M == W.nilMap())
+    return NativeMapTag::Nil;
+  if (M == W.trueMap())
+    return NativeMapTag::True;
+  if (M == W.falseMap())
+    return NativeMapTag::False;
+  return NativeMapTag::None;
+}
+
+Map *ShapeSigCache::mapByNativeTag(NativeMapTag T) const {
+  switch (T) {
+  case NativeMapTag::SmallInt:
+    return W.smallIntMap();
+  case NativeMapTag::Array:
+    return W.arrayMap();
+  case NativeMapTag::String:
+    return W.stringMap();
+  case NativeMapTag::Block:
+    return W.blockMap();
+  case NativeMapTag::Method:
+    return W.methodMap();
+  case NativeMapTag::Env:
+    return W.envMap();
+  case NativeMapTag::Nil:
+    return W.nilMap();
+  case NativeMapTag::True:
+    return W.trueMap();
+  case NativeMapTag::False:
+    return W.falseMap();
+  case NativeMapTag::None:
+    break;
+  }
+  return nullptr;
+}
+
+void ShapeSigCache::ensure() {
+  if (BuiltVersion != W.shapeVersion())
+    rebuild();
+}
+
+void ShapeSigCache::rebuild() {
+  MapToSig.clear();
+  SigToMap.clear();
+  ObjToPath.clear();
+
+  // Pass 1 — canonical discovery order. Native maps first (fixed tag
+  // order), then a breadth-first walk of constant/parent slots from the
+  // lobby. The walk enqueues Plain objects only: those are the objects
+  // definition-time constants can hold namespaces and literals in; native
+  // representations (strings, methods) are hashed by payload instead.
+  std::unordered_map<Map *, uint64_t> Index;
+  std::vector<Map *> Order;
+  auto addMap = [&](Map *M) {
+    if (M && Index.emplace(M, Order.size()).second)
+      Order.push_back(M);
+  };
+  for (int T = 0; T <= static_cast<int>(NativeMapTag::False); ++T)
+    addMap(mapByNativeTag(static_cast<NativeMapTag>(T)));
+
+  std::deque<const Object *> Work;
+  ObjToPath.emplace(W.lobby(), std::vector<const std::string *>{});
+  Work.push_back(W.lobby());
+  while (!Work.empty()) {
+    const Object *O = Work.front();
+    Work.pop_front();
+    addMap(O->map());
+    // By value: the emplace below can rehash ObjToPath.
+    const std::vector<const std::string *> Path = ObjToPath.at(O);
+    for (const SlotDesc &S : O->map()->slots()) {
+      if (S.Kind != SlotKind::Constant && S.Kind != SlotKind::Parent)
+        continue;
+      if (!S.Constant.isObject())
+        continue;
+      Object *Child = S.Constant.asObject();
+      if (Child->map()->kind() != ObjectKind::Plain)
+        continue;
+      auto It = ObjToPath.emplace(Child, Path);
+      if (!It.second)
+        continue; // First (shortest, BFS) path wins.
+      It.first->second.push_back(S.Name);
+      Work.push_back(Child);
+    }
+  }
+
+  // Pass 2 — hash every discovered map with its neighbors expressed as
+  // discovery indices, salting each signature with the map's own index so
+  // structurally identical twins stay distinct (SigToMap must be
+  // injective: rehydration rebinds by signature). The world signature
+  // folds every map signature plus the constant payloads a compile-time
+  // lookup can bake into code.
+  Fnv World_;
+  for (Map *M : Order) {
+    Fnv F;
+    F.u64(Index.at(M));
+    F.byte(static_cast<uint8_t>(M->kind()));
+    F.u64(static_cast<uint64_t>(M->fieldCount()));
+    F.u64(M->slots().size());
+    for (const SlotDesc &S : M->slots()) {
+      F.str(*S.Name);
+      F.byte(static_cast<uint8_t>(S.Kind));
+      F.u64(static_cast<uint64_t>(S.FieldIndex + 1));
+      if (S.Kind != SlotKind::Constant && S.Kind != SlotKind::Parent)
+        continue;
+      Value V = S.Constant;
+      if (V.isEmpty()) {
+        F.byte('e');
+      } else if (V.isInt()) {
+        F.byte('i');
+        F.u64(static_cast<uint64_t>(V.asInt()));
+      } else {
+        Object *O = V.asObject();
+        switch (O->map()->kind()) {
+        case ObjectKind::Plain: {
+          auto It = Index.find(O->map());
+          F.byte(It != Index.end() ? 'o' : 'x');
+          F.u64(It != Index.end() ? It->second : 0);
+          break;
+        }
+        case ObjectKind::String:
+          F.byte('s');
+          F.str(static_cast<StringObj *>(O)->str());
+          break;
+        case ObjectKind::Method: {
+          // Method identity is its (shared) AST node: with a shared tier
+          // every isolate that loaded the same source holds the same
+          // pointer, and worlds that loaded different source must not
+          // compare equal anyway.
+          auto *Mth = static_cast<MethodObj *>(O);
+          F.byte('m');
+          F.ptr(Mth->body());
+          F.str(*Mth->selector());
+          break;
+        }
+        default:
+          F.byte('?');
+          F.byte(static_cast<uint8_t>(O->map()->kind()));
+          break;
+        }
+      }
+    }
+    uint64_t Sig = F.H;
+    World_.u64(Sig);
+    auto Ins = SigToMap.emplace(Sig, M);
+    if (Ins.second) {
+      MapToSig.emplace(M, Sig);
+    } else {
+      // Hash collision between distinct maps: neither side gets a portable
+      // identity (artifacts touching them stay isolate-local).
+      MapToSig.erase(Ins.first->second);
+    }
+  }
+  WorldSignature = World_.H;
+  BuiltVersion = W.shapeVersion();
+}
+
+uint64_t ShapeSigCache::worldSig() {
+  ensure();
+  return WorldSignature;
+}
+
+bool ShapeSigCache::mapSig(Map *M, uint64_t &SigOut) {
+  ensure();
+  auto It = MapToSig.find(M);
+  if (It == MapToSig.end())
+    return false;
+  SigOut = It->second;
+  return true;
+}
+
+Map *ShapeSigCache::mapBySig(uint64_t Sig) {
+  ensure();
+  auto It = SigToMap.find(Sig);
+  return It == SigToMap.end() ? nullptr : It->second;
+}
+
+bool ShapeSigCache::objectPath(const Object *O,
+                               const std::vector<const std::string *> *&Out) {
+  ensure();
+  auto It = ObjToPath.find(O);
+  if (It == ObjToPath.end())
+    return false;
+  Out = &It->second;
+  return true;
+}
+
+Object *ShapeSigCache::objectByPath(
+    const std::vector<const std::string *> &Path) {
+  ensure();
+  Object *Cur = W.lobby();
+  for (const std::string *Name : Path) {
+    const SlotDesc *S = Cur->map()->findSlot(Name);
+    if (!S ||
+        (S->Kind != SlotKind::Constant && S->Kind != SlotKind::Parent) ||
+        !S->Constant.isObject())
+      return nullptr;
+    Cur = S->Constant.asObject();
+  }
+  return Cur;
+}
+
+size_t ShapeSigCache::discoveredMaps() {
+  ensure();
+  return SigToMap.size();
+}

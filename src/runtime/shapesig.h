@@ -1,0 +1,130 @@
+//===-- runtime/shapesig.h - Transitive map shape signatures ----*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural fingerprints of a world's shape graph, the cross-isolate half
+/// of the shared code tier's cache key. Compiled code is valid in any world
+/// whose *shapes* (maps, their slots, their constant bindings) match the
+/// producer's — Map* identity is per-isolate, so artifacts are keyed by
+/// signature instead:
+///
+///  - The **world signature** hashes the entire reachable shape graph in one
+///    canonical traversal: the native maps in a fixed order, then every map
+///    discovered by a breadth-first walk of constant/parent slots starting
+///    at the lobby. It covers slot names, kinds, field layout, and
+///    definition-time constant payloads (integers, string contents, method
+///    AST identity) — everything a compile-time lookup can bake into code.
+///    Two worlds with equal world signatures are shape-isomorphic, so a
+///    lookup walk in one resolves exactly as in the other.
+///  - Each discovered map gets a **map signature** salted with its discovery
+///    index, which makes signatures unique within a world (two structurally
+///    identical object literals get distinct signatures) and equal across
+///    shape-isomorphic worlds — precisely what rehydration needs to rebind a
+///    portable artifact's map references to this world's corresponding Map*.
+///  - Each discovered object gets a **path** (the constant-slot selector
+///    chain from the lobby), the portable locator for object literals
+///    embedded in compiled code (GetFieldConst holders and inlined constant
+///    reads).
+///
+/// The cache is epoch-based: every query revalidates against
+/// World::shapeVersion() and rebuilds after any shape mutation, so a
+/// mutation in one isolate silently diverges *its* signatures (its future
+/// cache keys) and leaves every other isolate's keys — and the artifacts
+/// already published under them — untouched. That is the copy-on-write
+/// story: nothing is invalidated across isolates, keys simply fork.
+///
+/// Maps reachable only through runtime-mutable state (an object literal
+/// stored in a *data* slot) are deliberately unregistered — their bindings
+/// can change without a shape bump — and code referring to them simply
+/// stays isolate-local (the bridge falls back to a plain local compile).
+///
+/// Thread model: owned by one isolate's SharedCodeBridge and used on that
+/// isolate's mutator thread only; the traversal reads maps the same way the
+/// mutator always does (mutations happen on this thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_RUNTIME_SHAPESIG_H
+#define MINISELF_RUNTIME_SHAPESIG_H
+
+#include "runtime/world.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mself {
+
+/// Fixed cross-isolate identifiers for the maps every world boots natively.
+/// Artifact map references use these tags instead of signatures — native
+/// maps exist before any traversal and are trivially corresponding.
+enum class NativeMapTag : int {
+  SmallInt,
+  Array,
+  String,
+  Block,
+  Method,
+  Env,
+  Nil,
+  True,
+  False,
+  None = -1,
+};
+
+/// Epoch-memoized shape signatures, map registry, and object paths for one
+/// World. See the file comment for the role each plays.
+class ShapeSigCache {
+public:
+  explicit ShapeSigCache(World &W) : W(W) {}
+
+  /// Signature of the whole reachable shape graph. Rebuilds on demand after
+  /// a shape mutation.
+  uint64_t worldSig();
+
+  /// \returns false when \p M was not discovered by the canonical traversal
+  /// (e.g. an object literal held only in a data slot) — such maps have no
+  /// portable identity.
+  bool mapSig(Map *M, uint64_t &SigOut);
+
+  /// Inverse of mapSig within this world. \returns nullptr for unknown
+  /// signatures (the consumer world is not shape-isomorphic after all, or
+  /// the signature came from a diverged epoch).
+  Map *mapBySig(uint64_t Sig);
+
+  /// \returns the native tag of \p M, or NativeMapTag::None.
+  NativeMapTag nativeTag(Map *M) const;
+  Map *mapByNativeTag(NativeMapTag T) const;
+
+  /// The constant-slot selector chain locating \p O from the lobby (empty
+  /// for the lobby itself). \returns false for objects the traversal never
+  /// reached. Pointers are interned slot names, stable for the interner's
+  /// lifetime (the shared interner's, under a shared tier).
+  bool objectPath(const Object *O,
+                  const std::vector<const std::string *> *&PathOut);
+
+  /// Resolves a path produced by objectPath() (possibly in another world)
+  /// against this world. \returns nullptr when the chain does not resolve
+  /// to constant-slot-held objects all the way down.
+  Object *objectByPath(const std::vector<const std::string *> &Path);
+
+  size_t discoveredMaps();
+
+private:
+  void ensure();
+  void rebuild();
+
+  World &W;
+  uint64_t BuiltVersion = ~0ull;
+  uint64_t WorldSignature = 0;
+  std::unordered_map<Map *, uint64_t> MapToSig;
+  std::unordered_map<uint64_t, Map *> SigToMap;
+  std::unordered_map<const Object *, std::vector<const std::string *>>
+      ObjToPath;
+};
+
+} // namespace mself
+
+#endif // MINISELF_RUNTIME_SHAPESIG_H

@@ -1,0 +1,402 @@
+//===-- runtime/shared_tier.cpp - Shared immutable code tier --------------===//
+
+#include "runtime/shared_tier.h"
+
+#include "parser/parser.h"
+#include "runtime/world.h"
+#include "vm/object.h"
+
+using namespace mself;
+
+//===----------------------------------------------------------------------===//
+// SharedTier: parsed-AST cache
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const ast::Program>
+SharedTier::parseProgram(const std::string &Source, std::string &ErrOut) {
+  {
+    std::lock_guard<std::mutex> L(AstMutex);
+    auto It = Asts.find(Source);
+    if (It != Asts.end()) {
+      Counters.AstHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+  // Parse outside the lock: parses are long and the parser only touches the
+  // (internally synchronized) interner. Concurrent loaders of the same
+  // source may both parse; the insert below keeps the first and the loser's
+  // copy simply dies — same immutability either way.
+  auto Prog = std::make_shared<ast::Program>();
+  Parser P(*Prog, Interner);
+  ParseResult R = P.parseTopLevel(Source);
+  if (!R.Ok) {
+    ErrOut = R.Error;
+    return nullptr; // Failures are not cached; the text may be fixed.
+  }
+  std::lock_guard<std::mutex> L(AstMutex);
+  auto It = Asts.emplace(Source,
+                         std::shared_ptr<const ast::Program>(std::move(Prog)));
+  if (It.second)
+    Counters.AstMisses.fetch_add(1, std::memory_order_relaxed);
+  else
+    Counters.AstHits.fetch_add(1, std::memory_order_relaxed);
+  return It.first->second;
+}
+
+size_t SharedTier::programCount() const {
+  std::lock_guard<std::mutex> L(AstMutex);
+  return Asts.size();
+}
+
+long SharedTier::programUseCount(const std::string &Source) const {
+  std::lock_guard<std::mutex> L(AstMutex);
+  auto It = Asts.find(Source);
+  return It == Asts.end() ? 0 : It->second.use_count();
+}
+
+//===----------------------------------------------------------------------===//
+// SharedTier: single-flight artifact cache
+//===----------------------------------------------------------------------===//
+
+SharedTier::Probe SharedTier::acquire(const ArtifactKey &K,
+                                      std::shared_ptr<const CodeArtifact> &Out) {
+  std::unique_lock<std::mutex> L(CodeMutex);
+  bool Waited = false;
+  for (;;) {
+    auto It = Artifacts.find(K);
+    if (It == Artifacts.end()) {
+      Artifacts.emplace(K, Entry{});
+      Counters.CodeMisses.fetch_add(1, std::memory_order_relaxed);
+      return Probe::Claimed;
+    }
+    switch (It->second.State) {
+    case Entry::S::Ready:
+      Out = It->second.Art;
+      Counters.CodeHits.fetch_add(1, std::memory_order_relaxed);
+      return Probe::Ready;
+    case Entry::S::Unportable:
+      Counters.CodeUnportableProbes.fetch_add(1, std::memory_order_relaxed);
+      return Probe::Unportable;
+    case Entry::S::InFlight:
+      // Another isolate holds the claim. Wait for its publish; if the
+      // owner instead abandoned the claim (compile error), the entry is
+      // gone on wake-up and we re-race for it.
+      if (!Waited) {
+        Waited = true;
+        Counters.CodeWaits.fetch_add(1, std::memory_order_relaxed);
+      }
+      CodeCV.wait(L);
+      break;
+    }
+  }
+}
+
+std::shared_ptr<const CodeArtifact> SharedTier::peekReady(const ArtifactKey &K) {
+  std::lock_guard<std::mutex> L(CodeMutex);
+  auto It = Artifacts.find(K);
+  if (It == Artifacts.end() || It->second.State != Entry::S::Ready)
+    return nullptr;
+  Counters.CodeHits.fetch_add(1, std::memory_order_relaxed);
+  return It->second.Art;
+}
+
+void SharedTier::publish(const ArtifactKey &K,
+                         std::shared_ptr<const CodeArtifact> A) {
+  {
+    std::lock_guard<std::mutex> L(CodeMutex);
+    auto It = Artifacts.find(K);
+    if (It == Artifacts.end())
+      It = Artifacts.emplace(K, Entry{}).first;
+    if (A) {
+      It->second.State = Entry::S::Ready;
+      It->second.Art = std::move(A);
+      Counters.CodeFills.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      It->second.State = Entry::S::Unportable;
+      Counters.CodeUnportableMarks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  CodeCV.notify_all();
+}
+
+bool SharedTier::tryPublish(const ArtifactKey &K,
+                            std::shared_ptr<const CodeArtifact> A) {
+  std::lock_guard<std::mutex> L(CodeMutex);
+  auto It = Artifacts.find(K);
+  if (It != Artifacts.end())
+    return false; // Ready, unportable, or claimed elsewhere — never disturb.
+  Entry E;
+  bool Stored = A != nullptr;
+  if (A) {
+    E.State = Entry::S::Ready;
+    E.Art = std::move(A);
+    Counters.CodeFills.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    E.State = Entry::S::Unportable;
+    Counters.CodeUnportableMarks.fetch_add(1, std::memory_order_relaxed);
+  }
+  Artifacts.emplace(K, std::move(E));
+  // No waiters possible: nobody was in-flight on an absent key.
+  return Stored;
+}
+
+size_t SharedTier::artifactCount() const {
+  std::lock_guard<std::mutex> L(CodeMutex);
+  size_t N = 0;
+  for (const auto &KV : Artifacts)
+    if (KV.second.State == Entry::S::Ready)
+      ++N;
+  return N;
+}
+
+SharedTierStats SharedTier::statsSnapshot() const {
+  SharedTierStats S;
+  S.AstHits = Counters.AstHits.load(std::memory_order_relaxed);
+  S.AstMisses = Counters.AstMisses.load(std::memory_order_relaxed);
+  S.AstPrograms = programCount();
+  S.CodeHits = Counters.CodeHits.load(std::memory_order_relaxed);
+  S.CodeMisses = Counters.CodeMisses.load(std::memory_order_relaxed);
+  S.CodeWaits = Counters.CodeWaits.load(std::memory_order_relaxed);
+  S.CodeUnportableProbes =
+      Counters.CodeUnportableProbes.load(std::memory_order_relaxed);
+  S.CodeFills = Counters.CodeFills.load(std::memory_order_relaxed);
+  S.CodeUnportableMarks =
+      Counters.CodeUnportableMarks.load(std::memory_order_relaxed);
+  S.RehydrateFailures =
+      Counters.RehydrateFailures.load(std::memory_order_relaxed);
+  S.Artifacts = artifactCount();
+  S.InternedStrings = Interner.size();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// SharedCodeBridge
+//===----------------------------------------------------------------------===//
+
+bool SharedCodeBridge::keyFor(const ast::Code *Source, Map *ReceiverMap,
+                              bool BlockUnit, bool Baseline,
+                              SharedTier::ArtifactKey &Out) {
+  Out.Source = Source;
+  Out.PolicyFp = PolicyFp;
+  Out.Baseline = Baseline;
+  Out.BlockUnit = BlockUnit;
+  Out.WorldSig = Sigs.worldSig();
+  Out.ReceiverSig = 0;
+  if (ReceiverMap && !Sigs.mapSig(ReceiverMap, Out.ReceiverSig))
+    return false; // Receiver shape has no portable identity: stay local.
+  return true;
+}
+
+std::shared_ptr<const CodeArtifact>
+SharedCodeBridge::build(const CompiledFunction &F) {
+  auto A = std::make_shared<CodeArtifact>();
+  A->Code = F.Code;
+  A->SelectorPool = F.SelectorPool; // Shared-interner pointers.
+  A->BlockPool = F.BlockPool;       // Shared-AST pointers.
+  A->NumCaches = F.Caches.size();
+  A->NumRegs = F.NumRegs;
+  A->NumArgs = F.NumArgs;
+  A->IncomingEnvReg = F.IncomingEnvReg;
+  A->IsBlockUnit = F.IsBlockUnit;
+  A->Source = F.Source;
+  A->Name = F.Name;
+  A->Stats = F.Stats;
+
+  A->Literals.reserve(F.Literals.size());
+  for (Value V : F.Literals) {
+    CodeArtifact::LitRef L;
+    if (V.isEmpty()) {
+      L.Kind = CodeArtifact::LitRef::K::Empty;
+    } else if (V.isInt()) {
+      L.Kind = CodeArtifact::LitRef::K::Int;
+      L.Int = V.asInt();
+    } else if (V == W.nilValue()) {
+      L.Kind = CodeArtifact::LitRef::K::Nil;
+    } else if (V == W.trueValue()) {
+      L.Kind = CodeArtifact::LitRef::K::True;
+    } else if (V == W.falseValue()) {
+      L.Kind = CodeArtifact::LitRef::K::False;
+    } else {
+      Object *O = V.asObject();
+      if (O->kind() == ObjectKind::String) {
+        L.Kind = CodeArtifact::LitRef::K::Str;
+        L.Str = static_cast<StringObj *>(O)->str();
+      } else if (O->kind() == ObjectKind::Plain) {
+        const std::vector<const std::string *> *Path = nullptr;
+        if (!Sigs.objectPath(O, Path))
+          return nullptr; // Literal has no portable locator.
+        L.Kind = CodeArtifact::LitRef::K::ObjPath;
+        L.Path = *Path;
+      } else {
+        return nullptr; // Methods/blocks/arrays as literals: stay local.
+      }
+    }
+    A->Literals.push_back(std::move(L));
+  }
+
+  auto encodeMap = [&](Map *M, CodeArtifact::MapRef &R) {
+    if (M == F.ReceiverMap && M) {
+      R.Kind = CodeArtifact::MapRef::K::Receiver;
+      return true;
+    }
+    NativeMapTag T = Sigs.nativeTag(M);
+    if (T != NativeMapTag::None) {
+      R.Kind = CodeArtifact::MapRef::K::Native;
+      R.Tag = T;
+      return true;
+    }
+    R.Kind = CodeArtifact::MapRef::K::BySig;
+    return Sigs.mapSig(M, R.Sig);
+  };
+  A->MapPool.reserve(F.MapPool.size());
+  for (Map *M : F.MapPool) {
+    CodeArtifact::MapRef R;
+    if (!encodeMap(M, R))
+      return nullptr;
+    A->MapPool.push_back(R);
+  }
+  A->DependsOn.reserve(F.DependsOnMaps.size());
+  for (Map *M : F.DependsOnMaps) {
+    CodeArtifact::MapRef R;
+    if (!encodeMap(M, R))
+      return nullptr;
+    A->DependsOn.push_back(R);
+  }
+  return A;
+}
+
+std::unique_ptr<CompiledFunction>
+SharedCodeBridge::rehydrate(const CodeArtifact &A, Map *ReceiverMap) {
+  auto F = std::make_unique<CompiledFunction>();
+  F->Code = A.Code;
+  F->SelectorPool = A.SelectorPool;
+  F->BlockPool = A.BlockPool;
+  F->Caches.resize(A.NumCaches); // Fresh, empty inline caches.
+  F->NumRegs = A.NumRegs;
+  F->NumArgs = A.NumArgs;
+  F->IncomingEnvReg = A.IncomingEnvReg;
+  F->IsBlockUnit = A.IsBlockUnit;
+  F->Source = A.Source;
+  F->ReceiverMap = ReceiverMap;
+  F->Name = A.Name;
+  F->Stats = A.Stats;
+
+  // NOTE on GC safety: newString() allocates but never collects (the heap
+  // only collects at explicit safepoints), so literals built here stay
+  // alive un-rooted until the caller pushes F into CodeManager::Functions,
+  // whose traceRoots covers them.
+  F->Literals.reserve(A.Literals.size());
+  for (const CodeArtifact::LitRef &L : A.Literals) {
+    switch (L.Kind) {
+    case CodeArtifact::LitRef::K::Empty:
+      F->Literals.push_back(Value());
+      break;
+    case CodeArtifact::LitRef::K::Int:
+      F->Literals.push_back(Value::fromInt(L.Int));
+      break;
+    case CodeArtifact::LitRef::K::Nil:
+      F->Literals.push_back(W.nilValue());
+      break;
+    case CodeArtifact::LitRef::K::True:
+      F->Literals.push_back(W.trueValue());
+      break;
+    case CodeArtifact::LitRef::K::False:
+      F->Literals.push_back(W.falseValue());
+      break;
+    case CodeArtifact::LitRef::K::Str:
+      F->Literals.push_back(Value::fromObject(W.newString(L.Str)));
+      break;
+    case CodeArtifact::LitRef::K::ObjPath: {
+      Object *O = Sigs.objectByPath(L.Path);
+      if (!O)
+        return nullptr;
+      F->Literals.push_back(Value::fromObject(O));
+      break;
+    }
+    }
+  }
+
+  auto decodeMap = [&](const CodeArtifact::MapRef &R) -> Map * {
+    switch (R.Kind) {
+    case CodeArtifact::MapRef::K::Receiver:
+      return ReceiverMap;
+    case CodeArtifact::MapRef::K::Native:
+      return Sigs.mapByNativeTag(R.Tag);
+    case CodeArtifact::MapRef::K::BySig:
+      return Sigs.mapBySig(R.Sig);
+    }
+    return nullptr;
+  };
+  F->MapPool.reserve(A.MapPool.size());
+  for (const CodeArtifact::MapRef &R : A.MapPool) {
+    Map *M = decodeMap(R);
+    if (!M)
+      return nullptr;
+    F->MapPool.push_back(M);
+  }
+  F->DependsOnMaps.reserve(A.DependsOn.size());
+  for (const CodeArtifact::MapRef &R : A.DependsOn) {
+    Map *M = decodeMap(R);
+    if (!M)
+      return nullptr;
+    F->DependsOnMaps.push_back(M);
+  }
+  return F;
+}
+
+std::unique_ptr<CompiledFunction>
+SharedCodeBridge::acquire(const ast::Code *Source, Map *ReceiverMap,
+                          bool BlockUnit, bool Baseline, Ticket &Out) {
+  Out = Ticket{};
+  Out.HasKey = keyFor(Source, ReceiverMap, BlockUnit, Baseline, Out.Key);
+  if (!Out.HasKey)
+    return nullptr;
+  std::shared_ptr<const CodeArtifact> A;
+  switch (T.acquire(Out.Key, A)) {
+  case SharedTier::Probe::Claimed:
+    Out.Claimed = true;
+    return nullptr;
+  case SharedTier::Probe::Unportable:
+    return nullptr;
+  case SharedTier::Probe::Ready:
+    break;
+  }
+  auto F = rehydrate(*A, ReceiverMap);
+  if (!F) {
+    Out.RehydrateFailed = true;
+    T.noteRehydrateFailure(); // Fall back to a local compile, no claim.
+  }
+  return F;
+}
+
+std::unique_ptr<CompiledFunction>
+SharedCodeBridge::tryAcquireReady(const ast::Code *Source, Map *ReceiverMap,
+                                  bool BlockUnit, bool Baseline) {
+  SharedTier::ArtifactKey K;
+  if (!keyFor(Source, ReceiverMap, BlockUnit, Baseline, K))
+    return nullptr;
+  std::shared_ptr<const CodeArtifact> A = T.peekReady(K);
+  if (!A)
+    return nullptr;
+  auto F = rehydrate(*A, ReceiverMap);
+  if (!F)
+    T.noteRehydrateFailure();
+  return F;
+}
+
+bool SharedCodeBridge::publish(const Ticket &Tk, const CompiledFunction &F) {
+  auto A = build(F);
+  bool Portable = A != nullptr;
+  T.publish(Tk.Key, std::move(A));
+  return Portable;
+}
+
+bool SharedCodeBridge::publishIfAbsent(const ast::Code *Source,
+                                       Map *ReceiverMap, bool BlockUnit,
+                                       bool Baseline,
+                                       const CompiledFunction &F) {
+  SharedTier::ArtifactKey K;
+  if (!keyFor(Source, ReceiverMap, BlockUnit, Baseline, K))
+    return false;
+  return T.tryPublish(K, build(F));
+}

@@ -1,0 +1,307 @@
+//===-- runtime/shared_tier.h - Shared immutable code tier ------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide tier of immutable compilation artifacts shared by every
+/// isolate of a SharedRuntime, and the per-isolate bridge that moves
+/// compiled code in and out of it. The paper's compiler products are
+/// immutable once produced; this tier makes that immutability pay at server
+/// scale by sharing three of them across isolates:
+///
+///  1. **Interned strings** — one StringInterner (internally synchronized),
+///     so selector pointers mean the same thing in every isolate.
+///  2. **Parsed ASTs** — programs cached by exact source text, owned by
+///     shared_ptr so worlds that loaded a program keep it alive and the
+///     refcount tracks isolate teardown. One parse serves every isolate
+///     that loads the same source (a server's session scripts).
+///  3. **Compiled code** — CodeArtifact, a *portable* rendering of a
+///     CompiledFunction keyed by (method source identity, receiver map
+///     shape signature, world shape signature, policy fingerprint, tier).
+///     Artifacts contain no per-isolate pointers: literal heap values
+///     become locators (immediates, string contents, lobby constant-slot
+///     paths), map references become shape signatures or native tags, and
+///     AST/selector pointers are already shared via 1 and 2. Rehydration in
+///     a consumer isolate rebinds every reference against that isolate's
+///     heap and maps.
+///
+/// Keying is copy-on-write: a shape mutation in one isolate changes *its*
+/// signatures, so its future lookups use forked keys while artifacts
+/// published under the old keys keep serving every isolate still shaped
+/// that way. Nothing is ever invalidated across isolates — invalidation
+/// stays a per-isolate affair (CodeManager::invalidateDependents), exactly
+/// as before.
+///
+/// The artifact cache is **single-flight**: the first prober of a missing
+/// key gets a claim and compiles; concurrent probers of the same key block
+/// until the claim resolves, then rehydrate the published artifact — one
+/// compile and one cached artifact per key, process-wide. Functions whose
+/// code cannot be rendered portably (a literal reachable only through a
+/// data slot, say) publish an *unportable* marker instead, and every
+/// isolate compiles those locally — always sound, never shared.
+///
+/// Thread model: every SharedTier method is thread-safe. The bridge is
+/// per-isolate, used on that isolate's mutator thread only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_RUNTIME_SHARED_TIER_H
+#define MINISELF_RUNTIME_SHARED_TIER_H
+
+#include "bytecode/bytecode.h"
+#include "parser/ast.h"
+#include "runtime/shapesig.h"
+#include "support/interner.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mself {
+
+/// A point-in-time snapshot of the shared tier's counters (plain values; the
+/// live counters are atomics). Aggregated into ServerTelemetry.
+struct SharedTierStats {
+  // Parsed-AST cache.
+  uint64_t AstHits = 0;
+  uint64_t AstMisses = 0; ///< Parses performed (one per distinct source).
+  uint64_t AstPrograms = 0; ///< Programs currently cached.
+  // Compiled-code artifact cache. Every probe is exactly one of Hits /
+  // Misses (claim granted → the prober compiles and publishes) /
+  // UnportableProbes (the key is marked non-portable → local compile).
+  uint64_t CodeHits = 0;
+  uint64_t CodeMisses = 0;
+  uint64_t CodeWaits = 0; ///< Probes that blocked on another isolate's fill.
+  uint64_t CodeUnportableProbes = 0;
+  uint64_t CodeFills = 0;           ///< Artifacts published.
+  uint64_t CodeUnportableMarks = 0; ///< Keys recorded as non-portable.
+  uint64_t RehydrateFailures = 0;   ///< Ready artifacts a consumer world
+                                    ///< could not rebind (fell back local).
+  uint64_t Artifacts = 0;       ///< Cached artifacts (ready keys).
+  uint64_t InternedStrings = 0; ///< Shared interner population.
+
+  /// Fraction of keyed probes served by an existing artifact — the bench's
+  /// cross-isolate code-cache hit rate.
+  double hitRate() const {
+    uint64_t Total = CodeHits + CodeMisses + CodeUnportableProbes;
+    return Total ? static_cast<double>(CodeHits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// A portable compiled function: everything in CompiledFunction with the
+/// per-isolate pointers replaced by locators. See the file comment.
+struct CodeArtifact {
+  struct LitRef {
+    enum class K : uint8_t { Empty, Int, Nil, True, False, Str, ObjPath };
+    K Kind = K::Empty;
+    int64_t Int = 0;
+    std::string Str; ///< String literal contents (owned).
+    std::vector<const std::string *> Path; ///< Lobby constant-slot chain.
+  };
+  struct MapRef {
+    enum class K : uint8_t { Receiver, Native, BySig };
+    K Kind = K::Receiver;
+    NativeMapTag Tag = NativeMapTag::None;
+    uint64_t Sig = 0;
+  };
+
+  std::vector<int32_t> Code;
+  std::vector<LitRef> Literals;
+  std::vector<MapRef> MapPool;
+  std::vector<const std::string *> SelectorPool; ///< Shared-interner ptrs.
+  std::vector<const ast::BlockExpr *> BlockPool; ///< Shared-AST ptrs.
+  size_t NumCaches = 0; ///< Consumers get fresh, empty inline caches.
+
+  int NumRegs = 0;
+  int NumArgs = 0;
+  int IncomingEnvReg = -1;
+  bool IsBlockUnit = false;
+  const ast::Code *Source = nullptr;
+  const std::string *Name = nullptr;
+  CompileStats Stats; ///< Producer's compile stats (code-size metrics).
+  std::vector<MapRef> DependsOn; ///< Shape dependency set, re-bound on use.
+};
+
+/// The shared tier: interner + AST cache + single-flight artifact cache.
+class SharedTier {
+public:
+  /// Cross-isolate cache key for compiled code. Source is a shared AST
+  /// node, so pointer identity *is* method source identity for every
+  /// isolate that parsed through this tier.
+  struct ArtifactKey {
+    const ast::Code *Source = nullptr;
+    uint64_t ReceiverSig = 0; ///< 0: uncustomized.
+    uint64_t WorldSig = 0;
+    uint64_t PolicyFp = 0;
+    bool Baseline = false;
+    bool BlockUnit = false;
+
+    bool operator==(const ArtifactKey &O) const {
+      return Source == O.Source && ReceiverSig == O.ReceiverSig &&
+             WorldSig == O.WorldSig && PolicyFp == O.PolicyFp &&
+             Baseline == O.Baseline && BlockUnit == O.BlockUnit;
+    }
+    struct Hash {
+      size_t operator()(const ArtifactKey &K) const {
+        uint64_t H = std::hash<const void *>()(K.Source);
+        H = H * 1099511628211ull ^ K.ReceiverSig;
+        H = H * 1099511628211ull ^ K.WorldSig;
+        H = H * 1099511628211ull ^ K.PolicyFp;
+        H = H * 1099511628211ull ^
+            (static_cast<uint64_t>(K.Baseline) << 1 |
+             static_cast<uint64_t>(K.BlockUnit));
+        return static_cast<size_t>(H);
+      }
+    };
+  };
+
+  enum class Probe {
+    Ready,      ///< An artifact exists; rehydrate it.
+    Claimed,    ///< Caller owns the fill: compile, then publish().
+    Unportable, ///< Known non-portable; compile locally, don't publish.
+  };
+
+  StringInterner &interner() { return Interner; }
+
+  /// Parses \p Source through the cache: one parse per distinct source
+  /// text, every later load returns the same immutable Program. \returns
+  /// null (and sets \p ErrOut) on parse errors, which are not cached.
+  std::shared_ptr<const ast::Program> parseProgram(const std::string &Source,
+                                                   std::string &ErrOut);
+
+  /// Single-flight probe. Blocks while another isolate holds the claim for
+  /// \p K; on Ready, \p Out holds the artifact.
+  Probe acquire(const ArtifactKey &K, std::shared_ptr<const CodeArtifact> &Out);
+
+  /// Non-blocking probe that only reports ready artifacts (used by the
+  /// promotion trigger to skip the background queue when the optimized
+  /// code already exists process-wide).
+  std::shared_ptr<const CodeArtifact> peekReady(const ArtifactKey &K);
+
+  /// Resolves the claim returned by acquire(): a non-null \p A is published
+  /// for every present and future prober; null records the key as
+  /// unportable. Wakes blocked probers either way.
+  void publish(const ArtifactKey &K, std::shared_ptr<const CodeArtifact> A);
+
+  /// Publish-if-absent for results produced outside a claim (background
+  /// promotions install first, publish after). Never disturbs an existing
+  /// entry or an in-flight claim. \returns true when a (non-null) artifact
+  /// was stored.
+  bool tryPublish(const ArtifactKey &K, std::shared_ptr<const CodeArtifact> A);
+
+  void noteRehydrateFailure() {
+    Counters.RehydrateFailures.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  SharedTierStats statsSnapshot() const;
+
+  size_t programCount() const;
+  size_t artifactCount() const;
+  /// shared_ptr use count of the cached program for \p Source (0: not
+  /// cached). 1 means only the tier holds it — the refcount-hygiene probe
+  /// the isolate-teardown churn test asserts on.
+  long programUseCount(const std::string &Source) const;
+
+private:
+  struct Entry {
+    enum class S : uint8_t { InFlight, Ready, Unportable } State = S::InFlight;
+    std::shared_ptr<const CodeArtifact> Art;
+  };
+  struct Atomic {
+    std::atomic<uint64_t> AstHits{0}, AstMisses{0};
+    std::atomic<uint64_t> CodeHits{0}, CodeMisses{0}, CodeWaits{0};
+    std::atomic<uint64_t> CodeUnportableProbes{0};
+    std::atomic<uint64_t> CodeFills{0}, CodeUnportableMarks{0};
+    std::atomic<uint64_t> RehydrateFailures{0};
+  };
+
+  StringInterner Interner;
+
+  mutable std::mutex AstMutex;
+  std::unordered_map<std::string, std::shared_ptr<const ast::Program>> Asts;
+
+  mutable std::mutex CodeMutex;
+  std::condition_variable CodeCV;
+  std::unordered_map<ArtifactKey, Entry, ArtifactKey::Hash> Artifacts;
+
+  Atomic Counters;
+};
+
+/// One isolate's doorway to the shared tier, used on that isolate's mutator
+/// thread only. Owns the isolate's ShapeSigCache and performs the
+/// portable-artifact ⇄ CompiledFunction conversions against the isolate's
+/// world. Every fallible step (signing the receiver, locating a literal,
+/// rebinding a map) degrades to "compile locally" — sharing is an
+/// optimization, never a soundness requirement.
+class SharedCodeBridge {
+public:
+  SharedCodeBridge(SharedTier &T, World &W, uint64_t PolicyFp)
+      : T(T), W(W), PolicyFp(PolicyFp), Sigs(W) {}
+
+  struct Ticket {
+    bool HasKey = false;  ///< False: receiver/world unsignable, stay local.
+    bool Claimed = false; ///< True: caller must publish() after compiling.
+    bool RehydrateFailed = false; ///< A ready artifact would not rebind.
+    SharedTier::ArtifactKey Key;
+  };
+
+  /// Probes the tier for (\p Source, \p ReceiverMap, tier flags). May block
+  /// on another isolate's in-flight fill. \returns a rehydrated function
+  /// ready for adoption, or null — in which case the caller compiles
+  /// locally and, when \p Out.Claimed, publishes the result.
+  std::unique_ptr<CompiledFunction> acquire(const ast::Code *Source,
+                                            Map *ReceiverMap, bool BlockUnit,
+                                            bool Baseline, Ticket &Out);
+
+  /// Non-blocking: rehydrates only an already-published artifact. Used by
+  /// the promotion trigger to bypass the compile queue entirely when some
+  /// isolate already paid for the optimized code.
+  std::unique_ptr<CompiledFunction> tryAcquireReady(const ast::Code *Source,
+                                                    Map *ReceiverMap,
+                                                    bool BlockUnit,
+                                                    bool Baseline);
+
+  /// Resolves \p Tk's claim with the locally compiled \p F. \returns true
+  /// when \p F rendered portably (artifact published), false when the key
+  /// was recorded unportable.
+  bool publish(const Ticket &Tk, const CompiledFunction &F);
+
+  /// Publishes \p F if its key is absent (background-promotion results,
+  /// produced outside any claim). \returns true when an artifact was
+  /// actually published; false when unkeyable, unportable, or already
+  /// present.
+  bool publishIfAbsent(const ast::Code *Source, Map *ReceiverMap,
+                       bool BlockUnit, bool Baseline,
+                       const CompiledFunction &F);
+
+  SharedTier &tier() { return T; }
+  ShapeSigCache &sigs() { return Sigs; }
+
+private:
+  bool keyFor(const ast::Code *Source, Map *ReceiverMap, bool BlockUnit,
+              bool Baseline, SharedTier::ArtifactKey &Out);
+  /// CompiledFunction → portable artifact; null when any reference has no
+  /// portable rendering.
+  std::shared_ptr<const CodeArtifact> build(const CompiledFunction &F);
+  /// Portable artifact → CompiledFunction bound to this world; null when a
+  /// locator does not resolve here (shape drift since keying — rare, the
+  /// world signature already gates gross mismatches).
+  std::unique_ptr<CompiledFunction> rehydrate(const CodeArtifact &A,
+                                              Map *ReceiverMap);
+
+  SharedTier &T;
+  World &W;
+  uint64_t PolicyFp;
+  ShapeSigCache Sigs;
+};
+
+} // namespace mself
+
+#endif // MINISELF_RUNTIME_SHARED_TIER_H

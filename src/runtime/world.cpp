@@ -4,13 +4,15 @@
 
 #include "parser/parser.h"
 #include "runtime/lookup.h"
+#include "runtime/shared_tier.h"
 
 #include <cassert>
 
 using namespace mself;
 using namespace mself::ast;
 
-World::World(Heap &H) : H(H) {
+World::World(Heap &H, SharedTier *Tier)
+    : H(H), Tier(Tier), Interner(Tier ? Tier->interner() : OwnInterner) {
   Sels = std::make_unique<CommonSelectors>(Interner);
   bootNativeMaps();
   H.addRootProvider(this);
@@ -99,14 +101,28 @@ void World::bindNativeTraits() {
 bool World::loadSource(const std::string &Source,
                        std::vector<const Code *> &ExprsOut,
                        std::string &ErrOut) {
-  Programs.push_back(std::make_unique<Program>());
-  Program &Prog = *Programs.back();
-  Parser P(Prog, Interner);
-  ParseResult R = P.parseTopLevel(Source);
-  if (!R.Ok) {
-    ErrOut = R.Error;
-    return false;
+  const Program *ProgPtr = nullptr;
+  if (Tier) {
+    // Shared mode: parse through the tier's cache. Every isolate loading
+    // the same source gets the same immutable Program, so AST-pointer
+    // identity (method bodies, block expressions) holds across isolates —
+    // the foundation of cross-isolate code-artifact keys.
+    std::shared_ptr<const Program> Shared = Tier->parseProgram(Source, ErrOut);
+    if (!Shared)
+      return false;
+    SharedPrograms.push_back(Shared);
+    ProgPtr = Shared.get();
+  } else {
+    Programs.push_back(std::make_unique<Program>());
+    Parser P(*Programs.back(), Interner);
+    ParseResult R = P.parseTopLevel(Source);
+    if (!R.Ok) {
+      ErrOut = R.Error;
+      return false;
+    }
+    ProgPtr = Programs.back().get();
   }
+  const Program &Prog = *ProgPtr;
   for (const TopLevelItem &Item : Prog.TopLevel) {
     if (Item.Slot) {
       if (!defineLobbySlot(*Item.Slot, ErrOut))

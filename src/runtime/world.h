@@ -33,6 +33,8 @@
 
 namespace mself {
 
+class SharedTier;
+
 /// Source text of the embedded core library.
 extern const char *kCoreLibrarySource;
 
@@ -40,11 +42,17 @@ class World : public RootProvider {
 public:
   /// Boots a fresh universe over \p H, including the core library.
   /// Asserts on core-library load failure (it is embedded and must parse).
-  explicit World(Heap &H);
+  /// With a shared \p Tier, the world interns through the tier's
+  /// process-wide interner and loads source through its parsed-AST cache,
+  /// so selector pointers and AST nodes are identical across every isolate
+  /// of the same SharedRuntime; without one, the world owns both — the
+  /// single-VM configuration, unchanged.
+  explicit World(Heap &H, SharedTier *Tier = nullptr);
   ~World() override;
 
   Heap &heap() { return H; }
   StringInterner &interner() { return Interner; }
+  SharedTier *sharedTier() const { return Tier; }
   const CommonSelectors &selectors() const { return *Sels; }
 
   Object *lobby() const { return Lobby; }
@@ -75,8 +83,9 @@ public:
   // Lookup caching and shape-mutation invalidation
   //===------------------------------------------------------------------===//
 
-  /// The process-wide (map, selector) lookup cache. Mutable because probing
-  /// a cache is logically const on the world.
+  /// This world's (map, selector) lookup cache — per isolate, so a flush
+  /// or shape mutation here never perturbs another isolate's dispatch.
+  /// Mutable because probing a cache is logically const on the world.
   GlobalLookupCache &lookupCache() const { return LookupCache; }
 
   /// Invalidation hook: called after any post-boot shape mutation — map
@@ -154,9 +163,14 @@ private:
                    std::string &ErrOut);
 
   Heap &H;
-  StringInterner Interner;
+  SharedTier *Tier; ///< Null: standalone world owning its own ASTs.
+  StringInterner OwnInterner;
+  StringInterner &Interner; ///< OwnInterner, or the shared tier's.
   std::unique_ptr<CommonSelectors> Sels;
-  std::vector<std::unique_ptr<ast::Program>> Programs;
+  std::vector<std::unique_ptr<ast::Program>> Programs; ///< Standalone mode.
+  /// Retained parses from the shared tier (keeps ASTs alive; the tier's
+  /// use_count tracks how many isolates still hold each program).
+  std::vector<std::shared_ptr<const ast::Program>> SharedPrograms;
 
   Object *Lobby = nullptr;
   Value Nil, True, False;

@@ -9,12 +9,22 @@
 /// lifetime of the interner, so identity comparison substitutes for string
 /// comparison (used for selector symbols and slot names).
 ///
+/// The interner is internally synchronized: intern() from any thread returns
+/// the same stable pointer for equal contents. This is what lets one
+/// interner back every isolate of a SharedRuntime — interned selector
+/// pointers then mean the same thing in every isolate, so compiled-code
+/// artifacts (whose selector pools are interned-pointer vectors) can move
+/// between isolates without translation. Single-world VMs pay one
+/// uncontended mutex acquisition per intern, which is noise next to the
+/// hash lookup it guards.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MINISELF_SUPPORT_INTERNER_H
 #define MINISELF_SUPPORT_INTERNER_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,14 +32,19 @@
 namespace mself {
 
 /// Owns a set of unique strings; intern() maps equal contents to one pointer.
+/// Thread-safe: concurrent intern()/size() calls are serialized internally.
 class StringInterner {
 public:
   /// \returns a stable pointer to the unique copy of \p Text.
   const std::string *intern(std::string_view Text);
 
-  size_t size() const { return Table.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Table.size();
+  }
 
 private:
+  mutable std::mutex M;
   std::unordered_map<std::string, std::unique_ptr<std::string>> Table;
 };
 

@@ -1,0 +1,264 @@
+//===-- tests/driver/isolate_test.cpp - Isolate-isolation battery ----------===//
+//
+// The correctness contract of multi-isolate server mode: isolates sharing a
+// SharedRuntime behave exactly like standalone VirtualMachines. Sharing
+// (interned selectors, parsed ASTs, compiled-code artifacts) may only
+// short-cut compilation, never change results; mutable state — heap, maps,
+// dispatch caches, quickened code — never crosses isolates, so a shape
+// mutation in one isolate is invisible to its neighbours; and the shared
+// tier's refcounts drain cleanly when isolates tear down (the churn test
+// doubles as a use-after-free probe under ASan).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/isolate.h"
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+/// A small mixed corpus: arithmetic, loops, recursion, closures, objects,
+/// polymorphic sends, vectors — enough variety that shared artifacts cover
+/// every compiler path the interpreter tier exercises.
+struct Program {
+  const char *Defs;
+  const char *Expr;
+  int64_t Expected;
+};
+
+const Program kCorpus[] = {
+    {"sumUpTo: n = ( | s <- 0. i <- 1 | "
+     "[ i <= n ] whileTrue: [ s: s + i. i: i + 1 ]. s )",
+     "sumUpTo: 100", 5050},
+    {"fib: n = ( n < 2 ifTrue: [ n ] False: "
+     "[ (fib: n - 1) + (fib: n - 2) ] )",
+     "fib: 12", 144},
+    {"mkAdder: n = ( [ :x | x + n ] )", "(mkAdder: 10) value: 32", 42},
+    {"counter = ( | parent* = lobby. n <- 0. "
+     "bump = ( n: n + 1. n ) | )",
+     "counter bump. counter bump. counter bump", 3},
+    {"shapeA = ( | parent* = lobby. area = ( 10 ) | ). "
+     "shapeB = ( | parent* = lobby. area = ( 20 ) | ). "
+     "sumAreas = ( | t <- 0. s | 1 to: 10 Do: [ :i | "
+     "s: (i even ifTrue: [ shapeA ] False: [ shapeB ]). "
+     "t: t + s area ]. t )",
+     "sumAreas", 150},
+    {"fill: n = ( | v. s <- 0 | v: (vectorOfSize: n). "
+     "0 upTo: n Do: [ :i | v at: i Put: i * 2 ]. "
+     "v do: [ :e | s: s + e ]. s )",
+     "fill: 10", 90},
+    {"grid = ( | t <- 0 | 1 to: 5 Do: [ :i | 1 to: 5 Do: [ :j | "
+     "t: t + (i * j) ] ]. t )",
+     "grid", 225},
+    {"", "2 + 3 * 4 - 5", 15},
+};
+constexpr size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
+
+/// Runs the whole corpus in \p VM in \p Order, recording each program's
+/// result (or an impossible marker on failure) into \p Results by corpus
+/// index. No gtest assertions: callers run this on worker threads.
+void runCorpus(VirtualMachine &VM, const std::vector<size_t> &Order,
+               std::vector<int64_t> &Results) {
+  Results.assign(kCorpusSize, INT64_MIN);
+  for (size_t Idx : Order) {
+    const Program &P = kCorpus[Idx];
+    std::string Err;
+    if (P.Defs[0] && !VM.load(P.Defs, Err))
+      return;
+    int64_t V = 0;
+    if (!VM.evalInt(P.Expr, V, Err))
+      return;
+    Results[Idx] = V;
+  }
+  VM.settleBackgroundCompiles();
+}
+
+std::vector<size_t> shuffledOrder(uint32_t Seed) {
+  std::vector<size_t> Order(kCorpusSize);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::mt19937 Rng(Seed);
+  std::shuffle(Order.begin(), Order.end(), Rng);
+  return Order;
+}
+
+} // namespace
+
+// N isolates of one SharedRuntime, each on its own thread, each running
+// the corpus in a different shuffled order, must compute exactly what N
+// sequential standalone VirtualMachines compute. This is the end-to-end
+// equivalence claim of server mode, with cross-isolate artifact reuse and
+// single-flight compile races happening live underneath.
+TEST(Isolate, ShuffledCorpusMatchesSequential) {
+  constexpr int N = 4;
+
+  // Sequential baseline: N fresh standalone VMs, natural order.
+  std::vector<size_t> Natural(kCorpusSize);
+  std::iota(Natural.begin(), Natural.end(), size_t{0});
+  std::vector<std::vector<int64_t>> Sequential(N);
+  for (int I = 0; I < N; ++I) {
+    VirtualMachine VM;
+    runCorpus(VM, Natural, Sequential[I]);
+  }
+
+  // Server mode: N isolates, N threads, shuffled per-thread orders.
+  SharedRuntime RT(2);
+  std::vector<std::unique_ptr<Isolate>> Isolates;
+  for (int I = 0; I < N; ++I)
+    Isolates.push_back(RT.createIsolate());
+  std::vector<std::vector<int64_t>> Threaded(N);
+  {
+    std::vector<std::thread> Threads;
+    for (int I = 0; I < N; ++I)
+      Threads.emplace_back([&, I] {
+        runCorpus(Isolates[I]->vm(), shuffledOrder(0xC0FFEE + I),
+                  Threaded[I]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  for (int I = 0; I < N; ++I)
+    for (size_t P = 0; P < kCorpusSize; ++P) {
+      EXPECT_EQ(Sequential[I][P], kCorpus[P].Expected)
+          << "sequential VM " << I << " program " << P;
+      EXPECT_EQ(Threaded[I][P], kCorpus[P].Expected)
+          << "isolate " << I << " program " << P;
+    }
+
+  // The point of sharing: later isolates rode on earlier isolates' work.
+  SharedTierStats S = RT.tier().statsSnapshot();
+  EXPECT_GT(S.AstHits, 0u);
+  Isolates.clear();
+}
+
+// A shape mutation in isolate A (new slot on its lobby) invalidates and
+// de-quickens code in A only. B's compiled code, inline caches, and
+// quickened sites are untouched — the shared tier forks keys instead of
+// invalidating across isolates.
+TEST(Isolate, ShapeMutationInANeverTouchesB) {
+  SharedRuntime RT(1);
+  std::unique_ptr<Isolate> A = RT.createIsolate();
+  std::unique_ptr<Isolate> B = RT.createIsolate();
+
+  const char *Defs = "hot: n = ( | t <- 0. i <- 0 | [ i < n ] whileTrue: "
+                     "[ i: i + 1. t: t + (i % 3) ]. t )";
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(A->vm().load(Defs, Err)) << Err;
+  ASSERT_TRUE(B->vm().load(Defs, Err)) << Err;
+  for (int I = 0; I < 8; ++I) {
+    ASSERT_TRUE(A->vm().evalInt("hot: 30", Out, Err)) << Err;
+    ASSERT_TRUE(B->vm().evalInt("hot: 30", Out, Err)) << Err;
+  }
+  A->vm().settleBackgroundCompiles();
+  B->vm().settleBackgroundCompiles();
+
+  VmTelemetry Before = B->vm().telemetry();
+
+  // Mutate shape in A: defining new lobby slots mutates A's lobby map (and
+  // runs A's invalidation fan-out).
+  ASSERT_TRUE(A->vm().load("extraSlotOne = ( 1 ). extraSlotTwo = ( 2 )", Err))
+      << Err;
+  ASSERT_TRUE(A->vm().evalInt("extraSlotOne + extraSlotTwo", Out, Err)) << Err;
+  EXPECT_EQ(Out, 3);
+
+  // B saw nothing: no invalidations, no cache flushes, no de-quickening.
+  VmTelemetry After = B->vm().telemetry();
+  EXPECT_EQ(After.Tier.Invalidations, Before.Tier.Invalidations);
+  EXPECT_EQ(After.Tier.InvalidatedFunctions, Before.Tier.InvalidatedFunctions);
+  EXPECT_EQ(After.Dispatch.InlineCacheFlushes,
+            Before.Dispatch.InlineCacheFlushes);
+  EXPECT_EQ(After.Dispatch.Dequickenings, Before.Dispatch.Dequickenings);
+  EXPECT_EQ(After.Dispatch.DequickenedSites, Before.Dispatch.DequickenedSites);
+  EXPECT_EQ(After.Dispatch.GlcInvalidations, Before.Dispatch.GlcInvalidations);
+
+  // And B still runs its (never-invalidated) code correctly.
+  ASSERT_TRUE(B->vm().evalInt("hot: 30", Out, Err)) << Err;
+  EXPECT_EQ(Out, 30);
+
+  // The converse holds too: A's own invalidation machinery did fire.
+  EXPECT_GT(A->vm().telemetry().Dispatch.InlineCacheFlushes,
+            Before.Dispatch.InlineCacheFlushes);
+
+  B.reset();
+  A.reset();
+}
+
+// Shared-tier refcount hygiene: isolates churn (create, load, run, tear
+// down) against one SharedRuntime; after every teardown the tier must be
+// the sole owner of the cached program again (use count 1), and the
+// program/artifact populations must stay flat after the first iteration —
+// no growth, no dangling owners. Run under ASan, this is also the
+// use-after-free probe for artifacts outliving their producer isolate.
+TEST(Isolate, SharedTierRefcountHygieneAcrossTeardown) {
+  SharedRuntime RT(1);
+  const std::string Defs = "churn: n = ( | s <- 0 | 1 to: n Do: [ :i | "
+                           "s: s + (i * i) ]. s )";
+
+  size_t StablePrograms = 0, StableArtifacts = 0;
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    {
+      std::unique_ptr<Isolate> I = RT.createIsolate();
+      std::string Err;
+      int64_t Out = 0;
+      ASSERT_TRUE(I->vm().load(Defs, Err)) << Err;
+      ASSERT_TRUE(I->vm().evalInt("churn: 10", Out, Err)) << Err;
+      EXPECT_EQ(Out, 385);
+      // While the isolate lives, it co-owns the parsed program.
+      EXPECT_GE(RT.tier().programUseCount(Defs), 2);
+    }
+    // Isolate gone: the tier is the sole owner again.
+    EXPECT_EQ(RT.tier().programUseCount(Defs), 1) << "iteration " << Iter;
+    EXPECT_EQ(RT.isolateCount(), 0u);
+
+    if (Iter == 0) {
+      StablePrograms = RT.tier().programCount();
+      StableArtifacts = RT.tier().artifactCount();
+      EXPECT_GT(StablePrograms, 0u);
+    } else {
+      EXPECT_EQ(RT.tier().programCount(), StablePrograms) << Iter;
+      EXPECT_EQ(RT.tier().artifactCount(), StableArtifacts) << Iter;
+    }
+  }
+
+  // The churn was served by the cache: one parse, one compile per key.
+  SharedTierStats S = RT.tier().statsSnapshot();
+  EXPECT_GE(S.AstHits, 39u);
+  EXPECT_GT(S.hitRate(), 0.9);
+}
+
+// Concurrent isolate creation and teardown against one runtime: the
+// registry, the tier, and the service survive interleaved lifecycles
+// (TSan-facing; no ordering asserted beyond "nothing crashes or leaks").
+TEST(Isolate, ConcurrentLifecycleChurn) {
+  SharedRuntime RT(2);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&RT, T] {
+      for (int Iter = 0; Iter < 6; ++Iter) {
+        std::unique_ptr<Isolate> I = RT.createIsolate();
+        std::string Err;
+        int64_t Out = 0;
+        if (!I->vm().evalInt("f" + std::to_string(T) +
+                                 " = ( | s <- 0 | 1 to: 20 Do: [ :i | "
+                                 "s: s + i ]. s ). f" +
+                                 std::to_string(T),
+                             Out, Err))
+          return;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(RT.isolateCount(), 0u);
+}

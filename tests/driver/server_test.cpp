@@ -1,0 +1,228 @@
+//===-- tests/driver/server_test.cpp - Shared compile-tier/service tests ---===//
+//
+// The server-mode machinery under contention: the single-flight artifact
+// cache (concurrent cold starts of the same key produce exactly one cached
+// artifact, every claim resolves), the shared compile service draining
+// multiple isolates' tier-up queues, per-isolate saturation fallback
+// (service load never changes an isolate's bounded-queue semantics), and
+// clean shutdown with work still queued. These run in the check-tsan and
+// check-asan matrices, including a second MINISELF_GC_STRESS=1 pass.
+//
+// The environment can force background compilation on or off
+// (MINISELF_BG_COMPILE folds into every policy); tests that need a
+// specific mode skip rather than fail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/isolate.h"
+#include "driver/vm.h"
+#include "interp/compile_queue.h"
+#include "interp/compile_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mself;
+
+namespace {
+
+Policy bgPolicy(int Threshold = 3) {
+  Policy P = Policy::newSelf();
+  P.TieredCompilation = true;
+  P.TierUpThreshold = Threshold;
+  P.BackgroundCompile = true;
+  return P;
+}
+
+const char *kHot = "hot: n = ( | t <- 0. i <- 0 | [ i < n ] whileTrue: "
+                   "[ i: i + 1. t: t + (i % 3) ]. t )";
+
+/// A reusable one-shot start barrier: threads park in wait() until the
+/// main thread release()s them all at once — maximizing the cold-start
+/// compile race the single-flight test wants.
+class StartGate {
+public:
+  void wait() {
+    std::unique_lock<std::mutex> L(M);
+    CV.wait(L, [this] { return Open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Open = true;
+    }
+    CV.notify_all();
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable CV;
+  bool Open = false;
+};
+
+} // namespace
+
+// Eight isolates race cold through the identical workload. Single-flight:
+// every artifact key is compiled and published exactly once process-wide
+// (misses == fills + unportable marks — each claim resolves, none twice),
+// and the artifact population equals the fill count. Everyone still
+// computes the right answer, losers by rehydrating the winner's artifact.
+TEST(Server, ConcurrentColdStartIsSingleFlight) {
+  constexpr int N = 8;
+  SharedRuntime RT(2);
+  std::vector<std::unique_ptr<Isolate>> Isolates;
+  for (int I = 0; I < N; ++I)
+    Isolates.push_back(RT.createIsolate());
+
+  StartGate Gate;
+  std::atomic<int> Wrong{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Gate.wait();
+      VirtualMachine &VM = Isolates[I]->vm();
+      std::string Err;
+      int64_t Out = 0;
+      if (!VM.load(kHot, Err) || !VM.evalInt("hot: 30", Out, Err) ||
+          Out != 30)
+        ++Wrong;
+      VM.settleBackgroundCompiles();
+    });
+  Gate.release();
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Wrong.load(), 0);
+
+  SharedTierStats S = RT.tier().statsSnapshot();
+  // Every claim resolved exactly once; no key was ever filled twice.
+  EXPECT_EQ(S.CodeMisses, S.CodeFills + S.CodeUnportableMarks);
+  EXPECT_EQ(S.Artifacts, S.CodeFills);
+  EXPECT_EQ(RT.tier().artifactCount(), S.CodeFills);
+  // One parse total for the shared source; seven isolates rode on it.
+  EXPECT_GE(S.AstHits, static_cast<uint64_t>(N - 1));
+  // The storm shared: most probes after the first compile were hits.
+  EXPECT_GT(S.CodeHits, 0u);
+
+  Isolates.clear();
+}
+
+// Per-isolate saturation semantics survive service mode: an isolate whose
+// bounded queue has zero capacity takes the synchronous promotion fallback
+// no matter how idle the shared pool is — saturation is a queue property,
+// not a service property.
+TEST(Server, SaturatedQueueFallsBackPerIsolate) {
+  SharedRuntime RT(2);
+  Policy P = bgPolicy();
+  P.BackgroundQueueCap = 0;
+  std::unique_ptr<Isolate> Starved = RT.createIsolate(P);
+  std::unique_ptr<Isolate> Healthy = RT.createIsolate(bgPolicy());
+  if (!Starved->vm().backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(Starved->vm().load(kHot, Err)) << Err;
+  ASSERT_TRUE(Healthy->vm().load(kHot, Err)) << Err;
+  for (int I = 0; I < 8; ++I) {
+    ASSERT_TRUE(Starved->vm().evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, 40);
+    ASSERT_TRUE(Healthy->vm().evalInt("hot: 40", Out, Err)) << Err;
+    EXPECT_EQ(Out, 40);
+  }
+  Starved->vm().settleBackgroundCompiles();
+  Healthy->vm().settleBackgroundCompiles();
+
+  // The starved isolate ran its promotions synchronously (it evaluates
+  // first each round, so no shared artifact can pre-empt its first
+  // promotion); nothing was ever enqueued through its zero-capacity queue.
+  TierStats SS = Starved->vm().telemetry().Tier;
+  EXPECT_GE(SS.BackgroundSyncFallbacks, 1u);
+  EXPECT_EQ(SS.BackgroundEnqueued, 0u);
+
+  Healthy.reset();
+  Starved.reset();
+}
+
+// Isolates with jobs still queued tear down while the service stays up
+// (pending jobs dropped, in-flight jobs finished before detach returns),
+// and the service then shuts down cleanly. The test passing at all — no
+// hang in detach, no use-after-free of a destroyed queue under ASan/TSan —
+// is the assertion.
+TEST(Server, ShutdownWithWorkStillQueued) {
+  for (int Round = 0; Round < 4; ++Round) {
+    SharedRuntime RT(1);
+    std::vector<std::unique_ptr<Isolate>> Isolates;
+    for (int I = 0; I < 3; ++I)
+      Isolates.push_back(RT.createIsolate(bgPolicy(2)));
+    for (std::unique_ptr<Isolate> &I : Isolates) {
+      if (!I->vm().backgroundQueue())
+        GTEST_SKIP() << "background compilation disabled by environment";
+      std::string Err;
+      int64_t Out = 0;
+      ASSERT_TRUE(I->vm().load(kHot, Err)) << Err;
+      // Enough evals to trip promotions; no settle — shut down with the
+      // enqueued work in whatever state the worker reached.
+      for (int E = 0; E < 4; ++E)
+        ASSERT_TRUE(I->vm().evalInt("hot: 25", Out, Err)) << Err;
+    }
+    Isolates.clear(); // Queues detach with jobs possibly queued/in flight.
+  }
+}
+
+// The shared pool actually drains multiple isolates' promotion queues:
+// with background compilation on for every isolate, the service executes
+// their jobs, safepoint installs still happen per isolate, and results
+// stay correct throughout.
+TEST(Server, ServiceDrainsMultipleIsolates) {
+  constexpr int N = 3;
+  SharedRuntime RT(2);
+  std::vector<std::unique_ptr<Isolate>> Isolates;
+  for (int I = 0; I < N; ++I)
+    Isolates.push_back(RT.createIsolate(bgPolicy(2)));
+  if (!Isolates[0]->vm().backgroundQueue())
+    GTEST_SKIP() << "background compilation disabled by environment";
+
+  std::atomic<int> Wrong{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      VirtualMachine &VM = Isolates[I]->vm();
+      std::string Err;
+      int64_t Out = 0;
+      if (!VM.load(kHot, Err)) {
+        ++Wrong;
+        return;
+      }
+      for (int E = 0; E < 12; ++E)
+        if (!VM.evalInt("hot: 30", Out, Err) || Out != 30) {
+          ++Wrong;
+          return;
+        }
+      VM.settleBackgroundCompiles();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Wrong.load(), 0);
+
+  // The pool ran jobs (unless every promotion was served by a shared
+  // artifact before its queue ever saw it — also a success mode).
+  uint64_t Promoted = 0, SharedHits = 0;
+  for (std::unique_ptr<Isolate> &I : Isolates) {
+    TierStats T = I->vm().telemetry().Tier;
+    Promoted += T.BackgroundInstalled + T.Promotions;
+    SharedHits += T.SharedHits;
+  }
+  EXPECT_GT(Promoted + SharedHits, 0u);
+  EXPECT_EQ(RT.compileService().attachedCount(),
+            static_cast<size_t>(N)); // Still attached until teardown.
+
+  Isolates.clear();
+  EXPECT_EQ(RT.compileService().attachedCount(), 0u);
+}

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/isolate.h"
 #include "driver/vm.h"
 
 #include <gtest/gtest.h>
@@ -73,8 +74,9 @@ TEST(Telemetry, HeaderAndLineGrammar) {
   std::vector<std::string> Ls = lines(Text);
   ASSERT_GT(Ls.size(), 10u);
 
-  std::string Head = "miniself.telemetry schema=1 policy=" +
-                     VM.policy().Name + " background=";
+  std::string Head = "miniself.telemetry schema=" +
+                     std::to_string(VmTelemetry::kSchemaVersion) +
+                     " policy=" + VM.policy().Name + " background=";
   EXPECT_EQ(Ls[0].rfind(Head, 0), 0u) << Ls[0];
   EXPECT_NE(Ls[0].find(" collector="), std::string::npos) << Ls[0];
 
@@ -138,7 +140,9 @@ TEST(Telemetry, JsonMirrorsTextSchema) {
 
   EXPECT_EQ(Json.rfind("{\n", 0), 0u);
   EXPECT_EQ(Json.substr(Json.size() - 2), "}\n");
-  EXPECT_NE(Json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\": " +
+                      std::to_string(VmTelemetry::kSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(Json.find("\"policy\": \"" + T.PolicyName + "\""),
             std::string::npos);
 
@@ -183,4 +187,75 @@ TEST(Telemetry, SnapshotIsImmutablePlainData) {
   EXPECT_EQ(A, B);
   // The live VM moved on.
   EXPECT_GT(VM.telemetry().Exec.Instructions, T.Exec.Instructions);
+}
+
+// The server roll-up: per-isolate snapshots in creation order, aggregate
+// sums over them, shared-tier and compile-service counters, and the same
+// grammar rules as VmTelemetry for its own text serialization.
+TEST(Telemetry, ServerRollupAggregatesIsolates) {
+  SharedRuntime RT(1);
+  std::unique_ptr<Isolate> A = RT.createIsolate();
+  std::unique_ptr<Isolate> B = RT.createIsolate();
+  warm(A->vm());
+  warm(B->vm());
+
+  ServerTelemetry T = RT.serverTelemetry();
+  ASSERT_EQ(T.Isolates.size(), 2u);
+  EXPECT_EQ(T.ServiceWorkers, 1u);
+  EXPECT_GT(T.Shared.InternedStrings, 0u);
+  // Both isolates loaded the identical source: one parse, one reuse.
+  EXPECT_GE(T.Shared.AstHits, 1u);
+  EXPECT_GE(T.Shared.AstMisses, 1u);
+
+  ServerTelemetry::Aggregate Agg = T.aggregate();
+  EXPECT_EQ(Agg.Sends, T.Isolates[0].Exec.Sends + T.Isolates[1].Exec.Sends);
+  EXPECT_EQ(Agg.Instructions,
+            T.Isolates[0].Exec.Instructions + T.Isolates[1].Exec.Instructions);
+  EXPECT_EQ(Agg.BaselineCompiles, T.Isolates[0].Tier.BaselineCompiles +
+                                      T.Isolates[1].Tier.BaselineCompiles);
+  // Sends may be 0 under the full newself policy (statically bound and
+  // inlined away), but instructions always execute.
+  EXPECT_GT(Agg.Instructions, 0u);
+
+  // Second isolate's compiles should have probed the tier — the compile
+  // traffic partition (shared hits + publishes + local fallbacks) accounts
+  // for every keyed-or-unkeyable compile path entered.
+  EXPECT_GT(Agg.SharedHits + Agg.SharedPublishes + Agg.SharedLocalFallbacks,
+            0u);
+  EXPECT_EQ(T.crossIsolateHitRate(), T.Shared.hitRate());
+
+  // Text serialization: header + strict `section.key=value` grammar.
+  std::string Text = T.formatStats();
+  std::vector<std::string> Ls = lines(Text);
+  ASSERT_GT(Ls.size(), 10u);
+  std::string Head = "miniself.server_telemetry schema=" +
+                     std::to_string(ServerTelemetry::kSchemaVersion) +
+                     " isolates=2";
+  EXPECT_EQ(Ls[0].rfind(Head, 0), 0u) << Ls[0];
+  for (size_t I = 1; I < Ls.size(); ++I) {
+    size_t Dot = Ls[I].find('.');
+    size_t Eq = Ls[I].find('=');
+    ASSERT_NE(Dot, std::string::npos) << Ls[I];
+    ASSERT_NE(Eq, std::string::npos) << Ls[I];
+    EXPECT_LT(Dot, Eq) << Ls[I];
+  }
+
+  // JSON mirrors every text key and embeds one object per isolate.
+  std::string Json = T.toJson();
+  for (const std::string &K : keysOf(Text)) {
+    std::string Key = K.substr(K.find('.') + 1);
+    EXPECT_NE(Json.find("\"" + Key + "\":"), std::string::npos) << K;
+  }
+  EXPECT_NE(Json.find("\"per_isolate\": ["), std::string::npos);
+  // Two embedded VmTelemetry objects, each with its own policy marker.
+  size_t Pos = 0, Embedded = 0;
+  while ((Pos = Json.find("\"policy\":", Pos)) != std::string::npos) {
+    ++Embedded;
+    Pos += 1;
+  }
+  EXPECT_EQ(Embedded, 2u);
+
+  B.reset();
+  A.reset();
+  EXPECT_EQ(RT.isolateCount(), 0u);
 }

@@ -18,10 +18,12 @@
 #ifndef MINISELF_TESTS_HARNESS_DIFFERENTIAL_H
 #define MINISELF_TESTS_HARNESS_DIFFERENTIAL_H
 
+#include "driver/isolate.h"
 #include "driver/vm.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,7 +50,40 @@ inline std::vector<Config> policyMatrix() {
   return Out;
 }
 
-/// Runs \p Defs + \p Expr under every configuration in the matrix. Fails
+/// The isolates axis: runs \p Defs + \p Expr in every isolate of an
+/// N-isolate SharedRuntime (shared interner/AST/code tier, shared compile
+/// pool) and fails unless all N isolates compute \p Expected. This pins the
+/// tentpole property of server mode: sharing immutable compiler artifacts
+/// across isolates never changes observable behaviour — isolate 2..N
+/// rehydrate code isolate 1 compiled, and must agree with it (and with the
+/// standalone matrix).
+inline ::testing::AssertionResult runIdenticalMultiIsolate(
+    const std::string &Defs, const std::string &Expr, int64_t Expected, int N) {
+  SharedRuntime RT(1);
+  std::vector<std::unique_ptr<Isolate>> Isolates;
+  for (int I = 0; I < N; ++I)
+    Isolates.push_back(RT.createIsolate());
+  for (int I = 0; I < N; ++I) {
+    VirtualMachine &VM = Isolates[I]->vm();
+    std::string Err;
+    if (!Defs.empty() && !VM.load(Defs, Err))
+      return ::testing::AssertionFailure()
+             << "isolate " << I << "/" << N << " failed to load defs: " << Err;
+    int64_t V = 0;
+    if (!VM.evalInt(Expr, V, Err))
+      return ::testing::AssertionFailure()
+             << "isolate " << I << "/" << N << " failed on '" << Expr
+             << "': " << Err;
+    if (V != Expected)
+      return ::testing::AssertionFailure()
+             << "isolates-axis mismatch on '" << Expr << "': standalone => "
+             << Expected << " but isolate " << I << "/" << N << " => " << V;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Runs \p Defs + \p Expr under every configuration in the matrix, then
+/// under the isolates axis (1/2/8 isolates of one SharedRuntime). Fails
 /// (with the offending configuration's label) unless every configuration
 /// succeeds and they all agree; on success stores the common value in
 /// \p Out.
@@ -76,6 +111,12 @@ runIdentical(const std::string &Defs, const std::string &Expr, int64_t &Out) {
              << "differential mismatch on '" << Expr << "': " << FirstLabel
              << " => " << First << " but " << C.Label << " => " << V;
     }
+  }
+  for (int N : {1, 2, 8}) {
+    ::testing::AssertionResult R =
+        runIdenticalMultiIsolate(Defs, Expr, First, N);
+    if (!R)
+      return R;
   }
   Out = First;
   return ::testing::AssertionSuccess();
