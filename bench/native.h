@@ -33,6 +33,13 @@ int64_t sumToConst();
 int64_t atAllPut();
 int64_t richards();
 
+// The workload scenario pack (native_workloads.cpp).
+int64_t deltablue();
+int64_t json();
+int64_t sexpr();
+int64_t lexer();
+int64_t peg();
+
 } // namespace mself::bench::native
 
 #endif // MINISELF_BENCH_NATIVE_H

@@ -1,0 +1,1027 @@
+//===-- bench/native_workloads.cpp - C++ twins of the workload pack -------===//
+//
+// Native implementations of the workload suites, each an exact
+// transliteration of the mini-SELF program in workloads.cpp: same input
+// (workload_inputs.h), same algorithm, same iteration orders, same modular
+// arithmetic (all operands kept non-negative so `%` and `/` agree between
+// the two languages). The differential harness holds the checksums equal
+// under every policy configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native.h"
+
+#include "workload_inputs.h"
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mself::bench::native {
+
+namespace {
+
+constexpr int64_t M = 1000003;
+
+//===----------------------------------------------------------------------===//
+// deltablue
+//===----------------------------------------------------------------------===//
+
+namespace db {
+
+// Strengths are ints 0 (required) .. 6 (weakest); smaller is stronger.
+// Binary direction: 0 none, 1 forward (V1 -> V2), 2 backward.
+
+struct Constraint;
+
+struct Variable {
+  int64_t Value = 0;
+  std::vector<Constraint *> Constraints;
+  Constraint *DeterminedBy = nullptr;
+  int64_t Mark = 0;
+  int64_t WalkStrength = 6;
+  bool Stay = true;
+
+  explicit Variable(int64_t V) : Value(V) {}
+  void addConstraint(Constraint *C) { Constraints.push_back(C); }
+  void removeConstraint(Constraint *C) {
+    // Order-preserving compaction, like wlList remove:.
+    size_t J = 0;
+    for (Constraint *X : Constraints)
+      if (X != C)
+        Constraints[J++] = X;
+    Constraints.resize(J);
+    if (DeterminedBy == C)
+      DeterminedBy = nullptr;
+  }
+};
+
+struct Planner;
+
+struct Constraint {
+  int64_t Strength = 0;
+
+  virtual ~Constraint() = default;
+  virtual bool isInput() const { return false; }
+  virtual bool isSatisfied() const = 0;
+  virtual void addToGraph() = 0;
+  virtual void removeFromGraph() = 0;
+  virtual void chooseMethod(int64_t Mark) = 0;
+  virtual void markInputs(int64_t Mark) = 0;
+  virtual bool inputsKnown(int64_t Mark) const = 0;
+  virtual Variable *output() const = 0;
+  virtual void markUnsatisfied() = 0;
+  virtual void recalculate() = 0;
+  virtual void execute() = 0;
+
+  void addToPlanner(Planner &P);
+  void destroyIn(Planner &P);
+  Constraint *satisfy(int64_t Mark, Planner &P);
+};
+
+struct Planner {
+  int64_t CurrentMark = 0;
+
+  int64_t newMark() { return ++CurrentMark; }
+
+  void incrementalAdd(Constraint *C) {
+    int64_t Mark = newMark();
+    Constraint *Overridden = C->satisfy(Mark, *this);
+    while (Overridden)
+      Overridden = Overridden->satisfy(Mark, *this);
+  }
+
+  void incrementalRemove(Constraint *C) {
+    Variable *Out = C->output();
+    C->markUnsatisfied();
+    C->removeFromGraph();
+    std::vector<Constraint *> Unsatisfied = removePropagateFrom(Out);
+    for (int64_t S = 0; S <= 6; ++S)
+      for (Constraint *U : Unsatisfied)
+        if (U->Strength == S)
+          incrementalAdd(U);
+  }
+
+  bool addPropagate(Constraint *C, int64_t Mark) {
+    std::vector<Constraint *> Todo{C};
+    while (!Todo.empty()) {
+      Constraint *D = Todo.back();
+      Todo.pop_back();
+      if (D->output()->Mark == Mark)
+        return false;
+      D->recalculate();
+      addConstraintsConsuming(D->output(), Todo);
+    }
+    return true;
+  }
+
+  std::vector<Constraint *> removePropagateFrom(Variable *Out) {
+    std::vector<Constraint *> Unsatisfied;
+    Out->DeterminedBy = nullptr;
+    Out->WalkStrength = 6;
+    Out->Stay = true;
+    std::vector<Variable *> Todo{Out};
+    while (!Todo.empty()) {
+      Variable *V = Todo.back();
+      Todo.pop_back();
+      for (Constraint *C : V->Constraints)
+        if (!C->isSatisfied())
+          Unsatisfied.push_back(C);
+      Constraint *Determining = V->DeterminedBy;
+      for (Constraint *C : V->Constraints)
+        if (C != Determining && C->isSatisfied()) {
+          C->recalculate();
+          Todo.push_back(C->output());
+        }
+    }
+    return Unsatisfied;
+  }
+
+  void addConstraintsConsuming(Variable *V, std::vector<Constraint *> &Coll) {
+    Constraint *Determining = V->DeterminedBy;
+    for (Constraint *C : V->Constraints)
+      if (C != Determining && C->isSatisfied())
+        Coll.push_back(C);
+  }
+
+  std::vector<Constraint *> makePlan(std::vector<Constraint *> Sources) {
+    int64_t Mark = newMark();
+    std::vector<Constraint *> Plan;
+    std::vector<Constraint *> &Todo = Sources;
+    while (!Todo.empty()) {
+      Constraint *C = Todo.back();
+      Todo.pop_back();
+      if (C->output()->Mark != Mark && C->inputsKnown(Mark)) {
+        Plan.push_back(C);
+        C->output()->Mark = Mark;
+        addConstraintsConsuming(C->output(), Todo);
+      }
+    }
+    return Plan;
+  }
+
+  std::vector<Constraint *>
+  extractPlanFrom(const std::vector<Constraint *> &Cs) {
+    std::vector<Constraint *> Sources;
+    for (Constraint *C : Cs)
+      if (C->isInput() && C->isSatisfied())
+        Sources.push_back(C);
+    return makePlan(std::move(Sources));
+  }
+};
+
+void Constraint::addToPlanner(Planner &P) {
+  addToGraph();
+  P.incrementalAdd(this);
+}
+
+void Constraint::destroyIn(Planner &P) {
+  if (isSatisfied())
+    P.incrementalRemove(this);
+  else
+    removeFromGraph();
+}
+
+Constraint *Constraint::satisfy(int64_t Mark, Planner &P) {
+  chooseMethod(Mark);
+  if (isSatisfied()) {
+    markInputs(Mark);
+    Variable *Out = output();
+    Constraint *Overridden = Out->DeterminedBy;
+    if (Overridden)
+      Overridden->markUnsatisfied();
+    Out->DeterminedBy = this;
+    if (!P.addPropagate(this, Mark))
+      throw std::runtime_error("deltablue: cycle");
+    Out->Mark = Mark;
+    return Overridden;
+  }
+  if (Strength == 0)
+    throw std::runtime_error("deltablue: required unsatisfiable");
+  return nullptr;
+}
+
+struct UnaryConstraint : Constraint {
+  Variable *MyOutput = nullptr;
+  bool SatisfiedFlag = false;
+
+  void init(Variable *V, int64_t S, Planner &P) {
+    MyOutput = V;
+    Strength = S;
+    addToPlanner(P);
+  }
+  void addToGraph() override {
+    MyOutput->addConstraint(this);
+    SatisfiedFlag = false;
+  }
+  void removeFromGraph() override {
+    if (MyOutput)
+      MyOutput->removeConstraint(this);
+    SatisfiedFlag = false;
+  }
+  void chooseMethod(int64_t Mark) override {
+    SatisfiedFlag =
+        MyOutput->Mark != Mark && Strength < MyOutput->WalkStrength;
+  }
+  bool isSatisfied() const override { return SatisfiedFlag; }
+  void markInputs(int64_t) override {}
+  bool inputsKnown(int64_t) const override { return true; }
+  Variable *output() const override { return MyOutput; }
+  void markUnsatisfied() override { SatisfiedFlag = false; }
+  void recalculate() override {
+    MyOutput->WalkStrength = Strength;
+    MyOutput->Stay = !isInput();
+    if (MyOutput->Stay)
+      execute();
+  }
+  void execute() override {}
+};
+
+struct StayConstraint : UnaryConstraint {};
+
+struct EditConstraint : UnaryConstraint {
+  bool isInput() const override { return true; }
+};
+
+struct BinaryConstraint : Constraint {
+  Variable *V1 = nullptr, *V2 = nullptr;
+  int64_t Direction = 0;
+
+  void addToGraph() override {
+    V1->addConstraint(this);
+    V2->addConstraint(this);
+    Direction = 0;
+  }
+  void removeFromGraph() override {
+    if (V1)
+      V1->removeConstraint(this);
+    if (V2)
+      V2->removeConstraint(this);
+    Direction = 0;
+  }
+  bool isSatisfied() const override { return Direction != 0; }
+  void markUnsatisfied() override { Direction = 0; }
+  Variable *input() const { return Direction == 1 ? V1 : V2; }
+  Variable *output() const override { return Direction == 1 ? V2 : V1; }
+  void markInputs(int64_t Mark) override { input()->Mark = Mark; }
+  bool inputsKnown(int64_t Mark) const override {
+    Variable *I = input();
+    return I->Mark == Mark || I->Stay || I->DeterminedBy == nullptr;
+  }
+  void chooseMethod(int64_t Mark) override {
+    if (V1->Mark == Mark)
+      Direction =
+          (V2->Mark != Mark && Strength < V2->WalkStrength) ? 1 : 0;
+    else if (V2->Mark == Mark)
+      Direction =
+          (V1->Mark != Mark && Strength < V1->WalkStrength) ? 2 : 0;
+    else if (V1->WalkStrength > V2->WalkStrength)
+      Direction = Strength < V1->WalkStrength ? 2 : 0;
+    else
+      Direction = Strength < V2->WalkStrength ? 1 : 0;
+  }
+  void recalculate() override {
+    Variable *I = input(), *O = output();
+    O->WalkStrength = std::max(Strength, I->WalkStrength);
+    O->Stay = I->Stay;
+    if (O->Stay)
+      execute();
+  }
+};
+
+struct EqualityConstraint : BinaryConstraint {
+  void init(Variable *X, Variable *Y, int64_t S, Planner &P) {
+    V1 = X;
+    V2 = Y;
+    Strength = S;
+    addToPlanner(P);
+  }
+  void execute() override { output()->Value = input()->Value; }
+};
+
+struct ScaleConstraint : BinaryConstraint {
+  Variable *ScaleVar = nullptr, *OffsetVar = nullptr;
+
+  void init(Variable *Src, Variable *Sc, Variable *Off, Variable *Dst,
+            int64_t S, Planner &P) {
+    V1 = Src;
+    V2 = Dst;
+    ScaleVar = Sc;
+    OffsetVar = Off;
+    Strength = S;
+    addToPlanner(P);
+  }
+  void addToGraph() override {
+    V1->addConstraint(this);
+    V2->addConstraint(this);
+    ScaleVar->addConstraint(this);
+    OffsetVar->addConstraint(this);
+    Direction = 0;
+  }
+  void removeFromGraph() override {
+    if (V1)
+      V1->removeConstraint(this);
+    if (V2)
+      V2->removeConstraint(this);
+    if (ScaleVar)
+      ScaleVar->removeConstraint(this);
+    if (OffsetVar)
+      OffsetVar->removeConstraint(this);
+    Direction = 0;
+  }
+  void markInputs(int64_t Mark) override {
+    input()->Mark = Mark;
+    ScaleVar->Mark = Mark;
+    OffsetVar->Mark = Mark;
+  }
+  void recalculate() override {
+    Variable *I = input(), *O = output();
+    O->WalkStrength = std::max(Strength, I->WalkStrength);
+    O->Stay = I->Stay && ScaleVar->Stay && OffsetVar->Stay;
+    if (O->Stay)
+      execute();
+  }
+  void execute() override {
+    if (Direction == 1)
+      V2->Value = V1->Value * ScaleVar->Value + OffsetVar->Value;
+    else
+      V1->Value = (V2->Value - OffsetVar->Value) / ScaleVar->Value;
+  }
+};
+
+struct Bench {
+  Planner P;
+  std::vector<std::unique_ptr<Variable>> Vars;
+  std::vector<std::unique_ptr<Constraint>> Arena;
+
+  Variable *var(int64_t V) {
+    Vars.push_back(std::make_unique<Variable>(V));
+    return Vars.back().get();
+  }
+  template <typename T> T *make() {
+    auto Owner = std::make_unique<T>();
+    T *Raw = Owner.get();
+    Arena.push_back(std::move(Owner));
+    return Raw;
+  }
+
+  void change(Variable *V, int64_t NewValue) {
+    auto *Edit = make<EditConstraint>();
+    Edit->init(V, 2, P);
+    std::vector<Constraint *> Plan = P.extractPlanFrom({Edit});
+    for (int I = 0; I < 10; ++I) {
+      V->Value = NewValue;
+      for (Constraint *C : Plan)
+        C->execute();
+    }
+    Edit->destroyIn(P);
+  }
+
+  int64_t chainTest(int64_t N) {
+    P = Planner();
+    std::vector<Variable *> V;
+    for (int64_t I = 0; I <= N; ++I)
+      V.push_back(var(0));
+    for (int64_t I = 0; I < N; ++I)
+      make<EqualityConstraint>()->init(V[I], V[I + 1], 0, P);
+    make<StayConstraint>()->init(V[N], 3, P);
+    auto *Edit = make<EditConstraint>();
+    Edit->init(V[0], 2, P);
+    std::vector<Constraint *> Plan = P.extractPlanFrom({Edit});
+    int64_t Chk = 0;
+    for (int64_t I = 1; I <= 20; ++I) {
+      V[0]->Value = I;
+      for (Constraint *C : Plan)
+        C->execute();
+      if (V[N]->Value != I)
+        throw std::runtime_error("deltablue: chain broken");
+      Chk = (Chk * 31 + V[N]->Value) % M;
+    }
+    Edit->destroyIn(P);
+    return Chk;
+  }
+
+  int64_t projectionTest(int64_t N) {
+    P = Planner();
+    std::vector<Variable *> Dests;
+    Variable *Scale = var(10);
+    Variable *Offset = var(1000);
+    Variable *Src = nullptr, *Dst = nullptr;
+    for (int64_t I = 0; I < N; ++I) {
+      Src = var(I);
+      Dst = var(I);
+      Dests.push_back(Dst);
+      make<StayConstraint>()->init(Src, 4, P);
+      make<ScaleConstraint>()->init(Src, Scale, Offset, Dst, 0, P);
+    }
+    change(Src, 17);
+    int64_t Chk = Dst->Value;
+    change(Dst, 1050);
+    Chk = (Chk * 31 + Src->Value) % M;
+    change(Scale, 5);
+    for (Variable *D : Dests)
+      Chk = (Chk * 31 + D->Value) % M;
+    change(Offset, 2000);
+    for (Variable *D : Dests)
+      Chk = (Chk * 31 + D->Value) % M;
+    return Chk;
+  }
+
+  int64_t run() { return (chainTest(8) + projectionTest(8)) % M; }
+};
+
+} // namespace db
+
+//===----------------------------------------------------------------------===//
+// json
+//===----------------------------------------------------------------------===//
+
+// Computes the tree hash bottom-up during the parse — equivalent to the
+// mini-SELF build-tree-then-hash since both fold in document order.
+struct JsonParser {
+  const char *Text;
+  int64_t Pos = 0, N;
+
+  explicit JsonParser(const char *T) : Text(T), N((int64_t)strlen(T)) {}
+
+  int64_t peek() const { return Pos < N ? (unsigned char)Text[Pos] : 0; }
+  void skipWs() {
+    while (Pos < N && Text[Pos] == ' ')
+      ++Pos;
+  }
+  int64_t parseStringHash() {
+    skipWs();
+    ++Pos; // opening quote
+    int64_t H = 0;
+    while (Text[Pos] != '"') {
+      H = (H * 31 + (unsigned char)Text[Pos]) % M;
+      ++Pos;
+    }
+    ++Pos; // closing quote
+    return H;
+  }
+  int64_t parseNumberHash() {
+    int64_t V = 0;
+    while (Pos < N && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      V = V * 10 + (Text[Pos] - '0');
+      ++Pos;
+    }
+    return (2 * V + 1) % M;
+  }
+  int64_t parseArrayHash() {
+    ++Pos; // '['
+    skipWs();
+    int64_t H = 17;
+    if (peek() == ']') {
+      ++Pos;
+      return H;
+    }
+    bool Done = false;
+    while (!Done) {
+      H = (H * 33 + parseValueHash()) % M;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        skipWs();
+      } else {
+        ++Pos; // ']'
+        Done = true;
+      }
+    }
+    return H;
+  }
+  int64_t parseObjectHash() {
+    ++Pos; // '{'
+    skipWs();
+    int64_t H = 19;
+    if (peek() == '}') {
+      ++Pos;
+      return H;
+    }
+    bool Done = false;
+    while (!Done) {
+      int64_t K = parseStringHash();
+      skipWs();
+      ++Pos; // ':'
+      int64_t V = parseValueHash();
+      H = (H * 37 + K + V) % M;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        skipWs();
+      } else {
+        ++Pos; // '}'
+        Done = true;
+      }
+    }
+    return H;
+  }
+  int64_t parseValueHash() {
+    skipWs();
+    int64_t C = peek();
+    if (C == '{')
+      return parseObjectHash();
+    if (C == '[')
+      return parseArrayHash();
+    if (C == '"')
+      return parseStringHash();
+    if (C >= '0' && C <= '9')
+      return parseNumberHash();
+    if (C == 't') {
+      Pos += 4;
+      return 13;
+    }
+    if (C == 'f') {
+      Pos += 5;
+      return 11;
+    }
+    if (C == 'n') {
+      Pos += 4;
+      return 7;
+    }
+    throw std::runtime_error("json: unexpected character");
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// sexpr
+//===----------------------------------------------------------------------===//
+
+namespace se {
+
+struct Node {
+  // Kind 0: number, 1: symbol, 2: list.
+  int Kind;
+  int64_t V = 0;
+  std::string Name;
+  std::vector<std::unique_ptr<Node>> Items;
+
+  int64_t eval() const {
+    if (Kind == 0)
+      return V;
+    if (Kind == 1)
+      throw std::runtime_error("sexpr: bare symbol has no value");
+    const std::string &Op = Items[0]->Name;
+    int64_t Acc;
+    if (Op == "+") {
+      Acc = 0;
+      for (size_t I = 1; I < Items.size(); ++I)
+        Acc = (Acc + Items[I]->eval()) % M;
+      return Acc;
+    }
+    if (Op == "*") {
+      Acc = 1;
+      for (size_t I = 1; I < Items.size(); ++I)
+        Acc = (Acc * Items[I]->eval()) % M;
+      return Acc;
+    }
+    if (Op == "-") {
+      int64_t A = Items[1]->eval(), B = Items[2]->eval();
+      return A > B ? A - B : 0; // monus
+    }
+    if (Op == "min") {
+      Acc = Items[1]->eval();
+      for (size_t I = 2; I < Items.size(); ++I)
+        Acc = std::min(Acc, Items[I]->eval());
+      return Acc;
+    }
+    if (Op == "max") {
+      Acc = Items[1]->eval();
+      for (size_t I = 2; I < Items.size(); ++I)
+        Acc = std::max(Acc, Items[I]->eval());
+      return Acc;
+    }
+    throw std::runtime_error("sexpr: unknown operator");
+  }
+
+  int64_t shash() const {
+    if (Kind == 0)
+      return (2 * V + 1) % M;
+    if (Kind == 1) {
+      int64_t H = 5;
+      for (char C : Name)
+        H = (H * 31 + (unsigned char)C) % M;
+      return H;
+    }
+    int64_t H = 23;
+    for (const auto &X : Items)
+      H = (H * 29 + X->shash()) % M;
+    return H;
+  }
+};
+
+struct Parser {
+  const char *Text;
+  int64_t Pos = 0, N;
+
+  explicit Parser(const char *T) : Text(T), N((int64_t)strlen(T)) {}
+
+  int64_t peek() const { return Pos < N ? (unsigned char)Text[Pos] : 0; }
+  void skipWs() {
+    while (Pos < N && Text[Pos] == ' ')
+      ++Pos;
+  }
+  std::unique_ptr<Node> parseNumber() {
+    auto Nd = std::make_unique<Node>();
+    Nd->Kind = 0;
+    while (Pos < N && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      Nd->V = Nd->V * 10 + (Text[Pos] - '0');
+      ++Pos;
+    }
+    return Nd;
+  }
+  std::unique_ptr<Node> parseSymbol() {
+    int64_t Start = Pos;
+    while (Pos < N && Text[Pos] != ' ' && Text[Pos] != '(' &&
+           Text[Pos] != ')')
+      ++Pos;
+    auto Nd = std::make_unique<Node>();
+    Nd->Kind = 1;
+    Nd->Name.assign(Text + Start, Text + Pos);
+    return Nd;
+  }
+  std::unique_ptr<Node> parseList() {
+    ++Pos; // '('
+    auto Nd = std::make_unique<Node>();
+    Nd->Kind = 2;
+    skipWs();
+    while (peek() != ')') {
+      Nd->Items.push_back(parseItem());
+      skipWs();
+    }
+    ++Pos; // ')'
+    return Nd;
+  }
+  std::unique_ptr<Node> parseItem() {
+    skipWs();
+    int64_t C = peek();
+    if (C == '(')
+      return parseList();
+    if (C >= '0' && C <= '9')
+      return parseNumber();
+    return parseSymbol();
+  }
+};
+
+} // namespace se
+
+//===----------------------------------------------------------------------===//
+// lexer
+//===----------------------------------------------------------------------===//
+
+int64_t lexStrHash(const std::string &S) {
+  int64_t H = 0;
+  for (char C : S)
+    H = (H * 31 + (unsigned char)C) % M;
+  return H;
+}
+
+int64_t lexScan(const char *Doc) {
+  static const char *const Kws[6] = {"if", "then", "else",
+                                     "while", "do", "end"};
+  int64_t Pos = 0, N = (int64_t)strlen(Doc), Chk = 0;
+  while (Pos < N) {
+    int64_t C = (unsigned char)Doc[Pos];
+    if (C == ' ') {
+      ++Pos;
+      continue;
+    }
+    int64_t Kind, Val;
+    if (C >= 'a' && C <= 'z') {
+      int64_t Start = Pos;
+      while (Pos < N && ((Doc[Pos] >= 'a' && Doc[Pos] <= 'z') ||
+                         (Doc[Pos] >= '0' && Doc[Pos] <= '9')))
+        ++Pos;
+      std::string Lexeme(Doc + Start, Doc + Pos);
+      Kind = 10;
+      Val = 0;
+      for (int64_t Kw = 0; Kw < 6; ++Kw)
+        if (Lexeme == Kws[Kw]) {
+          Kind = 1 + Kw;
+          Val = Kw;
+          break;
+        }
+      if (Kind == 10)
+        Val = lexStrHash(Lexeme);
+    } else if (C >= '0' && C <= '9') {
+      Kind = 11;
+      Val = 0;
+      while (Pos < N && Doc[Pos] >= '0' && Doc[Pos] <= '9') {
+        Val = Val * 10 + (Doc[Pos] - '0');
+        ++Pos;
+      }
+    } else if (C == ':' && Pos + 1 < N && Doc[Pos + 1] == '=') {
+      Kind = 12;
+      Val = 0;
+      Pos += 2;
+    } else {
+      Kind = 13;
+      Val = C;
+      ++Pos;
+    }
+    Chk = (Chk * 31 + (Kind * 7 + Val)) % M;
+  }
+  return Chk;
+}
+
+//===----------------------------------------------------------------------===//
+// peg
+//===----------------------------------------------------------------------===//
+
+namespace peg {
+
+// match() returns the new position, or -1 for failure (mini-SELF nil).
+// Composite kinds tick Attempts; leaf kinds (Char, Range, Any, Lit) do not,
+// mirroring where the mini-SELF rules send `pegStats tick`.
+struct Ctx {
+  int64_t Attempts = 0;
+};
+
+struct Rule {
+  virtual ~Rule() = default;
+  virtual int64_t match(const char *T, int64_t P, int64_t N,
+                        Ctx &S) const = 0;
+};
+
+struct CharRule : Rule {
+  int64_t Ch;
+  explicit CharRule(int64_t C) : Ch(C) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &) const override {
+    return (P < N && (unsigned char)T[P] == Ch) ? P + 1 : -1;
+  }
+};
+
+struct RangeRule : Rule {
+  int64_t Lo, Hi;
+  RangeRule(int64_t L, int64_t H) : Lo(L), Hi(H) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &) const override {
+    return (P < N && (unsigned char)T[P] >= Lo && (unsigned char)T[P] <= Hi)
+               ? P + 1
+               : -1;
+  }
+};
+
+struct AnyRule : Rule {
+  int64_t match(const char *, int64_t P, int64_t N, Ctx &) const override {
+    return P < N ? P + 1 : -1;
+  }
+};
+
+struct LitRule : Rule {
+  std::string Lit;
+  explicit LitRule(std::string L) : Lit(std::move(L)) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &) const override {
+    int64_t Mn = (int64_t)Lit.size();
+    if (P + Mn > N)
+      return -1;
+    for (int64_t I = 0; I < Mn; ++I)
+      if (T[P + I] != Lit[I])
+        return -1;
+    return P + Mn;
+  }
+};
+
+struct Seq2Rule : Rule {
+  const Rule *A, *B;
+  Seq2Rule(const Rule *X, const Rule *Y) : A(X), B(Y) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = A->match(T, P, N, S);
+    if (Mm < 0)
+      return -1;
+    return B->match(T, Mm, N, S);
+  }
+};
+
+struct Seq3Rule : Rule {
+  const Rule *A, *B, *C;
+  Seq3Rule(const Rule *X, const Rule *Y, const Rule *Z) : A(X), B(Y), C(Z) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = A->match(T, P, N, S);
+    if (Mm < 0)
+      return -1;
+    Mm = B->match(T, Mm, N, S);
+    if (Mm < 0)
+      return -1;
+    return C->match(T, Mm, N, S);
+  }
+};
+
+struct Choice2Rule : Rule {
+  const Rule *A, *B;
+  Choice2Rule(const Rule *X, const Rule *Y) : A(X), B(Y) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = A->match(T, P, N, S);
+    if (Mm >= 0)
+      return Mm;
+    return B->match(T, P, N, S);
+  }
+};
+
+struct Choice3Rule : Rule {
+  const Rule *A, *B, *C;
+  Choice3Rule(const Rule *X, const Rule *Y, const Rule *Z)
+      : A(X), B(Y), C(Z) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = A->match(T, P, N, S);
+    if (Mm >= 0)
+      return Mm;
+    Mm = B->match(T, P, N, S);
+    if (Mm >= 0)
+      return Mm;
+    return C->match(T, P, N, S);
+  }
+};
+
+struct StarRule : Rule {
+  const Rule *Sub;
+  explicit StarRule(const Rule *X) : Sub(X) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Cur = P;
+    for (;;) {
+      int64_t Mm = Sub->match(T, Cur, N, S);
+      if (Mm < 0)
+        return Cur;
+      Cur = Mm;
+    }
+  }
+};
+
+struct PlusRule : Rule {
+  const Rule *Sub;
+  explicit PlusRule(const Rule *X) : Sub(X) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = Sub->match(T, P, N, S);
+    if (Mm < 0)
+      return -1;
+    int64_t Cur = Mm;
+    for (;;) {
+      Mm = Sub->match(T, Cur, N, S);
+      if (Mm < 0)
+        return Cur;
+      Cur = Mm;
+    }
+  }
+};
+
+struct OptRule : Rule {
+  const Rule *Sub;
+  explicit OptRule(const Rule *X) : Sub(X) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = Sub->match(T, P, N, S);
+    return Mm < 0 ? P : Mm;
+  }
+};
+
+struct NotRule : Rule {
+  const Rule *Sub;
+  explicit NotRule(const Rule *X) : Sub(X) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    int64_t Mm = Sub->match(T, P, N, S);
+    return Mm < 0 ? P : -1;
+  }
+};
+
+struct RefRule : Rule {
+  const std::vector<const Rule *> *Rules;
+  int64_t Idx;
+  RefRule(const std::vector<const Rule *> *R, int64_t I)
+      : Rules(R), Idx(I) {}
+  int64_t match(const char *T, int64_t P, int64_t N, Ctx &S) const override {
+    ++S.Attempts;
+    return (*Rules)[Idx]->match(T, P, N, S);
+  }
+};
+
+struct Bench {
+  std::vector<std::unique_ptr<Rule>> Arena;
+  std::vector<const Rule *> Rules;
+
+  template <typename T, typename... Args> const Rule *make(Args &&...As) {
+    Arena.push_back(std::make_unique<T>(std::forward<Args>(As)...));
+    return Arena.back().get();
+  }
+
+  // The same object graph the mini-SELF builder constructs: the grammar is
+  // arranged so every combinator's child-dispatch site sees >=5 distinct
+  // rule kinds (megamorphic under the default PIC arity).
+  const Rule *build() {
+    Rules.assign(1, nullptr);
+    const Rule *Ws = make<StarRule>(make<CharRule>(' '));
+    const Rule *Alpha = make<RangeRule>('a', 'z');
+    const Rule *Digit = make<RangeRule>('0', '9');
+    const Rule *Alnum = make<Choice2Rule>(Alpha, Digit);
+    const Rule *Ident =
+        make<Seq3Rule>(Alpha, make<StarRule>(Alnum), make<OptRule>(Ws));
+    const Rule *NumTail = make<Seq2Rule>(make<OptRule>(Alpha), Ws);
+    const Rule *Number =
+        make<Seq3Rule>(make<OptRule>(make<CharRule>('-')),
+                       make<PlusRule>(Digit), NumTail);
+    const Rule *Lp = make<Seq2Rule>(make<CharRule>('('), Ws);
+    const Rule *Rp = make<Seq2Rule>(make<CharRule>(')'), Ws);
+    const Rule *Parens = make<Seq3Rule>(Lp, make<RefRule>(&Rules, 0), Rp);
+    const Rule *Primary =
+        make<Choice2Rule>(Number, make<Choice2Rule>(Ident, Parens));
+    const Rule *Mulop = make<Seq2Rule>(
+        make<Choice2Rule>(make<CharRule>('*'), make<CharRule>('/')), Ws);
+    const Rule *MulPair = make<Seq2Rule>(Mulop, Primary);
+    const Rule *Term = make<Seq2Rule>(Primary, make<StarRule>(MulPair));
+    const Rule *Addop = make<Seq2Rule>(
+        make<Choice2Rule>(make<LitRule>("+"), make<LitRule>("-")), Ws);
+    const Rule *AddPair = make<Seq3Rule>(Addop, Term, Ws);
+    const Rule *Arith = make<Seq2Rule>(Term, make<StarRule>(AddPair));
+    const Rule *Relop =
+        make<Choice2Rule>(make<Seq2Rule>(make<CharRule>('<'), Ws),
+                          make<Seq2Rule>(make<CharRule>('>'), Ws));
+    const Rule *Cmp = make<OptRule>(make<Seq2Rule>(Relop, Arith));
+    Rules[0] = make<Seq2Rule>(Arith, Cmp);
+    const Rule *LetHead =
+        make<Seq2Rule>(make<PlusRule>(make<LitRule>("let ")), Ws);
+    const Rule *IdentPart =
+        make<Seq2Rule>(make<OptRule>(make<LitRule>("mut ")), Ident);
+    const Rule *EqWs =
+        make<Seq2Rule>(make<PlusRule>(make<CharRule>('=')), Ws);
+    const Rule *Assign =
+        make<Seq3Rule>(EqWs, make<RefRule>(&Rules, 0),
+                       make<PlusRule>(make<CharRule>(';')));
+    const Rule *LetStmt = make<Seq3Rule>(LetHead, IdentPart, Assign);
+    const Rule *OutHead =
+        make<Seq2Rule>(make<PlusRule>(make<LitRule>("out ")), Ws);
+    const Rule *OutTail =
+        make<Seq2Rule>(make<PlusRule>(make<RefRule>(&Rules, 0)),
+                       make<PlusRule>(make<CharRule>(';')));
+    const Rule *OutStmt = make<Seq2Rule>(OutHead, OutTail);
+    const Rule *BadStmt = make<Seq2Rule>(make<LitRule>("@@"), Ws);
+    const Rule *Stmt = make<Choice3Rule>(LetStmt, OutStmt, BadStmt);
+    const Rule *Eof = make<Seq3Rule>(make<NotRule>(make<AnyRule>()),
+                                     make<OptRule>(make<AnyRule>()),
+                                     make<StarRule>(make<AnyRule>()));
+    return make<Seq3Rule>(Ws, make<PlusRule>(Stmt), Eof);
+  }
+
+  int64_t run(const char *Input) {
+    Ctx S;
+    const Rule *Program = build();
+    int64_t N = (int64_t)strlen(Input);
+    int64_t Chk = 0;
+    for (int K = 0; K < 3; ++K) {
+      int64_t Mm = Program->match(Input, 0, N, S);
+      if (Mm < 0)
+        throw std::runtime_error("peg: no match");
+      Chk = (Chk * 31 + Mm) % M;
+    }
+    return (Chk * 31 + S.Attempts % 100000) % M;
+  }
+};
+
+} // namespace peg
+
+} // namespace
+
+int64_t deltablue() {
+  db::Bench B;
+  return B.run();
+}
+
+int64_t json() {
+  int64_t Total = 0;
+  for (int K = 1; K <= 4; ++K) {
+    JsonParser P(kJsonDoc);
+    Total = (Total * 7 + P.parseValueHash()) % M;
+  }
+  return Total;
+}
+
+int64_t sexpr() {
+  int64_t Total = 0;
+  for (int K = 1; K <= 4; ++K) {
+    se::Parser P(kSexprDoc);
+    std::unique_ptr<se::Node> Root = P.parseItem();
+    Total = (Total * 7 + Root->eval() + Root->shash()) % M;
+  }
+  return Total;
+}
+
+int64_t lexer() {
+  int64_t Total = 0;
+  for (int K = 1; K <= 3; ++K)
+    Total = (Total * 7 + lexScan(kLexerDoc)) % M;
+  return Total;
+}
+
+int64_t peg() {
+  peg::Bench B;
+  return B.run(kPegDoc);
+}
+
+} // namespace mself::bench::native

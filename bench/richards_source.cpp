@@ -1,0 +1,189 @@
+//===-- bench/richards_source.cpp - The richards program --------------------===//
+//
+// The richards operating-system simulation: a scheduler round-robins an
+// idle task, a worker, two handlers, and two device tasks, exchanging
+// packets. `runWith:In:` is the famous polymorphic call site (sec. 6.1):
+// the receiver comes out of the scheduler's task queue, so no compile-time
+// type is available and the send stays dynamically bound even under the
+// optimizing compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "richards_source.h"
+
+namespace mself::bench {
+
+namespace {
+
+const char *kRichardsSource = R"SELF(
+"The richards operating-system simulation: a scheduler round-robins an
+ idle task, a worker, two handlers, and two device tasks, exchanging
+ packets. `runWith:In:` is the famous polymorphic call site (§6.1)."
+
+rPacket = ( | parent* = lobby. link. id <- 0. kind <- 0. a1 <- 0. a2 | ).
+
+rAppend: p To: q = ( | cur |
+  p link: nil.
+  q isNil ifTrue: [ ^ p ].
+  cur: q.
+  [ (cur link) notNil ] whileTrue: [ cur: cur link ].
+  cur link: p.
+  q ).
+
+rTcb = ( | parent* = lobby.
+  link. id <- 0. pri <- 0. queue. task.
+  packetPending <- 0. taskWaiting <- 0. taskHolding <- 0.
+  heldOrSuspended = (
+    (taskHolding == 1) or: [ (packetPending == 0) and: [ taskWaiting == 1 ] ] ).
+  check: p PriorityAddFor: me = (
+    queue isNil
+      ifTrue: [
+        queue: p.
+        packetPending: 1.
+        pri > (me pri) ifTrue: [ ^ self ] ]
+      False: [ queue: (rAppend: p To: queue) ].
+    me ).
+| ).
+
+rScheduler = ( | parent* = lobby.
+  queueCount <- 0. holdCount <- 0. blocks. list. currentTcb. currentId <- 0.
+  addTask: tid Pri: p Queue: q Task: t Waiting: w = ( | b |
+    b: rTcb clone.
+    b id: tid. b pri: p. b queue: q. b task: t.
+    b link: list.
+    q notNil ifTrue: [ b packetPending: 1 ].
+    b taskWaiting: w.
+    list: b.
+    blocks at: tid Put: b.
+    self ).
+  findTcb: tid = ( blocks at: tid ).
+  holdSelf = (
+    holdCount: holdCount + 1.
+    currentTcb taskHolding: 1.
+    currentTcb link ).
+  release: tid = ( | t |
+    t: (findTcb: tid).
+    t taskHolding: 0.
+    (t pri) > (currentTcb pri) ifTrue: [ t ] False: [ currentTcb ] ).
+  waitSelf = ( currentTcb taskWaiting: 1. currentTcb ).
+  queuePacket: p = ( | t |
+    t: (findTcb: p id).
+    queueCount: queueCount + 1.
+    p link: nil.
+    p id: currentId.
+    t check: p PriorityAddFor: currentTcb ).
+  schedule = ( | t. p |
+    currentTcb: list.
+    [ currentTcb notNil ] whileTrue: [
+      currentTcb heldOrSuspended
+        ifTrue: [ currentTcb: currentTcb link ]
+        False: [
+          currentId: currentTcb id.
+          t: currentTcb.
+          (((t packetPending) == 1) and: [ ((t taskHolding) == 0) and:
+              [ (t queue) notNil ] ])
+            ifTrue: [
+              p: t queue.
+              t queue: p link.
+              (t queue) isNil
+                ifTrue: [ t packetPending: 0 ]
+                False: [ t packetPending: 1 ].
+              t taskWaiting: 0 ]
+            False: [ p: nil ].
+          currentTcb: ((t task) runWith: p In: self) ] ].
+    self ).
+| ).
+
+rIdleTask = ( | parent* = lobby. v1 <- 1. count <- 0.
+  runWith: p In: sched = (
+    count: count - 1.
+    count == 0
+      ifTrue: [ sched holdSelf ]
+      False: [ (v1 % 2) == 0
+          ifTrue: [ v1: v1 / 2. sched release: 4 ]
+          False: [ v1: (v1 / 2) + 53256. sched release: 5 ] ] ).
+| ).
+
+rWorkerTask = ( | parent* = lobby. dest <- 2. count <- 0.
+  runWith: p In: sched = (
+    p isNil
+      ifTrue: [ sched waitSelf ]
+      False: [
+        dest == 2 ifTrue: [ dest: 3 ] False: [ dest: 2 ].
+        p id: dest.
+        p a1: 0.
+        0 upTo: 4 Do: [ :i |
+          count: count + 1.
+          count > 26 ifTrue: [ count: 1 ].
+          (p a2) at: i Put: count ].
+        sched queuePacket: p ] ).
+| ).
+
+rHandlerTask = ( | parent* = lobby. workIn. deviceIn.
+  runWith: p In: sched = ( | w. d. cnt |
+    p notNil ifTrue: [
+      (p kind) == 1
+        ifTrue: [ workIn: (rAppend: p To: workIn) ]
+        False: [ deviceIn: (rAppend: p To: deviceIn) ] ].
+    workIn isNil
+      ifTrue: [ sched waitSelf ]
+      False: [
+        w: workIn.
+        cnt: w a1.
+        cnt >= 4
+          ifTrue: [ workIn: w link. sched queuePacket: w ]
+          False: [
+            deviceIn isNil
+              ifTrue: [ sched waitSelf ]
+              False: [
+                d: deviceIn.
+                deviceIn: d link.
+                d a1: ((w a2) at: cnt).
+                w a1: cnt + 1.
+                sched queuePacket: d ] ] ] ).
+| ).
+
+rDeviceTask = ( | parent* = lobby. pending.
+  runWith: p In: sched = ( | v |
+    p isNil
+      ifTrue: [ pending isNil
+          ifTrue: [ sched waitSelf ]
+          False: [ v: pending. pending: nil. sched queuePacket: v ] ]
+      False: [ pending: p. sched holdSelf ] ).
+| ).
+
+richardsBench = ( | parent* = lobby.
+  newPacket: tid Kind: k = ( | p |
+    p: rPacket clone.
+    p id: tid. p kind: k. p a1: 0.
+    p a2: (vectorOfSize: 4 FillingWith: 0).
+    p ).
+  run = ( | s. q. idle |
+    s: rScheduler clone.
+    s blocks: (vectorOfSize: 6).
+    idle: rIdleTask clone.
+    idle v1: 1. idle count: 1000.
+    s addTask: 0 Pri: 0 Queue: nil Task: idle Waiting: 0.
+    q: (rAppend: (newPacket: 1 Kind: 1) To: nil).
+    q: (rAppend: (newPacket: 1 Kind: 1) To: q).
+    s addTask: 1 Pri: 1000 Queue: q Task: rWorkerTask clone Waiting: 1.
+    q: (rAppend: (newPacket: 4 Kind: 0) To: nil).
+    q: (rAppend: (newPacket: 4 Kind: 0) To: q).
+    q: (rAppend: (newPacket: 4 Kind: 0) To: q).
+    s addTask: 2 Pri: 2000 Queue: q Task: rHandlerTask clone Waiting: 1.
+    q: (rAppend: (newPacket: 5 Kind: 0) To: nil).
+    q: (rAppend: (newPacket: 5 Kind: 0) To: q).
+    q: (rAppend: (newPacket: 5 Kind: 0) To: q).
+    s addTask: 3 Pri: 3000 Queue: q Task: rHandlerTask clone Waiting: 1.
+    s addTask: 4 Pri: 4000 Queue: nil Task: rDeviceTask clone Waiting: 1.
+    s addTask: 5 Pri: 5000 Queue: nil Task: rDeviceTask clone Waiting: 1.
+    s schedule.
+    ((s queueCount) * 100000) + (s holdCount) ).
+| ).
+)SELF";
+
+} // namespace
+
+const char *richardsSource() { return kRichardsSource; }
+
+} // namespace mself::bench

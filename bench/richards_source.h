@@ -1,0 +1,27 @@
+//===-- bench/richards_source.h - The richards program ----------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single shared definition of the richards operating-system simulation
+/// in mini-SELF (the paper's largest benchmark, §6). Every consumer — the
+/// benchmark registry, examples, tests — takes the program from here, so
+/// the famous polymorphic `runWith:In:` site is the *same* site everywhere
+/// and measurements across tools stay comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_RICHARDS_SOURCE_H
+#define MINISELF_BENCH_RICHARDS_SOURCE_H
+
+namespace mself::bench {
+
+/// \returns the mini-SELF source of the richards simulation. The program's
+/// checksum expression is `richardsBench run`.
+const char *richardsSource();
+
+} // namespace mself::bench
+
+#endif // MINISELF_BENCH_RICHARDS_SOURCE_H

@@ -1,0 +1,175 @@
+//===-- bench/table_workloads.cpp - E16: Workload scenario pack -----------===//
+//
+// Runs the workload suites (deltablue, json, sexpr, lexer, peg) under the
+// three compiler configurations of the paper's speed table and reports,
+// per suite:
+//
+//   - execution time as a fraction of the native C++ twin (the same
+//     "percentage of optimized C" metric as E1),
+//   - the megamorphic send share (sends dispatched at a megamorphic site /
+//     all sends) — the regime the PEG workload is built to exercise,
+//   - allocation volume during the measured run (the parser workloads are
+//     allocation-bound: one node per grammar production),
+//   - string-interner probes (total and per send) — the symbol-lookup
+//     volume a perfect-hash selector table would remove.
+//
+// Checksums are validated against the native twins on every run; the
+// numbers land in BENCH_table_workloads.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+#include "workloads.h"
+
+#include "driver/vm.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+struct SuiteTelemetry {
+  bool Ok = false;
+  std::string Error;
+  double MegaShare = 0;        ///< SendsMega / Sends, measured run only.
+  uint64_t AllocBytes = 0;     ///< Nursery + old bytes, measured run only.
+  uint64_t InternerLookups = 0; ///< All probes: load + warm-up + run.
+  double InternerPerSend = 0;  ///< InternerLookups / sends since load.
+};
+
+/// Loads \p B into a fresh VM under \p P, validates the checksum, and
+/// measures one run with the counters reset after load — so the dispatch
+/// numbers cover the workload itself, not corelib bootstrap.
+SuiteTelemetry measure(const BenchmarkDef &B, const Policy &P) {
+  SuiteTelemetry T;
+  VirtualMachine VM(P);
+  std::string Err;
+  if (!VM.load(B.Source, Err)) {
+    T.Error = "load: " + Err;
+    return T;
+  }
+  uint64_t LoadLookups = VM.telemetry().Dispatch.InternerLookups;
+  VmTelemetry Before = VM.telemetry();
+  VM.interp().resetCounters();
+  int64_t Got = 0;
+  if (!VM.evalInt(B.RunExpr, Got, Err)) {
+    T.Error = "run: " + Err;
+    return T;
+  }
+  if (Got != B.Native()) {
+    T.Error = "checksum mismatch: got " + std::to_string(Got) + ", want " +
+              std::to_string(B.Native());
+    return T;
+  }
+  VmTelemetry After = VM.telemetry();
+  const DispatchStats &D = After.Dispatch;
+  T.MegaShare = D.Sends ? double(D.SendsMega) / double(D.Sends) : 0;
+  T.AllocBytes =
+      (After.Gc.BytesAllocatedNursery + After.Gc.BytesAllocatedOld) -
+      (Before.Gc.BytesAllocatedNursery + Before.Gc.BytesAllocatedOld);
+  T.InternerLookups = D.InternerLookups;
+  uint64_t RunLookups = D.InternerLookups - LoadLookups;
+  T.InternerPerSend = D.Sends ? double(RunLookups) / double(D.Sends) : 0;
+  T.Ok = true;
+  return T;
+}
+
+} // namespace
+
+int main() {
+  Policy Policies[] = {Policy::st80(), Policy::oldSelf(), Policy::newSelf()};
+  const char *Labels[] = {"ST-80", "old SELF", "new SELF"};
+
+  std::vector<const BenchmarkDef *> Suites;
+  for (const char *G : kWorkloadGroups)
+    for (const BenchmarkDef *B : benchmarksInGroup(G))
+      Suites.push_back(B);
+
+  printf("E16: Workload scenario pack (as a percentage of optimized C)\n\n");
+  printf("%-10s", "");
+  for (const BenchmarkDef *B : Suites)
+    printf(" %-10s", B->Name.c_str());
+  printf("\n");
+
+  JsonReport Report("table_workloads");
+  bool AllOk = true;
+  double BestMegaShare = 0;
+
+  for (int PI = 0; PI < 3; ++PI) {
+    printf("%-10s", Labels[PI]);
+    for (const BenchmarkDef *B : Suites) {
+      int64_t Chk = 0;
+      double Native = runNative(*B, Chk);
+      SelfRunResult R = runSelf(*B, Policies[PI]);
+      if (!R.Ok) {
+        fprintf(stderr, "FAIL %s [%s]: %s\n", B->Name.c_str(), Labels[PI],
+                R.Error.c_str());
+        AllOk = false;
+        printf(" %-10s", "-");
+        continue;
+      }
+      std::string Key =
+          std::string(Policies[PI].Name) + "/" + B->Name;
+      double Frac = Native / R.ExecSeconds;
+      Report.metric(Key + "/frac_of_native", Frac);
+      Report.metric(Key + "/exec_seconds", R.ExecSeconds);
+      Report.metric(Key + "/instructions", (double)R.Instructions);
+      printf(" %-10s", pct(Frac).c_str());
+    }
+    printf("\n");
+  }
+
+  printf("\nPer-suite telemetry (one measured run, counters reset after "
+         "load):\n\n");
+  printf("%-22s %-10s %12s %12s %10s %12s\n", "", "suite", "mega-share",
+         "alloc-KB", "interner", "intern/send");
+  for (int PI = 0; PI < 3; ++PI) {
+    for (const BenchmarkDef *B : Suites) {
+      SuiteTelemetry T = measure(*B, Policies[PI]);
+      if (!T.Ok) {
+        fprintf(stderr, "FAIL telemetry %s [%s]: %s\n", B->Name.c_str(),
+                Labels[PI], T.Error.c_str());
+        AllOk = false;
+        continue;
+      }
+      std::string Key =
+          std::string(Policies[PI].Name) + "/" + B->Name;
+      Report.metric(Key + "/mega_share", T.MegaShare);
+      Report.metric(Key + "/alloc_bytes", (double)T.AllocBytes);
+      Report.metric(Key + "/interner_lookups", (double)T.InternerLookups);
+      Report.metric(Key + "/interner_per_send", T.InternerPerSend);
+      if (T.MegaShare > BestMegaShare)
+        BestMegaShare = T.MegaShare;
+      printf("%-22s %-10s %11.1f%% %12.1f %10llu %12.4f\n", Labels[PI],
+             B->Name.c_str(), T.MegaShare * 100, T.AllocBytes / 1024.0,
+             (unsigned long long)T.InternerLookups, T.InternerPerSend);
+    }
+    printf("\n");
+  }
+
+  // The pack's headline claim: at least one suite spends >=30% of its
+  // sends at megamorphic sites — the regime inline caches cannot serve.
+  bool MegaOk = BestMegaShare >= 0.30;
+  Report.metric("summary/best_mega_share", BestMegaShare);
+  Report.note("summary/mega_gate",
+              MegaOk ? "pass (>=30% megamorphic sends in some suite)"
+                     : "FAIL (<30% megamorphic sends everywhere)");
+  if (!MegaOk) {
+    fprintf(stderr,
+            "FAIL: no suite reaches a 30%% megamorphic send share "
+            "(best %.1f%%)\n",
+            BestMegaShare * 100);
+    AllOk = false;
+  }
+
+  printf("All checksums validated against the native implementations: %s\n",
+         AllOk ? "yes" : "NO (see errors above)");
+  printf("Best megamorphic send share: %.1f%%\n", BestMegaShare * 100);
+  Report.pass(AllOk);
+  Report.write();
+  return AllOk ? 0 : 1;
+}

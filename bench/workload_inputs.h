@@ -1,0 +1,62 @@
+//===-- bench/workload_inputs.h - Shared workload input texts ---*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input documents the workload suites parse. Each document is defined
+/// exactly once here and spliced both into the mini-SELF benchmark source
+/// (as a string literal) and into the native C++ twin, so the two
+/// implementations can never drift apart on their input. Because the texts
+/// are embedded in mini-SELF single-quoted literals verbatim, they must not
+/// contain single quotes or backslashes, and stay on one line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_WORKLOAD_INPUTS_H
+#define MINISELF_BENCH_WORKLOAD_INPUTS_H
+
+namespace mself::bench {
+
+/// JSON document for the json suite: objects, arrays, strings, numbers,
+/// true/false/null, empty containers, nesting. ASCII, space-separated.
+inline constexpr const char kJsonDoc[] =
+    "{\"users\": [{\"id\": 1, \"name\": \"ada\", \"tags\": [\"admin\", "
+    "\"dev\"], \"active\": true}, {\"id\": 2, \"name\": \"grace\", \"tags\": "
+    "[\"dev\", \"ops\"], \"active\": false}, {\"id\": 3, \"name\": \"alan\", "
+    "\"tags\": [], \"active\": true}], \"counts\": [10, 20, 30, 40, 50, 60], "
+    "\"meta\": {\"version\": 42, \"nothing\": null, \"deep\": {\"a\": [1, 2, "
+    "{\"b\": 3}], \"empty\": {}}}}";
+
+/// S-expression for the sexpr suite: nested arithmetic over the operator
+/// symbols + * - min max (monus semantics for -: clamped at zero).
+inline constexpr const char kSexprDoc[] =
+    "(+ (* 2 3 4) (max 7 (min 42 19) 9) (- 100 (+ 29 29)) "
+    "(* (+ 1 2 3) (max 4 5) 2) (min (* 9 9) (+ 40 41)) (- 3 10))";
+
+/// Token stream for the lexer suite: keywords, identifiers, numbers,
+/// operators, and the two-character := assignment.
+inline constexpr const char kLexerDoc[] =
+    "while xx < 10 do xx := xx + 1 ; if yy > 42 then zz := zz * 7 else "
+    "ww := ww / 2 end ; total := total + ( alpha * beta42 ) ; "
+    "count9 := count9 - 1 end";
+
+/// Statement list for the peg suite's let/out-grammar (spaces allowed,
+/// numbers may carry a sign and a one-letter suffix, statements are
+/// separated by `;` with no space after it):
+///   program := ws stmt+ eof    stmt := letStmt | outStmt
+///   letStmt := "let " "mut "? ident "=" expr ";"
+///   outStmt := "out " expr ";"
+///   expr    := arith (("<"|">") arith)?
+///   arith   := term (("+"|"-") term)*
+///   term    := primary (("*"|"/") primary)*
+///   primary := number | ident | "(" expr ")"
+inline constexpr const char kPegDoc[] =
+    "let a = 1 + 2*3 ;let mut b9 = ( a + 4 ) * 7u ;out b9 / 3 - 2 ;"
+    "let c = -5 + b9 < 40 ;out c * ( b9 - c ) + a / 2 ;let mut dd = 9 ;"
+    "out dd > 1 ;";
+
+} // namespace mself::bench
+
+#endif // MINISELF_BENCH_WORKLOAD_INPUTS_H

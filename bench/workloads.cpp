@@ -1,0 +1,858 @@
+//===-- bench/workloads.cpp - The workload scenario pack --------------------===//
+//
+// The mini-SELF sources of the workload suites. Three shapes the Stanford
+// programs do not cover:
+//
+//  * deltablue — the classic incremental constraint solver: four constraint
+//    kinds behind one protocol (satisfy, chooseMethod:, recalculate,
+//    execute, ...), so nearly every planner send is polymorphic. The
+//    checksum runs the chain and projection tests and folds the solved
+//    variable values.
+//  * json / sexpr — recursive-descent parsers over strings: character
+//    probing via the _StrAt: primitive, substring allocation, and one
+//    heap node per grammar production, then a polymorphic hash/eval walk
+//    over the tree.
+//  * lexer / peg — a hand-written scanner and a combinator PEG matcher
+//    whose grammar is a web of a dozen distinct rule-object kinds, all
+//    answering match:At:Len:. The combinator call sites see most of those
+//    kinds, so dispatch there is megamorphic — the regime where inline
+//    caches stop helping and the global lookup cache carries the load.
+//
+// Every suite is paired with a C++ twin in native_workloads.cpp computing
+// the same checksum from the same input (workload_inputs.h); the
+// differential harness runs both under the whole policy matrix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads.h"
+
+#include "native.h"
+#include "workload_inputs.h"
+
+namespace mself::bench {
+
+namespace {
+
+/// A growable ordered collection, used by the solver and the parsers.
+/// Everything here is ordinary user code the optimizer must inline through.
+const char *kWlList = R"SELF(
+wlList = ( | parent* = lobby. elems. n <- 0.
+  init = ( elems: (vectorOfSize: 8). n: 0. self ).
+  size = ( n ).
+  isEmpty = ( n == 0 ).
+  at: i = ( elems at: i ).
+  add: x = ( | bigger |
+    n == elems size ifTrue: [
+      bigger: (vectorOfSize: 2 * elems size).
+      0 upTo: n Do: [ :i | bigger at: i Put: (elems at: i) ].
+      elems: bigger ].
+    elems at: n Put: x.
+    n: n + 1.
+    self ).
+  removeLast = ( n: n - 1. elems at: n ).
+  remove: x = ( | j |
+    j: 0.
+    0 upTo: n Do: [ :i |
+      (elems at: i) == x
+        ifFalse: [ elems at: j Put: (elems at: i). j: j + 1 ] ].
+    n: j.
+    self ).
+  do: blk = ( 0 upTo: n Do: [ :i | blk value: (elems at: i) ]. self ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// deltablue
+//===----------------------------------------------------------------------===//
+
+// Strengths are ints: 0 required .. 6 weakest (larger = weaker), so
+// "stronger" is < and "weakest of" is max:. Binary constraint direction:
+// 0 none, 1 forward (v1 -> v2), 2 backward.
+const char *kDeltaBlue = R"SELF(
+dbVariable = ( | parent* = lobby.
+  value <- 0. constraints. determinedBy. mark <- 0. walkStrength <- 6.
+  stay <- true.
+  initValue: v = ( constraints: wlList clone init. value: v. self ).
+  addConstraint: c = ( constraints add: c. self ).
+  removeConstraint: c = (
+    constraints remove: c.
+    determinedBy == c ifTrue: [ determinedBy: nil ].
+    self ).
+| ).
+
+dbConstraintTraits = ( | parent* = lobby.
+  isInput = ( false ).
+  addToPlanner: planner = ( addToGraph. planner incrementalAdd: self. self ).
+  destroyIn: planner = (
+    isSatisfied
+      ifTrue: [ planner incrementalRemove: self ]
+      False: [ removeFromGraph ].
+    self ).
+  satisfy: mark Planner: planner = ( | out. overridden |
+    chooseMethod: mark.
+    isSatisfied
+      ifTrue: [
+        markInputs: mark.
+        out: output.
+        overridden: out determinedBy.
+        overridden notNil ifTrue: [ overridden markUnsatisfied ].
+        out determinedBy: self.
+        (planner addPropagate: self Mark: mark)
+          ifFalse: [ error: 'deltablue: cycle' ].
+        out mark: mark.
+        overridden ]
+      False: [
+        strength == 0 ifTrue: [ error: 'deltablue: required unsatisfiable' ].
+        nil ] ).
+| ).
+
+dbUnaryTraits = ( | parent* = dbConstraintTraits.
+  initVar: v Strength: s Planner: planner = (
+    myOutput: v.
+    strength: s.
+    addToPlanner: planner.
+    self ).
+  addToGraph = ( myOutput addConstraint: self. satisfiedFlag: false. self ).
+  removeFromGraph = (
+    myOutput notNil ifTrue: [ myOutput removeConstraint: self ].
+    satisfiedFlag: false.
+    self ).
+  chooseMethod: mark = (
+    satisfiedFlag: ((myOutput mark != mark)
+      and: [ strength < myOutput walkStrength ]).
+    self ).
+  isSatisfied = ( satisfiedFlag ).
+  markInputs: mark = ( self ).
+  inputsKnown: mark = ( true ).
+  output = ( myOutput ).
+  markUnsatisfied = ( satisfiedFlag: false. self ).
+  recalculate = (
+    myOutput walkStrength: strength.
+    myOutput stay: isInput not.
+    myOutput stay ifTrue: [ execute ].
+    self ).
+| ).
+
+dbStay = ( | parent* = dbUnaryTraits. myOutput. strength <- 4. satisfiedFlag.
+  execute = ( self ).
+| ).
+
+dbEdit = ( | parent* = dbUnaryTraits. myOutput. strength <- 2. satisfiedFlag.
+  isInput = ( true ).
+  execute = ( self ).
+| ).
+
+dbBinaryTraits = ( | parent* = dbConstraintTraits.
+  addToGraph = (
+    v1 addConstraint: self.
+    v2 addConstraint: self.
+    direction: 0.
+    self ).
+  removeFromGraph = (
+    v1 notNil ifTrue: [ v1 removeConstraint: self ].
+    v2 notNil ifTrue: [ v2 removeConstraint: self ].
+    direction: 0.
+    self ).
+  isSatisfied = ( direction != 0 ).
+  markUnsatisfied = ( direction: 0. self ).
+  input = ( direction == 1 ifTrue: [ v1 ] False: [ v2 ] ).
+  output = ( direction == 1 ifTrue: [ v2 ] False: [ v1 ] ).
+  markInputs: mark = ( input mark: mark. self ).
+  inputsKnown: mark = ( | i |
+    i: input.
+    (i mark == mark) or: [ (i stay) or: [ i determinedBy isNil ] ] ).
+  chooseMethod: mark = (
+    v1 mark == mark
+      ifTrue: [
+        direction: (((v2 mark != mark) and: [ strength < v2 walkStrength ])
+          ifTrue: [ 1 ] False: [ 0 ]) ]
+      False: [
+        v2 mark == mark
+          ifTrue: [
+            direction: (((v1 mark != mark)
+                and: [ strength < v1 walkStrength ])
+              ifTrue: [ 2 ] False: [ 0 ]) ]
+          False: [
+            v1 walkStrength > v2 walkStrength
+              ifTrue: [
+                direction: ((strength < v1 walkStrength)
+                  ifTrue: [ 2 ] False: [ 0 ]) ]
+              False: [
+                direction: ((strength < v2 walkStrength)
+                  ifTrue: [ 1 ] False: [ 0 ]) ] ] ].
+    self ).
+  recalculate = ( | i. o |
+    i: input.
+    o: output.
+    o walkStrength: (strength max: i walkStrength).
+    o stay: i stay.
+    o stay ifTrue: [ execute ].
+    self ).
+| ).
+
+dbEq = ( | parent* = dbBinaryTraits. v1. v2. strength <- 0. direction <- 0.
+  initV1: x V2: y Strength: s Planner: planner = (
+    v1: x. v2: y. strength: s.
+    addToPlanner: planner.
+    self ).
+  execute = ( output value: input value. self ).
+| ).
+
+dbScale = ( | parent* = dbBinaryTraits.
+  v1. v2. scaleVar. offsetVar. strength <- 0. direction <- 0.
+  initSrc: x Scale: sc Offset: off Dst: y Strength: s Planner: planner = (
+    v1: x. v2: y. scaleVar: sc. offsetVar: off. strength: s.
+    addToPlanner: planner.
+    self ).
+  addToGraph = (
+    v1 addConstraint: self.
+    v2 addConstraint: self.
+    scaleVar addConstraint: self.
+    offsetVar addConstraint: self.
+    direction: 0.
+    self ).
+  removeFromGraph = (
+    v1 notNil ifTrue: [ v1 removeConstraint: self ].
+    v2 notNil ifTrue: [ v2 removeConstraint: self ].
+    scaleVar notNil ifTrue: [ scaleVar removeConstraint: self ].
+    offsetVar notNil ifTrue: [ offsetVar removeConstraint: self ].
+    direction: 0.
+    self ).
+  markInputs: mark = (
+    input mark: mark.
+    scaleVar mark: mark.
+    offsetVar mark: mark.
+    self ).
+  recalculate = ( | i. o |
+    i: input.
+    o: output.
+    o walkStrength: (strength max: i walkStrength).
+    o stay: ((i stay) and: [ (scaleVar stay) and: [ offsetVar stay ] ]).
+    o stay ifTrue: [ execute ].
+    self ).
+  execute = (
+    direction == 1
+      ifTrue: [ v2 value: (v1 value * scaleVar value) + offsetVar value ]
+      False: [ v1 value: (v2 value - offsetVar value) / scaleVar value ].
+    self ).
+| ).
+
+dbPlanner = ( | parent* = lobby. currentMark <- 0.
+  init = ( currentMark: 0. self ).
+  newMark = ( currentMark: currentMark + 1. currentMark ).
+  incrementalAdd: c = ( | mark. overridden |
+    mark: newMark.
+    overridden: (c satisfy: mark Planner: self).
+    [ overridden notNil ] whileTrue: [
+      overridden: (overridden satisfy: mark Planner: self) ].
+    self ).
+  incrementalRemove: c = ( | out. unsatisfied |
+    out: c output.
+    c markUnsatisfied.
+    c removeFromGraph.
+    unsatisfied: (removePropagateFrom: out).
+    0 to: 6 Do: [ :s |
+      unsatisfied do: [ :u | u strength == s ifTrue: [ incrementalAdd: u ] ] ].
+    self ).
+  addPropagate: c Mark: mark = ( | todo. d |
+    todo: wlList clone init.
+    todo add: c.
+    [ todo isEmpty ] whileFalse: [
+      d: todo removeLast.
+      d output mark == mark ifTrue: [ ^ false ].
+      d recalculate.
+      addConstraintsConsuming: d output To: todo ].
+    true ).
+  removePropagateFrom: out = ( | unsatisfied. todo. v. determining |
+    unsatisfied: wlList clone init.
+    out determinedBy: nil.
+    out walkStrength: 6.
+    out stay: true.
+    todo: wlList clone init.
+    todo add: out.
+    [ todo isEmpty ] whileFalse: [
+      v: todo removeLast.
+      v constraints do: [ :c |
+        c isSatisfied ifFalse: [ unsatisfied add: c ] ].
+      determining: v determinedBy.
+      v constraints do: [ :c |
+        ((c != determining) and: [ c isSatisfied ]) ifTrue: [
+          c recalculate.
+          todo add: c output ] ] ].
+    unsatisfied ).
+  addConstraintsConsuming: v To: coll = ( | determining |
+    determining: v determinedBy.
+    v constraints do: [ :c |
+      ((c != determining) and: [ c isSatisfied ]) ifTrue: [ coll add: c ] ].
+    self ).
+  makePlan: sources = ( | mark. plan. todo. c |
+    mark: newMark.
+    plan: wlList clone init.
+    todo: sources.
+    [ todo isEmpty ] whileFalse: [
+      c: todo removeLast.
+      ((c output mark != mark) and: [ c inputsKnown: mark ]) ifTrue: [
+        plan add: c.
+        c output mark: mark.
+        addConstraintsConsuming: c output To: todo ] ].
+    plan ).
+  extractPlanFrom: constraintsL = ( | sources |
+    sources: wlList clone init.
+    constraintsL do: [ :c |
+      ((c isInput) and: [ c isSatisfied ]) ifTrue: [ sources add: c ] ].
+    makePlan: sources ).
+| ).
+
+deltablueBench = ( | parent* = lobby. planner.
+  change: v To: newValue = ( | edit. editList. plan |
+    edit: (dbEdit clone initVar: v Strength: 2 Planner: planner).
+    editList: wlList clone init.
+    editList add: edit.
+    plan: (planner extractPlanFrom: editList).
+    10 timesRepeat: [
+      v value: newValue.
+      plan do: [ :c | c execute ] ].
+    edit destroyIn: planner.
+    self ).
+  chainTest: n = ( | vars. editC. plan. sources. chk |
+    planner: dbPlanner clone init.
+    vars: (vectorOfSize: n + 1).
+    0 to: n Do: [ :i | vars at: i Put: (dbVariable clone initValue: 0) ].
+    0 upTo: n Do: [ :i |
+      dbEq clone initV1: (vars at: i) V2: (vars at: i + 1)
+        Strength: 0 Planner: planner ].
+    dbStay clone initVar: (vars at: n) Strength: 3 Planner: planner.
+    editC: (dbEdit clone initVar: (vars at: 0) Strength: 2 Planner: planner).
+    sources: wlList clone init.
+    sources add: editC.
+    plan: (planner extractPlanFrom: sources).
+    chk: 0.
+    1 to: 20 Do: [ :i |
+      (vars at: 0) value: i.
+      plan do: [ :c | c execute ].
+      (vars at: n) value != i ifTrue: [ error: 'deltablue: chain broken' ].
+      chk: ((chk * 31) + (vars at: n) value) % 1000003 ].
+    editC destroyIn: planner.
+    chk ).
+  projectionTest: n = ( | scale. offset. src. dst. dests. chk |
+    planner: dbPlanner clone init.
+    dests: wlList clone init.
+    scale: (dbVariable clone initValue: 10).
+    offset: (dbVariable clone initValue: 1000).
+    0 upTo: n Do: [ :i |
+      src: (dbVariable clone initValue: i).
+      dst: (dbVariable clone initValue: i).
+      dests add: dst.
+      dbStay clone initVar: src Strength: 4 Planner: planner.
+      dbScale clone initSrc: src Scale: scale Offset: offset Dst: dst
+        Strength: 0 Planner: planner ].
+    change: src To: 17.
+    chk: dst value.
+    change: dst To: 1050.
+    chk: ((chk * 31) + src value) % 1000003.
+    change: scale To: 5.
+    dests do: [ :d | chk: ((chk * 31) + d value) % 1000003 ].
+    change: offset To: 2000.
+    dests do: [ :d | chk: ((chk * 31) + d value) % 1000003 ].
+    chk ).
+  run = ( ((chainTest: 8) + (projectionTest: 8)) % 1000003 ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// json
+//===----------------------------------------------------------------------===//
+
+// One heap node per JSON value; `hash` is a polymorphic fold over the tree.
+const char *kJsonPart1 = R"SELF(
+jsNum = ( | parent* = lobby. v <- 0.
+  hash = ( ((2 * v) + 1) % 1000003 ).
+| ).
+jsStr = ( | parent* = lobby. s.
+  hash = ( | h |
+    h: 0.
+    0 upTo: s size Do: [ :i | h: ((h * 31) + (s at: i)) % 1000003 ].
+    h ).
+| ).
+jsTrueNode = ( | parent* = lobby. hash = ( 13 ). | ).
+jsFalseNode = ( | parent* = lobby. hash = ( 11 ). | ).
+jsNullNode = ( | parent* = lobby. hash = ( 7 ). | ).
+jsArr = ( | parent* = lobby. items.
+  hash = ( | h |
+    h: 17.
+    items do: [ :x | h: ((h * 33) + x hash) % 1000003 ].
+    h ).
+| ).
+jsPair = ( | parent* = lobby. k. v. | ).
+jsObj = ( | parent* = lobby. pairs.
+  hash = ( | h |
+    h: 19.
+    pairs do: [ :p | h: (((h * 37) + p k hash) + p v hash) % 1000003 ].
+    h ).
+| ).
+
+jsonParserProto = ( | parent* = lobby. text. pos <- 0.
+  initText: t = ( text: t. pos: 0. self ).
+  peek = ( pos < text size ifTrue: [ text at: pos ] False: [ 0 ] ).
+  advance = ( pos: pos + 1. self ).
+  skipWs = (
+    [ (pos < text size) and: [ (text at: pos) == 32 ] ]
+      whileTrue: [ pos: pos + 1 ].
+    self ).
+  parseStringNode = ( | start. node |
+    skipWs.
+    advance.
+    start: pos.
+    [ (text at: pos) != 34 ] whileTrue: [ pos: pos + 1 ].
+    node: jsStr clone.
+    node s: (text copyFrom: start To: pos).
+    advance.
+    node ).
+  parseNumber = ( | v. node |
+    v: 0.
+    [ (pos < text size) and: [ ((text at: pos) >= 48)
+        and: [ (text at: pos) <= 57 ] ] ] whileTrue: [
+      v: ((v * 10) + ((text at: pos) - 48)).
+      pos: pos + 1 ].
+    node: jsNum clone.
+    node v: v.
+    node ).
+  parseArray = ( | node. itemsL. done |
+    advance.
+    skipWs.
+    node: jsArr clone.
+    itemsL: wlList clone init.
+    node items: itemsL.
+    peek == 93
+      ifTrue: [ advance ]
+      False: [
+        done: false.
+        [ done ] whileFalse: [
+          itemsL add: parseValue.
+          skipWs.
+          peek == 44
+            ifTrue: [ advance. skipWs ]
+            False: [ advance. done: true ] ] ].
+    node ).
+  parseObject = ( | node. pairsL. pr. done |
+    advance.
+    skipWs.
+    node: jsObj clone.
+    pairsL: wlList clone init.
+    node pairs: pairsL.
+    peek == 125
+      ifTrue: [ advance ]
+      False: [
+        done: false.
+        [ done ] whileFalse: [
+          pr: jsPair clone.
+          pr k: parseStringNode.
+          skipWs.
+          advance.
+          pr v: parseValue.
+          pairsL add: pr.
+          skipWs.
+          peek == 44
+            ifTrue: [ advance. skipWs ]
+            False: [ advance. done: true ] ] ].
+    node ).
+  parseValue = ( | c |
+    skipWs.
+    c: peek.
+    c == 123 ifTrue: [ ^ parseObject ].
+    c == 91 ifTrue: [ ^ parseArray ].
+    c == 34 ifTrue: [ ^ parseStringNode ].
+    ((c >= 48) and: [ c <= 57 ]) ifTrue: [ ^ parseNumber ].
+    c == 116 ifTrue: [ pos: pos + 4. ^ jsTrueNode ].
+    c == 102 ifTrue: [ pos: pos + 5. ^ jsFalseNode ].
+    c == 110 ifTrue: [ pos: pos + 4. ^ jsNullNode ].
+    error: 'json: unexpected character' ).
+| ).
+
+jsonBench = ( | parent* = lobby.
+  doc = ')SELF";
+
+const char *kJsonPart2 = R"SELF('.
+  run = ( | total. p |
+    total: 0.
+    1 to: 4 Do: [ :k |
+      p: (jsonParserProto clone initText: doc).
+      total: ((total * 7) + p parseValue hash) % 1000003 ].
+    total ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// sexpr
+//===----------------------------------------------------------------------===//
+
+const char *kSexprPart1 = R"SELF(
+seNum = ( | parent* = lobby. v <- 0.
+  eval = ( v ).
+  shash = ( ((2 * v) + 1) % 1000003 ).
+| ).
+seSym = ( | parent* = lobby. name.
+  eval = ( error: 'sexpr: bare symbol has no value' ).
+  shash = ( | h |
+    h: 5.
+    0 upTo: name size Do: [ :i | h: ((h * 31) + (name at: i)) % 1000003 ].
+    h ).
+| ).
+seList = ( | parent* = lobby. items.
+  eval = ( | op. acc |
+    op: (items at: 0) name.
+    (op sameAs: '+') ifTrue: [
+      acc: 0.
+      1 upTo: items size Do: [ :i | acc: (acc + (items at: i) eval) % 1000003 ].
+      ^ acc ].
+    (op sameAs: '*') ifTrue: [
+      acc: 1.
+      1 upTo: items size Do: [ :i | acc: (acc * (items at: i) eval) % 1000003 ].
+      ^ acc ].
+    (op sameAs: '-') ifTrue: [ | a. b |
+      a: (items at: 1) eval.
+      b: (items at: 2) eval.
+      ^ a > b ifTrue: [ a - b ] False: [ 0 ] ].
+    (op sameAs: 'min') ifTrue: [
+      acc: (items at: 1) eval.
+      2 upTo: items size Do: [ :i | acc: (acc min: (items at: i) eval) ].
+      ^ acc ].
+    (op sameAs: 'max') ifTrue: [
+      acc: (items at: 1) eval.
+      2 upTo: items size Do: [ :i | acc: (acc max: (items at: i) eval) ].
+      ^ acc ].
+    error: 'sexpr: unknown operator' ).
+  shash = ( | h |
+    h: 23.
+    items do: [ :x | h: ((h * 29) + x shash) % 1000003 ].
+    h ).
+| ).
+
+sexprParserProto = ( | parent* = lobby. text. pos <- 0.
+  initText: t = ( text: t. pos: 0. self ).
+  peek = ( pos < text size ifTrue: [ text at: pos ] False: [ 0 ] ).
+  skipWs = (
+    [ (pos < text size) and: [ (text at: pos) == 32 ] ]
+      whileTrue: [ pos: pos + 1 ].
+    self ).
+  parseNumber = ( | v. node |
+    v: 0.
+    [ (pos < text size) and: [ ((text at: pos) >= 48)
+        and: [ (text at: pos) <= 57 ] ] ] whileTrue: [
+      v: ((v * 10) + ((text at: pos) - 48)).
+      pos: pos + 1 ].
+    node: seNum clone.
+    node v: v.
+    node ).
+  parseSymbol = ( | start. node |
+    start: pos.
+    [ (pos < text size) and: [ ((text at: pos) != 32)
+        and: [ ((text at: pos) != 40) and: [ (text at: pos) != 41 ] ] ] ]
+      whileTrue: [ pos: pos + 1 ].
+    node: seSym clone.
+    node name: (text copyFrom: start To: pos).
+    node ).
+  parseList = ( | node. itemsL |
+    pos: pos + 1.
+    node: seList clone.
+    itemsL: wlList clone init.
+    node items: itemsL.
+    skipWs.
+    [ peek != 41 ] whileTrue: [ itemsL add: parseItem. skipWs ].
+    pos: pos + 1.
+    node ).
+  parseItem = ( | c |
+    skipWs.
+    c: peek.
+    c == 40 ifTrue: [ ^ parseList ].
+    ((c >= 48) and: [ c <= 57 ]) ifTrue: [ ^ parseNumber ].
+    parseSymbol ).
+| ).
+
+sexprBench = ( | parent* = lobby.
+  doc = ')SELF";
+
+const char *kSexprPart2 = R"SELF('.
+  run = ( | total. p. root |
+    total: 0.
+    1 to: 4 Do: [ :k |
+      p: (sexprParserProto clone initText: doc).
+      root: p parseItem.
+      total: (((total * 7) + root eval) + root shash) % 1000003 ].
+    total ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// lexer
+//===----------------------------------------------------------------------===//
+
+// Token kinds: 1..6 keywords (if then else while do end), 10 identifier,
+// 11 number, 12 ":=", 13 single-char operator.
+const char *kLexerPart1 = R"SELF(
+lexBench = ( | parent* = lobby. kws.
+  doc = ')SELF";
+
+const char *kLexerPart2 = R"SELF('.
+  initKws = (
+    kws: (vectorOfSize: 6).
+    kws at: 0 Put: 'if'.
+    kws at: 1 Put: 'then'.
+    kws at: 2 Put: 'else'.
+    kws at: 3 Put: 'while'.
+    kws at: 4 Put: 'do'.
+    kws at: 5 Put: 'end'.
+    self ).
+  strHash: s = ( | h |
+    h: 0.
+    0 upTo: s size Do: [ :i | h: ((h * 31) + (s at: i)) % 1000003 ].
+    h ).
+  scan = ( | pos. n. c. chk. start. lexeme. kind. val. kw |
+    pos: 0.
+    n: doc size.
+    chk: 0.
+    [ pos < n ] whileTrue: [
+      c: (doc at: pos).
+      c == 32
+        ifTrue: [ pos: pos + 1 ]
+        False: [
+          ((c >= 97) and: [ c <= 122 ])
+            ifTrue: [
+              start: pos.
+              [ (pos < n) and: [ (((doc at: pos) >= 97)
+                  and: [ (doc at: pos) <= 122 ])
+                  or: [ ((doc at: pos) >= 48)
+                    and: [ (doc at: pos) <= 57 ] ] ] ]
+                whileTrue: [ pos: pos + 1 ].
+              lexeme: (doc copyFrom: start To: pos).
+              kind: 10.
+              val: 0.
+              kw: 0.
+              [ kw < 6 ] whileTrue: [
+                (lexeme sameAs: (kws at: kw))
+                  ifTrue: [ kind: 1 + kw. val: kw. kw: 6 ]
+                  False: [ kw: kw + 1 ] ].
+              kind == 10 ifTrue: [ val: (strHash: lexeme) ] ]
+            False: [
+              ((c >= 48) and: [ c <= 57 ])
+                ifTrue: [
+                  kind: 11.
+                  val: 0.
+                  [ (pos < n) and: [ ((doc at: pos) >= 48)
+                      and: [ (doc at: pos) <= 57 ] ] ] whileTrue: [
+                    val: ((val * 10) + ((doc at: pos) - 48)).
+                    pos: pos + 1 ] ]
+                False: [
+                  ((c == 58) and: [ ((pos + 1) < n)
+                      and: [ (doc at: pos + 1) == 61 ] ])
+                    ifTrue: [ kind: 12. val: 0. pos: pos + 2 ]
+                    False: [ kind: 13. val: c. pos: pos + 1 ] ] ].
+          chk: ((chk * 31) + ((kind * 7) + val)) % 1000003 ] ].
+    chk ).
+  run = ( | total |
+    initKws.
+    total: 0.
+    1 to: 3 Do: [ :k | total: ((total * 7) + scan) % 1000003 ].
+    total ).
+| ).
+)SELF";
+
+//===----------------------------------------------------------------------===//
+// peg
+//===----------------------------------------------------------------------===//
+
+// Thirteen rule-object kinds behind one match:At:Len: protocol. The
+// combinator bodies (seq/choice/star/...) dispatch match:At:Len: on child
+// rules, and the grammar is arranged so that every such site sees at least
+// five distinct rule kinds — past the default PIC arity, so the hot child
+// dispatches run in the megamorphic regime the suite exists to exercise
+// (the table_workloads gate asserts a >=30% megamorphic send share).
+// Leaf rules count no statistics so megamorphic dispatch dominates their
+// cost; composite rules tick pegStats, which feeds the checksum with the
+// visit count.
+const char *kPegPart1 = R"SELF(
+pegStats = ( | parent* = lobby. attempts <- 0.
+  tick = ( attempts: attempts + 1. self ).
+  resetCounts = ( attempts: 0. self ).
+| ).
+
+pegChar = ( | parent* = lobby. ch <- 0.
+  match: t At: p Len: n = (
+    ((p < n) and: [ (t at: p) == ch ]) ifTrue: [ p + 1 ] False: [ nil ] ).
+| ).
+pegRange = ( | parent* = lobby. lo <- 0. hi <- 0.
+  match: t At: p Len: n = (
+    ((p < n) and: [ ((t at: p) >= lo) and: [ (t at: p) <= hi ] ])
+      ifTrue: [ p + 1 ] False: [ nil ] ).
+| ).
+pegAny = ( | parent* = lobby.
+  match: t At: p Len: n = ( p < n ifTrue: [ p + 1 ] False: [ nil ] ).
+| ).
+pegLit = ( | parent* = lobby. lit.
+  match: t At: p Len: n = ( | m |
+    m: lit size.
+    (p + m) <= n
+      ifTrue: [
+        0 upTo: m Do: [ :i |
+          (t at: p + i) != (lit at: i) ifTrue: [ ^ nil ] ].
+        p + m ]
+      False: [ nil ] ).
+| ).
+pegSeq2 = ( | parent* = lobby. a. b.
+  match: t At: p Len: n = ( | m |
+    pegStats tick.
+    m: (a match: t At: p Len: n).
+    m isNil ifTrue: [ ^ nil ].
+    b match: t At: m Len: n ).
+| ).
+pegSeq3 = ( | parent* = lobby. a. b. c.
+  match: t At: p Len: n = ( | m |
+    pegStats tick.
+    m: (a match: t At: p Len: n).
+    m isNil ifTrue: [ ^ nil ].
+    m: (b match: t At: m Len: n).
+    m isNil ifTrue: [ ^ nil ].
+    c match: t At: m Len: n ).
+| ).
+pegChoice2 = ( | parent* = lobby. a. b.
+  match: t At: p Len: n = ( | m |
+    pegStats tick.
+    m: (a match: t At: p Len: n).
+    m notNil ifTrue: [ ^ m ].
+    b match: t At: p Len: n ).
+| ).
+pegChoice3 = ( | parent* = lobby. a. b. c.
+  match: t At: p Len: n = ( | m |
+    pegStats tick.
+    m: (a match: t At: p Len: n).
+    m notNil ifTrue: [ ^ m ].
+    m: (b match: t At: p Len: n).
+    m notNil ifTrue: [ ^ m ].
+    c match: t At: p Len: n ).
+| ).
+pegStar = ( | parent* = lobby. sub.
+  match: t At: p Len: n = ( | cur. m |
+    pegStats tick.
+    cur: p.
+    [ m: (sub match: t At: cur Len: n). m notNil ]
+      whileTrue: [ cur: m ].
+    cur ).
+| ).
+pegPlus = ( | parent* = lobby. sub.
+  match: t At: p Len: n = ( | cur. m |
+    pegStats tick.
+    m: (sub match: t At: p Len: n).
+    m isNil ifTrue: [ ^ nil ].
+    cur: m.
+    [ m: (sub match: t At: cur Len: n). m notNil ]
+      whileTrue: [ cur: m ].
+    cur ).
+| ).
+pegOpt = ( | parent* = lobby. sub.
+  match: t At: p Len: n = ( | m |
+    pegStats tick.
+    m: (sub match: t At: p Len: n).
+    m isNil ifTrue: [ p ] False: [ m ] ).
+| ).
+pegNot = ( | parent* = lobby. sub.
+  match: t At: p Len: n = ( | m |
+    pegStats tick.
+    m: (sub match: t At: p Len: n).
+    m isNil ifTrue: [ p ] False: [ nil ] ).
+| ).
+pegRef = ( | parent* = lobby. rules. idx <- 0.
+  match: t At: p Len: n = (
+    pegStats tick.
+    (rules at: idx) match: t At: p Len: n ).
+| ).
+
+pegBench = ( | parent* = lobby. rules. ws. identR. primaryR.
+  input = ')SELF";
+
+const char *kPegPart2 = R"SELF('.
+  chr: x = ( | r | r: pegChar clone. r ch: x. r ).
+  rng: x To: y = ( | r | r: pegRange clone. r lo: x. r hi: y. r ).
+  seq: x Then: y = ( | r | r: pegSeq2 clone. r a: x. r b: y. r ).
+  seq: x Then: y Then: z = ( | r |
+    r: pegSeq3 clone. r a: x. r b: y. r c: z. r ).
+  alt: x Or: y = ( | r | r: pegChoice2 clone. r a: x. r b: y. r ).
+  alt: x Or: y Or: z = ( | r |
+    r: pegChoice3 clone. r a: x. r b: y. r c: z. r ).
+  star: x = ( | r | r: pegStar clone. r sub: x. r ).
+  plus: x = ( | r | r: pegPlus clone. r sub: x. r ).
+  opt: x = ( | r | r: pegOpt clone. r sub: x. r ).
+  neg: x = ( | r | r: pegNot clone. r sub: x. r ).
+  lits: s = ( | r | r: pegLit clone. r lit: s. r ).
+  ref: i = ( | r | r: pegRef clone. r rules: rules. r idx: i. r ).
+  buildPrimary = ( | alphaR. digitR. alnum. numTail. numberR. lp. rp. parens |
+    ws: (star: (chr: 32)).
+    alphaR: (rng: 97 To: 122).
+    digitR: (rng: 48 To: 57).
+    alnum: (alt: alphaR Or: digitR).
+    identR: (seq: alphaR Then: (star: alnum) Then: (opt: ws)).
+    numTail: (seq: (opt: alphaR) Then: ws).
+    numberR: (seq: (opt: (chr: 45)) Then: (plus: digitR) Then: numTail).
+    lp: (seq: (chr: 40) Then: ws).
+    rp: (seq: (chr: 41) Then: ws).
+    parens: (seq: lp Then: (ref: 0) Then: rp).
+    primaryR: (alt: numberR Or: (alt: identR Or: parens)).
+    self ).
+  buildExpr = ( | mulop. mulPair. termR. addop. addPair. arithR. relop. cmp |
+    mulop: (seq: (alt: (chr: 42) Or: (chr: 47)) Then: ws).
+    mulPair: (seq: mulop Then: primaryR).
+    termR: (seq: primaryR Then: (star: mulPair)).
+    addop: (seq: (alt: (lits: '+') Or: (lits: '-')) Then: ws).
+    addPair: (seq: addop Then: termR Then: ws).
+    arithR: (seq: termR Then: (star: addPair)).
+    relop: (alt: (seq: (chr: 60) Then: ws) Or: (seq: (chr: 62) Then: ws)).
+    cmp: (opt: (seq: relop Then: arithR)).
+    rules at: 0 Put: (seq: arithR Then: cmp).
+    self ).
+  buildStmts = ( | letHead. identPart. eqWs. assign. letStmt. outHead.
+      outTail. outStmt. badStmt. stmt. eof |
+    letHead: (seq: (plus: (lits: 'let ')) Then: ws).
+    identPart: (seq: (opt: (lits: 'mut ')) Then: identR).
+    eqWs: (seq: (plus: (chr: 61)) Then: ws).
+    assign: (seq: eqWs Then: (ref: 0) Then: (plus: (chr: 59))).
+    letStmt: (seq: letHead Then: identPart Then: assign).
+    outHead: (seq: (plus: (lits: 'out ')) Then: ws).
+    outTail: (seq: (plus: (ref: 0)) Then: (plus: (chr: 59))).
+    outStmt: (seq: outHead Then: outTail).
+    badStmt: (seq: (lits: '@@') Then: ws).
+    stmt: (alt: letStmt Or: outStmt Or: badStmt).
+    eof: (seq: (neg: pegAny clone) Then: (opt: pegAny clone)
+      Then: (star: pegAny clone)).
+    seq: ws Then: (plus: stmt) Then: eof ).
+  build = ( rules: (vectorOfSize: 1). buildPrimary. buildExpr. buildStmts ).
+  run = ( | program. m. chk |
+    pegStats resetCounts.
+    program: build.
+    chk: 0.
+    1 to: 3 Do: [ :k |
+      m: (program match: input At: 0 Len: input size).
+      m isNil ifTrue: [ error: 'peg: no match' ].
+      chk: ((chk * 31) + m) % 1000003 ].
+    ((chk * 31) + (pegStats attempts % 100000)) % 1000003 ).
+| ).
+)SELF";
+
+} // namespace
+
+void appendWorkloadBenchmarks(std::vector<BenchmarkDef> &All) {
+  auto withList = [](std::string Src) { return std::string(kWlList) + Src; };
+  All.push_back({"deltablue", "deltablue", withList(kDeltaBlue),
+                 "deltablueBench run", native::deltablue, 4});
+  All.push_back({"json", "parser",
+                 withList(std::string(kJsonPart1) + kJsonDoc + kJsonPart2),
+                 "jsonBench run", native::json, 6});
+  All.push_back({"sexpr", "parser",
+                 withList(std::string(kSexprPart1) + kSexprDoc + kSexprPart2),
+                 "sexprBench run", native::sexpr, 6});
+  All.push_back({"lexer", "peg",
+                 std::string(kLexerPart1) + kLexerDoc + kLexerPart2,
+                 "lexBench run", native::lexer, 6});
+  All.push_back({"peg", "peg", std::string(kPegPart1) + kPegDoc + kPegPart2,
+                 "pegBench run", native::peg, 4});
+}
+
+} // namespace mself::bench

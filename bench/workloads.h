@@ -1,0 +1,36 @@
+//===-- bench/workloads.h - The workload scenario pack ----------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration hook for the workload scenario pack: DeltaBlue (a deeply
+/// polymorphic constraint solver), a JSON parser and an s-expression
+/// evaluator (string- and allocation-heavy), and a hand-written lexer plus
+/// a combinator PEG matcher (megamorphic dispatch over a dozen rule-object
+/// kinds). These stress the compiler on shapes the paper's Stanford suite
+/// does not: deep dynamic dispatch over many receiver maps, string
+/// primitives, and allocation-dominated inner loops. Each suite has a
+/// native C++ twin (bench/native_workloads.cpp) whose checksum the
+/// mini-SELF program must reproduce under every policy configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_WORKLOADS_H
+#define MINISELF_BENCH_WORKLOADS_H
+
+#include "suites.h"
+
+namespace mself::bench {
+
+/// Appends the workload suites to \p All. Groups: "deltablue" (deltablue),
+/// "parser" (json, sexpr), "peg" (lexer, peg).
+void appendWorkloadBenchmarks(std::vector<BenchmarkDef> &All);
+
+/// Group names of the workload pack, in table order.
+inline const char *const kWorkloadGroups[] = {"deltablue", "parser", "peg"};
+
+} // namespace mself::bench
+
+#endif // MINISELF_BENCH_WORKLOADS_H

@@ -661,6 +661,12 @@ int Analyzer::evalPrim(State &S, const PrimCall *E, EvalCtx &Ctx) {
     return genericPrim(TC.classOf(W.stringMap()), true);
   case PrimId::StrEq:
     return genericPrim(TC.unknown(), true);
+  case PrimId::StrAt:
+    // Byte values; the range lets downstream comparisons against character
+    // literals fold when the other side is out of range.
+    return genericPrim(TC.intRange(0, 255), true);
+  case PrimId::StrFromTo:
+    return genericPrim(TC.classOf(W.stringMap()), true);
   case PrimId::Print:
   case PrimId::PrintLine:
     return genericPrim(typeOf(S, Recv), false);

@@ -67,6 +67,7 @@ void emitAll(const VmTelemetry &T, Emitter &E) {
   E.u("glc_fills", T.Dispatch.GlcFills);
   E.u("glc_invalidations", T.Dispatch.GlcInvalidations);
   E.u("inline_cache_flushes", T.Dispatch.InlineCacheFlushes);
+  E.u("interner_lookups", T.Dispatch.InternerLookups);
   E.u("quick_sends", T.Dispatch.QuickSends);
   E.u("quickenings", T.Dispatch.Quickenings);
   E.u("dequickenings", T.Dispatch.Dequickenings);

@@ -49,7 +49,9 @@ struct VmTelemetry {
   /// header line so consumers can detect schema drift.
   /// v2: tier section gained the shared-code-tier counters (shared_hits,
   /// shared_publishes, shared_rehydrate_failures, shared_local_fallbacks).
-  static constexpr int kSchemaVersion = 2;
+  /// v3: dispatch section gained interner_lookups (string-interner probes,
+  /// the symbol-lookup volume a perfect-hash selector table would remove).
+  static constexpr int kSchemaVersion = 3;
 
   std::string PolicyName;    ///< Policy::Name of the VM's configuration.
   bool Background = false;   ///< Background compile queue active.

@@ -165,6 +165,7 @@ DispatchStats VirtualMachine::buildDispatchStats() const {
   S.GlcFills = Glc.stats().Fills;
   S.GlcInvalidations = Glc.stats().Invalidations;
   S.InlineCacheFlushes = Code->inlineCacheFlushes();
+  S.InternerLookups = TheWorld->interner().lookups();
   S.QuickSends = C.QuickSends;
   S.Quickenings = C.Quickenings;
   S.Dequickenings = C.Dequickenings;

@@ -435,6 +435,9 @@ struct DispatchStats {
   size_t GlcCapacity = 0, GlcOccupied = 0;
   uint64_t GlcFills = 0, GlcInvalidations = 0;
   uint64_t InlineCacheFlushes = 0;
+  /// String-interner probes (selector/slot-name interning during lexing and
+  /// loading). Process-wide when the interner is a SharedRuntime's.
+  uint64_t InternerLookups = 0;
   // Opcode quickening.
   uint64_t QuickSends = 0, Quickenings = 0, Dequickenings = 0;
   uint64_t DequickenedSites = 0; ///< Sites reset by invalidation flushes.

@@ -133,5 +133,8 @@ stringTraits = ( |
   size = ( _Size ).
   , s = ( _StrCat: s IfFail: [ primitiveFailedError ] ).
   sameAs: s = ( _StrEq: s IfFail: [ false ] ).
+  at: i = ( _StrAt: i IfFail: [ indexError ] ).
+  copyFrom: a To: b = ( _StrFrom: a To: b IfFail: [ indexError ] ).
+  isEmpty = ( self size == 0 ).
 | )
 )SELF";

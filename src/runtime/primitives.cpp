@@ -35,6 +35,8 @@ static const PrimInfo kPrims[] = {
     {PrimId::Print, "_Print", 0, false, true},
     {PrimId::PrintLine, "_PrintLine", 0, false, true},
     {PrimId::ErrorOp, "_Error:", 1, true, true},
+    {PrimId::StrAt, "_StrAt:", 1, true, false},
+    {PrimId::StrFromTo, "_StrFrom:To:", 2, true, true},
 };
 
 PrimId mself::primIdFor(const std::string &Selector) {
@@ -309,6 +311,40 @@ bool mself::execPrimitive(World &W, PrimId Id, const Value *Win,
       Msg = "error: " + Win[1].describe();
     W.setPrimError(Msg);
     return false;
+  }
+  case PrimId::StrAt: {
+    if (!Win[0].isObject() ||
+        Win[0].asObject()->kind() != ObjectKind::String || !Win[1].isInt()) {
+      W.setPrimError("_StrAt: receiver is not a string or index not an "
+                     "integer");
+      return false;
+    }
+    const std::string &S = static_cast<StringObj *>(Win[0].asObject())->str();
+    int64_t I = Win[1].asInt();
+    if (I < 0 || I >= static_cast<int64_t>(S.size())) {
+      W.setPrimError("_StrAt: index out of bounds");
+      return false;
+    }
+    Result = Value::fromInt(static_cast<unsigned char>(S[I]));
+    return true;
+  }
+  case PrimId::StrFromTo: {
+    if (!Win[0].isObject() ||
+        Win[0].asObject()->kind() != ObjectKind::String || !Win[1].isInt() ||
+        !Win[2].isInt()) {
+      W.setPrimError("_StrFrom:To: receiver is not a string or bounds not "
+                     "integers");
+      return false;
+    }
+    const std::string &S = static_cast<StringObj *>(Win[0].asObject())->str();
+    int64_t From = Win[1].asInt(), To = Win[2].asInt();
+    if (From < 0 || To < From || To > static_cast<int64_t>(S.size())) {
+      W.setPrimError("_StrFrom:To: range out of bounds");
+      return false;
+    }
+    Result = Value::fromObject(W.newString(
+        S.substr(static_cast<size_t>(From), static_cast<size_t>(To - From))));
+    return true;
   }
   case PrimId::Invalid:
     break;

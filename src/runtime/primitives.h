@@ -49,6 +49,8 @@ enum class PrimId : int32_t {
   Print,    ///< _Print      writes receiver to the world's output.
   PrintLine,///< _PrintLine  same plus newline.
   ErrorOp,  ///< _Error:     always fails, recording the message.
+  StrAt,    ///< _StrAt:     character code at index; fails out of bounds.
+  StrFromTo,///< _StrFrom:To: substring [from, to); fails on bad range.
   Invalid,
 };
 

@@ -6,6 +6,7 @@ using namespace mself;
 
 const std::string *StringInterner::intern(std::string_view Text) {
   std::lock_guard<std::mutex> L(M);
+  ++Lookups;
   auto It = Table.find(std::string(Text));
   if (It != Table.end())
     return It->second.get();

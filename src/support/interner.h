@@ -43,8 +43,19 @@ public:
     return Table.size();
   }
 
+  /// All-time intern() probes (hits and misses). Selector and slot-name
+  /// interning rides the lexer and the loader, so this is the "symbol
+  /// lookup" volume the ROADMAP's perfect-hash follow-up would shrink;
+  /// bench/table_workloads reports it per dynamic send. On a shared
+  /// interner (SharedRuntime) the count is process-wide across isolates.
+  uint64_t lookups() const {
+    std::lock_guard<std::mutex> L(M);
+    return Lookups;
+  }
+
 private:
   mutable std::mutex M;
+  uint64_t Lookups = 0;
   std::unordered_map<std::string, std::unique_ptr<std::string>> Table;
 };
 

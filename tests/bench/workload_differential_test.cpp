@@ -1,0 +1,62 @@
+//===-- tests/bench/workload_differential_test.cpp - Workload oracles ------===//
+//
+// Wires the workload scenario pack (deltablue, json, sexpr, lexer, peg)
+// into the differential matrix as correctness oracles: each suite's
+// mini-SELF program must compute the checksum of its native C++ twin under
+// every compiler-policy × dispatch-cache × tier × engine × collector ×
+// background-compilation configuration, and across the isolates axis
+// (1/2/8 isolates of one SharedRuntime). The suites are the heaviest
+// programs in the matrix — a polymorphic constraint solver, two
+// allocation-heavy parsers, and a megamorphic PEG matcher — so this is
+// where optimizer bugs that survive the smaller cross-policy programs
+// get caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/differential.h"
+
+#include "workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+std::vector<const BenchmarkDef *> workloadSuites() {
+  std::vector<const BenchmarkDef *> Out;
+  for (const char *G : kWorkloadGroups)
+    for (const BenchmarkDef *B : benchmarksInGroup(G))
+      Out.push_back(B);
+  return Out;
+}
+
+class WorkloadDifferential
+    : public ::testing::TestWithParam<const BenchmarkDef *> {};
+
+} // namespace
+
+TEST(WorkloadPack, RegistryHasAllFiveSuites) {
+  std::vector<const BenchmarkDef *> Suites = workloadSuites();
+  ASSERT_EQ(Suites.size(), 5u);
+  const char *Expected[] = {"deltablue", "json", "sexpr", "lexer", "peg"};
+  for (size_t I = 0; I < 5; ++I) {
+    EXPECT_EQ(Suites[I]->Name, Expected[I]);
+    ASSERT_NE(Suites[I]->Native, nullptr) << Suites[I]->Name;
+    // The native twin must be deterministic — it is the oracle.
+    EXPECT_EQ(Suites[I]->Native(), Suites[I]->Native()) << Suites[I]->Name;
+  }
+}
+
+// The whole matrix must reproduce the native twin's checksum exactly.
+TEST_P(WorkloadDifferential, MatchesNativeTwinEverywhere) {
+  const BenchmarkDef *B = GetParam();
+  EXPECT_TRUE(difftest::expectAll(B->Source, B->RunExpr, B->Native()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suites, WorkloadDifferential, ::testing::ValuesIn(workloadSuites()),
+    [](const ::testing::TestParamInfo<const BenchmarkDef *> &Info) {
+      return Info.param->Name;
+    });

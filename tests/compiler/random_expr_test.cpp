@@ -1,11 +1,13 @@
 //===-- tests/compiler/random_expr_test.cpp - Differential fuzzing ----------===//
 //
-// Property-based differential test: generate random integer/boolean
-// expression trees, render them as mini-SELF source, evaluate the tree in
-// C++, and require every (compiler policy × dispatch cache) configuration
-// to produce the same value. This exercises constant folding, range
-// analysis, splitting of the comparison-produced boolean merges, prediction
-// on arbitrary shapes, and the PIC/global-cache dispatch layers.
+// Property-based differential test: generate random integer/boolean/string
+// expression trees — including string concatenation/slicing/indexing and
+// vector builds folded through collection sends — render them as mini-SELF
+// source, evaluate the tree in C++, and require every (compiler policy ×
+// dispatch cache) configuration to produce the same value. This exercises
+// constant folding, range analysis, splitting of the comparison-produced
+// boolean merges, prediction on arbitrary shapes, the string primitives,
+// block-local closures, and the PIC/global-cache dispatch layers.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +43,7 @@ public:
       }
       return std::to_string(V);
     }
-    switch (pick(6)) {
+    switch (pick(9)) {
     case 0: {
       int64_t A, B;
       std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
@@ -75,7 +77,7 @@ public:
       Val = C ? A : B;
       return "(" + SC + " ifTrue: [ " + SA + " ] False: [ " + SB + " ])";
     }
-    default: { // min:/max:/abs exercise the core library.
+    case 5: { // min:/max:/abs exercise the core library.
       int64_t A, B;
       std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
       if (pick(2) == 0) {
@@ -85,7 +87,76 @@ public:
       Val = std::max(A, B);
       return "(" + SA + " max: " + SB + ")";
     }
+    case 6: { // String size / byte-indexing on a random string tree.
+      std::string SV;
+      std::string SS = strExpr(D - 1, SV);
+      if (pick(2) == 0) {
+        Val = static_cast<int64_t>(SV.size());
+        return "(" + SS + " size)";
+      }
+      size_t K = pick(static_cast<uint32_t>(SV.size()));
+      Val = static_cast<int64_t>(static_cast<unsigned char>(SV[K]));
+      return "(" + SS + " at: " + std::to_string(K) + ")";
     }
+    case 7: { // Vector build + fold: at:Put:, do:, size, first, last.
+      int K = 2 + static_cast<int>(pick(3));
+      std::string S = "([ | v. t <- 0 | v: (vectorOfSize: " +
+                      std::to_string(K) + "). ";
+      int64_t Sum = 0, First = 0, Last = 0;
+      for (int I = 0; I < K; ++I) {
+        int64_t E;
+        std::string SE = intExpr(std::max(0, D - 2), E);
+        S += "v at: " + std::to_string(I) + " Put: " + SE + ". ";
+        Sum += E;
+        if (I == 0)
+          First = E;
+        Last = E;
+      }
+      S += "v do: [ :e | t: t + e ]. ((t + (v size)) + ((v first) - "
+           "(v last))) ] value)";
+      Val = Sum + K + First - Last;
+      return S;
+    }
+    default: { // atAllPut: seed, doIndexes: rewrite, do: fold.
+      int K = 2 + static_cast<int>(pick(4));
+      int64_t Seed;
+      std::string SE = intExpr(std::max(0, D - 2), Seed);
+      // Each slot becomes Seed + i, so the fold is K*Seed + K*(K-1)/2.
+      Val = static_cast<int64_t>(K) * Seed +
+            static_cast<int64_t>(K) * (K - 1) / 2;
+      return "([ | v. t <- 0 | v: (vectorOfSize: " + std::to_string(K) +
+             "). v atAllPut: " + SE +
+             ". v doIndexes: [ :i | v at: i Put: ((v at: i) + i) ]. "
+             "v do: [ :e | t: t + e ]. t ] value)";
+    }
+    }
+  }
+
+  /// Generates a string-valued expression; Val tracks its C++ value. The
+  /// result is never empty (leaves are non-empty and slices keep at least
+  /// one character), so callers may index it.
+  std::string strExpr(int D, std::string &Val) {
+    if (D <= 0 || pick(3) == 0) {
+      size_t Len = 1 + pick(5);
+      Val.clear();
+      for (size_t I = 0; I < Len; ++I)
+        Val += static_cast<char>('a' + pick(26));
+      return "'" + Val + "'";
+    }
+    if (pick(2) == 0) { // Concatenation.
+      std::string VA, VB;
+      std::string SA = strExpr(D - 1, VA), SB = strExpr(D - 1, VB);
+      Val = VA + VB;
+      return "(" + SA + " , " + SB + ")";
+    }
+    // Non-empty slice; copyFrom:To: has an exclusive upper bound.
+    std::string VA;
+    std::string SA = strExpr(D - 1, VA);
+    size_t From = pick(static_cast<uint32_t>(VA.size()));
+    size_t To = From + 1 + pick(static_cast<uint32_t>(VA.size() - From));
+    Val = VA.substr(From, To - From);
+    return "(" + SA + " copyFrom: " + std::to_string(From) +
+           " To: " + std::to_string(To) + ")";
   }
 
   /// Generates a boolean-valued expression; Val is 0 or 1.
@@ -120,12 +191,23 @@ public:
       Val = R ? 1 : 0;
       return "(" + SA + " " + Ops[O] + " " + SB + ")";
     }
-    switch (pick(3)) {
+    switch (pick(4)) {
     case 0: {
       int64_t A, B;
       std::string SA = boolExpr(D - 1, A), SB = boolExpr(D - 1, B);
       Val = (A != 0 && B != 0) ? 1 : 0;
       return "(" + SA + " and: [ " + SB + " ])";
+    }
+    case 2: { // String comparison; half the time compare a tree to itself.
+      std::string VA, VB;
+      std::string SA = strExpr(1, VA);
+      if (pick(2) == 0) {
+        Val = 1;
+        return "(" + SA + " sameAs: " + SA + ")";
+      }
+      std::string SB = strExpr(1, VB);
+      Val = (VA == VB) ? 1 : 0;
+      return "(" + SA + " sameAs: " + SB + ")";
     }
     case 1: {
       int64_t A, B;
