@@ -1,0 +1,128 @@
+//===-- bench/closures.cpp - Closure-heavy benchmark suites ----------------===//
+//
+// The mini-SELF sources of the closure suites. Three block-allocation
+// shapes, chosen to pin the three outcomes of the escape classifier:
+//
+//  * inject — an inject:into:-style fold. The fold callee (step:Using:)
+//    carries a non-local-return guard, so the inliner declines it and the
+//    per-iteration fold block survives as a real closure — but the callee
+//    only ever invokes its parameter, so the classifier proves the block
+//    ArgEscaping and the lowering arena-allocates it, along with the
+//    method environment it captures. (The NLR guard blocks surviving on
+//    the uncommon paths of the type splits are boolean-control arguments,
+//    which the classifier also bets into the arena, so they no longer
+//    heap-force the home chain.)
+//  * nestdo — nested do: loops over a small vector. Everything inlines, so
+//    under the optimizing compiler no block survives at all and every
+//    capturing scope is scalar-replaced: the per-iteration environment
+//    allocations of the naive lowering disappear entirely.
+//  * pipeline — a combinator pipeline: stage blocks stored into a vector
+//    (deliberately Escaping — they must stay heap-allocated) driven
+//    through a per-iteration adapter block that stays local. Mixing the
+//    lattice extremes in one kernel keeps the classifier honest: arena
+//    allocation of the adapter must not leak into the stored stages.
+//
+// Every suite is paired with a C++ twin in native_workloads.cpp computing
+// the same checksum; the differential harness runs both under the whole
+// policy matrix, including the noescape rows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "closures.h"
+
+#include "native.h"
+
+namespace mself::bench {
+
+namespace {
+
+// The fold: step:Using: declines inlining (the `^ 0` guard) but proves its
+// block parameter safe (invoked directly, never captured), so the fold
+// block and injectBench's environment go to the arena. inject:K: carries
+// its own guard so each fold runs in its own frame — one arena mark, one
+// wholesale release per fold.
+const char *kClosureInject = R"SELF(
+clInject = ( | parent* = lobby. elems. n <- 0.
+  init: k = ( | i <- 0 |
+    elems: (vectorOfSize: k). n: k.
+    [ i < k ] whileTrue: [ elems at: i Put: i + 1. i: i + 1 ].
+    self ).
+  step: a Using: blk = (
+    a < 0 ifTrue: [ ^ 0 ].
+    blk value: a ).
+  inject: acc K: k = ( | a <- 0. i <- 0 |
+    n == 0 ifTrue: [ ^ acc ].
+    a: acc.
+    [ i < n ] whileTrue: [
+      a: (step: (((a + (elems at: i)) * k) % 1000003)
+          Using: [ :x | ((x * 2) + k) % 1000003 ]).
+      i: i + 1 ].
+    a ).
+| ).
+injectBench = ( | v. t <- 0 |
+  v: (clInject clone init: 64).
+  1 to: 40 Do: [ :k | t: (((v inject: t K: k) + k) % 1000003) ].
+  t ).
+)SELF";
+
+// Nested do: loops: do: is small and guard-free, so the optimizer inlines
+// the whole nest and scalar-replaces both capturing scopes — the baseline
+// lowering's one-env-per-inner-loop-entry traffic vanishes.
+const char *kClosureNest = R"SELF(
+clNest = ( | parent* = lobby. elems. n <- 0.
+  init: k = ( | i <- 0 |
+    elems: (vectorOfSize: k). n: k.
+    [ i < k ] whileTrue: [ elems at: i Put: ((i * 7) % 23) + 1. i: i + 1 ].
+    self ).
+  do: blk = ( | i <- 0 |
+    [ i < n ] whileTrue: [ blk value: (elems at: i). i: i + 1 ] ).
+| ).
+nestBench = ( | v. t <- 0 |
+  v: (clNest clone init: 48).
+  1 to: 30 Do: [ :r |
+    v do: [ :x |
+      v do: [ :y | t: ((t + (x * y)) % 1000003) ] ] ].
+  t ).
+)SELF";
+
+// The pipeline: four stage blocks stored into a vector (Escaping — heap),
+// invoked through a dynamic value: send per stage; the per-iteration
+// adapter block passed to scale:By: stays ArgEscaping (arena).
+const char *kClosurePipe = R"SELF(
+clPipe = ( | parent* = lobby. stages. n <- 0.
+  init = ( stages: (vectorOfSize: 8). n: 0. self ).
+  add: blk = ( stages at: n Put: blk. n: n + 1. self ).
+  runOn: x = ( | a <- 0. i <- 0 |
+    n == 0 ifTrue: [ ^ x ].
+    a: x.
+    [ i < n ] whileTrue: [ a: ((stages at: i) value: a). i: i + 1 ].
+    a ).
+| ).
+scale: x By: blk = (
+  x < 0 ifTrue: [ ^ 0 ].
+  blk value: x ).
+pipeBench = ( | p. t <- 0 |
+  p: clPipe clone init.
+  p add: [ :x | (x * 3) % 1000003 ].
+  p add: [ :x | (x + 17) % 1000003 ].
+  p add: [ :x | (x * x) % 1000003 ].
+  p add: [ :x | (x + 29) % 1000003 ].
+  1 to: 200 Do: [ :i |
+    t: ((t + (p runOn: (scale: (t + i)
+                        By: [ :q | (q + (i * 5)) % 1000003 ])))
+        % 1000003) ].
+  t ).
+)SELF";
+
+} // namespace
+
+void appendClosureBenchmarks(std::vector<BenchmarkDef> &All) {
+  All.push_back({"inject", kClosureGroup, kClosureInject, "injectBench",
+                 native::closureInject, 10});
+  All.push_back({"nestdo", kClosureGroup, kClosureNest, "nestBench",
+                 native::closureNest, 10});
+  All.push_back({"pipeline", kClosureGroup, kClosurePipe, "pipeBench",
+                 native::closurePipe, 10});
+}
+
+} // namespace mself::bench

@@ -1,0 +1,39 @@
+//===-- bench/closures.h - Closure-heavy benchmark suites -------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration hook for the closure-heavy suites: block-bound iteration
+/// kernels built so that block and environment allocation dominates the
+/// profile — an inject:into:-style fold whose fold block survives inlining
+/// (the callee declines via a non-local-return guard), nested do: loops
+/// whose capturing scopes the optimizer can scalar-replace entirely, and a
+/// combinator pipeline mixing deliberately-escaping stage blocks (stored
+/// into a vector) with per-iteration adapter blocks that stay local. These
+/// are the dedicated workloads for the escape-analysis gate (E17): with
+/// arena allocation on, their per-iteration GC-visible allocation should
+/// collapse. Each suite has a native C++ twin (bench/native_workloads.cpp)
+/// whose checksum the mini-SELF program must reproduce under every policy
+/// configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_BENCH_CLOSURES_H
+#define MINISELF_BENCH_CLOSURES_H
+
+#include "suites.h"
+
+namespace mself::bench {
+
+/// Appends the closure suites to \p All. Group: "closures"
+/// (inject, nestdo, pipeline).
+void appendClosureBenchmarks(std::vector<BenchmarkDef> &All);
+
+/// Group name of the closure suites.
+inline const char *const kClosureGroup = "closures";
+
+} // namespace mself::bench
+
+#endif // MINISELF_BENCH_CLOSURES_H

@@ -40,6 +40,11 @@ int64_t sexpr();
 int64_t lexer();
 int64_t peg();
 
+// The closure suites (bench/closures.cpp).
+int64_t closureInject();
+int64_t closureNest();
+int64_t closurePipe();
+
 } // namespace mself::bench::native
 
 #endif // MINISELF_BENCH_NATIVE_H

@@ -1024,4 +1024,51 @@ int64_t peg() {
   return B.run(kPegDoc);
 }
 
+//===----------------------------------------------------------------------===//
+// The closure suites (bench/closures.cpp)
+//===----------------------------------------------------------------------===//
+
+int64_t closureInject() {
+  int64_t Elems[64];
+  for (int I = 0; I < 64; ++I)
+    Elems[I] = I + 1;
+  int64_t T = 0;
+  for (int64_t K = 1; K <= 40; ++K) {
+    int64_t A = T;
+    for (int I = 0; I < 64; ++I) {
+      int64_t S = ((A + Elems[I]) * K) % M;
+      A = S < 0 ? 0 : ((S * 2) + K) % M;
+    }
+    T = (A + K) % M;
+  }
+  return T;
+}
+
+int64_t closureNest() {
+  int64_t Elems[48];
+  for (int64_t I = 0; I < 48; ++I)
+    Elems[I] = ((I * 7) % 23) + 1;
+  int64_t T = 0;
+  for (int R = 1; R <= 30; ++R)
+    for (int I = 0; I < 48; ++I)
+      for (int J = 0; J < 48; ++J)
+        T = (T + Elems[I] * Elems[J]) % M;
+  return T;
+}
+
+int64_t closurePipe() {
+  int64_t T = 0;
+  for (int64_t I = 1; I <= 200; ++I) {
+    int64_t X = T + I;
+    int64_t B = X < 0 ? 0 : (X + I * 5) % M;
+    int64_t A = B;
+    A = (A * 3) % M;
+    A = (A + 17) % M;
+    A = (A * A) % M;
+    A = (A + 29) % M;
+    T = (T + A) % M;
+  }
+  return T;
+}
+
 } // namespace mself::bench::native

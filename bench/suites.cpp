@@ -14,6 +14,7 @@
 
 #include "suites.h"
 
+#include "closures.h"
 #include "native.h"
 #include "richards_source.h"
 #include "workloads.h"
@@ -572,6 +573,8 @@ std::vector<BenchmarkDef> makeAll() {
                  native::richards, 4});
   // The workload scenario pack: deltablue, json, sexpr, lexer, peg.
   appendWorkloadBenchmarks(All);
+  // The closure suites: inject, nestdo, pipeline.
+  appendClosureBenchmarks(All);
   return All;
 }
 

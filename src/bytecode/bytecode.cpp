@@ -30,6 +30,7 @@ int mself::opArity(Op O) {
   case Op::TestMap:
   case Op::BrTrue:
   case Op::MakeEnv:
+  case Op::MakeEnvArena:
   case Op::ArrAtRaw:
   case Op::ArrAtPutRaw:
     return 3;
@@ -47,6 +48,7 @@ int mself::opArity(Op O) {
   case Op::EnvGet:
   case Op::EnvSet:
   case Op::MakeBlock:
+  case Op::MakeBlockArena:
   case Op::Move2:
   case Op::AddRawImm:
   case Op::SubRawImm:
@@ -208,6 +210,10 @@ const char *mself::opName(Op O) {
     return "send_setf";
   case Op::SendConst:
     return "send_const";
+  case Op::MakeEnvArena:
+    return "make_env_arena";
+  case Op::MakeBlockArena:
+    return "make_block_arena";
   }
   return "?";
 }

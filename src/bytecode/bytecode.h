@@ -115,10 +115,21 @@ enum class Op : int32_t {
   SendGetF,  ///< dst, sel, base, argc, cache   monomorphic data-slot read.
   SendSetF,  ///< dst, sel, base, argc, cache   monomorphic data-slot write.
   SendConst, ///< dst, sel, base, argc, cache   monomorphic constant-slot read.
+
+  //===--- Arena allocation (escape analysis) -----------------------------===//
+  // Emitted when the escape classifier proves the env/block cannot outlive
+  // its creating activation: the object lives in the frame's bump-pointer
+  // arena and is reclaimed wholesale when the frame pops, with no write
+  // barrier or remembered-set traffic. If the function was invalidated after
+  // this code started running (a new override may let the block escape), the
+  // handlers fall back to heap allocation.
+
+  MakeEnvArena,  ///< dst, slots, parent(-1 none)   arena environment object.
+  MakeBlockArena,///< dst, block, env(-1 none), selfReg   arena closure.
 };
 
 /// Total number of opcodes (enum values are dense from 0).
-constexpr int kNumOps = static_cast<int>(Op::SendConst) + 1;
+constexpr int kNumOps = static_cast<int>(Op::MakeBlockArena) + 1;
 
 /// \returns true for the runtime-rewritten specializations of Op::Send.
 constexpr bool isQuickenedSend(Op O) {
@@ -221,6 +232,14 @@ struct CompileStats {
   int NodesCopied = 0;      ///< Nodes duplicated by extended splitting.
   int SuperFused = 0;       ///< Instruction pairs fused into superinstructions.
   int MovesElided = 0;      ///< Dead moves/loads removed by the peephole pass.
+  // Escape analysis (per compile; zero when the pass is disabled).
+  int BlocksNonEscaping = 0;  ///< Closures proven frame-local (arena).
+  int BlocksArgEscaping = 0;  ///< Closures passed down but never stored (arena).
+  int BlocksEscaping = 0;     ///< Closures that may outlive the frame (heap).
+  int EnvsArena = 0;          ///< Environments allocated in the frame arena.
+  int EnvsScalarReplaced = 0; ///< Capturing scopes demoted to registers that
+                              ///< the all-or-nothing rule would have
+                              ///< heap-allocated.
 };
 
 /// One compiled activation: a customized method, a block body, or a

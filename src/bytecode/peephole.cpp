@@ -107,6 +107,7 @@ bool regRoles(Op O, RegRoles &R) {
     roles({}, {0, 1, 2});
     break;
   case Op::MakeEnv:
+  case Op::MakeEnvArena:
     roles({0}, {});
     R.OptR = 2;
     break;
@@ -114,6 +115,7 @@ bool regRoles(Op O, RegRoles &R) {
     roles({}, {0, 3});
     break;
   case Op::MakeBlock:
+  case Op::MakeBlockArena:
     roles({0}, {3});
     R.OptR = 2;
     break;

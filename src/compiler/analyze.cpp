@@ -774,7 +774,8 @@ int Analyzer::evalExpr(State &S, const Expr *E, EvalCtx &Ctx) {
 //===----------------------------------------------------------------------===//
 
 int Analyzer::emitDynamicSend(State &S, int RecvVreg, const std::string *Sel,
-                              const std::vector<int> &Args) {
+                              const std::vector<int> &Args,
+                              const ast::Code *CalleeBody) {
   if (S.Dead)
     return newVreg();
   escapeIfClosure(S, RecvVreg);
@@ -784,6 +785,7 @@ int Analyzer::emitDynamicSend(State &S, int RecvVreg, const std::string *Sel,
   Node *N = emit(S, NodeOp::SendNode, 1);
   N->Dst = T;
   N->Sel = Sel;
+  N->CalleeBody = CalleeBody;
   N->Args.push_back(RecvVreg);
   for (int A : Args)
     N->Args.push_back(A);
@@ -885,7 +887,14 @@ int Analyzer::evalSend(State &S, int RecvVreg, const std::string *Sel,
           ++Occurrences;
       if (Body->NumArgs != static_cast<int>(Args.size()) || TooBig ||
           TooDeep || Occurrences >= 3 || hasNLRBlock(Body))
-        return emitDynamicSend(S, RecvVreg, Sel, Args);
+        // Pass the resolved body along (arity permitting): the compile-time
+        // lookup above already recorded its walked maps as shape
+        // dependencies, so the escape classifier may trust it until an
+        // override installation invalidates this function.
+        return emitDynamicSend(S, RecvVreg, Sel, Args,
+                               Body->NumArgs == static_cast<int>(Args.size())
+                                   ? Body
+                                   : nullptr);
       return inlineMethod(S, Body, Sel, RecvVreg, Args, Ctx);
     }
     }

@@ -123,9 +123,11 @@ private:
                    int RecvVreg, const std::vector<int> &Args, EvalCtx &Ctx);
   int inlineBlockBody(State &S, const Type *ClosureT, int ClosureVreg,
                       const std::vector<int> &Args, EvalCtx &Ctx);
-  /// Emits a dynamically-bound send.
+  /// Emits a dynamically-bound send. \p CalleeBody records the statically
+  /// resolved (but not inlined) callee for the escape classifier.
   int emitDynamicSend(State &S, int RecvVreg, const std::string *Sel,
-                      const std::vector<int> &Args);
+                      const std::vector<int> &Args,
+                      const ast::Code *CalleeBody = nullptr);
   /// Splits control on a boolean-valued vreg: \returns true/false states.
   std::pair<State, State> branchOnBoolean(State S, int CondVreg,
                                           EvalCtx &Ctx);

@@ -98,6 +98,12 @@ struct Node {
   const std::string *Sel = nullptr;
   PrimId Prim = PrimId::Invalid;
   std::vector<int> Args; ///< Send/Prim operand vregs (Args[0] = receiver).
+  /// SendNode only: the statically-bound callee body when compile-time
+  /// lookup resolved the send but inlining declined it. Lets the escape
+  /// classifier reason about what the callee does with block arguments;
+  /// valid only under the function's DependsOnMaps (the lookup recorded
+  /// every walked map, so an override installation invalidates the code).
+  const ast::Code *CalleeBody = nullptr;
   const ast::BlockExpr *Block = nullptr;
   ScopeInst *Inst = nullptr;
   std::string Msg;

@@ -19,6 +19,7 @@
 #include "vm/object.h"
 
 #include <cassert>
+#include <set>
 
 using namespace mself;
 using namespace mself::ast;
@@ -43,6 +44,11 @@ public:
     Fn->NumArgs = Unit->NumArgs;
 
     allocFixedRegs();
+    if (P.EscapeAnalysis)
+      for (const Expr *E : Unit->Body)
+        screenExpr(E);
+    else
+      AllBlocksArena = false;
     emitPrologue();
     emitBody();
 
@@ -68,6 +74,72 @@ private:
   int IncomingEnv = -1;      ///< Block units: the captured environment.
   int OwnEnv = -1;           ///< This scope's environment, if it captures.
   int CurEnv = -1;           ///< Environment register var refs start from.
+
+  /// The baseline has no send-graph analysis, so its escape screen is
+  /// purely syntactic: a block literal whose sole use is as the receiver
+  /// of a value-family send or an operand of whileTrue:/whileFalse: is
+  /// run-and-discarded by the native intercepts — no lookup is involved,
+  /// so no override can ever void the proof and no invalidation hook is
+  /// needed. Everything else stays heap-allocated.
+  std::set<const Expr *> ArenaBlocks;
+  bool AllBlocksArena = true; ///< Every literal in the unit passed.
+
+  /// Screens one expression tree; does not descend into block bodies
+  /// (those compile as their own units with their own screen).
+  void screenExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::IntLit:
+    case ExprKind::StrLit:
+    case ExprKind::SelfRef:
+    case ExprKind::VarGet:
+      return;
+    case ExprKind::VarSet:
+      screenExpr(static_cast<const VarSet *>(E)->Val);
+      return;
+    case ExprKind::Send: {
+      const auto *S = static_cast<const Send *>(E);
+      const CommonSelectors &CS = W.selectors();
+      bool IsLoop =
+          S->Selector == CS.WhileTrue || S->Selector == CS.WhileFalse;
+      bool RecvInvoked =
+          S->Recv && S->Recv->Kind == ExprKind::BlockLit &&
+          (S->Selector ==
+               CS.valueSelector(static_cast<int>(S->Args.size())) ||
+           IsLoop);
+      if (RecvInvoked)
+        ArenaBlocks.insert(S->Recv);
+      else
+        screenExpr(S->Recv);
+      for (const Expr *A : S->Args) {
+        if (IsLoop && A->Kind == ExprKind::BlockLit) {
+          ArenaBlocks.insert(A); // The loop intercept runs it in-frame.
+          continue;
+        }
+        screenExpr(A);
+      }
+      return;
+    }
+    case ExprKind::PrimCall: {
+      const auto *Pc = static_cast<const PrimCall *>(E);
+      screenExpr(Pc->Recv);
+      for (const Expr *A : Pc->Args)
+        screenExpr(A);
+      if (Pc->OnFail)
+        screenExpr(Pc->OnFail);
+      return;
+    }
+    case ExprKind::BlockLit:
+      // Reached only when the literal was not consumed by an invoking
+      // send above: it flows somewhere we cannot bound.
+      AllBlocksArena = false;
+      return;
+    case ExprKind::Return:
+      screenExpr(static_cast<const Return *>(E)->Val);
+      return;
+    }
+  }
 
   void allocFixedRegs() {
     int SelfReg = B.fixedReg();
@@ -101,7 +173,13 @@ private:
 
   void emitPrologue() {
     if (Unit->HasCaptured) {
-      B.emit3(Op::MakeEnv, OwnEnv, Unit->EnvSlotCount, IncomingEnv);
+      // If every closure in this unit is run-and-discard, the env they
+      // capture cannot outlive the frame either.
+      bool ArenaEnv = P.EscapeAnalysis && AllBlocksArena;
+      if (ArenaEnv)
+        ++Fn->Stats.EnvsArena;
+      B.emit3(ArenaEnv ? Op::MakeEnvArena : Op::MakeEnv, OwnEnv,
+              Unit->EnvSlotCount, IncomingEnv);
       // Captured arguments move from their incoming registers to the env.
       for (int I = 0; I < Unit->NumArgs; ++I) {
         const Code::VarSlot &S = Unit->Slots[static_cast<size_t>(I)];
@@ -180,7 +258,10 @@ private:
       return evalPrim(static_cast<const PrimCall *>(E));
     case ExprKind::BlockLit: {
       int T = B.allocTemp();
-      B.emit4(Op::MakeBlock, T,
+      bool ArenaBlk = P.EscapeAnalysis && ArenaBlocks.count(E) != 0;
+      if (P.EscapeAnalysis)
+        ++(ArenaBlk ? Fn->Stats.BlocksNonEscaping : Fn->Stats.BlocksEscaping);
+      B.emit4(ArenaBlk ? Op::MakeBlockArena : Op::MakeBlock, T,
               B.blockIndex(static_cast<const BlockLit *>(E)->Block), CurEnv,
               0);
       return T;

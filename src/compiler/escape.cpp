@@ -1,0 +1,300 @@
+//===-- compiler/escape.cpp - Closure/environment escape analysis ---------===//
+//
+// Classification over the final (inlined, split, DCE'd) graph. The inliner
+// has already done the heavy lifting: most blocks are gone entirely, and
+// what the classifier sees are the survivors — blocks kept as real objects
+// because a send stayed dynamic or a loop stayed closed. For each survivor
+// we collect every vreg that may alias it (Move chains), then inspect all
+// uses: invocation-family sends keep it NonEscaping, a resolved callee that
+// only invokes its parameter makes it ArgEscaping, and anything that could
+// store or return it makes it Escaping. Environment decisions follow from
+// the block decisions (see analyzeEscapes below).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/escape.h"
+
+#include "bytecode/bytecode.h"
+#include "compiler/policy.h"
+#include "parser/ast.h"
+#include "runtime/world.h"
+
+#include <algorithm>
+
+using namespace mself;
+using namespace mself::ast;
+
+namespace {
+
+/// Walks a callee body checking every use of parameter \p Idx of \p Callee.
+/// Any use other than direct invocation (value-family receiver) or loop
+/// operand (whileTrue:/whileFalse: receiver or argument) — or any use at
+/// all from a nested block — is unsafe: the callee could let the value
+/// outlive the call.
+struct ParamUseWalker {
+  const Code *Callee;
+  int Idx;
+  const CommonSelectors &CS;
+  bool Safe = true;
+
+  bool isParam(const Expr *E) const {
+    if (!E || E->Kind != ExprKind::VarGet)
+      return false;
+    const auto *V = static_cast<const VarGet *>(E);
+    return V->Scope == Callee && V->SlotIndex == Idx;
+  }
+
+  void walkCode(const Code *C, bool Nested) {
+    for (const Expr *E : C->Body) {
+      if (!Safe)
+        return;
+      walk(E, Nested);
+    }
+  }
+
+  void walk(const Expr *E, bool Nested) {
+    if (!E || !Safe)
+      return;
+    switch (E->Kind) {
+    case ExprKind::IntLit:
+    case ExprKind::StrLit:
+    case ExprKind::SelfRef:
+      return;
+    case ExprKind::VarGet:
+      // A bare reference that reached this point flows somewhere we did
+      // not whitelist (assignment value, send argument, return, ...).
+      if (isParam(E))
+        Safe = false;
+      return;
+    case ExprKind::VarSet:
+      walk(static_cast<const VarSet *>(E)->Val, Nested);
+      return;
+    case ExprKind::Send: {
+      const auto *S = static_cast<const Send *>(E);
+      bool IsLoop = S->Selector == CS.WhileTrue || S->Selector == CS.WhileFalse;
+      bool RecvSafe =
+          !Nested &&
+          (S->Selector ==
+               CS.valueSelector(static_cast<int>(S->Args.size())) ||
+           IsLoop);
+      if (!(RecvSafe && isParam(S->Recv)))
+        walk(S->Recv, Nested);
+      for (const Expr *A : S->Args) {
+        if (!Nested && IsLoop && isParam(A))
+          continue; // The loop intercept runs it within our extent.
+        walk(A, Nested);
+      }
+      return;
+    }
+    case ExprKind::PrimCall: {
+      const auto *Pc = static_cast<const PrimCall *>(E);
+      walk(Pc->Recv, Nested);
+      for (const Expr *A : Pc->Args)
+        walk(A, Nested);
+      if (Pc->OnFail)
+        walk(Pc->OnFail, Nested);
+      return;
+    }
+    case ExprKind::BlockLit:
+      // Captured uses run on the nested block's schedule, which we cannot
+      // bound: every occurrence inside is a potential escape.
+      walkCode(&static_cast<const BlockLit *>(E)->Block->Body, true);
+      return;
+    case ExprKind::Return:
+      walk(static_cast<const Return *>(E)->Val, Nested);
+      return;
+    }
+  }
+};
+
+/// Raises \p Cur to at least \p New on the lattice.
+void raiseTo(BlockEscape &Cur, BlockEscape New) {
+  if (static_cast<uint8_t>(New) > static_cast<uint8_t>(Cur))
+    Cur = New;
+}
+
+} // namespace
+
+bool mself::blockParamSafe(const World &W, const ast::Code *Callee,
+                           int ParamIdx) {
+  if (!Callee || ParamIdx < 0 || ParamIdx >= Callee->NumArgs)
+    return false;
+  ParamUseWalker Wk{Callee, ParamIdx, W.selectors()};
+  Wk.walkCode(Callee, /*Nested=*/false);
+  return Wk.Safe;
+}
+
+EscapeInfo mself::analyzeEscapes(const World &W, const Policy &P,
+                                 const Graph &G,
+                                 const std::vector<Node *> &Order,
+                                 const std::set<const Node *> &Removed,
+                                 CompileStats &Stats) {
+  EscapeInfo Info;
+  Info.Enabled = P.EscapeAnalysis;
+
+  std::vector<const Node *> Blocks;
+  for (const Node *N : Order)
+    if (N->Op == NodeOp::MakeBlockNode && !Removed.count(N))
+      Blocks.push_back(N);
+
+  if (!Info.Enabled) {
+    // Legacy behaviour: every surviving closure is heap-allocated and
+    // every capturing scope materializes an environment.
+    for (const Node *B : Blocks)
+      Info.Blocks[B] = BlockEscape::Escaping;
+    for (const auto &Inst : G.insts())
+      if (Inst->Scope->HasCaptured)
+        Info.Materialize.insert(Inst.get());
+    return Info;
+  }
+
+  const CommonSelectors &CS = W.selectors();
+  for (const Node *MB : Blocks) {
+    // Everything the closure may flow into through register moves. Vreg
+    // reuse makes this an over-approximation (another value's use can be
+    // charged to the block), which only ever raises the classification.
+    std::set<int> Aliases{MB->Dst};
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      for (const Node *N : Order) {
+        if (Removed.count(N) || N->Op != NodeOp::Move)
+          continue;
+        if (Aliases.count(N->A) && Aliases.insert(N->Dst).second)
+          Grew = true;
+      }
+    }
+
+    BlockEscape Esc = BlockEscape::NonEscaping;
+    auto in = [&](int V) { return V >= 0 && Aliases.count(V) != 0; };
+    for (const Node *N : Order) {
+      if (Removed.count(N) || N == MB)
+        continue;
+      if (Esc == BlockEscape::Escaping)
+        break;
+      switch (N->Op) {
+      case NodeOp::Move:
+        break; // Alias edge, already folded in.
+      case NodeOp::CompareBr:
+      case NodeOp::TestInt:
+      case NodeOp::TestMap:
+        break; // Inspect-only uses.
+      case NodeOp::SendNode: {
+        int Argc = static_cast<int>(N->Args.size()) - 1;
+        bool IsLoop = N->Sel == CS.WhileTrue || N->Sel == CS.WhileFalse;
+        if (in(N->Args[0]) &&
+            !(N->Sel == CS.valueSelector(Argc) || IsLoop))
+          // Arbitrary dispatch on the closure: the bound method sees it
+          // as self and may store it.
+          raiseTo(Esc, BlockEscape::Escaping);
+        for (size_t I = 1; I < N->Args.size(); ++I) {
+          if (!in(N->Args[I]))
+            continue;
+          if (IsLoop)
+            continue; // Native loop intercept: run-and-discard.
+          if (N->CalleeBody &&
+              blockParamSafe(W, N->CalleeBody, static_cast<int>(I) - 1))
+            raiseTo(Esc, BlockEscape::ArgEscaping);
+          else if (N->Sel == CS.IfTrue || N->Sel == CS.IfFalse ||
+                   N->Sel == CS.IfTrueFalse || N->Sel == CS.IfFalseTrue)
+            // The boolean-control protocol invokes its block arguments
+            // and drops them, and these sends survive inlining only on
+            // uncommon paths (the receiver could not be proven boolean) —
+            // the common case never consumes the block at all. Betting on
+            // the arena is safe either way: a pathological receiver that
+            // stores or returns the block trips the evacuation nets,
+            // which copy it out before any frame release could reach it.
+            raiseTo(Esc, BlockEscape::ArgEscaping);
+          else
+            raiseTo(Esc, BlockEscape::Escaping);
+        }
+        break;
+      }
+      case NodeOp::MakeBlockNode:
+        // Another closure capturing this one as its home self.
+        if (in(N->Inst->SelfVreg))
+          raiseTo(Esc, BlockEscape::Escaping);
+        break;
+      default: {
+        // Any other node that reads an alias could store or return it:
+        // SetField/SetFieldK, ArrAtPut*, VarSet/VarSetOuter, Return/NLRet,
+        // PrimNode, arithmetic on a wrongly-aliased vreg.
+        std::vector<int> Ins;
+        switch (N->Op) {
+        case NodeOp::SetField:
+          Ins = {N->B}; // Storing *into* a closure is impossible.
+          break;
+        case NodeOp::SetFieldK:
+        case NodeOp::VarSet:
+        case NodeOp::VarSetOuter:
+        case NodeOp::ReturnNode:
+        case NodeOp::NLRetNode:
+          Ins = {N->A};
+          break;
+        case NodeOp::ArrAtPut:
+        case NodeOp::ArrAtPutRaw:
+          Ins = {N->C};
+          break;
+        case NodeOp::PrimNode:
+          Ins = N->Args;
+          break;
+        case NodeOp::GetField:
+        case NodeOp::ArrAt:
+        case NodeOp::ArrAtRaw:
+        case NodeOp::ArrSize:
+          break; // Reads only.
+        default:
+          Ins = {N->A, N->B, N->C};
+          break;
+        }
+        for (int V : Ins)
+          if (in(V))
+            raiseTo(Esc, BlockEscape::Escaping);
+        break;
+      }
+      }
+    }
+    Info.Blocks[MB] = Esc;
+    switch (Esc) {
+    case BlockEscape::NonEscaping:
+      ++Stats.BlocksNonEscaping;
+      break;
+    case BlockEscape::ArgEscaping:
+      ++Stats.BlocksArgEscaping;
+      break;
+    case BlockEscape::Escaping:
+      ++Stats.BlocksEscaping;
+      break;
+    }
+  }
+
+  // Environment decisions. A scope materializes iff it is a capturing
+  // scope on some surviving closure's lexical chain: block-unit hop counts
+  // (parser EnvLevel arithmetic) assume every capturing ancestor of the
+  // closure materializes, so the chain must stay contiguous all the way to
+  // the root. Capturing scopes off every chain are scalar-replaced — their
+  // variables stay in registers even though other closures survive.
+  // Heap-ness propagates up the same chains: one escaping closure makes
+  // its whole chain heap-allocated (a heap env must never point at an
+  // arena parent); chains reached only by arena closures stay arena.
+  std::set<const ScopeInst *> HeapForced;
+  for (const auto &[MB, Esc] : Info.Blocks)
+    for (const ScopeInst *I = MB->Inst; I; I = I->ParentInst)
+      if (I->Scope->HasCaptured) {
+        Info.Materialize.insert(I);
+        if (Esc == BlockEscape::Escaping)
+          HeapForced.insert(I);
+      }
+  for (const ScopeInst *I : Info.Materialize)
+    if (!HeapForced.count(I))
+      Info.ArenaEnvs.insert(I);
+
+  // Count every capturing scope that does not materialize — including the
+  // best case, where every closure inlined away and Blocks is empty, so
+  // the whole function runs env-free.
+  for (const auto &Inst : G.insts())
+    if (Inst->Scope->HasCaptured && !Info.Materialize.count(Inst.get()))
+      ++Stats.EnvsScalarReplaced;
+  Stats.EnvsArena += static_cast<int>(Info.ArenaEnvs.size());
+  return Info;
+}

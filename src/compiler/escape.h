@@ -1,0 +1,82 @@
+//===-- compiler/escape.h - Closure/environment escape analysis -*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Escape analysis over the inlined, split, DCE'd graph: classifies each
+/// surviving closure as non-escaping (never leaves its creating
+/// activation), arg-escaping (passed down a call the analyzer resolved to
+/// a body that only invokes it), or globally escaping (stored, returned,
+/// or handed to code we cannot see). Non- and arg-escaping closures — and
+/// the environments only such closures capture — are allocated in the
+/// activation's bump-pointer arena (Op::MakeBlockArena / Op::MakeEnvArena)
+/// and freed wholesale when the frame pops; fully inlined capturing scopes
+/// keep their variables in registers (scalar replacement).
+///
+/// The classification is a pure performance decision: soundness is carried
+/// by the runtime nets (write-barrier evacuation, return-value evacuation,
+/// invalidation demotion in the arena opcode handlers), so a stale proof
+/// can never produce a dangling reference — only a wasted evacuation.
+/// Proof staleness is bounded by DependsOnMaps: the CalleeBody facts used
+/// here come from compile-time lookups whose walked maps invalidate the
+/// whole function when mutated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_ESCAPE_H
+#define MINISELF_COMPILER_ESCAPE_H
+
+#include "compiler/cfg.h"
+
+#include <set>
+
+namespace mself {
+
+class World;
+struct Policy;
+struct CompileStats;
+
+/// The three-point escape lattice, ordered by severity.
+enum class BlockEscape : uint8_t {
+  NonEscaping,  ///< Only invoked/looped in this activation: arena.
+  ArgEscaping,  ///< Passed to a resolved callee that only invokes it:
+                ///< still bounded by this activation's extent, so arena.
+  Escaping,     ///< May outlive the activation: ordinary heap allocation.
+};
+
+/// Result of the pass, consumed by lowerGraph's emission decisions.
+struct EscapeInfo {
+  /// False when Policy::EscapeAnalysis is off: everything is classified
+  /// Escaping and every capturing scope materializes (legacy behaviour).
+  bool Enabled = false;
+  /// Classification of every surviving MakeBlockNode.
+  std::map<const Node *, BlockEscape> Blocks;
+  /// Capturing scope instances that must materialize an environment: those
+  /// on the lexical chain of some surviving closure (the chain must stay
+  /// contiguous — block-unit hop counts assume every capturing ancestor
+  /// materializes). Other capturing scopes are scalar-replaced.
+  std::set<const ScopeInst *> Materialize;
+  /// Materialized scopes whose environment may live in the frame arena:
+  /// no globally-escaping closure closes over any scope on their chain.
+  std::set<const ScopeInst *> ArenaEnvs;
+};
+
+/// Runs the classification over the reached (\p Order) minus \p Removed
+/// node set and fills the escape counters of \p Stats.
+EscapeInfo analyzeEscapes(const World &W, const Policy &P, const Graph &G,
+                          const std::vector<Node *> &Order,
+                          const std::set<const Node *> &Removed,
+                          CompileStats &Stats);
+
+/// True when \p Callee's body uses its parameter \p ParamIdx only in ways
+/// bounded by the call's dynamic extent: as the receiver of a value-family
+/// send, or as either operand of whileTrue:/whileFalse: — and never from a
+/// nested block. Used for both graph sends (via Node::CalleeBody) and the
+/// baseline compiler's syntactic screen.
+bool blockParamSafe(const World &W, const ast::Code *Callee, int ParamIdx);
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_ESCAPE_H

@@ -16,6 +16,7 @@
 
 #include "bytecode/peephole.h"
 #include "compiler/emit.h"
+#include "compiler/escape.h"
 #include "parser/ast.h"
 #include "support/stopwatch.h"
 
@@ -209,6 +210,11 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
     AnyBlocks = anyBlocksLeft();
   }
 
+  // Escape analysis over the surviving closures: decides which scopes
+  // materialize environments at all (scalar replacement), and which of the
+  // materialized envs/blocks may live in the activation arena.
+  EscapeInfo EI = analyzeEscapes(W, P, G, Order, Removed, Stats);
+
   FunctionBuilder B(*Fn);
   // Fixed registers: all analysis vregs, then (if needed) the incoming
   // env, per-scope env registers, and one send/prim argument window.
@@ -221,11 +227,13 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
     Fn->IncomingEnvReg = IncomingEnv;
   }
 
-  // Which scope instances materialize an environment.
+  // Which scope instances materialize an environment: capturing scopes on
+  // some surviving closure's lexical chain (all of them when escape
+  // analysis is off — EscapeInfo then reports every capturing scope).
   std::map<const ScopeInst *, int> EnvRegs;
   if (AnyBlocks)
     for (const auto &Inst : G.insts())
-      if (Inst->Scope->HasCaptured)
+      if (Inst->Scope->HasCaptured && EI.Materialize.count(Inst.get()))
         EnvRegs[Inst.get()] = B.fixedReg();
 
   // Environment register a block created in scope instance \p I closes
@@ -489,8 +497,9 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
         if (It == EnvRegs.end())
           break; // Environment elided: captured vars are registers.
         const Code *Sc = Cur->Inst->Scope;
-        B.emit3(Op::MakeEnv, It->second, Sc->EnvSlotCount,
-                envParentFor(Cur->Inst));
+        B.emit3(EI.ArenaEnvs.count(Cur->Inst) ? Op::MakeEnvArena
+                                              : Op::MakeEnv,
+                It->second, Sc->EnvSlotCount, envParentFor(Cur->Inst));
         // Copy captured incoming values (arguments and, for the root
         // scope, nothing else — locals are stored via VarSet nodes).
         for (int K = 0; K < Sc->NumArgs; ++K) {
@@ -504,9 +513,14 @@ mself::lowerGraph(World &W, const Policy &P, const CompileRequest &Req,
         break;
       }
       case NodeOp::MakeBlockNode:
-        if (!Skip)
-          B.emit4(Op::MakeBlock, Cur->Dst, B.blockIndex(Cur->Block),
-                  envSourceFor(Cur->Inst), Cur->Inst->SelfVreg);
+        if (!Skip) {
+          auto EscIt = EI.Blocks.find(Cur);
+          bool ArenaBlk = EscIt != EI.Blocks.end() &&
+                          EscIt->second != BlockEscape::Escaping;
+          B.emit4(ArenaBlk ? Op::MakeBlockArena : Op::MakeBlock, Cur->Dst,
+                  B.blockIndex(Cur->Block), envSourceFor(Cur->Inst),
+                  Cur->Inst->SelfVreg);
+        }
         break;
       case NodeOp::ReturnNode:
         B.emit1(Op::Return, Cur->A);

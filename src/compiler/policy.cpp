@@ -83,6 +83,7 @@ uint64_t Policy::fingerprint() const {
   Mix(ExtendedSplitting);
   Mix(IterativeLoops);
   Mix(LoopHeadGeneralization);
+  Mix(EscapeAnalysis);
   Mix(static_cast<uint64_t>(SplitThreshold));
   Mix(static_cast<uint64_t>(MaxInlineSize));
   Mix(static_cast<uint64_t>(MaxInlineDepth));
@@ -329,6 +330,27 @@ std::vector<PolicyPreset> buildRegistry() {
                           "background promotion under tiny-nursery GC "
                           "stress",
                           BgTinyTier));
+  // Escape-analysis axis: arena allocation of proven-non-escaping blocks
+  // and environments must be observationally invisible. st80 exercises the
+  // baseline codegen's syntactic screen, newself the optimizer's
+  // send-graph classification; noescapetier plumbs the knob through both
+  // tiers of one run. The default-on rows above already cross arenas with
+  // GC stress (tinynursery) and object motion.
+  for (const Policy &Base : {Policy::st80(), Policy::newSelf()}) {
+    Policy NoEscape = Base;
+    NoEscape.EscapeAnalysis = false;
+    R.push_back(matrixEntry(Base.Name + "/noescape",
+                            "heap-allocate every block and environment",
+                            NoEscape));
+  }
+  Policy NoEscapeTier = Policy::newSelf();
+  NoEscapeTier.EscapeAnalysis = false;
+  NoEscapeTier.TieredCompilation = true;
+  NoEscapeTier.TierUpThreshold = 8;
+  R.push_back(matrixEntry("newself/noescapetier",
+                          "escape analysis off across both tiers",
+                          NoEscapeTier));
+
   Policy BgSat = Policy::newSelf();
   BgSat.TieredCompilation = true;
   BgSat.TierUpThreshold = 8;

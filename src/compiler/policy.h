@@ -58,6 +58,13 @@ struct Policy {
   /// Generalize value/subrange types to their class type at loop heads to
   /// reach the fix-point quickly (§5.1).
   bool LoopHeadGeneralization = true;
+  /// Escape analysis over the inlined body: closures (and the environments
+  /// they capture) proven not to outlive their creating activation are
+  /// allocated in a per-activation arena and freed wholesale at frame exit;
+  /// fully inlined capturing scopes keep their variables in registers.
+  /// Soundness does not depend on this flag — runtime nets evacuate any
+  /// arena object the moment it actually escapes.
+  bool EscapeAnalysis = true;
 
   /// Maximum number of nodes extended splitting may copy per split (§4:
   /// "only performs extended message splitting when the number of copied

@@ -116,6 +116,20 @@ void emitAll(const VmTelemetry &T, Emitter &E) {
   E.f("total_pause_seconds", T.Gc.totalPauseSeconds());
   E.f("max_pause_seconds", T.Gc.MaxPauseSeconds);
 
+  E.section("escape");
+  E.u("blocks_non_escaping", T.Escape.BlocksNonEscaping);
+  E.u("blocks_arg_escaping", T.Escape.BlocksArgEscaping);
+  E.u("blocks_escaping", T.Escape.BlocksEscaping);
+  E.u("envs_arena", T.Escape.EnvsArena);
+  E.u("envs_scalar_replaced", T.Escape.EnvsScalarReplaced);
+  E.u("arena_env_allocs", T.Escape.ArenaEnvAllocs);
+  E.u("arena_block_allocs", T.Escape.ArenaBlockAllocs);
+  E.u("arena_bytes", T.Escape.ArenaBytes);
+  E.u("arena_releases", T.Escape.ArenaReleases);
+  E.u("arena_demoted_allocs", T.Escape.ArenaDemotedAllocs);
+  E.u("arena_evacuations", T.Escape.ArenaEvacuations);
+  E.u("arena_high_water_bytes", T.Escape.ArenaHighWaterBytes);
+
   E.section("events");
   E.u("recorded", T.EventsRecorded);
   E.u("retained", T.Events.size());

@@ -51,7 +51,9 @@ struct VmTelemetry {
   /// shared_publishes, shared_rehydrate_failures, shared_local_fallbacks).
   /// v3: dispatch section gained interner_lookups (string-interner probes,
   /// the symbol-lookup volume a perfect-hash selector table would remove).
-  static constexpr int kSchemaVersion = 3;
+  /// v4: new escape section (escape-analysis classification roll-up plus
+  /// the dynamic arena-allocation and evacuation counters).
+  static constexpr int kSchemaVersion = 4;
 
   std::string PolicyName;    ///< Policy::Name of the VM's configuration.
   bool Background = false;   ///< Background compile queue active.
@@ -61,6 +63,27 @@ struct VmTelemetry {
   DispatchStats Dispatch; ///< Send fast path + site census + global cache.
   TierStats Tier;        ///< Tiering counters, background pipeline, census.
   GcStats Gc;            ///< Collector counts, pauses, volumes, barriers.
+
+  /// Escape analysis + per-activation arena allocation (schema v4). The
+  /// static half is a roll-up of CompileStats over live compiled code (what
+  /// the classifiers decided); the dynamic half counts what the arena
+  /// actually did at run time, including the soundness-net traffic
+  /// (demotions and evacuations).
+  struct EscapeStats {
+    uint64_t BlocksNonEscaping = 0;  ///< Closures proven run-and-discard.
+    uint64_t BlocksArgEscaping = 0;  ///< Escape only into proven callees.
+    uint64_t BlocksEscaping = 0;     ///< Heap-allocated closures.
+    uint64_t EnvsArena = 0;          ///< Environments placed in the arena.
+    uint64_t EnvsScalarReplaced = 0; ///< Captured scopes kept in registers.
+    uint64_t ArenaEnvAllocs = 0;     ///< Dynamic arena env allocations.
+    uint64_t ArenaBlockAllocs = 0;   ///< Dynamic arena block allocations.
+    uint64_t ArenaBytes = 0;         ///< Total bytes bump-allocated.
+    uint64_t ArenaReleases = 0;      ///< Frame exits that freed arena data.
+    uint64_t ArenaDemotedAllocs = 0; ///< Arena sites forced back to heap.
+    uint64_t ArenaEvacuations = 0;   ///< Objects copied out by the nets.
+    uint64_t ArenaHighWaterBytes = 0; ///< Peak arena footprint.
+  };
+  EscapeStats Escape;
 
   /// Retained tail of the bounded compilation event log, oldest first.
   std::vector<CompileEvent> Events;

@@ -115,6 +115,24 @@ VmTelemetry VirtualMachine::telemetry() const {
   T.Dispatch = buildDispatchStats();
   T.Tier = Code->tierStats();
   T.Gc = TheHeap.stats();
+  const ExecCounters &C = Interp->counters();
+  T.Escape.ArenaEnvAllocs = C.ArenaEnvAllocs;
+  T.Escape.ArenaBlockAllocs = C.ArenaBlockAllocs;
+  T.Escape.ArenaBytes = C.ArenaBytes;
+  T.Escape.ArenaReleases = C.ArenaReleases;
+  T.Escape.ArenaDemotedAllocs = C.ArenaDemotedAllocs;
+  T.Escape.ArenaEvacuations = T.Gc.ArenaEvacuations;
+  T.Escape.ArenaHighWaterBytes = Interp->arena().highWaterBytes();
+  Code->forEach([&T](const CompiledFunction &F) {
+    T.Escape.BlocksNonEscaping +=
+        static_cast<uint64_t>(F.Stats.BlocksNonEscaping);
+    T.Escape.BlocksArgEscaping +=
+        static_cast<uint64_t>(F.Stats.BlocksArgEscaping);
+    T.Escape.BlocksEscaping += static_cast<uint64_t>(F.Stats.BlocksEscaping);
+    T.Escape.EnvsArena += static_cast<uint64_t>(F.Stats.EnvsArena);
+    T.Escape.EnvsScalarReplaced +=
+        static_cast<uint64_t>(F.Stats.EnvsScalarReplaced);
+  });
   const CompilationEventLog &Log = Code->eventLog();
   T.Events.assign(Log.events().begin(), Log.events().end());
   T.EventsRecorded = Log.totalRecorded();

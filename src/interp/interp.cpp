@@ -10,6 +10,7 @@
 #include "support/stopwatch.h"
 #include "vm/object.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace mself;
@@ -463,6 +464,31 @@ void Interpreter::traceRoots(GcVisitor &V) {
     V.visit(RegStack[I]);
   for (Value &R : NativeRoots)
     V.visit(R);
+  // Arena envs/blocks are not in any GC space, but their slots can point at
+  // movable heap objects: trace (and fix up) those slots here. Released
+  // arena objects are already off the list, so dead arenas cost nothing.
+  W.heap().traceArenaList(Arena.head(), V);
+}
+
+void Interpreter::scrubDeadRegisters() {
+  size_t Top = 0;
+  if (!Frames.empty())
+    Top = static_cast<size_t>(Frames.back().Base + Frames.back().Fn->NumRegs);
+  for (size_t I = Top; I < RegDirtyHigh; ++I)
+    RegStack[I] = Value();
+  RegDirtyHigh = Top;
+}
+
+void Interpreter::unwindFrames(size_t Barrier) {
+  if (Frames.size() > Barrier) {
+    bool Released = Arena.head() != Frames[Barrier].ArenaMark.Head;
+    if (Released)
+      ++Counters.ArenaReleases;
+    Arena.release(Frames[Barrier].ArenaMark);
+    Frames.resize(Barrier);
+    if (Released)
+      scrubDeadRegisters();
+  }
 }
 
 void Interpreter::safepoint() {
@@ -476,11 +502,7 @@ void Interpreter::safepoint() {
   W.heap().collectAtSafepoint();
   // Scrub the dead region of the register stack: values there may point to
   // objects the sweep just freed, and must never be traced or reused.
-  size_t Top = 0;
-  if (!Frames.empty())
-    Top = static_cast<size_t>(Frames.back().Base + Frames.back().Fn->NumRegs);
-  for (size_t I = Top; I < RegStack.size(); ++I)
-    RegStack[I] = Value();
+  scrubDeadRegisters();
 }
 
 bool Interpreter::pushActivation(CompiledFunction *Fn, Value Self,
@@ -511,9 +533,10 @@ bool Interpreter::pushActivation(CompiledFunction *Fn, Value Self,
   if (RegStack.size() < Need)
     RegStack.resize(Need); // New elements value-initialize to empty.
   // Stale values above the live top are not traced (traceRoots stops at the
-  // top frame's extent) and are scrubbed after every collection, so the
-  // window needs no per-activation clearing — that cost would otherwise
-  // scale with the optimizer's inlining depth.
+  // top frame's extent) and are scrubbed after every collection and after
+  // every arena release, so the window needs no per-activation clearing —
+  // that cost would otherwise scale with the optimizer's inlining depth.
+  RegDirtyHigh = std::max(RegDirtyHigh, Need);
 
   RegStack[static_cast<size_t>(NewBase)] = Self;
   for (int I = 0; I < Argc; ++I)
@@ -529,6 +552,7 @@ bool Interpreter::pushActivation(CompiledFunction *Fn, Value Self,
   F.RetDst = RetDst;
   F.FrameId = NextFrameId++;
   F.HomeFrameId = IsBlock ? HomeId : F.FrameId;
+  F.ArenaMark = Arena.mark();
   Frames.push_back(F);
   return true;
 }
@@ -829,9 +853,20 @@ Interpreter::RunResult Interpreter::runWhileLoop(Value CondBlock,
 
 Interpreter::RunResult Interpreter::continueNLR(uint64_t HomeId, Value Val,
                                                 size_t Barrier) {
+  // The value may be an arena object of a frame this unwind is about to
+  // release (e.g. a demoted function returning a block non-locally):
+  // evacuate it to the heap before any frame's arena storage is freed.
+  if (Val.isObject() && Heap::isArena(Val.asObject()))
+    W.heap().arenaEscape(Val);
   while (Frames.size() > Barrier) {
     Frame Top = Frames.back();
+    bool Released = Arena.head() != Top.ArenaMark.Head;
+    if (Released)
+      ++Counters.ArenaReleases;
+    Arena.release(Top.ArenaMark);
     Frames.pop_back();
+    if (Released)
+      scrubDeadRegisters();
     if (Top.FrameId == HomeId) {
       // Returning *from* the home method to its caller.
       if (Top.RetDst >= 0)

@@ -20,6 +20,7 @@
 
 #include "bytecode/bytecode.h"
 #include "runtime/world.h"
+#include "vm/heap.h"
 
 #include <deque>
 #include <functional>
@@ -394,6 +395,16 @@ struct ExecCounters {
   uint64_t BlocksMade = 0; ///< Closures created.
   uint64_t EnvAccesses = 0;
 
+  // Escape analysis: activation-arena allocation (the GC never sees these).
+  uint64_t ArenaEnvAllocs = 0;   ///< Environments born in a frame arena.
+  uint64_t ArenaBlockAllocs = 0; ///< Closures born in a frame arena.
+  uint64_t ArenaBytes = 0;       ///< Shell + slot bytes allocated in arenas.
+  uint64_t ArenaReleases = 0;    ///< Frame pops that freed arena objects.
+  uint64_t ArenaDemotedAllocs = 0; ///< Arena sites that fell back to the
+                                   ///< heap: the function was invalidated
+                                   ///< (escape proof voided) or the frame
+                                   ///< exhausted its arena budget.
+
   // Dispatch-path observability (the PIC + global-cache fast path).
   uint64_t GlcHits = 0;      ///< Misses resolved by the global lookup cache.
   uint64_t GlcMisses = 0;    ///< Global-cache probes that fell through.
@@ -476,6 +487,10 @@ public:
   const ExecCounters &counters() const { return Counters; }
   void resetCounters() { Counters = ExecCounters(); }
 
+  /// The per-activation arena for escape-proven envs and blocks
+  /// (telemetry reads the high-water mark).
+  const ActivationArena &arena() const { return Arena; }
+
   /// Aborts execution with an error after \p N instructions (0: unlimited).
   void setStepBudget(uint64_t N) { StepBudget = N; }
 
@@ -489,6 +504,9 @@ private:
     int RetDst;     ///< Absolute register receiving the return value; -1.
     uint64_t FrameId;
     uint64_t HomeFrameId; ///< Target of `^`; == FrameId for method frames.
+    /// Arena watermark at activation entry: popping this frame releases
+    /// every env/block it arena-allocated, wholesale.
+    ActivationArena::Mark ArenaMark;
   };
 
   struct RunResult {
@@ -535,6 +553,18 @@ private:
   RunResult continueNLR(uint64_t HomeId, Value Val, size_t Barrier);
   RunResult fail(const std::string &Msg);
   void safepoint();
+  /// Error-path unwind: releases the arena allocations of every frame
+  /// above \p Barrier, then drops the frames. All normal pops (Return,
+  /// non-local return) release their own frame's mark instead.
+  void unwindFrames(size_t Barrier);
+  /// Clears register-stack slots between the live top and the high-water
+  /// mark. Popped frames leave their old register values behind; those
+  /// slots re-enter the traced window when the next frame is pushed over
+  /// them, so they must not keep pointers to storage a pop reclaimed.
+  /// Mandatory after every arena release (the stale values may point at
+  /// just-destroyed arena shells, which a later root sweep would chase
+  /// into freed memory); also run after each collection.
+  void scrubDeadRegisters();
 
   World &W;
   CodeManager &CM;
@@ -542,6 +572,11 @@ private:
   std::vector<Value> RegStack;
   std::vector<Frame> Frames;
   std::vector<Value> NativeRoots; ///< Values live in native helpers.
+  ActivationArena Arena; ///< Escape-proven envs/blocks, one mark per frame.
+  /// High-water mark of the live register window since the last scrub:
+  /// every slot in [live top, RegDirtyHigh) may hold a stale value from a
+  /// popped frame. Slots above it are guaranteed empty.
+  size_t RegDirtyHigh = 0;
   uint64_t NextFrameId = 1;
   uint64_t StepBudget = 0;
   std::string ErrMsg;

@@ -26,6 +26,20 @@ size_t alignUp(size_t N) {
 void GcVisitor::visitObject(Object *&O) {
   if (O == nullptr)
     return;
+  if (TheMode == Mode::ArenaFixup) {
+    // Post-evacuation sweep: redirect references to abandoned arena
+    // shells. Everything else is left untouched — nothing moves, nothing
+    // is marked.
+    if ((O->GcFlags & Object::kGcArena) != 0 && O->Forwarding)
+      O = O->Forwarding;
+    return;
+  }
+  if ((O->GcFlags & Object::kGcArena) != 0) {
+    // Arena objects are not in any GC space: they neither move nor get
+    // marked (the sweep never sees them). Their outgoing references are
+    // traced by the interpreter's arena-list walk, not from here.
+    return;
+  }
   if (TheMode == Mode::Scavenge) {
     // Minor collection: only young objects are in play. Old objects keep
     // their identity, and their outgoing references are covered by the
@@ -51,6 +65,11 @@ void Object::rememberSelf() {
   // OwnerHeap null; such objects can never be collected generationally.
   if (Heap *H = TheMap->ownerHeap())
     H->remember(this);
+}
+
+void Object::arenaEscapeBarrier(Value &V) {
+  if (Heap *H = TheMap->ownerHeap())
+    H->arenaEscape(V);
 }
 
 //===----------------------------------------------------------------------===//
@@ -362,6 +381,152 @@ static Object *moveShellToOldSpace(Object *O) {
     return new BlockObj(std::move(*static_cast<BlockObj *>(O)));
   }
   return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Activation arenas (escape analysis)
+//===----------------------------------------------------------------------===//
+
+ActivationArena::~ActivationArena() { release(Mark()); }
+
+void *ActivationArena::allocate(size_t Bytes) {
+  assert(Bytes <= kChunkBytes && "arena allocations are shell-sized");
+  if (Chunks.empty())
+    Chunks.push_back(std::make_unique<char[]>(kChunkBytes));
+  if (CurOffset + Bytes > kChunkBytes) {
+    ++CurChunk;
+    if (CurChunk == Chunks.size())
+      Chunks.push_back(std::make_unique<char[]>(kChunkBytes));
+    CurOffset = 0;
+  }
+  void *P = Chunks[CurChunk].get() + CurOffset;
+  CurOffset += Bytes;
+  HighWater = std::max(HighWater, CurChunk * kChunkBytes + CurOffset);
+  return P;
+}
+
+void ActivationArena::release(const Mark &M) {
+  // Newest-first walk down to the mark's head: exactly the objects the
+  // dying frame(s) allocated. Evacuated shells are moved-from husks whose
+  // destructors still run, releasing any payload handles; the chunk
+  // memory itself is retained for reuse.
+  for (Object *O = Head; O != M.Head;) {
+    Object *Next = O->NextAlloc;
+    O->~Object();
+    O = Next;
+  }
+  Head = M.Head;
+  CurChunk = M.Chunk;
+  CurOffset = M.Offset;
+}
+
+ArrayObj *Heap::allocEnvArena(ActivationArena &A, Map *M, size_t N,
+                              Value Fill) {
+  void *Mem = A.allocate(alignUp(sizeof(ArrayObj)));
+  ArrayObj *O = new (Mem) ArrayObj(M, N, Fill);
+  O->fields().assign(static_cast<size_t>(M->fieldCount()), Value());
+  O->GcFlags = Object::kGcArena;
+  O->NextAlloc = A.head();
+  A.setHead(O);
+  return O;
+}
+
+BlockObj *Heap::allocBlockArena(ActivationArena &A, Map *M,
+                                const ast::BlockExpr *Body, Object *Env,
+                                Value HomeSelf, uint64_t HomeFrameId) {
+  void *Mem = A.allocate(alignUp(sizeof(BlockObj)));
+  BlockObj *O = new (Mem) BlockObj(M, Body, Env, HomeSelf, HomeFrameId);
+  O->GcFlags = Object::kGcArena;
+  O->NextAlloc = A.head();
+  A.setHead(O);
+  return O;
+}
+
+Object *Heap::evacuateArenaObject(Object *O) {
+  assert((O->GcFlags & Object::kGcArena) != 0 && "not an arena object");
+  if (O->Forwarding)
+    return O->Forwarding;
+  const size_t Sz = shellSizeFor(O->kind());
+  Object *N;
+  if (Generational && NurseryTop + Sz <= NurseryLimit) {
+    // An ordinary nursery birth — evacuation happens between safepoints,
+    // when the bump pointer belongs to the mutator.
+    N = moveShell(NurseryTop, O);
+    NurseryTop += Sz;
+    N->GcFlags = Object::kGcYoung;
+    N->NextAlloc = NurseryList;
+    NurseryList = N;
+    ++NumObjects;
+    ++Stats.NurseryAllocs;
+    Stats.BytesAllocatedNursery += Sz;
+  } else {
+    if (Generational)
+      ++Stats.OverflowAllocs;
+    N = moveShellToOldSpace(O);
+    N->GcFlags = 0;
+    linkOld(N, Sz);
+  }
+  N->Age = 0;
+  N->Forwarding = nullptr;
+  // Forward before fixing slots: env/block structures can be cyclic (a
+  // block stored into its own captured environment).
+  O->Forwarding = N;
+  ++Stats.ArenaEvacuations;
+
+  // The heap copy must never reference an arena, so referents escape with
+  // it. Direct recursion: chains are parent-env chains, always short.
+  auto FixV = [this](Value &V) {
+    if (V.isObject() && (V.asObject()->GcFlags & Object::kGcArena) != 0)
+      V = Value::fromObject(evacuateArenaObject(V.asObject()));
+  };
+  for (Value &F : N->fields())
+    FixV(F);
+  switch (N->kind()) {
+  case ObjectKind::Array:
+  case ObjectKind::Env:
+    for (Value &E : static_cast<ArrayObj *>(N)->elems())
+      FixV(E);
+    break;
+  case ObjectKind::Block: {
+    auto *B = static_cast<BlockObj *>(N);
+    if (B->Env && (B->Env->GcFlags & Object::kGcArena) != 0)
+      B->Env = evacuateArenaObject(B->Env);
+    FixV(B->HomeSelf);
+    break;
+  }
+  case ObjectKind::Plain:
+  case ObjectKind::SmallInt:
+  case ObjectKind::String:
+  case ObjectKind::Method:
+    break;
+  }
+
+  // The slot rewrites above bypassed the barrier; an old-space copy may
+  // now hold young references.
+  if (Generational && (N->GcFlags & Object::kGcYoung) == 0)
+    writeBarrierAll(N);
+  return N;
+}
+
+void Heap::arenaEscape(Value &V) {
+  assert(V.isObject() && isArena(V.asObject()) && "not an arena value");
+  V = Value::fromObject(evacuateArenaObject(V.asObject()));
+  // Sweep every root so no reference to an abandoned shell survives: the
+  // shell is a moved-from husk from here on. Cost is proportional to the
+  // live root set, and evacuations are rare by construction (the escape
+  // classifier heap-allocates anything it cannot prove local).
+  GcVisitor Fix(*this, GcVisitor::Mode::ArenaFixup);
+  for (RootProvider *P : Roots)
+    P->traceRoots(Fix);
+  for (const auto &M : Maps)
+    for (SlotDesc &S : M->Slots)
+      Fix.visit(S.Constant);
+}
+
+void Heap::traceArenaList(Object *Head, GcVisitor &V) {
+  for (Object *O = Head; O; O = O->NextAlloc)
+    if (!O->Forwarding)
+      traceObjectSlots(O, V);
 }
 
 Object *Heap::relocateYoung(Object *O) {

@@ -56,6 +56,8 @@ public:
   enum class Mode : uint8_t {
     Mark,     ///< Full mark-sweep marking; nothing moves.
     Scavenge, ///< Copying scavenge; young objects move, refs are updated.
+    ArenaFixup, ///< After an arena evacuation: rewrite references to
+                ///< evacuated arena shells to their heap copies.
   };
 
   GcVisitor(Heap &H, Mode M) : H(H), TheMode(M) {}
@@ -100,6 +102,12 @@ struct GcStats {
 
   uint64_t BarrierHits = 0; ///< Write-barrier slow-path remembered-set adds.
 
+  /// Arena objects copied to the heap because a store, return, or
+  /// non-local return would have let them outlive their activation. Each
+  /// evacuation is the escape classifier being wrong (or invalidated)
+  /// about one object; the nets keep it a performance event, not a bug.
+  uint64_t ArenaEvacuations = 0;
+
   /// Safepoint collections skipped because a background compile held the
   /// GC gate; the collection runs at a later safepoint (allocation in the
   /// meantime overflows into the old space, so deferral is always safe).
@@ -124,6 +132,74 @@ struct GcStats {
   double totalPauseSeconds() const {
     return TotalScavengeSeconds + TotalFullSeconds;
   }
+};
+
+/// A chunked bump-pointer arena for activation-local (provably
+/// non-escaping) environment and block objects. Owned by the interpreter;
+/// every frame records a Mark at entry, and popping the frame releases
+/// everything allocated above the mark wholesale — destructors run (shells
+/// hold std::vector payloads) but there is no per-object reclamation, no
+/// write-barrier traffic, and no remembered-set membership. Objects that
+/// turn out to escape after all (a store into a heap object, a return, a
+/// demotion) are *evacuated* to the heap by Heap::arenaEscape; the
+/// abandoned shell keeps its forwarding pointer so tracing skips it, and
+/// its (moved-from) destructor still runs at release.
+///
+/// Allocation is LIFO per frame but chunked, so deep recursion grows the
+/// arena by whole chunks instead of requiring one contiguous reservation;
+/// chunks are retained across releases and reused.
+class ActivationArena {
+public:
+  /// Shells only (payload vectors live on the C++ heap), so one chunk
+  /// holds hundreds of envs/blocks.
+  static constexpr size_t kChunkBytes = 16u << 10;
+  /// Ceiling on one frame's arena usage: a loop that creates a closure per
+  /// iteration inside a single activation would otherwise grow the arena
+  /// until frame exit. Past the budget the opcode handlers fall back to
+  /// ordinary heap allocation for the rest of the activation.
+  static constexpr size_t kFrameBudgetBytes = 32u << 10;
+
+  /// A frame's watermark: bump position plus allocation-list head.
+  struct Mark {
+    size_t Chunk = 0;
+    size_t Offset = 0;
+    Object *Head = nullptr;
+  };
+
+  ActivationArena() = default;
+  ActivationArena(const ActivationArena &) = delete;
+  ActivationArena &operator=(const ActivationArena &) = delete;
+  ~ActivationArena();
+
+  Mark mark() const { return {CurChunk, CurOffset, Head}; }
+
+  /// Bump-allocates \p Bytes (must not exceed kChunkBytes), growing a new
+  /// chunk when the current one is full.
+  void *allocate(size_t Bytes);
+
+  /// Destroys every object allocated after \p M (newest first) and rewinds
+  /// the bump pointer. O(objects released); zero when the frame allocated
+  /// nothing.
+  void release(const Mark &M);
+
+  Object *head() const { return Head; }
+  void setHead(Object *O) { Head = O; }
+
+  /// Bytes a frame whose watermark is \p M has bump-allocated so far.
+  size_t bytesSince(const Mark &M) const {
+    return liveBytes() - (M.Chunk * kChunkBytes + M.Offset);
+  }
+
+  /// Peak bytes ever bump-allocated (telemetry).
+  size_t highWaterBytes() const { return HighWater; }
+  size_t liveBytes() const { return CurChunk * kChunkBytes + CurOffset; }
+
+private:
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  size_t CurChunk = 0;
+  size_t CurOffset = 0;
+  size_t HighWater = 0;
+  Object *Head = nullptr; ///< Intrusive allocation list, newest first.
 };
 
 /// Owns every Object and Map in one mini-SELF universe.
@@ -170,6 +246,44 @@ public:
                          const std::string *Selector);
   BlockObj *allocBlock(Map *M, const ast::BlockExpr *Body, Object *Env,
                        Value HomeSelf, uint64_t HomeFrameId);
+
+  //===--- Activation-arena allocation (escape analysis) -----------------===//
+
+  /// Arena twins of allocArray(envMap)/allocBlock: the object is born in
+  /// \p A with the kGcArena flag, joins no GC space, fires no barriers,
+  /// and dies when the owning frame releases its arena mark. Only the
+  /// escape classifier (or the baseline compiler's syntactic check) may
+  /// request these, and the runtime nets below keep them sound even when
+  /// the classification is later invalidated.
+  ArrayObj *allocEnvArena(ActivationArena &A, Map *M, size_t N, Value Fill);
+  BlockObj *allocBlockArena(ActivationArena &A, Map *M,
+                            const ast::BlockExpr *Body, Object *Env,
+                            Value HomeSelf, uint64_t HomeFrameId);
+
+  /// \returns true when \p O lives in an activation arena.
+  static bool isArena(const Object *O) {
+    return (O->GcFlags & Object::kGcArena) != 0;
+  }
+
+  /// The arena-escape net: copies the arena object held by \p V to the
+  /// heap — transitively, so the copy never references an arena — rewrites
+  /// \p V, and runs an ArenaFixup pass over every registered root so no
+  /// stale reference to the abandoned shell survives. The shell keeps its
+  /// forwarding pointer (tracing skips it) until its frame releases it.
+  /// Never collects; safe at any point, not just safepoints.
+  void arenaEscape(Value &V);
+
+  /// Lower-level entry for Object*-typed edges (a block's captured env):
+  /// evacuates \p O and its arena referents, returning the heap copy.
+  /// Callers must follow up with root fixup (arenaEscape does both).
+  Object *evacuateArenaObject(Object *O);
+
+  /// Traces the slots of every live (non-evacuated) object on an arena's
+  /// allocation list. The interpreter calls this from traceRoots so arena
+  /// objects' outgoing references are scavenge/mark roots without the
+  /// arena itself ever being scanned as a space; dead arenas (released
+  /// frames) are gone from the list, so they cost nothing.
+  void traceArenaList(Object *Head, GcVisitor &V);
 
   void addRootProvider(RootProvider *P) { Roots.push_back(P); }
   void removeRootProvider(RootProvider *P);

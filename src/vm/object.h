@@ -69,26 +69,52 @@ protected:
     kGcYoung = 1u << 0,      ///< Lives in the nursery; may move.
     kGcRemembered = 1u << 1, ///< Old object already on the remembered set.
     kGcMarked = 1u << 2,     ///< Mark bit for old-space mark-sweep.
+    kGcArena = 1u << 3,      ///< Lives in an activation arena; dies (or is
+                             ///< evacuated to the heap) with its frame.
   };
 
-  /// The generational write barrier, run on every reference store: an old
-  /// object storing a pointer to a young object must be added to the
-  /// remembered set, or the next scavenge would miss (and free or fail to
-  /// relocate) the young target. The common cases — young receiver, already
-  /// remembered receiver, non-pointer or old value — cost two flag tests.
-  void writeBarrier(Value V) {
-    if ((GcFlags & (kGcYoung | kGcRemembered)) == 0 && V.isObject() &&
-        (V.asObject()->GcFlags & kGcYoung) != 0)
-      rememberSelf();
+  /// The reference-store barrier, run on every store. Two duties:
+  ///
+  ///  * Generational: an old object storing a pointer to a young object
+  ///    must be added to the remembered set, or the next scavenge would
+  ///    miss (and free or fail to relocate) the young target.
+  ///  * Arena soundness: a *heap* object storing a pointer to an
+  ///    *arena* object would outlive the arena's frame, so the arena
+  ///    object (and everything it references in an arena) is evacuated to
+  ///    the heap first and \p V is rewritten to the copy. Stores into
+  ///    arena objects themselves need neither duty — arenas are traced
+  ///    from their owning frame, never from the remembered set.
+  ///
+  /// The common cases — young receiver, already remembered receiver,
+  /// non-pointer or old heap value — cost a few flag tests.
+  void writeBarrier(Value &V) {
+    if ((GcFlags & kGcArena) != 0)
+      return;
+    if (V.isObject()) {
+      uint8_t TF = V.asObject()->GcFlags;
+      if ((TF & kGcArena) != 0) {
+        arenaEscapeBarrier(V);
+        TF = V.asObject()->GcFlags;
+      }
+      if ((GcFlags & (kGcYoung | kGcRemembered)) == 0 &&
+          (TF & kGcYoung) != 0)
+        rememberSelf();
+    }
   }
 
 private:
   friend class Heap;
   friend class GcVisitor;
+  friend class ActivationArena; // Walks NextAlloc on release.
 
   /// Out-of-line barrier slow path: registers this object with its owning
   /// heap's remembered set (reached through the map).
   void rememberSelf();
+
+  /// Out-of-line arena-escape slow path: evacuates the arena object \p V
+  /// to the heap (through the map's owning heap) and rewrites \p V plus
+  /// every root to the copy.
+  void arenaEscapeBarrier(Value &V);
 
   Map *TheMap;
   Object *NextAlloc = nullptr; ///< Intrusive per-space allocation list.

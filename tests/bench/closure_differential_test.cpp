@@ -1,0 +1,105 @@
+//===-- tests/bench/closure_differential_test.cpp - Closure oracles --------===//
+//
+// Wires the closure-heavy suites (inject, nestdo, pipeline) into the
+// differential matrix as correctness oracles for escape analysis: each
+// suite's mini-SELF program must compute the checksum of its native C++
+// twin under every compiler-policy × dispatch-cache × tier × engine ×
+// collector × background-compilation configuration — which now includes
+// the noescape rows, so every checksum is produced both with blocks and
+// environments arena-allocated and with escape analysis off entirely —
+// and across the isolates axis. The suites pin the three corners of the
+// escape lattice (ArgEscaping fold blocks, fully scalar-replaced nests,
+// Escaping stored stages), so a classifier or arena-lifetime bug shows up
+// as a checksum mismatch here before anywhere else.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/differential.h"
+
+#include "closures.h"
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+std::vector<const BenchmarkDef *> closureSuites() {
+  return benchmarksInGroup(kClosureGroup);
+}
+
+class EscapeClosureDifferential
+    : public ::testing::TestWithParam<const BenchmarkDef *> {};
+
+// Runs one suite to completion under \p P and returns the telemetry.
+VmTelemetry runSuite(const BenchmarkDef &B, const Policy &P) {
+  VirtualMachine VM(P);
+  std::string Err;
+  EXPECT_TRUE(VM.load(B.Source, Err)) << Err;
+  int64_t Got = 0;
+  EXPECT_TRUE(VM.evalInt(B.RunExpr, Got, Err)) << Err;
+  EXPECT_EQ(Got, B.Native()) << B.Name;
+  return VM.telemetry();
+}
+
+} // namespace
+
+TEST(EscapeClosurePack, RegistryHasAllThreeSuites) {
+  std::vector<const BenchmarkDef *> Suites = closureSuites();
+  ASSERT_EQ(Suites.size(), 3u);
+  const char *Expected[] = {"inject", "nestdo", "pipeline"};
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Suites[I]->Name, Expected[I]);
+    ASSERT_NE(Suites[I]->Native, nullptr) << Suites[I]->Name;
+    // The native twin must be deterministic — it is the oracle.
+    EXPECT_EQ(Suites[I]->Native(), Suites[I]->Native()) << Suites[I]->Name;
+  }
+}
+
+// The lattice corners land where the suites were designed to put them.
+TEST(EscapeClosurePack, SuitesExerciseTheArena) {
+  std::vector<const BenchmarkDef *> Suites = closureSuites();
+  ASSERT_EQ(Suites.size(), 3u);
+
+  // inject: the per-element fold block is proven ArgEscaping, so the
+  // optimizing compiler arena-allocates it — thousands of arena blocks,
+  // every one reclaimed by a frame-exit release.
+  VmTelemetry Inject = runSuite(*Suites[0], Policy::newSelf());
+  EXPECT_GT(Inject.Escape.ArenaBlockAllocs, 1000u);
+  EXPECT_GT(Inject.Escape.ArenaReleases, 0u);
+
+  // nestdo: everything inlines, every capturing scope is scalar-replaced —
+  // no runtime blocks at all, arena or heap.
+  VmTelemetry Nest = runSuite(*Suites[1], Policy::newSelf());
+  EXPECT_GT(Nest.Escape.EnvsScalarReplaced, 0u);
+  EXPECT_EQ(Nest.Exec.BlocksMade, 0u);
+
+  // pipeline: the stored stages must stay on the heap (Escaping) while the
+  // per-iteration adapter goes to the arena — both classes nonzero.
+  VmTelemetry Pipe = runSuite(*Suites[2], Policy::newSelf());
+  EXPECT_GT(Pipe.Escape.BlocksEscaping, 0u);
+  EXPECT_GT(Pipe.Escape.ArenaBlockAllocs, 0u);
+
+  // With the analysis off the same programs touch the arena never.
+  Policy NoEscape = Policy::newSelf();
+  NoEscape.EscapeAnalysis = false;
+  for (const BenchmarkDef *B : Suites) {
+    VmTelemetry T = runSuite(*B, NoEscape);
+    EXPECT_EQ(T.Escape.ArenaBlockAllocs, 0u) << B->Name;
+    EXPECT_EQ(T.Escape.ArenaEnvAllocs, 0u) << B->Name;
+  }
+}
+
+// The whole matrix must reproduce the native twin's checksum exactly.
+TEST_P(EscapeClosureDifferential, MatchesNativeTwinEverywhere) {
+  const BenchmarkDef *B = GetParam();
+  EXPECT_TRUE(difftest::expectAll(B->Source, B->RunExpr, B->Native()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suites, EscapeClosureDifferential, ::testing::ValuesIn(closureSuites()),
+    [](const ::testing::TestParamInfo<const BenchmarkDef *> &Info) {
+      return Info.param->Name;
+    });

@@ -21,6 +21,7 @@
 #include "bytecode/disasm.h"
 
 #include "driver/vm.h"
+#include "parser/ast.h"
 
 #include <gtest/gtest.h>
 
@@ -172,14 +173,21 @@ TEST(OpcodeCoverage, EveryOpcodeExecutes) {
   A.emit(Op::GetFieldMove, {15, 0, 0, 16});
   A.emit(Op::GetFieldConst, {15, 0, 0});
   A.emit(Op::SetFieldConst, {0, 0, 2});
+  // Arena forms: the optimizer emits these only for closures it proves
+  // non-escaping, so drive them synthetically. The env and block are
+  // created and dropped; frame exit releases both arena objects.
+  A.emit(Op::MakeEnvArena, {17, 1, -1});
+  A.emit(Op::MakeBlockArena, {18, 0, 17, 0});
   A.emit(Op::Return, {7});
 
+  static ast::BlockExpr SynthBlock;
   CompiledFunction Synth;
   Synth.Code = A.Code;
   Synth.NumRegs = 20;
   Synth.NumArgs = 0;
   Synth.Literals = {Obj, Value::fromInt(42)};
   Synth.MapPool = {VM.world().mapOf(Obj)};
+  Synth.BlockPool = {&SynthBlock};
   Interpreter::Outcome O = VM.interp().callFunction(&Synth, Obj, {});
   ASSERT_TRUE(O.Ok) << O.Message;
   ASSERT_TRUE(O.Result.isInt());

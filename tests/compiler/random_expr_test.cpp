@@ -43,7 +43,7 @@ public:
       }
       return std::to_string(V);
     }
-    switch (pick(9)) {
+    switch (pick(10)) {
     case 0: {
       int64_t A, B;
       std::string SA = intExpr(D - 1, A), SB = intExpr(D - 1, B);
@@ -117,6 +117,27 @@ public:
       Val = Sum + K + First - Last;
       return S;
     }
+    case 9: { // Blocks stored into a vector and an env slot, then invoked.
+      // Stored closures are the Escaping corner of the lattice: they must
+      // survive the storing frame, and each loop iteration's block must
+      // capture its own binding of i (fresh environment per activation),
+      // under every policy — arena, heap, and noescape alike.
+      int K = 2 + static_cast<int>(pick(3));
+      int64_t A;
+      std::string SA = intExpr(std::max(0, D - 2), A);
+      int64_t M2 = 1 + pick(6);
+      // v at: i holds [ :x | (x * m) + i ]; b holds [ :x | x + a ].
+      int64_t T = 0;
+      for (int I = 0; I < K; ++I)
+        T += A * M2 + I;
+      Val = T + (A + A);
+      return "([ | v. b. t <- 0 | v: (vectorOfSize: " + std::to_string(K) +
+             "). b: [ :x | x + " + SA + " ]. 0 upTo: " + std::to_string(K) +
+             " Do: [ :i | v at: i Put: [ :x | (x * " + std::to_string(M2) +
+             ") + i ] ]. 0 upTo: " + std::to_string(K) +
+             " Do: [ :i | t: t + ((v at: i) value: " + SA +
+             ") ]. t + (b value: " + SA + ") ] value)";
+    }
     default: { // atAllPut: seed, doIndexes: rewrite, do: fold.
       int K = 2 + static_cast<int>(pick(4));
       int64_t Seed;
@@ -130,6 +151,32 @@ public:
              "v do: [ :e | t: t + e ]. t ] value)";
     }
     }
+  }
+
+  /// Generates a whole-program expression whose loop exits through a
+  /// non-local return (or, when J lands on K, falls through normally). A
+  /// `^` anywhere aborts the entire doit — its value becomes the program's
+  /// value, skipping whatever would have wrapped it — so this production
+  /// is only sound at the top of the tree, never as a subexpression. The
+  /// escape-analysis lowering arena-allocates the loop's block frames, so
+  /// the NLR must unwind arena marks on its way out.
+  std::string nlrExpr(int D, int64_t &Val) {
+    int K = 3 + static_cast<int>(pick(5));
+    int J = static_cast<int>(pick(static_cast<uint32_t>(K) + 1));
+    int64_t Seed;
+    std::string SE = intExpr(std::max(0, D - 1), Seed);
+    int64_t M2 = 1 + pick(5);
+    int64_t T = 0;
+    bool Cut = false;
+    for (int I = 0; I < K && !Cut; ++I) {
+      T += Seed + I * M2;
+      Cut = I == J;
+    }
+    Val = Cut ? T : -T;
+    return "([ | i <- 0. t <- 0 | [ i < " + std::to_string(K) +
+           " ] whileTrue: [ t: t + (" + SE + " + (i * " +
+           std::to_string(M2) + ")). (i == " + std::to_string(J) +
+           ") ifTrue: [ ^ t ]. i: i + 1 ]. (0 - t) ] value)";
   }
 
   /// Generates a string-valued expression; Val tracks its C++ value. The
@@ -237,7 +284,10 @@ TEST_P(RandomExpr, AllPoliciesMatchCppEvaluation) {
   ExprGen Gen(static_cast<uint32_t>(GetParam()) * 2654435761u + 1);
   for (int Case = 0; Case < 8; ++Case) {
     int64_t Expected = 0;
-    std::string Src = Gen.intExpr(4, Expected);
+    // Every third case is a whole-program non-local return; the rest are
+    // composable integer trees (which include the stored-block shapes).
+    std::string Src = Case % 3 == 2 ? Gen.nlrExpr(3, Expected)
+                                    : Gen.intExpr(4, Expected);
     ASSERT_TRUE(difftest::expectAll("", Src, Expected));
   }
 }

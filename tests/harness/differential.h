@@ -39,10 +39,12 @@ struct Config {
 /// preset tagged InMatrix — {st80, oldself, newself} × {pic, mono, noglc,
 /// nocache} on the dispatch axis, the execution-tier axis (tier1/tierN/
 /// tierbase), the execution-engine axis (dispatch loop / quickening /
-/// fusion), the collector axis (mark-sweep vs tiny-nursery stress), and
-/// the background-compilation axis (off-thread promotion, GC-stressed
-/// background promotion, saturated-queue fallback). See
-/// compiler/policy.cpp (buildRegistry) for what each entry exercises.
+/// fusion), the collector axis (mark-sweep vs tiny-nursery stress), the
+/// background-compilation axis (off-thread promotion, GC-stressed
+/// background promotion, saturated-queue fallback), and the
+/// escape-analysis axis (noescape rows: heap-allocate every block and
+/// environment). See compiler/policy.cpp (buildRegistry) for what each
+/// entry exercises.
 inline std::vector<Config> policyMatrix() {
   std::vector<Config> Out;
   for (const PolicyPreset *E : matrixPresets())

@@ -1,0 +1,299 @@
+//===-- tests/interp/escape_test.cpp - Escape analysis & arena lifetimes ---===//
+//
+// The arena is a performance device, never a semantic one: every test here
+// pins one way the runtime nets must keep arena allocation invisible.
+// Invalidation voids escape proofs (and stale in-flight units demote to
+// the heap), non-local returns unwind through arena frames, evacuated
+// environments keep sharing semantics via forwarding, the per-frame budget
+// falls back to the heap, and the collector treats live arenas as roots.
+//
+// Every suite name starts with "Escape" so `ctest -R Escape` — the
+// check-escape target, which re-runs this battery under MINISELF_GC_STRESS
+// and MINISELF_BG_COMPILE — picks up the whole battery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mself;
+
+namespace {
+
+/// First compiled function named \p Name, or null.
+const CompiledFunction *findNamed(VirtualMachine &VM, const std::string &Name) {
+  const CompiledFunction *Found = nullptr;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    if (!Found && F.Name && *F.Name == Name)
+      Found = &F;
+  });
+  return Found;
+}
+
+/// Evaluates \p Expr after loading \p Defs under \p P; fails the test on
+/// any error.
+int64_t evalUnder(const Policy &P, const std::string &Defs,
+                  const std::string &Expr) {
+  VirtualMachine VM(P);
+  std::string Err;
+  EXPECT_TRUE(VM.load(Defs, Err)) << Err;
+  int64_t Got = 0;
+  EXPECT_TRUE(VM.evalInt(Expr, Got, Err)) << Err;
+  return Got;
+}
+
+// A callee that declines inlining (the `^ 0` guard) yet provably only
+// invokes its block parameter — the canonical ArgEscaping shape. Callers
+// sending `use:` with a literal block get that block arena-allocated.
+const char *kUseDef =
+    "stashGuard <- 0. "
+    "use: blk = ( stashGuard == 99 ifTrue: [ ^ 0 ]. blk value: 5 )";
+
+const char *kHostDef =
+    "host = ( | parent* = lobby. run: k = ( use: [ :x | x + k ] ) | ). "
+    "cur <- 0";
+
+} // namespace
+
+// The DependsOnMaps contract, driven through the only shape mutation the
+// system has (defining a new lobby slot): a unit compiled while `use:`
+// was missing bakes in the failing lookup and proves nothing about its
+// block, so the block stays on the heap. Installing `use:` voids the unit
+// via its recorded map dependencies; the recompile resolves the callee
+// body, proves the block ArgEscaping, and arena allocation begins — with
+// the result identical to what the heap lowering computes.
+TEST(EscapeInvalidation, ProofFollowsMapDependencies) {
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
+  ASSERT_TRUE(VM.load(kHostDef, Err)) << Err;
+  int64_t Got = 0;
+  ASSERT_TRUE(VM.evalInt("cur: host. 0", Got, Err)) << Err;
+
+  // `use:` does not exist yet: the call fails, and the compiled unit has
+  // no callee body to prove anything with — nothing touches the arena.
+  EXPECT_FALSE(VM.evalInt("cur run: 3", Got, Err));
+  EXPECT_NE(Err.find("not understood"), std::string::npos) << Err;
+  EXPECT_EQ(VM.telemetry().Escape.ArenaBlockAllocs, 0u);
+
+  // Installing the callee mutates the lobby's shape; every unit whose
+  // compile-time lookups walked the lobby map — including the failed
+  // `run:` — is invalidated.
+  uint64_t InvBefore = VM.telemetry().Tier.Invalidations;
+  ASSERT_TRUE(VM.load(kUseDef, Err)) << Err;
+  EXPECT_GT(VM.telemetry().Tier.Invalidations, InvBefore);
+
+  // The recompile proves the block ArgEscaping and the arena lights up.
+  ASSERT_TRUE(VM.evalInt("cur run: 3", Got, Err)) << Err;
+  EXPECT_EQ(Got, 8);
+  EXPECT_GT(VM.telemetry().Escape.ArenaBlockAllocs, 0u);
+
+  // And stays correct on the cached recompiled unit.
+  ASSERT_TRUE(VM.evalInt("cur run: 4", Got, Err)) << Err;
+  EXPECT_EQ(Got, 9);
+}
+
+// The demotion net itself: an activation of a voided unit must complete
+// without touching the arena. Organic invalidation also flushes dispatch
+// caches (so the stale unit is simply never re-entered — that path is
+// covered above); here the Invalidated flag is raised behind the code
+// manager's back to simulate the in-flight case, where an activation that
+// started before the mutation is still on the stack when its escape proof
+// dies. The arena opcodes must see the flag and fall back to the heap.
+TEST(EscapeInvalidation, StaleActivationDemotesToHeap) {
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
+  ASSERT_TRUE(VM.load(std::string(kUseDef) + ". " + kHostDef, Err)) << Err;
+  int64_t Got = 0;
+  ASSERT_TRUE(VM.evalInt("cur: host. 0", Got, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur run: 3", Got, Err)) << Err;
+  EXPECT_EQ(Got, 8);
+
+  // A healthy call's per-call arena footprint, as the baseline to beat:
+  // other units on the call path (use:'s own guard block) keep their
+  // arena sites, so the demoted call shrinks the delta rather than
+  // zeroing it.
+  VmTelemetry T0 = VM.telemetry();
+  ASSERT_TRUE(VM.evalInt("cur run: 3", Got, Err)) << Err;
+  EXPECT_EQ(Got, 8);
+  VmTelemetry T1 = VM.telemetry();
+  uint64_t HealthyBlocks =
+      T1.Escape.ArenaBlockAllocs - T0.Escape.ArenaBlockAllocs;
+  EXPECT_GT(HealthyBlocks, 0u);
+  EXPECT_EQ(T1.Escape.ArenaDemotedAllocs, 0u);
+
+  const CompiledFunction *Run = findNamed(VM, "run:");
+  ASSERT_NE(Run, nullptr);
+  const_cast<CompiledFunction *>(Run)->Invalidated = true;
+
+  // The monomorphic cache still points at the unit, so it runs again —
+  // now its arena sites demote to the heap, and the answer must not
+  // change.
+  ASSERT_TRUE(VM.evalInt("cur run: 3", Got, Err)) << Err;
+  EXPECT_EQ(Got, 8);
+  VmTelemetry T2 = VM.telemetry();
+  EXPECT_GT(T2.Escape.ArenaDemotedAllocs, 0u);
+  EXPECT_LT(T2.Escape.ArenaBlockAllocs - T1.Escape.ArenaBlockAllocs,
+            HealthyBlocks);
+}
+
+// A non-local return fired from inside an arena-allocated block unwinds
+// through frames holding arena marks: every popped frame's mark must be
+// released and the early answer delivered intact. The probe callee
+// declines inlining, so a real arena block crosses a real frame boundary
+// on every iteration before the `^ i` cuts the loop short.
+TEST(EscapeNLR, NonLocalReturnThroughArenaFrames) {
+  const std::string Defs =
+      "probe: a Using: blk = ( a < 0 ifTrue: [ ^ 0 ]. blk value: a ). "
+      "nlrHost = ( | parent* = lobby. "
+      "scan: n = ( | i <- 0. t <- 0 | "
+      "[ i < n ] whileTrue: [ "
+      "t: t + (probe: i Using: [ :x | (x * x) > 50 ifTrue: [ ^ i ]. x ]). "
+      "i: i + 1 ]. 0 - t ) | )";
+
+  // Squares exceed 50 first at i = 8, so the NLR exits with 8 — under the
+  // arena lowering and, identically, with escape analysis off.
+  Policy NoEscape = Policy::newSelf();
+  NoEscape.EscapeAnalysis = false;
+  EXPECT_EQ(evalUnder(NoEscape, Defs, "nlrHost scan: 100"), 8);
+
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
+  ASSERT_TRUE(VM.load(Defs, Err)) << Err;
+  int64_t Got = 0;
+  for (int I = 0; I < 4; ++I) {
+    ASSERT_TRUE(VM.evalInt("nlrHost scan: 100", Got, Err)) << Err;
+    EXPECT_EQ(Got, 8);
+  }
+  VmTelemetry T = VM.telemetry();
+  EXPECT_GT(T.Escape.ArenaBlockAllocs, 0u);
+  EXPECT_GT(T.Escape.ArenaReleases, 0u);
+  // The interpreter's arena must be fully unwound between top-level
+  // evaluations — an NLR that leaked a mark would show up as a nonzero
+  // resident high-water mark growing without bound. Four identical scans
+  // reaching the same high-water mark is the cheap proxy: the mark is a
+  // per-scan peak, not an accumulation.
+  EXPECT_GT(T.Escape.ArenaHighWaterBytes, 0u);
+}
+
+// Mutation after capture: when a heap block captures an arena environment
+// (the baseline tier's syntactic screen can arena-allocate an env whose
+// nested unit later creates an escaping block), the evacuation net copies
+// the env to the heap — and the original frame keeps mutating it. The
+// forwarding pointer on the evacuated shell must keep both views of the
+// environment the same object, or the block reads a stale copy.
+TEST(EscapeEvacuation, MutationAfterCaptureKeepsSharing) {
+  const std::string Defs =
+      "evacHost = ( | parent* = lobby. "
+      "evac: n = ( | i <- 0. b <- 0 | "
+      "[ i < n ] whileTrue: [ b: [ :x | x + i ]. i: i + 1 ]. "
+      "b value: 5 ). | )";
+
+  // The block must observe i's final value (7), not its value at capture.
+  VirtualMachine VM(Policy::st80());
+  std::string Err;
+  ASSERT_TRUE(VM.load(Defs, Err)) << Err;
+  int64_t Got = 0;
+  ASSERT_TRUE(VM.evalInt("evacHost evac: 7", Got, Err)) << Err;
+  EXPECT_EQ(Got, 12);
+  VmTelemetry T = VM.telemetry();
+  EXPECT_GT(T.Escape.ArenaEnvAllocs, 0u);
+  EXPECT_GT(T.Escape.ArenaEvacuations, 0u);
+
+  // Same answer under the optimizing compiler (which inlines the loop and
+  // never materializes the env) and with the analysis off entirely.
+  EXPECT_EQ(evalUnder(Policy::newSelf(), Defs, "evacHost evac: 7"), 12);
+  Policy NoEscape = Policy::st80();
+  NoEscape.EscapeAnalysis = false;
+  EXPECT_EQ(evalUnder(NoEscape, Defs, "evacHost evac: 7"), 12);
+}
+
+// The per-frame budget: one frame that allocates arena blocks without
+// bound must stop charging the arena once it passes the budget and fall
+// back to the heap — unreleased arena memory is bounded by budget × depth,
+// not by loop trip count. Results stay identical either side of the line.
+TEST(EscapeArena, FrameBudgetDemotesToHeap) {
+  const std::string Defs =
+      "apply: a Using: blk = ( a < 0 ifTrue: [ ^ 0 ]. blk value: a ). "
+      "spinHost = ( | parent* = lobby. "
+      "spin: n = ( | i <- 0. t <- 0 | "
+      "[ i < n ] whileTrue: [ "
+      "t: ((apply: t + i Using: [ :x | (x * 3) % 9973 ]) + t) % 9973. "
+      "i: i + 1 ]. t ) | )";
+
+  Policy NoEscape = Policy::newSelf();
+  NoEscape.EscapeAnalysis = false;
+  int64_t Want = evalUnder(NoEscape, Defs, "spinHost spin: 2000");
+
+  VirtualMachine VM(Policy::newSelf());
+  std::string Err;
+  ASSERT_TRUE(VM.load(Defs, Err)) << Err;
+  int64_t Got = 0;
+  ASSERT_TRUE(VM.evalInt("spinHost spin: 2000", Got, Err)) << Err;
+  EXPECT_EQ(Got, Want);
+
+  VmTelemetry T = VM.telemetry();
+  // The first ~budget's worth of blocks go to the arena, the rest demote.
+  EXPECT_GT(T.Escape.ArenaBlockAllocs, 0u);
+  EXPECT_GT(T.Escape.ArenaDemotedAllocs, 0u);
+  // And the resident arena never grew past (roughly) one frame's budget:
+  // the spin frame is charged at most kFrameBudgetBytes before demotion.
+  EXPECT_LE(T.Escape.ArenaHighWaterBytes,
+            4 * ActivationArena::kFrameBudgetBytes);
+}
+
+// Live arenas are GC roots: with a tiny collection threshold, scavenges
+// run while arena blocks and environments are live, and the heap objects
+// they reference (the captured vector) must survive every collection.
+TEST(EscapeGc, LiveArenasKeepHeapReferentsAlive) {
+  const std::string Defs =
+      "apply: a Using: blk = ( a < 0 ifTrue: [ ^ 0 ]. blk value: a ). "
+      "gcHost = ( | parent* = lobby. "
+      "churn: n = ( | i <- 0. v. t <- 0 | "
+      "v: (vectorOfSize: 4). v at: 0 Put: 7. "
+      "[ i < n ] whileTrue: [ "
+      "t: t + (apply: 3 Using: [ :x | (vectorOfSize: 8) size + (v at: 0) + x ]). "
+      "i: i + 1 ]. t ) | )";
+
+  // Per iteration: 8 (fresh garbage vector's size) + 7 (captured, must
+  // survive the scavenges the garbage forces) + 3 (the argument).
+  const int64_t Want = 200 * 18;
+
+  Policy P = Policy::newSelf();
+  P.GcNurseryKiB = 4; // Scavenge mid-loop, arena objects live each time.
+  P.GcPromotionAge = 1;
+  P.GcThresholdKiB = 16;
+  VirtualMachine VM(P);
+  std::string Err;
+  ASSERT_TRUE(VM.load(Defs, Err)) << Err;
+  int64_t Got = 0;
+  for (int Round = 0; Round < 3; ++Round) {
+    ASSERT_TRUE(VM.evalInt("gcHost churn: 200", Got, Err)) << Err;
+    EXPECT_EQ(Got, Want) << "round " << Round;
+  }
+  EXPECT_GT(VM.heap().collectionCount(), 0u);
+  EXPECT_GT(VM.telemetry().Escape.ArenaBlockAllocs, 0u);
+}
+
+// With the analysis off, the matrix's noescape rows must be genuinely
+// arena-free — the knob is the ablation baseline E17 measures against.
+TEST(EscapeArena, PolicyKnobTurnsTheArenaOff) {
+  Policy NoEscape = Policy::newSelf();
+  NoEscape.EscapeAnalysis = false;
+  VirtualMachine VM(NoEscape);
+  std::string Err;
+  ASSERT_TRUE(VM.load(std::string(kUseDef) + ". " + kHostDef, Err)) << Err;
+  int64_t Got = 0;
+  ASSERT_TRUE(VM.evalInt("cur: host. 0", Got, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur run: 3", Got, Err)) << Err;
+  EXPECT_EQ(Got, 8);
+  VmTelemetry T = VM.telemetry();
+  EXPECT_EQ(T.Escape.ArenaEnvAllocs, 0u);
+  EXPECT_EQ(T.Escape.ArenaBlockAllocs, 0u);
+  EXPECT_EQ(T.Escape.ArenaBytes, 0u);
+  EXPECT_EQ(T.Escape.EnvsArena, 0u);
+  // The fingerprint must split escape/noescape compilation universes.
+  EXPECT_NE(NoEscape.fingerprint(), Policy::newSelf().fingerprint());
+}
