@@ -1,0 +1,285 @@
+//===-- bench/table_oldgc.cpp - E18: Incremental old-space marking --------===//
+//
+// The pause-budget experiment: the same NEW-SELF generational policy run
+// with the two old-space collection strategies —
+//   stop-the-world   the PR-up-to-8 behaviour: when old-space growth
+//                    crosses the threshold, one full mark-sweep pause
+//                    re-marks the entire retained graph
+//   incremental      tri-color SATB marking sliced into budget-bounded
+//                    increments at safepoints (Policy::GcMaxPauseMicros),
+//                    with chunked lazy sweeping
+// Each VM first builds the E13 retained binary tree of ~65k nodes
+// (rgrow: 15) — the long-lived graph whose re-mark cost is exactly what
+// the stop-the-world pause is made of — then runs store-churn kernels
+// that keep tenuring fresh objects into retained structures, growing the
+// old space so both configurations must collect it repeatedly while the
+// mutator runs.
+//
+// Gates (EXPERIMENTS.md E18; the program exits nonzero when one fails):
+//   - identical checksums between the two configurations on every kernel,
+//   - the incremental rows complete >= 1 full mark cycle (the comparison
+//     is meaningless if marking never ran),
+//   - worst single pause under incremental marking <= 2 ms on the
+//     retained-tree workload,
+//   - incremental throughput >= 0.9x stop-the-world (geomean across
+//     kernels): bounded pauses must not cost more than 10% of the bar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "driver/vm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace mself;
+using namespace mself::bench;
+
+namespace {
+
+constexpr int64_t kIterations = 120000;
+
+/// The E13 retained graph: a ~65k-node binary tree built once per VM
+/// before timing. Under incremental marking every cycle must re-mark it
+/// — in slices — while stop-the-world re-marks it in one pause.
+const char *kPrelude =
+    "rnode = ( | parent* = lobby. l. r. v <- 0 | ). "
+    "rgrow: d = ( | o | o: rnode clone. o v: d. "
+    "d > 0 ifTrue: [ o l: (rgrow: d - 1). o r: (rgrow: d - 1) ] "
+    "False: [ ]. o ). "
+    "retained <- nil. "
+    "buildRetained = ( retained: (rgrow: 15). 0 )";
+
+/// A store-churn kernel: lobby definitions plus a native model for the
+/// checksum. Each keeps replacing references held by tenured structures
+/// with fresh young objects, so the old space grows (promotions) and the
+/// deletion barrier fires while marking is active.
+struct Kernel {
+  const char *Name;
+  const char *Defs;
+  const char *Selector;
+  int64_t (*Native)(int64_t N);
+};
+
+const Kernel kKernels[] = {
+    // A 256-slot tenured ring of survivors: each iteration's clone stays
+    // live for 256 more, so promoted objects keep dying in old space —
+    // the churn an old-space collector exists to reclaim.
+    {"ringchurn",
+     "wproto = ( | parent* = lobby. v <- 0 | ). "
+     "ring: n = ( | r. o. t <- 0 | r: (vectorOfSize: 256). "
+     "1 to: n Do: [ :i | o: wproto clone. o v: i. "
+     "r at: i % 256 Put: o. t: t + (r at: i % 256) v ]. t )",
+     "ring:", [](int64_t N) { return N * (N + 1) / 2; }},
+    // Rewrites interior edges of the retained tree's fringe: allocates a
+    // fresh subtree and stores it over an old one — old-to-old pointer
+    // deletions, the exact edge class the SATB barrier must log.
+    {"treeswap",
+     "sgrow: d = ( | o | o: rnode clone. o v: d. "
+     "d > 0 ifTrue: [ o l: (sgrow: d - 1). o r: (sgrow: d - 1) ] "
+     "False: [ ]. o ). "
+     "swap: n = ( | t <- 0 | 1 to: n Do: [ :i | "
+     "retained l l: (sgrow: 3). t: t + retained l l v ]. t )",
+     "swap:", [](int64_t N) { return 3 * N; }},
+    // Boxed-value overwrite: a tenured vector of one-slot boxes, each
+    // iteration replacing one box wholesale — store-heavy churn into
+    // tenured objects with no retained growth at all.
+    {"boxchurn",
+     "box: n = ( | v. t <- 0 | v: (vectorOfSize: 64). "
+     "0 upTo: 64 Do: [ :i | v at: i Put: (vectorOfSize: 1) ]. "
+     "1 to: n Do: [ :i | v at: i % 64 Put: (vectorOfSize: 1). "
+     "(v at: i % 64) at: 0 Put: i. t: t + ((v at: i % 64) at: 0) ]. t )",
+     "box:", [](int64_t N) { return N * (N + 1) / 2; }},
+};
+constexpr int kNumKernels = int(sizeof(kKernels) / sizeof(kKernels[0]));
+
+struct ModeConfig {
+  const char *Name;
+  bool Incremental;
+};
+const ModeConfig kModes[] = {
+    {"stop-the-world", false},
+    {"incremental", true},
+};
+constexpr int kNumModes = int(sizeof(kModes) / sizeof(kModes[0]));
+
+struct Cell {
+  bool Ok = false;
+  double ItersPerSec = 0;
+  int64_t Checksum = 0;
+  GcStats Gc;
+};
+
+Cell runCell(const Kernel &K, const ModeConfig &M) {
+  Cell Out;
+  std::string Expr =
+      std::string(K.Selector) + " " + std::to_string(kIterations);
+  // Best of three samples, each in a fresh VM so collector statistics
+  // describe exactly one timed run (plus its warm-up).
+  double BestSecs = 1e18;
+  for (int Sample = 0; Sample < 3; ++Sample) {
+    Policy P = Policy::newSelf();
+    P.GenerationalGc = true;
+    P.GcThresholdKiB = 2048;
+    P.GcIncrementalMark = M.Incremental;
+    P.GcMaxPauseMicros = 500; // Half the 2 ms gate: slack for slow CI.
+    VirtualMachine VM(P);
+    std::string Err;
+    int64_t V = 0;
+    if (!VM.load(std::string(kPrelude) + ". " + K.Defs, Err)) {
+      fprintf(stderr, "FAIL %s/%s load: %s\n", K.Name, M.Name, Err.c_str());
+      return Out;
+    }
+    if (!VM.evalInt("buildRetained", V, Err) || V != 0) {
+      fprintf(stderr, "FAIL %s/%s setup: %s\n", K.Name, M.Name, Err.c_str());
+      return Out;
+    }
+    if (!VM.evalInt(std::string(K.Selector) + " 100", V, Err) ||
+        V != K.Native(100)) {
+      fprintf(stderr, "FAIL %s/%s warmup: %s (got %lld)\n", K.Name, M.Name,
+              Err.c_str(), (long long)V);
+      return Out;
+    }
+    auto T0 = std::chrono::steady_clock::now();
+    if (!VM.evalInt(Expr, V, Err)) {
+      fprintf(stderr, "FAIL %s/%s: %s\n", K.Name, M.Name, Err.c_str());
+      return Out;
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    if (V != K.Native(kIterations)) {
+      fprintf(stderr, "FAIL %s/%s: checksum %lld != %lld\n", K.Name, M.Name,
+              (long long)V, (long long)K.Native(kIterations));
+      return Out;
+    }
+    double Secs = std::chrono::duration<double>(T1 - T0).count();
+    if (Secs < BestSecs) {
+      BestSecs = Secs;
+      Out.Gc = VM.telemetry().Gc;
+      Out.Checksum = V;
+    }
+  }
+  Out.Ok = true;
+  Out.ItersPerSec = BestSecs > 0 ? double(kIterations) / BestSecs : 0;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printf("E18: Old-space marking under a pause budget — retained ~65k-node "
+         "tree + store churn, NEW-SELF policy\n");
+  printf("     cell: Miters/s  [max pause ms, mark cycles/full "
+         "collections]\n\n");
+  printf("%-15s", "");
+  for (const Kernel &K : kKernels)
+    printf(" %-26s", K.Name);
+  printf("\n");
+
+  JsonReport Report("table_oldgc");
+  bool AllOk = true;
+  Cell Table[kNumModes][kNumKernels];
+  for (int MI = 0; MI < kNumModes; ++MI) {
+    printf("%-15s", kModes[MI].Name);
+    for (int KI = 0; KI < kNumKernels; ++KI) {
+      Cell &X = Table[MI][KI];
+      X = runCell(kKernels[KI], kModes[MI]);
+      if (!X.Ok) {
+        AllOk = false;
+        printf(" %-26s", "-");
+        continue;
+      }
+      uint64_t Cycles =
+          kModes[MI].Incremental ? X.Gc.MarkCycles : X.Gc.FullCollections;
+      std::string CellStr =
+          fixed(X.ItersPerSec / 1e6, 2) + " [" +
+          fixed(X.Gc.maxPauseSeconds() * 1e3, 2) + "ms, " +
+          std::to_string((unsigned long long)Cycles) + "cy]";
+      printf(" %-26s", CellStr.c_str());
+
+      std::string Base =
+          std::string(kKernels[KI].Name) + "/" + kModes[MI].Name;
+      Report.metric(Base + "/miters_per_sec", X.ItersPerSec / 1e6);
+      Report.metric(Base + "/scavenges", double(X.Gc.Scavenges));
+      Report.metric(Base + "/full_collections",
+                    double(X.Gc.FullCollections));
+      Report.metric(Base + "/mark_cycles", double(X.Gc.MarkCycles));
+      Report.metric(Base + "/mark_increments",
+                    double(X.Gc.MarkIncrements));
+      Report.metric(Base + "/sweep_increments",
+                    double(X.Gc.SweepIncrements));
+      Report.metric(Base + "/satb_marks", double(X.Gc.SatbMarks));
+      PauseHistogram Pauses = X.Gc.ScavengePauses;
+      Pauses.merge(X.Gc.FullPauses);
+      Report.metric(Base + "/p50_pause_ms",
+                    Pauses.percentileSeconds(0.50) * 1e3);
+      Report.metric(Base + "/p95_pause_ms",
+                    Pauses.percentileSeconds(0.95) * 1e3);
+      Report.metric(Base + "/p99_pause_ms",
+                    Pauses.percentileSeconds(0.99) * 1e3);
+      Report.metric(Base + "/max_pause_ms", X.Gc.maxPauseSeconds() * 1e3);
+      Report.metric(Base + "/total_pause_ms",
+                    X.Gc.totalPauseSeconds() * 1e3);
+    }
+    printf("\n");
+  }
+
+  // Gate 1: identical checksums between the modes on every kernel.
+  bool ChecksumOk = AllOk;
+  for (int KI = 0; KI < kNumKernels; ++KI)
+    if (Table[0][KI].Ok && Table[1][KI].Ok &&
+        Table[0][KI].Checksum != Table[1][KI].Checksum)
+      ChecksumOk = false;
+
+  // Gate 2: incremental marking actually ran — every incremental cell
+  // completed at least one full mark-sweep cycle.
+  bool CyclesOk = AllOk;
+  for (int KI = 0; KI < kNumKernels; ++KI)
+    if (Table[1][KI].Ok && Table[1][KI].Gc.MarkCycles < 1)
+      CyclesOk = false;
+
+  // Gate 3: worst single pause under incremental marking <= 2 ms.
+  double WorstIncMs = 0;
+  for (int KI = 0; KI < kNumKernels; ++KI)
+    if (Table[1][KI].Ok)
+      WorstIncMs =
+          std::max(WorstIncMs, Table[1][KI].Gc.maxPauseSeconds() * 1e3);
+  bool PauseOk = AllOk && WorstIncMs <= 2.0;
+
+  // Gate 4: throughput — incremental within 10% of stop-the-world
+  // (geomean across kernels).
+  double LogSum = 0;
+  int LogN = 0;
+  for (int KI = 0; KI < kNumKernels; ++KI) {
+    const Cell &Inc = Table[1][KI];
+    const Cell &Stw = Table[0][KI];
+    if (Inc.Ok && Stw.Ok && Stw.ItersPerSec > 0) {
+      LogSum += std::log(Inc.ItersPerSec / Stw.ItersPerSec);
+      ++LogN;
+    }
+  }
+  double Geomean = LogN ? std::exp(LogSum / LogN) : 0;
+  bool ThroughputOk = AllOk && Geomean >= 0.9;
+
+  printf("\nchecksums identical across modes: %s\n",
+         ChecksumOk ? "ok" : "FAIL");
+  printf("incremental mark cycles >= 1 on every kernel: %s\n",
+         CyclesOk ? "ok" : "FAIL");
+  printf("worst incremental pause %sms (<= 2.00ms required): %s\n",
+         fixed(WorstIncMs, 3).c_str(), PauseOk ? "ok" : "FAIL");
+  printf("geomean throughput, incremental vs stop-the-world: %sx "
+         "(>= 0.90x required): %s\n",
+         fixed(Geomean, 2).c_str(), ThroughputOk ? "ok" : "FAIL");
+
+  Report.metric("checksums_identical", ChecksumOk ? 1 : 0);
+  Report.metric("worst_incremental_pause_ms", WorstIncMs);
+  Report.metric("geomean_throughput_incremental_vs_stw", Geomean);
+
+  bool Pass = AllOk && ChecksumOk && CyclesOk && PauseOk && ThroughputOk;
+  Report.pass(Pass);
+  Report.write();
+  return Pass ? 0 : 1;
+}

@@ -107,6 +107,8 @@ struct RunResult {
   double HitRate = 0;     ///< Cross-isolate code-cache hit rate.
   int64_t Checksum = 0;   ///< Order-independent sum over all sessions.
   uint64_t SharedHits = 0, SharedPublishes = 0;
+  PauseHistogram GcPauses;   ///< Scavenge + full pauses over all isolates.
+  double GcMaxPauseSec = 0;  ///< Worst single pause across the fleet.
 };
 
 /// Drains kSessions sessions with \p Threads workers, each owning one
@@ -179,6 +181,12 @@ RunResult runStorm(int Threads) {
   ServerTelemetry::Aggregate Agg = ST.aggregate();
   Out.SharedHits = Agg.SharedHits;
   Out.SharedPublishes = Agg.SharedPublishes;
+  // GC pause roll-up across the fleet: the same p50/p95/p99/max columns
+  // table_gc and table_oldgc report, merged over every isolate.
+  Out.GcPauses = Agg.ScavengePauses;
+  Out.GcPauses.merge(Agg.FullPauses);
+  Out.GcMaxPauseSec =
+      std::max(Agg.ScavengePauses.MaxSeconds, Agg.FullPauses.MaxSeconds);
   Out.Ok = true;
   Isolates.clear();
   return Out;
@@ -195,8 +203,9 @@ int main() {
   printf("E15: Multi-isolate server storm — %d sessions x %zu scripts "
          "(%u hardware threads)\n",
          kSessions, kNumScripts, Hw);
-  printf("%-8s %12s %12s %10s %8s %8s %14s\n", "threads", "sessions/s",
-         "p99 us", "hit rate", "hits", "pubs", "checksum");
+  printf("%-8s %12s %12s %10s %8s %8s %12s %14s\n", "threads",
+         "sessions/s", "p99 us", "hit rate", "hits", "pubs", "gc p99 us",
+         "checksum");
 
   JsonReport Report("table_server");
   Report.note("hardware_threads", std::to_string(Hw));
@@ -211,16 +220,25 @@ int main() {
       printf("%-8d %12s\n", N, "-");
       continue;
     }
-    printf("%-8d %12s %12s %10s %8llu %8llu %14lld\n", N,
+    printf("%-8d %12s %12s %10s %8llu %8llu %12s %14lld\n", N,
            fixed(R.Throughput, 0).c_str(), fixed(R.P99LatencyUs, 1).c_str(),
            fixed(R.HitRate, 3).c_str(), (unsigned long long)R.SharedHits,
-           (unsigned long long)R.SharedPublishes, (long long)R.Checksum);
+           (unsigned long long)R.SharedPublishes,
+           fixed(R.GcPauses.percentileSeconds(0.99) * 1e6, 1).c_str(),
+           (long long)R.Checksum);
     std::string Key = "threads" + std::to_string(N);
     Report.metric(Key + "/throughput_per_sec", R.Throughput);
     Report.metric(Key + "/p99_latency_us", R.P99LatencyUs);
     Report.metric(Key + "/cross_isolate_hit_rate", R.HitRate);
     Report.metric(Key + "/shared_hits", double(R.SharedHits));
     Report.metric(Key + "/shared_publishes", double(R.SharedPublishes));
+    Report.metric(Key + "/gc_pause_p50_ms",
+                  R.GcPauses.percentileSeconds(0.50) * 1e3);
+    Report.metric(Key + "/gc_pause_p95_ms",
+                  R.GcPauses.percentileSeconds(0.95) * 1e3);
+    Report.metric(Key + "/gc_pause_p99_ms",
+                  R.GcPauses.percentileSeconds(0.99) * 1e3);
+    Report.metric(Key + "/gc_pause_max_ms", R.GcMaxPauseSec * 1e3);
     Report.metric(Key + "/checksum", double(R.Checksum));
   }
 

@@ -100,6 +100,8 @@ uint64_t Policy::fingerprint() const {
   Mix(static_cast<uint64_t>(GcNurseryKiB));
   Mix(static_cast<uint64_t>(GcPromotionAge));
   Mix(static_cast<uint64_t>(GcThresholdKiB));
+  Mix(GcIncrementalMark);
+  Mix(static_cast<uint64_t>(GcMaxPauseMicros));
   Mix(TieredCompilation);
   Mix(static_cast<uint64_t>(TierUpThreshold));
   Mix(BackgroundCompile);
@@ -306,6 +308,40 @@ std::vector<PolicyPreset> buildRegistry() {
   R.push_back(matrixEntry("newself/tinynoquick",
                           "tiny nursery with quickening off", TinyNoQuick));
 
+  // Incremental-marking axis: SATB tri-color cycles sliced across
+  // safepoints must be observationally identical to stop-the-world
+  // mark-sweep. st80 runs the most generic (store-heaviest) code, newself
+  // the most optimized; the small thresholds force several complete
+  // cycles per test so the barrier, the termination handshake, and the
+  // lazy sweep all actually run. incmarktiny shrinks both the nursery and
+  // the slice budget (100 µs) so scavenges, promotions, and mark slices
+  // interleave densely mid-send; incmarksweep crosses the incremental
+  // cycle with the single-space collector (allocate-black from birth).
+  for (const Policy &Base : {Policy::st80(), Policy::newSelf()}) {
+    Policy IncMark = Base;
+    IncMark.GcIncrementalMark = true;
+    IncMark.GcThresholdKiB = 512;
+    R.push_back(matrixEntry(Base.Name + "/incmark",
+                            "incremental SATB old-space marking", IncMark));
+  }
+  Policy IncMarkTiny = Policy::newSelf();
+  IncMarkTiny.GcIncrementalMark = true;
+  IncMarkTiny.GcMaxPauseMicros = 100;
+  IncMarkTiny.GcNurseryKiB = 4;
+  IncMarkTiny.GcPromotionAge = 1;
+  IncMarkTiny.GcThresholdKiB = 256;
+  R.push_back(matrixEntry("newself/incmarktiny",
+                          "100 µs mark slices against a 4 KiB nursery",
+                          IncMarkTiny));
+  Policy IncMarkSweep = Policy::newSelf();
+  IncMarkSweep.GcIncrementalMark = true;
+  IncMarkSweep.GenerationalGc = false;
+  IncMarkSweep.GcThresholdKiB = 256;
+  R.push_back(matrixEntry("newself/incmarksweep",
+                          "incremental marking over the single-space "
+                          "collector",
+                          IncMarkSweep));
+
   // Background-compilation axis: off-thread tier-up + safepoint install
   // must be observationally identical to inline promotion, including under
   // GC stress (object motion while a compile is in flight) and under queue
@@ -388,6 +424,8 @@ Policy Policy::fromEnv(Policy Base) {
   }
   if (const char *S = std::getenv("MINISELF_BG_COMPILE"))
     Base.BackgroundCompile = *S && std::strcmp(S, "0") != 0;
+  if (const char *S = std::getenv("MINISELF_GC_CONCURRENT"))
+    Base.GcIncrementalMark = *S && std::strcmp(S, "0") != 0;
   return Base;
 }
 

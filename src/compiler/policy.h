@@ -143,6 +143,15 @@ struct Policy {
   /// heap's default (8 MiB). This replaces the test-only
   /// Heap::setGcThresholdBytes as the way to configure collection volume.
   int GcThresholdKiB = 0;
+  /// Incremental old-space marking: full collections become a
+  /// snapshot-at-the-beginning tri-color cycle advanced in budget-bounded
+  /// slices at safepoints, with lazy chunked sweeping, instead of one
+  /// stop-the-world mark-sweep pause. Observationally invisible (the
+  /// differential matrix crosses it); orthogonal to GenerationalGc.
+  bool GcIncrementalMark = false;
+  /// Pause budget in microseconds for each incremental mark/sweep slice;
+  /// <= 0 selects 1000 (1 ms). Ignored unless GcIncrementalMark.
+  int GcMaxPauseMicros = 1000;
 
   //===--- Tiered adaptive recompilation -------------------------------===//
   // Two-tier execution: functions first compile under baselinePolicy() (a
@@ -214,8 +223,11 @@ struct Policy {
   /// allowed to reshape a Policy. MINISELF_GC_STRESS=1 forces the tiny
   /// promotion-eager nursery (4 KiB, age 1, 512 KiB full-GC threshold) so
   /// any suite can be re-run with scavenges mid-send; MINISELF_BG_COMPILE
-  /// (0/1) forces background tier-up compilation off/on. VirtualMachine
-  /// applies this to every policy it is constructed with.
+  /// (0/1) forces background tier-up compilation off/on;
+  /// MINISELF_GC_CONCURRENT (0/1) forces incremental SATB old-space
+  /// marking off/on, so any suite can be re-run with mark cycles sliced
+  /// across its safepoints. VirtualMachine applies this to every policy it
+  /// is constructed with.
   static Policy fromEnv(Policy Base);
 };
 

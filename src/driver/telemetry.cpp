@@ -111,10 +111,22 @@ void emitAll(const VmTelemetry &T, Emitter &E) {
   E.u("objects_promoted", T.Gc.ObjectsPromoted);
   E.u("bytes_promoted", T.Gc.BytesPromoted);
   E.u("barrier_hits", T.Gc.BarrierHits);
+  E.u("satb_marks", T.Gc.SatbMarks);
   E.u("deferrals", T.Gc.GcDeferrals);
+  E.u("mark_increments", T.Gc.MarkIncrements);
+  E.u("sweep_increments", T.Gc.SweepIncrements);
+  E.u("mark_cycles", T.Gc.MarkCycles);
   E.f("survival_rate", T.Gc.survivalRate());
   E.f("total_pause_seconds", T.Gc.totalPauseSeconds());
-  E.f("max_pause_seconds", T.Gc.MaxPauseSeconds);
+  E.f("max_pause_seconds", T.Gc.maxPauseSeconds());
+  E.f("scavenge_pause_p50_seconds", T.Gc.ScavengePauses.percentileSeconds(0.50));
+  E.f("scavenge_pause_p95_seconds", T.Gc.ScavengePauses.percentileSeconds(0.95));
+  E.f("scavenge_pause_p99_seconds", T.Gc.ScavengePauses.percentileSeconds(0.99));
+  E.f("scavenge_pause_max_seconds", T.Gc.ScavengePauses.MaxSeconds);
+  E.f("full_pause_p50_seconds", T.Gc.FullPauses.percentileSeconds(0.50));
+  E.f("full_pause_p95_seconds", T.Gc.FullPauses.percentileSeconds(0.95));
+  E.f("full_pause_p99_seconds", T.Gc.FullPauses.percentileSeconds(0.99));
+  E.f("full_pause_max_seconds", T.Gc.FullPauses.MaxSeconds);
 
   E.section("escape");
   E.u("blocks_non_escaping", T.Escape.BlocksNonEscaping);
@@ -233,6 +245,8 @@ ServerTelemetry::Aggregate ServerTelemetry::aggregate() const {
     A.Scavenges += T.Gc.Scavenges;
     A.FullCollections += T.Gc.FullCollections;
     A.MutatorStallSeconds += T.Tier.MutatorStallSeconds;
+    A.ScavengePauses.merge(T.Gc.ScavengePauses);
+    A.FullPauses.merge(T.Gc.FullPauses);
   }
   return A;
 }
@@ -277,6 +291,12 @@ void emitServer(const ServerTelemetry &T, Emitter &E) {
   E.u("scavenges", A.Scavenges);
   E.u("full_collections", A.FullCollections);
   E.f("mutator_stall_seconds", A.MutatorStallSeconds);
+  E.f("scavenge_pause_p99_seconds", A.ScavengePauses.percentileSeconds(0.99));
+  E.f("full_pause_p99_seconds", A.FullPauses.percentileSeconds(0.99));
+  E.f("max_pause_seconds",
+      A.ScavengePauses.MaxSeconds > A.FullPauses.MaxSeconds
+          ? A.ScavengePauses.MaxSeconds
+          : A.FullPauses.MaxSeconds);
 }
 
 } // namespace

@@ -53,7 +53,11 @@ struct VmTelemetry {
   /// the symbol-lookup volume a perfect-hash selector table would remove).
   /// v4: new escape section (escape-analysis classification roll-up plus
   /// the dynamic arena-allocation and evacuation counters).
-  static constexpr int kSchemaVersion = 4;
+  /// v5: gc section gained the incremental-marking counters (satb_marks,
+  /// mark_increments, sweep_increments, mark_cycles) and the pause
+  /// histograms — p50/p95/p99/max split by scavenge vs full/slice pauses —
+  /// replacing the unbounded per-pause vector.
+  static constexpr int kSchemaVersion = 5;
 
   std::string PolicyName;    ///< Policy::Name of the VM's configuration.
   bool Background = false;   ///< Background compile queue active.
@@ -108,7 +112,10 @@ struct VmTelemetry {
 /// isolate is quiescent (per-isolate counters are mutator-thread state and
 /// are read here without synchronization).
 struct ServerTelemetry {
-  static constexpr int kSchemaVersion = 1;
+  /// v2: agg section gained the merged pause-histogram roll-up
+  /// (scavenge_pause_p99_seconds, full_pause_p99_seconds,
+  /// max_pause_seconds).
+  static constexpr int kSchemaVersion = 2;
 
   SharedTierStats Shared; ///< Interner / AST cache / artifact cache.
   uint64_t ServiceWorkers = 0;      ///< Shared compile pool size (0: none).
@@ -128,6 +135,9 @@ struct ServerTelemetry {
     uint64_t Invalidations = 0, InlineCacheFlushes = 0;
     uint64_t Scavenges = 0, FullCollections = 0;
     double MutatorStallSeconds = 0;
+    /// Pause distributions merged across isolates — the server-level
+    /// answer to "what is the worst GC pause any request saw".
+    PauseHistogram ScavengePauses, FullPauses;
   };
   Aggregate aggregate() const;
 

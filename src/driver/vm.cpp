@@ -26,6 +26,11 @@ VirtualMachine::VirtualMachine(Policy P, SharedTier *Tier,
                          ? static_cast<size_t>(Pol.GcThresholdKiB) << 10
                          : Heap::kDefaultGcThresholdBytes;
   TheHeap.configureGc(Pol.GenerationalGc, Nursery, Age, Threshold);
+  TheHeap.configureIncrementalMark(Pol.GcIncrementalMark,
+                                   Pol.GcMaxPauseMicros > 0
+                                       ? static_cast<uint32_t>(
+                                             Pol.GcMaxPauseMicros)
+                                       : 1000u);
 
   TheWorld = std::make_unique<World>(TheHeap, Tier);
   World *W = TheWorld.get();

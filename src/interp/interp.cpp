@@ -497,6 +497,12 @@ void Interpreter::safepoint() {
   // guarantees, and installing before a potential collection puts the new
   // code under CodeManager root tracing for that collection.
   CM.maybeInstall();
+  // shouldCollect() also answers true for the whole duration of an
+  // incremental old-space cycle, so safepoints double as the marker's
+  // polling points: each call below may run one budget-bounded mark or
+  // sweep slice (heap-internally paced), and the termination handshake's
+  // root re-scan walks this interpreter's frames and arena lists through
+  // the same traceRoots path a stop-the-world collection uses.
   if (!W.heap().shouldCollect())
     return;
   W.heap().collectAtSafepoint();

@@ -48,11 +48,25 @@ void GcVisitor::visitObject(Object *&O) {
       O = H.relocateYoung(O);
     return;
   }
-  // Full-collection marking (nothing moves; the nursery was evacuated
-  // before marking began, so everything reachable is in the old space).
+  // Old-space marking (nothing moves).
   if ((O->GcFlags & Object::kGcMarked) != 0)
     return;
   O->GcFlags |= Object::kGcMarked;
+  if ((O->GcFlags & Object::kGcYoung) != 0) {
+    // Young objects (born after the incremental snapshot — cycles open
+    // with a promote-all scavenge) are live by fiat and may move at the
+    // next scavenge, so they are never pushed on the persistent worklist.
+    // But one may hold the only surviving path to a snapshot-live old
+    // object — a reference copied out of a root slot and then cleared
+    // there, a deletion the SATB barrier cannot see — so they are traced
+    // *through* transitively, within this same pause, via the transient
+    // young-trace list (drained before the pause ends, so it never holds
+    // a pointer across a scavenge). The mark bit bounds the walk;
+    // relocateYoung rebuilds flags on copy/promote, so a young mark never
+    // crosses a scavenge or a cycle boundary.
+    H.YoungTraceList.push_back(O);
+    return;
+  }
   H.MarkWorklist.push_back(O);
 }
 
@@ -70,6 +84,32 @@ void Object::rememberSelf() {
 void Object::arenaEscapeBarrier(Value &V) {
   if (Heap *H = TheMap->ownerHeap())
     H->arenaEscape(V);
+}
+
+/// Process-wide count of heaps in the marking phase; the inline barrier's
+/// one-load SATB predicate (object.h).
+std::atomic<uint32_t> mself::gcphase::MarkingHeaps{0};
+
+void Object::satbRecordOverwrite(Object *Old) {
+  // Young and arena objects cannot hold-or-be a snapshot edge the cycle
+  // needs (see writeBarrier's doc); already-marked targets need nothing.
+  if ((Old->GcFlags & (kGcYoung | kGcArena | kGcMarked)) != 0)
+    return;
+  if (Heap *H = Old->TheMap->ownerHeap())
+    H->satbLog(Old);
+}
+
+void Heap::satbLog(Object *O) {
+  // The global flag says *some* heap is marking; only grey on the heap
+  // that owns the object, and only while its own cycle is in the mark
+  // phase (another isolate's cycle must not perturb this heap).
+  if (Phase != OldGcPhase::Marking)
+    return;
+  if ((O->GcFlags & (Object::kGcMarked | Object::kGcYoung | Object::kGcArena)) != 0)
+    return;
+  O->GcFlags |= Object::kGcMarked;
+  MarkWorklist.push_back(O);
+  ++Stats.SatbMarks;
 }
 
 //===----------------------------------------------------------------------===//
@@ -94,6 +134,22 @@ Heap::~Heap() {
     delete O;
     O = Next;
   }
+  // A teardown mid-cycle: free the detached snapshot list too, and retire
+  // this heap's claim on the global SATB predicate.
+  O = SweepList;
+  while (O) {
+    Object *Next = O->NextAlloc;
+    delete O;
+    O = Next;
+  }
+  if (Phase == OldGcPhase::Marking)
+    gcphase::MarkingHeaps.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Heap::configureIncrementalMark(bool Enabled, uint32_t PauseMicros) {
+  assert(Phase == OldGcPhase::Idle && "no cycle may be in flight");
+  IncrementalMark = Enabled;
+  MaxPauseMicros = PauseMicros > 0 ? PauseMicros : 1000;
 }
 
 void Heap::configureGc(bool Gen, size_t Nursery, int Age, size_t Threshold) {
@@ -150,6 +206,12 @@ void Heap::linkOld(Object *O, size_t ShellBytes) {
   // link by hand instead, which is safe because the GC gate excludes
   // background allocation during collections.)
   std::lock_guard<std::mutex> G(OldAllocMutex);
+  // Allocate black while a mark cycle is active: the object is trivially
+  // live this cycle, so this cycle's sweep keeps it (and clears the bit
+  // when re-linking it as a survivor). Births after the mark->sweep flip
+  // land on the fresh AllObjects list, which the sweep never visits.
+  if (Phase == OldGcPhase::Marking)
+    O->GcFlags |= Object::kGcMarked;
   O->NextAlloc = AllObjects;
   AllObjects = O;
   ++NumObjects;
@@ -464,7 +526,12 @@ Object *Heap::evacuateArenaObject(Object *O) {
       ++Stats.OverflowAllocs;
     N = moveShellToOldSpace(O);
     N->GcFlags = 0;
-    linkOld(N, Sz);
+    linkOld(N, Sz); // Allocates black while a mark cycle is active.
+    // Grey, not just black: the shell's slots were filled while it was an
+    // arena object (no barriers fired), so the copy must actually be
+    // traced before the cycle can terminate.
+    if (Phase == OldGcPhase::Marking)
+      MarkWorklist.push_back(N);
   }
   N->Age = 0;
   N->Forwarding = nullptr;
@@ -550,6 +617,14 @@ Object *Heap::relocateYoung(Object *O) {
     ++Stats.ObjectsPromoted;
     Stats.BytesPromoted += Sz;
     PromotedThisCycle.push_back(N);
+    // A scavenge during an incremental mark phase tenures live young
+    // objects into the snapshot list mid-cycle: grey them so their
+    // referents (young at store time, old now) are traced before the
+    // flip, and so the sweep keeps them.
+    if (Phase == OldGcPhase::Marking) {
+      N->GcFlags |= Object::kGcMarked;
+      MarkWorklist.push_back(N);
+    }
   } else {
     assert(ScavengeTo + Sz <= NurseryBase + NurseryBytes &&
            "to-space cannot overflow: survivors fit in one semispace");
@@ -648,10 +723,7 @@ void Heap::scavenge() {
   Stopwatch Timer;
   scavengeImpl(/*PromoteAll=*/false);
   ++Stats.Scavenges;
-  double Secs = Timer.elapsedSeconds();
-  Stats.TotalScavengeSeconds += Secs;
-  Stats.MaxPauseSeconds = std::max(Stats.MaxPauseSeconds, Secs);
-  Stats.PauseSeconds.push_back(Secs);
+  Stats.ScavengePauses.record(Timer.elapsedSeconds());
 }
 
 //===----------------------------------------------------------------------===//
@@ -675,6 +747,7 @@ void Heap::markSweepOldSpace() {
     Object *O = MarkWorklist.back();
     MarkWorklist.pop_back();
     traceObjectSlots(O, V);
+    drainYoungTrace(V); // No-op here: the nursery was evacuated above.
   }
 
   // Sweep: unlink and delete unmarked objects, clear marks on survivors.
@@ -695,6 +768,11 @@ void Heap::markSweepOldSpace() {
 
 void Heap::collect() {
   Stopwatch Timer;
+  // A direct collect() is a demand that everything dead *now* be
+  // reclaimed. An in-flight incremental cycle only reclaims what was dead
+  // at its snapshot, so finish it synchronously first (clean mark state),
+  // then run the classic stop-the-world pass.
+  finishIncrementalCycle();
   if (Generational) {
     // Empty the nursery first (force-promoting every survivor) so marking
     // only ever walks the old space and the remembered set ends empty.
@@ -703,10 +781,197 @@ void Heap::collect() {
   }
   markSweepOldSpace();
   ++Stats.FullCollections;
+  Stats.FullPauses.record(Timer.elapsedSeconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental (SATB) old-space collection
+//===----------------------------------------------------------------------===//
+
+void Heap::drainYoungTrace(GcVisitor &V) {
+  while (!YoungTraceList.empty()) {
+    Object *O = YoungTraceList.back();
+    YoungTraceList.pop_back();
+    traceObjectSlots(O, V);
+  }
+}
+
+void Heap::scanRootsForMark(GcVisitor &V) {
+  for (const auto &M : Maps)
+    for (SlotDesc &S : M->Slots)
+      V.visit(S.Constant);
+  for (RootProvider *P : Roots)
+    P->traceRoots(V);
+  drainYoungTrace(V);
+}
+
+void Heap::beginIncrementalMark() {
+  assert(Phase == OldGcPhase::Idle && "one cycle at a time");
+  Stopwatch Timer;
+  if (Generational) {
+    // Promote-all scavenge: the snapshot must contain only immovable
+    // old-space objects, so the worklist never holds a pointer a later
+    // scavenge could invalidate. Everything born young after this instant
+    // is live by fiat until the next cycle.
+    scavengeImpl(/*PromoteAll=*/true);
+    assert(RememberedSet.empty() && "no young objects can remain");
+  }
+  MarkWorklist.clear();
+  GcVisitor V(*this, GcVisitor::Mode::Mark);
+  scanRootsForMark(V);
+  Phase = OldGcPhase::Marking;
+  gcphase::MarkingHeaps.fetch_add(1, std::memory_order_relaxed);
+  // Re-arm the trigger at cycle start: allocation during the cycle counts
+  // toward the *next* one (the in-flight cycle polls via Phase).
+  BytesSinceGc = 0;
+  ++Stats.MarkIncrements;
   double Secs = Timer.elapsedSeconds();
-  Stats.TotalFullSeconds += Secs;
-  Stats.MaxPauseSeconds = std::max(Stats.MaxPauseSeconds, Secs);
-  Stats.PauseSeconds.push_back(Secs);
+  Stats.FullPauses.record(Secs);
+  NextIncrementAt = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(Secs));
+}
+
+void Heap::markIncrement(double SpentSeconds) {
+  auto Now = std::chrono::steady_clock::now();
+  if (SpentSeconds == 0 && Now < NextIncrementAt)
+    return; // Pacing: let the mutator run between slices.
+  // A scavenge already ran at this safepoint: the slice shrinks so the
+  // combined stop stays near the budget, but always makes some progress.
+  const double Budget =
+      std::max(static_cast<double>(MaxPauseMicros) * 1e-6 - SpentSeconds,
+               static_cast<double>(MaxPauseMicros) * 0.25e-6);
+  Stopwatch Timer;
+  GcVisitor V(*this, GcVisitor::Mode::Mark);
+  size_t Processed = 0;
+  bool OutOfTime = false;
+  while (!MarkWorklist.empty()) {
+    Object *O = MarkWorklist.back();
+    MarkWorklist.pop_back();
+    traceObjectSlots(O, V);
+    // An old object traced above may hold young references (stored during
+    // the cycle): trace through them now, while their addresses are valid.
+    drainYoungTrace(V);
+    if ((++Processed & 63u) == 0 && Timer.elapsedSeconds() >= Budget) {
+      OutOfTime = true;
+      break;
+    }
+  }
+  if (!OutOfTime && MarkWorklist.empty()) {
+    // Termination handshake. Stacks, registers, and arena slots are not
+    // covered by the store barrier, so the worklist running dry is only a
+    // *candidate* termination: re-scan every root. Anything that greys
+    // revives the worklist and the cycle continues at the next safepoint;
+    // the marked set grows monotonically, so this converges.
+    scanRootsForMark(V);
+    if (MarkWorklist.empty())
+      flipToSweep();
+  }
+  ++Stats.MarkIncrements;
+  double Secs = Timer.elapsedSeconds();
+  Stats.FullPauses.record(Secs);
+  NextIncrementAt = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(Secs));
+}
+
+void Heap::flipToSweep() {
+  assert(Phase == OldGcPhase::Marking && "flip ends the mark phase");
+  // Detach the snapshot list. Everything allocated from here on is born
+  // on the fresh AllObjects list, so the lazy sweep races with nothing:
+  // it owns SweepList outright.
+  {
+    std::lock_guard<std::mutex> G(OldAllocMutex);
+    SweepList = AllObjects;
+    AllObjects = nullptr;
+  }
+  // Purge dead remembered-set entries before they dangle: an unmarked
+  // remembered object is snapshot-era garbage the sweep is about to free,
+  // and the next scavenge must not trace through it.
+  RememberedSet.erase(
+      std::remove_if(RememberedSet.begin(), RememberedSet.end(),
+                     [](Object *O) {
+                       return (O->GcFlags & Object::kGcMarked) == 0;
+                     }),
+      RememberedSet.end());
+  Phase = OldGcPhase::Sweeping;
+  gcphase::MarkingHeaps.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Heap::sweepIncrement(double SpentSeconds) {
+  auto Now = std::chrono::steady_clock::now();
+  if (SpentSeconds == 0 && Now < NextIncrementAt)
+    return;
+  const double Budget =
+      std::max(static_cast<double>(MaxPauseMicros) * 1e-6 - SpentSeconds,
+               static_cast<double>(MaxPauseMicros) * 0.25e-6);
+  Stopwatch Timer;
+  // The lock covers the survivor re-links into AllObjects, ordering them
+  // against the background thread's linkOld (the GC gate already excludes
+  // overlap in time; the lock makes the ordering visible to TSan too).
+  {
+    std::lock_guard<std::mutex> G(OldAllocMutex);
+    size_t Processed = 0;
+    while (SweepList) {
+      Object *O = SweepList;
+      SweepList = O->NextAlloc;
+      if ((O->GcFlags & Object::kGcMarked) != 0) {
+        O->GcFlags &= static_cast<uint8_t>(~Object::kGcMarked);
+        O->NextAlloc = AllObjects;
+        AllObjects = O;
+      } else {
+        delete O;
+        --NumObjects;
+      }
+      if ((++Processed & 127u) == 0 && Timer.elapsedSeconds() >= Budget)
+        break;
+    }
+  }
+  if (!SweepList) {
+    Phase = OldGcPhase::Idle;
+    ++Stats.MarkCycles;
+  }
+  ++Stats.SweepIncrements;
+  double Secs = Timer.elapsedSeconds();
+  Stats.FullPauses.record(Secs);
+  NextIncrementAt = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(Secs));
+}
+
+void Heap::finishIncrementalCycle() {
+  if (Phase == OldGcPhase::Marking) {
+    GcVisitor V(*this, GcVisitor::Mode::Mark);
+    for (;;) {
+      while (!MarkWorklist.empty()) {
+        Object *O = MarkWorklist.back();
+        MarkWorklist.pop_back();
+        traceObjectSlots(O, V);
+        drainYoungTrace(V);
+      }
+      scanRootsForMark(V);
+      if (MarkWorklist.empty())
+        break;
+    }
+    flipToSweep();
+  }
+  if (Phase == OldGcPhase::Sweeping) {
+    std::lock_guard<std::mutex> G(OldAllocMutex);
+    while (SweepList) {
+      Object *O = SweepList;
+      SweepList = O->NextAlloc;
+      if ((O->GcFlags & Object::kGcMarked) != 0) {
+        O->GcFlags &= static_cast<uint8_t>(~Object::kGcMarked);
+        O->NextAlloc = AllObjects;
+        AllObjects = O;
+      } else {
+        delete O;
+        --NumObjects;
+      }
+    }
+    Phase = OldGcPhase::Idle;
+    ++Stats.MarkCycles;
+  }
 }
 
 void Heap::collectAtSafepoint() {
@@ -718,14 +983,34 @@ void Heap::collectAtSafepoint() {
   // exactly the stall this subsystem removes. Deferral is safe: allocation
   // never *requires* a collection (a full nursery overflows into the old
   // space), so the heap only grows a little until the next safepoint.
+  // Incremental mark/sweep slices defer the same way — the gate held
+  // across each slice is also what makes single-mutator-thread marking
+  // sound against the worker's old-space allocation.
   if (GcGate && !GcGate->try_lock()) {
     ++Stats.GcDeferrals;
     return;
   }
-  if (BytesSinceGc >= GcThresholdBytes)
-    collect();
-  else if (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes)
+  if (Phase != OldGcPhase::Idle) {
+    // A cycle is in flight: service nursery pressure first (its own
+    // pause), then spend what is left of this safepoint's budget on it.
+    double Spent = 0;
+    if (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes) {
+      Stopwatch T;
+      scavenge();
+      Spent = T.elapsedSeconds();
+    }
+    if (Phase == OldGcPhase::Marking)
+      markIncrement(Spent);
+    else
+      sweepIncrement(Spent);
+  } else if (BytesSinceGc >= GcThresholdBytes) {
+    if (IncrementalMark)
+      beginIncrementalMark();
+    else
+      collect();
+  } else if (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes) {
     scavenge();
+  }
   if (GcGate)
     GcGate->unlock();
 }

@@ -20,6 +20,16 @@
 ///    stop-the-world mark-sweep — the pre-generational behaviour, kept as
 ///    the differential-testing and benchmarking baseline.
 ///
+/// Orthogonally, `configureIncrementalMark(true, budget)` replaces the
+/// stop-the-world old-space collections with an incremental tri-color
+/// cycle: a bounded begin pause snapshots the roots, marking then advances
+/// in budget-sliced increments at safepoints while the mutator runs with a
+/// snapshot-at-the-beginning deletion barrier (Object::writeBarrier logs
+/// overwritten old-space references grey), and the sweep is lazy and
+/// chunked over a detached snapshot list (objects born during the cycle
+/// are allocated black or young and are never swept by it). See
+/// DESIGN.md §15 for the invariant and the termination handshake.
+///
 /// Because objects move, GcVisitor is an *updating* visitor: it takes every
 /// root by reference and rewrites it to the object's new location. All
 /// collections happen only at interpreter safepoints; allocation itself
@@ -38,6 +48,7 @@
 #include "vm/object.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -83,6 +94,68 @@ public:
   virtual void traceRoots(GcVisitor &V) = 0;
 };
 
+/// Fixed-footprint pause histogram: power-of-two microsecond buckets plus
+/// a running max and total. Bucket 0 holds pauses under 2 µs; bucket B
+/// holds [2^B, 2^(B+1)) µs; the last bucket is open-ended (>= ~0.5 s).
+/// Recording is O(log pause) with no allocation, so GcStats stays a flat
+/// copyable struct no matter how long the process runs — the unbounded
+/// per-pause vector this replaces was copied on every statsSnapshot().
+struct PauseHistogram {
+  static constexpr int kBuckets = 20;
+  uint64_t Counts[kBuckets] = {};
+  uint64_t Samples = 0;
+  double TotalSeconds = 0;
+  double MaxSeconds = 0;
+
+  void record(double Seconds) {
+    ++Samples;
+    TotalSeconds += Seconds;
+    if (Seconds > MaxSeconds)
+      MaxSeconds = Seconds;
+    auto Us = static_cast<uint64_t>(Seconds * 1e6);
+    int B = 0;
+    while (Us > 1 && B < kBuckets - 1) {
+      Us >>= 1;
+      ++B;
+    }
+    ++Counts[B];
+  }
+
+  /// Conservative (upper-bound) estimate of the \p P percentile
+  /// (0 < P <= 1) in seconds: the upper edge of the bucket holding the
+  /// rank-P sample, clamped to the observed max. 0 when empty.
+  double percentileSeconds(double P) const {
+    if (Samples == 0)
+      return 0;
+    auto Rank = static_cast<uint64_t>(P * static_cast<double>(Samples) + 0.5);
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Samples)
+      Rank = Samples;
+    uint64_t Cum = 0;
+    for (int B = 0; B < kBuckets; ++B) {
+      Cum += Counts[B];
+      if (Cum >= Rank) {
+        if (B == kBuckets - 1)
+          return MaxSeconds; // Open-ended top bucket: no finite upper edge.
+        double Upper = static_cast<double>(uint64_t(1) << (B + 1)) * 1e-6;
+        return Upper < MaxSeconds ? Upper : MaxSeconds;
+      }
+    }
+    return MaxSeconds;
+  }
+
+  /// Accumulates \p O into this histogram (server roll-ups).
+  void merge(const PauseHistogram &O) {
+    for (int B = 0; B < kBuckets; ++B)
+      Counts[B] += O.Counts[B];
+    Samples += O.Samples;
+    TotalSeconds += O.TotalSeconds;
+    if (O.MaxSeconds > MaxSeconds)
+      MaxSeconds = O.MaxSeconds;
+  }
+};
+
 /// Aggregate collector observability: collection counts, pause timings,
 /// promotion/survival volumes, and write-barrier traffic.
 struct GcStats {
@@ -113,14 +186,26 @@ struct GcStats {
   /// meantime overflows into the old space, so deferral is always safe).
   uint64_t GcDeferrals = 0;
 
+  //===--- Incremental old-space marking (SATB) --------------------------===//
+
+  /// Budget-sliced mark pauses taken at safepoints (including the
+  /// begin-of-cycle root scan and the termination re-scan).
+  uint64_t MarkIncrements = 0;
+  /// Budget-sliced lazy-sweep pauses taken at safepoints.
+  uint64_t SweepIncrements = 0;
+  /// Incremental mark-sweep cycles run to completion.
+  uint64_t MarkCycles = 0;
+  /// Objects greyed by the SATB deletion barrier (overwritten old-space
+  /// references logged while a mark cycle was active).
+  uint64_t SatbMarks = 0;
+
   uint64_t SurvivedScavengeBytes = 0; ///< Live shell bytes over all scavenges.
   uint64_t ScannedScavengeBytes = 0;  ///< Nursery shell bytes examined.
 
-  double TotalScavengeSeconds = 0;
-  double TotalFullSeconds = 0;
-  double MaxPauseSeconds = 0;
-  /// Every collection pause, in order (scavenges and full collections).
-  std::vector<double> PauseSeconds;
+  /// Scavenge pauses and old-space pauses (stop-the-world full
+  /// collections, or every incremental mark/sweep slice), bucketed.
+  PauseHistogram ScavengePauses;
+  PauseHistogram FullPauses;
 
   /// Fraction of nursery bytes that survived scavenges (copied or
   /// promoted), aggregated over all scavenges so far.
@@ -130,7 +215,12 @@ struct GcStats {
                : 0;
   }
   double totalPauseSeconds() const {
-    return TotalScavengeSeconds + TotalFullSeconds;
+    return ScavengePauses.TotalSeconds + FullPauses.TotalSeconds;
+  }
+  double maxPauseSeconds() const {
+    return ScavengePauses.MaxSeconds > FullPauses.MaxSeconds
+               ? ScavengePauses.MaxSeconds
+               : FullPauses.MaxSeconds;
   }
 };
 
@@ -228,6 +318,30 @@ public:
 
   bool generational() const { return Generational; }
 
+  /// The old-space collector's state machine. Idle outside a cycle; an
+  /// incremental cycle moves Idle -> Marking (SATB barrier active, the
+  /// worklist drains in budget-sliced increments) -> Sweeping (the
+  /// detached snapshot list is swept lazily) -> Idle. Stop-the-world
+  /// collections never leave Idle.
+  enum class OldGcPhase : uint8_t { Idle, Marking, Sweeping };
+
+  /// Selects incremental (budget-sliced, snapshot-at-the-beginning)
+  /// old-space marking in place of stop-the-world mark-sweep for the
+  /// collections collectAtSafepoint() triggers. \p MaxPauseMicros bounds
+  /// each mark or sweep slice; the begin-of-cycle pause is bounded by the
+  /// root-set size, not the heap size. Like configureGc, must precede the
+  /// first allocation. Direct collect() calls still run (and, mid-cycle,
+  /// first finish) a full stop-the-world collection.
+  void configureIncrementalMark(bool Enabled, uint32_t MaxPauseMicros = 1000);
+
+  bool incrementalMark() const { return IncrementalMark; }
+  OldGcPhase oldGcPhase() const { return Phase; }
+
+  /// SATB slow path: greys \p O (an old-space object whose incoming
+  /// reference was just overwritten) while this heap is marking. Called
+  /// through Object::satbRecordOverwrite; no-op outside the mark phase.
+  void satbLog(Object *O);
+
   /// Creates an immortal map. The heap retains ownership.
   Map *newMap(ObjectKind Kind, std::string DebugName);
 
@@ -290,10 +404,11 @@ public:
 
   /// \returns true when enough has been allocated that the caller (at a
   /// safepoint, with all live values rooted) should call
-  /// collectAtSafepoint(): the nursery is near full (scavenge due) or the
-  /// old space grew past the threshold (full collection due).
+  /// collectAtSafepoint(): the nursery is near full (scavenge due), the
+  /// old space grew past the threshold (full collection due), or an
+  /// incremental cycle is in flight (the next mark/sweep slice is due).
   bool shouldCollect() const {
-    return BytesSinceGc >= GcThresholdBytes ||
+    return Phase != OldGcPhase::Idle || BytesSinceGc >= GcThresholdBytes ||
            (Generational && nurseryPressureBytes() >= ScavengeTriggerBytes);
   }
 
@@ -404,6 +519,41 @@ private:
 
   void markSweepOldSpace();
 
+  //===--- Incremental (SATB) old-space collection ----------------------===//
+
+  /// Greys every root: map constant slots plus all registered providers
+  /// (frames, arena lists, caches), then traces through any young objects
+  /// reached. Used by the begin-of-cycle scan and the termination re-scan.
+  void scanRootsForMark(GcVisitor &V);
+
+  /// Traces the slots of every object on YoungTraceList until it is empty
+  /// (young reached from roots or from old objects during a mark pause).
+  void drainYoungTrace(GcVisitor &V);
+
+  /// Opens an incremental cycle: promote-all scavenge (so the snapshot
+  /// holds only immovable old-space objects), root scan, SATB on.
+  void beginIncrementalMark();
+
+  /// Drains the mark worklist for up to the pause budget (less
+  /// \p SpentSeconds already paid at this safepoint). On exhaustion, runs
+  /// the termination handshake (root re-scan); if nothing greys, detaches
+  /// the snapshot list and flips to Sweeping.
+  void markIncrement(double SpentSeconds);
+
+  /// Ends the mark phase: detaches the old-space list for lazy sweeping,
+  /// purges dead remembered-set entries, deactivates SATB.
+  void flipToSweep();
+
+  /// Sweeps a budget-bounded chunk of the detached snapshot list:
+  /// survivors are relinked (marks cleared) onto the live list, garbage
+  /// is freed. The cycle ends when the list is empty.
+  void sweepIncrement(double SpentSeconds);
+
+  /// Runs the in-flight incremental cycle to completion synchronously
+  /// (unbounded drain + full sweep). Used by collect() so a direct call
+  /// still reclaims everything dead right now, with clean mark state.
+  void finishIncrementalCycle();
+
   size_t nurseryPressureBytes() const {
     return nurseryUsedBytes() + NurseryPayloadBytes;
   }
@@ -419,6 +569,19 @@ private:
   size_t GcThresholdBytes = kDefaultGcThresholdBytes;
   mutable std::mutex OldAllocMutex;
   std::mutex *GcGate = nullptr;
+
+  //===--- Incremental old-space marking state --------------------------===//
+  bool IncrementalMark = false;
+  uint32_t MaxPauseMicros = 1000;
+  OldGcPhase Phase = OldGcPhase::Idle;
+  /// The snapshot-era old-space list detached at the mark->sweep flip;
+  /// objects born after the flip go to the fresh AllObjects list and are
+  /// never visited by this cycle's sweep.
+  Object *SweepList = nullptr;
+  /// Pacing: no increment before this instant, so mark/sweep slices duty-
+  /// cycle at ~50% even when safepoints are dense (keeps throughput near
+  /// stop-the-world; total work is the same either way).
+  std::chrono::steady_clock::time_point NextIncrementAt{};
 
   //===--- Nursery (bump-pointer semispaces) ----------------------------===//
   bool Generational = true;
@@ -441,6 +604,11 @@ private:
   std::vector<Object *> ScanList; ///< Cheney scan worklist.
   std::vector<Object *> PromotedThisCycle;
   std::vector<Object *> MarkWorklist;
+  /// Transient (within one mark pause) list of young objects to trace
+  /// *through*: young objects are movable and never enter MarkWorklist,
+  /// but their slots may hold the only path to a snapshot-live old object.
+  /// Always drained before the pause returns to the mutator.
+  std::vector<Object *> YoungTraceList;
 
   std::atomic<size_t> NumObjects{0};
   GcStats Stats;

@@ -25,6 +25,7 @@
 #include "vm/map.h"
 #include "vm/value.h"
 
+#include <atomic>
 #include <cassert>
 #include <string>
 #include <vector>
@@ -35,6 +36,21 @@ namespace ast {
 struct Code;
 struct BlockExpr;
 } // namespace ast
+
+namespace gcphase {
+
+/// Number of heaps currently in the incremental-marking phase, process
+/// wide (one per isolate at most). The write barrier's SATB duty is
+/// predicated on one relaxed load of this counter, so when no heap
+/// anywhere is marking — the overwhelmingly common state — a store pays a
+/// single extra test. Maintained by Heap (defined in heap.cpp).
+extern std::atomic<uint32_t> MarkingHeaps;
+
+inline bool anyHeapMarking() {
+  return MarkingHeaps.load(std::memory_order_relaxed) != 0;
+}
+
+} // namespace gcphase
 
 /// Base of all heap objects. Owned by the Heap; nursery objects are
 /// reclaimed by copying scavenges, old-space objects by mark-sweep.
@@ -59,7 +75,7 @@ public:
   void setField(int I, Value V) {
     assert(I >= 0 && I < static_cast<int>(Fields.size()) &&
            "data field index out of range");
-    writeBarrier(V);
+    writeBarrier(V, Fields[static_cast<size_t>(I)]);
     Fields[I] = V;
   }
 
@@ -73,7 +89,7 @@ protected:
                              ///< evacuated to the heap) with its frame.
   };
 
-  /// The reference-store barrier, run on every store. Two duties:
+  /// The reference-store barrier, run on every store. Three duties:
   ///
   ///  * Generational: an old object storing a pointer to a young object
   ///    must be added to the remembered set, or the next scavenge would
@@ -84,12 +100,24 @@ protected:
   ///    the heap first and \p V is rewritten to the copy. Stores into
   ///    arena objects themselves need neither duty — arenas are traced
   ///    from their owning frame, never from the remembered set.
+  ///  * Snapshot-at-the-beginning (deletion barrier): while an
+  ///    incremental mark cycle is active, the value being *overwritten*
+  ///    (\p Old) may be the last snapshot-era edge to a not-yet-marked
+  ///    object; logging it grey preserves the tri-color invariant.
+  ///    Arena-held and young-held edges are exempt: every arena slot's
+  ///    snapshot referent is greyed by the begin-of-cycle root scan, and
+  ///    young objects do not exist at the snapshot (the cycle opens with
+  ///    a promote-all scavenge), so neither can hold a snapshot edge the
+  ///    barrier needs to preserve.
   ///
   /// The common cases — young receiver, already remembered receiver,
-  /// non-pointer or old heap value — cost a few flag tests.
-  void writeBarrier(Value &V) {
+  /// non-pointer or old heap value, no cycle active — cost a few flag
+  /// tests plus one relaxed load.
+  void writeBarrier(Value &V, const Value &Old) {
     if ((GcFlags & kGcArena) != 0)
       return;
+    if (gcphase::anyHeapMarking() && Old.isObject())
+      satbRecordOverwrite(Old.asObject());
     if (V.isObject()) {
       uint8_t TF = V.asObject()->GcFlags;
       if ((TF & kGcArena) != 0) {
@@ -116,6 +144,11 @@ private:
   /// every root to the copy.
   void arenaEscapeBarrier(Value &V);
 
+  /// Out-of-line SATB slow path: greys the overwritten object \p Old on
+  /// its owning heap's mark worklist when that heap is in the marking
+  /// phase and \p Old is an unmarked old-space object.
+  static void satbRecordOverwrite(Object *Old);
+
   Map *TheMap;
   Object *NextAlloc = nullptr; ///< Intrusive per-space allocation list.
   Object *Forwarding = nullptr; ///< New location during a scavenge.
@@ -141,7 +174,7 @@ public:
   }
   void atPut(int64_t I, Value V) {
     assert(inBounds(I) && "array index out of bounds");
-    writeBarrier(V);
+    writeBarrier(V, Elems[static_cast<size_t>(I)]);
     Elems[static_cast<size_t>(I)] = V;
   }
 

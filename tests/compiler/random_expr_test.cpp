@@ -138,6 +138,28 @@ public:
              " Do: [ :i | t: t + ((v at: i) value: " + SA +
              ") ]. t + (b value: " + SA + ") ] value)";
     }
+    case 8: { // Tenured-store churn: a retained vector of boxes, each
+      // round replacing every box with a fresh one. Under the GC stress
+      // environment the retained vector and the previous round's boxes
+      // are tenured, so every at:Put: deletes an old-space reference —
+      // the deletion pattern the SATB barrier must log when an
+      // incremental mark cycle is active (MINISELF_GC_CONCURRENT=1) —
+      // while the dropped boxes become floating or snapshot garbage.
+      int K = 2 + static_cast<int>(pick(3));
+      int R = 3 + static_cast<int>(pick(4));
+      int64_t Seed;
+      std::string SE = intExpr(std::max(0, D - 2), Seed);
+      // After the last round, slot i holds Seed + (R-1)*K + i.
+      Val = static_cast<int64_t>(K) * (Seed + static_cast<int64_t>(R - 1) * K) +
+            static_cast<int64_t>(K) * (K - 1) / 2;
+      return "([ | v. t <- 0 | v: (vectorOfSize: " + std::to_string(K) +
+             "). 0 upTo: " + std::to_string(R) +
+             " Do: [ :r | 0 upTo: " + std::to_string(K) +
+             " Do: [ :i | v at: i Put: (vectorOfSize: 1). "
+             "(v at: i) at: 0 Put: ((" + SE + " + (r * " + std::to_string(K) +
+             ")) + i) ] ]. 0 upTo: " + std::to_string(K) +
+             " Do: [ :i | t: t + ((v at: i) at: 0) ]. t ] value)";
+    }
     default: { // atAllPut: seed, doIndexes: rewrite, do: fold.
       int K = 2 + static_cast<int>(pick(4));
       int64_t Seed;

@@ -172,6 +172,45 @@ TEST(Telemetry, JsonMirrorsTextSchema) {
                             // emitter walk would shrink this.
 }
 
+// Schema v5: the gc section reports the bounded pause histograms —
+// percentile/max keys split by scavenge vs full pauses, plus the
+// incremental-marking counters — in place of the old unbounded per-pause
+// vector. The values must be internally consistent: one histogram sample
+// per collection, monotone percentiles bounded by the running max.
+TEST(Telemetry, GcPauseHistogramKeys) {
+  Policy P = Policy::newSelf();
+  P.GcNurseryKiB = 4; // Tiny nursery: the churn below must scavenge.
+  P.GcPromotionAge = 1;
+  VirtualMachine VM(P);
+  std::string Err;
+  int64_t Out = 0;
+  ASSERT_TRUE(VM.load("churn: n = ( | t <- 0 | 1 to: n Do: [ :i | "
+                      "t: t + (vectorOfSize: 8) size ]. t )",
+                      Err))
+      << Err;
+  ASSERT_TRUE(VM.evalInt("churn: 2000", Out, Err)) << Err;
+  ASSERT_EQ(Out, 16000);
+
+  VmTelemetry T = VM.telemetry();
+  std::string Text = T.formatStats();
+  for (const char *K :
+       {"gc.satb_marks=", "gc.mark_increments=", "gc.sweep_increments=",
+        "gc.mark_cycles=", "gc.scavenge_pause_p50_seconds=",
+        "gc.scavenge_pause_p95_seconds=", "gc.scavenge_pause_p99_seconds=",
+        "gc.scavenge_pause_max_seconds=", "gc.full_pause_p50_seconds=",
+        "gc.full_pause_p95_seconds=", "gc.full_pause_p99_seconds=",
+        "gc.full_pause_max_seconds="})
+    EXPECT_NE(Text.find(K), std::string::npos) << K;
+
+  EXPECT_GT(T.Gc.Scavenges, 0u);
+  EXPECT_EQ(T.Gc.ScavengePauses.Samples, T.Gc.Scavenges);
+  EXPECT_LE(T.Gc.ScavengePauses.percentileSeconds(0.50),
+            T.Gc.ScavengePauses.percentileSeconds(0.99));
+  EXPECT_LE(T.Gc.ScavengePauses.percentileSeconds(0.99),
+            T.Gc.ScavengePauses.MaxSeconds + 1e-12);
+  EXPECT_GT(T.Gc.ScavengePauses.MaxSeconds, 0.0);
+}
+
 // A snapshot is plain data decoupled from the live VM: formatting it twice
 // is bit-identical, and running more work afterwards changes a later
 // snapshot but never the one already taken.
@@ -223,6 +262,12 @@ TEST(Telemetry, ServerRollupAggregatesIsolates) {
   EXPECT_GT(Agg.SharedHits + Agg.SharedPublishes + Agg.SharedLocalFallbacks,
             0u);
   EXPECT_EQ(T.crossIsolateHitRate(), T.Shared.hitRate());
+  // Pause histograms merge across isolates (schema v2's agg roll-up).
+  EXPECT_EQ(Agg.ScavengePauses.Samples,
+            T.Isolates[0].Gc.ScavengePauses.Samples +
+                T.Isolates[1].Gc.ScavengePauses.Samples);
+  EXPECT_EQ(Agg.FullPauses.Samples, T.Isolates[0].Gc.FullPauses.Samples +
+                                        T.Isolates[1].Gc.FullPauses.Samples);
 
   // Text serialization: header + strict `section.key=value` grammar.
   std::string Text = T.formatStats();

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+
 using namespace mself;
 
 namespace {
@@ -241,11 +243,41 @@ TEST(GcGen, StatsTrackPausesAndSurvival) {
   const GcStats &S = G.H.stats();
   EXPECT_EQ(S.Scavenges, 1u);
   EXPECT_EQ(S.FullCollections, 1u);
-  EXPECT_EQ(S.PauseSeconds.size(), G.H.collectionCount());
-  EXPECT_GE(S.MaxPauseSeconds, 0.0);
+  // One histogram sample per collection, split by kind.
+  EXPECT_EQ(S.ScavengePauses.Samples + S.FullPauses.Samples,
+            G.H.collectionCount());
+  EXPECT_EQ(S.ScavengePauses.Samples, S.Scavenges);
+  EXPECT_EQ(S.FullPauses.Samples, S.FullCollections);
+  EXPECT_GE(S.maxPauseSeconds(), 0.0);
+  EXPECT_GE(S.totalPauseSeconds(), S.maxPauseSeconds());
   EXPECT_GT(S.ScannedScavengeBytes, 0u);
   EXPECT_GT(S.survivalRate(), 0.0);
   EXPECT_LT(S.survivalRate(), 1.0); // 40 of 41 objects were garbage.
+}
+
+TEST(GcGen, GcGateDefersSafepointCollections) {
+  // The GC gate is the background compile worker's exclusion: held, a due
+  // safepoint collection must be deferred and counted, not run — and it
+  // must then actually run at the next safepoint once the gate is free.
+  GenHeap G(4u << 10, 2);
+  std::mutex Gate;
+  G.H.setGcGate(&Gate);
+  G.rooted();
+  while (!G.H.shouldCollect())
+    G.H.allocPlain(G.M);
+  uint64_t Before = G.H.stats().Scavenges;
+
+  Gate.lock(); // A compile job is in flight.
+  G.H.collectAtSafepoint();
+  Gate.unlock();
+  EXPECT_EQ(G.H.stats().GcDeferrals, 1u);
+  EXPECT_EQ(G.H.stats().Scavenges, Before); // Nothing collected.
+  EXPECT_TRUE(G.H.shouldCollect());         // Still pending.
+
+  G.H.collectAtSafepoint(); // Gate free: the deferred collection runs.
+  EXPECT_EQ(G.H.stats().GcDeferrals, 1u);
+  EXPECT_EQ(G.H.stats().Scavenges, Before + 1);
+  G.H.setGcGate(nullptr);
 }
 
 TEST(GcGen, MarkSweepModeNeverScavenges) {
