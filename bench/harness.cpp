@@ -150,7 +150,12 @@ bool JsonReport::write() const {
     fprintf(F, "%s\n    \"%s\": \"%s\"", I ? "," : "",
             jsonEscape(Notes[I].first).c_str(),
             jsonEscape(Notes[I].second).c_str());
-  fprintf(F, "\n  }\n}\n");
+  fprintf(F, "\n  },\n  \"skipped_gates\": [");
+  for (size_t I = 0; I < SkippedGates.size(); ++I)
+    fprintf(F, "%s\n    { \"gate\": \"%s\", \"reason\": \"%s\" }",
+            I ? "," : "", jsonEscape(SkippedGates[I].first).c_str(),
+            jsonEscape(SkippedGates[I].second).c_str());
+  fprintf(F, "\n  ]\n}\n");
   fclose(F);
   return true;
 }

@@ -64,6 +64,15 @@ public:
   void note(const std::string &Key, const std::string &Value) {
     Notes.emplace_back(Key, Value);
   }
+  /// Records an acceptance gate this run could not evaluate (insufficient
+  /// hardware, configuration absent, ...). Emitted as the top-level
+  /// `skipped_gates` array — one `{gate, reason}` object per skip — so CI
+  /// distinguishes "gate passed" from "gate did not run" structurally
+  /// instead of scraping free-form notes. A skipped gate never fails the
+  /// run; the caller just omits it from the pass() conjunction.
+  void skipGate(const std::string &Gate, const std::string &Reason) {
+    SkippedGates.emplace_back(Gate, Reason);
+  }
   void pass(bool Ok) { Pass = Ok; }
 
   /// Writes BENCH_<table>.json; \returns false (with a stderr message) on
@@ -74,6 +83,7 @@ private:
   std::string Table;
   std::vector<std::pair<std::string, double>> Metrics;
   std::vector<std::pair<std::string, std::string>> Notes;
+  std::vector<std::pair<std::string, std::string>> SkippedGates;
   bool Pass = true;
 };
 

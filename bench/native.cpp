@@ -417,9 +417,22 @@ struct Scheduler {
   Tcb *List = nullptr;
   Tcb *CurrentTcb = nullptr;
   int CurrentId = 0;
+  // Owns every allocation of the run (packets circulate between task
+  // queues with no terminal owner), so the twin is leak-clean and the
+  // tables can run under the LeakSanitizer trees.
+  std::vector<std::unique_ptr<Tcb>> OwnedTcbs;
+  std::vector<std::unique_ptr<Task>> OwnedTasks;
+  std::vector<std::unique_ptr<Packet>> OwnedPackets;
+
+  Packet *makePacket() {
+    OwnedPackets.push_back(std::make_unique<Packet>());
+    return OwnedPackets.back().get();
+  }
 
   void addTask(int Id, int Pri, Packet *Queue, Task *T, bool Waiting) {
-    Tcb *B = new Tcb;
+    OwnedTasks.emplace_back(T);
+    OwnedTcbs.push_back(std::make_unique<Tcb>());
+    Tcb *B = OwnedTcbs.back().get();
     B->Id = Id;
     B->Pri = Pri;
     B->Queue = Queue;
@@ -570,10 +583,10 @@ int64_t richards() {
   Idle->Count = 1000;
   S.addTask(IdIdle, 0, nullptr, Idle, /*Waiting=*/false);
 
-  Packet *WorkQ = appendTo(new Packet, nullptr);
+  Packet *WorkQ = appendTo(S.makePacket(), nullptr);
   WorkQ->Id = IdWorker;
   WorkQ->Kind = KindWork;
-  Packet *W2 = new Packet;
+  Packet *W2 = S.makePacket();
   W2->Id = IdWorker;
   W2->Kind = KindWork;
   WorkQ = appendTo(W2, WorkQ);
@@ -582,7 +595,7 @@ int64_t richards() {
   auto mkDevQueue = [&](int Id) {
     Packet *Q = nullptr;
     for (int I = 0; I < 3; ++I) {
-      Packet *P = new Packet;
+      Packet *P = S.makePacket();
       P->Id = Id;
       P->Kind = KindDev;
       Q = appendTo(P, Q);

@@ -289,9 +289,8 @@ int main() {
   Report.metric("checksums_identical", ChecksumOk ? 1 : 0);
   Report.metric("wide_hit_rate", WideHitRate);
   if (ScalingSkipped)
-    Report.note("scaling_gate",
-                "skipped: fewer than 4 hardware threads (" +
-                    std::to_string(Hw) + ")");
+    Report.skipGate("scaling_4t_vs_1t", "fewer than 4 hardware threads (" +
+                                            std::to_string(Hw) + ")");
   else
     Report.metric("scaling_4t_vs_1t", Scaling);
 

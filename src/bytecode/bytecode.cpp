@@ -13,12 +13,14 @@ int mself::opArity(Op O) {
   case Op::Jump:
   case Op::Return:
   case Op::NLRet:
+  case Op::BbvStub:
     return 1;
   case Op::Move:
   case Op::LoadInt:
   case Op::LoadConst:
   case Op::TestInt:
   case Op::ArrSize:
+  case Op::BbvGuard:
     return 2;
   case Op::GetField:
   case Op::SetField:
@@ -77,6 +79,7 @@ int mself::opJumpOperands(Op O, int Out[2]) {
     Out[0] = 1;
     return 1;
   case Op::TestInt:
+  case Op::BbvGuard:
     Out[0] = 2;
     return 1;
   case Op::TestMap:
@@ -214,6 +217,22 @@ const char *mself::opName(Op O) {
     return "make_env_arena";
   case Op::MakeBlockArena:
     return "make_block_arena";
+  case Op::BbvStub:
+    return "bbv_stub";
+  case Op::BbvGuard:
+    return "bbv_guard";
+  }
+  return "?";
+}
+
+const char *mself::compileTierName(CompileTier T) {
+  switch (T) {
+  case CompileTier::Baseline:
+    return "baseline";
+  case CompileTier::Optimized:
+    return "optimized";
+  case CompileTier::Bbv:
+    return "bbv";
   }
   return "?";
 }

@@ -126,10 +126,24 @@ enum class Op : int32_t {
 
   MakeEnvArena,  ///< dst, slots, parent(-1 none)   arena environment object.
   MakeBlockArena,///< dst, block, env(-1 none), selfReg   arena closure.
+
+  //===--- Lazy basic-block versioning (third tier) ------------------------===//
+  // Emitted only for functions compiled at CompileTier::Bbv. A BBV function's
+  // code vector starts as a single entry stub; executing a stub materializes
+  // a version of the target template block specialized to the types that
+  // actually flowed in, appends it to the code vector, and patches the stub
+  // into a direct Jump. BbvGuard protects a field load whose type was derived
+  // from a map's per-slot tag: it reads an invalidation cell instead of
+  // re-testing the value, so the fast path costs one load and no type test.
+
+  BbvStub,  ///< stubIdx         materialize the target block version, then
+            ///<                 resume at its entry (patched to Jump after).
+  BbvGuard, ///< cell, slowT     jump to slowT when BbvCells[cell] != 0 (a
+            ///<                 conflicting store demoted the slot's tag).
 };
 
 /// Total number of opcodes (enum values are dense from 0).
-constexpr int kNumOps = static_cast<int>(Op::MakeBlockArena) + 1;
+constexpr int kNumOps = static_cast<int>(Op::BbvGuard) + 1;
 
 /// \returns true for the runtime-rewritten specializations of Op::Send.
 constexpr bool isQuickenedSend(Op O) {
@@ -240,14 +254,52 @@ struct CompileStats {
   int EnvsScalarReplaced = 0; ///< Capturing scopes demoted to registers that
                               ///< the all-or-nothing rule would have
                               ///< heap-allocated.
+  // Lazy basic-block versioning (per function, cumulative across lazy
+  // materializations; zero for non-BBV tiers).
+  int BbvBlocks = 0;          ///< Basic blocks in the versioning template.
+  int BbvVersions = 0;        ///< Specialized block versions materialized.
+  int BbvGenericVersions = 0; ///< Context-free fallback versions materialized.
+  int BbvCapFallbacks = 0;    ///< Materializations routed to the generic
+                              ///< version by the per-block version cap.
+  int BbvTypeTestsElided = 0; ///< TestInt/TestMap removed because the
+                              ///< incoming context already proved the type.
+  int BbvTagGuards = 0;       ///< Type tests replaced by slot-tag guard
+                              ///< cells (BbvGuard), per arxiv 1507.02437.
+  int BbvStubsPatched = 0;    ///< Stubs rewritten into direct jumps.
+};
+
+/// Which compiler a CompileRequest runs, and which compile produced a given
+/// CompiledFunction: the cheap first tier, the full configured policy, or the
+/// lazy basic-block-versioning tier stacked above it. With tiering off every
+/// function compiles straight at the manager's top tier.
+enum class CompileTier : uint8_t { Baseline, Optimized, Bbv };
+
+/// \returns a short lowercase label for \p T ("baseline"/"optimized"/"bbv").
+const char *compileTierName(CompileTier T);
+
+/// Opaque per-function versioning state (template code, block boundaries,
+/// materialized-version index). Defined in compiler/bbv.cpp; the bytecode
+/// layer only stores and destroys it, through the deleter the BBV compiler
+/// installs, so no link-time dependency on the compiler library exists here.
+struct BbvState;
+
+/// One record of "this guard cell covers that (map, field) slot tag": a
+/// conflicting store to the slot flips the cell, sending every BbvGuard that
+/// reads it to its slow path. Kept as plain data on the function (not inside
+/// BbvState) so the CodeManager can fan out invalidations without seeing the
+/// compiler's internals.
+struct BbvCellDep {
+  Map *DepMap = nullptr;
+  int FieldIndex = -1;
+  int Cell = -1; ///< Index into CompiledFunction::BbvCells.
 };
 
 /// One compiled activation: a customized method, a block body, or a
 /// top-level expression.
 struct CompiledFunction {
-  /// Which compile produced this code: the cheap first tier or the full
-  /// configured policy. With tiering off every function is Optimized.
-  enum class Tier : uint8_t { Baseline, Optimized };
+  /// Backwards-compatible alias; the tier enum now names both requests and
+  /// results of compilation (see CompileTier above).
+  using Tier = CompileTier;
 
   std::vector<int32_t> Code;
   std::vector<Value> Literals;
@@ -294,13 +346,40 @@ struct CompiledFunction {
   /// (never GC-traced through this set); invalidation clears the set.
   std::vector<Map *> DependsOnMaps;
 
+  //===--- Lazy basic-block versioning state (Bbv tier only) -------------===//
+
+  /// Opaque versioning state owned by this function; null for other tiers.
+  BbvState *Bbv = nullptr;
+  /// Destroys Bbv; installed by the BBV compiler so the bytecode layer needs
+  /// no link dependency on compiler/bbv.cpp.
+  void (*BbvDeleter)(BbvState *) = nullptr;
+  /// Guard invalidation cells read by BbvGuard. 0 = every store to the
+  /// covered slot so far conformed to its tag; nonzero = demoted, take the
+  /// slow path. Mutator-thread only, like the tags themselves.
+  std::vector<int32_t> BbvCells;
+  /// Which (map, field) slot tag each cell covers (see BbvCellDep).
+  std::vector<BbvCellDep> BbvCellDeps;
+
+  CompiledFunction() = default;
+  CompiledFunction(const CompiledFunction &) = delete;
+  CompiledFunction &operator=(const CompiledFunction &) = delete;
+  ~CompiledFunction() {
+    if (Bbv && BbvDeleter)
+      BbvDeleter(Bbv);
+  }
+
   /// Compiled-code size in bytes: instruction words plus pool entries, the
-  /// quantity reported by the paper's code-space tables.
+  /// quantity reported by the paper's code-space tables. For a BBV function
+  /// this counts only the lazily materialized versions (plus stubs and
+  /// guard cells) — the unexecuted template is bookkeeping, not emitted
+  /// code, which is exactly the lazy-vs-eager code-size comparison E19
+  /// reports.
   size_t sizeInBytes() const {
     return Code.size() * sizeof(int32_t) + Literals.size() * sizeof(Value) +
            (MapPool.size() + SelectorPool.size() + BlockPool.size()) *
                sizeof(void *) +
-           Caches.size() * 2 * sizeof(void *);
+           Caches.size() * 2 * sizeof(void *) +
+           BbvCells.size() * sizeof(int32_t);
   }
 };
 

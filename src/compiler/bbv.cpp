@@ -1,0 +1,1071 @@
+//===-- compiler/bbv.cpp - Lazy basic-block versioning --------------------===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+//
+// The third tier. Where the optimizer's message splitting duplicates paths
+// *eagerly* for every type combination the analysis can imagine, this tier
+// duplicates them *lazily*, one basic-block version per type context that
+// execution actually produces (Chevalier-Boisvert & Feeley, arXiv
+// 1401.3041), and reads per-slot store tags off maps so field loads extend
+// the context without re-testing (arXiv 1507.02437).
+//
+// Mechanics. bbvCompile() runs the optimizer with splitting and fusion
+// disabled and keeps the result as a *template* that never executes; the
+// function's code vector holds a single two-word entry stub. Executing a
+// stub (interpreter op BbvStub) calls bbvMaterialize(), which emits a
+// specialized copy of the target block — eliding TestInt/TestMap the
+// context proves, guarding tag-derived facts with one-word cells — then
+// patches the stub into a direct Jump. Outgoing edges land on two-word
+// "islands" appended after each version: a BbvStub when the successor
+// version does not exist yet, a Jump when it does.
+//
+// Versions are keyed by (template PC, tag-free flag, context), not by
+// block alone: a tag guard's slow path re-enters at the guarded load's own
+// PC (mid-block), under the same context but with guard emission disabled
+// so the slow version cannot chain to itself. Specialized versions per
+// start PC are capped at Policy::BbvMaxVersions; past the cap,
+// materialization routes to the context-free generic version.
+//
+// Soundness notes.
+//  * A context fact is a claim about a register's *current contents*,
+//    established dynamically (a test, a guarded load, the customization
+//    invariant for register 0). Such facts survive later tag conflicts:
+//    flipping a cell changes which path future loads take, never what a
+//    register already holds.
+//  * Only Jump and BrCmp transfer control backwards in materialized code
+//    (islands make every other branch land forward), and those two are
+//    exactly the ops whose handlers run the back-edge safepoint — a cycle
+//    through versions therefore safepoints at least once per iteration no
+//    matter what order the blocks materialized in.
+//  * Everything here runs on the mutator thread. Background compilation
+//    only ever builds templates (bbvCompile), which read no tags.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/bbv.h"
+
+#include "compiler/compile.h"
+#include "runtime/primitives.h"
+#include "vm/map.h"
+#include "vm/object.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+using namespace mself;
+
+namespace mself {
+
+/// Per-function versioning state, opaque outside this file (the bytecode
+/// layer destroys it through CompiledFunction::BbvDeleter).
+struct BbvState {
+  /// One register-type fact: the register holds either a tagged small
+  /// integer (IsInt) or a heap object of exactly map M.
+  struct Fact {
+    bool IsInt = false;
+    Map *M = nullptr;
+    bool operator==(const Fact &O) const {
+      return IsInt == O.IsInt && M == O.M;
+    }
+    bool operator<(const Fact &O) const {
+      return std::tie(IsInt, M) < std::tie(O.IsInt, O.M);
+    }
+  };
+
+  /// A type context: facts keyed by register number (>= 0) or by encoded
+  /// environment slot (< 0, see envKey below). Env-slot facts claim the
+  /// current contents of a closure-environment slot reached as (base
+  /// register, hop count, slot index); they are established by EnvSet of a
+  /// typed value, flow across block boundaries in version keys (this is
+  /// what types loop variables, which live in environments whenever the
+  /// loop body is a block), and die at any point the slot could be written
+  /// behind the version's back — a Send (an escaped block may store to the
+  /// chain), or the base register being overwritten.
+  using Context = std::map<int, Fact>;
+
+  /// Encodes an env-slot context key, or 0 when the coordinates don't fit
+  /// the packing (such slots just go untracked).
+  static int envKey(int Reg, int Hop, int Idx) {
+    if (Reg < 0 || Reg >= (1 << 19) || Hop < 0 || Hop > 7 || Idx < 0 ||
+        Idx > 255)
+      return 0;
+    return -(((Reg << 11) | (Hop << 8) | Idx) + 1);
+  }
+  /// \returns the base register of an encoded env-slot key.
+  static int envKeyReg(int Key) { return (-Key - 1) >> 11; }
+  /// \returns the hop count of an encoded env-slot key.
+  static int envKeyHop(int Key) { return ((-Key - 1) >> 8) & 7; }
+
+  /// Version key: template entry PC, tag-free flag (1 for guard slow
+  /// paths, which must not emit guards lest their slow edge resolve to the
+  /// guarded version itself), incoming context.
+  using Key = std::tuple<int, int, Context>;
+
+  /// A pending materialization site: which (PC, context) to emit when the
+  /// two-word stub at CodeOffset executes.
+  struct Stub {
+    int StartPC = 0;
+    int TagFree = 0;
+    Context Ctx;
+    int CodeOffset = 0;
+  };
+
+  std::vector<int32_t> Template; ///< Optimized code; never executed.
+  std::vector<uint8_t> Leader;   ///< Per template PC: 1 iff a jump target.
+  int MaxVersions = 5;           ///< Policy::BbvMaxVersions, frozen here
+                                 ///< (the policy is gone at materialize
+                                 ///< time).
+  Context Entry;                 ///< Receiver-seeded context of stub 0.
+
+  std::vector<Stub> Stubs;
+  std::map<Key, int> Versions;  ///< Key -> version entry offset in Code.
+  std::map<int, int> SpecCount; ///< StartPC -> specialized versions so far.
+  std::map<std::pair<Map *, int>, int> CellForSlot; ///< (map, field)->cell.
+
+  /// Per block-start template PC: bitmap of registers live on entry (read
+  /// by the block or some successor before being overwritten). Version
+  /// keys carry facts only for these registers — a fact about a dead
+  /// register is true but worthless, and keying on it multiplies versions
+  /// without eliding a single test.
+  std::map<int, std::vector<uint8_t>> LiveIn;
+
+  /// Per block-start template PC: bitmap of registers whose *type* can
+  /// still pay off downstream — they feed a TestInt/TestMap, serve as a
+  /// guard-eligible GetField holder, or flow into such a use through
+  /// moves and environment slots. Version keys are restricted further to
+  /// these: a live register whose type nothing ever tests cannot elide
+  /// anything, so keying on it only burns the per-block version cap.
+  std::map<int, std::vector<uint8_t>> RelevantIn;
+
+  /// Encoded env-slot keys whose contents feed a type test somewhere in
+  /// the function (function-wide: environment slots are frame-global).
+  std::set<int> RelevantSlots;
+
+  /// \returns \p C restricted to the registers both live *and* relevant at
+  /// \p StartPC (an env-slot fact stays while its base register is live
+  /// and the slot is relevant somewhere in the function). PCs without
+  /// liveness info (tag-guard slow paths re-enter mid-block) pass through
+  /// unpruned — dropping facts is always sound, keeping them merely costs
+  /// duplicate versions, and slow paths are rare.
+  Context pruned(int StartPC, const Context &C) const {
+    auto LIt = LiveIn.find(StartPC);
+    if (LIt == LiveIn.end())
+      return C;
+    auto RIt = RelevantIn.find(StartPC);
+    Context Out;
+    for (const auto &KV : C) {
+      int Reg = KV.first >= 0 ? KV.first : envKeyReg(KV.first);
+      if (Reg >= static_cast<int>(LIt->second.size()) ||
+          !LIt->second[static_cast<size_t>(Reg)])
+        continue;
+      if (KV.first >= 0) {
+        if (RIt != RelevantIn.end() &&
+            !RIt->second[static_cast<size_t>(Reg)])
+          continue;
+      } else if (!RelevantSlots.count(KV.first)) {
+        continue;
+      }
+      Out.insert(KV);
+    }
+    return Out;
+  }
+};
+
+} // namespace mself
+
+namespace {
+
+using Fact = BbvState::Fact;
+using Context = BbvState::Context;
+
+/// Register operands of the template op at \p PC: the written register (or
+/// -1), up to four directly-named read registers, and the register window a
+/// Send/Prim consumes (receiver plus arguments, contiguous from WinBase).
+struct RegUse {
+  int Dst = -1;
+  int Reads[4];
+  int NReads = 0;
+  int WinBase = -1;
+  int WinCount = 0;
+};
+
+RegUse regUse(const std::vector<int32_t> &T, int PC) {
+  RegUse U;
+  const int32_t *I = &T[static_cast<size_t>(PC)];
+  auto Rd = [&](int Idx) { U.Reads[U.NReads++] = I[Idx]; };
+  switch (static_cast<Op>(I[0])) {
+  case Op::Move:
+  case Op::GetField:
+  case Op::ArrSize:
+  case Op::EnvGet:
+    U.Dst = I[1];
+    Rd(2);
+    break;
+  case Op::LoadInt:
+  case Op::LoadConst:
+  case Op::GetFieldConst:
+    U.Dst = I[1];
+    break;
+  case Op::SetField:
+    Rd(1);
+    Rd(3);
+    break;
+  case Op::SetFieldConst:
+    Rd(3);
+    break;
+  case Op::AddRaw:
+  case Op::SubRaw:
+  case Op::MulRaw:
+  case Op::AddCk:
+  case Op::SubCk:
+  case Op::MulCk:
+  case Op::DivCk:
+  case Op::ModCk:
+  case Op::ArrAt:
+  case Op::ArrAtRaw:
+    U.Dst = I[1];
+    Rd(2);
+    Rd(3);
+    break;
+  case Op::CmpValue:
+    U.Dst = I[1];
+    Rd(3);
+    Rd(4);
+    break;
+  case Op::BrCmp:
+    Rd(2);
+    Rd(3);
+    break;
+  case Op::BrTrue:
+  case Op::TestInt:
+  case Op::TestMap:
+  case Op::Return:
+  case Op::NLRet:
+    Rd(1);
+    break;
+  case Op::Send:
+  case Op::Prim:
+    U.Dst = I[1];
+    U.WinBase = I[3];
+    U.WinCount = I[4] + 1; // receiver + argc arguments
+    break;
+  case Op::ArrAtPut:
+  case Op::ArrAtPutRaw:
+    Rd(1);
+    Rd(2);
+    Rd(3);
+    break;
+  case Op::MakeEnv:
+  case Op::MakeEnvArena:
+    U.Dst = I[1];
+    if (I[3] >= 0)
+      Rd(3);
+    break;
+  case Op::EnvSet:
+    Rd(1);
+    Rd(4);
+    break;
+  case Op::MakeBlock:
+  case Op::MakeBlockArena:
+    U.Dst = I[1];
+    if (I[3] >= 0)
+      Rd(3);
+    if (I[4] >= 0)
+      Rd(4);
+    break;
+  default:
+    break; // Halt, Jump: no register operands.
+  }
+  return U;
+}
+
+bool isTerminator(Op O) {
+  return O == Op::Halt || O == Op::Return || O == Op::NLRet ||
+         O == Op::Jump || O == Op::BrTrue;
+}
+
+/// Computes St.LiveIn and St.RelevantIn for every block start: two standard
+/// backward dataflows over the template, per-op within each region so
+/// mid-block side exits (TestInt else-edges, overflow checks) pick up their
+/// targets' sets at the right point. Precision here is purely a footprint
+/// matter — a register wrongly kept costs duplicate versions, never
+/// correctness.
+///
+/// Liveness is the classic use/def problem. Relevance is a thinner slice of
+/// it: a register is relevant where its *type* can still elide something —
+/// it feeds a TestInt/TestMap, serves as the holder of a guard-eligible
+/// GetField, or flows into such a use through a Move or an environment
+/// slot. Version keys carry only relevant facts; everything else is a true
+/// statement nothing downstream ever cashes in, and keying on it burns the
+/// per-block version cap on contexts that compile to identical code.
+void computeLiveness(BbvState &St) {
+  const std::vector<int32_t> &T = St.Template;
+  if (T.empty())
+    return;
+
+  int MaxReg = 0;
+  for (int PC = 0; PC < static_cast<int>(T.size());) {
+    Op O = static_cast<Op>(T[static_cast<size_t>(PC)]);
+    RegUse U = regUse(T, PC);
+    if (U.Dst >= MaxReg)
+      MaxReg = U.Dst + 1;
+    for (int I = 0; I < U.NReads; ++I)
+      if (U.Reads[I] >= MaxReg)
+        MaxReg = U.Reads[I] + 1;
+    if (U.WinBase >= 0 && U.WinBase + U.WinCount > MaxReg)
+      MaxReg = U.WinBase + U.WinCount;
+    PC += 1 + opArity(O);
+  }
+
+  std::vector<int> Starts;
+  Starts.push_back(0);
+  for (int PC = 1; PC < static_cast<int>(St.Leader.size()); ++PC)
+    if (St.Leader[static_cast<size_t>(PC)])
+      Starts.push_back(PC);
+
+  // The region of ops a block start dominates: stops at a terminator or
+  // the next leader (anything past a terminator is dead unless itself a
+  // leader). FallPC is the leader fallen into, or -1.
+  auto regionOf = [&](int S, std::vector<int> &OpPCs, int &FallPC) {
+    OpPCs.clear();
+    FallPC = -1;
+    int PC = S;
+    while (PC < static_cast<int>(T.size())) {
+      if (PC != S && St.Leader[static_cast<size_t>(PC)]) {
+        FallPC = PC;
+        break;
+      }
+      Op O = static_cast<Op>(T[static_cast<size_t>(PC)]);
+      OpPCs.push_back(PC);
+      if (isTerminator(O))
+        break;
+      PC += 1 + opArity(O);
+    }
+  };
+
+  // Pass 1: liveness.
+  for (int S : Starts)
+    St.LiveIn[S].assign(static_cast<size_t>(MaxReg), 0);
+  std::vector<int> OpPCs;
+  int FallPC = -1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Reverse block order converges fastest for a backward problem.
+    for (auto SIt = Starts.rbegin(); SIt != Starts.rend(); ++SIt) {
+      int S = *SIt;
+      regionOf(S, OpPCs, FallPC);
+
+      std::vector<uint8_t> Live(static_cast<size_t>(MaxReg), 0);
+      auto Merge = [&](int Target) {
+        auto It = St.LiveIn.find(Target);
+        if (It == St.LiveIn.end())
+          return;
+        for (size_t R = 0; R < It->second.size(); ++R)
+          Live[R] |= It->second[R];
+      };
+      if (FallPC >= 0)
+        Merge(FallPC);
+      for (auto PIt = OpPCs.rbegin(); PIt != OpPCs.rend(); ++PIt) {
+        int P = *PIt;
+        Op O = static_cast<Op>(T[static_cast<size_t>(P)]);
+        int JumpOps[2];
+        int N = opJumpOperands(O, JumpOps);
+        for (int I = 0; I < N; ++I) {
+          int32_t Tgt = T[static_cast<size_t>(P + JumpOps[I])];
+          if (Tgt >= 0) // Prim's -1 fail sentinel has no live set.
+            Merge(Tgt);
+        }
+        RegUse U = regUse(T, P);
+        if (U.Dst >= 0)
+          Live[static_cast<size_t>(U.Dst)] = 0;
+        for (int I = 0; I < U.NReads; ++I)
+          Live[static_cast<size_t>(U.Reads[I])] = 1;
+        for (int I = 0; I < U.WinCount; ++I)
+          Live[static_cast<size_t>(U.WinBase + I)] = 1;
+      }
+      std::vector<uint8_t> &In = St.LiveIn[S];
+      if (Live != In) {
+        In = std::move(Live);
+        Changed = true;
+      }
+    }
+  }
+
+  // Pass 2: relevance. RelevantSlots grows monotonically inside the same
+  // fixpoint — an EnvSet of a relevant slot makes its source relevant, and
+  // an EnvGet into a relevant register makes its slot relevant.
+  for (int S : Starts)
+    St.RelevantIn[S].assign(static_cast<size_t>(MaxReg), 0);
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto SIt = Starts.rbegin(); SIt != Starts.rend(); ++SIt) {
+      int S = *SIt;
+      regionOf(S, OpPCs, FallPC);
+
+      std::vector<uint8_t> Rel(static_cast<size_t>(MaxReg), 0);
+      auto Merge = [&](int Target) {
+        auto It = St.RelevantIn.find(Target);
+        if (It == St.RelevantIn.end())
+          return;
+        for (size_t R = 0; R < It->second.size(); ++R)
+          Rel[R] |= It->second[R];
+      };
+      if (FallPC >= 0)
+        Merge(FallPC);
+      for (auto PIt = OpPCs.rbegin(); PIt != OpPCs.rend(); ++PIt) {
+        int P = *PIt;
+        Op O = static_cast<Op>(T[static_cast<size_t>(P)]);
+        int JumpOps[2];
+        int N = opJumpOperands(O, JumpOps);
+        for (int I = 0; I < N; ++I) {
+          int32_t Tgt = T[static_cast<size_t>(P + JumpOps[I])];
+          if (Tgt >= 0)
+            Merge(Tgt);
+        }
+        switch (O) {
+        case Op::TestInt:
+        case Op::TestMap:
+          Rel[static_cast<size_t>(T[P + 1])] = 1;
+          break;
+        case Op::Move: {
+          size_t Dst = static_cast<size_t>(T[P + 1]);
+          bool Was = Rel[Dst];
+          Rel[Dst] = 0;
+          if (Was)
+            Rel[static_cast<size_t>(T[P + 2])] = 1;
+          break;
+        }
+        case Op::GetField: {
+          // A map fact on the holder is what makes the load guardable,
+          // which in turn types the destination — so the holder matters
+          // exactly where the destination does.
+          size_t Dst = static_cast<size_t>(T[P + 1]);
+          bool Was = Rel[Dst];
+          Rel[Dst] = 0;
+          if (Was)
+            Rel[static_cast<size_t>(T[P + 2])] = 1;
+          break;
+        }
+        case Op::EnvGet: {
+          size_t Dst = static_cast<size_t>(T[P + 1]);
+          bool Was = Rel[Dst];
+          Rel[Dst] = 0;
+          if (Was) {
+            int K = BbvState::envKey(T[P + 2], T[P + 3], T[P + 4]);
+            if (K && St.RelevantSlots.insert(K).second)
+              Changed = true;
+          }
+          break;
+        }
+        case Op::EnvSet: {
+          int K = BbvState::envKey(T[P + 1], T[P + 2], T[P + 3]);
+          if (K && St.RelevantSlots.count(K))
+            Rel[static_cast<size_t>(T[P + 4])] = 1;
+          break;
+        }
+        default: {
+          RegUse U = regUse(T, P);
+          if (U.Dst >= 0)
+            Rel[static_cast<size_t>(U.Dst)] = 0;
+          break;
+        }
+        }
+      }
+      std::vector<uint8_t> &In = St.RelevantIn[S];
+      if (Rel != In) {
+        In = std::move(Rel);
+        Changed = true;
+      }
+    }
+  }
+}
+
+/// Finds or allocates the guard cell covering (\p M, \p Field), recording
+/// the dependency on the function so CodeManager::onSlotTagConflict can
+/// flip it. A pre-existing cell is necessarily still 0 here: cells flip
+/// only when the tag goes Poly, and callers only reach this while the tag
+/// is monomorphic.
+int cellForSlot(CompiledFunction &Fn, BbvState &St, Map *M, int Field) {
+  auto It = St.CellForSlot.find({M, Field});
+  if (It != St.CellForSlot.end())
+    return It->second;
+  int Cell = static_cast<int>(Fn.BbvCells.size());
+  Fn.BbvCells.push_back(0);
+  Fn.BbvCellDeps.push_back(BbvCellDep{M, Field, Cell});
+  St.CellForSlot.emplace(std::make_pair(M, Field), Cell);
+  return Cell;
+}
+
+/// Emits one version of the block at \p StartPC under \p EntryCtx,
+/// appending to Fn.Code, and returns its entry offset. Registers the
+/// version before emitting so self-loops resolve directly.
+int emitVersion(CompiledFunction &Fn, BbvState &St, int StartPC, int TagFree,
+                const Context &EntryCtx) {
+  const std::vector<int32_t> &T = St.Template;
+  std::vector<int32_t> &Out = Fn.Code;
+  const int VersionEntry = static_cast<int>(Out.size());
+  St.Versions[{StartPC, TagFree, EntryCtx}] = VersionEntry;
+
+  // Out-edges land on two-word islands appended after the body. Routing
+  // every branch whose handler lacks the back-edge safepoint (everything
+  // except Jump/BrCmp) through an island keeps backward transfers confined
+  // to Jump, and gives tag-guard slow edges somewhere to go that is never
+  // the guarded version itself.
+  std::map<BbvState::Key, std::vector<int>> Islands;
+  auto EdgeTo = [&](int TplPC, int EdgeTagFree, const Context &C,
+                    bool Direct) {
+    // Keying the edge on the pruned context makes every path that agrees
+    // on the *live* registers share one island (and one successor
+    // version), whatever dead facts they accumulated.
+    Context PC2 = St.pruned(TplPC, C);
+    int Pos = static_cast<int>(Out.size());
+    Out.push_back(0);
+    if (Direct) {
+      auto It = St.Versions.find({TplPC, EdgeTagFree, PC2});
+      if (It != St.Versions.end()) {
+        Out[static_cast<size_t>(Pos)] = It->second;
+        return;
+      }
+    }
+    Islands[{TplPC, EdgeTagFree, std::move(PC2)}].push_back(Pos);
+  };
+
+  Context Ctx = EntryCtx;
+  auto FactOf = [&](int Reg) -> const Fact * {
+    auto It = Ctx.find(Reg);
+    return It == Ctx.end() ? nullptr : &It->second;
+  };
+  auto Emit = [&](Op O) { Out.push_back(static_cast<int32_t>(O)); };
+  // Writing a register: its own fact is replaced, and env-slot facts
+  // anchored to it die — the register may no longer name the same
+  // environment. (Negative keys sort first in the map.)
+  auto SetReg = [&](int Reg, const Fact *FP) {
+    Fact F;
+    bool Has = FP != nullptr;
+    if (FP)
+      F = *FP;
+    for (auto It = Ctx.begin(); It != Ctx.end() && It->first < 0;) {
+      if (BbvState::envKeyReg(It->first) == Reg)
+        It = Ctx.erase(It);
+      else
+        ++It;
+    }
+    if (Has)
+      Ctx[Reg] = F;
+    else
+      Ctx.erase(Reg);
+  };
+  auto SetRegInt = [&](int Reg) {
+    Fact F{true, nullptr};
+    SetReg(Reg, &F);
+  };
+  // Drops every env-slot fact outside the (base register, hop) group —
+  // pass KeepReg = -1 to drop them all. Slots in the same group are
+  // provably distinct; anything else might alias the written slot through
+  // another register or a parent hop.
+  auto KillEnvFactsExcept = [&](int KeepReg, int KeepHop) {
+    for (auto It = Ctx.begin(); It != Ctx.end() && It->first < 0;) {
+      if (KeepReg >= 0 && BbvState::envKeyReg(It->first) == KeepReg &&
+          BbvState::envKeyHop(It->first) == KeepHop)
+        ++It;
+      else
+        It = Ctx.erase(It);
+    }
+  };
+
+  int PC = StartPC;
+  bool Open = true;
+  while (Open) {
+    if (PC != StartPC && PC < static_cast<int>(St.Leader.size()) &&
+        St.Leader[static_cast<size_t>(PC)]) {
+      // Fell through into another block's leader: close this version with
+      // a jump carrying the accumulated context across the boundary.
+      Emit(Op::Jump);
+      EdgeTo(PC, 0, Ctx, /*Direct=*/true);
+      break;
+    }
+    assert(PC >= 0 && PC < static_cast<int>(T.size()) &&
+           "template PC out of range");
+    Op O = static_cast<Op>(T[static_cast<size_t>(PC)]);
+    auto Copy = [&](int Words) {
+      for (int I = 0; I < Words; ++I)
+        Out.push_back(T[static_cast<size_t>(PC + I)]);
+    };
+    switch (O) {
+    case Op::Halt:
+      Copy(1);
+      Open = false;
+      break;
+
+    case Op::Return:
+    case Op::NLRet:
+      Copy(2);
+      Open = false;
+      break;
+
+    case Op::Jump:
+      Emit(Op::Jump);
+      EdgeTo(T[PC + 1], 0, Ctx, /*Direct=*/true);
+      Open = false;
+      break;
+
+    case Op::Move: {
+      Copy(3);
+      SetReg(T[PC + 1], FactOf(T[PC + 2]));
+      PC += 3;
+      break;
+    }
+
+    case Op::LoadInt:
+      Copy(3);
+      SetRegInt(T[PC + 1]);
+      PC += 3;
+      break;
+
+    case Op::LoadConst: {
+      Copy(3);
+      Value L = Fn.Literals[static_cast<size_t>(T[PC + 2])];
+      if (L.isInt()) {
+        SetRegInt(T[PC + 1]);
+      } else if (L.isObject()) {
+        Fact F{false, L.asObject()->map()};
+        SetReg(T[PC + 1], &F);
+      } else {
+        SetReg(T[PC + 1], nullptr);
+      }
+      PC += 3;
+      break;
+    }
+
+    case Op::GetField:
+    case Op::GetFieldConst: {
+      // The typed-shapes payoff: when the holder's map is known and its
+      // slot tag is monomorphic, a one-word cell read stands in for the
+      // type test the loaded value would otherwise need downstream.
+      int Dst = T[PC + 1];
+      Map *HM = nullptr;
+      if (O == Op::GetField) {
+        const Fact *F = FactOf(T[PC + 2]);
+        if (F && !F->IsInt)
+          HM = F->M;
+      } else {
+        Value L = Fn.Literals[static_cast<size_t>(T[PC + 2])];
+        if (L.isObject())
+          HM = L.asObject()->map();
+      }
+      int FieldIdx = T[PC + 3];
+      const SlotTypeTag *Tag = nullptr;
+      if (!TagFree && HM && HM->kind() == ObjectKind::Plain &&
+          FieldIdx >= 0 && FieldIdx < HM->fieldCount())
+        Tag = &HM->fieldTag(FieldIdx);
+      bool Guarded =
+          Tag && (Tag->St == SlotTypeTag::State::Int ||
+                  (Tag->St == SlotTypeTag::State::Typed && Tag->TypedMap));
+      if (Guarded) {
+        Emit(Op::BbvGuard);
+        Out.push_back(cellForSlot(Fn, St, HM, FieldIdx));
+        // Slow edge: re-enter at this very load, same context, guards off.
+        EdgeTo(PC, 1, Ctx, /*Direct=*/false);
+        ++Fn.Stats.BbvTagGuards;
+      }
+      Copy(4);
+      if (Guarded) {
+        Fact F = Tag->St == SlotTypeTag::State::Int
+                     ? Fact{true, nullptr}
+                     : Fact{false, Tag->TypedMap};
+        SetReg(Dst, &F);
+      } else {
+        SetReg(Dst, nullptr);
+      }
+      PC += 4;
+      break;
+    }
+
+    case Op::SetField:
+    case Op::SetFieldConst:
+    case Op::ArrAtPutRaw:
+      Copy(4);
+      PC += 4;
+      break;
+
+    case Op::AddRaw:
+    case Op::SubRaw:
+    case Op::MulRaw:
+      Copy(4);
+      SetRegInt(T[PC + 1]);
+      PC += 4;
+      break;
+
+    case Op::AddCk:
+    case Op::SubCk:
+    case Op::MulCk:
+    case Op::DivCk:
+    case Op::ModCk:
+      Copy(4); // op, dst, a, b
+      // Fail edge first: dst is unwritten there, so the pre-store context
+      // still holds.
+      EdgeTo(T[PC + 4], 0, Ctx, /*Direct=*/false);
+      SetRegInt(T[PC + 1]);
+      PC += 5;
+      break;
+
+    case Op::CmpValue:
+      Copy(5);
+      SetReg(T[PC + 1], nullptr);
+      PC += 5;
+      break;
+
+    case Op::BrCmp:
+      Copy(4); // op, cond, a, b
+      EdgeTo(T[PC + 4], 0, Ctx, /*Direct=*/true);
+      PC += 5;
+      break;
+
+    case Op::BrTrue:
+      Copy(2); // op, src
+      EdgeTo(T[PC + 2], 0, Ctx, /*Direct=*/false);
+      EdgeTo(T[PC + 3], 0, Ctx, /*Direct=*/false);
+      Open = false;
+      break;
+
+    case Op::TestInt: {
+      int Src = T[PC + 1];
+      const Fact *F = FactOf(Src);
+      if (F && F->IsInt) {
+        ++Fn.Stats.BbvTypeTestsElided; // proven int: fall through
+        PC += 3;
+        break;
+      }
+      if (F && !F->IsInt) {
+        ++Fn.Stats.BbvTypeTestsElided; // proven heap object: always else
+        Emit(Op::Jump);
+        EdgeTo(T[PC + 2], 0, Ctx, /*Direct=*/true);
+        Open = false;
+        break;
+      }
+      Emit(Op::TestInt);
+      Out.push_back(Src);
+      EdgeTo(T[PC + 2], 0, Ctx, /*Direct=*/false);
+      Ctx[Src] = Fact{true, nullptr}; // fall-through proof
+      PC += 3;
+      break;
+    }
+
+    case Op::TestMap: {
+      int Src = T[PC + 1];
+      Map *M = Fn.MapPool[static_cast<size_t>(T[PC + 2])];
+      bool IsIntMap = M->kind() == ObjectKind::SmallInt;
+      const Fact *F = FactOf(Src);
+      if (F) {
+        ++Fn.Stats.BbvTypeTestsElided;
+        bool Passes = F->IsInt ? IsIntMap : F->M == M;
+        if (Passes) {
+          PC += 4;
+        } else {
+          Emit(Op::Jump);
+          EdgeTo(T[PC + 3], 0, Ctx, /*Direct=*/true);
+          Open = false;
+        }
+        break;
+      }
+      Emit(Op::TestMap);
+      Out.push_back(Src);
+      Out.push_back(T[PC + 2]);
+      EdgeTo(T[PC + 3], 0, Ctx, /*Direct=*/false);
+      Ctx[Src] = IsIntMap ? Fact{true, nullptr} : Fact{false, M};
+      PC += 4;
+      break;
+    }
+
+    case Op::Send:
+      // Callees cannot touch caller registers, so register facts survive
+      // the call and only the result is unknown — but a callee CAN write
+      // this frame's environment slots through a captured block, so every
+      // env-slot fact dies here.
+      Copy(6);
+      KillEnvFactsExcept(-1, 0);
+      SetReg(T[PC + 1], nullptr);
+      PC += 6;
+      break;
+
+    case Op::Prim: {
+      Copy(5); // op, dst, prim, base, argc
+      // Primitives are leaves: they never call back into mini-SELF code,
+      // so env-slot facts survive unless the primitive was handed the env
+      // itself through its register window. Drop those before either edge.
+      {
+        int WinBase = T[PC + 3], Argc = T[PC + 4];
+        for (auto It = Ctx.begin(); It != Ctx.end() && It->first < 0;) {
+          int R = BbvState::envKeyReg(It->first);
+          if (R >= WinBase && R <= WinBase + Argc)
+            It = Ctx.erase(It);
+          else
+            ++It;
+        }
+      }
+      int Fail = T[PC + 5];
+      if (Fail < 0)
+        Out.push_back(Fail); // -1: primitive failure is a runtime error
+      else
+        EdgeTo(Fail, 0, Ctx, /*Direct=*/false); // dst unwritten on fail
+      // On the success path, the int-producing primitives prove their
+      // result: a completed _IntAdd: or _StrAt: cannot have yielded
+      // anything but a small integer.
+      switch (static_cast<PrimId>(T[PC + 2])) {
+      case PrimId::IntAdd:
+      case PrimId::IntSub:
+      case PrimId::IntMul:
+      case PrimId::IntDiv:
+      case PrimId::IntMod:
+      case PrimId::Size:
+      case PrimId::StrAt:
+        SetRegInt(T[PC + 1]);
+        break;
+      default:
+        SetReg(T[PC + 1], nullptr);
+        break;
+      }
+      PC += 6;
+      break;
+    }
+
+    case Op::ArrAt:
+      Copy(4);
+      EdgeTo(T[PC + 4], 0, Ctx, /*Direct=*/false);
+      SetReg(T[PC + 1], nullptr);
+      PC += 5;
+      break;
+
+    case Op::ArrAtPut:
+      Copy(4);
+      EdgeTo(T[PC + 4], 0, Ctx, /*Direct=*/false);
+      PC += 5;
+      break;
+
+    case Op::ArrAtRaw:
+      Copy(4);
+      SetReg(T[PC + 1], nullptr);
+      PC += 4;
+      break;
+
+    case Op::ArrSize:
+      Copy(3);
+      SetRegInt(T[PC + 1]);
+      PC += 3;
+      break;
+
+    case Op::MakeEnv:
+    case Op::MakeEnvArena:
+      Copy(4);
+      SetReg(T[PC + 1], nullptr);
+      PC += 4;
+      break;
+
+    case Op::EnvGet: {
+      // A read through a slot the context has a fact for types the
+      // destination — this is what carries loop variables, which live in
+      // environments whenever the loop body is a block.
+      Copy(5);
+      int K = BbvState::envKey(T[PC + 2], T[PC + 3], T[PC + 4]);
+      const Fact *F = K ? FactOf(K) : nullptr;
+      if (F) {
+        Fact Copied = *F; // SetReg may invalidate the pointer.
+        SetReg(T[PC + 1], &Copied);
+      } else {
+        SetReg(T[PC + 1], nullptr);
+      }
+      PC += 5;
+      break;
+    }
+
+    case Op::EnvSet: {
+      Copy(5);
+      int E = T[PC + 1], Hop = T[PC + 2], Idx = T[PC + 3];
+      // The written slot may be reachable as some other (register, hop)
+      // pair; only facts in the same group are provably distinct slots.
+      KillEnvFactsExcept(E, Hop);
+      int K = BbvState::envKey(E, Hop, Idx);
+      if (K) {
+        const Fact *F = FactOf(T[PC + 4]);
+        if (F)
+          Ctx[K] = *F;
+        else
+          Ctx.erase(K);
+      }
+      PC += 5;
+      break;
+    }
+
+    case Op::MakeBlock:
+    case Op::MakeBlockArena:
+      Copy(5);
+      SetReg(T[PC + 1], nullptr);
+      PC += 5;
+      break;
+
+    default:
+      // Superinstructions, quickened sends, and BBV ops cannot appear in a
+      // template: fusion is disabled, and templates never execute so never
+      // quicken. Fail loudly rather than emit a mistargeted copy.
+      assert(false && "unexpected opcode in BBV template");
+      Emit(Op::Halt);
+      Open = false;
+      break;
+    }
+  }
+
+  // Resolve the islands: one two-word slot per distinct out-edge key.
+  for (auto &IslandEntry : Islands) {
+    const BbvState::Key &K = IslandEntry.first;
+    int Pos = static_cast<int>(Out.size());
+    auto It = St.Versions.find(K);
+    if (It != St.Versions.end()) {
+      Emit(Op::Jump);
+      Out.push_back(It->second);
+    } else {
+      Emit(Op::BbvStub);
+      Out.push_back(static_cast<int32_t>(St.Stubs.size()));
+      St.Stubs.push_back(BbvState::Stub{std::get<0>(K), std::get<1>(K),
+                                        std::get<2>(K), Pos});
+    }
+    for (int Fix : IslandEntry.second)
+      Out[static_cast<size_t>(Fix)] = Pos;
+  }
+  return VersionEntry;
+}
+
+/// Finds or materializes the version for (\p StartPC, \p TagFree, \p Ctx),
+/// applying the per-block specialization cap: past it (or always, for a
+/// cap <= 1, which degenerates to pure lazy compilation), the context-free
+/// generic version serves instead.
+int ensureVersion(CompiledFunction &Fn, BbvState &St, int StartPC,
+                  int TagFree, const Context &RawCtx) {
+  Context Ctx = St.pruned(StartPC, RawCtx);
+  auto It = St.Versions.find({StartPC, TagFree, Ctx});
+  if (It != St.Versions.end())
+    return It->second;
+  if (!Ctx.empty() &&
+      (St.MaxVersions <= 1 || St.SpecCount[StartPC] >= St.MaxVersions)) {
+    ++Fn.Stats.BbvCapFallbacks;
+    // Past the cap, prefer the strongest existing version whose
+    // assumptions this context satisfies (every fact it was specialized
+    // on holds here) over surrendering all facts to the generic version.
+    int Best = -1;
+    size_t BestFacts = 0;
+    for (const auto &V : St.Versions) {
+      if (std::get<0>(V.first) != StartPC ||
+          std::get<1>(V.first) != TagFree)
+        continue;
+      const Context &VC = std::get<2>(V.first);
+      if (VC.empty() || VC.size() < BestFacts)
+        continue;
+      bool Subsumes = true;
+      for (const auto &KV : VC) {
+        auto F = Ctx.find(KV.first);
+        if (F == Ctx.end() || !(F->second == KV.second)) {
+          Subsumes = false;
+          break;
+        }
+      }
+      if (Subsumes) {
+        Best = V.second;
+        BestFacts = VC.size();
+      }
+    }
+    if (Best >= 0)
+      return Best;
+    return ensureVersion(Fn, St, StartPC, TagFree, Context());
+  }
+  if (Ctx.empty())
+    ++Fn.Stats.BbvGenericVersions;
+  else {
+    ++Fn.Stats.BbvVersions;
+    ++St.SpecCount[StartPC];
+  }
+  return emitVersion(Fn, St, StartPC, TagFree, Ctx);
+}
+
+} // namespace
+
+std::unique_ptr<CompiledFunction>
+mself::bbvCompile(World &W, const Policy &P, const CompileRequest &Req) {
+  // The template: the optimizer as configured, minus superinstruction
+  // fusion, which would blur per-op context transfer. Splitting stays on —
+  // split-recovered types feed the optimizer's inlining, and the split
+  // paths cost nothing here: the template never executes, and only the
+  // paths execution actually takes materialize as versions.
+  Policy TP = P;
+  TP.Superinstructions = false;
+  std::unique_ptr<CompiledFunction> Fn = compileOptimized(W, TP, Req);
+
+  auto St = std::make_unique<BbvState>();
+  St->MaxVersions = P.BbvMaxVersions;
+  St->Template = std::move(Fn->Code);
+  Fn->Code.clear();
+
+  // Block leaders: every jump target in the template. Prim's -1 fail
+  // sentinel is tolerated per the opJumpOperands contract.
+  St->Leader.assign(St->Template.size(), 0);
+  int NumLeaders = 0;
+  for (size_t PC = 0; PC < St->Template.size();) {
+    Op O = static_cast<Op>(St->Template[PC]);
+    int JumpOps[2];
+    int N = opJumpOperands(O, JumpOps);
+    for (int I = 0; I < N; ++I) {
+      int32_t Tgt = St->Template[PC + static_cast<size_t>(JumpOps[I])];
+      if (Tgt >= 0 && !St->Leader[static_cast<size_t>(Tgt)]) {
+        St->Leader[static_cast<size_t>(Tgt)] = 1;
+        ++NumLeaders;
+      }
+    }
+    PC += 1 + static_cast<size_t>(opArity(O));
+  }
+  Fn->Stats.BbvBlocks =
+      NumLeaders + ((St->Leader.empty() || !St->Leader[0]) ? 1 : 0);
+  computeLiveness(*St);
+
+  // Entry context: register 0 is the receiver, and a customized function
+  // only ever activates on receivers of its customization map.
+  if (Fn->ReceiverMap) {
+    if (Fn->ReceiverMap->kind() == ObjectKind::SmallInt)
+      St->Entry[0] = Fact{true, nullptr};
+    else
+      St->Entry[0] = Fact{false, Fn->ReceiverMap};
+  }
+
+  // The function's entire executable code: one stub for (PC 0, entry ctx).
+  Fn->Code.push_back(static_cast<int32_t>(Op::BbvStub));
+  Fn->Code.push_back(0);
+  St->Stubs.push_back(BbvState::Stub{0, 0, St->Entry, 0});
+
+  Fn->Bbv = St.release();
+  Fn->BbvDeleter = +[](BbvState *S) { delete S; };
+  (void)W;
+  return Fn;
+}
+
+int mself::bbvMaterialize(World &W, CompiledFunction &Fn, int StubIdx) {
+  (void)W;
+  if (!Fn.Bbv)
+    return -1;
+  BbvState &St = *Fn.Bbv;
+  if (StubIdx < 0 || StubIdx >= static_cast<int>(St.Stubs.size()))
+    return -1;
+  // Copy, not reference: emission appends new stubs behind it.
+  BbvState::Stub S = St.Stubs[static_cast<size_t>(StubIdx)];
+  int Target = ensureVersion(Fn, St, S.StartPC, S.TagFree, S.Ctx);
+  // Patch the stub in place into a direct jump so this edge never
+  // re-enters the materializer.
+  Fn.Code[static_cast<size_t>(S.CodeOffset)] = static_cast<int32_t>(Op::Jump);
+  Fn.Code[static_cast<size_t>(S.CodeOffset) + 1] = Target;
+  ++Fn.Stats.BbvStubsPatched;
+  return Target;
+}

@@ -1,0 +1,60 @@
+//===-- compiler/bbv.h - Lazy basic-block versioning ------------*- C++ -*-===//
+//
+// Part of miniself, a reproduction of Chambers & Ungar, PLDI '90.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third compilation tier: lazy basic-block versioning with typed
+/// object shapes (after Chevalier-Boisvert & Feeley, arXiv 1401.3041 and
+/// 1507.02437), stacked above the optimizing compiler.
+///
+/// bbvCompile() builds a *template* — the function compiled by the
+/// optimizer with message splitting and superinstruction fusion disabled,
+/// so the CFG keeps its explicit TestInt/TestMap type tests — but installs
+/// only a two-word entry stub as the function's executable code. Executing
+/// a stub calls bbvMaterialize(), which emits a version of the target
+/// block specialized to the register types that actually flowed in
+/// (eliding the tests the context already proves), appends it to the code
+/// vector, and patches the stub into a direct jump. Outgoing edges become
+/// fresh stubs carrying the propagated context, so specialization chains
+/// across block boundaries exactly as far as execution actually goes.
+///
+/// Field loads additionally consult the receiver map's per-slot store tags
+/// (vm/map.h SlotTypeTag): a monomorphic tag lets the load's result type
+/// flow into the context guarded by a one-word invalidation cell
+/// (Op::BbvGuard) instead of a re-executed type test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MINISELF_COMPILER_BBV_H
+#define MINISELF_COMPILER_BBV_H
+
+#include "compiler/policy.h"
+#include "interp/interp.h"
+
+#include <memory>
+
+namespace mself {
+
+/// Compiles \p Req at the BBV tier: an optimizer-built template (splitting
+/// and fusion off, everything else per \p P) held in opaque BbvState, with
+/// the function's executable code reduced to a single entry stub. Lazily
+/// grows via bbvMaterialize as execution reaches new (block, context)
+/// pairs. Never fails (the template compiler never fails).
+std::unique_ptr<CompiledFunction>
+bbvCompile(World &W, const Policy &P, const CompileRequest &Req);
+
+/// Executes stub \p StubIdx of \p Fn: finds or emits the version of the
+/// stub's target block under the stub's recorded type context (applying
+/// the per-block version cap, falling back to a generic version past it),
+/// patches the stub into a direct jump, and returns the version's entry
+/// offset in Fn.Code. \returns -1 when \p Fn carries no BBV state or the
+/// stub index is invalid. Mutator thread only: appends to Fn.Code, so the
+/// interpreter must refresh its code pointer afterwards (the BbvStub
+/// handler re-enters through frameChanged).
+int bbvMaterialize(World &W, CompiledFunction &Fn, int StubIdx);
+
+} // namespace mself
+
+#endif // MINISELF_COMPILER_BBV_H

@@ -59,6 +59,7 @@ Policy Policy::baselinePolicy() const {
   B.IterativeLoops = false;
   B.LoopHeadGeneralization = false;
   B.TieredCompilation = false;
+  B.BbvTier = false;
   return B;
 }
 
@@ -106,6 +107,8 @@ uint64_t Policy::fingerprint() const {
   Mix(static_cast<uint64_t>(TierUpThreshold));
   Mix(BackgroundCompile);
   Mix(static_cast<uint64_t>(BackgroundQueueCap));
+  Mix(BbvTier);
+  Mix(static_cast<uint64_t>(BbvMaxVersions));
   return H;
 }
 
@@ -386,6 +389,47 @@ std::vector<PolicyPreset> buildRegistry() {
   R.push_back(matrixEntry("newself/noescapetier",
                           "escape analysis off across both tiers",
                           NoEscapeTier));
+
+  // BBV axis: the lazy basic-block-versioning tier must be observationally
+  // identical to eager optimized compilation — versions materializing
+  // mid-run, the per-block version cap's generic fallback, slot-tag guard
+  // cells, and BBV code promoted into via the baseline tier all cross the
+  // same differential matrix (including the isolates axis).
+  Policy Bbv = Policy::newSelf();
+  Bbv.BbvTier = true;
+  R.push_back(matrixEntry("newself/bbv",
+                          "lazy basic-block versioning as the top tier",
+                          Bbv));
+  Policy BbvTierUp = Policy::newSelf();
+  BbvTierUp.BbvTier = true;
+  BbvTierUp.TieredCompilation = true;
+  BbvTierUp.TierUpThreshold = 8;
+  R.push_back(matrixEntry("newself/bbvtier",
+                          "baseline tier promoting into BBV mid-run",
+                          BbvTierUp));
+  Policy BbvCap1 = Policy::newSelf();
+  BbvCap1.BbvTier = true;
+  BbvCap1.BbvMaxVersions = 1;
+  R.push_back(matrixEntry("newself/bbvcap1",
+                          "version cap 1: every block generic (lazy "
+                          "compilation without specialization)",
+                          BbvCap1));
+  Policy BbvBg = Policy::newSelf();
+  BbvBg.BbvTier = true;
+  BbvBg.TieredCompilation = true;
+  BbvBg.TierUpThreshold = 8;
+  BbvBg.BackgroundCompile = true;
+  R.push_back(matrixEntry("newself/bbvbg",
+                          "off-thread promotion into the BBV tier", BbvBg));
+  Policy BbvTiny = Policy::newSelf();
+  BbvTiny.BbvTier = true;
+  BbvTiny.GcNurseryKiB = 4;
+  BbvTiny.GcPromotionAge = 1;
+  BbvTiny.GcThresholdKiB = 512;
+  R.push_back(matrixEntry("newself/bbvtiny",
+                          "BBV versions materializing under tiny-nursery "
+                          "GC stress",
+                          BbvTiny));
 
   Policy BgSat = Policy::newSelf();
   BgSat.TieredCompilation = true;

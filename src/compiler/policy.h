@@ -185,6 +185,24 @@ struct Policy {
   /// on every promotion.
   int BackgroundQueueCap = 16;
 
+  //===--- Lazy basic-block versioning (third tier) ----------------------===//
+  // A tier stacked above the optimizer: functions compile to an entry stub
+  // plus a shared template; basic-block versions specialized to the
+  // incoming type context materialize lazily the first time execution
+  // reaches them, eliminating the type tests the context already proves.
+  // Per-slot map type tags let field loads in typed contexts replace full
+  // type tests with one-word guard-cell reads.
+
+  /// Make BBV the top tier: first-call (or tier-up, under
+  /// TieredCompilation) compiles produce lazily-versioned code instead of
+  /// eagerly split optimized code. Off: the optimizer remains the top tier.
+  bool BbvTier = false;
+  /// Maximum specialized versions per basic block. A block whose cap is
+  /// reached serves every further incoming context with a generic
+  /// (empty-context) version; <= 1 degenerates to one generic version per
+  /// block (lazy compilation without specialization).
+  int BbvMaxVersions = 5;
+
   /// \returns the cheap first-tier policy derived from this one: every
   /// compiler optimization off (routing to the baseline code generator),
   /// customization and all dispatch-path knobs preserved so code-cache keys

@@ -87,6 +87,8 @@ void emitAll(const VmTelemetry &T, Emitter &E) {
   E.u("bg_cancelled", T.Tier.BackgroundCancelled);
   E.u("bg_sync_fallbacks", T.Tier.BackgroundSyncFallbacks);
   E.f("bg_compile_seconds", T.Tier.BackgroundCompileSeconds);
+  E.u("bbv_compiles", T.Tier.BbvCompiles);
+  E.f("bbv_compile_seconds", T.Tier.BbvCompileSeconds);
   E.u("shared_hits", T.Tier.SharedHits);
   E.u("shared_publishes", T.Tier.SharedPublishes);
   E.u("shared_rehydrate_failures", T.Tier.SharedRehydrateFailures);
@@ -141,6 +143,20 @@ void emitAll(const VmTelemetry &T, Emitter &E) {
   E.u("arena_demoted_allocs", T.Escape.ArenaDemotedAllocs);
   E.u("arena_evacuations", T.Escape.ArenaEvacuations);
   E.u("arena_high_water_bytes", T.Escape.ArenaHighWaterBytes);
+
+  E.section("bbv");
+  E.u("blocks", T.Bbv.Blocks);
+  E.u("versions", T.Bbv.Versions);
+  E.u("generic_versions", T.Bbv.GenericVersions);
+  E.u("cap_fallbacks", T.Bbv.CapFallbacks);
+  E.u("type_tests_elided", T.Bbv.TypeTestsElided);
+  E.u("tag_guards", T.Bbv.TagGuards);
+  E.u("stubs_patched", T.Bbv.StubsPatched);
+  E.u("stub_runs", T.Bbv.StubRuns);
+  E.u("guard_fast", T.Bbv.GuardFast);
+  E.u("guard_slow", T.Bbv.GuardSlow);
+  E.u("tag_conflicts", T.Bbv.TagConflicts);
+  E.u("cells_invalidated", T.Bbv.CellsInvalidated);
 
   E.section("events");
   E.u("recorded", T.EventsRecorded);

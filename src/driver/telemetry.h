@@ -57,7 +57,11 @@ struct VmTelemetry {
   /// mark_increments, sweep_increments, mark_cycles) and the pause
   /// histograms — p50/p95/p99/max split by scavenge vs full/slice pauses —
   /// replacing the unbounded per-pause vector.
-  static constexpr int kSchemaVersion = 5;
+  /// v6: new bbv section (lazy basic-block versioning: template compiles,
+  /// versions/stubs/guards materialized, dynamic stub and guard traffic,
+  /// slot-tag conflict fan-out); tier section gained bbv_compiles and
+  /// bbv_compile_seconds.
+  static constexpr int kSchemaVersion = 6;
 
   std::string PolicyName;    ///< Policy::Name of the VM's configuration.
   bool Background = false;   ///< Background compile queue active.
@@ -88,6 +92,28 @@ struct VmTelemetry {
     uint64_t ArenaHighWaterBytes = 0; ///< Peak arena footprint.
   };
   EscapeStats Escape;
+
+  /// Lazy basic-block versioning (schema v6). The static half rolls up
+  /// CompileStats over live BBV functions — what the materializer emitted
+  /// so far (versions are appended lazily, so these grow at run time, not
+  /// at compile time); the dynamic half counts stub dispatches and guard
+  /// outcomes. Zero throughout for policies without the tier.
+  struct BbvStats {
+    uint64_t Blocks = 0;          ///< Basic blocks across live templates.
+    uint64_t Versions = 0;        ///< Specialized block versions emitted.
+    uint64_t GenericVersions = 0; ///< Context-free fallback versions.
+    uint64_t CapFallbacks = 0;    ///< Materializations routed to generic
+                                  ///< by the per-block version cap.
+    uint64_t TypeTestsElided = 0; ///< Tests the incoming context proved.
+    uint64_t TagGuards = 0;       ///< Tests replaced by slot-tag cells.
+    uint64_t StubsPatched = 0;    ///< Stubs rewritten into direct jumps.
+    uint64_t StubRuns = 0;        ///< Dynamic BbvStub dispatches.
+    uint64_t GuardFast = 0;       ///< Dynamic guard cell-read passes.
+    uint64_t GuardSlow = 0;       ///< Dynamic guard slow-path entries.
+    uint64_t TagConflicts = 0;    ///< Slot tags demoted to Poly.
+    uint64_t CellsInvalidated = 0; ///< Guard cells flipped by demotions.
+  };
+  BbvStats Bbv;
 
   /// Retained tail of the bounded compilation event log, oldest first.
   std::vector<CompileEvent> Events;

@@ -2,6 +2,7 @@
 
 #include "driver/vm.h"
 
+#include "compiler/bbv.h"
 #include "compiler/compile.h"
 #include "interp/compile_queue.h"
 #include "interp/compile_service.h"
@@ -38,19 +39,38 @@ VirtualMachine::VirtualMachine(Policy P, SharedTier *Tier,
   if (Tier)
     Bridge = std::make_unique<SharedCodeBridge>(*Tier, *TheWorld,
                                                 Pol.fingerprint());
+  // One compiler lambda serves every consumer of CompileRequests — the
+  // code cache and the background queue alike. The request's tier picks
+  // the compiler: Baseline maps to the derived cheap policy, Optimized to
+  // the full configured policy, Bbv to the lazy-versioning tier stacked
+  // above it. The isolate rides in the request (stamped by the
+  // CodeManager), so the lambda captures no world.
+  auto Compile = [Pp, BP = Pol.baselinePolicy()](const CompileRequest &Req)
+      -> std::unique_ptr<CompiledFunction> {
+    switch (Req.Tier) {
+    case CompileTier::Baseline:
+      return compileFunction(*Req.Isolate, BP, Req);
+    case CompileTier::Bbv:
+      return bbvCompile(*Req.Isolate, *Pp, Req);
+    case CompileTier::Optimized:
+      break;
+    }
+    return compileFunction(*Req.Isolate, *Pp, Req);
+  };
+
   // Tiered execution: baseline-tier requests compile under the derived
-  // cheap policy; everything else (first-call compiles with tiering off,
-  // and promotions) uses the full configured policy.
+  // cheap policy; hot code promotes to the configured top tier (BBV when
+  // the policy stacks it, else the optimizer).
   CodeManager::TieringConfig TC;
   TC.Enabled = Pol.TieredCompilation;
   TC.Threshold = Pol.TierUpThreshold;
-  Code = std::make_unique<CodeManager>(
-      TheHeap, Pol.Customize,
-      [W, Pp, BP = Pol.baselinePolicy()](const CompileRequest &Req) {
-        return compileFunction(*W, Req.BaselineTier ? BP : *Pp, Req);
-      },
-      TC);
+  TC.Top = Pol.BbvTier ? CompileTier::Bbv : CompileTier::Optimized;
+  Code = std::make_unique<CodeManager>(*TheWorld, Pol.Customize, Compile, TC);
   Code->setSharedBridge(Bridge.get());
+  if (Pol.BbvTier)
+    Code->setBbvMaterializer([W](CompiledFunction &Fn, int StubIdx) {
+      return bbvMaterialize(*W, Fn, StubIdx);
+    });
 
   // Dispatch fast-path configuration: the global (map, selector) cache
   // lives in the world; the per-site PIC knobs ride into the interpreter.
@@ -75,12 +95,8 @@ VirtualMachine::VirtualMachine(Policy P, SharedTier *Tier,
   // back at interpreter safepoints. The queue shares the exact compiler
   // lambda above — only the CompileAccess the requests carry differs.
   if (Pol.BackgroundCompile && Pol.TieredCompilation) {
-    BgQueue = std::make_unique<CompileQueue>(
-        *TheWorld, TheHeap,
-        [W, Pp, BP = Pol.baselinePolicy()](const CompileRequest &Req) {
-          return compileFunction(*W, Req.BaselineTier ? BP : *Pp, Req);
-        },
-        Pol.BackgroundQueueCap, Service);
+    BgQueue = std::make_unique<CompileQueue>(*TheWorld, TheHeap, Compile,
+                                            Pol.BackgroundQueueCap, Service);
     Code->setBackgroundQueue(BgQueue.get());
   }
 
@@ -100,9 +116,22 @@ VirtualMachine::VirtualMachine(Policy P, SharedTier *Tier,
     CM->flushInlineCaches();
     CM->invalidateDependents(Mutated);
   });
+
+  // Slot-tag conflicts (a store breaking a field's monomorphic type
+  // history) are narrower than shape mutations: they flip the BBV guard
+  // cells covering that one (map, field) tag, sending dependent guarded
+  // loads to their slow paths, and invalidate nothing — the materialized
+  // versions stay correct, they just stop skipping the test.
+  TheHeap.setSlotTagConflictHook([CM](Map *Mutated, int FieldIndex) {
+    CM->onSlotTagConflict(Mutated, FieldIndex);
+  });
 }
 
-VirtualMachine::~VirtualMachine() = default;
+VirtualMachine::~VirtualMachine() {
+  // The conflict hook captures the CodeManager raw; drop it before member
+  // destruction starts so no late store can reach a dead manager.
+  TheHeap.setSlotTagConflictHook(nullptr);
+}
 
 void VirtualMachine::settleBackgroundCompiles() {
   if (!BgQueue)
@@ -137,7 +166,20 @@ VmTelemetry VirtualMachine::telemetry() const {
     T.Escape.EnvsArena += static_cast<uint64_t>(F.Stats.EnvsArena);
     T.Escape.EnvsScalarReplaced +=
         static_cast<uint64_t>(F.Stats.EnvsScalarReplaced);
+    T.Bbv.Blocks += static_cast<uint64_t>(F.Stats.BbvBlocks);
+    T.Bbv.Versions += static_cast<uint64_t>(F.Stats.BbvVersions);
+    T.Bbv.GenericVersions += static_cast<uint64_t>(F.Stats.BbvGenericVersions);
+    T.Bbv.CapFallbacks += static_cast<uint64_t>(F.Stats.BbvCapFallbacks);
+    T.Bbv.TypeTestsElided +=
+        static_cast<uint64_t>(F.Stats.BbvTypeTestsElided);
+    T.Bbv.TagGuards += static_cast<uint64_t>(F.Stats.BbvTagGuards);
+    T.Bbv.StubsPatched += static_cast<uint64_t>(F.Stats.BbvStubsPatched);
   });
+  T.Bbv.StubRuns = C.BbvStubRuns;
+  T.Bbv.GuardFast = C.BbvGuardFast;
+  T.Bbv.GuardSlow = C.BbvGuardSlow;
+  T.Bbv.TagConflicts = T.Tier.BbvTagConflicts;
+  T.Bbv.CellsInvalidated = T.Tier.BbvCellsInvalidated;
   const CompilationEventLog &Log = Code->eventLog();
   T.Events.assign(Log.events().begin(), Log.events().end());
   T.EventsRecorded = Log.totalRecorded();

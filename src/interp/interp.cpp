@@ -20,7 +20,6 @@ using namespace mself;
 //===----------------------------------------------------------------------===//
 
 CompiledFunction *CodeManager::compileInternal(const CompileRequest &Req,
-                                               CompiledFunction::Tier T,
                                                CompileEvent::Kind LogKind) {
   double Before = cpuTimeSeconds();
   Stopwatch Wall; // Every synchronous compile stalls the mutator thread.
@@ -29,20 +28,27 @@ CompiledFunction *CodeManager::compileInternal(const CompileRequest &Req,
   double Elapsed = cpuTimeSeconds() - Before;
   assert(Fn && "compiler must produce code");
   Fn->Stats.Seconds = Elapsed;
-  Fn->CodeTier = T;
+  Fn->CodeTier = Req.Tier;
   CompileSeconds += Elapsed;
-  if (T == CompiledFunction::Tier::Baseline) {
+  switch (Req.Tier) {
+  case CompileTier::Baseline:
     ++Tiers.BaselineCompiles;
     Tiers.BaselineCompileSeconds += Elapsed;
-  } else {
+    break;
+  case CompileTier::Bbv:
+    ++Tiers.BbvCompiles;
+    Tiers.BbvCompileSeconds += Elapsed;
+    break;
+  case CompileTier::Optimized:
     ++Tiers.OptimizedCompiles;
     Tiers.OptimizedCompileSeconds += Elapsed;
+    break;
   }
 
   CompileEvent E;
   E.EventKind = LogKind;
   E.Name = Fn->Name;
-  E.Tier = T;
+  E.Tier = Req.Tier;
   E.Seconds = Elapsed;
   E.ParseSeconds = Fn->Stats.ParseSeconds;
   E.AnalyzeSeconds = Fn->Stats.AnalyzeSeconds;
@@ -57,7 +63,7 @@ CompiledFunction *CodeManager::compileInternal(const CompileRequest &Req,
 }
 
 CompiledFunction *CodeManager::adoptShared(std::unique_ptr<CompiledFunction> Fn,
-                                           CompiledFunction::Tier T,
+                                           CompileTier T,
                                            CompileEvent::Kind LogKind,
                                            double Seconds) {
   CompiledFunction *Raw = Fn.get();
@@ -77,22 +83,26 @@ CompiledFunction *CodeManager::adoptShared(std::unique_ptr<CompiledFunction> Fn,
 }
 
 CompiledFunction *CodeManager::compileShared(const CompileRequest &Norm,
-                                             CompiledFunction::Tier T,
-                                             CompileEvent::Kind LogKind) {
+                                             CompileEvent::Kind LogKind,
+                                             CompileResult::Origin *FromOut) {
+  if (FromOut)
+    *FromOut = CompileResult::Origin::Compiled;
   if (!Bridge)
-    return compileInternal(Norm, T, LogKind);
-  bool Baseline = T == CompiledFunction::Tier::Baseline;
+    return compileInternal(Norm, LogKind);
   SharedCodeBridge::Ticket Tk;
   Stopwatch Wall;
-  std::unique_ptr<CompiledFunction> Fn = Bridge->acquire(
-      Norm.Source, Norm.ReceiverMap, Norm.IsBlockUnit, Baseline, Tk);
+  std::unique_ptr<CompiledFunction> Fn = Bridge->acquire(Norm, Tk);
   if (Tk.RehydrateFailed)
     ++Tiers.SharedRehydrateFailures;
-  if (Fn)
-    return adoptShared(std::move(Fn), T, LogKind, Wall.elapsedSeconds());
+  if (Fn) {
+    if (FromOut)
+      *FromOut = CompileResult::Origin::Shared;
+    return adoptShared(std::move(Fn), Norm.Tier, LogKind,
+                       Wall.elapsedSeconds());
+  }
   if (!Tk.HasKey)
     ++Tiers.SharedLocalFallbacks;
-  CompiledFunction *Raw = compileInternal(Norm, T, LogKind);
+  CompiledFunction *Raw = compileInternal(Norm, LogKind);
   // Holding the single-flight claim means other isolates may be blocked on
   // this key right now; publish (or mark unportable) to release them.
   if (Tk.Claimed && Bridge->publish(Tk, *Raw))
@@ -100,34 +110,33 @@ CompiledFunction *CodeManager::compileShared(const CompileRequest &Norm,
   return Raw;
 }
 
-CompiledFunction *CodeManager::getOrCompile(const CompileRequest &Req) {
-  CompileRequest Norm = Req;
-  if (!Customize)
-    Norm.ReceiverMap = nullptr;
+CompileResult CodeManager::request(const CompileRequest &Req) {
+  CompileRequest Norm = normalize(Req);
   // Memo first: the same few block bodies are re-probed once per loop
   // iteration, and a handful of pointer compares beat even a stored-hash
   // table probe.
   for (const MemoEntry &E : Memo)
     if (E.Source == Norm.Source && E.ReceiverMap == Norm.ReceiverMap)
-      return E.Fn;
+      return CompileResult{E.Fn, CompileResult::Origin::CacheHit};
 
   Key K{Norm.Source, Norm.ReceiverMap};
   auto It = Cache.find(K);
   if (It != Cache.end()) {
     memoInsert(K.Source, K.ReceiverMap, It->second);
-    return It->second;
+    return CompileResult{It->second, CompileResult::Origin::CacheHit};
   }
 
-  // A non-positive threshold degenerates to full-opt-first-call.
-  bool Baseline = Tiering.Enabled && Tiering.Threshold > 0;
-  Norm.BaselineTier = Baseline;
-  CompiledFunction *Raw =
-      compileShared(Norm, Baseline ? CompiledFunction::Tier::Baseline
-                                   : CompiledFunction::Tier::Optimized,
-                    CompileEvent::Kind::Compile);
-  Cache.emplace(K, Raw);
-  memoInsert(K.Source, K.ReceiverMap, Raw);
-  return Raw;
+  // Tier selection is the manager's, not the caller's: a cold function
+  // compiles at the baseline tier when tiering is on (a non-positive
+  // threshold degenerates to top-tier-first-call), else straight at the
+  // configured top tier.
+  Norm.Tier = Tiering.Enabled && Tiering.Threshold > 0 ? CompileTier::Baseline
+                                                       : Tiering.Top;
+  CompileResult R;
+  R.Fn = compileShared(Norm, CompileEvent::Kind::Compile, &R.From);
+  Cache.emplace(K, R.Fn);
+  memoInsert(K.Source, K.ReceiverMap, R.Fn);
+  return R;
 }
 
 CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
@@ -136,9 +145,9 @@ CompiledFunction *CodeManager::promote(CompiledFunction *Old) {
   Req.ReceiverMap = Old->ReceiverMap; // Already normalized at first compile.
   Req.IsBlockUnit = Old->IsBlockUnit;
   Req.Name = Old->Name;
-  Req.BaselineTier = false;
-  CompiledFunction *New = compileShared(
-      Req, CompiledFunction::Tier::Optimized, CompileEvent::Kind::Promote);
+  Req.Tier = Tiering.Top;
+  Req.Isolate = &W;
+  CompiledFunction *New = compileShared(Req, CompileEvent::Kind::Promote);
   swapIn(Old, New);
   return New;
 }
@@ -147,7 +156,7 @@ void CodeManager::swapIn(CompiledFunction *Old, CompiledFunction *New) {
   Old->ReplacedBy = New;
   ++Tiers.Promotions;
 
-  // Swap the cache entry: future getOrCompile() calls — including every
+  // Swap the cache entry: future request() calls — including every
   // block invocation and each native-loop iteration — run the new code.
   // Executing activations of Old keep running it (no OSR). The memo may
   // still hand out Old, so flush it.
@@ -157,7 +166,7 @@ void CodeManager::swapIn(CompiledFunction *Old, CompiledFunction *New) {
   CompileEvent E;
   E.EventKind = CompileEvent::Kind::Swap;
   E.Name = Old->Name;
-  E.Tier = CompiledFunction::Tier::Optimized;
+  E.Tier = New->CodeTier;
   E.HotCount = Old->HotCount;
   Events.append(E);
 
@@ -182,24 +191,24 @@ CompiledFunction *CodeManager::triggerPromotion(CompiledFunction *Old) {
   // When some isolate already paid for the optimized code, adopt it now —
   // a rehydration is cheap enough for the trigger path and skips the
   // queue round-trip entirely.
-  if (Bridge) {
-    Stopwatch Wall;
-    std::unique_ptr<CompiledFunction> Fn = Bridge->tryAcquireReady(
-        Old->Source, Old->ReceiverMap, Old->IsBlockUnit, /*Baseline=*/false);
-    if (Fn) {
-      CompiledFunction *New =
-          adoptShared(std::move(Fn), CompiledFunction::Tier::Optimized,
-                      CompileEvent::Kind::Promote, Wall.elapsedSeconds());
-      swapIn(Old, New);
-      return New;
-    }
-  }
   CompileRequest Req;
   Req.Source = Old->Source;
   Req.ReceiverMap = Old->ReceiverMap; // Already normalized at first compile.
   Req.IsBlockUnit = Old->IsBlockUnit;
   Req.Name = Old->Name;
-  Req.BaselineTier = false;
+  Req.Tier = Tiering.Top;
+  Req.Isolate = &W;
+  if (Bridge) {
+    Stopwatch Wall;
+    std::unique_ptr<CompiledFunction> Fn = Bridge->tryAcquireReady(Req);
+    if (Fn) {
+      CompiledFunction *New = adoptShared(std::move(Fn), Req.Tier,
+                                          CompileEvent::Kind::Promote,
+                                          Wall.elapsedSeconds());
+      swapIn(Old, New);
+      return New;
+    }
+  }
   if (!Queue->enqueue(Old, Req)) {
     // Saturated: take the stall now rather than letting hot code run
     // baseline indefinitely behind a full queue.
@@ -232,17 +241,22 @@ void CodeManager::noteBackEdge(CompiledFunction *Fn) {
 
 void CodeManager::installCompleted(CompiledFunction *Old,
                                    std::unique_ptr<CompiledFunction> NewOwned,
-                                   double Seconds) {
+                                   CompileTier T, double Seconds) {
   // The accounting compileInternal() does for synchronous compiles, with
   // the worker's wall-clock time standing in for compiler CPU time (the
   // process CPU clock cannot attribute time to one thread), and none of it
   // charged to the mutator's stall.
   CompiledFunction *New = NewOwned.get();
-  New->CodeTier = CompiledFunction::Tier::Optimized;
+  New->CodeTier = T;
   New->Stats.Seconds = Seconds;
   CompileSeconds += Seconds;
-  ++Tiers.OptimizedCompiles;
-  Tiers.OptimizedCompileSeconds += Seconds;
+  if (T == CompileTier::Bbv) {
+    ++Tiers.BbvCompiles;
+    Tiers.BbvCompileSeconds += Seconds;
+  } else {
+    ++Tiers.OptimizedCompiles;
+    Tiers.OptimizedCompileSeconds += Seconds;
+  }
   Tiers.BackgroundCompileSeconds += Seconds;
   ++Tiers.BackgroundInstalled;
   Functions.push_back(std::move(NewOwned));
@@ -250,7 +264,7 @@ void CodeManager::installCompleted(CompiledFunction *Old,
   CompileEvent E;
   E.EventKind = CompileEvent::Kind::Promote;
   E.Name = New->Name;
-  E.Tier = CompiledFunction::Tier::Optimized;
+  E.Tier = T;
   E.HotCount = Old->HotCount;
   E.Seconds = Seconds;
   E.ParseSeconds = New->Stats.ParseSeconds;
@@ -264,10 +278,17 @@ void CodeManager::installCompleted(CompiledFunction *Old,
   // claim; offer them to the shared tier so other isolates' hot functions
   // can skip their own optimizing compile. Never clobbers an existing
   // entry or an in-flight claim.
-  if (Bridge &&
-      Bridge->publishIfAbsent(New->Source, New->ReceiverMap, New->IsBlockUnit,
-                              /*Baseline=*/false, *New))
-    ++Tiers.SharedPublishes;
+  if (Bridge) {
+    CompileRequest Pub;
+    Pub.Source = New->Source;
+    Pub.ReceiverMap = New->ReceiverMap;
+    Pub.IsBlockUnit = New->IsBlockUnit;
+    Pub.Name = New->Name;
+    Pub.Tier = T;
+    Pub.Isolate = &W;
+    if (Bridge->publishIfAbsent(Pub, *New))
+      ++Tiers.SharedPublishes;
+  }
 
   // From here on this is exactly the tail of promote(): the atomic (with
   // respect to the interpreter — we are at a safepoint) cache swap plus
@@ -293,7 +314,7 @@ void CodeManager::maybeInstall() {
       ++Tiers.BackgroundCancelled;
       continue;
     }
-    installCompleted(Old, std::move(J->Result), J->Seconds);
+    installCompleted(Old, std::move(J->Result), J->Req.Tier, J->Seconds);
   }
 }
 
@@ -327,6 +348,28 @@ void CodeManager::invalidateDependents(Map *Mutated) {
   }
   if (!Doomed.empty())
     memoFlush();
+}
+
+void CodeManager::onSlotTagConflict(Map *M, int FieldIndex) {
+  // Cell flips, not invalidation: the guarded versions stay installed and
+  // sound — every BbvGuard covering the demoted (map, field) tag starts
+  // taking its slow path, which re-runs the original type test. Functions
+  // with no dependent cells are untouched, so a conflict on one shape never
+  // perturbs code specialized to another (tested by the invalidation-
+  // precision suite).
+  uint64_t Flipped = 0;
+  for (const auto &F : Functions) {
+    if (F->BbvCellDeps.empty())
+      continue;
+    for (const BbvCellDep &D : F->BbvCellDeps)
+      if (D.DepMap == M && D.FieldIndex == FieldIndex &&
+          F->BbvCells[static_cast<size_t>(D.Cell)] == 0) {
+        F->BbvCells[static_cast<size_t>(D.Cell)] = 1;
+        ++Flipped;
+      }
+  }
+  ++Tiers.BbvTagConflicts;
+  Tiers.BbvCellsInvalidated += Flipped;
 }
 
 size_t CodeManager::totalCodeBytes() const {
@@ -707,7 +750,7 @@ Interpreter::dispatchSend(Value Recv, const std::string *Sel,
     Req.ReceiverMap = M;
     Req.IsBlockUnit = false;
     Req.Name = MO->selector();
-    CompiledFunction *Fn = CM.getOrCompile(Req);
+    CompiledFunction *Fn = CM.request(Req).Fn;
     if (UseSiteCache) {
       PicEntry E;
       E.CachedMap = M;
@@ -784,7 +827,7 @@ Interpreter::RunResult Interpreter::callValueOn(Value Callee,
     Req.ReceiverMap = W.mapOf(Blk->homeSelf());
     Req.IsBlockUnit = true;
     Req.Name = Blk->body()->Body.SelectorName;
-    CompiledFunction *Fn = CM.getOrCompile(Req);
+    CompiledFunction *Fn = CM.request(Req).Fn;
     pushActivation(Fn, Blk->homeSelf(), Args, Argc, -1, Blk->env(),
                    Blk->homeFrameId(), true);
     return run(Barrier);
@@ -1014,6 +1057,6 @@ Interpreter::Outcome Interpreter::evalTopLevel(const ast::Code *Body) {
   Req.ReceiverMap = W.lobby()->map();
   Req.IsBlockUnit = false;
   Req.Name = Body->SelectorName;
-  CompiledFunction *Fn = CM.getOrCompile(Req);
+  CompiledFunction *Fn = CM.request(Req).Fn;
   return callFunction(Fn, W.lobbyValue(), {});
 }

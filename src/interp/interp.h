@@ -34,15 +34,28 @@ namespace mself {
 class CompileQueue;
 class SharedCodeBridge;
 
-/// What the injected compiler is asked to produce.
+/// The one compile-traffic currency: every consumer of compilation — the
+/// code cache, the background CompileQueue, the shared-tier bridge, and the
+/// injected compiler itself — speaks this request type. Callers fill the
+/// function identity (source / receiver map / block-unit flag / name); the
+/// CodeManager owns tier selection and stamps the isolate before the request
+/// leaves it, so the compiler and the artifact key never special-case a tier.
 struct CompileRequest {
   const ast::Code *Source = nullptr;
-  Map *ReceiverMap = nullptr; ///< Customization key; null = uncustomized.
+  /// The request's type context: the receiver map the code is customized to
+  /// (the paper's customization; the BBV tier seeds its entry block context
+  /// from it). Null = uncustomized.
+  Map *ReceiverMap = nullptr;
   bool IsBlockUnit = false;
   const std::string *Name = nullptr;
-  /// Compile under the driver's baseline (first-tier) policy instead of the
-  /// full one. Set by the CodeManager, honoured by the injected compiler.
-  bool BaselineTier = false;
+  /// Which compiler runs: the driver maps Baseline to its derived cheap
+  /// policy, Optimized to the full policy, Bbv to the versioning tier.
+  /// Chosen by the CodeManager (first-call tier vs. promotion target);
+  /// callers' values are overwritten.
+  CompileTier Tier = CompileTier::Optimized;
+  /// The world the code will run in. Stamped by the CodeManager from its
+  /// own isolate; compilers resolve lookups and literals against it.
+  World *Isolate = nullptr;
   /// Mediates the compiler's access to mutable world state (compile-time
   /// lookups, string-literal allocation). Null means "compile
   /// synchronously on the mutator thread" — the compiler makes its own
@@ -50,6 +63,18 @@ struct CompileRequest {
   /// in background mode, which routes lookups under the shape lock and
   /// carries the job's cancellation flag.
   CompileAccess *Access = nullptr;
+};
+
+/// What a request produced: the runnable code plus where it came from
+/// (observability + tests; the cache-hit fast path reports CacheHit).
+struct CompileResult {
+  CompiledFunction *Fn = nullptr;
+  enum class Origin : uint8_t {
+    CacheHit, ///< Already in this manager's cache (memo or table).
+    Compiled, ///< The injected compiler ran locally.
+    Shared,   ///< Rehydrated from the shared tier's artifact store.
+  } From = Origin::Compiled;
+  explicit operator bool() const { return Fn != nullptr; }
 };
 
 using CompileFn =
@@ -112,7 +137,13 @@ private:
 struct TierStats {
   uint64_t BaselineCompiles = 0;
   uint64_t OptimizedCompiles = 0; ///< Full-policy compiles incl. promotions.
-  uint64_t Promotions = 0;        ///< Baseline → optimized recompiles.
+  uint64_t BbvCompiles = 0;       ///< Versioning-tier template compiles.
+  double BbvCompileSeconds = 0;
+  uint64_t BbvTagConflicts = 0;     ///< Slot-tag demotions fanned out to
+                                    ///< guard cells (write-path hook).
+  uint64_t BbvCellsInvalidated = 0; ///< Guard cells flipped by those
+                                    ///< demotions (>= conflicts).
+  uint64_t Promotions = 0;        ///< Baseline → top-tier recompiles.
   uint64_t Swaps = 0;             ///< Cache entries switched by promotion.
   uint64_t Invalidations = 0;     ///< Functions voided by shape mutations.
   double BaselineCompileSeconds = 0;
@@ -160,19 +191,35 @@ public:
     /// Hotness (invocations + loop back-edges) promoting baseline code;
     /// <= 0 compiles under the full policy on first call even when Enabled.
     int Threshold = 0;
+    /// The tier hot (or, without tiering, first-call) code compiles at:
+    /// Optimized by default, Bbv when the policy stacks the versioning
+    /// tier on top.
+    CompileTier Top = CompileTier::Optimized;
   };
 
-  CodeManager(Heap &H, bool Customize, CompileFn Compiler,
-              TieringConfig Tiering = TieringConfig{false, 0})
-      : H(H), Customize(Customize), Compiler(std::move(Compiler)),
-        Tiering(Tiering) {
+  CodeManager(World &W, bool Customize, CompileFn Compiler,
+              TieringConfig Tiering)
+      : W(W), H(W.heap()), Customize(Customize),
+        Compiler(std::move(Compiler)), Tiering(Tiering) {
     H.addRootProvider(this);
   }
+  CodeManager(World &W, bool Customize, CompileFn Compiler)
+      : CodeManager(W, Customize, std::move(Compiler), TieringConfig()) {}
   ~CodeManager() override { H.removeRootProvider(this); }
 
-  /// \returns cached or freshly compiled code for \p Req. With tiering on
-  /// (and a positive threshold) a cache miss compiles the baseline tier.
-  CompiledFunction *getOrCompile(const CompileRequest &Req);
+  /// The unified compile entry point: \returns cached or freshly compiled
+  /// code for \p Req, with its origin. The manager owns tier selection —
+  /// with tiering on (and a positive threshold) a cache miss compiles the
+  /// baseline tier, otherwise straight at TieringConfig::Top — and stamps
+  /// the isolate, so callers only describe *what* to compile.
+  CompileResult request(const CompileRequest &Req);
+
+  /// Pre-CompileResult spelling of request(); kept one PR for out-of-tree
+  /// callers, like PR 5's telemetry shims.
+  [[deprecated("use request()")]] CompiledFunction *
+  getOrCompile(const CompileRequest &Req) {
+    return request(Req).Fn;
+  }
 
   bool tieringEnabled() const { return Tiering.Enabled; }
 
@@ -215,6 +262,30 @@ public:
   /// baseline function was invalidated while the compile ran. Cheap when
   /// nothing is pending; no-op without a queue.
   void maybeInstall();
+
+  /// Injects the BBV tier's lazy materializer (interp/ does not link
+  /// against compiler/; the driver wires this the way it injects CompileFn).
+  /// Given a BBV function and the stub index from a BbvStub instruction, it
+  /// materializes the target block version and \returns the code index to
+  /// resume at.
+  void setBbvMaterializer(std::function<int(CompiledFunction &, int)> M) {
+    BbvMaterializer = std::move(M);
+  }
+
+  /// Executes a BbvStub: runs the injected materializer on the mutator
+  /// thread (no allocation, so no GC interleaving) and \returns the resume
+  /// index, or -1 when no materializer is wired (malformed configuration).
+  int bbvMaterialize(CompiledFunction &Fn, int StubIdx) {
+    if (!BbvMaterializer)
+      return -1;
+    return BbvMaterializer(Fn, StubIdx);
+  }
+
+  /// Write-path hook: a store to \p FieldIndex of an object with map \p M
+  /// conflicted with the slot's recorded type tag. Flips every guard cell
+  /// covering that (map, field) so dependent BbvGuard sites take their slow
+  /// (re-testing) path; the versions themselves stay installed and sound.
+  void onSlotTagConflict(Map *M, int FieldIndex);
 
   /// Total CPU seconds spent inside the injected compiler.
   double totalCompileSeconds() const { return CompileSeconds; }
@@ -264,24 +335,35 @@ public:
   void traceRoots(GcVisitor &V) override;
 
 private:
-  /// Compiles \p Req (already normalized) at \p T, charges timing stats,
-  /// logs the event, and takes ownership. Does not touch the cache.
+  /// Canonicalizes a caller's request: receiver map dropped when
+  /// customization is off, the isolate stamped. Tier is set separately by
+  /// the caller (first-call selection in request(), promotion target in
+  /// promote()/triggerPromotion()).
+  CompileRequest normalize(const CompileRequest &Req) const {
+    CompileRequest Norm = Req;
+    if (!Customize)
+      Norm.ReceiverMap = nullptr;
+    Norm.Isolate = &W;
+    return Norm;
+  }
+  /// Compiles \p Req (already normalized, tier chosen), charges timing
+  /// stats, logs the event, and takes ownership. Does not touch the cache.
   CompiledFunction *compileInternal(const CompileRequest &Req,
-                                    CompiledFunction::Tier T,
                                     CompileEvent::Kind LogKind);
   /// compileInternal() with the shared tier in front: adopt a rehydrated
   /// artifact on a tier hit, else compile locally and publish when this
   /// isolate holds the single-flight claim. Plain compileInternal() when no
-  /// bridge is attached.
+  /// bridge is attached. \p FromOut, when non-null, reports whether the
+  /// shared tier or the local compiler produced the code.
   CompiledFunction *compileShared(const CompileRequest &Norm,
-                                  CompiledFunction::Tier T,
-                                  CompileEvent::Kind LogKind);
+                                  CompileEvent::Kind LogKind,
+                                  CompileResult::Origin *FromOut = nullptr);
   /// Takes ownership of a function rehydrated from the shared tier and
   /// gives it the same cache-entry accounting as a fresh compile, charging
   /// only \p Seconds of rehydration wall time (no compiler ran here).
   CompiledFunction *adoptShared(std::unique_ptr<CompiledFunction> Fn,
-                                CompiledFunction::Tier T,
-                                CompileEvent::Kind LogKind, double Seconds);
+                                CompileTier T, CompileEvent::Kind LogKind,
+                                double Seconds);
   /// The promotion tail shared by every path that has optimized code in
   /// hand: ReplacedBy, cache swap, memo flush, swap event, PIC re-point.
   void swapIn(CompiledFunction *Old, CompiledFunction *New);
@@ -295,9 +377,10 @@ private:
   /// Installs one finished background compile: the tail of promote()
   /// (ReplacedBy, cache swap, PIC re-point) plus the ownership and
   /// accounting that compileInternal() does for synchronous compiles.
+  /// \p T is the tier the job was compiled at (from its request).
   void installCompleted(CompiledFunction *Old,
                         std::unique_ptr<CompiledFunction> NewOwned,
-                        double Seconds);
+                        CompileTier T, double Seconds);
   /// Cache key with its hash computed once at construction, so the hot
   /// lookup (every block invocation and native-loop iteration probes the
   /// cache) hashes nothing at probe time — the table reads the stored value.
@@ -337,12 +420,15 @@ private:
       E = MemoEntry();
   }
 
+  World &W;
   Heap &H;
   bool Customize;
   CompileFn Compiler;
   TieringConfig Tiering;
   CompileQueue *Queue = nullptr; ///< Non-null: promotions go off-thread.
   SharedCodeBridge *Bridge = nullptr; ///< Non-null: shared code tier.
+  /// Lazy block-version materializer (BBV tier only; injected by driver).
+  std::function<int(CompiledFunction &, int)> BbvMaterializer;
   std::unordered_map<Key, CompiledFunction *, KeyHash> Cache;
   MemoEntry Memo[kMemoEntries];
   unsigned MemoNext = 0;
@@ -423,6 +509,14 @@ struct ExecCounters {
   uint64_t Quickenings = 0;    ///< Send sites rewritten to a quickened form.
   uint64_t Dequickenings = 0;  ///< Quickened sites rewritten back on a
                                ///< guard miss (map/kind mismatch).
+
+  // Lazy basic-block versioning (the third execution tier).
+  uint64_t BbvStubRuns = 0;   ///< BbvStub dispatches (one materialization
+                              ///< each; patched stubs never re-run).
+  uint64_t BbvGuardFast = 0;  ///< Slot-tag guards passing on the cell read
+                              ///< alone (a type test that never ran).
+  uint64_t BbvGuardSlow = 0;  ///< Guards routed to the re-testing slow path
+                              ///< after a conflicting store demoted the tag.
 
   /// Executions per opcode, indexed by Op. Always maintained — the cost is
   /// one array increment per dispatch, paid identically by every engine

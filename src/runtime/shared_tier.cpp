@@ -2,6 +2,7 @@
 
 #include "runtime/shared_tier.h"
 
+#include "interp/interp.h" // CompileRequest, the bridge's traffic currency.
 #include "parser/parser.h"
 #include "runtime/world.h"
 #include "vm/object.h"
@@ -173,16 +174,20 @@ SharedTierStats SharedTier::statsSnapshot() const {
 // SharedCodeBridge
 //===----------------------------------------------------------------------===//
 
-bool SharedCodeBridge::keyFor(const ast::Code *Source, Map *ReceiverMap,
-                              bool BlockUnit, bool Baseline,
+bool SharedCodeBridge::keyFor(const CompileRequest &Req,
                               SharedTier::ArtifactKey &Out) {
-  Out.Source = Source;
+  // BBV code rewrites itself during execution (stubs patch into jumps keyed
+  // by the types that actually flowed through *this* isolate), so there is
+  // no immutable artifact to share; every BBV request compiles locally.
+  if (Req.Tier == CompileTier::Bbv)
+    return false;
+  Out.Source = Req.Source;
   Out.PolicyFp = PolicyFp;
-  Out.Baseline = Baseline;
-  Out.BlockUnit = BlockUnit;
+  Out.Tier = static_cast<uint8_t>(Req.Tier);
+  Out.BlockUnit = Req.IsBlockUnit;
   Out.WorldSig = Sigs.worldSig();
   Out.ReceiverSig = 0;
-  if (ReceiverMap && !Sigs.mapSig(ReceiverMap, Out.ReceiverSig))
+  if (Req.ReceiverMap && !Sigs.mapSig(Req.ReceiverMap, Out.ReceiverSig))
     return false; // Receiver shape has no portable identity: stay local.
   return true;
 }
@@ -345,10 +350,9 @@ SharedCodeBridge::rehydrate(const CodeArtifact &A, Map *ReceiverMap) {
 }
 
 std::unique_ptr<CompiledFunction>
-SharedCodeBridge::acquire(const ast::Code *Source, Map *ReceiverMap,
-                          bool BlockUnit, bool Baseline, Ticket &Out) {
+SharedCodeBridge::acquire(const CompileRequest &Req, Ticket &Out) {
   Out = Ticket{};
-  Out.HasKey = keyFor(Source, ReceiverMap, BlockUnit, Baseline, Out.Key);
+  Out.HasKey = keyFor(Req, Out.Key);
   if (!Out.HasKey)
     return nullptr;
   std::shared_ptr<const CodeArtifact> A;
@@ -361,7 +365,7 @@ SharedCodeBridge::acquire(const ast::Code *Source, Map *ReceiverMap,
   case SharedTier::Probe::Ready:
     break;
   }
-  auto F = rehydrate(*A, ReceiverMap);
+  auto F = rehydrate(*A, Req.ReceiverMap);
   if (!F) {
     Out.RehydrateFailed = true;
     T.noteRehydrateFailure(); // Fall back to a local compile, no claim.
@@ -370,15 +374,14 @@ SharedCodeBridge::acquire(const ast::Code *Source, Map *ReceiverMap,
 }
 
 std::unique_ptr<CompiledFunction>
-SharedCodeBridge::tryAcquireReady(const ast::Code *Source, Map *ReceiverMap,
-                                  bool BlockUnit, bool Baseline) {
+SharedCodeBridge::tryAcquireReady(const CompileRequest &Req) {
   SharedTier::ArtifactKey K;
-  if (!keyFor(Source, ReceiverMap, BlockUnit, Baseline, K))
+  if (!keyFor(Req, K))
     return nullptr;
   std::shared_ptr<const CodeArtifact> A = T.peekReady(K);
   if (!A)
     return nullptr;
-  auto F = rehydrate(*A, ReceiverMap);
+  auto F = rehydrate(*A, Req.ReceiverMap);
   if (!F)
     T.noteRehydrateFailure();
   return F;
@@ -391,12 +394,10 @@ bool SharedCodeBridge::publish(const Ticket &Tk, const CompiledFunction &F) {
   return Portable;
 }
 
-bool SharedCodeBridge::publishIfAbsent(const ast::Code *Source,
-                                       Map *ReceiverMap, bool BlockUnit,
-                                       bool Baseline,
+bool SharedCodeBridge::publishIfAbsent(const CompileRequest &Req,
                                        const CompiledFunction &F) {
   SharedTier::ArtifactKey K;
-  if (!keyFor(Source, ReceiverMap, BlockUnit, Baseline, K))
+  if (!keyFor(Req, K))
     return false;
   return T.tryPublish(K, build(F));
 }

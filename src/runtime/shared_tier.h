@@ -65,6 +65,9 @@
 
 namespace mself {
 
+struct CompileRequest; // interp/interp.h; the bridge consumes requests by
+                       // reference so only shared_tier.cpp needs the type.
+
 /// A point-in-time snapshot of the shared tier's counters (plain values; the
 /// live counters are atomics). Aggregated into ServerTelemetry.
 struct SharedTierStats {
@@ -140,13 +143,17 @@ public:
     uint64_t ReceiverSig = 0; ///< 0: uncustomized.
     uint64_t WorldSig = 0;
     uint64_t PolicyFp = 0;
-    bool Baseline = false;
+    /// The request's CompileTier. Artifacts are tier-keyed, never
+    /// tier-special-cased: baseline and optimized code of one method are
+    /// distinct keys. (BBV requests never reach keying — their code is
+    /// patched in place per execution, so keyFor declines them.)
+    uint8_t Tier = 0;
     bool BlockUnit = false;
 
     bool operator==(const ArtifactKey &O) const {
       return Source == O.Source && ReceiverSig == O.ReceiverSig &&
              WorldSig == O.WorldSig && PolicyFp == O.PolicyFp &&
-             Baseline == O.Baseline && BlockUnit == O.BlockUnit;
+             Tier == O.Tier && BlockUnit == O.BlockUnit;
     }
     struct Hash {
       size_t operator()(const ArtifactKey &K) const {
@@ -155,7 +162,7 @@ public:
         H = H * 1099511628211ull ^ K.WorldSig;
         H = H * 1099511628211ull ^ K.PolicyFp;
         H = H * 1099511628211ull ^
-            (static_cast<uint64_t>(K.Baseline) << 1 |
+            (static_cast<uint64_t>(K.Tier) << 1 |
              static_cast<uint64_t>(K.BlockUnit));
         return static_cast<size_t>(H);
       }
@@ -252,41 +259,39 @@ public:
     SharedTier::ArtifactKey Key;
   };
 
-  /// Probes the tier for (\p Source, \p ReceiverMap, tier flags). May block
-  /// on another isolate's in-flight fill. \returns a rehydrated function
-  /// ready for adoption, or null — in which case the caller compiles
-  /// locally and, when \p Out.Claimed, publishes the result.
-  std::unique_ptr<CompiledFunction> acquire(const ast::Code *Source,
-                                            Map *ReceiverMap, bool BlockUnit,
-                                            bool Baseline, Ticket &Out);
+  /// Probes the tier for \p Req — the same CompileRequest the CodeManager
+  /// and CompileQueue traffic in. May block on another isolate's in-flight
+  /// fill. \returns a rehydrated function ready for adoption, or null — in
+  /// which case the caller compiles locally and, when \p Out.Claimed,
+  /// publishes the result.
+  std::unique_ptr<CompiledFunction> acquire(const CompileRequest &Req,
+                                            Ticket &Out);
 
-  /// Non-blocking: rehydrates only an already-published artifact. Used by
-  /// the promotion trigger to bypass the compile queue entirely when some
-  /// isolate already paid for the optimized code.
-  std::unique_ptr<CompiledFunction> tryAcquireReady(const ast::Code *Source,
-                                                    Map *ReceiverMap,
-                                                    bool BlockUnit,
-                                                    bool Baseline);
+  /// Non-blocking: rehydrates only an already-published artifact for
+  /// \p Req. Used by the promotion trigger to bypass the compile queue
+  /// entirely when some isolate already paid for the optimized code.
+  std::unique_ptr<CompiledFunction> tryAcquireReady(const CompileRequest &Req);
 
   /// Resolves \p Tk's claim with the locally compiled \p F. \returns true
   /// when \p F rendered portably (artifact published), false when the key
   /// was recorded unportable.
   bool publish(const Ticket &Tk, const CompiledFunction &F);
 
-  /// Publishes \p F if its key is absent (background-promotion results,
-  /// produced outside any claim). \returns true when an artifact was
-  /// actually published; false when unkeyable, unportable, or already
+  /// Publishes \p F under \p Req's key if absent (background-promotion
+  /// results, produced outside any claim). \returns true when an artifact
+  /// was actually published; false when unkeyable, unportable, or already
   /// present.
-  bool publishIfAbsent(const ast::Code *Source, Map *ReceiverMap,
-                       bool BlockUnit, bool Baseline,
-                       const CompiledFunction &F);
+  bool publishIfAbsent(const CompileRequest &Req, const CompiledFunction &F);
 
   SharedTier &tier() { return T; }
   ShapeSigCache &sigs() { return Sigs; }
 
 private:
-  bool keyFor(const ast::Code *Source, Map *ReceiverMap, bool BlockUnit,
-              bool Baseline, SharedTier::ArtifactKey &Out);
+  /// Builds the artifact key for \p Req. False when the request has no
+  /// portable identity — an unsignable receiver/world, or a BBV request
+  /// (lazily self-patching code is inherently isolate-local); the caller
+  /// compiles locally.
+  bool keyFor(const CompileRequest &Req, SharedTier::ArtifactKey &Out);
   /// CompiledFunction → portable artifact; null when any reference has no
   /// portable rendering.
   std::shared_ptr<const CodeArtifact> build(const CompiledFunction &F);

@@ -50,6 +50,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -482,6 +483,22 @@ public:
   /// Write-barrier slow path (called from Object::rememberSelf).
   void remember(Object *O);
 
+  /// Installs the slot-tag-conflict hook: invoked synchronously on the
+  /// storing (mutator) thread when one of this heap's maps sees its
+  /// per-field type tag transition to Poly (Map::tagConflict). The driver
+  /// routes this to CodeManager::onSlotTagConflict so BBV guard cells
+  /// depending on the tag flip before the next guarded load executes.
+  void setSlotTagConflictHook(std::function<void(Map *, int)> H) {
+    SlotTagConflictHook = std::move(H);
+  }
+
+  /// Map::tagConflict's fan-out. At most one call per (map, field) ever —
+  /// Poly is a terminal tag state.
+  void notifySlotTagConflict(Map *M, int FieldIndex) {
+    if (SlotTagConflictHook)
+      SlotTagConflictHook(M, FieldIndex);
+  }
+
 private:
   friend class GcVisitor;
 
@@ -614,6 +631,7 @@ private:
   GcStats Stats;
   std::vector<std::unique_ptr<Map>> Maps;
   std::vector<RootProvider *> Roots;
+  std::function<void(Map *, int)> SlotTagConflictHook;
 };
 
 } // namespace mself

@@ -2,6 +2,8 @@
 
 #include "vm/map.h"
 
+#include "vm/heap.h"
+
 #include <cassert>
 
 using namespace mself;
@@ -15,8 +17,10 @@ int Map::addSlot(const std::string *Name, SlotKind Kind, Value Constant,
   Desc.Name = Name;
   Desc.Kind = Kind;
   Desc.Constant = Constant;
-  if (Kind == SlotKind::Data)
+  if (Kind == SlotKind::Data) {
     Desc.FieldIndex = FieldCount++;
+    FieldTags.resize(static_cast<size_t>(FieldCount));
+  }
 
   int Index = static_cast<int>(Slots.size());
   Slots.push_back(Desc);
@@ -49,4 +53,12 @@ const SlotDesc *Map::findAssignSlot(const std::string *NameColon) const {
   if (It == AssignIndex.end())
     return nullptr;
   return &Slots[It->second];
+}
+
+void Map::tagConflict(int FieldIndex) {
+  SlotTypeTag &T = FieldTags[static_cast<size_t>(FieldIndex)];
+  T.St = SlotTypeTag::State::Poly;
+  T.TypedMap = nullptr;
+  if (OwnerHeap)
+    OwnerHeap->notifySlotTagConflict(this, FieldIndex);
 }

@@ -26,6 +26,7 @@
 namespace mself {
 
 class Heap;
+class Map;
 
 /// What kind of heap object a map describes. Small integers are not heap
 /// objects but still have a (synthetic) map so that the compiler's class
@@ -54,6 +55,25 @@ struct SlotDesc {
   SlotKind Kind = SlotKind::Constant;
   int FieldIndex = -1; ///< Index into Object fields (Data slots only).
   Value Constant;      ///< Shared value (Constant and Parent slots only).
+};
+
+/// Per-field monomorphic-store type tag (the "typed object shapes"
+/// extension behind the BBV tier). Tracks whether every store ever
+/// performed into one data field — across every object sharing the map —
+/// has been of a single type. The state machine is monotone
+/// (Unset → Int | Typed(map) → Poly; never narrows back), so a tag in
+/// state Int or Typed is a proof about the field's entire store history,
+/// which the BBV materializer turns into a one-word guard cell in place
+/// of a full type test.
+struct SlotTypeTag {
+  enum class State : uint8_t {
+    Unset, ///< No store observed yet.
+    Int,   ///< Every store so far was a tagged small integer.
+    Typed, ///< Every store so far was a heap object of map TypedMap.
+    Poly,  ///< Conflicting stores observed; permanently generic.
+  };
+  State St = State::Unset;
+  Map *TypedMap = nullptr; ///< Valid only in state Typed.
 };
 
 /// Layout and behaviour descriptor shared by a family of objects.
@@ -100,8 +120,57 @@ public:
   /// slow path needs it, and objects carry no other back pointer.
   Heap *ownerHeap() const { return OwnerHeap; }
 
+  /// The typed-shapes store tag for data field \p FieldIndex. Read by the
+  /// BBV materializer (mutator thread only; tags are never touched by the
+  /// background compiler, which compiles templates without them).
+  const SlotTypeTag &fieldTag(int FieldIndex) const {
+    return FieldTags[static_cast<size_t>(FieldIndex)];
+  }
+
+  /// Notes one store into data field \p FieldIndex — called by
+  /// Object::setField, the single funnel every data-slot store (including
+  /// allocation-time initialization) passes through. Settled states return
+  /// after one or two tests; the first conflicting store transitions the
+  /// tag to Poly out of line and fans out through the owner heap's
+  /// slot-tag-conflict hook so dependent BBV guard cells flip before the
+  /// next guarded load runs.
+  void noteFieldStore(int FieldIndex, bool IsInt, Map *ValueMap) {
+    SlotTypeTag &T = FieldTags[static_cast<size_t>(FieldIndex)];
+    switch (T.St) {
+    case SlotTypeTag::State::Poly:
+      return;
+    case SlotTypeTag::State::Int:
+      if (IsInt)
+        return;
+      break;
+    case SlotTypeTag::State::Typed:
+      if (ValueMap == T.TypedMap)
+        return;
+      break;
+    case SlotTypeTag::State::Unset:
+      if (IsInt) {
+        T.St = SlotTypeTag::State::Int;
+        return;
+      }
+      if (ValueMap) {
+        T.St = SlotTypeTag::State::Typed;
+        T.TypedMap = ValueMap;
+        return;
+      }
+      break;
+    }
+    tagConflict(FieldIndex);
+  }
+
 private:
   friend class Heap; ///< Sets OwnerHeap; updates slot constants during GC.
+
+  /// Out-of-line conflict path: flips the tag to Poly and notifies the
+  /// owner heap's slot-tag-conflict hook (if any). Runs at most once per
+  /// (map, field) — Poly is terminal, so the hook can never fire twice
+  /// for the same tag.
+  void tagConflict(int FieldIndex);
+
   ObjectKind Kind;
   std::string DebugName;
   /// Deque, not vector: the background compiler retains `const SlotDesc *`
@@ -114,6 +183,8 @@ private:
   std::unordered_map<const std::string *, int> AssignIndex;
   std::vector<int> ParentIndices;
   int FieldCount = 0;
+  /// One tag per data field, grown in addSlot. Indexed by FieldIndex.
+  std::vector<SlotTypeTag> FieldTags;
   Heap *OwnerHeap = nullptr;
 };
 

@@ -77,6 +77,13 @@ public:
            "data field index out of range");
     writeBarrier(V, Fields[static_cast<size_t>(I)]);
     Fields[I] = V;
+    // Typed-shapes bookkeeping: every data-slot store (allocation-time
+    // initialization included) funnels through here, which is what makes
+    // an Int/Typed tag a proof about the field's whole store history.
+    // Note *after* the barrier — arena escape may rewrite V to the heap
+    // copy, and the copy's map is the one the tag must witness.
+    TheMap->noteFieldStore(I, V.isInt(),
+                           V.isObject() ? V.asObject()->map() : nullptr);
   }
 
 protected:

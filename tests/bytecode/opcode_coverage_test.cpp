@@ -118,6 +118,12 @@ TEST(OpcodeCoverage, EveryOpcodeExecutes) {
   // oldself rounds out the preset span (local splitting + type prediction
   // without the iterative analysis).
   runCorpus(H, Policy::oldSelf(), NewselfDefs, NewselfExprs);
+  // The BBV tier: every first execution of a block version dispatches a
+  // BbvStub, and the customized `n` loads in acc's methods ride behind
+  // slot-tag guard cells (the field only ever holds small ints).
+  Policy Bbv = Policy::newSelf();
+  Bbv.BbvTier = true;
+  runCorpus(H, Bbv, NewselfDefs, NewselfExprs);
 
   // --- Synthetic fill-in: ops whose organic emission depends on optimizer
   // patterns. Executed through callFunction on a hand-assembled unit. ---

@@ -1,0 +1,232 @@
+//===-- tests/compiler/bbv_test.cpp - Lazy basic-block versioning ---------===//
+//
+// The BBV tier's three load-bearing promises, tested directly:
+//
+//  1. The per-block version cap holds: a block reached under more distinct
+//     type contexts than Policy::BbvMaxVersions routes the overflow to a
+//     generic (context-free) version instead of materializing without
+//     bound.
+//  2. Generic fallback is semantics-preserving: the same program computes
+//     the same answer under the eager optimizer, a roomy cap, and a cap of
+//     one (which forces almost everything generic).
+//  3. Slot-tag invalidation is precise: a conflicting store flips only the
+//     guard cells covering the mutated (map, field), leaves functions
+//     guarding other shapes untouched, and the flipped function still
+//     computes correct answers through its slow path.
+//
+// Receiver laundering (the assignable lobby slot `cur`, as in
+// invalidation_test) keeps the methods under test from being inlined into
+// the throwaway top-level eval wrapper, so they compile — and version — as
+// their own units.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mself;
+
+namespace {
+
+/// First compiled function named \p Name, or null.
+const CompiledFunction *findNamed(VirtualMachine &VM, const std::string &Name) {
+  const CompiledFunction *Found = nullptr;
+  VM.code().forEach([&](const CompiledFunction &F) {
+    if (!Found && F.Name && *F.Name == Name)
+      Found = &F;
+  });
+  return Found;
+}
+
+/// A loop whose head is reached under six distinct type contexts: entry
+/// proves all five accumulands int (their initializers are int constants,
+/// but the in-loop clobbers keep the optimizer from proving them, so they
+/// stay tested — and therefore version-relevant), and each back-edge kind
+/// re-loads a different one from a vector (element loads are untyped), so
+/// successive contexts each lose one more fact until the sixth arrives
+/// empty. `k` is deliberately a control: the optimizer proves it int
+/// across the loop, never tests it, and it must therefore never appear in
+/// a version key.
+const char *kChurnSource =
+    "driver = ( | parent* = lobby.\n"
+    "  churn: n = ( | arr. i. a. b. c. d. e. k. s. r |\n"
+    "    arr: (vectorOfSize: 5 FillingWith: 7).\n"
+    "    i: 0. a: 1. b: 1. c: 2. d: 3. e: 4. k: 9. s: 0.\n"
+    "    [ i < n ] whileTrue: [\n"
+    "      s: s + a + b + c + d + e + k.\n"
+    "      r: i % 5.\n"
+    "      r == 0 ifTrue: [ a: (arr at: 0) ].\n"
+    "      r == 1 ifTrue: [ b: (arr at: 1) ].\n"
+    "      r == 2 ifTrue: [ c: (arr at: 2) ].\n"
+    "      r == 3 ifTrue: [ d: (arr at: 3) ].\n"
+    "      r == 4 ifTrue: [ e: (arr at: 4) ].\n"
+    "      k: k + 1.\n"
+    "      i: i + 1 ].\n"
+    "    s ) | ).\n"
+    "cur <- 0\n";
+
+/// The C++ twin of kChurnSource's churn: method.
+int64_t churnNative(int64_t N) {
+  int64_t A = 1, B = 1, C = 2, D = 3, E = 4, K = 9, S = 0;
+  for (int64_t I = 0; I < N; ++I) {
+    S += A + B + C + D + E + K;
+    switch (I % 5) {
+    case 0: A = 7; break;
+    case 1: B = 7; break;
+    case 2: C = 7; break;
+    case 3: D = 7; break;
+    case 4: E = 7; break;
+    }
+    K += 1;
+  }
+  return S;
+}
+
+/// Loads kChurnSource under \p P and runs `cur churn: n` twice (the second
+/// run sees fully materialized versions), returning the second answer.
+int64_t runChurn(const Policy &P, int64_t N, VirtualMachine *&VMOut,
+                 std::string &Err) {
+  VMOut = new VirtualMachine(P);
+  if (!VMOut->load(kChurnSource, Err))
+    return -1;
+  int64_t Out = 0;
+  if (!VMOut->evalInt("cur: driver. 0", Out, Err))
+    return -1;
+  std::string Run = "cur churn: " + std::to_string(N);
+  if (!VMOut->evalInt(Run, Out, Err))
+    return -1;
+  VMOut->settleBackgroundCompiles();
+  if (!VMOut->evalInt(Run, Out, Err))
+    return -1;
+  return Out;
+}
+
+} // namespace
+
+TEST(BbvVersionCap, SixthContextFallsBackToGeneric) {
+  // Under the default cap of five, all six contexts fit the specialized
+  // budget only because the sixth is empty — it runs as the generic
+  // version, never as a sixth specialization.
+  {
+    Policy P = Policy::newSelf();
+    P.BbvTier = true;
+    ASSERT_EQ(P.BbvMaxVersions, 5) << "default cap drifted; test assumes 5";
+    VirtualMachine *VM = nullptr;
+    std::string Err;
+    int64_t Got = runChurn(P, 23, VM, Err);
+    ASSERT_NE(VM, nullptr);
+    ASSERT_EQ(Got, churnNative(23)) << Err;
+    VmTelemetry Tel = VM->telemetry();
+    EXPECT_GT(Tel.Bbv.Versions, 0u);
+    EXPECT_GT(Tel.Bbv.GenericVersions, 0u)
+        << "the empty sixth context did not land on a generic version";
+    delete VM;
+  }
+  // Tightening the cap to four makes the fifth distinct context — still
+  // non-empty — overflow: it must take the cap fallback to generic rather
+  // than materialize a fifth specialization.
+  {
+    Policy P = Policy::newSelf();
+    P.BbvTier = true;
+    P.BbvMaxVersions = 4;
+    VirtualMachine *VM = nullptr;
+    std::string Err;
+    int64_t Got = runChurn(P, 23, VM, Err);
+    ASSERT_NE(VM, nullptr);
+    ASSERT_EQ(Got, churnNative(23)) << Err;
+    VmTelemetry Tel = VM->telemetry();
+    EXPECT_GT(Tel.Bbv.Versions, 0u);
+    EXPECT_GT(Tel.Bbv.CapFallbacks, 0u)
+        << "the over-cap context never hit the version cap";
+    EXPECT_GT(Tel.Bbv.GenericVersions, 0u)
+        << "cap overflow did not fall back to a generic version";
+    delete VM;
+  }
+}
+
+TEST(BbvVersionCap, GenericMatchesSpecialized) {
+  // The same program under the eager optimizer, the default cap, and a
+  // cap of one (everything past the first context per block goes generic)
+  // must agree with the native twin — generic versions re-test, they never
+  // re-interpret.
+  for (int64_t N : {0, 1, 7, 23, 60}) {
+    int64_t Want = churnNative(N);
+    for (int Cap : {-1, 5, 1}) { // -1 = eager tier, no BBV
+      Policy P = Policy::newSelf();
+      if (Cap >= 0) {
+        P.BbvTier = true;
+        P.BbvMaxVersions = Cap;
+      }
+      VirtualMachine *VM = nullptr;
+      std::string Err;
+      int64_t Got = runChurn(P, N, VM, Err);
+      EXPECT_EQ(Got, Want) << "n=" << N << " cap=" << Cap << ": " << Err;
+      if (Cap == 1 && VM) {
+        // With a cap of one the fallback machinery must actually engage.
+        VmTelemetry Tel = VM->telemetry();
+        EXPECT_GT(Tel.Bbv.CapFallbacks, 0u) << "n=" << N;
+      }
+      delete VM;
+    }
+  }
+}
+
+TEST(BbvInvalidation, ShapeMutationFlipsOnlyDependentCells) {
+  Policy P = Policy::newSelf();
+  P.BbvTier = true;
+  VirtualMachine VM(P);
+  std::string Err;
+  ASSERT_TRUE(VM.load("pa = ( | parent* = lobby. v <- 1.\n"
+                      "  geta = ( v + 100 ) | ).\n"
+                      "pb = ( | parent* = lobby. w <- 2.\n"
+                      "  getb = ( w + 200 ) | ).\n"
+                      "cur <- 0\n",
+                      Err))
+      << Err;
+  int64_t Out = 0;
+  // Stores record the slots' Int tags before either getter compiles.
+  ASSERT_TRUE(VM.evalInt("pa v: 3. pb w: 4. 0", Out, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur: pa. cur geta", Out, Err)) << Err;
+  EXPECT_EQ(Out, 103);
+  ASSERT_TRUE(VM.evalInt("cur: pb. cur getb", Out, Err)) << Err;
+  EXPECT_EQ(Out, 204);
+  VM.settleBackgroundCompiles();
+  // Re-run so the versions behind any stubs materialize their guards.
+  ASSERT_TRUE(VM.evalInt("cur: pa. cur geta", Out, Err)) << Err;
+  ASSERT_TRUE(VM.evalInt("cur: pb. cur getb", Out, Err)) << Err;
+
+  const CompiledFunction *Ga = findNamed(VM, "geta");
+  const CompiledFunction *Gb = findNamed(VM, "getb");
+  ASSERT_NE(Ga, nullptr);
+  ASSERT_NE(Gb, nullptr);
+  ASSERT_FALSE(Ga->BbvCells.empty())
+      << "geta compiled without a slot-tag guard; the test has no subject";
+  for (int32_t Cell : Ga->BbvCells)
+    EXPECT_EQ(Cell, 0) << "guard cell flipped before any conflicting store";
+  for (int32_t Cell : Gb->BbvCells)
+    EXPECT_EQ(Cell, 0);
+
+  // The conflicting store: a heap object lands in a slot tagged Int. Only
+  // cells covering (pa's map, v) may flip.
+  uint64_t ConflictsBefore = VM.telemetry().Bbv.TagConflicts;
+  ASSERT_TRUE(VM.evalInt("pa v: pb. 0", Out, Err)) << Err;
+  VmTelemetry Tel = VM.telemetry();
+  EXPECT_GT(Tel.Bbv.TagConflicts, ConflictsBefore);
+  EXPECT_GT(Tel.Bbv.CellsInvalidated, 0u);
+  bool AnyFlipped = false;
+  for (int32_t Cell : Ga->BbvCells)
+    AnyFlipped = AnyFlipped || Cell != 0;
+  EXPECT_TRUE(AnyFlipped) << "the dependent function's cells did not flip";
+  for (int32_t Cell : Gb->BbvCells)
+    EXPECT_EQ(Cell, 0) << "an independent function's cell flipped";
+
+  // The flipped function answers through its slow path — no stale
+  // type assumption, no recompile required.
+  ASSERT_TRUE(VM.evalInt("pa v: 9. cur: pa. cur geta", Out, Err)) << Err;
+  EXPECT_EQ(Out, 109);
+  ASSERT_TRUE(VM.evalInt("cur: pb. cur getb", Out, Err)) << Err;
+  EXPECT_EQ(Out, 204);
+}

@@ -201,6 +201,58 @@ public:
            ") ifTrue: [ ^ t ]. i: i + 1 ]. (0 - t) ] value)";
   }
 
+  /// Shape-transition churn: clones of a two-slot prototype take int
+  /// stores (recording Int slot tags and, under the BBV tier, compiling
+  /// field loads down to guarded one-word cell reads), then a string lands
+  /// in one of the same slots every third round — the tag conflict that
+  /// must flip every dependent guard cell — before an int store restores
+  /// it. Fresh clones every fourth round keep young objects of the same
+  /// shape appearing throughout. Under the GC-stress and background-
+  /// compilation rows of the matrix the conflicting stores race promotion
+  /// and collection, which is exactly the surface the slot-tag
+  /// invalidation hook has to keep coherent. Only sound at the top of the
+  /// tree: it emits definitions through \p Defs.
+  std::string shapeExpr(int D, std::string &Defs, int64_t &Val) {
+    int R = 5 + static_cast<int>(pick(8));
+    int64_t M2 = 1 + pick(6);
+    int64_t C = pick(10);
+    int64_t Seed;
+    std::string SE = intExpr(std::max(0, D - 2), Seed);
+    Defs = "fzShape = ( | parent* = lobby. f <- 0. g <- 0.\n"
+           "  sumfg = ( f + g ).\n"
+           "  gbump = ( g: g + 1. self ) | ).\n";
+    int64_t F = 0, G = 0, T = 0, PG = 0;
+    for (int64_t I = 0; I < R; ++I) {
+      if (I % 4 == 0)
+        PG = 0; // fresh clone: g restarts at the prototype's 0
+      F = I + Seed;
+      G = I * M2;
+      T += F + G;         // sumfg through the guarded loads
+      T += I % 3 == 0 ? 0 // conflict round: a string sits in f
+                      : F;
+      F = I + C; // restore the slot to ints for the next round
+      T += PG;   // the second clone's sumfg (its f stays 0)
+      PG += 1;
+    }
+    (void)F;
+    (void)G;
+    Val = T;
+    return "([ | o. p. t <- 0. r |\n"
+           "  o: fzShape clone. p: fzShape clone.\n"
+           "  0 upTo: " + std::to_string(R) + " Do: [ :i |\n"
+           "    (i % 4) == 0 ifTrue: [ p: fzShape clone ].\n"
+           "    o f: i + (" + SE + "). o g: i * " + std::to_string(M2) +
+           ".\n"
+           "    t: t + o sumfg.\n"
+           "    (i % 3) == 0 ifTrue: [ o f: 'conflict'. r: 0 ]\n"
+           "      False: [ r: o f ].\n"
+           "    t: t + r.\n"
+           "    o f: i + " + std::to_string(C) + ".\n"
+           "    t: t + p sumfg.\n"
+           "    p gbump ].\n"
+           "  t ] value)";
+  }
+
   /// Generates a string-valued expression; Val tracks its C++ value. The
   /// result is never empty (leaves are non-empty and slices keep at least
   /// one character), so callers may index it.
@@ -306,11 +358,18 @@ TEST_P(RandomExpr, AllPoliciesMatchCppEvaluation) {
   ExprGen Gen(static_cast<uint32_t>(GetParam()) * 2654435761u + 1);
   for (int Case = 0; Case < 8; ++Case) {
     int64_t Expected = 0;
-    // Every third case is a whole-program non-local return; the rest are
-    // composable integer trees (which include the stored-block shapes).
-    std::string Src = Case % 3 == 2 ? Gen.nlrExpr(3, Expected)
-                                    : Gen.intExpr(4, Expected);
-    ASSERT_TRUE(difftest::expectAll("", Src, Expected));
+    std::string Defs;
+    std::string Src;
+    // Rotate whole-program productions: non-local returns, slot-tag
+    // transition churn, and composable integer trees (which include the
+    // stored-block shapes).
+    if (Case % 3 == 2)
+      Src = Gen.nlrExpr(3, Expected);
+    else if (Case % 3 == 1)
+      Src = Gen.shapeExpr(3, Defs, Expected);
+    else
+      Src = Gen.intExpr(4, Expected);
+    ASSERT_TRUE(difftest::expectAll(Defs, Src, Expected));
   }
 }
 
